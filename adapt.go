@@ -1,0 +1,135 @@
+// Package qoschain is a QoS-driven service-composition framework for
+// multimedia content adaptation, reproducing "A QoS-based Service
+// Composition for Content Adaptation" (El-Khatib, Bochmann, El-Saddik,
+// ICDE 2007).
+//
+// Given the six profiles of the paper's Section 3 — user, content,
+// context, device, network and intermediaries — the framework builds a
+// directed graph of trans-coding services (Section 4.2), then runs the
+// greedy QoS selection algorithm (Section 4.4, Figure 4) to find the
+// chain of services that maximizes the user's satisfaction with the
+// delivered content, subject to per-link bandwidth and the user's budget.
+//
+// The high-level entry point is Compose:
+//
+//	set := &profile.Set{ ... }
+//	comp, err := qoschain.Compose(set, qoschain.Options{})
+//	fmt.Println(comp.Result.Summary())
+//	stats, _ := comp.Stream(900) // run the chain over a synthetic stream
+//
+// The underlying pieces (graph construction, the selection algorithm and
+// its baselines, the overlay simulator, the streaming pipeline and the
+// session manager) live in internal/ packages; the examples/ directory
+// shows each of them in use.
+package qoschain
+
+import (
+	"fmt"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/pipeline"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+)
+
+// Options tunes a composition.
+type Options struct {
+	// Contact selects the user's per-contact preference overrides
+	// (profile.ContactAny uses the defaults).
+	Contact profile.ContactClass
+	// Trace records the per-round Table 1 style trace on the result.
+	Trace bool
+	// Prune removes useless vertices/edges before selection.
+	Prune bool
+	// Bitrate overrides the bandwidth-requirement model of Equation 2
+	// (nil uses media.DefaultBitrate: 100 kbit/s per frame per second).
+	Bitrate media.BitrateModel
+	// UseContext adjusts the satisfaction profile to the context
+	// profile: audio-hostile contexts (meetings, loud surroundings)
+	// stop scoring audio parameters; video-hostile contexts (driving)
+	// stop scoring visual ones.
+	UseContext bool
+}
+
+// Composition is the outcome of a Compose call.
+type Composition struct {
+	// Result is the selected chain with satisfaction, parameters, cost
+	// and (when requested) the round-by-round trace.
+	Result *core.Result
+	// Graph is the adaptation graph the chain was selected from.
+	Graph *graph.Graph
+	// Config is the selection configuration derived from the profiles.
+	Config core.Config
+}
+
+// Compose builds the adaptation graph from a full profile set and runs
+// the QoS selection algorithm. It derives the optimization objective from
+// the user profile (satisfaction functions and budget) and the receiver
+// caps from the device hardware.
+func Compose(set *profile.Set, opts Options) (*Composition, error) {
+	if set == nil {
+		return nil, fmt.Errorf("qoschain: nil profile set")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	satProfile, err := set.User.SatisfactionProfile(opts.Contact)
+	if err != nil {
+		return nil, err
+	}
+	if err := satProfile.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.UseContext {
+		satProfile = profile.ApplyContext(satProfile, &set.Context)
+	}
+	g, err := graph.BuildFromSet(set)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Prune {
+		g.Prune()
+	}
+	cfg := core.Config{
+		Profile:      satProfile,
+		Bitrate:      opts.Bitrate,
+		Budget:       set.User.Budget,
+		ReceiverCaps: set.Device.RenderCaps(),
+		Trace:        opts.Trace,
+	}
+	res, err := core.Select(g, cfg)
+	if err != nil {
+		return &Composition{Result: res, Graph: g, Config: cfg}, err
+	}
+	return &Composition{Result: res, Graph: g, Config: cfg}, nil
+}
+
+// Stream instantiates the composed chain as a concurrent trans-coding
+// pipeline and pushes n synthetic source frames through it, returning the
+// delivery statistics.
+func (c *Composition) Stream(n int) (pipeline.Stats, error) {
+	p, err := pipeline.FromResult(c.Graph, c.Result, pipeline.Options{Bitrate: c.Config.Bitrate})
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return p.Run(n), nil
+}
+
+// Explain returns the per-parameter satisfactions of the delivered
+// stream, for user-facing reporting.
+func (c *Composition) Explain() map[string]float64 {
+	each := c.Config.Profile.EvaluateEach(c.Result.Params)
+	out := make(map[string]float64, len(each))
+	for k, v := range each {
+		out[string(k)] = v
+	}
+	return out
+}
+
+// Satisfaction is a convenience re-export: the combined satisfaction
+// function of Equation 1 over individual parameter satisfactions.
+func Satisfaction(individual []float64) float64 {
+	return satisfaction.Combine(individual)
+}

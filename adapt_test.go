@@ -1,0 +1,208 @@
+package qoschain
+
+import (
+	"math"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// newsSet builds a complete profile set: a phone user pulling an MPEG-1
+// news clip through a proxy hosting an MPEG-1→H.263 converter.
+func newsSet() *profile.Set {
+	conv := service.FormatConverter("conv1", media.VideoMPEG1, media.VideoH263)
+	return &profile.Set{
+		User: profile.User{
+			Name: "alice",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+			Budget: 100,
+		},
+		Content: profile.Content{
+			ID: "news-1",
+			Variants: []media.Descriptor{
+				{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			},
+		},
+		Device: profile.Device{
+			ID:    "phone-1",
+			Class: profile.ClassPhone,
+			Hardware: profile.Hardware{
+				CPUMips: 200, MemoryMB: 32,
+				ScreenWidth: 176, ScreenHeight: 144, ColorDepth: 12,
+			},
+			Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+		},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "p1", BandwidthKbps: 2400, DelayMs: 20},
+			{From: "p1", To: "phone-1", BandwidthKbps: 1800, DelayMs: 40},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "p1", CPUMips: 2000, MemoryMB: 256,
+			Services: []*service.Service{conv},
+		}},
+	}
+}
+
+func TestComposeEndToEnd(t *testing.T) {
+	comp, err := Compose(newsSet(), Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := comp.Result
+	if !res.Found {
+		t.Fatal("composition must find a chain")
+	}
+	if len(res.Path) != 3 || string(res.Path[1]) != "conv1" {
+		t.Errorf("path = %v", res.Path)
+	}
+	// Bottleneck 1800 kbps → 18 fps → satisfaction 0.6.
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-18) > 1e-6 {
+		t.Errorf("fps = %v, want 18", res.Params.Get(media.ParamFrameRate))
+	}
+	if math.Abs(res.Satisfaction-0.6) > 1e-6 {
+		t.Errorf("satisfaction = %v, want 0.6", res.Satisfaction)
+	}
+	if len(res.Rounds) == 0 {
+		t.Error("Trace option should record rounds")
+	}
+}
+
+func TestComposeRespectsBudget(t *testing.T) {
+	set := newsSet()
+	set.User.Budget = 0.5 // below conv1's cost of 1
+	_, err := Compose(set, Options{})
+	if err == nil {
+		t.Error("budget below every chain must fail composition")
+	}
+}
+
+func TestComposeNilAndInvalidSet(t *testing.T) {
+	if _, err := Compose(nil, Options{}); err == nil {
+		t.Error("nil set must fail")
+	}
+	bad := newsSet()
+	bad.User.Name = ""
+	if _, err := Compose(bad, Options{}); err == nil {
+		t.Error("invalid set must fail")
+	}
+}
+
+func TestComposeWithPrune(t *testing.T) {
+	set := newsSet()
+	// Add a dead-end service that pruning should remove.
+	set.Intermediaries[0].Services = append(set.Intermediaries[0].Services,
+		service.FormatConverter("dead", media.VideoMPEG1, media.VideoMJPEG))
+	comp, err := Compose(set, Options{Prune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := comp.Graph.Node("dead"); ok {
+		t.Error("prune should remove the dead-end converter")
+	}
+	if !comp.Result.Found {
+		t.Error("pruned composition must still succeed")
+	}
+}
+
+func TestComposeStream(t *testing.T) {
+	comp, err := Compose(newsSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := comp.Stream(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FramesOut == 0 {
+		t.Fatal("stream must deliver frames")
+	}
+	// Delivered rate tracks the negotiated 18 fps.
+	if math.Abs(stats.DeliveredFPS-18) > 1.5 {
+		t.Errorf("DeliveredFPS = %v, want ~18", stats.DeliveredFPS)
+	}
+}
+
+func TestComposeExplain(t *testing.T) {
+	comp, err := Compose(newsSet(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	each := comp.Explain()
+	if len(each) != 1 {
+		t.Fatalf("Explain = %v", each)
+	}
+	if math.Abs(each["framerate"]-0.6) > 1e-6 {
+		t.Errorf("framerate satisfaction = %v", each["framerate"])
+	}
+}
+
+func TestComposeContactOverride(t *testing.T) {
+	set := newsSet()
+	set.User.ContactPreferences = map[profile.ContactClass]map[media.Param]profile.FuncSpec{
+		profile.ContactClient: {media.ParamFrameRate: profile.LinearSpec(15, 30)},
+	}
+	normal, err := Compose(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Compose(set, Options{Contact: profile.ContactClient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 18 fps scores 0.6 by default but only 0.2 against the stricter
+	// client-class expectations.
+	if client.Result.Satisfaction >= normal.Result.Satisfaction {
+		t.Errorf("client contact should be harder to satisfy: %v vs %v",
+			client.Result.Satisfaction, normal.Result.Satisfaction)
+	}
+}
+
+func TestSatisfactionReExport(t *testing.T) {
+	if got := Satisfaction([]float64{0.25, 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Satisfaction = %v", got)
+	}
+}
+
+func TestComposeUseContext(t *testing.T) {
+	set := newsSet()
+	// Score both a visual and an audio parameter; the content only
+	// carries video, so audio satisfaction is 0.
+	set.User.Preferences[media.ParamAudioRate] = profile.LinearSpec(0, 44.1)
+	set.Context = profile.Context{Activity: "meeting"}
+
+	plain, err := Compose(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Result.Satisfaction != 0 {
+		t.Fatalf("without context the missing audio should zero satisfaction, got %v",
+			plain.Result.Satisfaction)
+	}
+	ctxAware, err := Compose(set, Options{UseContext: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctxAware.Result.Satisfaction <= 0.5 {
+		t.Errorf("meeting context should ignore audio: satisfaction = %v",
+			ctxAware.Result.Satisfaction)
+	}
+}
+
+func TestComposeHostResourcesEnforced(t *testing.T) {
+	set := newsSet()
+	// The converter demands 2 MIPS/kbps; the proxy's 2000 MIPS then
+	// carry at most 1000 kbps → 10 fps, below the 18 fps the network
+	// would allow.
+	set.Intermediaries[0].Services[0].CPUPerKbps = 2
+	comp, err := Compose(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.Result.Params.Get(media.ParamFrameRate); math.Abs(got-10) > 0.01 {
+		t.Errorf("CPU-capped fps = %v, want 10", got)
+	}
+}

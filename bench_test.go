@@ -1,0 +1,481 @@
+// Benchmarks regenerating every table and figure of the paper (run with
+// `go test -bench=. -benchmem`), plus the extension experiments and
+// design-choice ablations DESIGN.md calls out. Each Benchmark maps to an
+// experiment id in EXPERIMENTS.md.
+package qoschain
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"qoschain/internal/baseline"
+	"qoschain/internal/bundle"
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/multicast"
+	"qoschain/internal/overlay"
+	"qoschain/internal/paperexample"
+	"qoschain/internal/pipeline"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+	"qoschain/internal/session"
+	"qoschain/internal/workload"
+)
+
+// --- TAB1: the 15-round selection trace -------------------------------
+
+// BenchmarkTable1SelectionTrace runs the full Figure 6 selection with the
+// per-round trace enabled — the computation whose output is Table 1.
+func BenchmarkTable1SelectionTrace(b *testing.B) {
+	g, err := paperexample.Table1Graph(true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := paperexample.Table1Config()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Select(g, cfg)
+		if err != nil || !res.Found {
+			b.Fatal("Table 1 selection failed")
+		}
+	}
+}
+
+// --- FIG1: the satisfaction function ----------------------------------
+
+// BenchmarkFigure1SatisfactionEval evaluates the Figure 1 S-curve across
+// its domain (the figure's plotted series).
+func BenchmarkFigure1SatisfactionEval(b *testing.B) {
+	fn := paperexample.Figure1Function()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for fps := 0.0; fps <= 25; fps++ {
+			_ = fn.Eval(fps)
+		}
+	}
+}
+
+// --- FIG2/FIG3: graph construction ------------------------------------
+
+// BenchmarkFigure3GraphConstruction rebuilds the Figure 3 adaptation
+// graph from profiles (the Section 4.2 construction procedure).
+func BenchmarkFigure3GraphConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := paperexample.Figure3Graph(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1GraphConstruction rebuilds the full 20-service Figure 6
+// graph including overlay bandwidth queries.
+func BenchmarkTable1GraphConstruction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := paperexample.Table1Graph(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- FIG5: greedy optimality ------------------------------------------
+
+// BenchmarkFigure5GreedyVsExhaustive compares the greedy algorithm with
+// the exhaustive optimum on one random 8-service scenario.
+func BenchmarkFigure5GreedyVsExhaustive(b *testing.B) {
+	sc := workload.Generate(rand.New(rand.NewSource(5)), workload.Spec{Services: 8})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exhaustive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res, _ := baseline.Exhaustive(sc.Graph, sc.Config, 0); !res.Found {
+				b.Fatal("exhaustive found nothing")
+			}
+		}
+	})
+}
+
+// --- FIG6: the with/without-T7 ablation --------------------------------
+
+// BenchmarkFigure6Ablation selects over both Figure 6 variants.
+func BenchmarkFigure6Ablation(b *testing.B) {
+	for _, withT7 := range []bool{true, false} {
+		name := "withT7"
+		if !withT7 {
+			name = "withoutT7"
+		}
+		g, err := paperexample.Table1Graph(withT7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := paperexample.Table1Config()
+		cfg.Trace = false
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Select(g, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- EXT-A: scalability -------------------------------------------------
+
+// BenchmarkSelectionScaling measures selection across graph sizes.
+func BenchmarkSelectionScaling(b *testing.B) {
+	for _, n := range []int{10, 50, 100, 500, 1000} {
+		sc := workload.Generate(rand.New(rand.NewSource(7)), workload.Spec{Services: n})
+		b.Run(fmt.Sprintf("services=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBaselines compares every baseline on one mid-size scenario.
+func BenchmarkBaselines(b *testing.B) {
+	sc := workload.Generate(rand.New(rand.NewSource(9)), workload.Spec{Services: 100})
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shortest-hop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := baseline.ShortestHop(sc.Graph, sc.Config); !res.Found {
+				b.Fatal("no chain")
+			}
+		}
+	})
+	b.Run("widest-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := baseline.WidestPath(sc.Graph, sc.Config); !res.Found {
+				b.Fatal("no chain")
+			}
+		}
+	})
+	b.Run("min-cost", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := baseline.MinCost(sc.Graph, sc.Config); !res.Found {
+				b.Fatal("no chain")
+			}
+		}
+	})
+	rng := rand.New(rand.NewSource(11))
+	b.Run("random", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if res := baseline.Random(sc.Graph, sc.Config, rng, 32); !res.Found {
+				b.Fatal("no chain")
+			}
+		}
+	})
+}
+
+// --- EXT-C: re-composition ----------------------------------------------
+
+// BenchmarkRecomposition measures a session reacting to a degradation of
+// its active exit link and the subsequent recovery.
+func BenchmarkRecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := paperexample.Table1Network()
+		sess, err := session.New(session.Config{
+			Content:      paperexample.Table1Content(),
+			Device:       paperexample.Table1Device(),
+			Services:     paperexample.Table1Services(true),
+			Net:          net,
+			SenderHost:   "sender",
+			ReceiverHost: "receiver",
+			Select:       paperexample.Table1Config(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := net.SetBandwidth("p7", "receiver", 400); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Reevaluate(); err != nil {
+			b.Fatal(err)
+		}
+		if err := net.SetBandwidth("p7", "receiver", 1985); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Reevaluate(); err != nil {
+			b.Fatal(err)
+		}
+		if sess.Recompositions() != 2 {
+			b.Fatalf("recompositions = %d", sess.Recompositions())
+		}
+	}
+}
+
+// --- EXT-D: pipeline throughput ------------------------------------------
+
+// BenchmarkPipelineThroughput streams synthetic frames through chains of
+// increasing length (reports frames/op over 300 source frames).
+func BenchmarkPipelineThroughput(b *testing.B) {
+	for _, stages := range []int{1, 2, 4, 6} {
+		sc := lineScenario(stages)
+		res, err := core.Select(sc.Graph, sc.Config)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("stages=%d", stages), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := pipeline.FromResult(sc.Graph, res, pipeline.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats := p.Run(300)
+				if stats.FramesOut == 0 {
+					b.Fatal("no frames delivered")
+				}
+			}
+		})
+	}
+}
+
+// lineScenario builds a backbone-only chain of exactly n services.
+func lineScenario(n int) workload.Scenario {
+	return workload.Generate(rand.New(rand.NewSource(3)), workload.Spec{
+		Services: n,
+		Backbone: n,
+		MinKbps:  2000,
+		MaxKbps:  4000,
+	})
+}
+
+// --- Ablations (DESIGN.md §6) ---------------------------------------------
+
+// BenchmarkSelectionHeapVsScan contrasts the paper's linear candidate
+// scan with the priority-queue variant on a large graph.
+func BenchmarkSelectionHeapVsScan(b *testing.B) {
+	sc := workload.Generate(rand.New(rand.NewSource(13)), workload.Spec{Services: 1000})
+	for _, useHeap := range []bool{false, true} {
+		name := "scan"
+		if useHeap {
+			name = "heap"
+		}
+		cfg := sc.Config
+		cfg.UseHeap = useHeap
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Select(sc.Graph, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPruneAblation measures graph pruning cost and the selection
+// speedup it buys on a large random graph.
+func BenchmarkPruneAblation(b *testing.B) {
+	b.Run("select-unpruned", func(b *testing.B) {
+		sc := workload.Generate(rand.New(rand.NewSource(17)), workload.Spec{Services: 500})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prune-then-select", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			sc := workload.Generate(rand.New(rand.NewSource(17)), workload.Spec{Services: 500})
+			b.StartTimer()
+			sc.Graph.Prune()
+			if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOptimizer measures the per-candidate parameter optimization in
+// its single-parameter (exact binary search) and two-parameter (greedy
+// descent + refinement) forms.
+func BenchmarkOptimizer(b *testing.B) {
+	single := satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+	})
+	double := satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate:  satisfaction.Linear{M: 0, I: 30},
+		media.ParamResolution: satisfaction.SCurve{M: 0, I: 300},
+	})
+	bitrate := media.LinearBitrate{PerUnit: map[media.Param]float64{
+		media.ParamFrameRate:  100,
+		media.ParamResolution: 5,
+	}}
+	b.Run("single-param", func(b *testing.B) {
+		req := satisfaction.Request{
+			Caps:      media.Params{media.ParamFrameRate: 30},
+			Bandwidth: 1985,
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := single.Optimize(req); !ok {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+	b.Run("two-param", func(b *testing.B) {
+		req := satisfaction.Request{
+			Caps:      media.Params{media.ParamFrameRate: 30, media.ParamResolution: 300},
+			Bitrate:   bitrate,
+			Bandwidth: 2500,
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, ok := double.Optimize(req); !ok {
+				b.Fatal("infeasible")
+			}
+		}
+	})
+}
+
+// BenchmarkOverlayWidestPath measures the routed-bandwidth query used
+// when chained services are not directly linked.
+func BenchmarkOverlayWidestPath(b *testing.B) {
+	net := overlay.Random(50, 4, overlay.DefaultLinkSpec, rand.New(rand.NewSource(19)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if net.WidestBandwidth("sender", "receiver") <= 0 {
+			b.Fatal("disconnected")
+		}
+	}
+}
+
+// BenchmarkComposeEndToEnd measures the full facade path: validate
+// profiles, build the graph, select the chain.
+func BenchmarkComposeEndToEnd(b *testing.B) {
+	set := newsSet() // shared with adapt_test.go
+	for i := 0; i < b.N; i++ {
+		if _, err := Compose(set, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMulticastSharing composes a 5-member group with shared
+// service funding (EXT-E).
+func BenchmarkMulticastSharing(b *testing.B) {
+	premium := service.FormatConverter("premium", media.VideoMPEG1, media.VideoH263)
+	premium.Cost = 6
+	premium.Host = "gateway"
+	cfg := core.Config{
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+		}),
+		Budget: 10,
+	}
+	var receivers []multicast.Receiver
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("m%d", i)
+		receivers = append(receivers, multicast.Receiver{
+			ID: id,
+			Device: &profile.Device{ID: id, Software: profile.Software{
+				Decoders: []media.Format{media.VideoH263},
+			}},
+			Config: cfg,
+		})
+	}
+	net := overlay.New()
+	net.AddLink("sender", "gateway", 4000, 8, 0)
+	multicast.ReuseNetwork(net, "gateway", 3200, 5, receivers)
+	group := multicast.Group{
+		Content: &profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Services:   []*service.Service{premium},
+		Net:        net,
+		SenderHost: "sender",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := multicast.Compose(group, receivers)
+		if err != nil || res.Served() != 5 {
+			b.Fatalf("compose failed: %v served=%d", err, res.Served())
+		}
+	}
+}
+
+// BenchmarkSessionAdmission measures admitting and closing four
+// reserving sessions on the Figure 6 network (EXT-F).
+func BenchmarkSessionAdmission(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := paperexample.Table1Network()
+		var sessions []*session.Session
+		for j := 0; j < 4; j++ {
+			sess, err := session.New(session.Config{
+				Content:          paperexample.Table1Content(),
+				Device:           paperexample.Table1Device(),
+				Services:         paperexample.Table1Services(true),
+				Net:              net,
+				SenderHost:       "sender",
+				ReceiverHost:     "receiver",
+				Select:           paperexample.Table1Config(),
+				ReserveBandwidth: true,
+			})
+			if err != nil {
+				b.Fatalf("arrival %d rejected: %v", j, err)
+			}
+			sessions = append(sessions, sess)
+		}
+		for _, s := range sessions {
+			s.Close()
+		}
+	}
+}
+
+// BenchmarkBundleCompose measures the order-searching audio+video bundle
+// composition on a shared bottleneck (EXT-H).
+func BenchmarkBundleCompose(b *testing.B) {
+	vconv := service.FormatConverter("vconv", media.VideoMPEG1, media.VideoH263)
+	vconv.Host = "proxy"
+	aconv := service.FormatConverter("aconv", media.AudioPCM, media.AudioGSM)
+	aconv.Host = "proxy"
+	net := overlay.New()
+	net.AddLink("sender", "proxy", 6000, 10, 0)
+	net.AddLink("proxy", "dev", 1500, 15, 0)
+	bitrate := media.LinearBitrate{PerUnit: map[media.Param]float64{
+		media.ParamFrameRate: 100,
+		media.ParamAudioRate: 10,
+	}}
+	req := bundle.Request{
+		Content: &profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}, Bitrate: bitrate},
+			{Format: media.AudioPCM, Params: media.Params{media.ParamAudioRate: 44.1}, Bitrate: bitrate},
+		}},
+		Device: &profile.Device{ID: "dev", Software: profile.Software{
+			Decoders: []media.Format{media.VideoH263, media.AudioGSM},
+		}},
+		Services:   []*service.Service{vconv, aconv},
+		Net:        net,
+		SenderHost: "sender", ReceiverHost: "dev",
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+			media.ParamAudioRate: satisfaction.Linear{M: 0, I: 44.1},
+		}),
+		Bitrate: bitrate,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bundle.Compose(req)
+		if err != nil || res.Combined <= 0 {
+			b.Fatalf("bundle failed: %v", err)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+// Command adaptd serves the composition framework over HTTP: content
+// servers and proxies POST a profile set and receive the selected
+// adaptation chain.
+//
+// Usage:
+//
+//	adaptd -listen 127.0.0.1:8080
+//
+// Endpoints: GET /healthz, GET /v1/formats, POST /v1/compose,
+// POST /v1/graph — see internal/httpapi for the contract. Example:
+//
+//	qospath -example | curl -s -X POST --data-binary @- \
+//	    'http://127.0.0.1:8080/v1/compose?trace=1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"qoschain/internal/httpapi"
+	"qoschain/internal/store"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
+	storeDir := flag.String("store", "", "profile store directory (enables /v1/profiles and /v1/compose/byref)")
+	flag.Parse()
+
+	handler := httpapi.Handler()
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptd:", err)
+			os.Exit(1)
+		}
+		handler = httpapi.HandlerWithStore(st)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptd:", err)
+		os.Exit(1)
+	}
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
+	fmt.Printf("adaptd: serving on http://%s\n", ln.Addr())
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "adaptd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,159 @@
+// Command adaptsim runs an end-to-end adaptation simulation: it generates
+// a random overlay of proxies and trans-coding services, composes a chain
+// for a heterogeneous device population, streams synthetic media through
+// the selected pipelines, and (optionally) drives a bandwidth random walk
+// that forces the sessions to re-compose.
+//
+// Usage:
+//
+//	adaptsim -services 40 -devices 5 -steps 10 -seed 7
+//	adaptsim -scenario docs/scenarios/churn.json   # declarative simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/overlay"
+	"qoschain/internal/paperexample"
+	"qoschain/internal/pipeline"
+	"qoschain/internal/session"
+	"qoschain/internal/sim"
+	"qoschain/internal/workload"
+)
+
+func main() {
+	services := flag.Int("services", 20, "number of trans-coding services in the random scenario")
+	devices := flag.Int("devices", 3, "number of receiving devices to compose for")
+	steps := flag.Int("steps", 5, "fluctuation steps to simulate")
+	frames := flag.Int("frames", 300, "source frames per streamed session")
+	seed := flag.Int64("seed", 42, "random seed")
+	scenarioFile := flag.String("scenario", "", "run a declarative JSON scenario instead")
+	markdown := flag.Bool("markdown", false, "with -scenario: emit the report as Markdown")
+	flag.Parse()
+
+	if *scenarioFile != "" {
+		runScenario(*scenarioFile, *markdown)
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+
+	fmt.Printf("adaptsim: %d services, %d devices, %d fluctuation steps (seed %d)\n\n",
+		*services, *devices, *steps, *seed)
+
+	// Part 1: compose and stream for a random scenario per device.
+	fmt.Println("-- composition and streaming --")
+	tb := metrics.NewTable("device", "chain", "negotiated fps", "delivered fps", "frames out")
+	for d := 0; d < *devices; d++ {
+		sc := workload.Generate(rng, workload.Spec{Services: *services})
+		res, err := core.Select(sc.Graph, sc.Config)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "device %d: %v\n", d, err)
+			continue
+		}
+		p, err := pipeline.FromResult(sc.Graph, res, pipeline.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "device %d: %v\n", d, err)
+			continue
+		}
+		stats := p.Run(*frames)
+		tb.AddRow(fmt.Sprintf("dev-%d", d), core.PathString(res.Path),
+			res.Params.Get(media.ParamFrameRate), stats.DeliveredFPS, stats.FramesOut)
+	}
+	tb.Render(os.Stdout)
+
+	// Part 2: a live session over the paper's Figure 6 network with a
+	// bandwidth random walk.
+	fmt.Println("\n-- session under fluctuation (Figure 6 network) --")
+	net := paperexample.Table1Network()
+	sess, err := session.New(session.Config{
+		Content:      paperexample.Table1Content(),
+		Device:       paperexample.Table1Device(),
+		Services:     paperexample.Table1Services(true),
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "receiver",
+		Select:       paperexample.Table1Config(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "session:", err)
+		os.Exit(1)
+	}
+	walk, err := overlay.NewRandomWalk(net, rng, 0.4, 200, 4000)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "walk:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("t=0  chain=%s sat=%s\n",
+		core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction))
+	for t := 1; t <= *steps; t++ {
+		walk.Step()
+		changed, err := sess.Reevaluate()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reevaluate:", err)
+			os.Exit(1)
+		}
+		marker := ""
+		if changed {
+			marker = "  <- recomposed"
+		}
+		fmt.Printf("t=%d  chain=%s sat=%s%s\n", t,
+			core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction), marker)
+	}
+	fmt.Printf("recompositions: %d\n", sess.Recompositions())
+}
+
+// runScenario executes a declarative sim scenario and prints its report.
+func runScenario(path string, markdown bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	sc, err := sim.LoadScenario(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+	rep, err := sim.Run(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+	if markdown {
+		if err := rep.RenderMarkdown(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "adaptsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("scenario %q: %d steps\n\n", rep.Name, len(rep.Steps))
+	tb := metrics.NewTable("step", "arrivals", "departures", "active", "mean sat", "recomposed", "rejected")
+	for _, s := range rep.Steps {
+		tb.AddRow(s.Step, s.Arrivals, s.Departures, s.Active, s.MeanSat, s.Recompositions, s.Rejections)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println()
+	st := metrics.NewTable("session", "user", "device", "arrived", "departed", "final chain", "final sat")
+	for _, sess := range rep.Sessions {
+		depart := "-"
+		if sess.DepartStep > 0 {
+			depart = fmt.Sprintf("%d", sess.DepartStep)
+		}
+		chain := sess.FinalPath
+		if sess.Rejected {
+			chain = "(rejected)"
+		}
+		st.AddRow(sess.ID, sess.User, sess.Device, sess.ArriveStep, depart, chain, sess.FinalSat)
+	}
+	st.Render(os.Stdout)
+	fmt.Printf("\noverall mean satisfaction %.2f, rejections %d\n",
+		rep.MeanSatisfaction(), rep.TotalRejections())
+}

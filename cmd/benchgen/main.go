@@ -1,0 +1,539 @@
+// Command benchgen regenerates every table and figure of the paper's
+// evaluation, plus the extension experiments documented in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchgen -exp all        # everything
+//	benchgen -exp table1     # the 15-round selection trace (Table 1)
+//	benchgen -exp fig1       # satisfaction function samples (Figure 1)
+//	benchgen -exp fig2       # multi-link service (Figure 2)
+//	benchgen -exp fig3       # construction example (Figure 3, DOT)
+//	benchgen -exp fig5       # greedy vs exhaustive optimality (Figure 5)
+//	benchgen -exp fig6       # with/without-T7 ablation (Figure 6)
+//	benchgen -exp gap        # EXT-B greedy/exhaustive gap sweep
+//	benchgen -exp scale      # EXT-A scalability sweep
+//	benchgen -exp recompose  # EXT-C re-composition under fluctuation
+//	benchgen -exp pipeline   # EXT-D pipeline throughput
+//	benchgen -exp multicast  # EXT-E shared group composition
+//	benchgen -exp admission  # EXT-F sequential admission with reservations
+//	benchgen -exp churn      # EXT-G session churn: arrivals, departures, upgrades
+//	benchgen -exp bundle     # EXT-H multi-stream (audio+video) bundles
+//	benchgen -exp diurnal    # EXT-I a day on a shared network
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"qoschain/internal/baseline"
+	"qoschain/internal/bundle"
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/multicast"
+	"qoschain/internal/overlay"
+	"qoschain/internal/paperexample"
+	"qoschain/internal/pipeline"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+	"qoschain/internal/session"
+	"qoschain/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, table1, fig1, fig2, fig3, fig5, fig6, gap, scale, recompose, pipeline, multicast)")
+	seed := flag.Int64("seed", 42, "random seed for the extension experiments")
+	flag.Parse()
+
+	runners := map[string]func(int64) error{
+		"table1":    func(int64) error { return runTable1() },
+		"fig1":      func(int64) error { return runFig1() },
+		"fig2":      func(int64) error { return runFig2() },
+		"fig3":      func(int64) error { return runFig3() },
+		"fig5":      runFig5,
+		"fig6":      func(int64) error { return runFig6() },
+		"gap":       runGap,
+		"scale":     runScale,
+		"recompose": runRecompose,
+		"pipeline":  func(int64) error { return runPipeline() },
+		"multicast": func(int64) error { return runMulticast() },
+		"admission": func(int64) error { return runAdmission() },
+		"churn":     func(int64) error { return runChurn() },
+		"bundle":    func(int64) error { return runBundle() },
+		"diurnal":   runDiurnal,
+	}
+	order := []string{"fig1", "fig2", "fig3", "table1", "fig5", "fig6", "gap", "scale", "recompose", "pipeline", "multicast", "admission", "churn", "bundle", "diurnal"}
+
+	var toRun []string
+	if *exp == "all" {
+		toRun = order
+	} else if _, ok := runners[*exp]; ok {
+		toRun = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	for _, name := range toRun {
+		fmt.Printf("==== %s ====\n", name)
+		if err := runners[name](*seed); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// runTable1 reproduces the paper's Table 1 round by round.
+func runTable1() error {
+	res, err := paperexample.RunTable1(true)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Table 1: results for each step of the path selection algorithm")
+	fmt.Print(res.TraceTable())
+	fmt.Printf("\nFinal: %s\n", res.Summary())
+	return nil
+}
+
+// runFig1 samples the Figure 1 satisfaction function.
+func runFig1() error {
+	fmt.Println("Figure 1: satisfaction function for the frame rate (min=5, ideal=20)")
+	tb := metrics.NewTable("fps", "satisfaction")
+	for _, s := range paperexample.Figure1Samples() {
+		tb.AddRow(int(s[0]), s[1])
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runFig2 prints the multi-link service of Figure 2.
+func runFig2() error {
+	s := paperexample.Figure2Service()
+	fmt.Println("Figure 2: trans-coding service with multiple input and output links")
+	fmt.Printf("  %s\n", s)
+	return nil
+}
+
+// runFig3 prints the Figure 3 construction example as DOT.
+func runFig3() error {
+	g, err := paperexample.Figure3Graph()
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3: directed trans-coding graph (DOT)")
+	return g.WriteDOT(os.Stdout, "figure3")
+}
+
+// runFig5 certifies the greedy-optimality argument of Figure 5 on random
+// scenarios.
+func runFig5(seed int64) error {
+	fmt.Println("Figure 5: greedy selection equals the exhaustive optimum (monotone quality)")
+	const trials = 200
+	matches := 0
+	for i := int64(0); i < trials; i++ {
+		sc := workload.Generate(rand.New(rand.NewSource(seed+i)), workload.Spec{Services: 8})
+		greedy, err := core.Select(sc.Graph, sc.Config)
+		if err != nil {
+			return err
+		}
+		exact, _ := baseline.Exhaustive(sc.Graph, sc.Config, 0)
+		if exact.Found && greedy.Satisfaction >= exact.Satisfaction-1e-9 {
+			matches++
+		}
+	}
+	fmt.Printf("  greedy == exhaustive on %d/%d random scenarios\n", matches, trials)
+	return nil
+}
+
+// runFig6 contrasts the selected path with and without T7.
+func runFig6() error {
+	with, err := paperexample.RunTable1(true)
+	if err != nil {
+		return err
+	}
+	without, err := paperexample.RunTable1(false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6: selected path with and without trans-coding service T7")
+	tb := metrics.NewTable("variant", "selected path", "fps", "satisfaction")
+	tb.AddRow("with T7", core.PathString(with.Path),
+		core.DisplayFPS(with.Params.Get(media.ParamFrameRate)), core.DisplaySat(with.Satisfaction))
+	tb.AddRow("without T7", core.PathString(without.Path),
+		core.DisplayFPS(without.Params.Get(media.ParamFrameRate)), core.DisplaySat(without.Satisfaction))
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runGap sweeps the greedy/exhaustive satisfaction gap (EXT-B).
+func runGap(seed int64) error {
+	fmt.Println("EXT-B: greedy vs exhaustive satisfaction over 500 random scenarios")
+	var gaps []float64
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 500; i++ {
+		sc := workload.Generate(rng, workload.Spec{Services: 8})
+		greedy, err := core.Select(sc.Graph, sc.Config)
+		if err != nil {
+			return err
+		}
+		exact, _ := baseline.Exhaustive(sc.Graph, sc.Config, 0)
+		if exact.Found {
+			gaps = append(gaps, exact.Satisfaction-greedy.Satisfaction)
+		}
+	}
+	s := metrics.Summarize(gaps)
+	fmt.Printf("  scenarios=%d mean gap=%.6f max gap=%.6f (0 everywhere = greedy optimal)\n",
+		s.Count, s.Mean, s.Max)
+	return nil
+}
+
+// runScale measures selection runtime across graph sizes (EXT-A).
+func runScale(seed int64) error {
+	fmt.Println("EXT-A: selection runtime and satisfaction vs graph size")
+	tb := metrics.NewTable("services", "edges", "runtime", "satisfaction", "expanded")
+	for _, n := range []int{10, 50, 100, 500, 1000, 2000} {
+		sc := workload.Generate(rand.New(rand.NewSource(seed)), workload.Spec{Services: n})
+		start := time.Now()
+		res, err := core.Select(sc.Graph, sc.Config)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(n, sc.Graph.EdgeCount(), time.Since(start).Round(time.Microsecond).String(),
+			res.Satisfaction, res.Expanded)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runRecompose drives a session through a bandwidth trace (EXT-C).
+func runRecompose(seed int64) error {
+	fmt.Println("EXT-C: re-composition under bandwidth fluctuation")
+	g, err := paperexample.Table1Graph(true)
+	if err != nil {
+		return err
+	}
+	_ = g // the session rebuilds its own graph from the live network
+	net := paperexample.Table1Network()
+	sess, err := session.New(session.Config{
+		Content:      paperexample.Table1Content(),
+		Device:       paperexample.Table1Device(),
+		Services:     paperexample.Table1Services(true),
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "receiver",
+		Select:       paperexample.Table1Config(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  t=0  chain=%s sat=%s\n", core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction))
+	trace := overlay.NewTrace(net, []overlay.TraceEvent{
+		{AtStep: 1, From: "p7", To: "receiver", BandwidthKbps: 400}, // cripple the active exit
+		{AtStep: 3, From: "p7", To: "receiver", BandwidthKbps: 1985},
+	})
+	step := 0
+	for !trace.Done() {
+		trace.Step()
+		step++
+		changed, err := sess.Reevaluate()
+		if err != nil {
+			return err
+		}
+		marker := ""
+		if changed {
+			marker = "  <- recomposed"
+		}
+		fmt.Printf("  t=%d  chain=%s sat=%s%s\n", step,
+			core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction), marker)
+	}
+	fmt.Printf("  recompositions=%d\n", sess.Recompositions())
+	_ = seed
+	return nil
+}
+
+// runPipeline measures streaming throughput over the Table 1 chain
+// (EXT-D).
+func runPipeline() error {
+	fmt.Println("EXT-D: streaming pipeline over the Table 1 chain (900 source frames)")
+	g, err := paperexample.Table1Graph(true)
+	if err != nil {
+		return err
+	}
+	res, err := core.Select(g, paperexample.Table1Config())
+	if err != nil {
+		return err
+	}
+	p, err := pipeline.FromResult(g, res, pipeline.Options{})
+	if err != nil {
+		return err
+	}
+	stats := p.Run(900)
+	fmt.Printf("  frames in=%d out=%d delivered fps=%.2f (negotiated %.2f) bytes=%d\n",
+		stats.FramesIn, stats.FramesOut, stats.DeliveredFPS,
+		res.Params.Get(media.ParamFrameRate), stats.BytesOut)
+	tb := metrics.NewTable("stage", "consumed", "emitted", "dropped")
+	for _, st := range stats.Stages {
+		tb.AddRow(st.ID, st.Consumed, st.Emitted, st.Dropped)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runMulticast contrasts independent and shared group composition
+// (EXT-E).
+func runMulticast() error {
+	fmt.Println("EXT-E: shared group composition (services funded once)")
+	premium := service.FormatConverter("premium", media.VideoMPEG1, media.VideoH263)
+	premium.Cost = 6
+	premium.Host = "gateway"
+	economy := service.FormatConverter("economy", media.VideoMPEG1, media.VideoH263)
+	economy.Cost = 1
+	economy.Caps = media.Params{media.ParamFrameRate: 12}
+	economy.Host = "gateway"
+
+	cfg := func(budget float64) core.Config {
+		return core.Config{
+			Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+				media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+			}),
+			Budget: budget,
+		}
+	}
+	device := func(id string) *profile.Device {
+		return &profile.Device{ID: id, Class: profile.ClassPhone,
+			Software: profile.Software{Decoders: []media.Format{media.VideoH263}}}
+	}
+	receivers := []multicast.Receiver{
+		{ID: "m1", Device: device("m1"), Config: cfg(10)},
+		{ID: "m2", Device: device("m2"), Config: cfg(2)},
+		{ID: "m3", Device: device("m3"), Config: cfg(1)},
+	}
+	net := overlay.New()
+	net.AddLink("sender", "gateway", 4000, 8, 0)
+	multicast.ReuseNetwork(net, "gateway", 3200, 5, receivers)
+	group := multicast.Group{
+		Content: &profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Services:   []*service.Service{premium, economy},
+		Net:        net,
+		SenderHost: "sender",
+	}
+	res, err := multicast.Compose(group, receivers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  served=%d mean satisfaction=%.2f shared cost=%.0f independent cost=%.0f saving=%.0f shared=%v\n",
+		res.Served(), res.MeanSatisfaction, res.SharedCost, res.IndependentCost, res.Savings(), res.Shared)
+	return nil
+}
+
+// runAdmission admits sessions one by one onto the Figure 6 network with
+// bandwidth reservation (EXT-F): each new arrival composes around the
+// capacity earlier sessions hold.
+func runAdmission() error {
+	fmt.Println("EXT-F: sequential session admission with bandwidth reservation")
+	net := paperexample.Table1Network()
+	var sessions []*session.Session
+	defer func() {
+		for _, s := range sessions {
+			s.Close()
+		}
+	}()
+	tb := metrics.NewTable("arrival", "chain", "fps", "satisfaction")
+	for i := 1; i <= 4; i++ {
+		sess, err := session.New(session.Config{
+			Content:          paperexample.Table1Content(),
+			Device:           paperexample.Table1Device(),
+			Services:         paperexample.Table1Services(true),
+			Net:              net,
+			SenderHost:       "sender",
+			ReceiverHost:     "receiver",
+			Select:           paperexample.Table1Config(),
+			ReserveBandwidth: true,
+		})
+		if err != nil {
+			tb.AddRow(i, "(rejected)", "-", "-")
+			continue
+		}
+		sessions = append(sessions, sess)
+		res := sess.Result()
+		tb.AddRow(i, core.PathString(res.Path),
+			core.DisplayFPS(res.Params.Get(media.ParamFrameRate)),
+			core.DisplaySat(res.Satisfaction))
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runChurn drives a deterministic arrival/departure schedule over the
+// Figure 6 network with bandwidth reservation (EXT-G): departures free
+// capacity and the surviving sessions upgrade on their next
+// re-evaluation.
+func runChurn() error {
+	fmt.Println("EXT-G: session churn with reservations (A=arrive, D=depart oldest)")
+	net := paperexample.Table1Network()
+	newSession := func() (*session.Session, error) {
+		return session.New(session.Config{
+			Content:          paperexample.Table1Content(),
+			Device:           paperexample.Table1Device(),
+			Services:         paperexample.Table1Services(true),
+			Net:              net,
+			SenderHost:       "sender",
+			ReceiverHost:     "receiver",
+			Select:           paperexample.Table1Config(),
+			ReserveBandwidth: true,
+		})
+	}
+	schedule := []string{"A", "A", "A", "-", "D", "D", "A", "-"}
+	var active []*session.Session
+	defer func() {
+		for _, s := range active {
+			s.Close()
+		}
+	}()
+	tb := metrics.NewTable("step", "event", "active", "mean satisfaction", "recomposed")
+	for step, ev := range schedule {
+		switch ev {
+		case "A":
+			s, err := newSession()
+			if err != nil {
+				return err
+			}
+			active = append(active, s)
+		case "D":
+			if len(active) > 0 {
+				active[0].Close()
+				active = active[1:]
+			}
+		}
+		recomposed := 0
+		satSum := 0.0
+		for _, s := range active {
+			changed, err := s.Reevaluate()
+			if err != nil {
+				return err
+			}
+			if changed {
+				recomposed++
+			}
+			satSum += s.Result().Satisfaction
+		}
+		mean := 0.0
+		if len(active) > 0 {
+			mean = satSum / float64(len(active))
+		}
+		tb.AddRow(step+1, ev, len(active), mean, recomposed)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}
+
+// runBundle composes audio+video bundles with one combined satisfaction
+// (EXT-H).
+func runBundle() error {
+	fmt.Println("EXT-H: multi-stream bundle — one satisfaction over audio and video")
+	build := func(withAudioConv bool, exitKbps float64) (bundle.Request, error) {
+		vconv := service.FormatConverter("vconv", media.VideoMPEG1, media.VideoH263)
+		vconv.Host = "proxy"
+		aconv := service.FormatConverter("aconv", media.AudioPCM, media.AudioGSM)
+		aconv.Host = "proxy"
+		services := []*service.Service{vconv}
+		if withAudioConv {
+			services = append(services, aconv)
+		}
+		net := overlay.New()
+		net.AddLink("sender", "proxy", 6000, 10, 0)
+		net.AddLink("proxy", "dev", exitKbps, 15, 0)
+		bitrate := media.LinearBitrate{PerUnit: map[media.Param]float64{
+			media.ParamFrameRate: 100,
+			media.ParamAudioRate: 10,
+		}}
+		return bundle.Request{
+			Content: &profile.Content{ID: "lecture", Variants: []media.Descriptor{
+				{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}, Bitrate: bitrate},
+				{Format: media.AudioPCM, Params: media.Params{media.ParamAudioRate: 44.1}, Bitrate: bitrate},
+			}},
+			Device: &profile.Device{ID: "dev", Software: profile.Software{
+				Decoders: []media.Format{media.VideoH263, media.AudioGSM},
+			}},
+			Services: services, Net: net,
+			SenderHost: "sender", ReceiverHost: "dev",
+			Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+				media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+				media.ParamAudioRate: satisfaction.Linear{M: 0, I: 44.1},
+			}),
+			Bitrate: bitrate,
+		}, nil
+	}
+	tb := metrics.NewTable("variant", "video fps", "audio kHz", "combined satisfaction")
+	for _, c := range []struct {
+		label string
+		audio bool
+		kbps  float64
+	}{
+		{"full capacity", true, 4000},
+		{"narrow exit (1.5 Mbps)", true, 1500},
+		{"no audio converter", false, 4000},
+	} {
+		req, err := build(c.audio, c.kbps)
+		if err != nil {
+			return err
+		}
+		res, err := bundle.Compose(req)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(c.label,
+			fmt.Sprintf("%.1f", res.Params.Get(media.ParamFrameRate)),
+			fmt.Sprintf("%.1f", res.Params.Get(media.ParamAudioRate)),
+			res.Combined)
+	}
+	tb.Render(os.Stdout)
+	fmt.Println("  (the geometric mean of Equation 1 zeroes the whole session when audio is undeliverable)")
+	return nil
+}
+
+// runDiurnal tracks one session across a simulated day on a shared
+// network (EXT-I): capacity dips at the busy hour and the session adapts.
+func runDiurnal(seed int64) error {
+	fmt.Println("EXT-I: one session across a diurnal load cycle (12 steps = 1 day)")
+	net := paperexample.Table1Network()
+	sess, err := session.New(session.Config{
+		Content:      paperexample.Table1Content(),
+		Device:       paperexample.Table1Device(),
+		Services:     paperexample.Table1Services(true),
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "receiver",
+		Select:       paperexample.Table1Config(),
+	})
+	if err != nil {
+		return err
+	}
+	day, err := overlay.NewDiurnal(net, rand.New(rand.NewSource(seed)), 12, 0.5, 0.02)
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable("hour", "load factor", "chain", "satisfaction", "recomposed")
+	for h := 1; h <= 12; h++ {
+		factor := day.Step()
+		changed, err := sess.Reevaluate()
+		if err != nil {
+			return err
+		}
+		mark := ""
+		if changed {
+			mark = "yes"
+		}
+		tb.AddRow(h*2, fmt.Sprintf("%.2f", factor),
+			core.PathString(sess.Result().Path),
+			core.DisplaySat(sess.Result().Satisfaction), mark)
+	}
+	tb.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,181 @@
+// Command qospath composes an adaptation chain from a JSON profile set.
+//
+// Usage:
+//
+//	qospath -in profiles.json            # compose and print the chain
+//	qospath -in profiles.json -trace     # include the Table 1 style trace
+//	qospath -in profiles.json -dot       # print the adaptation graph (DOT)
+//	qospath -example > profiles.json     # emit a ready-to-edit example set
+//	cat profiles.json | qospath          # read from stdin
+//	qospath -seed-store ./profiles       # write the example set into a store
+//	qospath -store ./profiles -user alice -content clip-1 -device phone-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"qoschain"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+	"qoschain/internal/store"
+)
+
+func main() {
+	in := flag.String("in", "-", "profile set JSON file ('-' for stdin)")
+	trace := flag.Bool("trace", false, "print the per-round selection trace")
+	dot := flag.Bool("dot", false, "print the adaptation graph in DOT form")
+	prune := flag.Bool("prune", false, "prune useless vertices before selection")
+	contact := flag.String("contact", "", "contact class for per-contact preferences")
+	example := flag.Bool("example", false, "print an example profile set and exit")
+	storeDir := flag.String("store", "", "assemble the profile set from this store directory")
+	seedStore := flag.String("seed-store", "", "write the example profiles into this store directory and exit")
+	user := flag.String("user", "", "user name to assemble from the store")
+	content := flag.String("content", "", "content ID to assemble from the store")
+	device := flag.String("device", "", "device ID to assemble from the store")
+	flag.Parse()
+
+	if *example {
+		if err := exampleSet().Encode(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *seedStore != "" {
+		if err := seedExampleStore(*seedStore); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("seeded example profiles into %s\n", *seedStore)
+		return
+	}
+
+	var set *profile.Set
+	if *storeDir != "" {
+		if *user == "" || *content == "" || *device == "" {
+			fatal(fmt.Errorf("-store requires -user, -content and -device"))
+		}
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		set, err = st.Assemble(*user, *content, *device)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			r = f
+		}
+		var err error
+		set, err = profile.DecodeSet(r)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	comp, err := qoschain.Compose(set, qoschain.Options{
+		Trace:   *trace,
+		Prune:   *prune,
+		Contact: profile.ContactClass(*contact),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dot {
+		if err := comp.Graph.WriteDOTHighlight(os.Stdout, "adaptation",
+			comp.Result.Path, comp.Result.Formats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *trace {
+		fmt.Print(comp.Result.TraceTable())
+		fmt.Println()
+	}
+	fmt.Println(comp.Result.Summary())
+	fmt.Println("per-parameter satisfaction:")
+	for name, sat := range comp.Explain() {
+		fmt.Printf("  %-12s %.3f\n", name, sat)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qospath:", err)
+	os.Exit(1)
+}
+
+// seedExampleStore persists the example profiles into a store directory.
+func seedExampleStore(dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	set := exampleSet()
+	if err := st.PutUser(&set.User); err != nil {
+		return err
+	}
+	if err := st.PutContent(&set.Content); err != nil {
+		return err
+	}
+	if err := st.PutDevice(&set.Device); err != nil {
+		return err
+	}
+	if err := st.PutNetwork(&set.Network); err != nil {
+		return err
+	}
+	for i := range set.Intermediaries {
+		if err := st.PutIntermediary(&set.Intermediaries[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exampleSet is a ready-to-edit profile set: a phone pulling an MPEG-1
+// clip through one proxy.
+func exampleSet() *profile.Set {
+	return &profile.Set{
+		User: profile.User{
+			Name: "alice",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+			Budget: 100,
+		},
+		Content: profile.Content{
+			ID:    "clip-1",
+			Title: "example clip",
+			Variants: []media.Descriptor{
+				{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			},
+		},
+		Device: profile.Device{
+			ID:    "phone-1",
+			Class: profile.ClassPhone,
+			Hardware: profile.Hardware{
+				CPUMips: 200, MemoryMB: 32,
+				ScreenWidth: 176, ScreenHeight: 144, ColorDepth: 12, Speakers: 1,
+			},
+			Software: profile.Software{OS: "symbian", Decoders: []media.Format{media.VideoH263}},
+		},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "p1", BandwidthKbps: 2400, DelayMs: 20},
+			{From: "p1", To: "phone-1", BandwidthKbps: 1800, DelayMs: 40},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "p1", CPUMips: 2000, MemoryMB: 256,
+			Services: []*service.Service{
+				service.FormatConverter("conv1", media.VideoMPEG1, media.VideoH263),
+			},
+		}},
+	}
+}

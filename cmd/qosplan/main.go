@@ -1,0 +1,104 @@
+// Command qosplan does capacity planning: given a profile set (or just a
+// user profile) and a target satisfaction, it reports the bandwidth the
+// delivery path must provide, and — when a network is given — which links
+// fall short.
+//
+// Usage:
+//
+//	qospath -example | qosplan -target 0.9
+//	qosplan -in profiles.json -target 0.8
+//	qosplan -in profiles.json -sweep          # table over targets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+)
+
+func main() {
+	in := flag.String("in", "-", "profile set JSON file ('-' for stdin)")
+	target := flag.Float64("target", 0.9, "target user satisfaction in (0,1]")
+	sweep := flag.Bool("sweep", false, "print required bandwidth across satisfaction targets")
+	contact := flag.String("contact", "", "contact class for per-contact preferences")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	set, err := profile.DecodeSet(r)
+	if err != nil {
+		fatal(err)
+	}
+	prof, err := set.User.SatisfactionProfile(profile.ContactClass(*contact))
+	if err != nil {
+		fatal(err)
+	}
+
+	// The bitrate model comes from the first content variant (or the
+	// default 100 kbps/fps model).
+	var model media.BitrateModel
+	if len(set.Content.Variants) > 0 && set.Content.Variants[0].Bitrate != nil {
+		model = set.Content.Variants[0].Bitrate
+	}
+
+	if *sweep {
+		tb := metrics.NewTable("target satisfaction", "required kbps")
+		for _, tgt := range []float64{0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+			kbps, ok := satisfaction.RequiredBandwidth(prof, model, tgt)
+			if !ok {
+				tb.AddRow(tgt, "(unreachable)")
+				continue
+			}
+			tb.AddRow(tgt, fmt.Sprintf("%.0f", kbps))
+		}
+		tb.Render(os.Stdout)
+		return
+	}
+
+	if *target <= 0 || *target > 1 {
+		fatal(fmt.Errorf("target %v outside (0,1]", *target))
+	}
+	kbps, ok := satisfaction.RequiredBandwidth(prof, model, *target)
+	if !ok {
+		fatal(fmt.Errorf("satisfaction %.2f is unreachable for user %s even unconstrained", *target, set.User.Name))
+	}
+	fmt.Printf("user %s needs %.0f kbps end-to-end for satisfaction %.2f\n",
+		set.User.Name, kbps, *target)
+
+	// Grade each declared link against the requirement.
+	if len(set.Network.Links) > 0 {
+		tb := metrics.NewTable("link", "kbps", "verdict")
+		short := 0
+		for _, l := range set.Network.Links {
+			verdict := "ok"
+			if l.BandwidthKbps < kbps-1e-9 {
+				verdict = fmt.Sprintf("short by %.0f kbps", math.Ceil(kbps-l.BandwidthKbps))
+				short++
+			}
+			tb.AddRow(l.From+" -> "+l.To, fmt.Sprintf("%.0f", l.BandwidthKbps), verdict)
+		}
+		tb.Render(os.Stdout)
+		if short > 0 {
+			fmt.Printf("%d link(s) cannot carry the target quality\n", short)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qosplan:", err)
+	os.Exit(1)
+}

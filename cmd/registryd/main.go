@@ -1,0 +1,141 @@
+// Command registryd serves the trans-coding service registry over TCP —
+// the SLP-like discovery daemon the paper's intermediary profiles assume.
+// It also has client sub-modes for registering and querying services.
+//
+// Usage:
+//
+//	registryd -listen 127.0.0.1:7007                    # run the daemon
+//	registryd -addr 127.0.0.1:7007 -register svc.json   # advertise a service
+//	registryd -addr 127.0.0.1:7007 -byinput video/mpeg1 # query by input format
+//	registryd -addr 127.0.0.1:7007 -all                 # list everything
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"qoschain/internal/media"
+	"qoschain/internal/registry"
+	"qoschain/internal/service"
+)
+
+func main() {
+	listen := flag.String("listen", "", "serve the registry on this address")
+	addr := flag.String("addr", "127.0.0.1:7007", "registry address for client modes")
+	registerFile := flag.String("register", "", "register the service description in this JSON file")
+	lease := flag.Duration("lease", time.Hour, "lease duration for -register")
+	byInput := flag.String("byinput", "", "query services accepting this format")
+	byOutput := flag.String("byoutput", "", "query services producing this format")
+	all := flag.Bool("all", false, "list all registered services")
+	flag.Parse()
+
+	if *listen != "" {
+		serve(*listen)
+		return
+	}
+
+	client, err := registry.Dial(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	switch {
+	case *registerFile != "":
+		data, err := os.ReadFile(*registerFile)
+		if err != nil {
+			fatal(err)
+		}
+		var svc service.Service
+		if err := json.Unmarshal(data, &svc); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *registerFile, err))
+		}
+		if err := client.Register(&svc, *lease); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registered %s (lease %s)\n", svc.ID, *lease)
+	case *byInput != "":
+		f, err := media.ParseFormat(*byInput)
+		if err != nil {
+			fatal(err)
+		}
+		svcs, err := client.ByInput(f)
+		if err != nil {
+			fatal(err)
+		}
+		printServices(svcs)
+	case *byOutput != "":
+		f, err := media.ParseFormat(*byOutput)
+		if err != nil {
+			fatal(err)
+		}
+		svcs, err := client.ByOutput(f)
+		if err != nil {
+			fatal(err)
+		}
+		printServices(svcs)
+	case *all:
+		svcs, err := client.All()
+		if err != nil {
+			fatal(err)
+		}
+		printServices(svcs)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func serve(listenAddr string) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		fatal(err)
+	}
+	reg := registry.New()
+	srv := registry.Serve(reg, ln)
+	fmt.Printf("registryd: serving on %s\n", srv.Addr())
+
+	// Sweep expired leases periodically until interrupted.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if n := reg.Sweep(); n > 0 {
+				fmt.Printf("registryd: swept %d expired leases\n", n)
+			}
+		case <-stop:
+			fmt.Println("registryd: shutting down")
+			if err := srv.Close(); err != nil {
+				fatal(err)
+			}
+			return
+		}
+	}
+}
+
+func printServices(svcs []*service.Service) {
+	if len(svcs) == 0 {
+		fmt.Println("(none)")
+		return
+	}
+	for _, s := range svcs {
+		host := s.Host
+		if host == "" {
+			host = "-"
+		}
+		fmt.Printf("%-12s host=%-10s %s\n", s.ID, host, s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "registryd:", err)
+	os.Exit(1)
+}

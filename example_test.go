@@ -1,0 +1,61 @@
+package qoschain_test
+
+import (
+	"fmt"
+
+	"qoschain"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// ExampleCompose walks the full happy path: six profiles in, a selected
+// trans-coding chain out.
+func ExampleCompose() {
+	set := &profile.Set{
+		User: profile.User{
+			Name: "alice",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+		},
+		Content: profile.Content{
+			ID: "clip",
+			Variants: []media.Descriptor{
+				{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			},
+		},
+		Device: profile.Device{
+			ID:       "phone",
+			Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+		},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "proxy", BandwidthKbps: 2400},
+			{From: "proxy", To: "phone", BandwidthKbps: 1800},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "proxy", CPUMips: 2000, MemoryMB: 256,
+			Services: []*service.Service{
+				service.FormatConverter("conv", media.VideoMPEG1, media.VideoH263),
+			},
+		}},
+	}
+	comp, err := qoschain.Compose(set, qoschain.Options{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(comp.Result.Summary())
+	// Output:
+	// path=sender,conv,receiver satisfaction=0.60 params={framerate=18} cost=1.00
+}
+
+// ExampleSatisfaction shows the Equation 1 combination: the geometric
+// mean of per-parameter satisfactions.
+func ExampleSatisfaction() {
+	fmt.Printf("%.2f\n", qoschain.Satisfaction([]float64{0.25, 1.0}))
+	fmt.Printf("%.2f\n", qoschain.Satisfaction([]float64{0.0, 1.0}))
+	// Output:
+	// 0.50
+	// 0.00
+}

@@ -1,0 +1,126 @@
+// Classroom broadcast: one lecture stream, many heterogeneous receivers —
+// the Section 1 scenario where content formatted for PCs "cannot be
+// rendered directly on all types of client devices". A desktop, a PDA, a
+// WAP phone, an audio-only player and a text pager all join; each gets
+// its own composed chain through a shared pool of trans-coding services
+// (video re-encoders, a frame-rate reducer, a keyframe extractor, speech
+// to text, an audio downsampler).
+//
+// Run with: go run ./examples/classroom-broadcast
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qoschain"
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+	"qoschain/internal/workload"
+)
+
+// sharedServices is the campus proxy's adaptation service pool.
+func sharedServices() []*service.Service {
+	return []*service.Service{
+		service.FormatConverter("v-mpeg2h263", media.VideoMPEG1, media.VideoH263),
+		service.FrameRateReducer("v-fps", media.VideoMPEG1, 12),
+		service.FormatConverter("v-low2qcif", media.Format{Kind: media.KindVideo, Encoding: "mpeg1", Profile: "lowfps"}, media.VideoH263QCIF),
+		service.KeyframeExtractor("v-keyframes", media.VideoMPEG1),
+		service.FormatConverter("a-pcm2mp3", media.AudioPCM, media.AudioMP3),
+		service.AudioDownsampler("a-down", media.AudioPCM, media.AudioPCM8K, 8, 8),
+		service.SpeechToText("a-stt", media.AudioPCM),
+		service.FormatConverter("i-kf2gif", media.VideoKeyframes, media.ImageGIF),
+		service.TextSummarizer("t-sum"),
+	}
+}
+
+// lecture offers a video variant and an audio variant of the same talk.
+func lecture() profile.Content {
+	return profile.Content{
+		ID:    "lecture-7",
+		Title: "distributed systems, week 7",
+		Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			{Format: media.AudioPCM, Params: media.Params{media.ParamFrameRate: 30}},
+		},
+		DurationSec: 3000,
+	}
+}
+
+func main() {
+	classes := []profile.DeviceClass{
+		profile.ClassDesktop,
+		profile.ClassPDA,
+		profile.ClassPhone,
+		profile.ClassAudioOnly,
+		profile.ClassTextPager,
+	}
+
+	tb := metrics.NewTable("device", "decoders", "chain", "satisfaction")
+	hist := metrics.NewHistogram(0, 1, 5)
+
+	for _, class := range classes {
+		device := workload.DeviceOfClass(class, string(class))
+		set := &profile.Set{
+			User: profile.User{
+				Name: "student-" + string(class),
+				Preferences: map[media.Param]profile.FuncSpec{
+					media.ParamFrameRate: profile.LinearSpec(0, 30),
+				},
+			},
+			Content: lecture(),
+			Device:  device,
+			Network: profile.Network{Links: []profile.Link{
+				{From: "sender", To: "campus-proxy", BandwidthKbps: 4000, DelayMs: 5},
+				{From: "campus-proxy", To: device.ID, BandwidthKbps: accessKbps(class), DelayMs: 20},
+			}},
+			Intermediaries: []profile.Intermediary{{
+				Host: "campus-proxy", CPUMips: 8000, MemoryMB: 2048,
+				Services: sharedServices(),
+			}},
+		}
+		comp, err := qoschain.Compose(set, qoschain.Options{Prune: true})
+		if err != nil {
+			tb.AddRow(string(class), decoders(device), "(no chain)", "-")
+			continue
+		}
+		tb.AddRow(string(class), decoders(device),
+			core.PathString(comp.Result.Path), comp.Result.Satisfaction)
+		hist.Observe(comp.Result.Satisfaction)
+	}
+
+	fmt.Println("per-device composition for the shared lecture stream:")
+	tb.Render(os.Stdout)
+	fmt.Println("\nsatisfaction distribution across the class:")
+	hist.Render(os.Stdout)
+}
+
+// accessKbps models each device class's last-hop connectivity.
+func accessKbps(class profile.DeviceClass) float64 {
+	switch class {
+	case profile.ClassDesktop:
+		return 4000
+	case profile.ClassPDA:
+		return 800
+	case profile.ClassPhone:
+		return 400
+	case profile.ClassAudioOnly:
+		return 128
+	default: // pager
+		return 16
+	}
+}
+
+func decoders(d profile.Device) string {
+	s := ""
+	for i, f := range d.Software.Decoders {
+		if i > 0 {
+			s += " "
+		}
+		s += f.String()
+	}
+	return s
+}

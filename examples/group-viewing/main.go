@@ -1,0 +1,102 @@
+// Group viewing (extension EXT-E): several members of a household watch
+// the same movie on different devices. Composed independently, each
+// member pays for the trans-coding services their chain uses; composed as
+// a group, a service funded by one member is free for the others — so a
+// member whose budget is too small for the premium transcoder alone still
+// gets the premium chain once someone else funds it.
+//
+// Run with: go run ./examples/group-viewing
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/multicast"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+func memberConfig(budget float64) core.Config {
+	return core.Config{
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+		}),
+		Budget: budget,
+	}
+}
+
+func h263Phone(id string) *profile.Device {
+	return &profile.Device{
+		ID:       id,
+		Class:    profile.ClassPhone,
+		Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+	}
+}
+
+func main() {
+	// Two converters on the home gateway: a premium one (full rate,
+	// cost 6) and an economy one (capped at 12 fps, cost 1).
+	premium := service.FormatConverter("premium", media.VideoMPEG1, media.VideoH263)
+	premium.Cost = 6
+	premium.Host = "gateway"
+	economy := service.FormatConverter("economy", media.VideoMPEG1, media.VideoH263)
+	economy.Cost = 1
+	economy.Caps = media.Params{media.ParamFrameRate: 12}
+	economy.Host = "gateway"
+
+	receivers := []multicast.Receiver{
+		{ID: "tablet", Device: h263Phone("tablet"), Config: memberConfig(10)},
+		{ID: "phone-kid", Device: h263Phone("phone-kid"), Config: memberConfig(2)},
+		{ID: "phone-guest", Device: h263Phone("phone-guest"), Config: memberConfig(1)},
+	}
+
+	net := overlay.New()
+	net.AddLink("sender", "gateway", 4000, 8, 0)
+	multicast.ReuseNetwork(net, "gateway", 3200, 5, receivers)
+
+	group := multicast.Group{
+		Content: &profile.Content{ID: "movie-1", Title: "family movie", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Services:   []*service.Service{premium, economy},
+		Net:        net,
+		SenderHost: "sender",
+	}
+
+	// Independent composition: every member pays separately (simulated
+	// by composing single-member groups).
+	fmt.Println("-- independent composition (everyone pays alone) --")
+	indep := metrics.NewTable("member", "chain", "satisfaction", "cost")
+	for _, r := range receivers {
+		res, err := multicast.Compose(group, []multicast.Receiver{r})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		m := res.Members[0]
+		indep.AddRow(m.Receiver, core.PathString(m.Result.Path), m.Result.Satisfaction, m.Result.Cost)
+	}
+	indep.Render(os.Stdout)
+
+	// Shared composition: the premium transcoder is funded once.
+	fmt.Println("\n-- group composition (services funded once) --")
+	res, err := multicast.Compose(group, receivers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	shared := metrics.NewTable("member", "chain", "satisfaction", "marginal cost")
+	for _, m := range res.Members {
+		shared.AddRow(m.Receiver, core.PathString(m.Result.Path), m.Result.Satisfaction, m.Result.Cost)
+	}
+	shared.Render(os.Stdout)
+	fmt.Printf("\ngroup cost %.0f vs independent %.0f — saving %.0f; shared services: %v\n",
+		res.SharedCost, res.IndependentCost, res.Savings(), res.Shared)
+	fmt.Printf("mean satisfaction: %.2f\n", res.MeanSatisfaction)
+}

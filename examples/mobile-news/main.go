@@ -1,0 +1,123 @@
+// Mobile news-on-demand (after Hafid & Bochmann [9], the paper's static-
+// adaptation contrast): a news service stores several variants of each
+// story; a WAP-era phone requests one over a two-proxy overlay. The
+// example contrasts three compositions:
+//
+//  1. unconstrained — the best chain money can buy,
+//  2. on a budget — the user will only pay 3 units,
+//  3. degraded network — the fast proxy's uplink collapses.
+//
+// Run with: go run ./examples/mobile-news
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoschain"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+func newsSet() *profile.Set {
+	// The premium trans-coder converts straight to the phone's H.263
+	// and costs 5; the economy pair (MPEG1→MJPEG→H.263) costs 1+1 but
+	// runs on a slower path.
+	premium := service.FormatConverter("premium", media.VideoMPEG1, media.VideoH263)
+	premium.Cost = 5
+	econ1 := service.FormatConverter("econ1", media.VideoMPEG1, media.VideoMJPEG)
+	econ1.Cost = 1
+	econ2 := service.FormatConverter("econ2", media.VideoMJPEG, media.VideoH263)
+	econ2.Cost = 1
+
+	return &profile.Set{
+		User: profile.User{
+			Name: "bob",
+			Preferences: map[media.Param]profile.FuncSpec{
+				// An S-curve after Figure 1: below 5 fps the clip is
+				// unwatchable; 20 fps is as good as it needs to be.
+				media.ParamFrameRate: profile.SCurveSpec(5, 20),
+			},
+		},
+		Content: profile.Content{
+			ID:    "story-42",
+			Title: "markets roundup",
+			Variants: []media.Descriptor{
+				{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			},
+			DurationSec: 90,
+		},
+		Device: profile.Device{
+			ID:    "wap-phone",
+			Class: profile.ClassPhone,
+			Hardware: profile.Hardware{
+				CPUMips: 150, MemoryMB: 16,
+				ScreenWidth: 176, ScreenHeight: 144, ColorDepth: 12, Speakers: 1,
+			},
+			Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+		},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "fast-proxy", BandwidthKbps: 2600, DelayMs: 15},
+			{From: "fast-proxy", To: "wap-phone", BandwidthKbps: 2100, DelayMs: 30},
+			{From: "sender", To: "slow-proxy", BandwidthKbps: 1400, DelayMs: 25},
+			{From: "slow-proxy", To: "slow-proxy-2", BandwidthKbps: 1300, DelayMs: 10},
+			{From: "slow-proxy-2", To: "wap-phone", BandwidthKbps: 1200, DelayMs: 35},
+		}},
+		Intermediaries: []profile.Intermediary{
+			{Host: "fast-proxy", CPUMips: 4000, MemoryMB: 512,
+				Services: []*service.Service{premium}},
+			{Host: "slow-proxy", CPUMips: 1000, MemoryMB: 128,
+				Services: []*service.Service{econ1}},
+			{Host: "slow-proxy-2", CPUMips: 1000, MemoryMB: 128,
+				Services: []*service.Service{econ2}},
+		},
+	}
+}
+
+func compose(label string, set *profile.Set) {
+	comp, err := qoschain.Compose(set, qoschain.Options{})
+	if err != nil {
+		fmt.Printf("%-22s no chain: %v\n", label, err)
+		return
+	}
+	res := comp.Result
+	fmt.Printf("%-22s %s  (%.1f fps, cost %.0f)\n", label, res.Summary(),
+		res.Params.Get(media.ParamFrameRate), res.Cost)
+}
+
+func main() {
+	// 1. Unconstrained: the premium chain wins on quality.
+	compose("unconstrained:", newsSet())
+
+	// 2. On a budget: 3 units only afford the economy pair.
+	budget := newsSet()
+	budget.User.Budget = 3
+	compose("budget=3:", budget)
+
+	// 3. Degraded network: the fast proxy's uplink collapses to
+	// 600 kbps, so even without a budget the economy chain is better.
+	degraded := newsSet()
+	for i, l := range degraded.Network.Links {
+		if l.From == "sender" && l.To == "fast-proxy" {
+			degraded.Network.Links[i].BandwidthKbps = 600
+		}
+	}
+	compose("degraded fast path:", degraded)
+
+	// 4. Stream the budget chain to show it actually flows.
+	comp, err := qoschain.Compose(budget, qoschain.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := comp.Stream(450)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbudget chain streamed: %d/%d frames, %.1f fps delivered\n",
+		stats.FramesOut, stats.FramesIn, stats.DeliveredFPS)
+	for _, st := range stats.Stages {
+		fmt.Printf("  %-28s consumed=%-4d emitted=%-4d dropped=%d\n",
+			st.ID, st.Consumed, st.Emitted, st.Dropped)
+	}
+}

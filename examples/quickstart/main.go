@@ -1,0 +1,80 @@
+// Quickstart: compose an adaptation chain for a phone pulling an MPEG-1
+// clip through a proxy, print the selection trace, and stream synthetic
+// frames through the selected pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoschain"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+func main() {
+	// 1. Describe the six profiles of the paper's Section 3.
+	set := &profile.Set{
+		// Who is watching, and what do they care about? Satisfaction
+		// rises linearly from 0 fps (useless) to 30 fps (ideal).
+		User: profile.User{
+			Name: "alice",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+			Budget: 10,
+		},
+		// What is being delivered: one stored MPEG-1 variant at 30 fps.
+		Content: profile.Content{
+			ID:    "news-clip",
+			Title: "evening news",
+			Variants: []media.Descriptor{
+				{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			},
+		},
+		// The receiving device decodes only H.263.
+		Device: profile.Device{
+			ID:    "phone-1",
+			Class: profile.ClassPhone,
+			Hardware: profile.Hardware{
+				CPUMips: 200, MemoryMB: 32,
+				ScreenWidth: 176, ScreenHeight: 144, ColorDepth: 12, Speakers: 1,
+			},
+			Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+		},
+		// The network: sender → proxy → phone.
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "proxy-1", BandwidthKbps: 2400, DelayMs: 20},
+			{From: "proxy-1", To: "phone-1", BandwidthKbps: 1800, DelayMs: 40},
+		}},
+		// The intermediary hosts one MPEG-1 → H.263 trans-coder.
+		Intermediaries: []profile.Intermediary{{
+			Host: "proxy-1", CPUMips: 2000, MemoryMB: 256,
+			Services: []*service.Service{
+				service.FormatConverter("mpeg2h263", media.VideoMPEG1, media.VideoH263),
+			},
+		}},
+	}
+
+	// 2. Compose: build the adaptation graph and run the QoS selection
+	// algorithm (Figure 4 of the paper).
+	comp, err := qoschain.Compose(set, qoschain.Options{Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("selection trace:")
+	fmt.Print(comp.Result.TraceTable())
+	fmt.Println()
+	fmt.Println("selected chain:", comp.Result.Summary())
+
+	// 3. Stream 10 seconds of synthetic video through the chain.
+	stats, err := comp.Stream(300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed: %d/%d frames delivered at %.1f fps (%d bytes)\n",
+		stats.FramesOut, stats.FramesIn, stats.DeliveredFPS, stats.BytesOut)
+}

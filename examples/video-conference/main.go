@@ -1,0 +1,118 @@
+// Video conference with per-contact preferences: Section 3's motivating
+// example — a customer-service representative wants high-resolution video
+// and CD audio when talking to a client, but telephony-grade audio and
+// low-resolution video suffice for a colleague.
+//
+// The example scores both contact classes over the same network and shows
+// how the selected configuration (not just the path) changes with the
+// satisfaction profile. It uses a two-parameter satisfaction combined per
+// Equation 1 and the multiplicative video bitrate model.
+//
+// Run with: go run ./examples/video-conference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoschain"
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+func conferenceSet() *profile.Set {
+	// One trans-coder re-encodes the camera feed for the desktop
+	// client; it can scale frame rate and resolution continuously.
+	reencoder := &service.Service{
+		ID:      "reenc",
+		Name:    "conference re-encoder",
+		Inputs:  []media.Format{media.VideoMPEG4},
+		Outputs: []media.Format{media.VideoH263},
+		Cost:    1,
+	}
+	return &profile.Set{
+		User: profile.User{
+			Name: "rep",
+			// Defaults: colleague-grade expectations.
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate:  profile.LinearSpec(0, 15),
+				media.ParamResolution: profile.LinearSpec(0, 25), // QCIF-ish kpx
+			},
+			// Client calls expect much more.
+			ContactPreferences: map[profile.ContactClass]map[media.Param]profile.FuncSpec{
+				profile.ContactClient: {
+					media.ParamFrameRate:  profile.LinearSpec(10, 30),
+					media.ParamResolution: profile.LinearSpec(25, 101), // up to CIF
+				},
+			},
+		},
+		Content: profile.Content{
+			ID: "camera-feed",
+			Variants: []media.Descriptor{
+				{
+					Format: media.VideoMPEG4,
+					Params: media.Params{
+						media.ParamFrameRate:  30,
+						media.ParamResolution: 101,
+					},
+					// Frame rate and resolution share the link: the
+					// optimizer must trade them against each other.
+					Bitrate: media.LinearBitrate{PerUnit: map[media.Param]float64{
+						media.ParamFrameRate:  40,
+						media.ParamResolution: 15,
+					}},
+				},
+			},
+		},
+		Device: profile.Device{
+			ID:    "peer-desktop",
+			Class: profile.ClassDesktop,
+			Hardware: profile.Hardware{
+				CPUMips: 3000, MemoryMB: 1024,
+				ScreenWidth: 1280, ScreenHeight: 1024, ColorDepth: 32, Speakers: 2,
+			},
+			Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+		},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "conf-proxy", BandwidthKbps: 2500, DelayMs: 10},
+			{From: "conf-proxy", To: "peer-desktop", BandwidthKbps: 2000, DelayMs: 15},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "conf-proxy", CPUMips: 4000, MemoryMB: 512,
+			Services: []*service.Service{reencoder},
+		}},
+	}
+}
+
+func main() {
+	set := conferenceSet()
+	// The optimizer's bitrate model comes from the content variant.
+	bitrate := set.Content.Variants[0].Bitrate
+
+	for _, contact := range []profile.ContactClass{profile.ContactAny, profile.ContactClient} {
+		comp, err := qoschain.Compose(set, qoschain.Options{Contact: contact, Bitrate: bitrate})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := comp.Result
+		label := "colleague (defaults)"
+		if contact == profile.ContactClient {
+			label = "client (stricter)"
+		}
+		fmt.Printf("%-22s path=%-28s fps=%5.1f res=%5.1f kpx satisfaction=%.3f\n",
+			label, core.PathString(res.Path),
+			res.Params.Get(media.ParamFrameRate),
+			res.Params.Get(media.ParamResolution),
+			res.Satisfaction)
+		for name, sat := range comp.Explain() {
+			fmt.Printf("    %-12s %.3f\n", name, sat)
+		}
+	}
+
+	fmt.Println("\nThe same 2 Mbps bottleneck satisfies a colleague call almost")
+	fmt.Println("fully, but the client-grade expectations expose the link as the")
+	fmt.Println("limiting factor — exactly the per-contact behaviour the user")
+	fmt.Println("profile of Section 3 calls for.")
+}

@@ -1,0 +1,3 @@
+module qoschain
+
+go 1.22

@@ -1,0 +1,289 @@
+// Package baseline implements alternative chain-selection strategies used
+// to evaluate the paper's greedy QoS algorithm:
+//
+//   - Exhaustive: enumerates every sender→receiver path (the ground-truth
+//     optimum, exponential — it certifies the Figure 5 optimality argument
+//     on small graphs);
+//   - ShortestHop: fewest trans-coding stages, satisfaction ignored (the
+//     "number of hops" criterion Section 4.4 contrasts against);
+//   - WidestPath: maximum bottleneck bandwidth, satisfaction ignored (the
+//     "available bandwidth" criterion Section 4.4 contrasts against);
+//   - MinCost: cheapest accumulated monetary cost;
+//   - Random: a uniformly random viable path (sanity floor).
+//
+// Every baseline returns a *core.Result evaluated with the same
+// satisfaction machinery as the greedy algorithm, so results compare
+// apples to apples.
+package baseline
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+)
+
+// state is a node of the search tree shared by the path-based baselines;
+// following prev pointers reconstructs the edge sequence.
+type state struct {
+	at   graph.NodeID
+	via  *graph.Edge
+	prev *state
+}
+
+// edges rebuilds the sender-rooted edge list of the branch.
+func (s *state) edges() []*graph.Edge {
+	var rev []*graph.Edge
+	for cur := s; cur != nil && cur.via != nil; cur = cur.prev {
+		rev = append(rev, cur.via)
+	}
+	out := make([]*graph.Edge, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// Exhaustive searches every acyclic, distinct-format path from sender to
+// receiver and returns the satisfaction-maximal one. maxPaths bounds the
+// enumeration (0 means unbounded); the returned explored count reports
+// how many complete paths were evaluated.
+func Exhaustive(g *graph.Graph, cfg core.Config, maxPaths int) (*core.Result, int) {
+	cfg.Trace = false
+	best := &core.Result{}
+	explored := 0
+	var stack []*graph.Edge
+	visited := map[graph.NodeID]bool{graph.SenderID: true}
+
+	var dfs func(at graph.NodeID)
+	dfs = func(at graph.NodeID) {
+		if maxPaths > 0 && explored >= maxPaths {
+			return
+		}
+		if at == graph.ReceiverID {
+			explored++
+			params, sat, cost, ok := core.EvalPath(g, cfg, stack)
+			if ok && (!best.Found || sat > best.Satisfaction) {
+				best.Found = true
+				best.Satisfaction = sat
+				best.Params = params
+				best.Cost = cost
+				best.Path, best.Formats = materialize(stack)
+			}
+			return
+		}
+		for _, e := range sortedOut(g, at) {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			stack = append(stack, e)
+			dfs(e.To)
+			stack = stack[:len(stack)-1]
+			visited[e.To] = false
+		}
+	}
+	dfs(graph.SenderID)
+	return best, explored
+}
+
+// ShortestHop returns the chain with the fewest stages (BFS), evaluated
+// under cfg. Among equal-length options the natural ID order decides.
+func ShortestHop(g *graph.Graph, cfg core.Config) *core.Result {
+	cfg.Trace = false
+	visited := map[graph.NodeID]bool{graph.SenderID: true}
+	queue := []*state{{at: graph.SenderID}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.at == graph.ReceiverID {
+			return evalEdges(g, cfg, cur.edges())
+		}
+		for _, e := range sortedOut(g, cur.at) {
+			if visited[e.To] {
+				continue
+			}
+			visited[e.To] = true
+			queue = append(queue, &state{at: e.To, via: e, prev: cur})
+		}
+	}
+	return &core.Result{}
+}
+
+// widthItem/costItem drive the priority-queue baselines.
+type widthItem struct {
+	st    *state
+	width float64
+}
+
+type widthHeap []widthItem
+
+func (h widthHeap) Len() int            { return len(h) }
+func (h widthHeap) Less(i, j int) bool  { return h[i].width > h[j].width }
+func (h widthHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *widthHeap) Push(x interface{}) { *h = append(*h, x.(widthItem)) }
+func (h *widthHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+type costItem struct {
+	st   *state
+	cost float64
+}
+
+type costHeap []costItem
+
+func (h costHeap) Len() int            { return len(h) }
+func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// WidestPath returns the chain maximizing the bottleneck bandwidth,
+// evaluated under cfg.
+func WidestPath(g *graph.Graph, cfg core.Config) *core.Result {
+	cfg.Trace = false
+	best := map[graph.NodeID]float64{graph.SenderID: math.Inf(1)}
+	pq := &widthHeap{{&state{at: graph.SenderID}, math.Inf(1)}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(widthItem)
+		if cur.st.at == graph.ReceiverID {
+			return evalEdges(g, cfg, cur.st.edges())
+		}
+		if cur.width < best[cur.st.at] {
+			continue
+		}
+		for _, e := range sortedOut(g, cur.st.at) {
+			w := math.Min(cur.width, e.BandwidthKbps)
+			if prev, seen := best[e.To]; !seen || w > prev {
+				best[e.To] = w
+				heap.Push(pq, widthItem{&state{at: e.To, via: e, prev: cur.st}, w})
+			}
+		}
+	}
+	return &core.Result{}
+}
+
+// MinCost returns the monetarily cheapest chain (service costs plus edge
+// transmission costs), evaluated under cfg.
+func MinCost(g *graph.Graph, cfg core.Config) *core.Result {
+	cfg.Trace = false
+	best := map[graph.NodeID]float64{graph.SenderID: 0}
+	done := map[graph.NodeID]bool{}
+	pq := &costHeap{{&state{at: graph.SenderID}, 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(costItem)
+		if cur.st.at == graph.ReceiverID {
+			return evalEdges(g, cfg, cur.st.edges())
+		}
+		if done[cur.st.at] {
+			continue
+		}
+		done[cur.st.at] = true
+		for _, e := range sortedOut(g, cur.st.at) {
+			c := cur.cost + e.TransmissionCost
+			if node, ok := g.Node(e.To); ok && node.Service != nil {
+				c += node.Service.Cost
+			}
+			if prev, seen := best[e.To]; !seen || c < prev {
+				best[e.To] = c
+				heap.Push(pq, costItem{&state{at: e.To, via: e, prev: cur.st}, c})
+			}
+		}
+	}
+	return &core.Result{}
+}
+
+// Random walks a uniformly random viable path (restarting on dead ends,
+// up to maxTries attempts) and evaluates it under cfg.
+func Random(g *graph.Graph, cfg core.Config, rng *rand.Rand, maxTries int) *core.Result {
+	cfg.Trace = false
+	if maxTries <= 0 {
+		maxTries = 32
+	}
+	for try := 0; try < maxTries; try++ {
+		visited := map[graph.NodeID]bool{graph.SenderID: true}
+		var edges []*graph.Edge
+		at := graph.SenderID
+		for at != graph.ReceiverID {
+			var options []*graph.Edge
+			for _, e := range sortedOut(g, at) {
+				if !visited[e.To] {
+					options = append(options, e)
+				}
+			}
+			if len(options) == 0 {
+				break
+			}
+			e := options[rng.Intn(len(options))]
+			visited[e.To] = true
+			edges = append(edges, e)
+			at = e.To
+		}
+		if at != graph.ReceiverID {
+			continue
+		}
+		if res := evalEdges(g, cfg, edges); res.Found {
+			return res
+		}
+	}
+	return &core.Result{}
+}
+
+// evalEdges evaluates a concrete edge list into a core.Result.
+func evalEdges(g *graph.Graph, cfg core.Config, edges []*graph.Edge) *core.Result {
+	params, sat, cost, ok := core.EvalPath(g, cfg, edges)
+	if !ok {
+		return &core.Result{}
+	}
+	res := &core.Result{Found: true, Satisfaction: sat, Params: params, Cost: cost}
+	res.Path, res.Formats = materialize(edges)
+	return res
+}
+
+// materialize converts an edge list into (path, formats).
+func materialize(edges []*graph.Edge) ([]graph.NodeID, []media.Format) {
+	path := make([]graph.NodeID, 0, len(edges)+1)
+	formats := make([]media.Format, 0, len(edges))
+	path = append(path, graph.SenderID)
+	for _, e := range edges {
+		path = append(path, e.To)
+		formats = append(formats, e.Format)
+	}
+	return path, formats
+}
+
+// sortedOut returns a node's outgoing edges in deterministic order.
+func sortedOut(g *graph.Graph, id graph.NodeID) []*graph.Edge {
+	edges := append([]*graph.Edge(nil), g.Out(id)...)
+	sortEdges(edges)
+	return edges
+}
+
+func sortEdges(edges []*graph.Edge) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0 && edgeLess(edges[j], edges[j-1]); j-- {
+			edges[j], edges[j-1] = edges[j-1], edges[j]
+		}
+	}
+}
+
+func edgeLess(a, b *graph.Edge) bool {
+	if a.To != b.To {
+		return graph.LessNatural(a.To, b.To)
+	}
+	return a.Format.String() < b.Format.String()
+}

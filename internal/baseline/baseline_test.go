@@ -1,0 +1,234 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/paperexample"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+	"qoschain/internal/workload"
+)
+
+func fpsConfig() core.Config {
+	return core.Config{Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+	})}
+}
+
+// diamond builds sender with two chains: a (fast, expensive, 2 hops via
+// a1,a2) and b (slow, cheap, 1 hop).
+func diamond(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.NewGraph("s", "r")
+	a1 := service.FormatConverter("a1", media.Opaque(1), media.Opaque(2))
+	a1.Cost = 5
+	a2 := service.FormatConverter("a2", media.Opaque(2), media.Opaque(3))
+	a2.Cost = 5
+	b := service.FormatConverter("b1", media.Opaque(4), media.Opaque(5))
+	b.Cost = 1
+	for _, s := range []*service.Service{a1, a2, b} {
+		if err := g.AddService(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := media.Params{media.ParamFrameRate: 30}
+	edges := []*graph.Edge{
+		{From: graph.SenderID, To: "a1", Format: media.Opaque(1), BandwidthKbps: 3000, SourceParams: src},
+		{From: "a1", To: "a2", Format: media.Opaque(2), BandwidthKbps: 3000},
+		{From: "a2", To: graph.ReceiverID, Format: media.Opaque(3), BandwidthKbps: 2800},
+		{From: graph.SenderID, To: "b1", Format: media.Opaque(4), BandwidthKbps: 1200, SourceParams: src},
+		{From: "b1", To: graph.ReceiverID, Format: media.Opaque(5), BandwidthKbps: 5000},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestExhaustiveFindsOptimum(t *testing.T) {
+	g := diamond(t)
+	res, explored := Exhaustive(g, fpsConfig(), 0)
+	if !res.Found {
+		t.Fatal("exhaustive must find a chain")
+	}
+	if explored != 2 {
+		t.Errorf("explored = %d paths, want 2", explored)
+	}
+	// Best chain: via a1,a2 at 28 fps.
+	if core.PathString(res.Path) != "sender,a1,a2,receiver" {
+		t.Errorf("path = %s", core.PathString(res.Path))
+	}
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-28) > 1e-6 {
+		t.Errorf("fps = %v, want 28", res.Params.Get(media.ParamFrameRate))
+	}
+}
+
+func TestExhaustiveMaxPathsBound(t *testing.T) {
+	g := diamond(t)
+	_, explored := Exhaustive(g, fpsConfig(), 1)
+	if explored != 1 {
+		t.Errorf("explored = %d, want exactly the bound", explored)
+	}
+}
+
+func TestExhaustiveNoChain(t *testing.T) {
+	g := graph.NewGraph("s", "r")
+	res, explored := Exhaustive(g, fpsConfig(), 0)
+	if res.Found || explored != 0 {
+		t.Error("empty graph must explore nothing")
+	}
+}
+
+func TestShortestHopPrefersFewestStages(t *testing.T) {
+	g := diamond(t)
+	res := ShortestHop(g, fpsConfig())
+	if !res.Found {
+		t.Fatal("shortest-hop must find a chain")
+	}
+	if core.PathString(res.Path) != "sender,b1,receiver" {
+		t.Errorf("path = %s, want the 1-stage chain", core.PathString(res.Path))
+	}
+	// It pays for fewer hops with quality: 12 fps only.
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-12) > 1e-6 {
+		t.Errorf("fps = %v, want 12", res.Params.Get(media.ParamFrameRate))
+	}
+}
+
+func TestWidestPathMaximizesBottleneck(t *testing.T) {
+	g := diamond(t)
+	res := WidestPath(g, fpsConfig())
+	if !res.Found {
+		t.Fatal("widest-path must find a chain")
+	}
+	// Chain a bottleneck = 2800; chain b bottleneck = 1200.
+	if core.PathString(res.Path) != "sender,a1,a2,receiver" {
+		t.Errorf("path = %s", core.PathString(res.Path))
+	}
+}
+
+func TestMinCostPrefersCheapest(t *testing.T) {
+	g := diamond(t)
+	res := MinCost(g, fpsConfig())
+	if !res.Found {
+		t.Fatal("min-cost must find a chain")
+	}
+	if core.PathString(res.Path) != "sender,b1,receiver" {
+		t.Errorf("path = %s, want the cost-1 chain", core.PathString(res.Path))
+	}
+	if res.Cost != 1 {
+		t.Errorf("cost = %v, want 1", res.Cost)
+	}
+}
+
+func TestRandomFindsSomeChain(t *testing.T) {
+	g := diamond(t)
+	res := Random(g, fpsConfig(), rand.New(rand.NewSource(1)), 16)
+	if !res.Found {
+		t.Fatal("random baseline should find a chain in a connected graph")
+	}
+	if res.Satisfaction <= 0 {
+		t.Error("random chain should deliver positive satisfaction")
+	}
+}
+
+func TestRandomGivesUpOnDisconnected(t *testing.T) {
+	g := graph.NewGraph("s", "r")
+	res := Random(g, fpsConfig(), rand.New(rand.NewSource(1)), 4)
+	if res.Found {
+		t.Error("random must not invent a chain")
+	}
+}
+
+// TestFigure5GreedyEqualsExhaustive is the Figure 5 optimality claim:
+// because trans-coding only reduces quality, the greedy algorithm's
+// satisfaction equals the exhaustive optimum. Verified over 60 random
+// scenarios.
+func TestFigure5GreedyEqualsExhaustive(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		sc := workload.Generate(rand.New(rand.NewSource(seed)), workload.Spec{Services: 8})
+		greedy, err := core.Select(sc.Graph, sc.Config)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		exact, _ := Exhaustive(sc.Graph, sc.Config, 0)
+		if !exact.Found {
+			t.Fatalf("seed %d: exhaustive found nothing but greedy did", seed)
+		}
+		if greedy.Satisfaction < exact.Satisfaction-1e-9 {
+			t.Errorf("seed %d: greedy %.6f < exhaustive %.6f (path %s vs %s)",
+				seed, greedy.Satisfaction, exact.Satisfaction,
+				core.PathString(greedy.Path), core.PathString(exact.Path))
+		}
+		// And greedy can never exceed the true optimum.
+		if greedy.Satisfaction > exact.Satisfaction+1e-9 {
+			t.Errorf("seed %d: greedy %.6f above exhaustive %.6f — exhaustive is broken",
+				seed, greedy.Satisfaction, exact.Satisfaction)
+		}
+	}
+}
+
+// TestBaselinesOnTable1 runs every baseline on the paper's Figure 6
+// graph: none may beat the greedy algorithm's 0.66 satisfaction, and the
+// exhaustive search must match it exactly.
+func TestBaselinesOnTable1(t *testing.T) {
+	g, err := paperexample.Table1Graph(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := paperexample.Table1Config()
+	greedy, err := core.Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := Exhaustive(g, cfg, 0)
+	if math.Abs(exact.Satisfaction-greedy.Satisfaction) > 1e-9 {
+		t.Errorf("exhaustive %.6f != greedy %.6f on Table 1", exact.Satisfaction, greedy.Satisfaction)
+	}
+	for name, res := range map[string]*core.Result{
+		"shortest-hop": ShortestHop(g, cfg),
+		"widest-path":  WidestPath(g, cfg),
+		"min-cost":     MinCost(g, cfg),
+		"random":       Random(g, cfg, rand.New(rand.NewSource(2)), 32),
+	} {
+		if !res.Found {
+			t.Errorf("%s found no chain on Table 1 graph", name)
+			continue
+		}
+		if res.Satisfaction > greedy.Satisfaction+1e-9 {
+			t.Errorf("%s satisfaction %.6f beats greedy %.6f — impossible",
+				name, res.Satisfaction, greedy.Satisfaction)
+		}
+	}
+}
+
+func TestEvalPathRejectsBadSequences(t *testing.T) {
+	g := diamond(t)
+	cfg := fpsConfig()
+	if _, _, _, ok := core.EvalPath(g, cfg, nil); ok {
+		t.Error("empty path must be rejected")
+	}
+	// Discontinuous: sender->a1 then b1->receiver.
+	var e1, e2 *graph.Edge
+	for _, e := range g.Out(graph.SenderID) {
+		if e.To == "a1" {
+			e1 = e
+		}
+	}
+	for _, e := range g.Out("b1") {
+		e2 = e
+	}
+	if _, _, _, ok := core.EvalPath(g, cfg, []*graph.Edge{e1, e2}); ok {
+		t.Error("discontinuous path must be rejected")
+	}
+	// Not starting at the sender.
+	if _, _, _, ok := core.EvalPath(g, cfg, []*graph.Edge{e2}); ok {
+		t.Error("path not rooted at the sender must be rejected")
+	}
+}

@@ -1,0 +1,269 @@
+// Package bundle composes adaptation chains for multi-stream content:
+// a session whose audio and video travel as separate elementary streams,
+// each through its own trans-coding chain, with one combined user
+// satisfaction over all QoS parameters (Equation 1 spans both streams —
+// a user does not enjoy perfect video with unusable audio).
+//
+// The paper's worked example adapts a single stream; multi-stream
+// delivery is the natural next step its Section 3 profiles already
+// describe (content profiles hold audio and video variants; user profiles
+// score audio and video parameters). This package is extension EXT-H.
+package bundle
+
+import (
+	"fmt"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+// Request describes a multi-stream composition.
+type Request struct {
+	// Content holds the variants; kinds are separated automatically
+	// (video+image variants form the visual stream, audio variants the
+	// audio stream).
+	Content *profile.Content
+	// Device supplies decoders for both streams.
+	Device *profile.Device
+	// Services is the shared trans-coding pool.
+	Services []*service.Service
+	// Net is the overlay; both chains draw on the same links.
+	Net *overlay.Network
+	// SenderHost/ReceiverHost locate the endpoints.
+	SenderHost, ReceiverHost string
+	// Profile scores all parameters, across both streams.
+	Profile satisfaction.Profile
+	// Budget bounds the *total* monetary cost across both chains.
+	Budget float64
+	// Bitrate converts parameters to bandwidth (nil: default model).
+	Bitrate media.BitrateModel
+}
+
+// Result is the bundle outcome.
+type Result struct {
+	// Video/Audio are the per-stream selections (nil when the content
+	// has no variant of that kind).
+	Video *core.Result
+	Audio *core.Result
+	// Params merges the delivered parameters of both streams.
+	Params media.Params
+	// Combined is the user's satisfaction over the merged parameters —
+	// the true Equation 1 value for the whole session.
+	Combined float64
+	// Cost is the total monetary cost of both chains.
+	Cost float64
+}
+
+// videoParams and audioParams partition the QoS parameter space by the
+// stream that carries them.
+var videoParams = map[media.Param]bool{
+	media.ParamFrameRate:  true,
+	media.ParamResolution: true,
+	media.ParamColorDepth: true,
+}
+
+var audioParams = map[media.Param]bool{
+	media.ParamAudioRate: true,
+	media.ParamAudioBits: true,
+}
+
+// stream pairs a sub-content with the parameters its chain carries.
+type stream struct {
+	kind    string
+	content *profile.Content
+	keep    map[media.Param]bool
+}
+
+// Compose selects one chain per stream kind present in the content. The
+// two streams share the same links, so they are composed sequentially:
+// the first chain's bitrate is (best-effort) reserved on the overlay
+// before the second composes, then released. Both orders are tried and
+// the bundle with the higher combined satisfaction wins — with a shared
+// bottleneck, composing the cheap audio stream first usually beats
+// letting video hog the link (the geometric mean rewards balance). The
+// user's budget is shared sequentially within each attempt.
+func Compose(req Request) (*Result, error) {
+	if req.Content == nil || req.Device == nil {
+		return nil, fmt.Errorf("bundle: content and device are required")
+	}
+	if err := req.Content.Validate(); err != nil {
+		return nil, err
+	}
+	videoContent, audioContent := splitContent(req.Content)
+	if videoContent == nil && audioContent == nil {
+		return nil, fmt.Errorf("bundle: content %s has no audio or video variants", req.Content.ID)
+	}
+
+	var streams []stream
+	if videoContent != nil {
+		streams = append(streams, stream{"video", videoContent, videoParams})
+	}
+	if audioContent != nil {
+		streams = append(streams, stream{"audio", audioContent, audioParams})
+	}
+
+	best, err := composeOrder(req, streams)
+	if len(streams) == 2 {
+		reversed := []stream{streams[1], streams[0]}
+		if alt, altErr := composeOrder(req, reversed); altErr == nil && alt != nil {
+			if best == nil || err != nil || alt.Combined > best.Combined+1e-12 {
+				best, err = alt, nil
+			}
+		}
+	}
+	if best == nil {
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("bundle: no stream could be composed")
+	}
+	return best, err
+}
+
+// composeOrder runs one sequential composition attempt.
+func composeOrder(req Request, streams []stream) (*Result, error) {
+	res := &Result{Params: media.Params{}}
+	remaining := req.Budget
+	type hold struct {
+		from, to string
+		kbps     float64
+	}
+	var held []hold // released when the attempt finishes
+	defer func() {
+		for _, h := range held {
+			req.Net.Release(h.from, h.to, h.kbps)
+		}
+	}()
+
+	var firstErr error
+	for _, st := range streams {
+		subProfile := filterProfile(req.Profile, st.keep)
+		if len(subProfile.Functions) == 0 {
+			continue // the user scores nothing on this stream: skip it
+		}
+		g, err := graph.Build(graph.Input{
+			Content:      st.content,
+			Device:       req.Device,
+			Services:     req.Services,
+			Net:          req.Net,
+			SenderHost:   req.SenderHost,
+			ReceiverHost: req.ReceiverHost,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sel, err := core.Select(g, core.Config{
+			Profile:      subProfile,
+			Bitrate:      req.Bitrate,
+			Budget:       remaining,
+			ReceiverCaps: req.Device.RenderCaps(),
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		switch st.kind {
+		case "video":
+			res.Video = sel
+		case "audio":
+			res.Audio = sel
+		}
+		res.Cost += sel.Cost
+		if req.Budget > 0 {
+			remaining = req.Budget - res.Cost
+		}
+		mergeParams(res.Params, sel.Params)
+		// Best-effort: hold this chain's bitrate while composing the
+		// next stream so the two contend realistically.
+		if req.Net != nil {
+			model := req.Bitrate
+			if model == nil {
+				model = media.DefaultBitrate
+			}
+			kbps := model.RequiredKbps(sel.Params)
+			if kbps > 0 {
+				hosts := chainHosts(req, sel)
+				for i := 1; i < len(hosts); i++ {
+					if hosts[i-1] == hosts[i] {
+						continue
+					}
+					if err := req.Net.Reserve(hosts[i-1], hosts[i], kbps); err == nil {
+						held = append(held, hold{hosts[i-1], hosts[i], kbps})
+					}
+				}
+			}
+		}
+	}
+	if res.Video == nil && res.Audio == nil {
+		return nil, firstErr
+	}
+	res.Combined = req.Profile.Evaluate(res.Params)
+	return res, nil
+}
+
+// chainHosts maps a selection's path onto overlay hosts.
+func chainHosts(req Request, sel *core.Result) []string {
+	hosts := []string{req.SenderHost}
+	for _, id := range sel.Path[1 : len(sel.Path)-1] {
+		for _, svc := range req.Services {
+			if service.ID(id) == svc.ID {
+				hosts = append(hosts, svc.Host)
+				break
+			}
+		}
+	}
+	return append(hosts, req.ReceiverHost)
+}
+
+// splitContent partitions the variants into visual and audio sub-contents
+// (nil when a kind is absent).
+func splitContent(c *profile.Content) (video, audio *profile.Content) {
+	var vv, av []media.Descriptor
+	for _, v := range c.Variants {
+		switch v.Format.Kind {
+		case media.KindVideo, media.KindImage:
+			vv = append(vv, v)
+		case media.KindAudio:
+			av = append(av, v)
+		}
+	}
+	if len(vv) > 0 {
+		video = &profile.Content{ID: c.ID + "-video", Title: c.Title, Variants: vv, DurationSec: c.DurationSec}
+	}
+	if len(av) > 0 {
+		audio = &profile.Content{ID: c.ID + "-audio", Title: c.Title, Variants: av, DurationSec: c.DurationSec}
+	}
+	return video, audio
+}
+
+// filterProfile keeps only the parameters in keep.
+func filterProfile(p satisfaction.Profile, keep map[media.Param]bool) satisfaction.Profile {
+	fns := make(map[media.Param]satisfaction.Function)
+	var weights map[media.Param]float64
+	for name, fn := range p.Functions {
+		if !keep[name] {
+			continue
+		}
+		fns[name] = fn
+		if p.Weights != nil {
+			if weights == nil {
+				weights = make(map[media.Param]float64)
+			}
+			weights[name] = p.Weights[name]
+		}
+	}
+	return satisfaction.Profile{Functions: fns, Weights: weights}
+}
+
+func mergeParams(dst, src media.Params) {
+	for k, v := range src {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,208 @@
+package bundle
+
+import (
+	"math"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+// testbed: a lecture with MPEG-1 video and PCM audio, a device decoding
+// H.263 and GSM, one proxy hosting both converters.
+func testRequest() Request {
+	vconv := service.FormatConverter("vconv", media.VideoMPEG1, media.VideoH263)
+	vconv.Host = "proxy"
+	vconv.Cost = 3
+	aconv := service.FormatConverter("aconv", media.AudioPCM, media.AudioGSM)
+	aconv.Host = "proxy"
+	aconv.Cost = 2
+
+	net := overlay.New()
+	net.AddLink("sender", "proxy", 4000, 10, 0)
+	// 4000 kbps fits both streams at their ideals (3000 video + 441
+	// audio); the bottleneck test narrows this link explicitly.
+	net.AddLink("proxy", "dev", 4000, 15, 0)
+
+	bitrate := media.LinearBitrate{PerUnit: map[media.Param]float64{
+		media.ParamFrameRate: 100,
+		media.ParamAudioRate: 10,
+	}}
+	return Request{
+		Content: &profile.Content{ID: "lecture", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}, Bitrate: bitrate},
+			{Format: media.AudioPCM, Params: media.Params{media.ParamAudioRate: 44.1}, Bitrate: bitrate},
+		}},
+		Device: &profile.Device{ID: "dev", Software: profile.Software{
+			Decoders: []media.Format{media.VideoH263, media.AudioGSM},
+		}},
+		Services:     []*service.Service{vconv, aconv},
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "dev",
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+			media.ParamAudioRate: satisfaction.Linear{M: 0, I: 44.1},
+		}),
+		Bitrate: bitrate,
+	}
+}
+
+func TestComposeBothStreams(t *testing.T) {
+	res, err := Compose(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Video == nil || res.Audio == nil {
+		t.Fatal("both streams should compose")
+	}
+	if string(res.Video.Path[1]) != "vconv" {
+		t.Errorf("video path = %v", res.Video.Path)
+	}
+	if string(res.Audio.Path[1]) != "aconv" {
+		t.Errorf("audio path = %v", res.Audio.Path)
+	}
+	// Video caps at 3000 kbps / 100 = 30 fps (ideal); audio fits fully.
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-30) > 1e-6 {
+		t.Errorf("fps = %v", res.Params.Get(media.ParamFrameRate))
+	}
+	if math.Abs(res.Params.Get(media.ParamAudioRate)-44.1) > 1e-6 {
+		t.Errorf("audio rate = %v", res.Params.Get(media.ParamAudioRate))
+	}
+	if math.Abs(res.Combined-1) > 1e-9 {
+		t.Errorf("combined satisfaction = %v, want 1", res.Combined)
+	}
+	if res.Cost != 5 {
+		t.Errorf("cost = %v, want 5 (3+2)", res.Cost)
+	}
+}
+
+func TestComposeCombinedPenalizesMissingAudio(t *testing.T) {
+	req := testRequest()
+	// Remove the audio converter: the audio stream cannot reach the
+	// device, so the combined satisfaction collapses even though video
+	// is perfect.
+	req.Services = req.Services[:1]
+	res, err := Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Video == nil {
+		t.Fatal("video should still compose")
+	}
+	if res.Audio != nil && res.Audio.Found {
+		t.Fatal("audio should fail without its converter")
+	}
+	if res.Combined != 0 {
+		t.Errorf("combined satisfaction = %v, want 0 (audio missing)", res.Combined)
+	}
+}
+
+func TestComposeSharedBudget(t *testing.T) {
+	req := testRequest()
+	req.Budget = 4 // video takes 3, leaving 1 < aconv's 2
+	res, err := Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Video == nil || !res.Video.Found {
+		t.Fatal("video fits the budget")
+	}
+	if res.Audio != nil && res.Audio.Found {
+		t.Error("audio should be priced out of the shared budget")
+	}
+	if res.Cost > 4 {
+		t.Errorf("cost %v exceeds budget", res.Cost)
+	}
+}
+
+func TestComposeVideoOnlyContent(t *testing.T) {
+	req := testRequest()
+	req.Content = &profile.Content{ID: "silent", Variants: []media.Descriptor{
+		{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+	}}
+	// Score only video so the combined value is meaningful.
+	req.Profile = satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+	})
+	res, err := Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audio != nil {
+		t.Error("no audio variant → no audio chain")
+	}
+	if res.Combined != 1 {
+		t.Errorf("combined = %v", res.Combined)
+	}
+}
+
+func TestComposeAudioOnlyProfileSkipsVideo(t *testing.T) {
+	req := testRequest()
+	req.Profile = satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamAudioRate: satisfaction.Linear{M: 0, I: 44.1},
+	})
+	res, err := Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Video != nil {
+		t.Error("unscored video stream should be skipped entirely")
+	}
+	if res.Audio == nil || res.Combined != 1 {
+		t.Errorf("audio result = %v combined = %v", res.Audio, res.Combined)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	if _, err := Compose(Request{}); err == nil {
+		t.Error("missing content/device must fail")
+	}
+	req := testRequest()
+	req.Content = &profile.Content{ID: "text", Variants: []media.Descriptor{
+		{Format: media.TextHTML},
+	}}
+	if _, err := Compose(req); err == nil {
+		t.Error("content without audio/video variants must fail")
+	}
+}
+
+func TestComposeSharedBottleneckBalances(t *testing.T) {
+	// The exit link carries only 1500 kbps shared by both streams.
+	// Composed naively (video first, hogging the link), audio would get
+	// nothing; the order search should find the balanced bundle: audio
+	// first (441 kbps), video from the remainder (~10.6 fps).
+	req := testRequest()
+	if err := req.Net.SetBandwidth("proxy", "dev", 1500); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compose(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Audio == nil || !res.Audio.Found {
+		t.Fatal("audio must survive the shared bottleneck")
+	}
+	if res.Video == nil || !res.Video.Found {
+		t.Fatal("video must survive the shared bottleneck")
+	}
+	if math.Abs(res.Params.Get(media.ParamAudioRate)-44.1) > 1e-6 {
+		t.Errorf("audio rate = %v", res.Params.Get(media.ParamAudioRate))
+	}
+	fps := res.Params.Get(media.ParamFrameRate)
+	if fps < 10 || fps > 11 {
+		t.Errorf("video fps = %v, want ~10.6 (remainder of 1500-441)", fps)
+	}
+	// Balanced bundle beats the video-hog bundle: sqrt(0.35*1) ≈ 0.59
+	// versus sqrt(0.5*0) = 0.
+	if res.Combined < 0.55 {
+		t.Errorf("combined = %v, want ~0.59", res.Combined)
+	}
+	// All temporary reservations must be released.
+	if avail := req.Net.AvailableBandwidth("proxy", "dev"); math.Abs(avail-1500) > 1e-6 {
+		t.Errorf("leaked reservations: available = %v", avail)
+	}
+}

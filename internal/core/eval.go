@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// EvalEdge computes the outcome of sending the stream over edge e given
+// the QoS parameters and accumulated cost at the upstream vertex: the
+// parameters deliverable at e.To, the user's satisfaction with them, and
+// the new accumulated cost. ok is false when the edge is unusable — the
+// bandwidth cannot carry the stream at all, or the accumulated cost would
+// exceed the budget.
+//
+// This is the per-candidate optimization of Figure 4 Steps 2/8 with the
+// Equation 2 bandwidth constraint, shared by the greedy algorithm and by
+// the baselines in internal/baseline.
+func EvalEdge(g *graph.Graph, cfg Config, upstreamParams media.Params, upstreamCost float64, e *graph.Edge) (params media.Params, sat, cost float64, ok bool) {
+	node, exists := g.Node(e.To)
+	if !exists {
+		return nil, 0, 0, false
+	}
+	caps := upstreamParams.Clone()
+	if caps == nil {
+		caps = media.Params{}
+	}
+	// A parameter the user scores but the upstream stream does not
+	// carry cannot be conjured by a trans-coder: cap it at zero. (The
+	// content profile defines what the source offers; trans-coding only
+	// reduces quality.)
+	for _, name := range cfg.Profile.Params() {
+		if _, present := caps[name]; !present {
+			caps[name] = 0
+		}
+	}
+	var domains map[media.Param]satisfaction.Domain
+	cost = upstreamCost + e.TransmissionCost
+	bandwidth := e.BandwidthKbps
+	if math.IsInf(bandwidth, 1) {
+		bandwidth = 0 // satisfaction.Request: <= 0 means unlimited
+	}
+	if node.Service != nil {
+		caps = caps.Min(node.Service.Caps)
+		domains = node.Service.Domains
+		cost += node.Service.Cost
+		// Host resource constraints (Section 4.3): the intermediary
+		// must hold the service in memory, and its CPU bounds the input
+		// bitrate it can trans-code — effectively a second bandwidth
+		// cap on the edge.
+		if host, declared := g.HostResources(node.Host); declared {
+			if node.Service.MemoryMB > host.MemoryMB {
+				return nil, 0, 0, false
+			}
+			if node.Service.CPUPerKbps > 0 && host.CPUMips > 0 {
+				cpuCap := host.CPUMips / node.Service.CPUPerKbps
+				if bandwidth <= 0 || cpuCap < bandwidth {
+					bandwidth = cpuCap
+				}
+			}
+		}
+	} else if node.IsReceiver() && cfg.ReceiverCaps != nil {
+		caps = caps.Min(cfg.ReceiverCaps)
+	}
+	if cfg.Budget > 0 && cost > cfg.Budget {
+		return nil, 0, 0, false
+	}
+	params, sat, ok = cfg.Profile.Optimize(satisfaction.Request{
+		Caps:      caps,
+		Domains:   domains,
+		Bitrate:   cfg.Bitrate,
+		Bandwidth: bandwidth,
+	})
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return params, sat, cost, true
+}
+
+// EvalPath evaluates a complete edge sequence from the sender: the first
+// edge must leave the sender (its SourceParams seed the stream) and each
+// subsequent edge must start where the previous ended. It returns the
+// delivered parameters, satisfaction and cost at the end of the path.
+// ok is false for an empty, discontinuous or unusable path, or one that
+// repeats a format (the distinct-format acyclicity rule).
+func EvalPath(g *graph.Graph, cfg Config, edges []*graph.Edge) (params media.Params, sat, cost float64, ok bool) {
+	if len(edges) == 0 || edges[0].From != graph.SenderID {
+		return nil, 0, 0, false
+	}
+	seen := make(map[media.Format]bool, len(edges))
+	params = edges[0].SourceParams
+	at := graph.SenderID
+	for _, e := range edges {
+		if e.From != at || seen[e.Format] {
+			return nil, 0, 0, false
+		}
+		seen[e.Format] = true
+		params, sat, cost, ok = EvalEdge(g, cfg, params, cost, e)
+		if !ok {
+			return nil, 0, 0, false
+		}
+		at = e.To
+	}
+	return params, sat, cost, true
+}

@@ -1,0 +1,39 @@
+package core
+
+import "qoschain/internal/graph"
+
+// candidateHeap is the priority queue behind Config.UseHeap: a max-heap
+// on (satisfaction, recency, natural ID) with lazy deletion — superseded
+// entries stay in the heap and are skipped on pop by comparing the label
+// pointer against the live candidate map.
+type candidateHeap []heapEntry
+
+type heapEntry struct {
+	id graph.NodeID
+	l  *label
+}
+
+func (h candidateHeap) Len() int { return len(h) }
+
+func (h candidateHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.l.sat != b.l.sat {
+		return a.l.sat > b.l.sat
+	}
+	if a.l.seq != b.l.seq {
+		return a.l.seq > b.l.seq
+	}
+	return graph.LessNatural(a.id, b.id)
+}
+
+func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
+
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

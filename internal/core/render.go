@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+)
+
+// Display conventions of the paper's Table 1: the delivered frame rate is
+// printed as the nearest integer, and the satisfaction is truncated (not
+// rounded) to two decimals — 0.666… prints as 0.66 and 0.769… as 0.76.
+
+// DisplayFPS renders a frame rate the way Table 1 prints it.
+func DisplayFPS(fps float64) int { return int(math.Round(fps)) }
+
+// DisplaySat renders a satisfaction the way Table 1 prints it.
+func DisplaySat(sat float64) string {
+	truncated := math.Floor(sat*100+1e-9) / 100
+	return fmt.Sprintf("%.2f", truncated)
+}
+
+// joinIDs renders a node list as the paper does: "{ sender, T10, T20}".
+func joinIDs(ids []graph.NodeID, upper bool) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = displayID(id, upper)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// displayID renders a node ID in the paper's typography: service IDs
+// like "t10" print as "T10"; sender/receiver stay lower case.
+func displayID(id graph.NodeID, upper bool) string {
+	s := string(id)
+	if !upper || id == graph.SenderID || id == graph.ReceiverID {
+		return s
+	}
+	if len(s) > 1 && s[0] == 't' && allDigits(s[1:]) {
+		return "T" + s[1:]
+	}
+	return s
+}
+
+func allDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// PathString renders a selected path as "sender,T7,receiver".
+func PathString(path []graph.NodeID) string {
+	parts := make([]string, len(path))
+	for i, id := range path {
+		parts[i] = displayID(id, true)
+	}
+	return strings.Join(parts, ",")
+}
+
+// TraceTable renders the recorded rounds in the layout of Table 1:
+// one row per round with the considered set, candidate set, selected
+// service, selected path, delivered frame rate and user satisfaction.
+func (r *Result) TraceTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s | %-55s | %-60s | %-10s | %-22s | %-5s | %s\n",
+		"Round", "Considered Set (VT)", "Candidate set (CS)", "Selected", "Selected Path", "FPS", "User satisfaction")
+	b.WriteString(strings.Repeat("-", 190) + "\n")
+	for _, round := range r.Rounds {
+		fmt.Fprintf(&b, "%-5d | %-55s | %-60s | %-10s | %-22s | %-5d | %s\n",
+			round.Number,
+			joinIDs(round.Considered, true),
+			joinIDs(round.Candidates, true),
+			displayID(round.Selected, true),
+			PathString(round.Path),
+			DisplayFPS(round.Params.Get(media.ParamFrameRate)),
+			DisplaySat(round.Satisfaction),
+		)
+	}
+	return b.String()
+}
+
+// Summary renders the final chain in one line.
+func (r *Result) Summary() string {
+	if !r.Found {
+		return "no adaptation chain found"
+	}
+	return fmt.Sprintf("path=%s satisfaction=%s params=%s cost=%.2f",
+		PathString(r.Path), DisplaySat(r.Satisfaction), r.Params, r.Cost)
+}

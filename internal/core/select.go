@@ -1,0 +1,332 @@
+// Package core implements the paper's primary contribution: the QoS
+// selection algorithm of Section 4.4 (Figure 4).
+//
+// The algorithm finds the chain of trans-coding services from the sender
+// to the receiver that maximizes the user's satisfaction with the
+// delivered content. It is a greedy best-first expansion — Dijkstra with
+// satisfaction as the (maximized) label — over the adaptation graph. Two
+// sets drive it: VT, the already-considered services, and CS, the
+// candidate services reachable from VT. Each iteration moves the
+// highest-satisfaction candidate into VT and relaxes its neighbors,
+// stopping when the receiver is selected or CS empties (failure).
+//
+// Because every trans-coding service can only reduce quality (Section
+// 4.4's optimality argument, Figure 5), satisfaction is non-increasing
+// along any path, which makes the greedy expansion return the true
+// optimum; the property tests in this package and the exhaustive baseline
+// in internal/baseline verify this.
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sort"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// ErrNoChain is returned when the receiver cannot be reached through any
+// trans-coding path (Figure 4, Step 3: TERMINATE(FAILURE)).
+var ErrNoChain = errors.New("core: no adaptation chain from sender to receiver")
+
+// Config parameterizes one selection run.
+type Config struct {
+	// Profile is the user's satisfaction profile — the optimization
+	// objective.
+	Profile satisfaction.Profile
+	// Bitrate converts QoS parameters into required bandwidth
+	// (Equation 2's bandwidth_requirement). Nil uses
+	// media.DefaultBitrate.
+	Bitrate media.BitrateModel
+	// Budget is the user's monetary budget for the chain (Figure 4's
+	// user_budget); <= 0 means unlimited.
+	Budget float64
+	// ReceiverCaps bounds the QoS parameters the receiving device can
+	// render (screen resolution, colour depth); nil imposes no bound.
+	ReceiverCaps media.Params
+	// Trace records the per-round state (Table 1) when true.
+	Trace bool
+	// UseHeap selects candidates with a priority queue (lazy deletion)
+	// instead of the linear scan Figure 4 implies. Results are
+	// identical (same tie-breaking); the ablation benchmark compares
+	// the two on large graphs.
+	UseHeap bool
+}
+
+// Result reports the selected chain.
+type Result struct {
+	// Found is false when no chain exists (the result still carries the
+	// trace rounds explored before failure).
+	Found bool
+	// Path is the vertex sequence sender … receiver.
+	Path []graph.NodeID
+	// Formats are the media formats flowing over each edge of Path
+	// (len(Path)-1 entries).
+	Formats []media.Format
+	// Params are the QoS parameter values delivered to the receiver.
+	Params media.Params
+	// Satisfaction is the user's satisfaction with the delivered
+	// content — the value the algorithm maximized.
+	Satisfaction float64
+	// Cost is the accumulated monetary cost of the chain.
+	Cost float64
+	// Expanded counts the vertices moved into VT (algorithm work).
+	Expanded int
+	// Rounds is the per-iteration trace (only when Config.Trace).
+	Rounds []Round
+}
+
+// Round captures one iteration of the algorithm in the shape of Table 1.
+type Round struct {
+	// Number is the 1-based iteration index.
+	Number int
+	// Considered is VT at the start of the round, in insertion order.
+	Considered []graph.NodeID
+	// Candidates is CS at the start of the round, naturally sorted with
+	// the receiver last.
+	Candidates []graph.NodeID
+	// Selected is the service chosen this round.
+	Selected graph.NodeID
+	// Path is the current best path from the sender to Selected.
+	Path []graph.NodeID
+	// Params are the QoS parameters deliverable at Selected.
+	Params media.Params
+	// Satisfaction is Selected's label value.
+	Satisfaction float64
+}
+
+// label is the best-known way to reach a vertex.
+type label struct {
+	sat     float64
+	params  media.Params
+	parent  graph.NodeID
+	edge    *graph.Edge
+	cost    float64
+	formats map[media.Format]bool // formats on the path (acyclicity rule)
+	seq     int                   // recency for deterministic tie-breaks
+}
+
+// Select runs the QoS selection algorithm on the adaptation graph.
+// On failure it returns a non-nil Result (carrying the explored trace)
+// together with ErrNoChain.
+func Select(g *graph.Graph, cfg Config) (*Result, error) {
+	if len(cfg.Profile.Functions) == 0 {
+		return nil, fmt.Errorf("core: config has an empty satisfaction profile")
+	}
+
+	labels := make(map[graph.NodeID]*label)   // CS: candidate labels
+	expanded := make(map[graph.NodeID]*label) // VT labels, for reconstruction
+	var candidates candidateHeap              // only used with cfg.UseHeap
+	inVT := make(map[graph.NodeID]bool)
+	vtOrder := []graph.NodeID{graph.SenderID}
+	inVT[graph.SenderID] = true
+	seq := 0
+
+	res := &Result{}
+
+	// relax recomputes the label of e.To through e and keeps it when it
+	// beats the current one (Figure 4 Steps 2 and 8, with Equation 2 as
+	// the per-candidate optimization).
+	relax := func(from graph.NodeID, e *graph.Edge) {
+		if inVT[e.To] {
+			return
+		}
+		var upstreamParams media.Params
+		var upstreamCost float64
+		var upstreamFormats map[media.Format]bool
+		if from == graph.SenderID {
+			upstreamParams = e.SourceParams
+		} else {
+			ul := expanded[from]
+			if ul == nil {
+				return
+			}
+			upstreamParams = ul.params
+			upstreamCost = ul.cost
+			upstreamFormats = ul.formats
+		}
+		// Distinct-format acyclicity rule (Section 4.2): a format may
+		// not repeat along a path.
+		if upstreamFormats[e.Format] {
+			return
+		}
+
+		// Per-candidate optimization under the Equation 2 bandwidth
+		// constraint and the budget (Figure 4 Step 2).
+		params, sat, cost, ok := EvalEdge(g, cfg, upstreamParams, upstreamCost, e)
+		if !ok {
+			return
+		}
+		cur := labels[e.To]
+		if cur != nil && sat <= cur.sat {
+			return
+		}
+		formats := make(map[media.Format]bool, len(upstreamFormats)+1)
+		for f := range upstreamFormats {
+			formats[f] = true
+		}
+		formats[e.Format] = true
+		seq++
+		l := &label{
+			sat:     sat,
+			params:  params,
+			parent:  from,
+			edge:    e,
+			cost:    cost,
+			formats: formats,
+			seq:     seq,
+		}
+		labels[e.To] = l
+		if cfg.UseHeap {
+			heap.Push(&candidates, heapEntry{id: e.To, l: l})
+		}
+	}
+
+	// Step 1–2: seed CS with the sender's neighbors.
+	for _, e := range g.Out(graph.SenderID) {
+		relax(graph.SenderID, e)
+	}
+
+	round := 0
+	for {
+		round++
+		// Step 3: no candidates left → failure.
+		if len(labels) == 0 {
+			res.Found = false
+			return res, fmt.Errorf("%w after %d rounds", ErrNoChain, round-1)
+		}
+
+		// Step 4: select the candidate with the highest satisfaction.
+		// Ties break toward the most recently updated label, then by
+		// natural ID order, keeping runs deterministic. The heap
+		// variant pops lazily, skipping entries superseded by a later
+		// relaxation.
+		var best graph.NodeID
+		var bestL *label
+		if cfg.UseHeap {
+			for candidates.Len() > 0 {
+				e := heap.Pop(&candidates).(heapEntry)
+				if labels[e.id] == e.l {
+					best, bestL = e.id, e.l
+					break
+				}
+			}
+		} else {
+			for id, l := range labels {
+				if bestL == nil || l.sat > bestL.sat ||
+					(l.sat == bestL.sat && (l.seq > bestL.seq ||
+						(l.seq == bestL.seq && graph.LessNatural(id, best)))) {
+					best, bestL = id, l
+				}
+			}
+		}
+		if bestL == nil {
+			// Heap exhausted by stale entries — equivalent to empty CS.
+			res.Found = false
+			return res, fmt.Errorf("%w after %d rounds", ErrNoChain, round-1)
+		}
+
+		if cfg.Trace {
+			res.Rounds = append(res.Rounds, Round{
+				Number:       round,
+				Considered:   append([]graph.NodeID(nil), vtOrder...),
+				Candidates:   candidateIDs(labels),
+				Selected:     best,
+				Path:         pathTo(best, bestL, expanded),
+				Params:       bestL.params.Clone(),
+				Satisfaction: bestL.sat,
+			})
+		}
+
+		// Step 4–5: move the selection from CS to VT.
+		delete(labels, best)
+		inVT[best] = true
+		vtOrder = append(vtOrder, best)
+		res.Expanded++
+
+		// Step 7: receiver selected → reconstruct and report.
+		expanded[best] = bestL
+		if best == graph.ReceiverID {
+			res.Found = true
+			res.Satisfaction = bestL.sat
+			res.Params = bestL.params
+			res.Cost = bestL.cost
+			res.Path, res.Formats = reconstruct(best, bestL, expanded)
+			return res, nil
+		}
+
+		// Step 8: relax the neighbors of the selected service.
+		for _, e := range g.Out(best) {
+			relax(best, e)
+		}
+	}
+}
+
+// candidateIDs returns CS sorted naturally with the receiver last.
+func candidateIDs(labels map[graph.NodeID]*label) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(labels))
+	hasReceiver := false
+	for id := range labels {
+		if id == graph.ReceiverID {
+			hasReceiver = true
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return graph.LessNatural(out[i], out[j]) })
+	if hasReceiver {
+		out = append(out, graph.ReceiverID)
+	}
+	return out
+}
+
+// pathTo reconstructs the current best path to a candidate whose label is
+// l, walking parents through the expanded (VT) labels.
+func pathTo(id graph.NodeID, l *label, expanded map[graph.NodeID]*label) []graph.NodeID {
+	rev := []graph.NodeID{id}
+	cur := l.parent
+	for cur != graph.SenderID {
+		rev = append(rev, cur)
+		pl := expanded[cur]
+		if pl == nil {
+			break
+		}
+		cur = pl.parent
+	}
+	rev = append(rev, graph.SenderID)
+	out := make([]graph.NodeID, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		out = append(out, rev[i])
+	}
+	return out
+}
+
+// reconstruct follows parents from the receiver back to the sender
+// (Figure 4 Step 10) and returns the path plus the per-edge formats.
+func reconstruct(id graph.NodeID, l *label, expanded map[graph.NodeID]*label) ([]graph.NodeID, []media.Format) {
+	var revPath []graph.NodeID
+	var revFormats []media.Format
+	cur, curL := id, l
+	for curL != nil {
+		revPath = append(revPath, cur)
+		revFormats = append(revFormats, curL.edge.Format)
+		cur = curL.parent
+		if cur == graph.SenderID {
+			break
+		}
+		curL = expanded[cur]
+	}
+	revPath = append(revPath, graph.SenderID)
+	path := make([]graph.NodeID, 0, len(revPath))
+	for i := len(revPath) - 1; i >= 0; i-- {
+		path = append(path, revPath[i])
+	}
+	formats := make([]media.Format, 0, len(revFormats))
+	for i := len(revFormats) - 1; i >= 0; i-- {
+		formats = append(formats, revFormats[i])
+	}
+	return path, formats
+}

@@ -1,0 +1,520 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+func fpsProfile() satisfaction.Profile {
+	return satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+	})
+}
+
+func fpsConfig() Config {
+	return Config{Profile: fpsProfile()}
+}
+
+// chainGraph builds sender -F1-> t1 -F2-> receiver with the given edge
+// bandwidths (kbps; default bitrate model charges 100 kbps per fps).
+func chainGraph(t *testing.T, bwIn, bwOut float64) *graph.Graph {
+	t.Helper()
+	g := graph.NewGraph("s", "r")
+	t1 := service.FormatConverter("t1", media.Opaque(1), media.Opaque(2))
+	if err := g.AddService(t1); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "t1", Format: media.Opaque(1),
+		BandwidthKbps: bwIn, SourceParams: media.Params{media.ParamFrameRate: 30}})
+	mustEdge(t, g, &graph.Edge{From: "t1", To: graph.ReceiverID, Format: media.Opaque(2),
+		BandwidthKbps: bwOut})
+	return g
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, e *graph.Edge) {
+	t.Helper()
+	if err := g.AddEdge(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectSimpleChain(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("chain should be found")
+	}
+	if len(res.Path) != 3 || res.Path[0] != graph.SenderID || res.Path[1] != "t1" || res.Path[2] != graph.ReceiverID {
+		t.Errorf("Path = %v", res.Path)
+	}
+	if len(res.Formats) != 2 || res.Formats[0] != media.Opaque(1) || res.Formats[1] != media.Opaque(2) {
+		t.Errorf("Formats = %v", res.Formats)
+	}
+	if res.Satisfaction != 1 {
+		t.Errorf("Satisfaction = %v, want 1 (30 fps fits in 3000 kbps)", res.Satisfaction)
+	}
+	if res.Cost != 1 { // FormatConverter costs 1
+		t.Errorf("Cost = %v, want 1", res.Cost)
+	}
+}
+
+func TestSelectBottleneckEdge(t *testing.T) {
+	g := chainGraph(t, 3000, 1500) // 1500 kbps → 15 fps on the last hop
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-15) > 1e-6 {
+		t.Errorf("delivered fps = %v, want 15", res.Params.Get(media.ParamFrameRate))
+	}
+	if math.Abs(res.Satisfaction-0.5) > 1e-6 {
+		t.Errorf("Satisfaction = %v, want 0.5", res.Satisfaction)
+	}
+}
+
+func TestSelectServiceCapsBind(t *testing.T) {
+	g := graph.NewGraph("s", "r")
+	red := service.FrameRateReducer("red1", media.Opaque(1), 12)
+	if err := g.AddService(red); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "red1", Format: media.Opaque(1),
+		BandwidthKbps: math.Inf(1), SourceParams: media.Params{media.ParamFrameRate: 30}})
+	mustEdge(t, g, &graph.Edge{From: "red1", To: graph.ReceiverID, Format: red.Outputs[0],
+		BandwidthKbps: math.Inf(1)})
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Params.Get(media.ParamFrameRate); got != 12 {
+		t.Errorf("delivered fps = %v, want the service cap 12", got)
+	}
+}
+
+func TestSelectPicksBetterOfTwoChains(t *testing.T) {
+	g := graph.NewGraph("s", "r")
+	a := service.FormatConverter("ta", media.Opaque(1), media.Opaque(10))
+	b := service.FormatConverter("tb", media.Opaque(2), media.Opaque(11))
+	for _, s := range []*service.Service{a, b} {
+		if err := g.AddService(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := media.Params{media.ParamFrameRate: 30}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "ta", Format: media.Opaque(1), BandwidthKbps: 1000, SourceParams: src})
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "tb", Format: media.Opaque(2), BandwidthKbps: 2500, SourceParams: src})
+	mustEdge(t, g, &graph.Edge{From: "ta", To: graph.ReceiverID, Format: media.Opaque(10), BandwidthKbps: 3000})
+	mustEdge(t, g, &graph.Edge{From: "tb", To: graph.ReceiverID, Format: media.Opaque(11), BandwidthKbps: 3000})
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Path[1] != "tb" {
+		t.Errorf("should route via tb (25 fps > 10 fps), got %v", res.Path)
+	}
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-25) > 1e-6 {
+		t.Errorf("fps = %v, want 25", res.Params.Get(media.ParamFrameRate))
+	}
+}
+
+func TestSelectDirectEdgeWins(t *testing.T) {
+	// A direct sender→receiver edge beats any trans-coded chain when
+	// the device decodes the source format at full quality.
+	g := chainGraph(t, 1000, 1000)
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: graph.ReceiverID, Format: media.Opaque(1),
+		BandwidthKbps: 3000, SourceParams: media.Params{media.ParamFrameRate: 30}})
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != 2 {
+		t.Errorf("direct path should win: %v", res.Path)
+	}
+	if res.Cost != 0 {
+		t.Errorf("direct path costs nothing, got %v", res.Cost)
+	}
+}
+
+func TestSelectNoChain(t *testing.T) {
+	g := graph.NewGraph("s", "r")
+	t1 := service.FormatConverter("t1", media.Opaque(1), media.Opaque(99))
+	if err := g.AddService(t1); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "t1", Format: media.Opaque(1),
+		BandwidthKbps: 1000, SourceParams: media.Params{media.ParamFrameRate: 30}})
+	res, err := Select(g, fpsConfig())
+	if !errors.Is(err, ErrNoChain) {
+		t.Fatalf("want ErrNoChain, got %v", err)
+	}
+	if res == nil || res.Found {
+		t.Error("failure result should be non-nil with Found=false")
+	}
+}
+
+func TestSelectEmptyProfileRejected(t *testing.T) {
+	g := chainGraph(t, 1000, 1000)
+	if _, err := Select(g, Config{}); err == nil {
+		t.Error("empty profile should be rejected")
+	}
+}
+
+func TestSelectBudgetConstraint(t *testing.T) {
+	// Two chains: cheap low-quality (cost 1) and expensive high-quality
+	// (cost 10). With budget 5, the cheap one must be selected.
+	g := graph.NewGraph("s", "r")
+	cheap := service.FormatConverter("cheap", media.Opaque(1), media.Opaque(10))
+	cheap.Cost = 1
+	expensive := service.FormatConverter("posh", media.Opaque(2), media.Opaque(11))
+	expensive.Cost = 10
+	for _, s := range []*service.Service{cheap, expensive} {
+		if err := g.AddService(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := media.Params{media.ParamFrameRate: 30}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "cheap", Format: media.Opaque(1), BandwidthKbps: 1000, SourceParams: src})
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "posh", Format: media.Opaque(2), BandwidthKbps: 3000, SourceParams: src})
+	mustEdge(t, g, &graph.Edge{From: "cheap", To: graph.ReceiverID, Format: media.Opaque(10), BandwidthKbps: 3000})
+	mustEdge(t, g, &graph.Edge{From: "posh", To: graph.ReceiverID, Format: media.Opaque(11), BandwidthKbps: 3000})
+
+	unconstrained, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unconstrained.Path[1] != "posh" {
+		t.Fatalf("without budget the better chain should win: %v", unconstrained.Path)
+	}
+
+	cfg := fpsConfig()
+	cfg.Budget = 5
+	constrained, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Path[1] != "cheap" {
+		t.Errorf("budget 5 should force the cheap chain: %v", constrained.Path)
+	}
+	if constrained.Cost > 5 {
+		t.Errorf("Cost = %v exceeds budget", constrained.Cost)
+	}
+}
+
+func TestSelectBudgetInfeasible(t *testing.T) {
+	g := chainGraph(t, 3000, 3000) // service costs 1
+	cfg := fpsConfig()
+	cfg.Budget = 0.5
+	_, err := Select(g, cfg)
+	if !errors.Is(err, ErrNoChain) {
+		t.Errorf("budget below every chain should yield ErrNoChain, got %v", err)
+	}
+}
+
+func TestSelectTransmissionCost(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	for _, e := range g.Out(graph.SenderID) {
+		e.TransmissionCost = 2
+	}
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 { // 2 transmission + 1 service
+		t.Errorf("Cost = %v, want 3", res.Cost)
+	}
+}
+
+func TestSelectReceiverCaps(t *testing.T) {
+	g := chainGraph(t, math.Inf(1), math.Inf(1))
+	cfg := fpsConfig()
+	cfg.ReceiverCaps = media.Params{media.ParamFrameRate: 10}
+	res, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Params.Get(media.ParamFrameRate); got != 10 {
+		t.Errorf("device cap should bind: fps = %v, want 10", got)
+	}
+}
+
+func TestSelectDistinctFormatRule(t *testing.T) {
+	// t1 emits the same format it consumed (F1); a path
+	// sender -F1-> t1 -F1-> receiver repeats F1 and must be rejected,
+	// leaving the lower-quality direct edge as the only chain.
+	g := graph.NewGraph("s", "r")
+	echo := &service.Service{
+		ID:      "echo",
+		Inputs:  []media.Format{media.Opaque(1)},
+		Outputs: []media.Format{media.Opaque(1)},
+	}
+	if err := g.AddService(echo); err != nil {
+		t.Fatal(err)
+	}
+	src := media.Params{media.ParamFrameRate: 30}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "echo", Format: media.Opaque(1), BandwidthKbps: 3000, SourceParams: src})
+	mustEdge(t, g, &graph.Edge{From: "echo", To: graph.ReceiverID, Format: media.Opaque(1), BandwidthKbps: 3000})
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: graph.ReceiverID, Format: media.Opaque(1), BandwidthKbps: 900, SourceParams: src})
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != 2 {
+		t.Errorf("repeated-format chain must be rejected; got path %v", res.Path)
+	}
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-9) > 1e-6 {
+		t.Errorf("fps = %v, want 9 via direct edge", res.Params.Get(media.ParamFrameRate))
+	}
+}
+
+func TestSelectZeroBandwidthEdgeUnusable(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	// Add an overhead so that a zero-capacity edge is truly infeasible.
+	cfg := fpsConfig()
+	cfg.Bitrate = media.LinearBitrate{PerUnit: map[media.Param]float64{media.ParamFrameRate: 100}, Overhead: 10}
+	for _, e := range g.Out("t1") {
+		e.BandwidthKbps = 5 // below the 10 kbps overhead
+	}
+	_, err := Select(g, cfg)
+	if !errors.Is(err, ErrNoChain) {
+		t.Errorf("want ErrNoChain when the only exit edge cannot carry the stream, got %v", err)
+	}
+}
+
+func TestSelectTraceRecordsRounds(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	cfg := fpsConfig()
+	cfg.Trace = true
+	res, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("Rounds = %d, want 2 (t1, receiver)", len(res.Rounds))
+	}
+	r1 := res.Rounds[0]
+	if r1.Number != 1 || r1.Selected != "t1" {
+		t.Errorf("round 1 = %+v", r1)
+	}
+	if len(r1.Considered) != 1 || r1.Considered[0] != graph.SenderID {
+		t.Errorf("round 1 considered = %v", r1.Considered)
+	}
+	r2 := res.Rounds[1]
+	if r2.Selected != graph.ReceiverID {
+		t.Errorf("round 2 selected = %v", r2.Selected)
+	}
+	if len(r2.Considered) != 2 {
+		t.Errorf("round 2 considered = %v", r2.Considered)
+	}
+	if PathString(r2.Path) != "sender,T1,receiver" {
+		t.Errorf("round 2 path = %q", PathString(r2.Path))
+	}
+}
+
+func TestSelectLongChain(t *testing.T) {
+	// sender -> t1 -> t2 -> ... -> t5 -> receiver, each hop narrower.
+	g := graph.NewGraph("s", "r")
+	const n = 5
+	prev := graph.SenderID
+	for i := 1; i <= n; i++ {
+		s := service.FormatConverter(service.ID(media.Opaque(i).Encoding), media.Opaque(i), media.Opaque(i+1))
+		if err := g.AddService(s); err != nil {
+			t.Fatal(err)
+		}
+		e := &graph.Edge{From: prev, To: graph.NodeID(s.ID), Format: media.Opaque(i),
+			BandwidthKbps: 3000 - float64(i)*100}
+		if prev == graph.SenderID {
+			e.SourceParams = media.Params{media.ParamFrameRate: 30}
+		}
+		mustEdge(t, g, e)
+		prev = graph.NodeID(s.ID)
+	}
+	mustEdge(t, g, &graph.Edge{From: prev, To: graph.ReceiverID, Format: media.Opaque(n + 1), BandwidthKbps: 2200})
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Path) != n+2 {
+		t.Fatalf("path length = %d, want %d", len(res.Path), n+2)
+	}
+	// Bottleneck is the receiver edge: 2200 kbps → 22 fps.
+	if math.Abs(res.Params.Get(media.ParamFrameRate)-22) > 1e-6 {
+		t.Errorf("fps = %v, want 22", res.Params.Get(media.ParamFrameRate))
+	}
+	if res.Cost != n {
+		t.Errorf("Cost = %v, want %d", res.Cost, n)
+	}
+}
+
+func TestSelectSatisfactionMonotoneAlongPath(t *testing.T) {
+	g := chainGraph(t, 2000, 1000)
+	cfg := fpsConfig()
+	cfg.Trace = true
+	res, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := math.Inf(1)
+	for _, round := range res.Rounds {
+		if round.Satisfaction > prev+1e-9 {
+			t.Errorf("greedy selection order must be non-increasing: round %d sat %v after %v",
+				round.Number, round.Satisfaction, prev)
+		}
+		prev = round.Satisfaction
+	}
+}
+
+func TestDisplayConventions(t *testing.T) {
+	if DisplayFPS(19.85) != 20 || DisplayFPS(23.09) != 23 || DisplayFPS(27.2) != 27 {
+		t.Error("DisplayFPS must round to nearest")
+	}
+	cases := []struct {
+		sat  float64
+		want string
+	}{
+		{1.0, "1.00"},
+		{0.9067, "0.90"},
+		{0.76967, "0.76"},
+		{2.0 / 3.0, "0.66"},
+		{0.9, "0.90"},
+	}
+	for _, c := range cases {
+		if got := DisplaySat(c.sat); got != c.want {
+			t.Errorf("DisplaySat(%v) = %q, want %q", c.sat, got, c.want)
+		}
+	}
+}
+
+func TestPathString(t *testing.T) {
+	got := PathString([]graph.NodeID{graph.SenderID, "t7", graph.ReceiverID})
+	if got != "sender,T7,receiver" {
+		t.Errorf("PathString = %q", got)
+	}
+}
+
+func TestTraceTableRenders(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	cfg := fpsConfig()
+	cfg.Trace = true
+	res, err := Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.TraceTable()
+	for _, want := range []string{"Round", "Considered Set (VT)", "T1", "receiver", "1.00"} {
+		if !contains(table, want) {
+			t.Errorf("trace table missing %q:\n%s", want, table)
+		}
+	}
+	if res.Summary() == "" {
+		t.Error("Summary should not be empty")
+	}
+	fail := &Result{}
+	if fail.Summary() != "no adaptation chain found" {
+		t.Errorf("failure summary = %q", fail.Summary())
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestSelectHeapMatchesScan(t *testing.T) {
+	g := chainGraph(t, 3000, 1500)
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: graph.ReceiverID, Format: media.Opaque(1),
+		BandwidthKbps: 900, SourceParams: media.Params{media.ParamFrameRate: 30}})
+	scanCfg := fpsConfig()
+	heapCfg := fpsConfig()
+	heapCfg.UseHeap = true
+	scan, err := Select(g, scanCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heapRes, err := Select(g, heapCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if PathString(scan.Path) != PathString(heapRes.Path) {
+		t.Errorf("heap path %s != scan path %s", PathString(heapRes.Path), PathString(scan.Path))
+	}
+	if math.Abs(scan.Satisfaction-heapRes.Satisfaction) > 1e-12 {
+		t.Errorf("heap sat %v != scan sat %v", heapRes.Satisfaction, scan.Satisfaction)
+	}
+}
+
+func TestSelectHeapNoChain(t *testing.T) {
+	g := graph.NewGraph("s", "r")
+	t1 := service.FormatConverter("t1", media.Opaque(1), media.Opaque(99))
+	if err := g.AddService(t1); err != nil {
+		t.Fatal(err)
+	}
+	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "t1", Format: media.Opaque(1),
+		BandwidthKbps: 1000, SourceParams: media.Params{media.ParamFrameRate: 30}})
+	cfg := fpsConfig()
+	cfg.UseHeap = true
+	if _, err := Select(g, cfg); !errors.Is(err, ErrNoChain) {
+		t.Errorf("heap variant should also fail with ErrNoChain, got %v", err)
+	}
+}
+
+func TestSelectHostCPUConstrains(t *testing.T) {
+	// The converter costs 0.5 MIPS per kbps; its host has 800 MIPS, so
+	// it can trans-code at most 1600 kbps (16 fps) even though the
+	// network affords 30 fps.
+	g := chainGraph(t, 3000, 3000)
+	n, _ := g.Node("t1")
+	n.Service.CPUPerKbps = 0.5
+	n.Service.Host = "p1"
+	n.Host = "p1"
+	g.SetHostResources("p1", graph.HostResources{CPUMips: 800, MemoryMB: 512})
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Params.Get(media.ParamFrameRate); math.Abs(got-16) > 0.01 {
+		t.Errorf("CPU-capped fps = %v, want 16", got)
+	}
+}
+
+func TestSelectHostMemoryExcludesService(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	n, _ := g.Node("t1")
+	n.Service.MemoryMB = 128
+	n.Service.Host = "p1"
+	n.Host = "p1"
+	g.SetHostResources("p1", graph.HostResources{CPUMips: 1000, MemoryMB: 64})
+	_, err := Select(g, fpsConfig())
+	if !errors.Is(err, ErrNoChain) {
+		t.Errorf("memory-starved host should exclude the only chain, got %v", err)
+	}
+}
+
+func TestSelectUndeclaredHostUnconstrained(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	n, _ := g.Node("t1")
+	n.Service.CPUPerKbps = 100 // enormous demand, but no host declared
+	res, err := Select(g, fpsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Satisfaction != 1 {
+		t.Errorf("undeclared host must be unconstrained, sat = %v", res.Satisfaction)
+	}
+}

@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// Input collects everything graph construction consumes (Section 4.2):
+// the content profile (sender output links), the device profile (receiver
+// input links), the deployed services (intermediate vertices with their
+// I/O links) and the network (edge bandwidths).
+type Input struct {
+	// Content supplies the sender's variants.
+	Content *profile.Content
+	// Device supplies the receiver's decoders.
+	Device *profile.Device
+	// Services are the deployed trans-coding services; each must carry
+	// its Host.
+	Services []*service.Service
+	// Net supplies host-to-host available bandwidth. When nil, all
+	// edges get unlimited (+Inf) bandwidth — useful for pure-algorithm
+	// tests. With a network present, host pairs with no connectivity
+	// produce no edge at all.
+	Net *overlay.Network
+	// SenderHost/ReceiverHost locate the special vertices.
+	SenderHost, ReceiverHost string
+	// Intermediaries optionally declares per-host computing resources;
+	// the selection algorithm enforces them (Section 4.3). Hosts absent
+	// from the list are unconstrained.
+	Intermediaries []profile.Intermediary
+}
+
+// Build constructs the adaptation graph: it connects the sender's
+// variants to every service accepting that format, services to services
+// whose input format matches an output format, and services (and the
+// sender directly) to the receiver when the receiver can decode the
+// format.
+func Build(in Input) (*Graph, error) {
+	if in.Content == nil || in.Device == nil {
+		return nil, fmt.Errorf("graph: content and device profiles are required")
+	}
+	if err := in.Content.Validate(); err != nil {
+		return nil, err
+	}
+	if err := in.Device.Validate(); err != nil {
+		return nil, err
+	}
+	if in.SenderHost == "" {
+		in.SenderHost = string(SenderID)
+	}
+	if in.ReceiverHost == "" {
+		in.ReceiverHost = string(ReceiverID)
+	}
+
+	g := NewGraph(in.SenderHost, in.ReceiverHost)
+	for i := range in.Intermediaries {
+		inter := &in.Intermediaries[i]
+		g.SetHostResources(inter.Host, HostResources{CPUMips: inter.CPUMips, MemoryMB: inter.MemoryMB})
+	}
+	for _, s := range in.Services {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("graph: %w", err)
+		}
+		if err := g.AddService(s); err != nil {
+			return nil, err
+		}
+	}
+
+	// bw returns the available bandwidth and one-way delay between two
+	// hosts, and whether an edge should exist at all: disconnected
+	// hosts yield no edge. Delay uses the direct link when present and
+	// the minimum-delay route otherwise.
+	bw := func(fromHost, toHost string) (kbps, delayMs, loss float64, connected bool) {
+		if in.Net == nil {
+			return math.Inf(1), 0, 0, true
+		}
+		v := in.Net.AvailableBandwidth(fromHost, toHost)
+		if v <= 0 {
+			return 0, 0, 0, false
+		}
+		if fromHost == toHost {
+			return v, 0, 0, true
+		}
+		if _, d, l, direct := in.Net.Link(fromHost, toHost); direct {
+			return v, d, l, true
+		}
+		if _, d, ok := in.Net.MinDelayPath(fromHost, toHost); ok {
+			return v, d, 0, true
+		}
+		return v, 0, 0, true
+	}
+
+	// Sender → services and sender → receiver, one edge per variant
+	// format accepted downstream.
+	for _, variant := range in.Content.Variants {
+		for _, s := range in.Services {
+			if !s.Accepts(variant.Format) {
+				continue
+			}
+			kbps, delay, loss, connected := bw(in.SenderHost, s.Host)
+			if !connected {
+				continue
+			}
+			if err := g.AddEdge(&Edge{
+				From: SenderID, To: NodeID(s.ID),
+				Format:        variant.Format,
+				BandwidthKbps: kbps,
+				DelayMs:       delay,
+				LossRate:      loss,
+				SourceParams:  variant.Params.Clone(),
+			}); err != nil {
+				return nil, err
+			}
+		}
+		if in.Device.Decodes(variant.Format) {
+			if kbps, delay, loss, connected := bw(in.SenderHost, in.ReceiverHost); connected {
+				if err := g.AddEdge(&Edge{
+					From: SenderID, To: ReceiverID,
+					Format:        variant.Format,
+					BandwidthKbps: kbps,
+					DelayMs:       delay,
+					LossRate:      loss,
+					SourceParams:  variant.Params.Clone(),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Service → service edges wherever an output link matches an input
+	// link, and service → receiver for decodable outputs.
+	for _, from := range in.Services {
+		for _, f := range from.Outputs {
+			for _, to := range in.Services {
+				if to.ID == from.ID || !to.Accepts(f) {
+					continue
+				}
+				kbps, delay, loss, connected := bw(from.Host, to.Host)
+				if !connected {
+					continue
+				}
+				if err := g.AddEdge(&Edge{
+					From: NodeID(from.ID), To: NodeID(to.ID),
+					Format:        f,
+					BandwidthKbps: kbps,
+					DelayMs:       delay,
+					LossRate:      loss,
+				}); err != nil {
+					return nil, err
+				}
+			}
+			if in.Device.Decodes(f) {
+				if kbps, delay, loss, connected := bw(from.Host, in.ReceiverHost); connected {
+					if err := g.AddEdge(&Edge{
+						From: NodeID(from.ID), To: ReceiverID,
+						Format:        f,
+						BandwidthKbps: kbps,
+						DelayMs:       delay,
+						LossRate:      loss,
+					}); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	return g, nil
+}
+
+// BuildFromSet builds the graph from a full profile set, deploying every
+// intermediary's services and using the set's static network profile for
+// bandwidths. The sender is hosted on "sender" and the receiver on the
+// device ID unless the network profile names a "receiver" host.
+func BuildFromSet(set *profile.Set) (*Graph, error) {
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := overlay.FromProfile(set.Network)
+	if err != nil {
+		return nil, err
+	}
+	var services []*service.Service
+	for i := range set.Intermediaries {
+		services = append(services, set.Intermediaries[i].Services...)
+	}
+	receiverHost := set.Device.ID
+	if net.HasNode(string(ReceiverID)) {
+		receiverHost = string(ReceiverID)
+	}
+	return Build(Input{
+		Content:        &set.Content,
+		Device:         &set.Device,
+		Services:       services,
+		Net:            net,
+		SenderHost:     string(SenderID),
+		ReceiverHost:   receiverHost,
+		Intermediaries: set.Intermediaries,
+	})
+}
+
+// CollectServices flattens every intermediary's service list, preserving
+// declaration order.
+func CollectServices(intermediaries []profile.Intermediary) []*service.Service {
+	var out []*service.Service
+	for i := range intermediaries {
+		out = append(out, intermediaries[i].Services...)
+	}
+	return out
+}
+
+// SenderVariantParams returns the QoS parameters of the content variant
+// flowing over a sender-outgoing edge. It falls back to nil for non-sender
+// edges.
+func SenderVariantParams(e *Edge) media.Params { return e.SourceParams }

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"testing"
+	"time"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/registry"
+	"qoschain/internal/service"
+)
+
+func discoveryRegistry(t *testing.T) *registry.Registry {
+	t.Helper()
+	reg := registry.New()
+	adds := []*service.Service{
+		// Reachable in one hop from MPEG-1.
+		service.FormatConverter("hop1", media.VideoMPEG1, media.VideoMJPEG),
+		// Reachable in two hops.
+		service.FormatConverter("hop2", media.VideoMJPEG, media.VideoH263),
+		// Unreachable: nothing produces its input.
+		service.FormatConverter("stray", media.AudioPCM, media.AudioMP3),
+	}
+	for _, s := range adds {
+		s.Host = "p"
+		if err := reg.Register(s, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func mpegContent() *profile.Content {
+	return &profile.Content{ID: "c", Variants: []media.Descriptor{
+		{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+	}}
+}
+
+func TestDiscoverBFS(t *testing.T) {
+	reg := discoveryRegistry(t)
+	found := Discover(reg, mpegContent(), 0)
+	if len(found) != 2 {
+		t.Fatalf("Discover found %d services, want 2 (hop1, hop2)", len(found))
+	}
+	if found[0].ID != "hop1" || found[1].ID != "hop2" {
+		t.Errorf("order = %v %v", found[0].ID, found[1].ID)
+	}
+}
+
+func TestDiscoverDepthBound(t *testing.T) {
+	reg := discoveryRegistry(t)
+	found := Discover(reg, mpegContent(), 1)
+	if len(found) != 1 || found[0].ID != "hop1" {
+		t.Fatalf("depth-1 discovery = %v", found)
+	}
+}
+
+func TestDiscoverNilInputs(t *testing.T) {
+	if got := Discover(nil, mpegContent(), 0); got != nil {
+		t.Error("nil directory should discover nothing")
+	}
+	if got := Discover(discoveryRegistry(t), nil, 0); got != nil {
+		t.Error("nil content should discover nothing")
+	}
+}
+
+func TestDiscoverThenBuild(t *testing.T) {
+	reg := discoveryRegistry(t)
+	content := mpegContent()
+	device := &profile.Device{ID: "d", Software: profile.Software{
+		Decoders: []media.Format{media.VideoH263},
+	}}
+	services := Discover(reg, content, 0)
+	g, err := Build(Input{Content: content, Device: device, Services: services})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasPath() {
+		t.Errorf("discovered services must connect sender to receiver:\n%s", g)
+	}
+	if _, ok := g.Node("stray"); ok {
+		t.Error("unreachable service must not be discovered")
+	}
+}
+
+func TestDiscoverFromFederation(t *testing.T) {
+	a, b := registry.New(), registry.New()
+	s1 := service.FormatConverter("hop1", media.VideoMPEG1, media.VideoMJPEG)
+	s2 := service.FormatConverter("hop2", media.VideoMJPEG, media.VideoH263)
+	_ = a.Register(s1, 0)
+	_ = b.Register(s2, 0)
+	fed := registry.NewFederation(a, b)
+	found := Discover(fed, mpegContent(), 0)
+	if len(found) != 2 {
+		t.Fatalf("federated discovery = %d services, want 2", len(found))
+	}
+}

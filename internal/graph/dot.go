@@ -1,0 +1,53 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT syntax: vertices as boxes
+// (sender/receiver emphasized), edges labelled with the flowing format
+// and, when finite, the available bandwidth. The output is deterministic.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box];\n")
+	for _, id := range g.NodeIDs() {
+		n := g.nodes[id]
+		switch {
+		case n.IsSender():
+			fmt.Fprintf(&b, "  %q [shape=ellipse, style=bold];\n", id)
+		case n.IsReceiver():
+			fmt.Fprintf(&b, "  %q [shape=ellipse, style=bold];\n", id)
+		default:
+			label := string(id)
+			if n.Service != nil && n.Host != "" {
+				label = fmt.Sprintf("%s\\n@%s", id, n.Host)
+			}
+			fmt.Fprintf(&b, "  %q [label=\"%s\"];\n", id, label)
+		}
+	}
+	for _, id := range g.NodeIDs() {
+		edges := append([]*Edge(nil), g.out[id]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].To != edges[j].To {
+				return LessNatural(edges[i].To, edges[j].To)
+			}
+			return edges[i].Format.String() < edges[j].Format.String()
+		})
+		for _, e := range edges {
+			label := e.Format.String()
+			if e.BandwidthKbps > 0 && !math.IsInf(e.BandwidthKbps, 1) {
+				label = fmt.Sprintf("%s\\n%.0f kbps", label, e.BandwidthKbps)
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"];\n", e.From, e.To, label)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,270 @@
+// Package graph builds the directed adaptation graph of Section 4.2: the
+// structure the QoS selection algorithm searches.
+//
+// Vertices are trans-coding services plus two special vertices — the
+// sender (only output links, one per content variant) and the receiver
+// (only input links, one per device decoder). A directed edge connects an
+// output link of one vertex to a same-format input link of another, and
+// carries the network bandwidth available between the two hosts
+// (Section 4.3).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+// NodeID identifies a vertex. The sender and receiver use the reserved
+// IDs below; every other vertex uses its service ID.
+type NodeID string
+
+// Reserved vertex IDs.
+const (
+	SenderID   NodeID = "sender"
+	ReceiverID NodeID = "receiver"
+)
+
+// Node is one vertex of the adaptation graph.
+type Node struct {
+	// ID is the vertex identity.
+	ID NodeID
+	// Service describes the trans-coding service; nil for the sender
+	// and receiver vertices.
+	Service *service.Service
+	// Host is the network host the vertex lives on.
+	Host string
+}
+
+// IsSender reports whether the node is the sender vertex.
+func (n *Node) IsSender() bool { return n.ID == SenderID }
+
+// IsReceiver reports whether the node is the receiver vertex.
+func (n *Node) IsReceiver() bool { return n.ID == ReceiverID }
+
+// Edge is one directed, format-labelled connection.
+type Edge struct {
+	// From/To are the endpoint vertices.
+	From, To NodeID
+	// Format is the media format flowing over the edge (the matching
+	// output/input link label, e.g. "F5" in Figure 3).
+	Format media.Format
+	// BandwidthKbps is the available bandwidth between the endpoint
+	// hosts at construction time; +Inf for co-located endpoints.
+	BandwidthKbps float64
+	// DelayMs is the one-way network latency between the endpoint
+	// hosts (0 for co-located endpoints).
+	DelayMs float64
+	// LossRate is the packet-loss probability of the direct link
+	// between the endpoint hosts (0 when routed or co-located).
+	LossRate float64
+	// SourceParams carries the content variant's maximum QoS parameters
+	// on sender-outgoing edges; nil elsewhere.
+	SourceParams media.Params
+	// TransmissionCost is an optional per-use monetary cost of the
+	// edge, added to the accumulated cost of Figure 4 Step 6.
+	TransmissionCost float64
+}
+
+// HostResources is the computing capacity of an intermediary host
+// (Section 4.3: memory and CPU needs are a function of the input data;
+// the host must be able to carry the service out).
+type HostResources struct {
+	// CPUMips is the processing capacity available for trans-coding.
+	CPUMips float64
+	// MemoryMB is the memory available for trans-coding.
+	MemoryMB float64
+}
+
+// Graph is the adaptation graph.
+type Graph struct {
+	nodes map[NodeID]*Node
+	out   map[NodeID][]*Edge
+	in    map[NodeID][]*Edge
+	edges int
+	hosts map[string]HostResources
+}
+
+// NewGraph returns an empty graph containing only the sender and
+// receiver vertices on the given hosts.
+func NewGraph(senderHost, receiverHost string) *Graph {
+	g := &Graph{
+		nodes: make(map[NodeID]*Node),
+		out:   make(map[NodeID][]*Edge),
+		in:    make(map[NodeID][]*Edge),
+		hosts: make(map[string]HostResources),
+	}
+	g.nodes[SenderID] = &Node{ID: SenderID, Host: senderHost}
+	g.nodes[ReceiverID] = &Node{ID: ReceiverID, Host: receiverHost}
+	return g
+}
+
+// AddService inserts a service vertex. It fails on duplicate or reserved
+// IDs.
+func (g *Graph) AddService(s *service.Service) error {
+	id := NodeID(s.ID)
+	if id == SenderID || id == ReceiverID {
+		return fmt.Errorf("graph: service uses reserved ID %q", id)
+	}
+	if _, exists := g.nodes[id]; exists {
+		return fmt.Errorf("graph: duplicate vertex %q", id)
+	}
+	g.nodes[id] = &Node{ID: id, Service: s, Host: s.Host}
+	return nil
+}
+
+// AddEdge inserts a directed edge. Both endpoints must exist.
+func (g *Graph) AddEdge(e *Edge) error {
+	if _, ok := g.nodes[e.From]; !ok {
+		return fmt.Errorf("graph: edge from unknown vertex %q", e.From)
+	}
+	if _, ok := g.nodes[e.To]; !ok {
+		return fmt.Errorf("graph: edge to unknown vertex %q", e.To)
+	}
+	if e.From == e.To {
+		return fmt.Errorf("graph: self-loop on %q", e.From)
+	}
+	g.out[e.From] = append(g.out[e.From], e)
+	g.in[e.To] = append(g.in[e.To], e)
+	g.edges++
+	return nil
+}
+
+// SetHostResources declares an intermediary host's capacity. Hosts with
+// no declared resources are treated as unconstrained.
+func (g *Graph) SetHostResources(host string, r HostResources) {
+	g.hosts[host] = r
+}
+
+// HostResources returns the declared capacity of a host; ok is false for
+// undeclared (unconstrained) hosts.
+func (g *Graph) HostResources(host string) (HostResources, bool) {
+	r, ok := g.hosts[host]
+	return r, ok
+}
+
+// Node returns the vertex by ID.
+func (g *Graph) Node(id NodeID) (*Node, bool) {
+	n, ok := g.nodes[id]
+	return n, ok
+}
+
+// Out returns the outgoing edges of a vertex.
+func (g *Graph) Out(id NodeID) []*Edge { return g.out[id] }
+
+// In returns the incoming edges of a vertex.
+func (g *Graph) In(id NodeID) []*Edge { return g.in[id] }
+
+// NodeCount returns the number of vertices (including sender/receiver).
+func (g *Graph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of directed edges.
+func (g *Graph) EdgeCount() int { return g.edges }
+
+// NodeIDs returns all vertex IDs sorted, sender first and receiver last
+// for readability.
+func (g *Graph) NodeIDs() []NodeID {
+	out := make([]NodeID, 0, len(g.nodes))
+	for id := range g.nodes {
+		if id == SenderID || id == ReceiverID {
+			continue
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return LessNatural(out[i], out[j]) })
+	result := append([]NodeID{SenderID}, out...)
+	return append(result, ReceiverID)
+}
+
+// LessNatural orders node IDs naturally: t2 before t10, falling back to
+// lexicographic comparison for mixed prefixes.
+func LessNatural(a, b NodeID) bool {
+	na, oka := trailingInt(string(a))
+	nb, okb := trailingInt(string(b))
+	pa, pb := prefix(string(a)), prefix(string(b))
+	if oka && okb && pa == pb {
+		return na < nb
+	}
+	return a < b
+}
+
+func prefix(s string) string {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	return s[:i]
+}
+
+func trailingInt(s string) (int, bool) {
+	i := len(s)
+	for i > 0 && s[i-1] >= '0' && s[i-1] <= '9' {
+		i--
+	}
+	if i == len(s) {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s[i:] {
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
+
+// Neighbors returns the distinct vertices reachable over one outgoing
+// edge, sorted naturally.
+func (g *Graph) Neighbors(id NodeID) []NodeID {
+	seen := make(map[NodeID]bool)
+	for _, e := range g.out[id] {
+		seen[e.To] = true
+	}
+	out := make([]NodeID, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return LessNatural(out[i], out[j]) })
+	return out
+}
+
+// Validate checks graph invariants: the sender has no incoming edges,
+// the receiver no outgoing edges, every edge format is valid.
+func (g *Graph) Validate() error {
+	if len(g.in[SenderID]) > 0 {
+		return fmt.Errorf("graph: sender has incoming edges")
+	}
+	if len(g.out[ReceiverID]) > 0 {
+		return fmt.Errorf("graph: receiver has outgoing edges")
+	}
+	for _, edges := range g.out {
+		for _, e := range edges {
+			if err := e.Format.Validate(); err != nil {
+				return fmt.Errorf("graph: edge %s->%s: %w", e.From, e.To, err)
+			}
+			if e.BandwidthKbps < 0 {
+				return fmt.Errorf("graph: edge %s->%s negative bandwidth", e.From, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders a deterministic adjacency listing, one edge per line.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, id := range g.NodeIDs() {
+		edges := append([]*Edge(nil), g.out[id]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].To != edges[j].To {
+				return LessNatural(edges[i].To, edges[j].To)
+			}
+			return edges[i].Format.String() < edges[j].Format.String()
+		})
+		for _, e := range edges {
+			fmt.Fprintf(&b, "%s -[%s]-> %s\n", e.From, e.Format, e.To)
+		}
+	}
+	return b.String()
+}

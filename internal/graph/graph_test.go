@@ -1,0 +1,436 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// buildFixture creates a small pipeline:
+//
+//	sender --F1--> conv1 --F2--> conv2 --F3--> receiver
+//	sender -----------F3 (direct, device decodes F3) ----> receiver
+func buildFixture(t *testing.T) *Graph {
+	t.Helper()
+	content := &profile.Content{
+		ID: "c",
+		Variants: []media.Descriptor{
+			{Format: media.Opaque(1), Params: media.Params{media.ParamFrameRate: 30}},
+			{Format: media.Opaque(3), Params: media.Params{media.ParamFrameRate: 10}},
+		},
+	}
+	device := &profile.Device{
+		ID:       "dev",
+		Software: profile.Software{Decoders: []media.Format{media.Opaque(3)}},
+	}
+	conv1 := service.FormatConverter("conv1", media.Opaque(1), media.Opaque(2))
+	conv1.Host = "p1"
+	conv2 := service.FormatConverter("conv2", media.Opaque(2), media.Opaque(3))
+	conv2.Host = "p2"
+	net := overlay.New()
+	net.AddLink("sender", "p1", 3000, 10, 0)
+	net.AddLink("p1", "p2", 2000, 10, 0)
+	net.AddLink("p2", "dev", 1000, 10, 0)
+	net.AddLink("sender", "dev", 500, 10, 0)
+	g, err := Build(Input{
+		Content: content, Device: device,
+		Services:     []*service.Service{conv1, conv2},
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "dev",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuildPipeline(t *testing.T) {
+	g := buildFixture(t)
+	if g.NodeCount() != 4 {
+		t.Errorf("NodeCount = %d, want 4", g.NodeCount())
+	}
+	// sender->conv1 (F1), conv1->conv2 (F2), conv2->receiver (F3),
+	// sender->receiver (F3 direct).
+	if g.EdgeCount() != 4 {
+		t.Errorf("EdgeCount = %d, want 4: %s", g.EdgeCount(), g)
+	}
+	out := g.Out(SenderID)
+	if len(out) != 2 {
+		t.Fatalf("sender out-degree = %d, want 2", len(out))
+	}
+	for _, e := range out {
+		if e.SourceParams == nil {
+			t.Error("sender edge must carry variant params")
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("built graph should validate: %v", err)
+	}
+}
+
+func TestBuildEdgeBandwidths(t *testing.T) {
+	g := buildFixture(t)
+	for _, e := range g.Out(SenderID) {
+		switch e.To {
+		case "conv1":
+			if e.BandwidthKbps != 3000 {
+				t.Errorf("sender->conv1 bandwidth = %v, want 3000", e.BandwidthKbps)
+			}
+		case ReceiverID:
+			if e.BandwidthKbps != 500 {
+				t.Errorf("sender->receiver bandwidth = %v, want 500", e.BandwidthKbps)
+			}
+		}
+	}
+}
+
+func TestBuildWithoutNetwork(t *testing.T) {
+	content := &profile.Content{ID: "c", Variants: []media.Descriptor{{Format: media.Opaque(1)}}}
+	device := &profile.Device{ID: "d", Software: profile.Software{Decoders: []media.Format{media.Opaque(1)}}}
+	g, err := Build(Input{Content: content, Device: device})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Out(SenderID)
+	if len(out) != 1 || !math.IsInf(out[0].BandwidthKbps, 1) {
+		t.Errorf("nil network should give unlimited (+Inf) bandwidth edges: %v", out)
+	}
+}
+
+func TestBuildSkipsDisconnectedHosts(t *testing.T) {
+	content := &profile.Content{ID: "c", Variants: []media.Descriptor{{Format: media.Opaque(1)}}}
+	device := &profile.Device{ID: "d", Software: profile.Software{Decoders: []media.Format{media.Opaque(2)}}}
+	far := service.FormatConverter("far", media.Opaque(1), media.Opaque(2))
+	far.Host = "island"
+	net := overlay.New()
+	net.AddLink("sender", "d", 100, 0, 0)
+	net.AddNode("island")
+	g, err := Build(Input{Content: content, Device: device,
+		Services: []*service.Service{far}, Net: net,
+		SenderHost: "sender", ReceiverHost: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 0 {
+		t.Errorf("disconnected host should produce no edges:\n%s", g)
+	}
+}
+
+func TestBuildRejectsInvalidInputs(t *testing.T) {
+	if _, err := Build(Input{}); err == nil {
+		t.Error("missing profiles should fail")
+	}
+	content := &profile.Content{ID: "c", Variants: []media.Descriptor{{Format: media.Opaque(1)}}}
+	device := &profile.Device{ID: "d", Software: profile.Software{Decoders: []media.Format{media.Opaque(1)}}}
+	bad := &service.Service{ID: "x"}
+	if _, err := Build(Input{Content: content, Device: device, Services: []*service.Service{bad}}); err == nil {
+		t.Error("invalid service should fail")
+	}
+	dup := service.FormatConverter("dup", media.Opaque(1), media.Opaque(2))
+	if _, err := Build(Input{Content: content, Device: device, Services: []*service.Service{dup, dup.Clone()}}); err == nil {
+		t.Error("duplicate service IDs should fail")
+	}
+	reserved := service.FormatConverter("sender", media.Opaque(1), media.Opaque(2))
+	if _, err := Build(Input{Content: content, Device: device, Services: []*service.Service{reserved}}); err == nil {
+		t.Error("reserved service ID should fail")
+	}
+}
+
+func TestGraphAddEdgeErrors(t *testing.T) {
+	g := NewGraph("s", "r")
+	if err := g.AddEdge(&Edge{From: "ghost", To: ReceiverID, Format: media.Opaque(1)}); err == nil {
+		t.Error("edge from unknown vertex should fail")
+	}
+	if err := g.AddEdge(&Edge{From: SenderID, To: "ghost", Format: media.Opaque(1)}); err == nil {
+		t.Error("edge to unknown vertex should fail")
+	}
+	if err := g.AddEdge(&Edge{From: SenderID, To: SenderID, Format: media.Opaque(1)}); err == nil {
+		t.Error("self-loop should fail")
+	}
+}
+
+func TestGraphValidateCatchesBadEdges(t *testing.T) {
+	g := NewGraph("s", "r")
+	_ = g.AddService(service.FormatConverter("c1", media.Opaque(1), media.Opaque(2)))
+	_ = g.AddEdge(&Edge{From: "c1", To: SenderID, Format: media.Opaque(2)})
+	if err := g.Validate(); err == nil {
+		t.Error("incoming sender edge should fail validation")
+	}
+	g2 := NewGraph("s", "r")
+	_ = g2.AddService(service.FormatConverter("c1", media.Opaque(1), media.Opaque(2)))
+	_ = g2.AddEdge(&Edge{From: ReceiverID, To: "c1", Format: media.Opaque(1)})
+	if err := g2.Validate(); err == nil {
+		t.Error("outgoing receiver edge should fail validation")
+	}
+}
+
+func TestNodeIDsNaturalOrder(t *testing.T) {
+	g := NewGraph("s", "r")
+	for _, id := range []service.ID{"t10", "t2", "t1"} {
+		_ = g.AddService(service.FormatConverter(id, media.Opaque(1), media.Opaque(2)))
+	}
+	ids := g.NodeIDs()
+	want := []NodeID{SenderID, "t1", "t2", "t10", ReceiverID}
+	if len(ids) != len(want) {
+		t.Fatalf("NodeIDs = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("NodeIDs = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	g := buildFixture(t)
+	nb := g.Neighbors(SenderID)
+	if len(nb) != 2 || nb[0] != "conv1" || nb[1] != ReceiverID {
+		t.Errorf("Neighbors(sender) = %v", nb)
+	}
+	if len(g.Neighbors(ReceiverID)) != 0 {
+		t.Error("receiver has no neighbors")
+	}
+}
+
+func TestPruneRemovesDeadEnds(t *testing.T) {
+	g := buildFixture(t)
+	// deadend accepts F1 but produces a format nobody consumes.
+	dead := service.FormatConverter("deadend", media.Opaque(1), media.Opaque(99))
+	if err := g.AddService(dead); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.AddEdge(&Edge{From: SenderID, To: "deadend", Format: media.Opaque(1)})
+	// orphan is never connected at all.
+	if err := g.AddService(service.FormatConverter("orphan", media.Opaque(50), media.Opaque(51))); err != nil {
+		t.Fatal(err)
+	}
+	before := g.NodeCount()
+	removed := g.Prune()
+	if removed == 0 {
+		t.Error("prune should remove the dead-end edge")
+	}
+	if g.NodeCount() != before-2 {
+		t.Errorf("prune should drop 2 vertices, %d -> %d", before, g.NodeCount())
+	}
+	if _, ok := g.Node("deadend"); ok {
+		t.Error("dead-end vertex should be pruned")
+	}
+	if _, ok := g.Node("orphan"); ok {
+		t.Error("orphan vertex should be pruned")
+	}
+	if !g.HasPath() {
+		t.Error("pruning must preserve sender→receiver connectivity")
+	}
+}
+
+func TestPruneDedupsParallelEdges(t *testing.T) {
+	g := NewGraph("s", "r")
+	_ = g.AddEdge(&Edge{From: SenderID, To: ReceiverID, Format: media.Opaque(1), BandwidthKbps: 100})
+	_ = g.AddEdge(&Edge{From: SenderID, To: ReceiverID, Format: media.Opaque(1), BandwidthKbps: 900})
+	_ = g.AddEdge(&Edge{From: SenderID, To: ReceiverID, Format: media.Opaque(2), BandwidthKbps: 50})
+	removed := g.Prune()
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	if g.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d, want 2", g.EdgeCount())
+	}
+	for _, e := range g.Out(SenderID) {
+		if e.Format == media.Opaque(1) && e.BandwidthKbps != 900 {
+			t.Error("dedup must keep the widest edge")
+		}
+	}
+}
+
+func TestPruneKeepsDisconnectedSenderReceiver(t *testing.T) {
+	g := NewGraph("s", "r")
+	g.Prune()
+	if _, ok := g.Node(SenderID); !ok {
+		t.Error("sender must survive pruning")
+	}
+	if _, ok := g.Node(ReceiverID); !ok {
+		t.Error("receiver must survive pruning")
+	}
+	if g.HasPath() {
+		t.Error("empty graph has no path")
+	}
+}
+
+func TestBuildFromSet(t *testing.T) {
+	set := &profile.Set{
+		User: profile.User{Name: "u", Preferences: map[media.Param]profile.FuncSpec{
+			media.ParamFrameRate: profile.LinearSpec(0, 30),
+		}},
+		Content: profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Device: profile.Device{ID: "dev", Software: profile.Software{
+			Decoders: []media.Format{media.VideoH263},
+		}},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "p1", BandwidthKbps: 2000},
+			{From: "p1", To: "dev", BandwidthKbps: 1000},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "p1", CPUMips: 1000, MemoryMB: 256,
+			Services: []*service.Service{service.FormatConverter("c1", media.VideoMPEG1, media.VideoH263)},
+		}},
+	}
+	g, err := BuildFromSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasPath() {
+		t.Error("set should yield a sender→receiver path")
+	}
+	if g.EdgeCount() != 2 {
+		t.Errorf("EdgeCount = %d, want 2:\n%s", g.EdgeCount(), g)
+	}
+}
+
+func TestStringAndDOTDeterministic(t *testing.T) {
+	g := buildFixture(t)
+	s1, s2 := g.String(), g.String()
+	if s1 != s2 {
+		t.Error("String must be deterministic")
+	}
+	if !strings.Contains(s1, "sender -[video/f1]-> conv1") {
+		t.Errorf("String missing expected edge:\n%s", s1)
+	}
+	var b1, b2 strings.Builder
+	if err := g.WriteDOT(&b1, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOT(&b2, "test"); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("WriteDOT must be deterministic")
+	}
+	for _, want := range []string{"digraph", "rankdir=LR", `"sender" -> "conv1"`, "3000 kbps"} {
+		if !strings.Contains(b1.String(), want) {
+			t.Errorf("DOT missing %q:\n%s", want, b1.String())
+		}
+	}
+}
+
+func TestLessNaturalOrdering(t *testing.T) {
+	cases := []struct {
+		a, b NodeID
+		want bool
+	}{
+		{"t2", "t10", true},
+		{"t10", "t2", false},
+		{"t1", "t1", false},
+		{"alpha", "beta", true},
+		{"t1", "sender", false}, // falls back to lexicographic for mixed prefixes
+	}
+	for _, c := range cases {
+		if got := LessNatural(c.a, c.b); got != c.want {
+			t.Errorf("LessNatural(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBuildEdgeDelays(t *testing.T) {
+	g := buildFixture(t)
+	for _, e := range g.Out(SenderID) {
+		switch e.To {
+		case "conv1":
+			if e.DelayMs != 10 {
+				t.Errorf("sender->conv1 delay = %v, want 10", e.DelayMs)
+			}
+		case ReceiverID:
+			if e.DelayMs != 10 {
+				t.Errorf("sender->receiver delay = %v, want 10", e.DelayMs)
+			}
+		}
+	}
+}
+
+func TestBuildRoutedDelay(t *testing.T) {
+	// No direct sender->p2 link: traffic routes sender->p1->p2 (20 ms).
+	content := &profile.Content{ID: "c", Variants: []media.Descriptor{
+		{Format: media.Opaque(1), Params: media.Params{media.ParamFrameRate: 30}},
+	}}
+	device := &profile.Device{ID: "d", Software: profile.Software{Decoders: []media.Format{media.Opaque(2)}}}
+	far := service.FormatConverter("far", media.Opaque(1), media.Opaque(2))
+	far.Host = "p2"
+	net := overlay.New()
+	net.AddLink("sender", "p1", 2000, 10, 0)
+	net.AddLink("p1", "p2", 2000, 10, 0)
+	net.AddLink("p2", "d", 2000, 5, 0)
+	g, err := Build(Input{Content: content, Device: device,
+		Services: []*service.Service{far}, Net: net,
+		SenderHost: "sender", ReceiverHost: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range g.Out(SenderID) {
+		if e.To == "far" && e.DelayMs != 20 {
+			t.Errorf("routed delay = %v, want 20 (10+10)", e.DelayMs)
+		}
+	}
+}
+
+func TestBuildEdgeLossRate(t *testing.T) {
+	content := &profile.Content{ID: "c", Variants: []media.Descriptor{
+		{Format: media.Opaque(1), Params: media.Params{media.ParamFrameRate: 30}},
+	}}
+	device := &profile.Device{ID: "d", Software: profile.Software{Decoders: []media.Format{media.Opaque(1)}}}
+	net := overlay.New()
+	net.AddLink("sender", "d", 1000, 10, 0.05)
+	g, err := Build(Input{Content: content, Device: device, Net: net,
+		SenderHost: "sender", ReceiverHost: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Out(SenderID)
+	if len(out) != 1 || out[0].LossRate != 0.05 {
+		t.Errorf("edge loss = %v", out)
+	}
+}
+
+func TestHostResourcesDeclaration(t *testing.T) {
+	g := NewGraph("s", "r")
+	if _, ok := g.HostResources("p1"); ok {
+		t.Error("undeclared host should report not-ok")
+	}
+	g.SetHostResources("p1", HostResources{CPUMips: 100, MemoryMB: 64})
+	r, ok := g.HostResources("p1")
+	if !ok || r.CPUMips != 100 || r.MemoryMB != 64 {
+		t.Errorf("HostResources = %+v %v", r, ok)
+	}
+}
+
+func TestWriteDOTHighlight(t *testing.T) {
+	g := buildFixture(t)
+	path := []NodeID{SenderID, "conv1", "conv2", ReceiverID}
+	formats := []media.Format{media.Opaque(1), media.Opaque(2), media.Opaque(3)}
+	var b strings.Builder
+	if err := g.WriteDOTHighlight(&b, "selected", path, formats); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph \"selected\"",
+		`"conv1" [fillcolor="lightblue"`,
+		"penwidth=3, color=blue",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("highlighted DOT missing %q:\n%s", want, out)
+		}
+	}
+	// The direct sender->receiver edge is off-path and must stay plain.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `"sender" -> "receiver"`) && strings.Contains(line, "penwidth") {
+			t.Errorf("off-path edge highlighted: %s", line)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"qoschain/internal/media"
+)
+
+// WriteDOTHighlight renders the graph like WriteDOT but emphasizes a
+// selected chain: its vertices are filled and its edges drawn bold, the
+// presentation the paper's Figure 6 uses to show the selected path inside
+// the full graph. The path is the vertex sequence with its per-edge
+// formats (as a core.Result carries them).
+func (g *Graph) WriteDOTHighlight(w io.Writer, title string, path []NodeID, formats []media.Format) error {
+	onPath := make(map[NodeID]bool, len(path))
+	for _, id := range path {
+		onPath[id] = true
+	}
+	type edgeKey struct {
+		from, to NodeID
+		format   media.Format
+	}
+	pathEdges := make(map[edgeKey]bool, len(formats))
+	for i := 1; i < len(path) && i-1 < len(formats); i++ {
+		pathEdges[edgeKey{path[i-1], path[i], formats[i-1]}] = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box];\n")
+	for _, id := range g.NodeIDs() {
+		n := g.nodes[id]
+		attrs := []string{}
+		if n.IsSender() || n.IsReceiver() {
+			attrs = append(attrs, "shape=ellipse", "style=bold")
+		}
+		if onPath[id] {
+			attrs = append(attrs, `fillcolor="lightblue"`, `style="filled,bold"`)
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", id, strings.Join(attrs, ", "))
+	}
+	for _, id := range g.NodeIDs() {
+		edges := append([]*Edge(nil), g.out[id]...)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].To != edges[j].To {
+				return LessNatural(edges[i].To, edges[j].To)
+			}
+			return edges[i].Format.String() < edges[j].Format.String()
+		})
+		for _, e := range edges {
+			label := e.Format.String()
+			if e.BandwidthKbps > 0 && !math.IsInf(e.BandwidthKbps, 1) {
+				label = fmt.Sprintf("%s\\n%.0f kbps", label, e.BandwidthKbps)
+			}
+			style := ""
+			if pathEdges[edgeKey{e.From, e.To, e.Format}] {
+				style = ", penwidth=3, color=blue"
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=\"%s\"%s];\n", e.From, e.To, label, style)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,144 @@
+package graph
+
+// Pruning implements the "optimization techniques ... to remove the extra
+// edges in the graph" step of Section 4: edges and vertices that can never
+// appear on a sender→receiver chain are deleted before selection runs.
+
+// Prune removes, in order:
+//
+//  1. duplicate parallel edges (same endpoints and format), keeping the
+//     one with the highest bandwidth;
+//  2. vertices unreachable from the sender;
+//  3. vertices from which the receiver is unreachable.
+//
+// It returns the number of edges removed. The sender and receiver are
+// never removed, even when disconnected.
+func (g *Graph) Prune() int {
+	removed := g.dedupEdges()
+
+	reachable := g.forwardReachable(SenderID)
+	coreach := g.backwardReachable(ReceiverID)
+
+	keep := func(id NodeID) bool {
+		if id == SenderID || id == ReceiverID {
+			return true
+		}
+		return reachable[id] && coreach[id]
+	}
+
+	drop := make(map[NodeID]bool)
+	for id := range g.nodes {
+		if !keep(id) {
+			drop[id] = true
+		}
+	}
+	if len(drop) == 0 {
+		return removed
+	}
+	// Batch removal: delete dropped vertices and their outgoing edges,
+	// filter surviving adjacency lists once, then rebuild the incoming
+	// index in one pass (removing nodes one at a time would rebuild the
+	// index per node, turning pruning quadratic).
+	for id := range drop {
+		removed += len(g.out[id])
+		delete(g.nodes, id)
+		delete(g.out, id)
+		delete(g.in, id)
+	}
+	for id, edges := range g.out {
+		kept := edges[:0]
+		for _, e := range edges {
+			if drop[e.To] {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		g.out[id] = kept
+	}
+	g.rebuildIn()
+	return removed
+}
+
+// dedupEdges collapses parallel same-format edges to the widest one.
+func (g *Graph) dedupEdges() int {
+	removed := 0
+	for id, edges := range g.out {
+		type key struct {
+			to     NodeID
+			format string
+		}
+		best := make(map[key]*Edge, len(edges))
+		for _, e := range edges {
+			k := key{e.To, e.Format.String()}
+			if prev, ok := best[k]; !ok || e.BandwidthKbps > prev.BandwidthKbps {
+				best[k] = e
+			}
+		}
+		if len(best) == len(edges) {
+			continue
+		}
+		kept := make([]*Edge, 0, len(best))
+		for _, e := range edges {
+			k := key{e.To, e.Format.String()}
+			if best[k] == e {
+				kept = append(kept, e)
+			}
+		}
+		removed += len(edges) - len(kept)
+		g.out[id] = kept
+	}
+	if removed > 0 {
+		g.rebuildIn()
+	}
+	return removed
+}
+
+func (g *Graph) rebuildIn() {
+	g.in = make(map[NodeID][]*Edge, len(g.in))
+	count := 0
+	for _, edges := range g.out {
+		for _, e := range edges {
+			g.in[e.To] = append(g.in[e.To], e)
+			count++
+		}
+	}
+	g.edges = count
+}
+
+func (g *Graph) forwardReachable(start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.out[cur] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				stack = append(stack, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+func (g *Graph) backwardReachable(start NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{start: true}
+	stack := []NodeID{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.in[cur] {
+			if !seen[e.From] {
+				seen[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	return seen
+}
+
+// HasPath reports whether any sender→receiver chain exists at all.
+func (g *Graph) HasPath() bool {
+	return g.forwardReachable(SenderID)[ReceiverID]
+}

@@ -1,0 +1,185 @@
+// Package httpapi exposes the composition framework over HTTP — the
+// programmatic surface a deployment would put in front of the selection
+// algorithm so that content servers and proxies can request chains
+// without linking the library.
+//
+// Endpoints:
+//
+//	GET  /healthz            liveness probe
+//	GET  /v1/formats         the well-known media formats
+//	POST /v1/compose         profile.Set JSON -> composed chain JSON
+//	POST /v1/graph           profile.Set JSON -> adaptation graph (DOT)
+//
+// /v1/compose query parameters: trace=1 (include the per-round trace),
+// prune=1 (prune the graph first), contact=<class> (per-contact
+// preferences).
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"qoschain"
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+)
+
+// maxBody bounds request bodies (profile sets are small).
+const maxBody = 4 << 20
+
+// Handler returns the API's http.Handler.
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", handleHealth)
+	mux.HandleFunc("/v1/formats", handleFormats)
+	mux.HandleFunc("/v1/compose", handleCompose)
+	mux.HandleFunc("/v1/graph", handleGraph)
+	return mux
+}
+
+func handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func handleFormats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	formats := media.WellKnown()
+	out := make([]string, len(formats))
+	for i, f := range formats {
+		out[i] = f.String()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"formats": out})
+}
+
+// composeResponse is the JSON shape of a composed chain.
+type composeResponse struct {
+	Path         []string           `json:"path"`
+	Formats      []string           `json:"formats"`
+	Params       map[string]float64 `json:"params"`
+	Satisfaction float64            `json:"satisfaction"`
+	Cost         float64            `json:"cost"`
+	Explain      map[string]float64 `json:"explain"`
+	Rounds       []roundResponse    `json:"rounds,omitempty"`
+}
+
+type roundResponse struct {
+	Number       int      `json:"number"`
+	Considered   []string `json:"considered"`
+	Candidates   []string `json:"candidates"`
+	Selected     string   `json:"selected"`
+	Path         []string `json:"path"`
+	Satisfaction float64  `json:"satisfaction"`
+}
+
+func handleCompose(w http.ResponseWriter, r *http.Request) {
+	comp, status, err := composeFromRequest(r)
+	if err != nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	res := comp.Result
+	resp := composeResponse{
+		Path:         nodeStrings(res.Path),
+		Formats:      formatStrings(res.Formats),
+		Params:       paramMap(res.Params),
+		Satisfaction: res.Satisfaction,
+		Cost:         res.Cost,
+		Explain:      comp.Explain(),
+	}
+	for _, round := range res.Rounds {
+		resp.Rounds = append(resp.Rounds, roundResponse{
+			Number:       round.Number,
+			Considered:   nodeStrings(round.Considered),
+			Candidates:   nodeStrings(round.Candidates),
+			Selected:     string(round.Selected),
+			Path:         nodeStrings(round.Path),
+			Satisfaction: round.Satisfaction,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func handleGraph(w http.ResponseWriter, r *http.Request) {
+	comp, status, err := composeFromRequest(r)
+	if err != nil && comp == nil {
+		writeError(w, status, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/vnd.graphviz")
+	if err := comp.Graph.WriteDOT(w, "adaptation"); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+// composeFromRequest parses the body and runs the composition. A
+// no-chain failure still returns the composition (for /v1/graph) along
+// with the error.
+func composeFromRequest(r *http.Request) (*qoschain.Composition, int, error) {
+	if r.Method != http.MethodPost {
+		return nil, http.StatusMethodNotAllowed, errors.New("POST only")
+	}
+	defer r.Body.Close()
+	set, err := profile.DecodeSet(http.MaxBytesReader(nil, r.Body, maxBody))
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	q := r.URL.Query()
+	opts := qoschain.Options{
+		Trace:   q.Get("trace") == "1",
+		Prune:   q.Get("prune") == "1",
+		Contact: profile.ContactClass(q.Get("contact")),
+	}
+	comp, err := qoschain.Compose(set, opts)
+	if err != nil {
+		if comp != nil && errors.Is(err, core.ErrNoChain) {
+			return comp, http.StatusUnprocessableEntity, fmt.Errorf("no adaptation chain: %w", err)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return comp, http.StatusOK, nil
+}
+
+func nodeStrings(ids []graph.NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
+}
+
+func formatStrings(fs []media.Format) []string {
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}
+
+func paramMap(p media.Params) map[string]float64 {
+	out := make(map[string]float64, len(p))
+	for k, v := range p {
+		out[string(k)] = v
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": strings.TrimSpace(msg)})
+}

@@ -1,0 +1,255 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+func testSet() *profile.Set {
+	return &profile.Set{
+		User: profile.User{
+			Name: "alice",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+		},
+		Content: profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Device: profile.Device{ID: "d", Software: profile.Software{
+			Decoders: []media.Format{media.VideoH263},
+		}},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "p1", BandwidthKbps: 2400},
+			{From: "p1", To: "d", BandwidthKbps: 1800},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "p1", CPUMips: 1000, MemoryMB: 256,
+			Services: []*service.Service{
+				service.FormatConverter("conv1", media.VideoMPEG1, media.VideoH263),
+			},
+		}},
+	}
+}
+
+func setBody(t *testing.T, set *profile.Set) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := set.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func server(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestHealthz(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestFormats(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/v1/formats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Formats []string `json:"formats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Formats) == 0 {
+		t.Fatal("formats list should not be empty")
+	}
+	found := false
+	for _, f := range body.Formats {
+		if f == "video/mpeg1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("video/mpeg1 should be listed")
+	}
+}
+
+func TestFormatsMethodNotAllowed(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/formats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestComposeEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/compose?trace=1", "application/json", setBody(t, testSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body composeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Path) != 3 || body.Path[1] != "conv1" {
+		t.Errorf("path = %v", body.Path)
+	}
+	if body.Satisfaction < 0.59 || body.Satisfaction > 0.61 {
+		t.Errorf("satisfaction = %v, want ~0.6 (1800 kbps → 18 fps)", body.Satisfaction)
+	}
+	if fps := body.Params["framerate"]; fps < 17.99 || fps > 18.01 {
+		t.Errorf("params = %v", body.Params)
+	}
+	if len(body.Rounds) == 0 {
+		t.Error("trace=1 should include rounds")
+	}
+	if body.Explain["framerate"] == 0 {
+		t.Error("explain should report per-parameter satisfaction")
+	}
+}
+
+func TestComposeWithoutTraceOmitsRounds(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/compose", "application/json", setBody(t, testSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body composeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Rounds) != 0 {
+		t.Error("rounds should be omitted without trace=1")
+	}
+}
+
+func TestComposeBadJSON(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/compose", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestComposeMethodNotAllowed(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Get(srv.URL + "/v1/compose")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestComposeNoChain(t *testing.T) {
+	srv := server(t)
+	set := testSet()
+	// Device that decodes nothing reachable.
+	set.Device.Software.Decoders = []media.Format{media.AudioMP3}
+	resp, err := http.Post(srv.URL+"/v1/compose", "application/json", setBody(t, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("status = %d, want 422", resp.StatusCode)
+	}
+}
+
+func TestGraphEndpoint(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/graph", "application/json", setBody(t, testSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	for _, want := range []string{"digraph", `"sender" -> "conv1"`, "video/mpeg1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestGraphEndpointNoChainStillRendersGraph(t *testing.T) {
+	srv := server(t)
+	set := testSet()
+	set.Device.Software.Decoders = []media.Format{media.AudioMP3}
+	resp, err := http.Post(srv.URL+"/v1/graph", "application/json", setBody(t, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "digraph") {
+		t.Error("graph should render even when no chain exists")
+	}
+}
+
+func TestComposeContactParameter(t *testing.T) {
+	srv := server(t)
+	set := testSet()
+	set.User.ContactPreferences = map[profile.ContactClass]map[media.Param]profile.FuncSpec{
+		profile.ContactClient: {media.ParamFrameRate: profile.LinearSpec(15, 30)},
+	}
+	resp, err := http.Post(srv.URL+"/v1/compose?contact=client", "application/json", setBody(t, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body composeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	// 18 fps against Linear{15,30} = 0.2.
+	if body.Satisfaction > 0.25 {
+		t.Errorf("contact=client should lower satisfaction, got %v", body.Satisfaction)
+	}
+}

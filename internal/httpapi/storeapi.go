@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+
+	"qoschain"
+	"qoschain/internal/core"
+	"qoschain/internal/profile"
+	"qoschain/internal/store"
+)
+
+// HandlerWithStore returns the base API plus store-backed endpoints:
+//
+//	GET  /v1/profiles                 list stored profile IDs per kind
+//	POST /v1/compose/byref            compose from stored profiles:
+//	                                  ?user=<name>&content=<id>&device=<id>
+//	                                  (same trace/prune/contact parameters
+//	                                  as /v1/compose)
+func HandlerWithStore(st *store.Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler())
+	mux.HandleFunc("/v1/profiles", func(w http.ResponseWriter, r *http.Request) {
+		handleProfiles(st, w, r)
+	})
+	mux.HandleFunc("/v1/compose/byref", func(w http.ResponseWriter, r *http.Request) {
+		handleComposeByRef(st, w, r)
+	})
+	return mux
+}
+
+func handleProfiles(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	users, err := st.Users()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	devices, err := st.Devices()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	contents, err := st.Contents()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	intermediaries, err := st.Intermediaries()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"users":          users,
+		"devices":        devices,
+		"contents":       contents,
+		"intermediaries": intermediaries,
+	})
+}
+
+func handleComposeByRef(st *store.Store, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	q := r.URL.Query()
+	user, content, device := q.Get("user"), q.Get("content"), q.Get("device")
+	if user == "" || content == "" || device == "" {
+		writeError(w, http.StatusBadRequest, "user, content and device query parameters are required")
+		return
+	}
+	set, err := st.Assemble(user, content, device)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	comp, err := qoschain.Compose(set, qoschain.Options{
+		Trace:   q.Get("trace") == "1",
+		Prune:   q.Get("prune") == "1",
+		Contact: profile.ContactClass(q.Get("contact")),
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, core.ErrNoChain) {
+			status = http.StatusUnprocessableEntity
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	res := comp.Result
+	resp := composeResponse{
+		Path:         nodeStrings(res.Path),
+		Formats:      formatStrings(res.Formats),
+		Params:       paramMap(res.Params),
+		Satisfaction: res.Satisfaction,
+		Cost:         res.Cost,
+		Explain:      comp.Explain(),
+	}
+	for _, round := range res.Rounds {
+		resp.Rounds = append(resp.Rounds, roundResponse{
+			Number:       round.Number,
+			Considered:   nodeStrings(round.Considered),
+			Candidates:   nodeStrings(round.Candidates),
+			Selected:     string(round.Selected),
+			Path:         nodeStrings(round.Path),
+			Satisfaction: round.Satisfaction,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,116 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"qoschain/internal/store"
+)
+
+func storeServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := testSet()
+	if err := st.PutUser(&set.User); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutDevice(&set.Device); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutContent(&set.Content); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutNetwork(&set.Network); err != nil {
+		t.Fatal(err)
+	}
+	for i := range set.Intermediaries {
+		if err := st.PutIntermediary(&set.Intermediaries[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(HandlerWithStore(st))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProfilesEndpoint(t *testing.T) {
+	srv := storeServer(t)
+	resp, err := http.Get(srv.URL + "/v1/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body["users"]) != 1 || body["users"][0] != "alice" {
+		t.Errorf("users = %v", body["users"])
+	}
+	if len(body["contents"]) != 1 || body["contents"][0] != "c" {
+		t.Errorf("contents = %v", body["contents"])
+	}
+}
+
+func TestComposeByRef(t *testing.T) {
+	srv := storeServer(t)
+	resp, err := http.Post(srv.URL+"/v1/compose/byref?user=alice&content=c&device=d&trace=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body composeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Path) != 3 || body.Path[1] != "conv1" {
+		t.Errorf("path = %v", body.Path)
+	}
+	if len(body.Rounds) == 0 {
+		t.Error("trace=1 should include rounds")
+	}
+}
+
+func TestComposeByRefMissingParams(t *testing.T) {
+	srv := storeServer(t)
+	resp, err := http.Post(srv.URL+"/v1/compose/byref?user=alice", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestComposeByRefUnknownProfile(t *testing.T) {
+	srv := storeServer(t)
+	resp, err := http.Post(srv.URL+"/v1/compose/byref?user=ghost&content=c&device=d", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestStoreHandlerStillServesBase(t *testing.T) {
+	srv := storeServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("base endpoints must remain available, status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,199 @@
+// Package media models multimedia format signatures and media descriptors.
+//
+// A Format is the discrete compatibility signature used to connect the
+// output of one trans-coding service to the input of another: two services
+// can be chained when one produces exactly the Format the other consumes
+// (Section 4.2 of the paper). Continuous quality parameters (frame rate,
+// resolution, ...) are carried separately by a Descriptor because they are
+// negotiated by the QoS selection algorithm rather than fixed by the
+// format signature.
+package media
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind is the broad media type of a format.
+type Kind int
+
+// The media kinds understood by the framework.
+const (
+	KindUnknown Kind = iota
+	KindVideo
+	KindAudio
+	KindImage
+	KindText
+)
+
+var kindNames = map[Kind]string{
+	KindUnknown: "unknown",
+	KindVideo:   "video",
+	KindAudio:   "audio",
+	KindImage:   "image",
+	KindText:    "text",
+}
+
+var kindsByName = map[string]Kind{
+	"unknown": KindUnknown,
+	"video":   KindVideo,
+	"audio":   KindAudio,
+	"image":   KindImage,
+	"text":    KindText,
+}
+
+// String returns the lower-case name of the kind ("video", "audio", ...).
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// ParseKind converts a kind name back into a Kind.
+func ParseKind(s string) (Kind, error) {
+	if k, ok := kindsByName[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return k, nil
+	}
+	return KindUnknown, fmt.Errorf("media: unknown kind %q", s)
+}
+
+// Valid reports whether the kind is one of the defined media kinds.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok && k != KindUnknown
+}
+
+// Format is a discrete media format signature: the media kind, the
+// encoding (codec or container short name), and an optional profile tag
+// that distinguishes variants of the same encoding (for example
+// "jpeg/gray" versus "jpeg"). Formats are value types and are compared
+// with ==.
+type Format struct {
+	// Kind is the broad media type.
+	Kind Kind
+	// Encoding is the codec or container short name, lower case
+	// ("mpeg1", "h261", "jpeg", "gif", "pcm", "mp3", "plain", ...).
+	Encoding string
+	// Profile optionally narrows the encoding ("gray", "2bit", "cif").
+	Profile string
+}
+
+// Zero reports whether f is the zero Format.
+func (f Format) Zero() bool { return f == Format{} }
+
+// String renders the canonical form "kind/encoding" or
+// "kind/encoding;profile".
+func (f Format) String() string {
+	if f.Zero() {
+		return "-"
+	}
+	s := f.Kind.String() + "/" + f.Encoding
+	if f.Profile != "" {
+		s += ";" + f.Profile
+	}
+	return s
+}
+
+// Validate checks that the format has a valid kind and a non-empty
+// encoding.
+func (f Format) Validate() error {
+	if !f.Kind.Valid() {
+		return fmt.Errorf("media: format %q has invalid kind", f)
+	}
+	if f.Encoding == "" {
+		return fmt.Errorf("media: format with kind %s has empty encoding", f.Kind)
+	}
+	if f.Encoding != strings.ToLower(f.Encoding) {
+		return fmt.Errorf("media: format encoding %q must be lower case", f.Encoding)
+	}
+	return nil
+}
+
+// ParseFormat parses the canonical string form produced by Format.String:
+// "kind/encoding" with an optional ";profile" suffix.
+func ParseFormat(s string) (Format, error) {
+	s = strings.TrimSpace(s)
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Format{}, fmt.Errorf("media: format %q missing kind/encoding separator", s)
+	}
+	kind, err := ParseKind(s[:slash])
+	if err != nil {
+		return Format{}, err
+	}
+	rest := s[slash+1:]
+	var profile string
+	if semi := strings.IndexByte(rest, ';'); semi >= 0 {
+		profile = rest[semi+1:]
+		rest = rest[:semi]
+	}
+	f := Format{Kind: kind, Encoding: strings.ToLower(rest), Profile: profile}
+	if err := f.Validate(); err != nil {
+		return Format{}, err
+	}
+	return f, nil
+}
+
+// MustParseFormat is like ParseFormat but panics on error. It is intended
+// for package-level tables of well-known formats.
+func MustParseFormat(s string) Format {
+	f, err := ParseFormat(s)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// FormatSet is an unordered set of formats.
+type FormatSet map[Format]struct{}
+
+// NewFormatSet builds a set from the given formats.
+func NewFormatSet(formats ...Format) FormatSet {
+	s := make(FormatSet, len(formats))
+	for _, f := range formats {
+		s[f] = struct{}{}
+	}
+	return s
+}
+
+// Add inserts f into the set.
+func (s FormatSet) Add(f Format) { s[f] = struct{}{} }
+
+// Contains reports whether f is in the set.
+func (s FormatSet) Contains(f Format) bool {
+	_, ok := s[f]
+	return ok
+}
+
+// Intersect returns the formats present in both sets.
+func (s FormatSet) Intersect(other FormatSet) FormatSet {
+	out := make(FormatSet)
+	for f := range s {
+		if other.Contains(f) {
+			out.Add(f)
+		}
+	}
+	return out
+}
+
+// Slice returns the formats sorted by their canonical string form.
+func (s FormatSet) Slice() []Format {
+	out := make([]Format, 0, len(s))
+	for f := range s {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Strings returns the sorted canonical string forms of the set members.
+func (s FormatSet) Strings() []string {
+	fs := s.Slice()
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.String()
+	}
+	return out
+}

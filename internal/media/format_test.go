@@ -1,0 +1,195 @@
+package media
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{KindVideo, "video"},
+		{KindAudio, "audio"},
+		{KindImage, "image"},
+		{KindText, "text"},
+		{KindUnknown, "unknown"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, name := range []string{"video", "AUDIO", " image ", "text"} {
+		if _, err := ParseKind(name); err != nil {
+			t.Errorf("ParseKind(%q) unexpected error: %v", name, err)
+		}
+	}
+	if _, err := ParseKind("smellovision"); err == nil {
+		t.Error("ParseKind of bogus kind should fail")
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	if KindUnknown.Valid() {
+		t.Error("KindUnknown must not be Valid")
+	}
+	if Kind(42).Valid() {
+		t.Error("out-of-range kind must not be Valid")
+	}
+	for _, k := range []Kind{KindVideo, KindAudio, KindImage, KindText} {
+		if !k.Valid() {
+			t.Errorf("%v should be Valid", k)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	cases := []struct {
+		f    Format
+		want string
+	}{
+		{Format{}, "-"},
+		{VideoMPEG1, "video/mpeg1"},
+		{ImageJPEGGray, "image/jpeg;gray"},
+		{AudioTelephony, "audio/g711;telephony"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Format%+v.String() = %q, want %q", c.f, got, c.want)
+		}
+	}
+}
+
+func TestParseFormatRoundTrip(t *testing.T) {
+	for _, f := range WellKnown() {
+		got, err := ParseFormat(f.String())
+		if err != nil {
+			t.Fatalf("ParseFormat(%q): %v", f.String(), err)
+		}
+		if got != f {
+			t.Errorf("round trip of %q gave %+v, want %+v", f.String(), got, f)
+		}
+	}
+}
+
+func TestParseFormatErrors(t *testing.T) {
+	for _, s := range []string{"", "video", "smell/codec", "video/", "/mpeg1"} {
+		if _, err := ParseFormat(s); err == nil {
+			t.Errorf("ParseFormat(%q) should fail", s)
+		}
+	}
+}
+
+func TestFormatValidate(t *testing.T) {
+	if err := (Format{Kind: KindVideo, Encoding: "MPEG1"}).Validate(); err == nil {
+		t.Error("upper-case encoding should fail validation")
+	}
+	if err := (Format{Kind: KindVideo}).Validate(); err == nil {
+		t.Error("empty encoding should fail validation")
+	}
+	for _, f := range WellKnown() {
+		if err := f.Validate(); err != nil {
+			t.Errorf("well-known format %s should validate: %v", f, err)
+		}
+	}
+}
+
+func TestMustParseFormatPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseFormat should panic on invalid input")
+		}
+	}()
+	MustParseFormat("nonsense")
+}
+
+func TestOpaque(t *testing.T) {
+	f5 := Opaque(5)
+	if f5.String() != "video/f5" {
+		t.Errorf("Opaque(5) = %s, want video/f5", f5)
+	}
+	if Opaque(5) != f5 {
+		t.Error("Opaque must be deterministic")
+	}
+	if Opaque(5) == Opaque(6) {
+		t.Error("distinct opaque indices must differ")
+	}
+	if got := Opaque(0).String(); got != "video/f0" {
+		t.Errorf("Opaque(0) = %s, want video/f0", got)
+	}
+	if got := Opaque(123).String(); got != "video/f123" {
+		t.Errorf("Opaque(123) = %s, want video/f123", got)
+	}
+	if got := Opaque(-3); got != Opaque(0) {
+		t.Errorf("negative opaque index should clamp to 0, got %s", got)
+	}
+}
+
+func TestOpaqueDistinctness(t *testing.T) {
+	seen := make(map[Format]int)
+	for i := 0; i < 500; i++ {
+		f := Opaque(i)
+		if prev, dup := seen[f]; dup {
+			t.Fatalf("Opaque(%d) collides with Opaque(%d): %s", i, prev, f)
+		}
+		seen[f] = i
+	}
+}
+
+func TestFormatSet(t *testing.T) {
+	s := NewFormatSet(VideoMPEG1, AudioMP3)
+	if !s.Contains(VideoMPEG1) || !s.Contains(AudioMP3) {
+		t.Fatal("set should contain its constructor arguments")
+	}
+	if s.Contains(ImageGIF) {
+		t.Fatal("set should not contain absent format")
+	}
+	s.Add(ImageGIF)
+	if !s.Contains(ImageGIF) {
+		t.Fatal("Add should insert")
+	}
+	inter := s.Intersect(NewFormatSet(ImageGIF, TextHTML))
+	if len(inter) != 1 || !inter.Contains(ImageGIF) {
+		t.Fatalf("Intersect = %v, want only image/gif", inter.Strings())
+	}
+}
+
+func TestFormatSetSliceSorted(t *testing.T) {
+	s := NewFormatSet(TextHTML, AudioMP3, VideoMPEG1, ImageGIF)
+	got := s.Strings()
+	want := []string{"audio/mp3", "image/gif", "text/html", "video/mpeg1"}
+	if len(got) != len(want) {
+		t.Fatalf("Strings() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Strings()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestParseFormatQuick property-tests that any format assembled from
+// valid components survives a String/Parse round trip.
+func TestParseFormatQuick(t *testing.T) {
+	kinds := []Kind{KindVideo, KindAudio, KindImage, KindText}
+	encodings := []string{"mpeg1", "h261", "jpeg", "gif", "pcm", "plain", "x"}
+	profiles := []string{"", "gray", "qcif", "2bit"}
+	prop := func(ki, ei, pi uint8) bool {
+		f := Format{
+			Kind:     kinds[int(ki)%len(kinds)],
+			Encoding: encodings[int(ei)%len(encodings)],
+			Profile:  profiles[int(pi)%len(profiles)],
+		}
+		got, err := ParseFormat(f.String())
+		return err == nil && got == f
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,31 @@
+package media
+
+import "testing"
+
+// FuzzParseFormat checks that ParseFormat never panics and that every
+// successfully parsed format survives a String/Parse round trip.
+func FuzzParseFormat(f *testing.F) {
+	for _, seed := range []string{
+		"video/mpeg1", "audio/g711;telephony", "image/jpeg;gray",
+		"text/plain", "", "video/", "/x", "video", "video/UPPER",
+		"kind/enc;a;b", "video/f5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		parsed, err := ParseFormat(s)
+		if err != nil {
+			return
+		}
+		if verr := parsed.Validate(); verr != nil {
+			t.Fatalf("ParseFormat(%q) returned invalid format: %v", s, verr)
+		}
+		again, err := ParseFormat(parsed.String())
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", parsed.String(), err)
+		}
+		if again != parsed {
+			t.Fatalf("round trip of %q changed value: %+v vs %+v", s, again, parsed)
+		}
+	})
+}

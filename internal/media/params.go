@@ -1,0 +1,202 @@
+package media
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Param names a continuous application-level QoS parameter of a media
+// stream. These are the variables x_i of Section 4.1: the quantities the
+// user's satisfaction functions are defined over and that the selection
+// algorithm tunes per trans-coding service.
+type Param string
+
+// The application-level QoS parameters used by the framework. Downstream
+// code may introduce additional parameters; these are the ones the paper
+// names (frame rate, resolution, colour depth, audio quality).
+const (
+	ParamFrameRate  Param = "framerate"  // frames per second
+	ParamResolution Param = "resolution" // kilopixels per frame
+	ParamColorDepth Param = "colordepth" // bits per pixel
+	ParamAudioRate  Param = "audiorate"  // kHz sampling rate
+	ParamAudioBits  Param = "audiobits"  // bits per sample
+)
+
+// Params is an assignment of values to QoS parameters. A nil Params is
+// treated as empty everywhere.
+type Params map[Param]float64
+
+// Clone returns a deep copy of p.
+func (p Params) Clone() Params {
+	if p == nil {
+		return nil
+	}
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Get returns the value of the parameter, or 0 when absent.
+func (p Params) Get(name Param) float64 { return p[name] }
+
+// Names returns the parameter names in sorted order, for deterministic
+// iteration.
+func (p Params) Names() []Param {
+	out := make([]Param, 0, len(p))
+	for k := range p {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Min returns the element-wise minimum of p and other over the parameters
+// present in p. Parameters absent from other are kept as-is. This models
+// a trans-coding service that can only reduce quality: its output
+// parameters are capped both by its capability and by its input.
+func (p Params) Min(other Params) Params {
+	out := p.Clone()
+	for k, v := range out {
+		if ov, ok := other[k]; ok && ov < v {
+			out[k] = ov
+		}
+	}
+	return out
+}
+
+// Dominates reports whether every parameter of p is >= the corresponding
+// parameter in other, with other's parameter set a subset of p's. It is
+// used by dominated-edge pruning in graph construction.
+func (p Params) Dominates(other Params) bool {
+	for k, v := range other {
+		pv, ok := p[k]
+		if !ok || pv < v {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether p and other hold the same assignments within eps.
+func (p Params) Equal(other Params, eps float64) bool {
+	if len(p) != len(other) {
+		return false
+	}
+	for k, v := range p {
+		ov, ok := other[k]
+		if !ok || math.Abs(ov-v) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the assignment as "name=value" pairs sorted by name.
+func (p Params) String() string {
+	if len(p) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range p.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.4g", name, p[name])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Descriptor fully describes one variant of a media object: its discrete
+// format signature plus the continuous QoS parameters at which it is (or
+// can be) delivered. The content profile of Section 3 is a collection of
+// descriptors, one per stored variant.
+type Descriptor struct {
+	// Format is the discrete compatibility signature of the variant.
+	Format Format
+	// Params are the maximum QoS parameter values the variant offers;
+	// the selection algorithm may deliver anything at or below them.
+	Params Params
+	// Bitrate converts a parameter assignment into the bandwidth the
+	// stream requires. When nil, DefaultBitrate is used.
+	Bitrate BitrateModel
+}
+
+// RequiredKbps returns the bandwidth in kbit/s needed to deliver the
+// descriptor at the given parameters.
+func (d Descriptor) RequiredKbps(p Params) float64 {
+	m := d.Bitrate
+	if m == nil {
+		m = DefaultBitrate
+	}
+	return m.RequiredKbps(p)
+}
+
+// Validate checks the descriptor's format and that no parameter is
+// negative or non-finite.
+func (d Descriptor) Validate() error {
+	if err := d.Format.Validate(); err != nil {
+		return err
+	}
+	for k, v := range d.Params {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("media: descriptor %s parameter %s has invalid value %v", d.Format, k, v)
+		}
+	}
+	return nil
+}
+
+// BitrateModel converts a QoS parameter assignment into the bandwidth in
+// kbit/s required to stream the content at those parameters. The model is
+// the bandwidth_requirement(x1..xn) function of Equation 2.
+type BitrateModel interface {
+	RequiredKbps(Params) float64
+}
+
+// LinearBitrate charges a fixed number of kbit/s per unit of each
+// parameter plus a constant overhead. A parameter absent from the
+// assignment contributes nothing.
+type LinearBitrate struct {
+	// PerUnit maps a parameter to its kbit/s cost per unit.
+	PerUnit map[Param]float64
+	// Overhead is a constant kbit/s term (container/protocol overhead).
+	Overhead float64
+}
+
+// RequiredKbps implements BitrateModel.
+func (m LinearBitrate) RequiredKbps(p Params) float64 {
+	total := m.Overhead
+	for k, perUnit := range m.PerUnit {
+		total += perUnit * p.Get(k)
+	}
+	return total
+}
+
+// VideoBitrate models raw-ish video bandwidth as the product
+// framerate × resolution(kpx) × colordepth(bits) scaled by a compression
+// ratio, plus audio as audiorate × audiobits.
+type VideoBitrate struct {
+	// Compression divides the raw pixel bitrate; 1 means uncompressed.
+	Compression float64
+}
+
+// RequiredKbps implements BitrateModel.
+func (m VideoBitrate) RequiredKbps(p Params) float64 {
+	c := m.Compression
+	if c <= 0 {
+		c = 1
+	}
+	video := p.Get(ParamFrameRate) * p.Get(ParamResolution) * p.Get(ParamColorDepth) / c
+	audio := p.Get(ParamAudioRate) * p.Get(ParamAudioBits)
+	return video + audio
+}
+
+// DefaultBitrate is the bitrate model used when a descriptor does not set
+// one: 100 kbit/s per frame per second, which is the calibration the
+// paper-example graph uses (Table 1 reproduces exactly under it).
+var DefaultBitrate BitrateModel = LinearBitrate{PerUnit: map[Param]float64{ParamFrameRate: 100}}

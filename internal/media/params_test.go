@@ -1,0 +1,191 @@
+package media
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsCloneIndependence(t *testing.T) {
+	p := Params{ParamFrameRate: 30, ParamResolution: 300}
+	c := p.Clone()
+	c[ParamFrameRate] = 10
+	if p[ParamFrameRate] != 30 {
+		t.Error("Clone must not share storage")
+	}
+	if Params(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}
+
+func TestParamsGet(t *testing.T) {
+	p := Params{ParamFrameRate: 25}
+	if p.Get(ParamFrameRate) != 25 {
+		t.Error("Get should return stored value")
+	}
+	if p.Get(ParamAudioRate) != 0 {
+		t.Error("Get of absent parameter should be 0")
+	}
+}
+
+func TestParamsNamesSorted(t *testing.T) {
+	p := Params{ParamResolution: 1, ParamAudioBits: 2, ParamFrameRate: 3}
+	names := p.Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names not sorted: %v", names)
+		}
+	}
+}
+
+func TestParamsMin(t *testing.T) {
+	p := Params{ParamFrameRate: 30, ParamResolution: 300}
+	capped := p.Min(Params{ParamFrameRate: 15})
+	if capped[ParamFrameRate] != 15 {
+		t.Errorf("framerate should cap to 15, got %v", capped[ParamFrameRate])
+	}
+	if capped[ParamResolution] != 300 {
+		t.Errorf("resolution should be unchanged, got %v", capped[ParamResolution])
+	}
+	// Min must not raise values.
+	raised := p.Min(Params{ParamFrameRate: 60})
+	if raised[ParamFrameRate] != 30 {
+		t.Errorf("Min must never raise a value, got %v", raised[ParamFrameRate])
+	}
+}
+
+func TestParamsDominates(t *testing.T) {
+	hi := Params{ParamFrameRate: 30, ParamResolution: 300}
+	lo := Params{ParamFrameRate: 15, ParamResolution: 300}
+	if !hi.Dominates(lo) {
+		t.Error("hi should dominate lo")
+	}
+	if lo.Dominates(hi) {
+		t.Error("lo should not dominate hi")
+	}
+	if !hi.Dominates(Params{ParamFrameRate: 30}) {
+		t.Error("domination over a subset of parameters should hold")
+	}
+	if hi.Dominates(Params{ParamAudioRate: 1}) {
+		t.Error("missing parameter must break domination")
+	}
+	if !hi.Dominates(nil) {
+		t.Error("everything dominates the empty assignment")
+	}
+}
+
+func TestParamsEqual(t *testing.T) {
+	a := Params{ParamFrameRate: 30}
+	b := Params{ParamFrameRate: 30.0000001}
+	if !a.Equal(b, 1e-3) {
+		t.Error("Equal within eps should hold")
+	}
+	if a.Equal(b, 1e-9) {
+		t.Error("Equal outside eps should fail")
+	}
+	if a.Equal(Params{ParamAudioRate: 30}, 1) {
+		t.Error("different parameter names are never Equal")
+	}
+	if a.Equal(Params{ParamFrameRate: 30, ParamAudioRate: 1}, 1) {
+		t.Error("different sizes are never Equal")
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	if got := (Params{}).String(); got != "{}" {
+		t.Errorf("empty Params String = %q", got)
+	}
+	got := Params{ParamFrameRate: 20, ParamAudioRate: 8}.String()
+	want := "{audiorate=8 framerate=20}"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestLinearBitrate(t *testing.T) {
+	m := LinearBitrate{PerUnit: map[Param]float64{ParamFrameRate: 100}, Overhead: 50}
+	got := m.RequiredKbps(Params{ParamFrameRate: 20})
+	if got != 2050 {
+		t.Errorf("RequiredKbps = %v, want 2050", got)
+	}
+	if m.RequiredKbps(nil) != 50 {
+		t.Error("empty params should cost only the overhead")
+	}
+}
+
+func TestVideoBitrate(t *testing.T) {
+	m := VideoBitrate{Compression: 50}
+	p := Params{
+		ParamFrameRate:  25,
+		ParamResolution: 300, // kilopixels
+		ParamColorDepth: 24,
+		ParamAudioRate:  44.1,
+		ParamAudioBits:  16,
+	}
+	want := 25*300*24/50.0 + 44.1*16
+	if got := m.RequiredKbps(p); math.Abs(got-want) > 1e-9 {
+		t.Errorf("RequiredKbps = %v, want %v", got, want)
+	}
+	// Zero compression defaults to 1 rather than dividing by zero.
+	raw := VideoBitrate{}.RequiredKbps(Params{ParamFrameRate: 1, ParamResolution: 1, ParamColorDepth: 1})
+	if raw != 1 {
+		t.Errorf("default compression should be 1, got bitrate %v", raw)
+	}
+}
+
+func TestDescriptorRequiredKbpsDefault(t *testing.T) {
+	d := Descriptor{Format: VideoMPEG1, Params: Params{ParamFrameRate: 30}}
+	if got := d.RequiredKbps(Params{ParamFrameRate: 20}); got != 2000 {
+		t.Errorf("default bitrate model should charge 100 kbps/fps: got %v", got)
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	good := Descriptor{Format: VideoMPEG1, Params: Params{ParamFrameRate: 30}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid descriptor rejected: %v", err)
+	}
+	bad := []Descriptor{
+		{Format: Format{}},
+		{Format: VideoMPEG1, Params: Params{ParamFrameRate: -1}},
+		{Format: VideoMPEG1, Params: Params{ParamFrameRate: math.NaN()}},
+		{Format: VideoMPEG1, Params: Params{ParamFrameRate: math.Inf(1)}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad descriptor %d should fail validation", i)
+		}
+	}
+}
+
+// Property: Min is idempotent, commutative in its capping effect, and
+// never increases any coordinate.
+func TestParamsMinQuick(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		p := Params{ParamFrameRate: float64(a % 100), ParamResolution: float64(b % 1000)}
+		q := Params{ParamFrameRate: float64(b % 100), ParamResolution: float64(a % 1000)}
+		m := p.Min(q)
+		if m[ParamFrameRate] > p[ParamFrameRate] || m[ParamResolution] > p[ParamResolution] {
+			return false
+		}
+		if m[ParamFrameRate] > q[ParamFrameRate] || m[ParamResolution] > q[ParamResolution] {
+			return false
+		}
+		return m.Equal(m.Min(q), 0)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a params vector always dominates its own Min with anything.
+func TestParamsDominatesMinQuick(t *testing.T) {
+	prop := func(a, b, c uint16) bool {
+		p := Params{ParamFrameRate: float64(a), ParamResolution: float64(b)}
+		q := Params{ParamFrameRate: float64(c)}
+		return p.Dominates(p.Min(q))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package media
+
+// Well-known formats used throughout the framework, the examples and the
+// paper-era scenarios (Section 1 motivates jpeg→gif colour reduction,
+// HTML→WML, audio→text, video→keyframe conversions; Section 4 labels
+// formats opaquely as F1..F16).
+var (
+	// Video formats.
+	VideoMPEG1     = Format{Kind: KindVideo, Encoding: "mpeg1"}
+	VideoMPEG2     = Format{Kind: KindVideo, Encoding: "mpeg2"}
+	VideoMPEG4     = Format{Kind: KindVideo, Encoding: "mpeg4"}
+	VideoH261      = Format{Kind: KindVideo, Encoding: "h261"}
+	VideoH263      = Format{Kind: KindVideo, Encoding: "h263"}
+	VideoMJPEG     = Format{Kind: KindVideo, Encoding: "mjpeg"}
+	VideoH263QCIF  = Format{Kind: KindVideo, Encoding: "h263", Profile: "qcif"}
+	VideoKeyframes = Format{Kind: KindImage, Encoding: "jpeg", Profile: "keyframes"}
+
+	// Audio formats.
+	AudioPCM       = Format{Kind: KindAudio, Encoding: "pcm"}
+	AudioPCM8K     = Format{Kind: KindAudio, Encoding: "pcm", Profile: "8khz"}
+	AudioMP3       = Format{Kind: KindAudio, Encoding: "mp3"}
+	AudioAAC       = Format{Kind: KindAudio, Encoding: "aac"}
+	AudioGSM       = Format{Kind: KindAudio, Encoding: "gsm"}
+	AudioG711      = Format{Kind: KindAudio, Encoding: "g711"}
+	AudioTelephony = Format{Kind: KindAudio, Encoding: "g711", Profile: "telephony"}
+
+	// Image formats.
+	ImageJPEG     = Format{Kind: KindImage, Encoding: "jpeg"}
+	ImageJPEGGray = Format{Kind: KindImage, Encoding: "jpeg", Profile: "gray"}
+	ImageGIF      = Format{Kind: KindImage, Encoding: "gif"}
+	ImageGIF2Bit  = Format{Kind: KindImage, Encoding: "gif", Profile: "2bit"}
+	ImagePNG      = Format{Kind: KindImage, Encoding: "png"}
+	ImageBMP      = Format{Kind: KindImage, Encoding: "bmp"}
+
+	// Text formats.
+	TextHTML       = Format{Kind: KindText, Encoding: "html"}
+	TextWML        = Format{Kind: KindText, Encoding: "wml"}
+	TextPlain      = Format{Kind: KindText, Encoding: "plain"}
+	TextSummary    = Format{Kind: KindText, Encoding: "plain", Profile: "summary"}
+	TextTranscript = Format{Kind: KindText, Encoding: "plain", Profile: "transcript"}
+)
+
+// Opaque returns the opaque numbered format "Fn" used by the paper's
+// figures (F1, F2, ...). Opaque formats share the video kind so that the
+// continuous video QoS parameters apply to them; the encoding carries the
+// identity.
+func Opaque(n int) Format {
+	return Format{Kind: KindVideo, Encoding: opaqueName(n)}
+}
+
+func opaqueName(n int) string {
+	// fmt.Sprintf would be fine; a manual conversion keeps this
+	// allocation-light for graph construction benchmarks.
+	if n < 0 {
+		n = 0
+	}
+	buf := [8]byte{'f'}
+	i := len(buf)
+	if n == 0 {
+		return "f0"
+	}
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return "f" + string(buf[i:])
+}
+
+// WellKnown lists every named format defined by this package. It is used
+// by workload generators and by tests that iterate the format universe.
+func WellKnown() []Format {
+	return []Format{
+		VideoMPEG1, VideoMPEG2, VideoMPEG4, VideoH261, VideoH263,
+		VideoMJPEG, VideoH263QCIF, VideoKeyframes,
+		AudioPCM, AudioPCM8K, AudioMP3, AudioAAC, AudioGSM, AudioG711,
+		AudioTelephony,
+		ImageJPEG, ImageJPEGGray, ImageGIF, ImageGIF2Bit, ImagePNG,
+		ImageBMP,
+		TextHTML, TextWML, TextPlain, TextSummary, TextTranscript,
+	}
+}

@@ -1,0 +1,196 @@
+// Package metrics provides the small statistics and table-rendering
+// toolkit the experiment harness uses to report results in the shape the
+// paper's tables and figures have.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	Count         int
+	Mean, Std     float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes summary statistics; an empty sample yields zeros.
+func Summarize(sample []float64) Summary {
+	n := len(sample)
+	if n == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(n)
+	varSum := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		varSum += d * d
+	}
+	std := 0.0
+	if n > 1 {
+		std = math.Sqrt(varSum / float64(n-1))
+	}
+	return Summary{
+		Count: n,
+		Mean:  mean,
+		Std:   std,
+		Min:   sorted[0],
+		Max:   sorted[n-1],
+		P50:   quantile(sorted, 0.50),
+		P90:   quantile(sorted, 0.90),
+		P99:   quantile(sorted, 0.99),
+	}
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram buckets a sample into fixed-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+	Total    int
+}
+
+// NewHistogram builds a histogram with the given number of bins.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if max <= min {
+		max = min + 1
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Observe adds a value (clamped into range).
+func (h *Histogram) Observe(v float64) {
+	if v < h.Min {
+		v = h.Min
+	}
+	if v > h.Max {
+		v = h.Max
+	}
+	idx := int((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.Total++
+}
+
+// Render draws the histogram with unicode bars, one bin per line.
+func (h *Histogram) Render(w io.Writer) {
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*40/maxCount)
+		}
+		fmt.Fprintf(w, "%8.2f–%-8.2f |%-40s %d\n", h.Min+float64(i)*width, h.Min+float64(i+1)*width, bar, c)
+	}
+}
+
+// Table renders fixed-width text tables in the style of the paper's
+// Table 1.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(values ...interface{}) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// RowCount returns the number of data rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.Join(parts, " | "))
+	}
+	line(t.headers)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 3
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.Std != 0 || s.P90 != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeUnsortedInputUntouched(t *testing.T) {
+	in := []float64{3, 1, 2}
+	_ = Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize must not mutate its input")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if math.Abs(s.P50-5) > 1e-12 {
+		t.Errorf("P50 = %v, want 5", s.P50)
+	}
+	if math.Abs(s.P90-9) > 1e-12 {
+		t.Errorf("P90 = %v, want 9", s.P90)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{0.5, 1, 2.5, 9.9, 10, -3, 42} {
+		h.Observe(v)
+	}
+	if h.Total != 7 {
+		t.Errorf("Total = %d", h.Total)
+	}
+	if h.Counts[0] != 3 { // 0.5, 1, clamped -3
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[4] != 3 { // 9.9, 10, clamped 42
+		t.Errorf("bin 4 = %d", h.Counts[4])
+	}
+	var b strings.Builder
+	h.Render(&b)
+	if !strings.Contains(b.String(), "#") {
+		t.Error("render should draw bars")
+	}
+}
+
+func TestHistogramDegenerateConfig(t *testing.T) {
+	h := NewHistogram(5, 5, 0)
+	h.Observe(5)
+	if h.Total != 1 || len(h.Counts) != 1 {
+		t.Errorf("degenerate histogram = %+v", h)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Round", "Selected", "Satisfaction")
+	tb.AddRow(1, "T10", 1.0)
+	tb.AddRow(15, "receiver", 0.6617)
+	if tb.RowCount() != 2 {
+		t.Errorf("RowCount = %d", tb.RowCount())
+	}
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Round", "T10", "0.66", "receiver", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table lines = %d, want 4", len(lines))
+	}
+}

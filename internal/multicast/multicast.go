@@ -1,0 +1,178 @@
+// Package multicast composes adaptation chains for a *group* of
+// heterogeneous receivers of the same content — the one-sender,
+// many-clients setting the paper's introduction motivates ("trans-coding
+// services ... can also be replicated across the network").
+//
+// This is an extension beyond the paper (EXT-E in EXPERIMENTS.md): the
+// paper's algorithm serves one receiver. The group composer runs it once
+// per receiver in order, but lets later receivers reuse the trans-coding
+// services earlier receivers already pay for: a reused service instance
+// has zero marginal monetary cost, so tight budgets stop blocking the
+// high-quality chains once one group member funds them.
+package multicast
+
+import (
+	"fmt"
+	"sort"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// Receiver is one group member: a device plus that user's selection
+// configuration (satisfaction profile, budget, receiver caps).
+type Receiver struct {
+	// ID names the member (used as the receiver host on the overlay).
+	ID string
+	// Device supplies the decoders and render caps.
+	Device *profile.Device
+	// Config is the member's selection configuration.
+	Config core.Config
+}
+
+// Group is the shared composition problem.
+type Group struct {
+	// Content is the common source.
+	Content *profile.Content
+	// Services are the deployed trans-coding services (hosts stamped).
+	Services []*service.Service
+	// Net is the overlay; each receiver must be reachable on it under
+	// its ID (or its Device.ID when ID is empty).
+	Net *overlay.Network
+	// SenderHost locates the sender.
+	SenderHost string
+}
+
+// MemberResult is one receiver's outcome.
+type MemberResult struct {
+	Receiver string
+	Result   *core.Result
+	Err      error
+}
+
+// Result is the group outcome.
+type Result struct {
+	// Members holds per-receiver results in composition order.
+	Members []MemberResult
+	// SharedCost is the total monetary cost with service sharing.
+	SharedCost float64
+	// IndependentCost is what the same chains would cost if every
+	// member paid for its services separately.
+	IndependentCost float64
+	// Shared lists services used by more than one member.
+	Shared []service.ID
+	// MeanSatisfaction averages the satisfactions of served members.
+	MeanSatisfaction float64
+}
+
+// Compose runs the shared composition. Receivers are served in the given
+// order; an unreachable receiver is recorded with its error rather than
+// failing the group.
+func Compose(g Group, receivers []Receiver) (*Result, error) {
+	if g.Content == nil {
+		return nil, fmt.Errorf("multicast: nil content")
+	}
+	if len(receivers) == 0 {
+		return nil, fmt.Errorf("multicast: no receivers")
+	}
+
+	res := &Result{}
+	paid := make(map[service.ID]float64) // service -> cost already funded
+	usage := make(map[service.ID]int)
+	satSum := 0.0
+	served := 0
+
+	for _, rcv := range receivers {
+		host := rcv.ID
+		if host == "" && rcv.Device != nil {
+			host = rcv.Device.ID
+		}
+		// Clone the service pool with already-funded services free.
+		pool := make([]*service.Service, len(g.Services))
+		for i, s := range g.Services {
+			c := s.Clone()
+			if _, funded := paid[c.ID]; funded {
+				c.Cost = 0
+			}
+			pool[i] = c
+		}
+		adaptGraph, err := graph.Build(graph.Input{
+			Content:      g.Content,
+			Device:       rcv.Device,
+			Services:     pool,
+			Net:          g.Net,
+			SenderHost:   g.SenderHost,
+			ReceiverHost: host,
+		})
+		var selected *core.Result
+		if err == nil {
+			selected, err = core.Select(adaptGraph, rcv.Config)
+		}
+		res.Members = append(res.Members, MemberResult{Receiver: host, Result: selected, Err: err})
+		if err != nil {
+			continue
+		}
+		served++
+		satSum += selected.Satisfaction
+		res.SharedCost += selected.Cost
+		// Account full (unshared) prices for the comparison, and mark
+		// the chain's services as funded.
+		for _, id := range selected.Path[1 : len(selected.Path)-1] {
+			sid := service.ID(id)
+			usage[sid]++
+			full := fullCost(g.Services, sid)
+			res.IndependentCost += full
+			if _, funded := paid[sid]; !funded {
+				paid[sid] = full
+			}
+		}
+	}
+	if served > 0 {
+		res.MeanSatisfaction = satSum / float64(served)
+	}
+	for id, n := range usage {
+		if n > 1 {
+			res.Shared = append(res.Shared, id)
+		}
+	}
+	sort.Slice(res.Shared, func(i, j int) bool { return res.Shared[i] < res.Shared[j] })
+	return res, nil
+}
+
+func fullCost(services []*service.Service, id service.ID) float64 {
+	for _, s := range services {
+		if s.ID == id {
+			return s.Cost
+		}
+	}
+	return 0
+}
+
+// Savings returns the monetary saving sharing achieved.
+func (r *Result) Savings() float64 { return r.IndependentCost - r.SharedCost }
+
+// Served counts members that received a chain.
+func (r *Result) Served() int {
+	n := 0
+	for _, m := range r.Members {
+		if m.Err == nil && m.Result != nil && m.Result.Found {
+			n++
+		}
+	}
+	return n
+}
+
+// ReuseNetwork is a convenience for tests and examples: it extends the
+// overlay with identical last-hop links from hub to each receiver.
+func ReuseNetwork(net *overlay.Network, hub string, kbps, delayMs float64, receivers []Receiver) {
+	for _, rcv := range receivers {
+		host := rcv.ID
+		if host == "" && rcv.Device != nil {
+			host = rcv.Device.ID
+		}
+		net.AddLink(hub, host, kbps, delayMs, 0)
+	}
+}

@@ -1,0 +1,191 @@
+package multicast
+
+import (
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+func fpsConfig(budget float64) core.Config {
+	return core.Config{
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+		}),
+		Budget: budget,
+	}
+}
+
+func phone(id string) *profile.Device {
+	return &profile.Device{
+		ID:       id,
+		Class:    profile.ClassPhone,
+		Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+	}
+}
+
+// group builds: sender → proxy (premium converter, cost 5; economy
+// converter, cost 1 with a 12 fps cap) → N phones.
+func group(receivers ...Receiver) (Group, []Receiver) {
+	premium := service.FormatConverter("premium", media.VideoMPEG1, media.VideoH263)
+	premium.Cost = 5
+	premium.Host = "proxy"
+	economy := service.FormatConverter("economy", media.VideoMPEG1, media.VideoH263)
+	economy.Cost = 1
+	economy.Caps = media.Params{media.ParamFrameRate: 12}
+	economy.Host = "proxy"
+
+	net := overlay.New()
+	net.AddLink("sender", "proxy", 4000, 10, 0)
+	ReuseNetwork(net, "proxy", 3000, 20, receivers)
+
+	return Group{
+		Content: &profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Services:   []*service.Service{premium, economy},
+		Net:        net,
+		SenderHost: "sender",
+	}, receivers
+}
+
+func TestComposeSharingUnlocksPremium(t *testing.T) {
+	// First member can afford the premium converter; the second has
+	// budget 1 and would be stuck on economy alone — but sharing makes
+	// premium free for them.
+	receivers := []Receiver{
+		{ID: "phone-1", Device: phone("phone-1"), Config: fpsConfig(10)},
+		{ID: "phone-2", Device: phone("phone-2"), Config: fpsConfig(1)},
+	}
+	g, receivers := group(receivers...)
+	res, err := Compose(g, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served() != 2 {
+		t.Fatalf("served = %d, want 2", res.Served())
+	}
+	for i, m := range res.Members {
+		if string(m.Result.Path[1]) != "premium" {
+			t.Errorf("member %d path = %v, want premium", i, m.Result.Path)
+		}
+		if m.Result.Satisfaction != 1 {
+			t.Errorf("member %d satisfaction = %v, want 1", i, m.Result.Satisfaction)
+		}
+	}
+	if res.SharedCost != 5 {
+		t.Errorf("SharedCost = %v, want 5 (premium funded once)", res.SharedCost)
+	}
+	if res.IndependentCost != 10 {
+		t.Errorf("IndependentCost = %v, want 10", res.IndependentCost)
+	}
+	if res.Savings() != 5 {
+		t.Errorf("Savings = %v, want 5", res.Savings())
+	}
+	if len(res.Shared) != 1 || res.Shared[0] != "premium" {
+		t.Errorf("Shared = %v", res.Shared)
+	}
+}
+
+func TestComposeWithoutSharingBudgetBinds(t *testing.T) {
+	// A single budget-1 receiver alone can only afford economy.
+	receivers := []Receiver{
+		{ID: "phone-2", Device: phone("phone-2"), Config: fpsConfig(1)},
+	}
+	g, receivers := group(receivers...)
+	res, err := Compose(g, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Members[0]
+	if string(m.Result.Path[1]) != "economy" {
+		t.Errorf("path = %v, want economy (budget 1)", m.Result.Path)
+	}
+	if m.Result.Satisfaction >= 1 {
+		t.Error("economy chain should cap satisfaction below 1")
+	}
+}
+
+func TestComposeUnreachableMemberRecorded(t *testing.T) {
+	receivers := []Receiver{
+		{ID: "phone-1", Device: phone("phone-1"), Config: fpsConfig(10)},
+		{ID: "island", Device: phone("island"), Config: fpsConfig(10)},
+	}
+	g, _ := group(receivers[0]) // only phone-1 gets a last hop
+	g.Net.AddNode("island")
+	res, err := Compose(g, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served() != 1 {
+		t.Errorf("served = %d, want 1", res.Served())
+	}
+	if res.Members[1].Err == nil {
+		t.Error("unreachable member should carry an error")
+	}
+	if res.MeanSatisfaction != 1 {
+		t.Errorf("mean satisfaction over served members = %v, want 1", res.MeanSatisfaction)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	if _, err := Compose(Group{}, nil); err == nil {
+		t.Error("nil content must fail")
+	}
+	g, _ := group()
+	if _, err := Compose(g, nil); err == nil {
+		t.Error("empty receiver list must fail")
+	}
+}
+
+func TestComposeDefaultsHostToDeviceID(t *testing.T) {
+	receivers := []Receiver{
+		{Device: phone("phone-1"), Config: fpsConfig(10)}, // no explicit ID
+	}
+	g, receivers := group(Receiver{ID: "phone-1", Device: phone("phone-1"), Config: fpsConfig(10)})
+	res, err := Compose(g, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Members[0].Receiver != "phone-1" {
+		t.Errorf("receiver host = %q, want device ID fallback", res.Members[0].Receiver)
+	}
+	if res.Served() != 1 {
+		t.Error("device-ID fallback must still serve")
+	}
+}
+
+func TestComposeHeterogeneousGroup(t *testing.T) {
+	// A phone and a desktop: the desktop decodes the source directly
+	// (no service cost), the phone uses the shared premium converter.
+	desktop := &profile.Device{
+		ID:       "desk-1",
+		Class:    profile.ClassDesktop,
+		Software: profile.Software{Decoders: []media.Format{media.VideoMPEG1}},
+	}
+	receivers := []Receiver{
+		{ID: "phone-1", Device: phone("phone-1"), Config: fpsConfig(10)},
+		{ID: "desk-1", Device: desktop, Config: fpsConfig(10)},
+	}
+	g, receivers := group(receivers...)
+	res, err := Compose(g, receivers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served() != 2 {
+		t.Fatalf("served = %d", res.Served())
+	}
+	if len(res.Members[1].Result.Path) != 2 {
+		t.Errorf("desktop should take the direct path: %v", res.Members[1].Result.Path)
+	}
+	if res.SharedCost != 5 {
+		t.Errorf("only the phone's premium should cost: %v", res.SharedCost)
+	}
+	if len(res.Shared) != 0 {
+		t.Errorf("nothing is shared here: %v", res.Shared)
+	}
+}

@@ -1,0 +1,106 @@
+package overlay
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Diurnal models the daily load pattern of a shared network: capacity
+// available to the session dips during the busy hours and recovers at
+// night, with small random noise on top. One full day spans Period
+// virtual-time steps.
+type Diurnal struct {
+	net    *Network
+	period int
+	depth  float64
+	noise  float64
+	rng    *rand.Rand
+
+	step int
+	base map[[2]string]float64
+}
+
+// NewDiurnal captures the current link capacities as the off-peak
+// baseline. depth in (0,1) is the busy-hour reduction (0.4 = links lose
+// 40% at the peak); noise in [0,1) adds a uniform per-step perturbation.
+func NewDiurnal(net *Network, rng *rand.Rand, period int, depth, noise float64) (*Diurnal, error) {
+	if period < 2 {
+		return nil, fmt.Errorf("overlay: diurnal period %d too short", period)
+	}
+	if depth <= 0 || depth >= 1 {
+		return nil, fmt.Errorf("overlay: diurnal depth %v outside (0,1)", depth)
+	}
+	if noise < 0 || noise >= 1 {
+		return nil, fmt.Errorf("overlay: diurnal noise %v outside [0,1)", noise)
+	}
+	base := make(map[[2]string]float64)
+	for _, l := range net.Snapshot().Links {
+		base[[2]string{l.From, l.To}] = l.BandwidthKbps
+	}
+	return &Diurnal{net: net, period: period, depth: depth, noise: noise, rng: rng, base: base}, nil
+}
+
+// Step advances one virtual-time step, rescaling every link; it returns
+// the busy-hour factor applied (1 = off-peak baseline).
+func (d *Diurnal) Step() float64 {
+	d.step++
+	phase := 2 * math.Pi * float64(d.step%d.period) / float64(d.period)
+	// Peak load (deepest dip) at mid-period.
+	factor := 1 - d.depth*(0.5-0.5*math.Cos(phase))
+	for key, kbps := range d.base {
+		f := factor
+		if d.noise > 0 {
+			f *= 1 + (d.rng.Float64()*2-1)*d.noise
+		}
+		_ = d.net.SetBandwidth(key[0], key[1], kbps*f)
+	}
+	return factor
+}
+
+// CurrentStep returns the virtual time.
+func (d *Diurnal) CurrentStep() int { return d.step }
+
+// PreferentialAttachment grows a scale-free overlay: it starts from a
+// small ring over sender/receiver/first proxies and attaches every
+// further proxy with m duplex links to existing hosts sampled
+// proportionally to their degree — the hub-and-spoke shape real proxy
+// infrastructures converge to.
+func PreferentialAttachment(n, m int, spec LinkSpec, rng *rand.Rand) *Network {
+	if m < 1 {
+		m = 1
+	}
+	net := New()
+	hosts := []string{"sender", "receiver"}
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, ProxyName(i))
+	}
+	seed := 3
+	if len(hosts) < seed {
+		seed = len(hosts)
+	}
+	// Degree-weighted sampling list: each endpoint appears once per
+	// incident duplex link.
+	var degreeList []string
+	connect := func(a, b string) {
+		kbps, delay := spec.draw(rng)
+		net.AddDuplexLink(a, b, kbps, delay, 0)
+		degreeList = append(degreeList, a, b)
+	}
+	// Seed ring.
+	for i := 0; i < seed; i++ {
+		connect(hosts[i], hosts[(i+1)%seed])
+	}
+	for i := seed; i < len(hosts); i++ {
+		attached := map[string]bool{}
+		for len(attached) < m && len(attached) < i {
+			target := degreeList[rng.Intn(len(degreeList))]
+			if target == hosts[i] || attached[target] {
+				continue
+			}
+			attached[target] = true
+			connect(hosts[i], target)
+		}
+	}
+	return net
+}

@@ -1,0 +1,105 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fluctuation drives bandwidth changes over *virtual time*: the caller
+// advances time explicitly with Step, which keeps experiments
+// deterministic and free of wall-clock dependencies. This substitutes for
+// the paper's real, fluctuating transport networks (Section 3, network
+// profile) in the re-composition experiments.
+
+// TraceEvent is one scheduled bandwidth change.
+type TraceEvent struct {
+	// AtStep is the virtual time step at which the change applies.
+	AtStep int
+	// From/To identify the link.
+	From, To string
+	// BandwidthKbps is the new bandwidth; negative means "remove link".
+	BandwidthKbps float64
+}
+
+// Trace replays a fixed schedule of bandwidth changes.
+type Trace struct {
+	net    *Network
+	events []TraceEvent
+	step   int
+	next   int
+}
+
+// NewTrace builds a trace over the network. Events are applied in AtStep
+// order (stable for equal steps).
+func NewTrace(net *Network, events []TraceEvent) *Trace {
+	sorted := append([]TraceEvent(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].AtStep < sorted[j].AtStep })
+	return &Trace{net: net, events: sorted}
+}
+
+// Step advances virtual time by one step, applying every due event. It
+// returns the events applied at this step.
+func (t *Trace) Step() []TraceEvent {
+	t.step++
+	var applied []TraceEvent
+	for t.next < len(t.events) && t.events[t.next].AtStep <= t.step {
+		ev := t.events[t.next]
+		t.next++
+		if ev.BandwidthKbps < 0 {
+			t.net.RemoveLink(ev.From, ev.To)
+		} else {
+			// Ignore unknown links: traces may be written against
+			// generated topologies where some links were pruned.
+			_ = t.net.SetBandwidth(ev.From, ev.To, ev.BandwidthKbps)
+		}
+		applied = append(applied, ev)
+	}
+	return applied
+}
+
+// Done reports whether all events have been applied.
+func (t *Trace) Done() bool { return t.next >= len(t.events) }
+
+// CurrentStep returns the virtual time.
+func (t *Trace) CurrentStep() int { return t.step }
+
+// RandomWalk perturbs every link's bandwidth multiplicatively each step:
+// bw *= 1 + U(-amplitude, +amplitude), clamped to [floorKbps, capKbps].
+// It models the "fluctuating network resources" of Section 3 without a
+// fixed script.
+type RandomWalk struct {
+	net       *Network
+	rng       *rand.Rand
+	amplitude float64
+	floorKbps float64
+	capKbps   float64
+}
+
+// NewRandomWalk builds a random-walk fluctuator. Amplitude must be in
+// (0,1); floor and cap bound the walk.
+func NewRandomWalk(net *Network, rng *rand.Rand, amplitude, floorKbps, capKbps float64) (*RandomWalk, error) {
+	if amplitude <= 0 || amplitude >= 1 {
+		return nil, fmt.Errorf("overlay: random-walk amplitude %v outside (0,1)", amplitude)
+	}
+	if floorKbps < 0 || capKbps <= floorKbps {
+		return nil, fmt.Errorf("overlay: random-walk bounds [%v,%v] invalid", floorKbps, capKbps)
+	}
+	return &RandomWalk{net: net, rng: rng, amplitude: amplitude, floorKbps: floorKbps, capKbps: capKbps}, nil
+}
+
+// Step perturbs every link once.
+func (w *RandomWalk) Step() {
+	snap := w.net.Snapshot()
+	for _, l := range snap.Links {
+		factor := 1 + (w.rng.Float64()*2-1)*w.amplitude
+		bw := l.BandwidthKbps * factor
+		if bw < w.floorKbps {
+			bw = w.floorKbps
+		}
+		if bw > w.capKbps {
+			bw = w.capKbps
+		}
+		_ = w.net.SetBandwidth(l.From, l.To, bw)
+	}
+}

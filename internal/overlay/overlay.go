@@ -1,0 +1,316 @@
+// Package overlay simulates the delivery network the paper assumes: the
+// sender, the receiver and the intermediaries (proxies) hosting
+// trans-coding services, connected by links with available bandwidth,
+// delay and loss.
+//
+// The paper's selection algorithm consumes exactly one quantity from the
+// network: the available bandwidth between the hosts of two chained
+// services (Section 4.3), with co-located services seeing unlimited
+// bandwidth. The simulator supplies that quantity, supports dynamic
+// fluctuation for the re-composition experiments, and offers topology
+// generators for scalability workloads.
+package overlay
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"qoschain/internal/profile"
+)
+
+// Network is a mutable, concurrency-safe directed overlay network.
+type Network struct {
+	mu    sync.RWMutex
+	nodes map[string]bool
+	links map[edge]*linkState
+	subs  []chan Event
+}
+
+type edge struct{ from, to string }
+
+type linkState struct {
+	bandwidthKbps float64 // capacity
+	reservedKbps  float64 // held by admitted sessions
+	delayMs       float64
+	lossRate      float64
+}
+
+// available returns the unreserved capacity, clamped at zero when
+// fluctuation pushed capacity below the reservations.
+func (l *linkState) available() float64 {
+	a := l.bandwidthKbps - l.reservedKbps
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// Event describes a change to the overlay, delivered to watchers.
+type Event struct {
+	// From/To identify the changed link.
+	From, To string
+	// BandwidthKbps is the new available bandwidth.
+	BandwidthKbps float64
+}
+
+// New returns an empty overlay network.
+func New() *Network {
+	return &Network{
+		nodes: make(map[string]bool),
+		links: make(map[edge]*linkState),
+	}
+}
+
+// FromProfile builds an overlay from a static network profile.
+func FromProfile(p profile.Network) (*Network, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := New()
+	for _, l := range p.Links {
+		n.AddLink(l.From, l.To, l.BandwidthKbps, l.DelayMs, l.LossRate)
+	}
+	return n, nil
+}
+
+// AddNode declares a host. Adding a link declares its endpoints
+// implicitly; AddNode matters only for isolated hosts.
+func (n *Network) AddNode(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = true
+}
+
+// AddLink installs (or replaces) the directed link from→to.
+func (n *Network) AddLink(from, to string, bandwidthKbps, delayMs, lossRate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[from] = true
+	n.nodes[to] = true
+	n.links[edge{from, to}] = &linkState{
+		bandwidthKbps: bandwidthKbps,
+		delayMs:       delayMs,
+		lossRate:      lossRate,
+	}
+}
+
+// AddDuplexLink installs the link in both directions with identical
+// characteristics.
+func (n *Network) AddDuplexLink(a, b string, bandwidthKbps, delayMs, lossRate float64) {
+	n.AddLink(a, b, bandwidthKbps, delayMs, lossRate)
+	n.AddLink(b, a, bandwidthKbps, delayMs, lossRate)
+}
+
+// RemoveLink deletes the directed link and notifies watchers with zero
+// bandwidth.
+func (n *Network) RemoveLink(from, to string) {
+	n.mu.Lock()
+	_, existed := n.links[edge{from, to}]
+	delete(n.links, edge{from, to})
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	if existed {
+		notify(subs, Event{From: from, To: to, BandwidthKbps: 0})
+	}
+}
+
+// HasNode reports whether the host exists.
+func (n *Network) HasNode(id string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.nodes[id]
+}
+
+// Nodes returns the sorted host IDs.
+func (n *Network) Nodes() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LinkCount returns the number of directed links.
+func (n *Network) LinkCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.links)
+}
+
+// Link returns the directed link's characteristics. The bandwidth
+// reported is the *available* (capacity minus reserved) bandwidth.
+func (n *Network) Link(from, to string) (bandwidthKbps, delayMs, lossRate float64, ok bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		return 0, 0, 0, false
+	}
+	return l.available(), l.delayMs, l.lossRate, true
+}
+
+// Capacity returns the link's raw capacity and current reservation.
+func (n *Network) Capacity(from, to string) (capacityKbps, reservedKbps float64, ok bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		return 0, 0, false
+	}
+	return l.bandwidthKbps, l.reservedKbps, true
+}
+
+// Reserve admits kbps of traffic on the directed link, reducing the
+// bandwidth later queries observe. It fails when the link is unknown or
+// the unreserved capacity is insufficient.
+func (n *Network) Reserve(from, to string, kbps float64) error {
+	if kbps <= 0 {
+		return fmt.Errorf("overlay: reservation must be positive, got %v", kbps)
+	}
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	if l.available() < kbps-1e-9 {
+		avail := l.available()
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: link %s->%s has %.1f kbps available, need %.1f", from, to, avail, kbps)
+	}
+	l.reservedKbps += kbps
+	subs := append([]chan Event(nil), n.subs...)
+	avail := l.available()
+	n.mu.Unlock()
+	notify(subs, Event{From: from, To: to, BandwidthKbps: avail})
+	return nil
+}
+
+// Release returns previously reserved bandwidth. Over-releasing clamps
+// the reservation at zero.
+func (n *Network) Release(from, to string, kbps float64) {
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if ok {
+		l.reservedKbps -= kbps
+		if l.reservedKbps < 0 {
+			l.reservedKbps = 0
+		}
+	}
+	var subs []chan Event
+	var avail float64
+	if ok {
+		subs = append([]chan Event(nil), n.subs...)
+		avail = l.available()
+	}
+	n.mu.Unlock()
+	if ok {
+		notify(subs, Event{From: from, To: to, BandwidthKbps: avail})
+	}
+}
+
+// SetBandwidth updates the available bandwidth of an existing link and
+// notifies watchers. It returns an error for unknown links.
+func (n *Network) SetBandwidth(from, to string, kbps float64) error {
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	l.bandwidthKbps = kbps
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	notify(subs, Event{From: from, To: to, BandwidthKbps: kbps})
+	return nil
+}
+
+// ScaleBandwidth multiplies an existing link's bandwidth by factor.
+func (n *Network) ScaleBandwidth(from, to string, factor float64) error {
+	n.mu.RLock()
+	l, ok := n.links[edge{from, to}]
+	var kbps float64
+	if ok {
+		kbps = l.bandwidthKbps * factor
+	}
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	return n.SetBandwidth(from, to, kbps)
+}
+
+// AvailableBandwidth returns the bandwidth usable between two hosts per
+// the paper's model: unlimited (+Inf) for co-located hosts, the link
+// bandwidth for directly connected hosts, and otherwise the best
+// bottleneck over any routed path (widest path). Returns 0 when the hosts
+// are not connected at all.
+func (n *Network) AvailableBandwidth(from, to string) float64 {
+	if from == to {
+		return math.Inf(1)
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if l, ok := n.links[edge{from, to}]; ok {
+		return l.available()
+	}
+	return n.widestLocked(from, to)
+}
+
+// Watch registers a watcher channel that receives every subsequent
+// bandwidth change. The channel has the given buffer; events to a full
+// channel are dropped (watchers are advisory, never blocking the
+// simulator). Call the returned cancel function to unsubscribe.
+func (n *Network) Watch(buffer int) (<-chan Event, func()) {
+	ch := make(chan Event, buffer)
+	n.mu.Lock()
+	n.subs = append(n.subs, ch)
+	n.mu.Unlock()
+	cancel := func() {
+		n.mu.Lock()
+		for i, c := range n.subs {
+			if c == ch {
+				n.subs = append(n.subs[:i], n.subs[i+1:]...)
+				break
+			}
+		}
+		n.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+func notify(subs []chan Event, ev Event) {
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Snapshot exports the current state as a static network profile.
+func (n *Network) Snapshot() profile.Network {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	links := make([]profile.Link, 0, len(n.links))
+	for e, l := range n.links {
+		links = append(links, profile.Link{
+			From: e.from, To: e.to,
+			BandwidthKbps: l.available(),
+			DelayMs:       l.delayMs,
+			LossRate:      l.lossRate,
+		})
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	return profile.Network{Links: links}
+}

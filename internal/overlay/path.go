@@ -1,0 +1,170 @@
+package overlay
+
+import (
+	"container/heap"
+	"math"
+)
+
+// This file implements the routing queries the framework needs from the
+// overlay: widest-path bottleneck bandwidth (used as the paper's
+// "available bandwidth between intermediate servers" when hosts are not
+// directly linked), hop counts, and minimum-delay paths.
+
+// widestLocked computes the maximum-bottleneck bandwidth from src to dst.
+// Callers must hold at least a read lock.
+func (n *Network) widestLocked(src, dst string) float64 {
+	if !n.nodes[src] || !n.nodes[dst] {
+		return 0
+	}
+	// Dijkstra variant maximizing min-link bandwidth.
+	best := map[string]float64{src: math.Inf(1)}
+	pq := &widthHeap{{src, math.Inf(1)}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(widthItem)
+		if cur.node == dst {
+			return cur.width
+		}
+		if cur.width < best[cur.node] {
+			continue
+		}
+		for e, l := range n.links {
+			if e.from != cur.node {
+				continue
+			}
+			w := math.Min(cur.width, l.available())
+			if w > best[e.to] {
+				best[e.to] = w
+				heap.Push(pq, widthItem{e.to, w})
+			}
+		}
+	}
+	return 0
+}
+
+// WidestBandwidth returns the maximum bottleneck bandwidth between two
+// distinct hosts over any path (0 when unreachable).
+func (n *Network) WidestBandwidth(src, dst string) float64 {
+	if src == dst {
+		return math.Inf(1)
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.widestLocked(src, dst)
+}
+
+// HopCount returns the minimum number of links between two hosts, or -1
+// when unreachable. A host is 0 hops from itself.
+func (n *Network) HopCount(src, dst string) int {
+	if src == dst {
+		return 0
+	}
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	dist := map[string]int{src: 0}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for e := range n.links {
+			if e.from != cur {
+				continue
+			}
+			if _, seen := dist[e.to]; seen {
+				continue
+			}
+			dist[e.to] = dist[cur] + 1
+			if e.to == dst {
+				return dist[e.to]
+			}
+			queue = append(queue, e.to)
+		}
+	}
+	return -1
+}
+
+// MinDelayPath returns the host sequence of the minimum-total-delay path
+// from src to dst (inclusive) and its delay in ms; ok is false when
+// unreachable.
+func (n *Network) MinDelayPath(src, dst string) (path []string, delayMs float64, ok bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	if !n.nodes[src] || !n.nodes[dst] {
+		return nil, 0, false
+	}
+	if src == dst {
+		return []string{src}, 0, true
+	}
+	dist := map[string]float64{src: 0}
+	prev := map[string]string{}
+	pq := &delayHeap{{src, 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(delayItem)
+		if cur.node == dst {
+			break
+		}
+		if cur.delay > dist[cur.node] {
+			continue
+		}
+		for e, l := range n.links {
+			if e.from != cur.node {
+				continue
+			}
+			d := cur.delay + l.delayMs
+			old, seen := dist[e.to]
+			if !seen || d < old {
+				dist[e.to] = d
+				prev[e.to] = cur.node
+				heap.Push(pq, delayItem{e.to, d})
+			}
+		}
+	}
+	total, reached := dist[dst]
+	if !reached {
+		return nil, 0, false
+	}
+	for at := dst; ; at = prev[at] {
+		path = append([]string{at}, path...)
+		if at == src {
+			break
+		}
+	}
+	return path, total, true
+}
+
+// widthHeap is a max-heap on bottleneck width.
+type widthItem struct {
+	node  string
+	width float64
+}
+type widthHeap []widthItem
+
+func (h widthHeap) Len() int            { return len(h) }
+func (h widthHeap) Less(i, j int) bool  { return h[i].width > h[j].width }
+func (h widthHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *widthHeap) Push(x interface{}) { *h = append(*h, x.(widthItem)) }
+func (h *widthHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// delayHeap is a min-heap on accumulated delay.
+type delayItem struct {
+	node  string
+	delay float64
+}
+type delayHeap []delayItem
+
+func (h delayHeap) Len() int            { return len(h) }
+func (h delayHeap) Less(i, j int) bool  { return h[i].delay < h[j].delay }
+func (h delayHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x interface{}) { *h = append(*h, x.(delayItem)) }
+func (h *delayHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,111 @@
+package overlay
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology generators. All generators are deterministic given the same
+// *rand.Rand seed and produce duplex links, with the sender at host
+// "sender" and receiver at host "receiver" where applicable.
+
+// LinkSpec bounds the characteristics a generator assigns to links.
+type LinkSpec struct {
+	// MinKbps/MaxKbps bound the uniform bandwidth draw.
+	MinKbps, MaxKbps float64
+	// MinDelayMs/MaxDelayMs bound the uniform delay draw.
+	MinDelayMs, MaxDelayMs float64
+}
+
+// DefaultLinkSpec is a broadband-era profile: 500 kbps – 5 Mbps links
+// with 5–50 ms delay.
+var DefaultLinkSpec = LinkSpec{MinKbps: 500, MaxKbps: 5000, MinDelayMs: 5, MaxDelayMs: 50}
+
+func (s LinkSpec) draw(rng *rand.Rand) (kbps, delay float64) {
+	kbps = s.MinKbps + rng.Float64()*(s.MaxKbps-s.MinKbps)
+	delay = s.MinDelayMs + rng.Float64()*(s.MaxDelayMs-s.MinDelayMs)
+	return kbps, delay
+}
+
+// ProxyName returns the canonical name of the i-th proxy host.
+func ProxyName(i int) string { return fmt.Sprintf("proxy-%d", i) }
+
+// Line builds sender → proxy-0 → … → proxy-(n-1) → receiver with duplex
+// links.
+func Line(n int, spec LinkSpec, rng *rand.Rand) *Network {
+	net := New()
+	prev := "sender"
+	for i := 0; i < n; i++ {
+		host := ProxyName(i)
+		kbps, delay := spec.draw(rng)
+		net.AddDuplexLink(prev, host, kbps, delay, 0)
+		prev = host
+	}
+	kbps, delay := spec.draw(rng)
+	net.AddDuplexLink(prev, "receiver", kbps, delay, 0)
+	return net
+}
+
+// Star connects every proxy (and the receiver) directly to the sender's
+// access point "hub", with sender attached to the hub too.
+func Star(n int, spec LinkSpec, rng *rand.Rand) *Network {
+	net := New()
+	kbps, delay := spec.draw(rng)
+	net.AddDuplexLink("sender", "hub", kbps, delay, 0)
+	for i := 0; i < n; i++ {
+		k, d := spec.draw(rng)
+		net.AddDuplexLink("hub", ProxyName(i), k, d, 0)
+	}
+	kbps, delay = spec.draw(rng)
+	net.AddDuplexLink("hub", "receiver", kbps, delay, 0)
+	return net
+}
+
+// Random builds a connected random overlay: a ring over
+// sender, proxies, receiver (guaranteeing connectivity) plus extra random
+// chords until the average out-degree reaches degree.
+func Random(n int, degree float64, spec LinkSpec, rng *rand.Rand) *Network {
+	net := New()
+	hosts := make([]string, 0, n+2)
+	hosts = append(hosts, "sender")
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, ProxyName(i))
+	}
+	hosts = append(hosts, "receiver")
+	for i := range hosts {
+		next := hosts[(i+1)%len(hosts)]
+		kbps, delay := spec.draw(rng)
+		net.AddDuplexLink(hosts[i], next, kbps, delay, 0)
+	}
+	want := int(degree * float64(len(hosts)))
+	for net.LinkCount() < want*2 { // duplex counts both directions
+		a := hosts[rng.Intn(len(hosts))]
+		b := hosts[rng.Intn(len(hosts))]
+		if a == b {
+			continue
+		}
+		if _, _, _, exists := net.Link(a, b); exists {
+			continue
+		}
+		kbps, delay := spec.draw(rng)
+		net.AddDuplexLink(a, b, kbps, delay, 0)
+	}
+	return net
+}
+
+// FullMesh links every pair of the n proxies plus sender and receiver.
+func FullMesh(n int, spec LinkSpec, rng *rand.Rand) *Network {
+	net := New()
+	hosts := []string{"sender"}
+	for i := 0; i < n; i++ {
+		hosts = append(hosts, ProxyName(i))
+	}
+	hosts = append(hosts, "receiver")
+	for i := 0; i < len(hosts); i++ {
+		for j := i + 1; j < len(hosts); j++ {
+			kbps, delay := spec.draw(rng)
+			net.AddDuplexLink(hosts[i], hosts[j], kbps, delay, 0)
+		}
+	}
+	return net
+}

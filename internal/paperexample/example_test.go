@@ -1,0 +1,29 @@
+package paperexample_test
+
+import (
+	"fmt"
+
+	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/paperexample"
+)
+
+// ExampleRunTable1 reproduces the headline result of the paper's worked
+// example: the selected chain, delivered frame rate and satisfaction of
+// Table 1's final row.
+func ExampleRunTable1() {
+	res, err := paperexample.RunTable1(true)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("rounds:", len(res.Rounds))
+	fmt.Println("path:", core.PathString(res.Path))
+	fmt.Println("fps:", core.DisplayFPS(res.Params.Get(media.ParamFrameRate)))
+	fmt.Println("satisfaction:", core.DisplaySat(res.Satisfaction))
+	// Output:
+	// rounds: 15
+	// path: sender,T7,receiver
+	// fps: 20
+	// satisfaction: 0.66
+}

@@ -1,0 +1,80 @@
+package paperexample
+
+import (
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+// Figure1Function is the frame-rate satisfaction function sketched in
+// Figure 1: S-shaped between a minimum acceptable 5 fps and an ideal
+// 20 fps.
+func Figure1Function() satisfaction.Function {
+	return satisfaction.SCurve{M: 5, I: 20}
+}
+
+// Figure1Samples evaluates the Figure 1 function at integer frame rates
+// 0..25 and returns (fps, satisfaction) pairs — the series a plot of the
+// figure would show.
+func Figure1Samples() [][2]float64 {
+	fn := Figure1Function()
+	out := make([][2]float64, 0, 26)
+	for fps := 0; fps <= 25; fps++ {
+		out = append(out, [2]float64{float64(fps), fn.Eval(float64(fps))})
+	}
+	return out
+}
+
+// Figure2Service is the trans-coding service T1 of Figure 2: two input
+// formats (F5, F6) and four output formats (F10, F11, F12, F13).
+func Figure2Service() *service.Service {
+	return &service.Service{
+		ID:     "t1",
+		Name:   "Figure 2 trans-coding service",
+		Inputs: []media.Format{fmtN(5), fmtN(6)},
+		Outputs: []media.Format{
+			fmtN(10), fmtN(11), fmtN(12), fmtN(13),
+		},
+	}
+}
+
+// Figure3Graph reconstructs the directed trans-coding graph of Figure 3:
+// one sender, one receiver and seven intermediate trans-coding services
+// over formats F3..F16. The printed figure is only partially legible; this
+// reconstruction preserves its stated structure — the sender reaches T1
+// over F5, T1 fans out to F10..F13, and the receiver is fed over F14..F16.
+func Figure3Graph() (*graph.Graph, error) {
+	content := &profile.Content{
+		ID: "figure3-content",
+		Variants: []media.Descriptor{
+			{Format: fmtN(3), Params: media.Params{media.ParamFrameRate: 30}},
+			{Format: fmtN(4), Params: media.Params{media.ParamFrameRate: 30}},
+			{Format: fmtN(5), Params: media.Params{media.ParamFrameRate: 30}},
+		},
+	}
+	device := &profile.Device{
+		ID: "receiver",
+		Software: profile.Software{
+			Decoders: []media.Format{fmtN(15), fmtN(16)},
+		},
+	}
+	mk := func(id string, ins, outs []media.Format) *service.Service {
+		return &service.Service{ID: service.ID(id), Inputs: ins, Outputs: outs}
+	}
+	services := []*service.Service{
+		mk("t1", []media.Format{fmtN(5), fmtN(6)}, []media.Format{fmtN(10), fmtN(11), fmtN(12), fmtN(13)}),
+		mk("t2", []media.Format{fmtN(3)}, []media.Format{fmtN(6)}),
+		mk("t3", []media.Format{fmtN(4)}, []media.Format{fmtN(8)}),
+		mk("t4", []media.Format{fmtN(8)}, []media.Format{fmtN(9)}),
+		mk("t5", []media.Format{fmtN(9)}, []media.Format{fmtN(14)}),
+		mk("t6", []media.Format{fmtN(10)}, []media.Format{fmtN(15)}),
+		mk("t7", []media.Format{fmtN(11), fmtN(14)}, []media.Format{fmtN(16)}),
+	}
+	return graph.Build(graph.Input{
+		Content:  content,
+		Device:   device,
+		Services: services,
+	})
+}

@@ -1,0 +1,179 @@
+// Package paperexample reconstructs the paper's worked artifacts: the
+// Figure 6 trans-coding graph whose selection trace is Table 1, the
+// Figure 1 satisfaction function, the Figure 2 multi-link service and the
+// Figure 3 construction example.
+//
+// The printed Figure 6 does not legibly annotate edge bandwidths, so the
+// graph here is reverse-engineered from Table 1 itself (see DESIGN.md §5):
+// the adjacency follows the evolution of the candidate set CS across the
+// 15 rounds, and the link bandwidths are calibrated so that every printed
+// cell — candidate sets, selection order, best paths, delivered frame
+// rates and satisfactions — reproduces exactly under the paper's display
+// conventions (frame rate rounded to nearest integer, satisfaction
+// truncated to two decimals).
+package paperexample
+
+import (
+	"fmt"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+// The format scheme: the sender stores variants F1..F10 (one accepted by
+// each of T1..T10); internal formats F1xx/F2xx wire the remaining
+// adjacency; the receiver decodes F100.
+func fmtN(n int) media.Format { return media.Opaque(n) }
+
+// receiverFormat is the only format the receiving device decodes.
+var receiverFormat = fmtN(100)
+
+// Table1Services builds the twenty trans-coding services of Figure 6,
+// each hosted on its own proxy ("p1".."p20"). When includeT7 is false the
+// Figure 6 ablation variant (graph without T7) is produced.
+func Table1Services(includeT7 bool) []*service.Service {
+	svc := func(i int, inputs, outputs []media.Format) *service.Service {
+		return &service.Service{
+			ID:      service.ID(fmt.Sprintf("t%d", i)),
+			Name:    fmt.Sprintf("trans-coding service T%d", i),
+			Inputs:  inputs,
+			Outputs: outputs,
+			Host:    fmt.Sprintf("p%d", i),
+		}
+	}
+	f := fmtN
+	services := []*service.Service{
+		svc(1, []media.Format{f(1)}, []media.Format{f(111)}),
+		svc(2, []media.Format{f(2)}, []media.Format{f(112), f(113)}),
+		svc(3, []media.Format{f(3)}, []media.Format{f(114)}),
+		svc(4, []media.Format{f(4), f(212), f(213)}, []media.Format{f(204)}),
+		svc(5, []media.Format{f(5), f(211), f(214), f(204)}, []media.Format{f(115)}),
+		svc(6, []media.Format{f(6), f(215)}, []media.Format{f(206)}),
+		svc(8, []media.Format{f(8)}, []media.Format{receiverFormat}),
+		svc(9, []media.Format{f(9), f(219)}, []media.Format{f(209), f(216)}),
+		svc(10, []media.Format{f(10), f(220)}, []media.Format{receiverFormat, f(119), f(120)}),
+		svc(11, []media.Format{f(111)}, []media.Format{f(211)}),
+		svc(12, []media.Format{f(112)}, []media.Format{f(212)}),
+		svc(13, []media.Format{f(113)}, []media.Format{f(213)}),
+		svc(14, []media.Format{f(114)}, []media.Format{f(214)}),
+		svc(15, []media.Format{f(115)}, []media.Format{f(215), f(217)}),
+		// T16–T18 hang off services the algorithm never expands (T9,
+		// T15, T19), so they never enter CS — matching Table 1, whose
+		// candidate sets never mention them.
+		svc(16, []media.Format{f(216)}, []media.Format{receiverFormat}),
+		svc(17, []media.Format{f(217)}, []media.Format{receiverFormat}),
+		svc(18, []media.Format{f(218)}, []media.Format{receiverFormat}),
+		svc(19, []media.Format{f(119)}, []media.Format{f(219), f(218)}),
+		svc(20, []media.Format{f(120)}, []media.Format{f(220)}),
+	}
+	if includeT7 {
+		services = append(services, svc(7, []media.Format{f(7), f(206), f(209)}, []media.Format{receiverFormat}))
+	}
+	return services
+}
+
+// Table1Network builds the overlay whose link bandwidths are calibrated
+// to reproduce Table 1. The default bitrate model charges 100 kbit/s per
+// delivered frame per second, so e.g. the 2720 kbps sender→p5 link lets
+// T5 deliver 27.2 fps, which Table 1 prints as "27 / 0.90".
+func Table1Network() *overlay.Network {
+	net := overlay.New()
+	// Sender access links, ordering the ten first-hop candidates.
+	senderLinks := map[string]float64{
+		"p1": 2300, "p2": 2305, "p3": 2309, "p4": 2700, "p5": 2720,
+		"p6": 1990, "p7": 2000, "p8": 2009, "p9": 1500, "p10": 3200,
+	}
+	for host, kbps := range senderLinks {
+		net.AddLink("sender", host, kbps, 10, 0)
+	}
+	// Second-hop links discovered as the algorithm expands.
+	net.AddLink("p10", "p19", 1200, 10, 0)
+	net.AddLink("p10", "p20", 3200, 10, 0)
+	net.AddLink("p10", "receiver", 1000, 10, 0)
+	net.AddLink("p5", "p15", 1650, 10, 0)
+	net.AddLink("p1", "p11", 2298, 10, 0)
+	net.AddLink("p2", "p13", 2295, 10, 0)
+	net.AddLink("p2", "p12", 2290, 10, 0)
+	net.AddLink("p3", "p14", 2285, 10, 0)
+	// Exit links to the receiver: T7's affords 19.85 fps (prints as
+	// 20 / 0.66); T8's affords 18 fps and carries the Figure 6
+	// "without T7" ablation (prints as 18 / 0.60).
+	net.AddLink("p7", "receiver", 1985, 10, 0)
+	net.AddLink("p8", "receiver", 1800, 10, 0)
+	// Wide links closing the graph (targets are already-considered
+	// services by the time these are reached, matching the rounds in
+	// which CS gains nothing).
+	for _, l := range [][2]string{
+		{"p20", "p10"}, {"p19", "p9"}, {"p11", "p5"}, {"p13", "p4"},
+		{"p12", "p4"}, {"p14", "p5"}, {"p4", "p5"}, {"p15", "p6"},
+		{"p6", "p7"}, {"p9", "p7"},
+		{"p9", "p16"}, {"p15", "p17"}, {"p19", "p18"},
+		{"p16", "receiver"}, {"p17", "receiver"}, {"p18", "receiver"},
+	} {
+		net.AddLink(l[0], l[1], 5000, 10, 0)
+	}
+	return net
+}
+
+// Table1Content is the sender's content profile: ten stored variants
+// F1..F10, each offering the full 30 fps.
+func Table1Content() *profile.Content {
+	c := &profile.Content{ID: "figure6-content", Title: "Figure 6 source stream"}
+	for i := 1; i <= 10; i++ {
+		c.Variants = append(c.Variants, media.Descriptor{
+			Format: fmtN(i),
+			Params: media.Params{media.ParamFrameRate: 30},
+		})
+	}
+	return c
+}
+
+// Table1Device is the receiving device: it decodes only F100.
+func Table1Device() *profile.Device {
+	return &profile.Device{
+		ID:       "receiver",
+		Class:    profile.ClassDesktop,
+		Software: profile.Software{Decoders: []media.Format{receiverFormat}},
+	}
+}
+
+// Table1Graph builds the full adaptation graph of Figure 6 (or its
+// without-T7 ablation).
+func Table1Graph(includeT7 bool) (*graph.Graph, error) {
+	return graph.Build(graph.Input{
+		Content:      Table1Content(),
+		Device:       Table1Device(),
+		Services:     Table1Services(includeT7),
+		Net:          Table1Network(),
+		SenderHost:   "sender",
+		ReceiverHost: "receiver",
+	})
+}
+
+// Table1Config is the selection configuration of the worked example: the
+// user's satisfaction is linear in the delivered frame rate with ideal
+// 30 fps (Table 1's satisfaction column equals fps/30), the default
+// bitrate model applies, and the budget is unconstrained.
+func Table1Config() core.Config {
+	return core.Config{
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+		}),
+		Trace: true,
+	}
+}
+
+// RunTable1 reproduces the Table 1 trace; includeT7 selects between
+// Figure 6's two variants.
+func RunTable1(includeT7 bool) (*core.Result, error) {
+	g, err := Table1Graph(includeT7)
+	if err != nil {
+		return nil, err
+	}
+	return core.Select(g, Table1Config())
+}

@@ -1,0 +1,198 @@
+package paperexample
+
+import (
+	"strings"
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+)
+
+// table1Row is one printed row of the paper's Table 1.
+type table1Row struct {
+	considered string // VT in insertion order
+	candidates string // CS as a set (we compare sorted)
+	selected   string
+	path       string
+	fps        int
+	sat        string
+}
+
+// table1Expected is Table 1 of the paper, cell for cell. The candidate
+// sets are written sorted naturally (the paper lists them in insertion
+// order; the set contents are identical).
+var table1Expected = []table1Row{
+	{"sender", "T1,T2,T3,T4,T5,T6,T7,T8,T9,T10", "T10", "sender,T10", 30, "1.00"},
+	{"sender,T10", "T1,T2,T3,T4,T5,T6,T7,T8,T9,T19,T20,receiver", "T20", "sender,T10,T20", 30, "1.00"},
+	{"sender,T10,T20", "T1,T2,T3,T4,T5,T6,T7,T8,T9,T19,receiver", "T5", "sender,T5", 27, "0.90"},
+	{"sender,T10,T20,T5", "T1,T2,T3,T4,T6,T7,T8,T9,T15,T19,receiver", "T4", "sender,T4", 27, "0.90"},
+	{"sender,T10,T20,T5,T4", "T1,T2,T3,T6,T7,T8,T9,T15,T19,receiver", "T3", "sender,T3", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3", "T1,T2,T6,T7,T8,T9,T14,T15,T19,receiver", "T2", "sender,T2", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3,T2", "T1,T6,T7,T8,T9,T12,T13,T14,T15,T19,receiver", "T1", "sender,T1", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1", "T6,T7,T8,T9,T11,T12,T13,T14,T15,T19,receiver", "T11", "sender,T1,T11", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11", "T6,T7,T8,T9,T12,T13,T14,T15,T19,receiver", "T13", "sender,T2,T13", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11,T13", "T6,T7,T8,T9,T12,T14,T15,T19,receiver", "T12", "sender,T2,T12", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11,T13,T12", "T6,T7,T8,T9,T14,T15,T19,receiver", "T14", "sender,T3,T14", 23, "0.76"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11,T13,T12,T14", "T6,T7,T8,T9,T15,T19,receiver", "T8", "sender,T8", 20, "0.66"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11,T13,T12,T14,T8", "T6,T7,T9,T15,T19,receiver", "T7", "sender,T7", 20, "0.66"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11,T13,T12,T14,T8,T7", "T6,T9,T15,T19,receiver", "T6", "sender,T6", 20, "0.66"},
+	{"sender,T10,T20,T5,T4,T3,T2,T1,T11,T13,T12,T14,T8,T7,T6", "T9,T15,T19,receiver", "receiver", "sender,T7,receiver", 20, "0.66"},
+}
+
+func ids(nodes []graph.NodeID) string {
+	parts := make([]string, len(nodes))
+	for i, n := range nodes {
+		s := string(n)
+		if len(s) > 0 && s[0] == 't' {
+			s = "T" + s[1:]
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, ",")
+}
+
+// TestTable1GoldenTrace asserts the full 15-round trace of Table 1,
+// cell for cell.
+func TestTable1GoldenTrace(t *testing.T) {
+	res, err := RunTable1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("Table 1 run must find a chain")
+	}
+	if len(res.Rounds) != len(table1Expected) {
+		t.Fatalf("rounds = %d, want %d\n%s", len(res.Rounds), len(table1Expected), res.TraceTable())
+	}
+	for i, want := range table1Expected {
+		got := res.Rounds[i]
+		if gotVT := ids(got.Considered); gotVT != want.considered {
+			t.Errorf("round %d considered = %s, want %s", i+1, gotVT, want.considered)
+		}
+		if gotCS := ids(got.Candidates); gotCS != want.candidates {
+			t.Errorf("round %d candidates = %s, want %s", i+1, gotCS, want.candidates)
+		}
+		if gotSel := ids([]graph.NodeID{got.Selected}); gotSel != want.selected {
+			t.Errorf("round %d selected = %s, want %s", i+1, gotSel, want.selected)
+		}
+		if gotPath := core.PathString(got.Path); gotPath != want.path {
+			t.Errorf("round %d path = %s, want %s", i+1, gotPath, want.path)
+		}
+		if gotFPS := core.DisplayFPS(got.Params.Get(media.ParamFrameRate)); gotFPS != want.fps {
+			t.Errorf("round %d fps = %d, want %d", i+1, gotFPS, want.fps)
+		}
+		if gotSat := core.DisplaySat(got.Satisfaction); gotSat != want.sat {
+			t.Errorf("round %d satisfaction = %s, want %s", i+1, gotSat, want.sat)
+		}
+	}
+	// The final result is Table 1's last row.
+	if got := core.PathString(res.Path); got != "sender,T7,receiver" {
+		t.Errorf("final path = %s, want sender,T7,receiver", got)
+	}
+	if got := core.DisplaySat(res.Satisfaction); got != "0.66" {
+		t.Errorf("final satisfaction = %s, want 0.66", got)
+	}
+	if got := core.DisplayFPS(res.Params.Get(media.ParamFrameRate)); got != 20 {
+		t.Errorf("final fps = %d, want 20", got)
+	}
+}
+
+// TestFigure6WithoutT7 asserts the Figure 6 ablation: removing T7 shifts
+// the selected path to sender,T8,receiver at 18 fps (satisfaction 0.60).
+func TestFigure6WithoutT7(t *testing.T) {
+	res, err := RunTable1(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("ablated graph must still find a chain")
+	}
+	if got := core.PathString(res.Path); got != "sender,T8,receiver" {
+		t.Errorf("ablated path = %s, want sender,T8,receiver", got)
+	}
+	if got := core.DisplayFPS(res.Params.Get(media.ParamFrameRate)); got != 18 {
+		t.Errorf("ablated fps = %d, want 18", got)
+	}
+	if got := core.DisplaySat(res.Satisfaction); got != "0.60" {
+		t.Errorf("ablated satisfaction = %s, want 0.60", got)
+	}
+	// T7's presence improves satisfaction — the point of the ablation.
+	withT7, err := RunTable1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withT7.Satisfaction <= res.Satisfaction {
+		t.Errorf("T7 should improve satisfaction: with=%v without=%v",
+			withT7.Satisfaction, res.Satisfaction)
+	}
+}
+
+func TestTable1GraphShape(t *testing.T) {
+	g, err := Table1Graph(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 22 { // 20 services + sender + receiver
+		t.Errorf("NodeCount = %d, want 22", g.NodeCount())
+	}
+	if len(g.Out(graph.SenderID)) != 10 {
+		t.Errorf("sender out-degree = %d, want 10", len(g.Out(graph.SenderID)))
+	}
+	if got := len(g.In(graph.ReceiverID)); got != 6 { // T7, T8, T10, T16, T17, T18
+		t.Errorf("receiver in-degree = %d, want 6", got)
+	}
+	// The example graph must survive pruning unchanged (every vertex
+	// lies on some sender→receiver path).
+	nodesBefore := g.NodeCount()
+	g.Prune()
+	if g.NodeCount() != nodesBefore {
+		t.Errorf("prune removed vertices from the example graph: %d -> %d", nodesBefore, g.NodeCount())
+	}
+	if res, err := core.Select(g, Table1Config()); err != nil || !res.Found {
+		t.Errorf("pruned example graph must still yield the chain: %v", err)
+	}
+}
+
+func TestTable1TraceTableRenders(t *testing.T) {
+	res, err := RunTable1(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.TraceTable()
+	for _, want := range []string{"T10", "sender,T7,receiver", "0.66", "1.00"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("trace table missing %q", want)
+		}
+	}
+}
+
+// TestTable1HeapVariantIdentical asserts that the heap-based candidate
+// selection reproduces the identical Table 1 trace.
+func TestTable1HeapVariantIdentical(t *testing.T) {
+	g, err := Table1Graph(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Table1Config()
+	cfg.UseHeap = true
+	res, err := core.Select(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != len(table1Expected) {
+		t.Fatalf("heap variant rounds = %d", len(res.Rounds))
+	}
+	for i, want := range table1Expected {
+		got := res.Rounds[i]
+		if gotSel := ids([]graph.NodeID{got.Selected}); gotSel != want.selected {
+			t.Errorf("heap round %d selected = %s, want %s", i+1, gotSel, want.selected)
+		}
+	}
+	if got := core.PathString(res.Path); got != "sender,T7,receiver" {
+		t.Errorf("heap final path = %s", got)
+	}
+}

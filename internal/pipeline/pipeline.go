@@ -1,0 +1,315 @@
+// Package pipeline executes a selected adaptation chain over a synthetic
+// media stream: one goroutine per trans-coding stage, channels between
+// them, and bandwidth-limited links that drop frames exceeding the link's
+// per-second byte budget. It is the runtime that turns a core.Result into
+// flowing frames — the "self-organizing data distribution" role the
+// paper's framework delegates to the intermediaries.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/transcode"
+)
+
+// StageStats reports one stage's frame accounting.
+type StageStats struct {
+	// ID names the stage (service ID, or "link:a->b" for links).
+	ID string
+	// Consumed/Emitted/Dropped count frames.
+	Consumed int
+	Emitted  int
+	Dropped  int
+}
+
+// Stats summarizes one pipeline run.
+type Stats struct {
+	// FramesIn is the number of source frames fed in.
+	FramesIn int
+	// FramesOut is the number delivered to the receiver.
+	FramesOut int
+	// BytesOut is the delivered payload volume.
+	BytesOut int
+	// DeliveredFPS is the average delivered frame rate over the
+	// stream's duration (virtual time).
+	DeliveredFPS float64
+	// ChainDelayMs is the static end-to-end network latency of the
+	// chain: the sum of the link delays along the path.
+	ChainDelayMs float64
+	// Stages lists per-stage accounting in chain order (links
+	// interleaved with services).
+	Stages []StageStats
+}
+
+// Pipeline is a runnable chain instance.
+type Pipeline struct {
+	source  transcode.Source
+	stages  []runner
+	buffer  int
+	delayMs float64
+}
+
+// runner is one concurrent element: a trans-coding stage or a link.
+type runner interface {
+	run(in <-chan transcode.Frame, out chan<- transcode.Frame)
+	stats() StageStats
+}
+
+// stageRunner wraps a transcode stage.
+type stageRunner struct {
+	id string
+	p  processor
+}
+
+// processor is the subset of transcode stages the pipeline drives.
+type processor interface {
+	Process(transcode.Frame) []transcode.Frame
+	Counters() (consumed, emitted, dropped int)
+}
+
+func (s *stageRunner) run(in <-chan transcode.Frame, out chan<- transcode.Frame) {
+	for f := range in {
+		for _, of := range s.p.Process(f) {
+			out <- of
+		}
+	}
+	close(out)
+}
+
+func (s *stageRunner) stats() StageStats {
+	c, e, d := s.p.Counters()
+	return StageStats{ID: s.id, Consumed: c, Emitted: e, Dropped: d}
+}
+
+// linkRunner enforces a link's bandwidth over virtual time with a
+// continuous token bucket: tokens accrue at kbps*1000/8 bytes per virtual
+// second (burst capacity of one second) and a frame passes only when the
+// bucket holds its payload. Oversubscribed frames are dropped — the loss
+// a real network would impose when the negotiated rate is exceeded.
+type linkRunner struct {
+	id   string
+	kbps float64
+	loss float64
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	consumed int
+	emitted  int
+	dropped  int
+}
+
+func (l *linkRunner) run(in <-chan transcode.Frame, out chan<- transcode.Frame) {
+	rate := l.kbps * 1000 / 8 // bytes per virtual second
+	burst := rate             // bucket capacity: one second of traffic
+	tokens := burst
+	lastPTS := 0.0
+	limited := !math.IsInf(l.kbps, 1) && l.kbps > 0
+	for f := range in {
+		l.mu.Lock()
+		l.consumed++
+		l.mu.Unlock()
+		if l.loss > 0 && l.rng != nil && l.rng.Float64() < l.loss {
+			l.mu.Lock()
+			l.dropped++
+			l.mu.Unlock()
+			continue
+		}
+		if limited {
+			if f.PTS > lastPTS {
+				tokens += (f.PTS - lastPTS) * rate
+				if tokens > burst {
+					tokens = burst
+				}
+				lastPTS = f.PTS
+			}
+			need := float64(f.Bytes())
+			if need > tokens+1e-6 {
+				l.mu.Lock()
+				l.dropped++
+				l.mu.Unlock()
+				continue
+			}
+			tokens -= need
+		}
+		l.mu.Lock()
+		l.emitted++
+		l.mu.Unlock()
+		out <- f
+	}
+	close(out)
+}
+
+func (l *linkRunner) stats() StageStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return StageStats{ID: l.id, Consumed: l.consumed, Emitted: l.emitted, Dropped: l.dropped}
+}
+
+// Options tunes pipeline construction.
+type Options struct {
+	// Buffer is the channel depth between elements (default 16).
+	Buffer int
+	// Bitrate sizes synthetic payloads; nil uses media.DefaultBitrate.
+	Bitrate media.BitrateModel
+	// GOP is the source keyframe interval (default 10).
+	GOP int
+	// LossSeed seeds the per-link packet-loss draws so lossy runs are
+	// reproducible (0 uses seed 1).
+	LossSeed int64
+}
+
+// FromResult assembles a runnable pipeline from a selection result: the
+// source emits the first edge's variant, each service on the path becomes
+// a stage emitting the negotiated downstream parameters, and each edge
+// becomes a bandwidth-limited link.
+//
+// Stage targets: the final delivered parameters (res.Params) bound every
+// stage — a stage never has to emit more than the chain ultimately
+// delivers, which matches the optimizer's choice of per-edge parameters.
+func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, error) {
+	if res == nil || !res.Found {
+		return nil, fmt.Errorf("pipeline: no chain to instantiate")
+	}
+	if len(res.Path) < 2 || len(res.Formats) != len(res.Path)-1 {
+		return nil, fmt.Errorf("pipeline: malformed result path")
+	}
+	buffer := opts.Buffer
+	if buffer <= 0 {
+		buffer = 16
+	}
+
+	// Source parameters come from the sender's outgoing edge.
+	var sourceEdge *graph.Edge
+	for _, e := range g.Out(graph.SenderID) {
+		if e.To == res.Path[1] && e.Format == res.Formats[0] {
+			sourceEdge = e
+			break
+		}
+	}
+	if sourceEdge == nil {
+		return nil, fmt.Errorf("pipeline: result path's first edge not in graph")
+	}
+
+	p := &Pipeline{
+		source: transcode.Source{
+			Format:  res.Formats[0],
+			Params:  sourceEdge.SourceParams,
+			Bitrate: opts.Bitrate,
+			GOP:     opts.GOP,
+		},
+		buffer: buffer,
+	}
+
+	// The sender shapes the stream down to the negotiated delivery
+	// parameters before the first link, mirroring the optimizer's
+	// per-edge parameter choice.
+	p.stages = append(p.stages, &stageRunner{
+		id: "shaper:sender",
+		p:  transcode.NewShaper(res.Params, opts.Bitrate),
+	})
+
+	// Walk the path: link to node i, then (if a service) its stage.
+	for i := 1; i < len(res.Path); i++ {
+		edge := findEdge(g, res.Path[i-1], res.Path[i], res.Formats[i-1])
+		if edge == nil {
+			return nil, fmt.Errorf("pipeline: missing edge %s->%s", res.Path[i-1], res.Path[i])
+		}
+		seed := opts.LossSeed
+		if seed == 0 {
+			seed = 1
+		}
+		var lossRNG *rand.Rand
+		if edge.LossRate > 0 {
+			lossRNG = rand.New(rand.NewSource(seed + int64(i)))
+		}
+		p.stages = append(p.stages, &linkRunner{
+			id:   fmt.Sprintf("link:%s->%s", edge.From, edge.To),
+			kbps: edge.BandwidthKbps,
+			loss: edge.LossRate,
+			rng:  lossRNG,
+		})
+		p.delayMs += edge.DelayMs
+		node, _ := g.Node(res.Path[i])
+		if node == nil || node.Service == nil {
+			continue // receiver
+		}
+		outFormat := res.Formats[i] // format leaving this service
+		target := res.Params.Min(node.Service.Caps)
+		stage, err := transcode.NewStage(node.Service, outFormat, target, opts.Bitrate)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: %w", err)
+		}
+		p.stages = append(p.stages, &stageRunner{id: string(node.Service.ID), p: stage})
+	}
+	return p, nil
+}
+
+// findEdge locates the graph edge used by the path step.
+func findEdge(g *graph.Graph, from, to graph.NodeID, format media.Format) *graph.Edge {
+	for _, e := range g.Out(from) {
+		if e.To == to && e.Format == format {
+			return e
+		}
+	}
+	return nil
+}
+
+// Run pushes n source frames through the chain and blocks until the
+// stream drains, returning the delivery statistics.
+func (p *Pipeline) Run(n int) Stats {
+	frames := p.source.Frames(n)
+
+	first := make(chan transcode.Frame, p.buffer)
+	in := first
+	var wg sync.WaitGroup
+	for _, st := range p.stages {
+		out := make(chan transcode.Frame, p.buffer)
+		wg.Add(1)
+		go func(st runner, in <-chan transcode.Frame, out chan<- transcode.Frame) {
+			defer wg.Done()
+			st.run(in, out)
+		}(st, in, out)
+		in = out
+	}
+
+	// Sink: collect delivered frames.
+	var stats Stats
+	stats.FramesIn = n
+	done := make(chan struct{})
+	var lastPTS float64
+	go func() {
+		defer close(done)
+		for f := range in {
+			stats.FramesOut++
+			stats.BytesOut += f.Bytes()
+			lastPTS = f.PTS
+		}
+	}()
+
+	for _, f := range frames {
+		first <- f
+	}
+	close(first)
+	wg.Wait()
+	<-done
+
+	if stats.FramesOut > 1 && lastPTS > 0 {
+		stats.DeliveredFPS = float64(stats.FramesOut-1) / lastPTS
+	} else {
+		stats.DeliveredFPS = float64(stats.FramesOut)
+	}
+	stats.ChainDelayMs = p.delayMs
+	for _, st := range p.stages {
+		stats.Stages = append(stats.Stages, st.stats())
+	}
+	return stats
+}
+
+// StageCount returns the number of concurrent elements (stages + links).
+func (p *Pipeline) StageCount() int { return len(p.stages) }

@@ -1,0 +1,53 @@
+package profile
+
+import (
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// ApplyContext adjusts a satisfaction profile to the user's current
+// context (Section 3's "resource adaptation engines can use these
+// elements to deliver the best experience"):
+//
+//   - in audio-hostile contexts (a meeting, very loud surroundings) the
+//     audio parameters stop contributing to satisfaction, so the
+//     selection algorithm spends bandwidth and budget on the visual
+//     dimensions instead;
+//   - in video-hostile contexts (driving) the visual parameters stop
+//     contributing, biasing selection toward audio-only chains.
+//
+// The adjustment uses the weighted combination of [29]: hostile
+// parameters get weight 0 (ignored), everything else keeps its weight
+// (default 1). A neutral context returns the profile unchanged.
+func ApplyContext(p satisfaction.Profile, ctx *Context) satisfaction.Profile {
+	if ctx == nil || (!ctx.AudioHostile() && !ctx.VideoHostile()) {
+		return p
+	}
+	out := satisfaction.Profile{
+		Functions: p.Functions,
+		Weights:   make(map[media.Param]float64, len(p.Functions)),
+	}
+	for name := range p.Functions {
+		w := 1.0
+		if p.Weights != nil {
+			if existing, ok := p.Weights[name]; ok {
+				w = existing
+			}
+		}
+		out.Weights[name] = w
+	}
+	zero := func(params ...media.Param) {
+		for _, name := range params {
+			if _, scored := out.Functions[name]; scored {
+				out.Weights[name] = 0
+			}
+		}
+	}
+	if ctx.AudioHostile() {
+		zero(media.ParamAudioRate, media.ParamAudioBits)
+	}
+	if ctx.VideoHostile() {
+		zero(media.ParamFrameRate, media.ParamResolution, media.ParamColorDepth)
+	}
+	return out
+}

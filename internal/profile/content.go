@@ -1,0 +1,68 @@
+package profile
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+)
+
+// Content is the content profile of Section 3 (MPEG-7-like): descriptive
+// metadata plus the stored variants of the media object. Each variant's
+// format becomes one output link of the sender vertex in the adaptation
+// graph (Section 4.2).
+type Content struct {
+	// ID identifies the content object.
+	ID string `json:"id"`
+	// Title is the human-readable title.
+	Title string `json:"title,omitempty"`
+	// Author and Production carry the authorship metadata MPEG-7
+	// standardizes.
+	Author     string `json:"author,omitempty"`
+	Production string `json:"production,omitempty"`
+	// Variants are the stored encodings of the object, each with the
+	// maximum QoS parameters it can be served at.
+	Variants []media.Descriptor `json:"variants"`
+	// DurationSec is the play-out length for streamed media; 0 for
+	// static objects (images, pages).
+	DurationSec float64 `json:"durationSec,omitempty"`
+}
+
+// Validate checks the content profile.
+func (c *Content) Validate() error {
+	if c.ID == "" {
+		return fmt.Errorf("profile: content has empty ID")
+	}
+	if len(c.Variants) == 0 {
+		return fmt.Errorf("profile: content %s has no variants", c.ID)
+	}
+	seen := make(map[media.Format]bool, len(c.Variants))
+	for i, v := range c.Variants {
+		if err := v.Validate(); err != nil {
+			return fmt.Errorf("profile: content %s variant %d: %w", c.ID, i, err)
+		}
+		if seen[v.Format] {
+			return fmt.Errorf("profile: content %s has duplicate variant format %s", c.ID, v.Format)
+		}
+		seen[v.Format] = true
+	}
+	return nil
+}
+
+// Formats returns the set of variant formats — the sender's output links.
+func (c *Content) Formats() media.FormatSet {
+	s := make(media.FormatSet, len(c.Variants))
+	for _, v := range c.Variants {
+		s.Add(v.Format)
+	}
+	return s
+}
+
+// Variant returns the descriptor for the given format, if stored.
+func (c *Content) Variant(f media.Format) (media.Descriptor, bool) {
+	for _, v := range c.Variants {
+		if v.Format == f {
+			return v, true
+		}
+	}
+	return media.Descriptor{}, false
+}

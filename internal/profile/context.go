@@ -1,0 +1,57 @@
+package profile
+
+import "fmt"
+
+// Context is the context profile of Section 3: dynamic information about
+// the user's current situation. MPEG-21 DIA's natural-environment tools
+// inspire the fields; adaptation engines use them to bias the selection
+// (e.g. mute audio in a meeting, raise contrast in sunlight).
+type Context struct {
+	// Location is a free-form place description ("office", "car").
+	Location string `json:"location,omitempty"`
+	// Activity is the social/organizational situation ("dinner",
+	// "meeting", "acting senior manager").
+	Activity string `json:"activity,omitempty"`
+	// IlluminationLux is the ambient light level; 0 means unknown.
+	IlluminationLux float64 `json:"illuminationLux,omitempty"`
+	// NoiseDb is the ambient noise level; 0 means unknown.
+	NoiseDb float64 `json:"noiseDb,omitempty"`
+	// Moving reports whether the user is in motion (handover-prone
+	// connectivity).
+	Moving bool `json:"moving,omitempty"`
+	// HourOfDay is the local hour in [0,24); -1 means unknown.
+	HourOfDay int `json:"hourOfDay,omitempty"`
+}
+
+// Validate checks the context profile's numeric ranges.
+func (c *Context) Validate() error {
+	if c.IlluminationLux < 0 {
+		return fmt.Errorf("profile: negative illumination %v", c.IlluminationLux)
+	}
+	if c.NoiseDb < 0 {
+		return fmt.Errorf("profile: negative noise level %v", c.NoiseDb)
+	}
+	if c.HourOfDay < -1 || c.HourOfDay >= 24 {
+		return fmt.Errorf("profile: hour of day %d outside [-1,24)", c.HourOfDay)
+	}
+	return nil
+}
+
+// AudioHostile reports whether the context argues against audio delivery
+// (very noisy surroundings or a socially silent activity).
+func (c *Context) AudioHostile() bool {
+	if c.NoiseDb >= 80 {
+		return true
+	}
+	switch c.Activity {
+	case "meeting", "dinner", "lecture", "library":
+		return true
+	}
+	return false
+}
+
+// VideoHostile reports whether the context argues against video delivery
+// (e.g. the user is driving).
+func (c *Context) VideoHostile() bool {
+	return c.Activity == "driving"
+}

@@ -1,0 +1,121 @@
+package profile
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+)
+
+// DeviceClass is a coarse category of client devices, used by workload
+// generators and examples. Section 1 spans the range from "a small
+// single-task audio player to a complex multi-task desktop computer".
+type DeviceClass string
+
+// Common device classes circa the paper's era.
+const (
+	ClassDesktop   DeviceClass = "desktop"
+	ClassLaptop    DeviceClass = "laptop"
+	ClassPDA       DeviceClass = "pda"
+	ClassPhone     DeviceClass = "phone"
+	ClassSetTop    DeviceClass = "settop"
+	ClassAudioOnly DeviceClass = "audioplayer"
+	ClassTextPager DeviceClass = "pager"
+)
+
+// Hardware captures the hardware characteristics the device profile of
+// Section 3 enumerates (UAProf / MPEG-21 DIA style).
+type Hardware struct {
+	// CPUMips is the processing power in MIPS.
+	CPUMips float64 `json:"cpuMips"`
+	// CPULoad is the current utilization in [0,1].
+	CPULoad float64 `json:"cpuLoad,omitempty"`
+	// MemoryMB is the available memory.
+	MemoryMB float64 `json:"memoryMB"`
+	// ScreenWidth/ScreenHeight are the display pixels; 0 for screenless
+	// devices.
+	ScreenWidth  int `json:"screenWidth,omitempty"`
+	ScreenHeight int `json:"screenHeight,omitempty"`
+	// ColorDepth is the display bits per pixel.
+	ColorDepth int `json:"colorDepth,omitempty"`
+	// Speakers is the number of audio output channels (0 = mute device).
+	Speakers int `json:"speakers,omitempty"`
+}
+
+// ScreenKpx returns the display size in kilopixels, the unit of the
+// resolution QoS parameter.
+func (h Hardware) ScreenKpx() float64 {
+	return float64(h.ScreenWidth) * float64(h.ScreenHeight) / 1000
+}
+
+// Software captures the software characteristics: platform and installed
+// decoders.
+type Software struct {
+	// OS is the operating system vendor/version string.
+	OS string `json:"os,omitempty"`
+	// Decoders are the media formats the device can render — exactly
+	// the input links of the receiver vertex (Section 4.2).
+	Decoders []media.Format `json:"decoders"`
+}
+
+// Device is the device profile of Section 3.
+type Device struct {
+	// ID identifies the device.
+	ID string `json:"id"`
+	// Class is the coarse device category.
+	Class DeviceClass `json:"class,omitempty"`
+	// Hardware and Software describe the device's capabilities.
+	Hardware Hardware `json:"hardware"`
+	Software Software `json:"software"`
+}
+
+// Validate checks the device profile.
+func (d *Device) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("profile: device has empty ID")
+	}
+	if len(d.Software.Decoders) == 0 {
+		return fmt.Errorf("profile: device %s has no decoders", d.ID)
+	}
+	for i, f := range d.Software.Decoders {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("profile: device %s decoder %d: %w", d.ID, i, err)
+		}
+	}
+	if d.Hardware.CPULoad < 0 || d.Hardware.CPULoad > 1 {
+		return fmt.Errorf("profile: device %s CPU load %v outside [0,1]", d.ID, d.Hardware.CPULoad)
+	}
+	if d.Hardware.CPUMips < 0 || d.Hardware.MemoryMB < 0 {
+		return fmt.Errorf("profile: device %s negative hardware resource", d.ID)
+	}
+	return nil
+}
+
+// Decodes reports whether the device can render format f.
+func (d *Device) Decodes(f media.Format) bool {
+	for _, dec := range d.Software.Decoders {
+		if dec == f {
+			return true
+		}
+	}
+	return false
+}
+
+// DecoderSet returns the decoder formats as a set — the receiver's input
+// links.
+func (d *Device) DecoderSet() media.FormatSet {
+	return media.NewFormatSet(d.Software.Decoders...)
+}
+
+// RenderCaps derives QoS parameter caps from the hardware: content cannot
+// usefully exceed the screen's resolution or colour depth. Zero hardware
+// fields impose no cap.
+func (d *Device) RenderCaps() media.Params {
+	caps := make(media.Params)
+	if kpx := d.Hardware.ScreenKpx(); kpx > 0 {
+		caps[media.ParamResolution] = kpx
+	}
+	if d.Hardware.ColorDepth > 0 {
+		caps[media.ParamColorDepth] = float64(d.Hardware.ColorDepth)
+	}
+	return caps
+}

@@ -1,0 +1,86 @@
+// Package profile implements the six information profiles of Section 3 of
+// the paper — user, content, context, device, network and intermediary —
+// as validated, JSON-serializable Go structures.
+//
+// The paper points at MPEG-7, MPEG-21 and UAProf as the description
+// standards for these profiles; this package carries the same information
+// in plain structs, which is what the graph builder and the QoS selection
+// algorithm actually consume.
+package profile
+
+import (
+	"fmt"
+
+	"qoschain/internal/satisfaction"
+)
+
+// FuncSpec is the serializable description of a satisfaction function.
+// It exists because satisfaction.Function is an interface and user
+// profiles must round-trip through JSON.
+type FuncSpec struct {
+	// Shape selects the function family: "linear", "scurve",
+	// "exponential", "step" or "piecewise".
+	Shape string `json:"shape"`
+	// Min and Ideal are the M and I bounds for the parametric shapes.
+	Min   float64 `json:"min,omitempty"`
+	Ideal float64 `json:"ideal,omitempty"`
+	// K is the curvature of the exponential shape.
+	K float64 `json:"k,omitempty"`
+	// Thresholds/Levels describe the step shape.
+	Thresholds []float64 `json:"thresholds,omitempty"`
+	Levels     []float64 `json:"levels,omitempty"`
+	// X/Y describe the piecewise-linear shape.
+	X []float64 `json:"x,omitempty"`
+	Y []float64 `json:"y,omitempty"`
+	// Weight is the relative importance of the parameter in the
+	// weighted combination ([29]); 0 means unweighted.
+	Weight float64 `json:"weight,omitempty"`
+}
+
+// Function materializes the spec into a satisfaction.Function.
+func (s FuncSpec) Function() (satisfaction.Function, error) {
+	switch s.Shape {
+	case "linear", "":
+		return satisfaction.Linear{M: s.Min, I: s.Ideal}, nil
+	case "scurve":
+		return satisfaction.SCurve{M: s.Min, I: s.Ideal}, nil
+	case "exponential":
+		return satisfaction.Exponential{M: s.Min, I: s.Ideal, K: s.K}, nil
+	case "step":
+		return satisfaction.Step{Thresholds: s.Thresholds, Levels: s.Levels}, nil
+	case "piecewise":
+		pw := satisfaction.Piecewise{X: s.X, Y: s.Y}
+		if err := pw.Validate(); err != nil {
+			return nil, err
+		}
+		return pw, nil
+	default:
+		return nil, fmt.Errorf("profile: unknown satisfaction shape %q", s.Shape)
+	}
+}
+
+// Validate materializes the function and checks it against the
+// satisfaction.Function contract.
+func (s FuncSpec) Validate() error {
+	fn, err := s.Function()
+	if err != nil {
+		return err
+	}
+	if err := satisfaction.CheckMonotone(fn, 64); err != nil {
+		return fmt.Errorf("profile: satisfaction spec (%s): %w", s.Shape, err)
+	}
+	if s.Weight < 0 {
+		return fmt.Errorf("profile: negative weight %v", s.Weight)
+	}
+	return nil
+}
+
+// LinearSpec is a convenience constructor for the common linear shape.
+func LinearSpec(min, ideal float64) FuncSpec {
+	return FuncSpec{Shape: "linear", Min: min, Ideal: ideal}
+}
+
+// SCurveSpec is a convenience constructor for the Figure 1 S-shape.
+func SCurveSpec(min, ideal float64) FuncSpec {
+	return FuncSpec{Shape: "scurve", Min: min, Ideal: ideal}
+}

@@ -1,0 +1,76 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"qoschain/internal/satisfaction"
+)
+
+func TestFuncSpecShapes(t *testing.T) {
+	cases := []struct {
+		spec FuncSpec
+		x    float64
+		want float64
+	}{
+		{LinearSpec(0, 30), 15, 0.5},
+		{FuncSpec{Shape: "", Min: 0, Ideal: 10}, 5, 0.5}, // empty shape = linear
+		{SCurveSpec(0, 10), 5, 0.5},
+		{FuncSpec{Shape: "exponential", Min: 0, Ideal: 10, K: 0}, 4, 0.4},
+		{FuncSpec{Shape: "step", Thresholds: []float64{5}, Levels: []float64{1}}, 6, 1},
+		{FuncSpec{Shape: "piecewise", X: []float64{0, 10}, Y: []float64{0, 1}}, 5, 0.5},
+	}
+	for i, c := range cases {
+		fn, err := c.spec.Function()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got := fn.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Eval(%v) = %v, want %v", i, c.x, got, c.want)
+		}
+	}
+}
+
+func TestFuncSpecUnknownShape(t *testing.T) {
+	if _, err := (FuncSpec{Shape: "wiggly"}).Function(); err == nil {
+		t.Error("unknown shape should fail")
+	}
+}
+
+func TestFuncSpecInvalidPiecewise(t *testing.T) {
+	spec := FuncSpec{Shape: "piecewise", X: []float64{10, 0}, Y: []float64{0, 1}}
+	if _, err := spec.Function(); err == nil {
+		t.Error("decreasing X should fail")
+	}
+}
+
+func TestFuncSpecValidate(t *testing.T) {
+	if err := LinearSpec(0, 30).Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	if err := (FuncSpec{Shape: "linear", Min: 30, Ideal: 0}).Validate(); err == nil {
+		t.Error("inverted bounds should fail validation")
+	}
+	bad := LinearSpec(0, 30)
+	bad.Weight = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative weight should fail validation")
+	}
+}
+
+func TestFuncSpecContract(t *testing.T) {
+	specs := []FuncSpec{
+		LinearSpec(5, 20),
+		SCurveSpec(5, 20),
+		{Shape: "exponential", Min: 5, Ideal: 20, K: 2},
+	}
+	for i, spec := range specs {
+		fn, err := spec.Function()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if err := satisfaction.CheckMonotone(fn, 64); err != nil {
+			t.Errorf("spec %d violates contract: %v", i, err)
+		}
+	}
+}

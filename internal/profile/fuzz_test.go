@@ -1,0 +1,34 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeSet checks that arbitrary bytes never panic the profile-set
+// decoder and that anything it accepts re-encodes and decodes cleanly.
+func FuzzDecodeSet(f *testing.F) {
+	var seed bytes.Buffer
+	if err := validSet().Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("{}"))
+	f.Add([]byte("not json"))
+	f.Add([]byte(`{"user":{"name":"x"}}`))
+	f.Add([]byte(`{"user":{"name":"x","preferences":{"framerate":{"shape":"linear","ideal":30}}}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		set, err := DecodeSet(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := set.Encode(&buf); err != nil {
+			t.Fatalf("accepted set failed to encode: %v", err)
+		}
+		if _, err := DecodeSet(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("re-encoded set failed to decode: %v", err)
+		}
+	})
+}

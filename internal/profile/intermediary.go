@@ -1,0 +1,64 @@
+package profile
+
+import (
+	"fmt"
+
+	"qoschain/internal/service"
+)
+
+// Intermediary is the profile of an intermediary (proxy) host of
+// Section 3: the trans-coding services it offers, each described with its
+// input/output formats and resource needs, plus the host's own available
+// resources for carrying the services out.
+type Intermediary struct {
+	// Host identifies the intermediary.
+	Host string `json:"host"`
+	// CPUMips is the processing capacity available for trans-coding.
+	CPUMips float64 `json:"cpuMips"`
+	// MemoryMB is the memory available for trans-coding.
+	MemoryMB float64 `json:"memoryMB"`
+	// Services are the trans-coding services this host advertises.
+	Services []*service.Service `json:"services"`
+}
+
+// Validate checks the intermediary profile and stamps each service's Host
+// field if unset; a service claiming a different host is an error.
+func (in *Intermediary) Validate() error {
+	if in.Host == "" {
+		return fmt.Errorf("profile: intermediary with empty host")
+	}
+	if in.CPUMips < 0 || in.MemoryMB < 0 {
+		return fmt.Errorf("profile: intermediary %s negative resources", in.Host)
+	}
+	seen := make(map[service.ID]bool, len(in.Services))
+	for i, s := range in.Services {
+		if s == nil {
+			return fmt.Errorf("profile: intermediary %s service %d is nil", in.Host, i)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("profile: intermediary %s: %w", in.Host, err)
+		}
+		if s.Host == "" {
+			s.Host = in.Host
+		} else if s.Host != in.Host {
+			return fmt.Errorf("profile: service %s claims host %q inside intermediary %q", s.ID, s.Host, in.Host)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("profile: intermediary %s has duplicate service %s", in.Host, s.ID)
+		}
+		seen[s.ID] = true
+		if s.MemoryMB > in.MemoryMB && in.MemoryMB > 0 {
+			return fmt.Errorf("profile: service %s needs %v MB but host %s has %v MB", s.ID, s.MemoryMB, in.Host, in.MemoryMB)
+		}
+	}
+	return nil
+}
+
+// CanRun reports whether the host has the memory to run the service and
+// the CPU headroom to process a stream of the given input bitrate.
+func (in *Intermediary) CanRun(s *service.Service, inputKbps float64) bool {
+	if s.MemoryMB > in.MemoryMB {
+		return false
+	}
+	return s.CPURequired(inputKbps) <= in.CPUMips
+}

@@ -1,0 +1,104 @@
+package profile
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"qoschain/internal/media"
+)
+
+// MPEG-7-style XML content profiles. Section 3 points at MPEG-7 (the
+// "Multimedia Content Description Interface") as the standard carrier for
+// content metadata; this file supports a simplified XML schema in that
+// spirit:
+//
+//	<ContentProfile id="clip-1" title="evening news" durationSec="120">
+//	  <Author>newsroom</Author>
+//	  <Variant format="video/mpeg1">
+//	    <Param name="framerate" value="30"/>
+//	  </Variant>
+//	</ContentProfile>
+
+type xmlContentProfile struct {
+	XMLName     xml.Name     `xml:"ContentProfile"`
+	ID          string       `xml:"id,attr"`
+	Title       string       `xml:"title,attr"`
+	DurationSec float64      `xml:"durationSec,attr"`
+	Author      string       `xml:"Author"`
+	Production  string       `xml:"Production"`
+	Variants    []xmlVariant `xml:"Variant"`
+}
+
+type xmlVariant struct {
+	Format string     `xml:"format,attr"`
+	Params []xmlParam `xml:"Param"`
+}
+
+type xmlParam struct {
+	Name  string  `xml:"name,attr"`
+	Value float64 `xml:"value,attr"`
+}
+
+// ParseContentXML reads an MPEG-7-style XML content profile and returns
+// the validated Content.
+func ParseContentXML(r io.Reader) (*Content, error) {
+	var doc xmlContentProfile
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profile: parsing content XML: %w", err)
+	}
+	c := &Content{
+		ID:          doc.ID,
+		Title:       doc.Title,
+		Author:      doc.Author,
+		Production:  doc.Production,
+		DurationSec: doc.DurationSec,
+	}
+	for _, v := range doc.Variants {
+		f, err := media.ParseFormat(v.Format)
+		if err != nil {
+			return nil, fmt.Errorf("profile: content %s variant: %w", doc.ID, err)
+		}
+		params := make(media.Params, len(v.Params))
+		for _, p := range v.Params {
+			params[media.Param(p.Name)] = p.Value
+		}
+		c.Variants = append(c.Variants, media.Descriptor{Format: f, Params: params})
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteContentXML renders the content profile in the MPEG-7-style XML
+// schema.
+func WriteContentXML(w io.Writer, c *Content) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	doc := xmlContentProfile{
+		ID:          c.ID,
+		Title:       c.Title,
+		Author:      c.Author,
+		Production:  c.Production,
+		DurationSec: c.DurationSec,
+	}
+	for _, v := range c.Variants {
+		xv := xmlVariant{Format: v.Format.String()}
+		for _, name := range v.Params.Names() {
+			xv.Params = append(xv.Params, xmlParam{Name: string(name), Value: v.Params[name]})
+		}
+		doc.Variants = append(doc.Variants, xv)
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("profile: encoding content XML: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,83 @@
+package profile
+
+import "fmt"
+
+// Link describes one network link between two named hosts: the
+// utilization/delay/error characteristics the network profile of Section 3
+// collects for every link on the content delivery path.
+type Link struct {
+	// From and To are host IDs (sender, receiver or intermediaries).
+	From string `json:"from"`
+	To   string `json:"to"`
+	// BandwidthKbps is the available (not raw) bandwidth.
+	BandwidthKbps float64 `json:"bandwidthKbps"`
+	// DelayMs is the one-way latency.
+	DelayMs float64 `json:"delayMs,omitempty"`
+	// LossRate is the packet loss probability in [0,1].
+	LossRate float64 `json:"lossRate,omitempty"`
+}
+
+// Validate checks a single link description.
+func (l Link) Validate() error {
+	if l.From == "" || l.To == "" {
+		return fmt.Errorf("profile: link with empty endpoint (%q -> %q)", l.From, l.To)
+	}
+	if l.From == l.To {
+		return fmt.Errorf("profile: link from %q to itself", l.From)
+	}
+	if l.BandwidthKbps < 0 {
+		return fmt.Errorf("profile: link %s->%s negative bandwidth", l.From, l.To)
+	}
+	if l.DelayMs < 0 {
+		return fmt.Errorf("profile: link %s->%s negative delay", l.From, l.To)
+	}
+	if l.LossRate < 0 || l.LossRate > 1 {
+		return fmt.Errorf("profile: link %s->%s loss rate %v outside [0,1]", l.From, l.To, l.LossRate)
+	}
+	return nil
+}
+
+// Network is the network profile of Section 3: the collection of measured
+// links available for content delivery.
+type Network struct {
+	Links []Link `json:"links"`
+}
+
+// Validate checks every link and rejects duplicate directed pairs.
+func (n *Network) Validate() error {
+	seen := make(map[[2]string]bool, len(n.Links))
+	for i, l := range n.Links {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("profile: network link %d: %w", i, err)
+		}
+		key := [2]string{l.From, l.To}
+		if seen[key] {
+			return fmt.Errorf("profile: duplicate link %s->%s", l.From, l.To)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
+// Bandwidth returns the available bandwidth between two hosts, or
+// (0, false) when no direct link is described. Co-located endpoints
+// (same host) report unlimited bandwidth, encoded as (0, true) with
+// Unlimited — use BandwidthOrUnlimited for the selection-side semantics.
+func (n *Network) Bandwidth(from, to string) (float64, bool) {
+	for _, l := range n.Links {
+		if l.From == from && l.To == to {
+			return l.BandwidthKbps, true
+		}
+	}
+	return 0, false
+}
+
+// Hosts returns the set of host IDs mentioned by any link.
+func (n *Network) Hosts() map[string]bool {
+	hosts := make(map[string]bool, len(n.Links)*2)
+	for _, l := range n.Links {
+		hosts[l.From] = true
+		hosts[l.To] = true
+	}
+	return hosts
+}

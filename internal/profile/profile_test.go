@@ -1,0 +1,453 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+func sampleUser() User {
+	return User{
+		Name: "alice",
+		Preferences: map[media.Param]FuncSpec{
+			media.ParamFrameRate: LinearSpec(0, 30),
+		},
+		ContactPreferences: map[ContactClass]map[media.Param]FuncSpec{
+			ContactClient: {media.ParamFrameRate: LinearSpec(10, 30)},
+		},
+		Budget: 100,
+	}
+}
+
+func sampleContent() Content {
+	return Content{
+		ID:    "clip-1",
+		Title: "news clip",
+		Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+			{Format: media.VideoH261, Params: media.Params{media.ParamFrameRate: 25}},
+		},
+		DurationSec: 120,
+	}
+}
+
+func sampleDevice() Device {
+	return Device{
+		ID:    "phone-1",
+		Class: ClassPhone,
+		Hardware: Hardware{
+			CPUMips: 200, MemoryMB: 64,
+			ScreenWidth: 320, ScreenHeight: 240, ColorDepth: 16, Speakers: 1,
+		},
+		Software: Software{OS: "symbian", Decoders: []media.Format{media.VideoH263, media.AudioGSM}},
+	}
+}
+
+func TestUserValidate(t *testing.T) {
+	u := sampleUser()
+	if err := u.Validate(); err != nil {
+		t.Errorf("valid user rejected: %v", err)
+	}
+	if err := (&User{}).Validate(); err == nil {
+		t.Error("empty user should fail")
+	}
+	if err := (&User{Name: "x"}).Validate(); err == nil {
+		t.Error("user without preferences should fail")
+	}
+	bad := sampleUser()
+	bad.Preferences[media.ParamAudioRate] = FuncSpec{Shape: "wiggly"}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad preference spec should fail")
+	}
+	bad2 := sampleUser()
+	bad2.ContactPreferences[ContactFamily] = map[media.Param]FuncSpec{
+		media.ParamFrameRate: {Shape: "wiggly"},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Error("bad contact preference spec should fail")
+	}
+}
+
+func TestUserSatisfactionProfile(t *testing.T) {
+	u := sampleUser()
+	prof, err := u.SatisfactionProfile(ContactAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := prof.Evaluate(media.Params{media.ParamFrameRate: 15})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("default profile Evaluate = %v, want 0.5", got)
+	}
+	// The client-class override raises the minimum to 10 fps.
+	prof, err = u.SatisfactionProfile(ContactClient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = prof.Evaluate(media.Params{media.ParamFrameRate: 15})
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("client profile Evaluate = %v, want 0.25", got)
+	}
+}
+
+func TestUserSatisfactionProfileWeighted(t *testing.T) {
+	u := User{
+		Name: "bob",
+		Preferences: map[media.Param]FuncSpec{
+			media.ParamFrameRate: {Shape: "linear", Min: 0, Ideal: 30, Weight: 2},
+			media.ParamAudioRate: {Shape: "linear", Min: 0, Ideal: 44.1, Weight: 1},
+		},
+	}
+	prof, err := u.SatisfactionProfile(ContactAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Weights == nil {
+		t.Fatal("weights should be attached when any differs from 1")
+	}
+	if prof.Weights[media.ParamFrameRate] != 2 {
+		t.Errorf("framerate weight = %v, want 2", prof.Weights[media.ParamFrameRate])
+	}
+}
+
+func TestContentValidate(t *testing.T) {
+	c := sampleContent()
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid content rejected: %v", err)
+	}
+	if err := (&Content{}).Validate(); err == nil {
+		t.Error("empty content should fail")
+	}
+	dup := sampleContent()
+	dup.Variants = append(dup.Variants, dup.Variants[0])
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate variant formats should fail")
+	}
+}
+
+func TestContentFormatsAndVariant(t *testing.T) {
+	c := sampleContent()
+	fs := c.Formats()
+	if !fs.Contains(media.VideoMPEG1) || !fs.Contains(media.VideoH261) {
+		t.Error("Formats should contain both variants")
+	}
+	v, ok := c.Variant(media.VideoH261)
+	if !ok || v.Params[media.ParamFrameRate] != 25 {
+		t.Errorf("Variant lookup failed: %v %v", v, ok)
+	}
+	if _, ok := c.Variant(media.ImageGIF); ok {
+		t.Error("absent variant should not be found")
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	d := sampleDevice()
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid device rejected: %v", err)
+	}
+	if err := (&Device{ID: "x"}).Validate(); err == nil {
+		t.Error("device without decoders should fail")
+	}
+	bad := sampleDevice()
+	bad.Hardware.CPULoad = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("CPU load above 1 should fail")
+	}
+}
+
+func TestDeviceDecodes(t *testing.T) {
+	d := sampleDevice()
+	if !d.Decodes(media.VideoH263) {
+		t.Error("device should decode h263")
+	}
+	if d.Decodes(media.VideoMPEG2) {
+		t.Error("device should not decode mpeg2")
+	}
+	if len(d.DecoderSet()) != 2 {
+		t.Error("DecoderSet size mismatch")
+	}
+}
+
+func TestDeviceRenderCaps(t *testing.T) {
+	d := sampleDevice()
+	caps := d.RenderCaps()
+	if math.Abs(caps[media.ParamResolution]-76.8) > 1e-9 {
+		t.Errorf("resolution cap = %v, want 76.8 kpx", caps[media.ParamResolution])
+	}
+	if caps[media.ParamColorDepth] != 16 {
+		t.Errorf("colour cap = %v, want 16", caps[media.ParamColorDepth])
+	}
+	bare := Device{ID: "pager", Software: Software{Decoders: []media.Format{media.TextPlain}}}
+	if len(bare.RenderCaps()) != 0 {
+		t.Error("screenless device should impose no render caps")
+	}
+}
+
+func TestContextValidateAndHeuristics(t *testing.T) {
+	c := Context{Location: "office", Activity: "meeting", NoiseDb: 40, HourOfDay: 14}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid context rejected: %v", err)
+	}
+	if !c.AudioHostile() {
+		t.Error("meeting context should be audio-hostile")
+	}
+	loud := Context{NoiseDb: 90}
+	if !loud.AudioHostile() {
+		t.Error("90 dB should be audio-hostile")
+	}
+	driving := Context{Activity: "driving"}
+	if !driving.VideoHostile() {
+		t.Error("driving should be video-hostile")
+	}
+	empty := Context{}
+	if empty.AudioHostile() || empty.VideoHostile() {
+		t.Error("empty context should be neutral")
+	}
+	for _, bad := range []Context{{IlluminationLux: -1}, {NoiseDb: -1}, {HourOfDay: 24}, {HourOfDay: -2}} {
+		bad := bad
+		if err := bad.Validate(); err == nil {
+			t.Errorf("context %+v should fail validation", bad)
+		}
+	}
+}
+
+func TestNetworkValidate(t *testing.T) {
+	n := Network{Links: []Link{
+		{From: "a", To: "b", BandwidthKbps: 1000, DelayMs: 10},
+		{From: "b", To: "a", BandwidthKbps: 800},
+	}}
+	if err := n.Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+	for i, bad := range []Network{
+		{Links: []Link{{From: "", To: "b", BandwidthKbps: 1}}},
+		{Links: []Link{{From: "a", To: "a", BandwidthKbps: 1}}},
+		{Links: []Link{{From: "a", To: "b", BandwidthKbps: -1}}},
+		{Links: []Link{{From: "a", To: "b", LossRate: 2}}},
+		{Links: []Link{{From: "a", To: "b", DelayMs: -1}}},
+		{Links: []Link{{From: "a", To: "b"}, {From: "a", To: "b"}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("bad network %d should fail validation", i)
+		}
+	}
+}
+
+func TestNetworkBandwidthAndHosts(t *testing.T) {
+	n := Network{Links: []Link{{From: "a", To: "b", BandwidthKbps: 1000}}}
+	bw, ok := n.Bandwidth("a", "b")
+	if !ok || bw != 1000 {
+		t.Errorf("Bandwidth(a,b) = %v,%v", bw, ok)
+	}
+	if _, ok := n.Bandwidth("b", "a"); ok {
+		t.Error("reverse direction should be absent")
+	}
+	hosts := n.Hosts()
+	if !hosts["a"] || !hosts["b"] || len(hosts) != 2 {
+		t.Errorf("Hosts = %v", hosts)
+	}
+}
+
+func TestIntermediaryValidate(t *testing.T) {
+	in := Intermediary{
+		Host: "proxy-1", CPUMips: 1000, MemoryMB: 512,
+		Services: []*service.Service{service.FormatConverter("c1", media.ImageJPEG, media.ImageGIF)},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("valid intermediary rejected: %v", err)
+	}
+	if in.Services[0].Host != "proxy-1" {
+		t.Error("Validate should stamp the host onto its services")
+	}
+	wrongHost := Intermediary{Host: "proxy-2", MemoryMB: 512,
+		Services: []*service.Service{{ID: "x", Host: "other",
+			Inputs: []media.Format{media.ImageJPEG}, Outputs: []media.Format{media.ImageGIF}}}}
+	if err := wrongHost.Validate(); err == nil {
+		t.Error("service claiming another host should fail")
+	}
+	dup := Intermediary{Host: "p", MemoryMB: 512, Services: []*service.Service{
+		service.FormatConverter("c1", media.ImageJPEG, media.ImageGIF),
+		service.FormatConverter("c1", media.ImageGIF, media.ImagePNG),
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate service IDs should fail")
+	}
+	tooBig := Intermediary{Host: "p", MemoryMB: 8, Services: []*service.Service{
+		service.KeyframeExtractor("k1", media.VideoMPEG1), // needs 64 MB
+	}}
+	if err := tooBig.Validate(); err == nil {
+		t.Error("service larger than host memory should fail")
+	}
+}
+
+func TestIntermediaryCanRun(t *testing.T) {
+	in := Intermediary{Host: "p", CPUMips: 100, MemoryMB: 64}
+	s := &service.Service{ID: "x", CPUPerKbps: 0.1, MemoryMB: 32,
+		Inputs: []media.Format{media.ImageJPEG}, Outputs: []media.Format{media.ImageGIF}}
+	if !in.CanRun(s, 500) { // needs 50 MIPS
+		t.Error("should run within CPU budget")
+	}
+	if in.CanRun(s, 2000) { // needs 200 MIPS
+		t.Error("should refuse beyond CPU budget")
+	}
+	s.MemoryMB = 128
+	if in.CanRun(s, 1) {
+		t.Error("should refuse beyond memory budget")
+	}
+}
+
+func validSet() *Set {
+	return &Set{
+		User:    sampleUser(),
+		Content: sampleContent(),
+		Device:  sampleDevice(),
+		Network: Network{Links: []Link{{From: "sender", To: "proxy-1", BandwidthKbps: 2000}}},
+		Intermediaries: []Intermediary{{
+			Host: "proxy-1", CPUMips: 1000, MemoryMB: 512,
+			Services: []*service.Service{service.FormatConverter("c1", media.VideoMPEG1, media.VideoH263)},
+		}},
+	}
+}
+
+func TestSetValidate(t *testing.T) {
+	if err := validSet().Validate(); err != nil {
+		t.Fatalf("valid set rejected: %v", err)
+	}
+	dup := validSet()
+	dup.Intermediaries = append(dup.Intermediaries, Intermediary{Host: "proxy-1"})
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate intermediary hosts should fail")
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := validSet()
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSet(&buf)
+	if err != nil {
+		t.Fatalf("DecodeSet: %v", err)
+	}
+	if got.User.Name != "alice" || got.Content.ID != "clip-1" || got.Device.ID != "phone-1" {
+		t.Error("round trip lost identity fields")
+	}
+	if len(got.Intermediaries) != 1 || len(got.Intermediaries[0].Services) != 1 {
+		t.Fatal("round trip lost intermediary services")
+	}
+	if got.Intermediaries[0].Services[0].ID != "c1" {
+		t.Error("round trip lost service ID")
+	}
+	bw, ok := got.Network.Bandwidth("sender", "proxy-1")
+	if !ok || bw != 2000 {
+		t.Error("round trip lost network link")
+	}
+}
+
+func TestDecodeSetRejectsUnknownFields(t *testing.T) {
+	_, err := DecodeSet(strings.NewReader(`{"bogus": 1}`))
+	if err == nil {
+		t.Error("unknown fields should be rejected")
+	}
+}
+
+func TestDecodeSetRejectsInvalid(t *testing.T) {
+	_, err := DecodeSet(strings.NewReader(`{}`))
+	if err == nil {
+		t.Error("empty set should fail validation")
+	}
+}
+
+func TestApplyContextNeutral(t *testing.T) {
+	u := sampleUser()
+	prof, err := u.SatisfactionProfile(ContactAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutral := Context{}
+	adjusted := ApplyContext(prof, &neutral)
+	if adjusted.Weights != nil {
+		t.Error("neutral context must leave the profile unweighted")
+	}
+	if ApplyContext(prof, nil).Weights != nil {
+		t.Error("nil context must leave the profile unweighted")
+	}
+}
+
+func TestApplyContextAudioHostile(t *testing.T) {
+	u := User{
+		Name: "u",
+		Preferences: map[media.Param]FuncSpec{
+			media.ParamFrameRate: LinearSpec(0, 30),
+			media.ParamAudioRate: LinearSpec(0, 44.1),
+		},
+	}
+	prof, err := u.SatisfactionProfile(ContactAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meeting := Context{Activity: "meeting"}
+	adjusted := ApplyContext(prof, &meeting)
+	if adjusted.Weights[media.ParamAudioRate] != 0 {
+		t.Error("audio parameters must be zero-weighted in a meeting")
+	}
+	if adjusted.Weights[media.ParamFrameRate] != 1 {
+		t.Error("video parameters keep their weight")
+	}
+	// Bad audio no longer hurts the total.
+	vals := media.Params{media.ParamFrameRate: 30, media.ParamAudioRate: 0}
+	if got := adjusted.Evaluate(vals); got != 1 {
+		t.Errorf("audio-hostile evaluation = %v, want 1", got)
+	}
+	if got := prof.Evaluate(vals); got != 0 {
+		t.Errorf("unadjusted evaluation = %v, want 0", got)
+	}
+}
+
+func TestApplyContextVideoHostile(t *testing.T) {
+	u := User{
+		Name: "u",
+		Preferences: map[media.Param]FuncSpec{
+			media.ParamFrameRate: LinearSpec(0, 30),
+			media.ParamAudioRate: LinearSpec(0, 44.1),
+		},
+	}
+	prof, err := u.SatisfactionProfile(ContactAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driving := Context{Activity: "driving"}
+	adjusted := ApplyContext(prof, &driving)
+	if adjusted.Weights[media.ParamFrameRate] != 0 {
+		t.Error("frame rate must be zero-weighted while driving")
+	}
+	vals := media.Params{media.ParamFrameRate: 0, media.ParamAudioRate: 44.1}
+	if got := adjusted.Evaluate(vals); got != 1 {
+		t.Errorf("video-hostile evaluation = %v, want 1", got)
+	}
+}
+
+func TestApplyContextPreservesExistingWeights(t *testing.T) {
+	weighted := User{
+		Name: "u",
+		Preferences: map[media.Param]FuncSpec{
+			media.ParamFrameRate: {Shape: "linear", Min: 0, Ideal: 30, Weight: 3},
+			media.ParamAudioRate: {Shape: "linear", Min: 0, Ideal: 44.1, Weight: 2},
+		},
+	}
+	prof, err := weighted.SatisfactionProfile(ContactAny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adjusted := ApplyContext(prof, &Context{NoiseDb: 95})
+	if adjusted.Weights[media.ParamFrameRate] != 3 {
+		t.Errorf("existing weight must survive, got %v", adjusted.Weights[media.ParamFrameRate])
+	}
+	if adjusted.Weights[media.ParamAudioRate] != 0 {
+		t.Error("audio must be zeroed in 95 dB noise")
+	}
+}

@@ -1,0 +1,114 @@
+package profile
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+
+	"qoschain/internal/media"
+)
+
+// UAProf-style XML device profiles. Section 3 of the paper points at the
+// WAP Forum's User Agent Profile as the standard carrier for device
+// capabilities; this file supports a simplified XML schema in that
+// spirit, so device descriptions can arrive from handset-style sources
+// rather than JSON:
+//
+//	<DeviceProfile id="phone-1" class="phone">
+//	  <Hardware cpuMips="150" memoryMB="16" screenWidth="176"
+//	            screenHeight="144" colorDepth="12" speakers="1"/>
+//	  <Software os="symbian">
+//	    <Decoder>video/h263</Decoder>
+//	    <Decoder>audio/gsm</Decoder>
+//	  </Software>
+//	</DeviceProfile>
+
+// xmlDeviceProfile is the wire schema.
+type xmlDeviceProfile struct {
+	XMLName  xml.Name    `xml:"DeviceProfile"`
+	ID       string      `xml:"id,attr"`
+	Class    string      `xml:"class,attr"`
+	Hardware xmlHardware `xml:"Hardware"`
+	Software xmlSoftware `xml:"Software"`
+}
+
+type xmlHardware struct {
+	CPUMips      float64 `xml:"cpuMips,attr"`
+	MemoryMB     float64 `xml:"memoryMB,attr"`
+	ScreenWidth  int     `xml:"screenWidth,attr"`
+	ScreenHeight int     `xml:"screenHeight,attr"`
+	ColorDepth   int     `xml:"colorDepth,attr"`
+	Speakers     int     `xml:"speakers,attr"`
+}
+
+type xmlSoftware struct {
+	OS       string   `xml:"os,attr"`
+	Decoders []string `xml:"Decoder"`
+}
+
+// ParseDeviceXML reads a UAProf-style XML device profile and returns the
+// validated Device.
+func ParseDeviceXML(r io.Reader) (*Device, error) {
+	var doc xmlDeviceProfile
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profile: parsing device XML: %w", err)
+	}
+	d := &Device{
+		ID:    doc.ID,
+		Class: DeviceClass(doc.Class),
+		Hardware: Hardware{
+			CPUMips:      doc.Hardware.CPUMips,
+			MemoryMB:     doc.Hardware.MemoryMB,
+			ScreenWidth:  doc.Hardware.ScreenWidth,
+			ScreenHeight: doc.Hardware.ScreenHeight,
+			ColorDepth:   doc.Hardware.ColorDepth,
+			Speakers:     doc.Hardware.Speakers,
+		},
+		Software: Software{OS: doc.Software.OS},
+	}
+	for _, s := range doc.Software.Decoders {
+		f, err := media.ParseFormat(s)
+		if err != nil {
+			return nil, fmt.Errorf("profile: device %s decoder: %w", doc.ID, err)
+		}
+		d.Software.Decoders = append(d.Software.Decoders, f)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteDeviceXML renders the device in the UAProf-style XML schema.
+func WriteDeviceXML(w io.Writer, d *Device) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	doc := xmlDeviceProfile{
+		ID:    d.ID,
+		Class: string(d.Class),
+		Hardware: xmlHardware{
+			CPUMips:      d.Hardware.CPUMips,
+			MemoryMB:     d.Hardware.MemoryMB,
+			ScreenWidth:  d.Hardware.ScreenWidth,
+			ScreenHeight: d.Hardware.ScreenHeight,
+			ColorDepth:   d.Hardware.ColorDepth,
+			Speakers:     d.Hardware.Speakers,
+		},
+		Software: xmlSoftware{OS: d.Software.OS},
+	}
+	for _, f := range d.Software.Decoders {
+		doc.Software.Decoders = append(doc.Software.Decoders, f.String())
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("profile: encoding device XML: %w", err)
+	}
+	if err := enc.Close(); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

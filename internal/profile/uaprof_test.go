@@ -1,0 +1,150 @@
+package profile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const phoneXML = `<DeviceProfile id="phone-1" class="phone">
+  <Hardware cpuMips="150" memoryMB="16" screenWidth="176" screenHeight="144" colorDepth="12" speakers="1"/>
+  <Software os="symbian">
+    <Decoder>video/h263</Decoder>
+    <Decoder>audio/gsm</Decoder>
+  </Software>
+</DeviceProfile>`
+
+func TestParseDeviceXML(t *testing.T) {
+	d, err := ParseDeviceXML(strings.NewReader(phoneXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != "phone-1" || d.Class != ClassPhone {
+		t.Errorf("identity = %s/%s", d.ID, d.Class)
+	}
+	if d.Hardware.ScreenWidth != 176 || d.Hardware.ColorDepth != 12 {
+		t.Errorf("hardware = %+v", d.Hardware)
+	}
+	if len(d.Software.Decoders) != 2 || d.Software.Decoders[0].String() != "video/h263" {
+		t.Errorf("decoders = %v", d.Software.Decoders)
+	}
+}
+
+func TestParseDeviceXMLErrors(t *testing.T) {
+	cases := []string{
+		"not xml at all",
+		`<DeviceProfile id="x"><Software><Decoder>bogus-format</Decoder></Software></DeviceProfile>`,
+		`<DeviceProfile id=""><Software><Decoder>video/h263</Decoder></Software></DeviceProfile>`,
+		`<DeviceProfile id="x"><Software/></DeviceProfile>`, // no decoders
+	}
+	for i, c := range cases {
+		if _, err := ParseDeviceXML(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestDeviceXMLRoundTrip(t *testing.T) {
+	original, err := ParseDeviceXML(strings.NewReader(phoneXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteDeviceXML(&buf, original); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseDeviceXML(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if again.ID != original.ID || again.Class != original.Class {
+		t.Error("round trip lost identity")
+	}
+	if len(again.Software.Decoders) != len(original.Software.Decoders) {
+		t.Error("round trip lost decoders")
+	}
+	if again.Hardware != original.Hardware {
+		t.Errorf("round trip changed hardware: %+v vs %+v", again.Hardware, original.Hardware)
+	}
+}
+
+func TestWriteDeviceXMLRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDeviceXML(&buf, &Device{ID: "x"}); err == nil {
+		t.Error("invalid device must not serialize")
+	}
+}
+
+const clipXML = `<ContentProfile id="clip-1" title="evening news" durationSec="120">
+  <Author>newsroom</Author>
+  <Variant format="video/mpeg1">
+    <Param name="framerate" value="30"/>
+    <Param name="resolution" value="300"/>
+  </Variant>
+  <Variant format="video/h261">
+    <Param name="framerate" value="25"/>
+  </Variant>
+</ContentProfile>`
+
+func TestParseContentXML(t *testing.T) {
+	c, err := ParseContentXML(strings.NewReader(clipXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID != "clip-1" || c.Title != "evening news" || c.DurationSec != 120 {
+		t.Errorf("identity = %+v", c)
+	}
+	if c.Author != "newsroom" {
+		t.Errorf("author = %q", c.Author)
+	}
+	if len(c.Variants) != 2 {
+		t.Fatalf("variants = %d", len(c.Variants))
+	}
+	if c.Variants[0].Params["framerate"] != 30 || c.Variants[0].Params["resolution"] != 300 {
+		t.Errorf("variant 0 params = %v", c.Variants[0].Params)
+	}
+}
+
+func TestParseContentXMLErrors(t *testing.T) {
+	cases := []string{
+		"garbage",
+		`<ContentProfile id="x"><Variant format="bogus"/></ContentProfile>`,
+		`<ContentProfile id=""><Variant format="video/mpeg1"/></ContentProfile>`,
+		`<ContentProfile id="x"></ContentProfile>`, // no variants
+	}
+	for i, c := range cases {
+		if _, err := ParseContentXML(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestContentXMLRoundTrip(t *testing.T) {
+	original, err := ParseContentXML(strings.NewReader(clipXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteContentXML(&buf, original); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseContentXML(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if again.ID != original.ID || len(again.Variants) != len(original.Variants) {
+		t.Error("round trip lost structure")
+	}
+	for i := range again.Variants {
+		if !again.Variants[i].Params.Equal(original.Variants[i].Params, 1e-9) {
+			t.Errorf("variant %d params changed", i)
+		}
+	}
+}
+
+func TestWriteContentXMLRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteContentXML(&buf, &Content{ID: "x"}); err == nil {
+		t.Error("invalid content must not serialize")
+	}
+}

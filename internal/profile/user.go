@@ -1,0 +1,116 @@
+package profile
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// ContactClass classifies whom the user is communicating with; Section 3
+// motivates per-contact preferences (CD-quality audio for clients,
+// telephony quality for colleagues).
+type ContactClass string
+
+// Common contact classes.
+const (
+	ContactAny       ContactClass = ""
+	ContactClient    ContactClass = "client"
+	ContactColleague ContactClass = "colleague"
+	ContactFamily    ContactClass = "family"
+)
+
+// DropPolicy expresses the user's application-adaptation policy: the
+// order in which media dimensions should be degraded when resources run
+// short (Section 3's example drops audio quality of a sports clip before
+// video quality).
+type DropPolicy struct {
+	// Order lists parameters from first-to-degrade to last-to-degrade.
+	Order []media.Param `json:"order"`
+}
+
+// User is the user profile of Section 3: personal properties, per-contact
+// QoS preferences expressed as satisfaction-function specs, adaptation
+// policies and the budget the user will pay for trans-coding services.
+type User struct {
+	// Name identifies the user.
+	Name string `json:"name"`
+	// Preferences maps each scored QoS parameter to its satisfaction
+	// spec for the default contact class.
+	Preferences map[media.Param]FuncSpec `json:"preferences"`
+	// ContactPreferences optionally overrides Preferences per contact
+	// class.
+	ContactPreferences map[ContactClass]map[media.Param]FuncSpec `json:"contactPreferences,omitempty"`
+	// Policy is the degradation-order policy.
+	Policy DropPolicy `json:"policy,omitempty"`
+	// Budget is the money the user is willing to pay for the adaptation
+	// chain (Figure 4's user_budget). Zero or negative means unlimited.
+	Budget float64 `json:"budget,omitempty"`
+}
+
+// Validate checks every satisfaction spec in the profile.
+func (u *User) Validate() error {
+	if u.Name == "" {
+		return fmt.Errorf("profile: user has empty name")
+	}
+	if len(u.Preferences) == 0 {
+		return fmt.Errorf("profile: user %s has no preferences", u.Name)
+	}
+	for p, spec := range u.Preferences {
+		if err := spec.Validate(); err != nil {
+			return fmt.Errorf("profile: user %s parameter %s: %w", u.Name, p, err)
+		}
+	}
+	for class, prefs := range u.ContactPreferences {
+		for p, spec := range prefs {
+			if err := spec.Validate(); err != nil {
+				return fmt.Errorf("profile: user %s contact %q parameter %s: %w", u.Name, class, p, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SatisfactionProfile materializes the user's preferences for the given
+// contact class into a satisfaction.Profile the optimizer can evaluate.
+// Parameters overridden for the class replace the defaults; others are
+// inherited.
+func (u *User) SatisfactionProfile(class ContactClass) (satisfaction.Profile, error) {
+	fns := make(map[media.Param]satisfaction.Function, len(u.Preferences))
+	weights := make(map[media.Param]float64)
+	add := func(p media.Param, spec FuncSpec) error {
+		fn, err := spec.Function()
+		if err != nil {
+			return fmt.Errorf("profile: user %s parameter %s: %w", u.Name, p, err)
+		}
+		fns[p] = fn
+		if spec.Weight > 0 {
+			weights[p] = spec.Weight
+		} else {
+			weights[p] = 1
+		}
+		return nil
+	}
+	for p, spec := range u.Preferences {
+		if err := add(p, spec); err != nil {
+			return satisfaction.Profile{}, err
+		}
+	}
+	if class != ContactAny {
+		for p, spec := range u.ContactPreferences[class] {
+			if err := add(p, spec); err != nil {
+				return satisfaction.Profile{}, err
+			}
+		}
+	}
+	prof := satisfaction.Profile{Functions: fns}
+	// Only attach weights when at least one differs from 1; the
+	// unweighted geometric mean is the paper's base model.
+	for _, w := range weights {
+		if w != 1 {
+			prof.Weights = weights
+			break
+		}
+	}
+	return prof, nil
+}

@@ -1,0 +1,107 @@
+package registry
+
+import (
+	"sort"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+// Source is a read-only service directory: the query surface shared by a
+// local Registry, a remote registry reached over the wire protocol, and a
+// Federation of either. It is what graph discovery consumes.
+type Source interface {
+	// ByInput returns live services accepting the format, sorted by ID.
+	ByInput(media.Format) []*service.Service
+	// ByOutput returns live services producing the format, sorted by ID.
+	ByOutput(media.Format) []*service.Service
+	// All returns every live service, sorted by ID.
+	All() []*service.Service
+}
+
+// Registry implements Source directly; assert it.
+var _ Source = (*Registry)(nil)
+
+// Federation aggregates several directories — the SLP "directory agent
+// mesh" a multi-domain deployment runs. Queries union the members'
+// answers; when two members advertise the same service ID the earlier
+// member wins.
+type Federation struct {
+	sources []Source
+}
+
+// NewFederation builds a federation over the given members.
+func NewFederation(sources ...Source) *Federation {
+	return &Federation{sources: sources}
+}
+
+// Add appends another member.
+func (f *Federation) Add(src Source) { f.sources = append(f.sources, src) }
+
+// ByInput implements Source.
+func (f *Federation) ByInput(format media.Format) []*service.Service {
+	return f.merge(func(s Source) []*service.Service { return s.ByInput(format) })
+}
+
+// ByOutput implements Source.
+func (f *Federation) ByOutput(format media.Format) []*service.Service {
+	return f.merge(func(s Source) []*service.Service { return s.ByOutput(format) })
+}
+
+// All implements Source.
+func (f *Federation) All() []*service.Service {
+	return f.merge(func(s Source) []*service.Service { return s.All() })
+}
+
+func (f *Federation) merge(query func(Source) []*service.Service) []*service.Service {
+	seen := make(map[service.ID]bool)
+	var out []*service.Service
+	for _, src := range f.sources {
+		for _, svc := range query(src) {
+			if seen[svc.ID] {
+				continue
+			}
+			seen[svc.ID] = true
+			out = append(out, svc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RemoteSource adapts a wire Client into a Source. Network errors
+// degrade to empty answers — a federation member being down must not
+// fail composition, merely shrink the discovered service pool.
+type RemoteSource struct {
+	client *Client
+}
+
+// NewRemoteSource wraps a connected client.
+func NewRemoteSource(c *Client) *RemoteSource { return &RemoteSource{client: c} }
+
+// ByInput implements Source.
+func (r *RemoteSource) ByInput(f media.Format) []*service.Service {
+	svcs, err := r.client.ByInput(f)
+	if err != nil {
+		return nil
+	}
+	return svcs
+}
+
+// ByOutput implements Source.
+func (r *RemoteSource) ByOutput(f media.Format) []*service.Service {
+	svcs, err := r.client.ByOutput(f)
+	if err != nil {
+		return nil
+	}
+	return svcs
+}
+
+// All implements Source.
+func (r *RemoteSource) All() []*service.Service {
+	svcs, err := r.client.All()
+	if err != nil {
+		return nil
+	}
+	return svcs
+}

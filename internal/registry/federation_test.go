@@ -1,0 +1,121 @@
+package registry
+
+import (
+	"net"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+func TestFederationMergesAndDedups(t *testing.T) {
+	a, b := New(), New()
+	_ = a.Register(service.FormatConverter("c1", media.ImageJPEG, media.ImageGIF), 0)
+	_ = a.Register(service.FormatConverter("c2", media.ImageJPEG, media.ImagePNG), 0)
+	_ = b.Register(service.FormatConverter("c2", media.ImageJPEG, media.ImageBMP), 0) // same ID, different body
+	_ = b.Register(service.FormatConverter("c3", media.ImageJPEG, media.ImageGIF), 0)
+
+	fed := NewFederation(a, b)
+	got := fed.ByInput(media.ImageJPEG)
+	if len(got) != 3 {
+		t.Fatalf("federated ByInput = %d services, want 3", len(got))
+	}
+	if got[0].ID != "c1" || got[1].ID != "c2" || got[2].ID != "c3" {
+		t.Errorf("order = %v %v %v", got[0].ID, got[1].ID, got[2].ID)
+	}
+	// Earlier member wins ID conflicts: c2 from registry a produces PNG.
+	if !got[1].Produces(media.ImagePNG) {
+		t.Error("first federation member should win duplicate IDs")
+	}
+	if n := len(fed.All()); n != 3 {
+		t.Errorf("All = %d, want 3", n)
+	}
+	if n := len(fed.ByOutput(media.ImageGIF)); n != 2 {
+		t.Errorf("ByOutput(gif) = %d, want 2", n)
+	}
+}
+
+func TestFederationAdd(t *testing.T) {
+	a := New()
+	_ = a.Register(service.HTMLToWML("h1"), 0)
+	fed := NewFederation()
+	if len(fed.All()) != 0 {
+		t.Error("empty federation should answer nothing")
+	}
+	fed.Add(a)
+	if len(fed.All()) != 1 {
+		t.Error("added member should be queried")
+	}
+}
+
+func TestRemoteSource(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := New()
+	_ = reg.Register(service.FormatConverter("c1", media.ImageJPEG, media.ImageGIF), 0)
+	srv := Serve(reg, ln)
+	defer srv.Close()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src := NewRemoteSource(client)
+	if got := src.ByInput(media.ImageJPEG); len(got) != 1 || got[0].ID != "c1" {
+		t.Errorf("remote ByInput = %v", got)
+	}
+	if got := src.ByOutput(media.ImageGIF); len(got) != 1 {
+		t.Errorf("remote ByOutput = %v", got)
+	}
+	if got := src.All(); len(got) != 1 {
+		t.Errorf("remote All = %v", got)
+	}
+}
+
+func TestRemoteSourceDegradesOnFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(New(), ln)
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // kill the server under the client
+	src := NewRemoteSource(client)
+	if got := src.ByInput(media.ImageJPEG); got != nil {
+		t.Errorf("dead remote should answer nil, got %v", got)
+	}
+	if got := src.All(); got != nil {
+		t.Errorf("dead remote All should be nil, got %v", got)
+	}
+}
+
+func TestFederationWithRemoteMember(t *testing.T) {
+	local := New()
+	_ = local.Register(service.FormatConverter("local1", media.ImageJPEG, media.ImageGIF), 0)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteReg := New()
+	_ = remoteReg.Register(service.FormatConverter("remote1", media.ImageJPEG, media.ImagePNG), 0)
+	srv := Serve(remoteReg, ln)
+	defer srv.Close()
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	fed := NewFederation(local, NewRemoteSource(client))
+	got := fed.ByInput(media.ImageJPEG)
+	if len(got) != 2 {
+		t.Fatalf("federated local+remote = %d, want 2", len(got))
+	}
+}

@@ -1,0 +1,283 @@
+package registry
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+// This file implements a small newline-delimited-JSON wire protocol so a
+// registry can be served over TCP — the stand-in for the SLP daemon a
+// real deployment would run. One request per line, one response per line.
+
+// request is the wire form of a registry operation.
+type request struct {
+	// Op is one of "register", "deregister", "renew", "lookup",
+	// "byinput", "byoutput", "all", "len".
+	Op string `json:"op"`
+	// Service carries the advertisement for register.
+	Service *service.Service `json:"service,omitempty"`
+	// ID names the target for deregister/renew/lookup.
+	ID service.ID `json:"id,omitempty"`
+	// LeaseMs is the lease duration for register/renew.
+	LeaseMs int64 `json:"leaseMs,omitempty"`
+	// Format is the query format for byinput/byoutput.
+	Format string `json:"format,omitempty"`
+}
+
+// response is the wire form of a registry reply.
+type response struct {
+	OK       bool               `json:"ok"`
+	Error    string             `json:"error,omitempty"`
+	Services []*service.Service `json:"services,omitempty"`
+	Count    int                `json:"count,omitempty"`
+}
+
+// Server exposes a Registry over TCP.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving the registry on the given listener; it returns
+// immediately and handles connections until Close.
+func Serve(reg *Registry, ln net.Listener) *Server {
+	s := &Server{reg: reg, ln: ln, conns: make(map[net.Conn]bool)}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and closes every live connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	enc := json.NewEncoder(conn)
+	for scanner.Scan() {
+		var req request
+		var resp response
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			resp = response{Error: fmt.Sprintf("bad request: %v", err)}
+		} else {
+			resp = s.dispatch(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req request) response {
+	switch req.Op {
+	case "register":
+		if req.Service == nil {
+			return response{Error: "register without service"}
+		}
+		if err := s.reg.Register(req.Service, time.Duration(req.LeaseMs)*time.Millisecond); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "deregister":
+		if err := s.reg.Deregister(req.ID); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "renew":
+		if err := s.reg.Renew(req.ID, time.Duration(req.LeaseMs)*time.Millisecond); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "lookup":
+		svc, ok := s.reg.Lookup(req.ID)
+		if !ok {
+			return response{Error: fmt.Sprintf("unknown service %s", req.ID)}
+		}
+		return response{OK: true, Services: []*service.Service{svc}}
+	case "byinput", "byoutput":
+		f, err := media.ParseFormat(req.Format)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		var svcs []*service.Service
+		if req.Op == "byinput" {
+			svcs = s.reg.ByInput(f)
+		} else {
+			svcs = s.reg.ByOutput(f)
+		}
+		return response{OK: true, Services: svcs, Count: len(svcs)}
+	case "all":
+		svcs := s.reg.All()
+		return response{OK: true, Services: svcs, Count: len(svcs)}
+	case "len":
+		return response{OK: true, Count: s.reg.Len()}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Client talks to a registry Server over TCP. It is safe for sequential
+// use; guard with a mutex for concurrent callers.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a registry server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("registry: dialing %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req request) (response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("registry: sending request: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return response{}, fmt.Errorf("registry: reading response: %w", err)
+		}
+		return response{}, fmt.Errorf("registry: connection closed: %w", io.EOF)
+	}
+	var resp response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("registry: decoding response: %w", err)
+	}
+	if !resp.OK {
+		return resp, errors.New("registry: " + resp.Error)
+	}
+	return resp, nil
+}
+
+// Register advertises a service with a lease.
+func (c *Client) Register(s *service.Service, lease time.Duration) error {
+	_, err := c.roundTrip(request{Op: "register", Service: s, LeaseMs: lease.Milliseconds()})
+	return err
+}
+
+// Deregister withdraws a service.
+func (c *Client) Deregister(id service.ID) error {
+	_, err := c.roundTrip(request{Op: "deregister", ID: id})
+	return err
+}
+
+// Renew extends a lease.
+func (c *Client) Renew(id service.ID, lease time.Duration) error {
+	_, err := c.roundTrip(request{Op: "renew", ID: id, LeaseMs: lease.Milliseconds()})
+	return err
+}
+
+// Lookup fetches one advertisement.
+func (c *Client) Lookup(id service.ID) (*service.Service, error) {
+	resp, err := c.roundTrip(request{Op: "lookup", ID: id})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Services) == 0 {
+		return nil, fmt.Errorf("registry: empty lookup response for %s", id)
+	}
+	return resp.Services[0], nil
+}
+
+// ByInput queries services accepting a format.
+func (c *Client) ByInput(f media.Format) ([]*service.Service, error) {
+	resp, err := c.roundTrip(request{Op: "byinput", Format: f.String()})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Services, nil
+}
+
+// ByOutput queries services producing a format.
+func (c *Client) ByOutput(f media.Format) ([]*service.Service, error) {
+	resp, err := c.roundTrip(request{Op: "byoutput", Format: f.String()})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Services, nil
+}
+
+// All lists every live advertisement.
+func (c *Client) All() ([]*service.Service, error) {
+	resp, err := c.roundTrip(request{Op: "all"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Services, nil
+}
+
+// Len returns the number of live advertisements.
+func (c *Client) Len() (int, error) {
+	resp, err := c.roundTrip(request{Op: "len"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Count, nil
+}

@@ -1,0 +1,66 @@
+package satisfaction
+
+import "math"
+
+// Combine computes the total satisfaction from the individual parameter
+// satisfactions using Equation 1 of the paper: the geometric mean
+//
+//	S_tot = (s_1 · s_2 · … · s_n)^(1/n).
+//
+// The geometric mean is the natural combination here because a single
+// unacceptable parameter (s_i = 0) drives the whole session to 0 — a user
+// does not enjoy perfect video when the audio is unusable. Combine of an
+// empty slice is defined as 1 (no constraints, fully satisfied).
+func Combine(s []float64) float64 {
+	if len(s) == 0 {
+		return 1
+	}
+	// Sum of logs is more stable than a raw product for many factors,
+	// but any zero factor short-circuits to zero.
+	sum := 0.0
+	for _, v := range s {
+		if v <= 0 {
+			return 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(s)))
+}
+
+// WeightedCombine is the extension of Equation 1 referenced by the paper
+// ([29]): a weighted geometric mean
+//
+//	S_tot = (∏ s_i^{w_i})^{1/Σw_i}.
+//
+// Non-positive weights are treated as 0 (the parameter is ignored). When
+// all weights are zero the result is 1.
+func WeightedCombine(s, w []float64) float64 {
+	n := len(s)
+	if len(w) < n {
+		n = len(w)
+	}
+	totalW := 0.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		wi := w[i]
+		if wi <= 0 {
+			continue
+		}
+		v := s[i]
+		if v <= 0 {
+			return 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		sum += wi * math.Log(v)
+		totalW += wi
+	}
+	if totalW == 0 {
+		return 1
+	}
+	return math.Exp(sum / totalW)
+}

@@ -1,0 +1,111 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCombineBasics(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 1},
+		{[]float64{}, 1},
+		{[]float64{0.5}, 0.5},
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{0.25, 1}, 0.5},
+		{[]float64{0.9, 0.9, 0.9}, 0.9},
+		{[]float64{0, 1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Combine(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Combine(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCombineClampsAboveOne(t *testing.T) {
+	if got := Combine([]float64{2, 0.5}); math.Abs(got-math.Sqrt(0.5)) > 1e-12 {
+		t.Errorf("values above 1 should be clamped: got %v", got)
+	}
+}
+
+func TestCombineNegativeIsZero(t *testing.T) {
+	if Combine([]float64{-0.5, 1}) != 0 {
+		t.Error("negative satisfaction must zero the combination")
+	}
+}
+
+func TestWeightedCombine(t *testing.T) {
+	// Equal weights reduce to the plain geometric mean.
+	s := []float64{0.25, 1}
+	if got, want := WeightedCombine(s, []float64{1, 1}), Combine(s); math.Abs(got-want) > 1e-12 {
+		t.Errorf("equal weights = %v, want plain Combine %v", got, want)
+	}
+	// A zero weight ignores the parameter entirely.
+	if got := WeightedCombine([]float64{0.01, 0.9}, []float64{0, 1}); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("zero-weighted parameter should be ignored, got %v", got)
+	}
+	// All-zero weights mean "no constraints".
+	if got := WeightedCombine([]float64{0.1}, []float64{0}); got != 1 {
+		t.Errorf("all-zero weights should give 1, got %v", got)
+	}
+	// Heavier weight pulls the result toward that parameter.
+	lop := WeightedCombine([]float64{0.2, 0.9}, []float64{10, 1})
+	if lop >= Combine([]float64{0.2, 0.9}) {
+		t.Error("weighting the low parameter should lower the combination")
+	}
+	// A zero satisfaction with positive weight still zeroes everything.
+	if WeightedCombine([]float64{0, 0.9}, []float64{1, 1}) != 0 {
+		t.Error("zero satisfaction with positive weight must zero the result")
+	}
+	// Mismatched lengths use the common prefix.
+	if got := WeightedCombine([]float64{0.5, 0.9}, []float64{1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("length mismatch should use prefix, got %v", got)
+	}
+	// Negative weights are treated as zero.
+	if got := WeightedCombine([]float64{0.1, 0.8}, []float64{-5, 1}); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("negative weight should be ignored, got %v", got)
+	}
+}
+
+// Property: Combine lies between min and max of its inputs and is
+// monotone in each coordinate.
+func TestCombineQuick(t *testing.T) {
+	prop := func(a, b, c uint16) bool {
+		s := []float64{
+			float64(a%1000)/1000 + 0.001,
+			float64(b%1000)/1000 + 0.001,
+			float64(c%1000)/1000 + 0.001,
+		}
+		got := Combine(s)
+		lo, hi := s[0], s[0]
+		for _, v := range s[1:] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if got < lo-1e-12 || got > hi+1e-12 {
+			return false
+		}
+		bumped := []float64{s[0], s[1], math.Min(1, s[2]+0.1)}
+		return Combine(bumped) >= got-1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: WeightedCombine with a uniform positive weight equals the
+// unweighted Combine.
+func TestWeightedCombineUniformQuick(t *testing.T) {
+	prop := func(a, b, w uint16) bool {
+		s := []float64{float64(a%999)/1000 + 0.001, float64(b%999)/1000 + 0.001}
+		wv := float64(w%10) + 0.5
+		return math.Abs(WeightedCombine(s, []float64{wv, wv})-Combine(s)) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package satisfaction_test
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// ExampleCombine demonstrates Equation 1: the total satisfaction is the
+// geometric mean of the per-parameter satisfactions, so one unacceptable
+// parameter zeroes the session.
+func ExampleCombine() {
+	fmt.Printf("%.3f\n", satisfaction.Combine([]float64{0.9, 0.9, 0.9}))
+	fmt.Printf("%.3f\n", satisfaction.Combine([]float64{1.0, 0.25}))
+	fmt.Printf("%.3f\n", satisfaction.Combine([]float64{1.0, 0.0}))
+	// Output:
+	// 0.900
+	// 0.500
+	// 0.000
+}
+
+// ExampleProfile_Optimize shows the per-candidate optimization of
+// Figure 4: pick the frame rate that maximizes satisfaction under an
+// edge's bandwidth (Equation 2) — here 1985 kbps at 100 kbps per fps.
+func ExampleProfile_Optimize() {
+	prof := satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+	})
+	params, sat, ok := prof.Optimize(satisfaction.Request{
+		Caps:      media.Params{media.ParamFrameRate: 30},
+		Bandwidth: 1985,
+	})
+	fmt.Println(ok)
+	fmt.Printf("fps=%.2f sat=%.3f\n", params.Get(media.ParamFrameRate), sat)
+	// Output:
+	// true
+	// fps=19.85 sat=0.662
+}
+
+// ExampleRequiredBandwidth inverts the optimization for capacity
+// planning: how fat must a link be for a target satisfaction?
+func ExampleRequiredBandwidth() {
+	prof := satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+		media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+	})
+	kbps, ok := satisfaction.RequiredBandwidth(prof, nil, 0.9)
+	fmt.Println(ok)
+	fmt.Printf("%.0f kbps\n", kbps)
+	// Output:
+	// true
+	// 2700 kbps
+}

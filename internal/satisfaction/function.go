@@ -1,0 +1,267 @@
+// Package satisfaction implements the user-satisfaction model of Section
+// 4.1 of the paper (after Richards et al. [28]).
+//
+// Each application-level QoS parameter x_i is scored by a satisfaction
+// function S_i(x_i) with range [0,1], where 0 corresponds to the minimum
+// acceptable value M and 1 to the ideal value I, and S_i increases
+// monotonically between them. The total satisfaction over n parameters is
+// the geometric mean of the individual satisfactions (Equation 1), with a
+// weighted extension ([29]).
+//
+// The package also provides the constrained parameter optimizer the QoS
+// selection algorithm calls for every candidate trans-coding service: it
+// chooses the parameter values that maximize total satisfaction subject to
+// the available bandwidth (Equation 2) and the service's capability caps.
+package satisfaction
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function scores a single QoS parameter value in [0,1]. Implementations
+// must be monotonically non-decreasing over [Min(), Ideal()], return 0 at
+// or below Min() and 1 at or above Ideal(). CheckMonotone verifies these
+// contracts by sampling.
+type Function interface {
+	// Eval returns the satisfaction for value x, clamped to [0,1].
+	Eval(x float64) float64
+	// Min returns the minimum acceptable value M (satisfaction 0).
+	Min() float64
+	// Ideal returns the ideal value I (satisfaction 1).
+	Ideal() float64
+}
+
+// clamp limits v to [0,1].
+func clamp(v float64) float64 {
+	switch {
+	case v < 0 || math.IsNaN(v):
+		return 0
+	case v > 1:
+		return 1
+	}
+	return v
+}
+
+// Linear rises linearly from 0 at M to 1 at I. It is the workhorse
+// satisfaction shape; the Table 1 calibration uses Linear{M:0, I:30} for
+// the frame rate (satisfaction = fps/30).
+type Linear struct {
+	M float64 // minimum acceptable value
+	I float64 // ideal value
+}
+
+// Eval implements Function.
+func (f Linear) Eval(x float64) float64 {
+	if f.I <= f.M {
+		if x >= f.I {
+			return 1
+		}
+		return 0
+	}
+	return clamp((x - f.M) / (f.I - f.M))
+}
+
+// Min implements Function.
+func (f Linear) Min() float64 { return f.M }
+
+// Ideal implements Function.
+func (f Linear) Ideal() float64 { return f.I }
+
+// SCurve is a smoothstep-shaped satisfaction function: flat near M,
+// steepest midway, flattening again near I — the shape Figure 1 sketches
+// for the frame-rate satisfaction (M=5 fps, I=20 fps).
+type SCurve struct {
+	M float64
+	I float64
+}
+
+// Eval implements Function.
+func (f SCurve) Eval(x float64) float64 {
+	if f.I <= f.M {
+		if x >= f.I {
+			return 1
+		}
+		return 0
+	}
+	t := clamp((x - f.M) / (f.I - f.M))
+	return t * t * (3 - 2*t)
+}
+
+// Min implements Function.
+func (f SCurve) Min() float64 { return f.M }
+
+// Ideal implements Function.
+func (f SCurve) Ideal() float64 { return f.I }
+
+// Exponential saturates quickly above M: S = (1-e^(-k t))/(1-e^(-k)) with
+// t the normalized position in [M,I]. K > 0 bends the curve upward
+// (diminishing returns); K == 0 degenerates to Linear.
+type Exponential struct {
+	M float64
+	I float64
+	K float64
+}
+
+// Eval implements Function.
+func (f Exponential) Eval(x float64) float64 {
+	if f.I <= f.M {
+		if x >= f.I {
+			return 1
+		}
+		return 0
+	}
+	t := clamp((x - f.M) / (f.I - f.M))
+	if f.K == 0 {
+		return t
+	}
+	return clamp((1 - math.Exp(-f.K*t)) / (1 - math.Exp(-f.K)))
+}
+
+// Min implements Function.
+func (f Exponential) Min() float64 { return f.M }
+
+// Ideal implements Function.
+func (f Exponential) Ideal() float64 { return f.I }
+
+// Step is a staircase satisfaction: each threshold unlocks the paired
+// level. Levels must be non-decreasing in [0,1] and thresholds strictly
+// increasing; satisfaction below the first threshold is 0.
+type Step struct {
+	Thresholds []float64
+	Levels     []float64
+}
+
+// Eval implements Function.
+func (f Step) Eval(x float64) float64 {
+	s := 0.0
+	for i, th := range f.Thresholds {
+		if x >= th && i < len(f.Levels) {
+			s = f.Levels[i]
+		}
+	}
+	return clamp(s)
+}
+
+// Min implements Function.
+func (f Step) Min() float64 {
+	if len(f.Thresholds) == 0 {
+		return 0
+	}
+	return f.Thresholds[0]
+}
+
+// Ideal implements Function.
+func (f Step) Ideal() float64 {
+	if len(f.Thresholds) == 0 {
+		return 0
+	}
+	return f.Thresholds[len(f.Thresholds)-1]
+}
+
+// Piecewise interpolates linearly between (X[i], Y[i]) control points.
+// X must be strictly increasing and Y non-decreasing within [0,1].
+type Piecewise struct {
+	X []float64
+	Y []float64
+}
+
+// Eval implements Function.
+func (f Piecewise) Eval(x float64) float64 {
+	n := len(f.X)
+	if n == 0 || n != len(f.Y) {
+		return 0
+	}
+	if x <= f.X[0] {
+		return clamp(f.Y[0])
+	}
+	if x >= f.X[n-1] {
+		return clamp(f.Y[n-1])
+	}
+	for i := 1; i < n; i++ {
+		if x <= f.X[i] {
+			span := f.X[i] - f.X[i-1]
+			if span == 0 {
+				return clamp(f.Y[i])
+			}
+			t := (x - f.X[i-1]) / span
+			return clamp(f.Y[i-1] + t*(f.Y[i]-f.Y[i-1]))
+		}
+	}
+	return clamp(f.Y[n-1])
+}
+
+// Min implements Function.
+func (f Piecewise) Min() float64 {
+	if len(f.X) == 0 {
+		return 0
+	}
+	return f.X[0]
+}
+
+// Ideal implements Function.
+func (f Piecewise) Ideal() float64 {
+	if len(f.X) == 0 {
+		return 0
+	}
+	return f.X[len(f.X)-1]
+}
+
+// Validate checks the Piecewise control points for the Function contract.
+func (f Piecewise) Validate() error {
+	if len(f.X) == 0 || len(f.X) != len(f.Y) {
+		return fmt.Errorf("satisfaction: piecewise needs equal, non-empty X and Y (got %d, %d)", len(f.X), len(f.Y))
+	}
+	for i := 1; i < len(f.X); i++ {
+		if f.X[i] <= f.X[i-1] {
+			return fmt.Errorf("satisfaction: piecewise X must be strictly increasing at index %d", i)
+		}
+		if f.Y[i] < f.Y[i-1] {
+			return fmt.Errorf("satisfaction: piecewise Y must be non-decreasing at index %d", i)
+		}
+	}
+	for i, y := range f.Y {
+		if y < 0 || y > 1 {
+			return fmt.Errorf("satisfaction: piecewise Y[%d]=%v outside [0,1]", i, y)
+		}
+	}
+	return nil
+}
+
+// CheckMonotone samples fn at n+1 evenly spaced points across
+// [Min, Ideal] (plus points just outside) and reports the first violation
+// of the Function contract: non-monotonicity, values outside [0,1],
+// S(<=Min) != 0 or S(>=Ideal) != 1. Step functions legitimately evaluate
+// to a nonzero level at Min, so the boundary checks use <= / >= rather
+// than strict equality where the contract allows it.
+func CheckMonotone(fn Function, n int) error {
+	if n < 2 {
+		n = 2
+	}
+	m, ideal := fn.Min(), fn.Ideal()
+	if ideal < m {
+		return fmt.Errorf("satisfaction: Ideal %v below Min %v", ideal, m)
+	}
+	span := ideal - m
+	prev := math.Inf(-1)
+	for i := 0; i <= n; i++ {
+		x := m + span*float64(i)/float64(n)
+		v := fn.Eval(x)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("satisfaction: Eval(%v)=%v outside [0,1]", x, v)
+		}
+		if v < prev-1e-12 {
+			return fmt.Errorf("satisfaction: not monotone at x=%v (%v < %v)", x, v, prev)
+		}
+		prev = v
+	}
+	if span > 0 {
+		if v := fn.Eval(m - span); v > fn.Eval(m)+1e-12 {
+			return fmt.Errorf("satisfaction: value below Min exceeds value at Min (%v)", v)
+		}
+		if v := fn.Eval(ideal + span); v < fn.Eval(ideal)-1e-12 {
+			return fmt.Errorf("satisfaction: value above Ideal drops below value at Ideal (%v)", v)
+		}
+	}
+	return nil
+}

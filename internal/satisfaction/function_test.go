@@ -1,0 +1,200 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearEval(t *testing.T) {
+	f := Linear{M: 0, I: 30}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {15, 0.5}, {30, 1}, {45, 1}, {-5, 0},
+		{27, 0.9}, {20, 20.0 / 30.0},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Linear.Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestLinearDegenerate(t *testing.T) {
+	f := Linear{M: 10, I: 10}
+	if f.Eval(9) != 0 {
+		t.Error("below degenerate point should be 0")
+	}
+	if f.Eval(10) != 1 {
+		t.Error("at degenerate point should be 1")
+	}
+	if f.Eval(11) != 1 {
+		t.Error("above degenerate point should be 1")
+	}
+}
+
+func TestSCurveFigure1Shape(t *testing.T) {
+	// Figure 1 sketches an S-shaped satisfaction for frame rate with
+	// minimum 5 fps and ideal 20 fps.
+	f := SCurve{M: 5, I: 20}
+	if f.Eval(5) != 0 {
+		t.Error("S(M) must be 0")
+	}
+	if f.Eval(20) != 1 {
+		t.Error("S(I) must be 1")
+	}
+	mid := f.Eval(12.5)
+	if math.Abs(mid-0.5) > 1e-12 {
+		t.Errorf("S(midpoint) = %v, want 0.5", mid)
+	}
+	// Steeper in the middle than near the ends.
+	dEnd := f.Eval(6) - f.Eval(5)
+	dMid := f.Eval(13) - f.Eval(12)
+	if dMid <= dEnd {
+		t.Error("SCurve should be steeper in the middle than at the ends")
+	}
+}
+
+func TestExponentialBendsUp(t *testing.T) {
+	f := Exponential{M: 0, I: 10, K: 3}
+	lin := Linear{M: 0, I: 10}
+	if f.Eval(0) != 0 || math.Abs(f.Eval(10)-1) > 1e-12 {
+		t.Fatal("Exponential must hit 0 at M and 1 at I")
+	}
+	if f.Eval(3) <= lin.Eval(3) {
+		t.Error("K>0 exponential should exceed linear in the interior")
+	}
+	lin2 := Exponential{M: 0, I: 10, K: 0}
+	if math.Abs(lin2.Eval(4)-0.4) > 1e-12 {
+		t.Error("K=0 should degenerate to linear")
+	}
+}
+
+func TestStepEval(t *testing.T) {
+	f := Step{Thresholds: []float64{5, 10, 20}, Levels: []float64{0.3, 0.6, 1}}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {4.9, 0}, {5, 0.3}, {9, 0.3}, {10, 0.6}, {19, 0.6}, {20, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); got != c.want {
+			t.Errorf("Step.Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if f.Min() != 5 || f.Ideal() != 20 {
+		t.Errorf("Step Min/Ideal = %v/%v, want 5/20", f.Min(), f.Ideal())
+	}
+	empty := Step{}
+	if empty.Eval(3) != 0 || empty.Min() != 0 || empty.Ideal() != 0 {
+		t.Error("empty Step should be all zeros")
+	}
+}
+
+func TestPiecewiseEval(t *testing.T) {
+	f := Piecewise{X: []float64{5, 10, 20}, Y: []float64{0, 0.8, 1}}
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {5, 0}, {7.5, 0.4}, {10, 0.8}, {15, 0.9}, {20, 1}, {25, 1},
+	}
+	for _, c := range cases {
+		if got := f.Eval(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Piecewise.Eval(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPiecewiseDegenerate(t *testing.T) {
+	if (Piecewise{}).Eval(1) != 0 {
+		t.Error("empty piecewise evaluates to 0")
+	}
+	if (Piecewise{X: []float64{1}, Y: []float64{0.5, 0.6}}).Eval(1) != 0 {
+		t.Error("mismatched lengths evaluate to 0")
+	}
+}
+
+func TestPiecewiseValidate(t *testing.T) {
+	good := Piecewise{X: []float64{1, 2}, Y: []float64{0, 1}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid piecewise rejected: %v", err)
+	}
+	bad := []Piecewise{
+		{},
+		{X: []float64{1}, Y: []float64{0, 1}},
+		{X: []float64{2, 1}, Y: []float64{0, 1}},
+		{X: []float64{1, 2}, Y: []float64{1, 0}},
+		{X: []float64{1, 2}, Y: []float64{0, 2}},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad piecewise %d should fail validation", i)
+		}
+	}
+}
+
+func TestCheckMonotoneAcceptsContractualFunctions(t *testing.T) {
+	fns := []Function{
+		Linear{M: 0, I: 30},
+		Linear{M: 5, I: 20},
+		SCurve{M: 5, I: 20},
+		Exponential{M: 0, I: 10, K: 2},
+		Step{Thresholds: []float64{5, 10}, Levels: []float64{0.5, 1}},
+		Piecewise{X: []float64{5, 10, 20}, Y: []float64{0, 0.8, 1}},
+	}
+	for i, fn := range fns {
+		if err := CheckMonotone(fn, 128); err != nil {
+			t.Errorf("function %d should satisfy the contract: %v", i, err)
+		}
+	}
+}
+
+type decreasing struct{}
+
+func (decreasing) Eval(x float64) float64 { return clamp(1 - x) }
+func (decreasing) Min() float64           { return 0 }
+func (decreasing) Ideal() float64         { return 1 }
+
+type outOfRange struct{}
+
+func (outOfRange) Eval(x float64) float64 { return 2 }
+func (outOfRange) Min() float64           { return 0 }
+func (outOfRange) Ideal() float64         { return 1 }
+
+type invertedBounds struct{}
+
+func (invertedBounds) Eval(x float64) float64 { return 0 }
+func (invertedBounds) Min() float64           { return 5 }
+func (invertedBounds) Ideal() float64         { return 1 }
+
+func TestCheckMonotoneRejectsViolations(t *testing.T) {
+	for i, fn := range []Function{decreasing{}, outOfRange{}, invertedBounds{}} {
+		if err := CheckMonotone(fn, 16); err == nil {
+			t.Errorf("violating function %d should be rejected", i)
+		}
+	}
+}
+
+// Property: for random (M, I, x), every provided shape stays in [0,1] and
+// is monotone in x.
+func TestFunctionShapesQuick(t *testing.T) {
+	prop := func(mRaw, spanRaw, aRaw, bRaw uint16) bool {
+		m := float64(mRaw % 100)
+		span := float64(spanRaw%100) + 1
+		fns := []Function{
+			Linear{M: m, I: m + span},
+			SCurve{M: m, I: m + span},
+			Exponential{M: m, I: m + span, K: 2},
+		}
+		a := m + span*float64(aRaw)/65535
+		b := m + span*float64(bRaw)/65535
+		if a > b {
+			a, b = b, a
+		}
+		for _, fn := range fns {
+			va, vb := fn.Eval(a), fn.Eval(b)
+			if va < 0 || vb > 1 || va > vb+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,70 @@
+package satisfaction
+
+import (
+	"math"
+
+	"qoschain/internal/media"
+)
+
+// Inverse finds the smallest parameter value x at which fn reaches the
+// target satisfaction (binary search over [Min, Ideal], exploiting the
+// monotone contract). Targets <= 0 return Min; targets >= 1 return Ideal;
+// when even Ideal does not reach the target (a defective function) the
+// result is Ideal with ok=false.
+func Inverse(fn Function, target float64) (x float64, ok bool) {
+	lo, hi := fn.Min(), fn.Ideal()
+	if target <= 0 {
+		return lo, true
+	}
+	if target >= 1 {
+		if fn.Eval(hi) >= 1-1e-12 {
+			return hi, true
+		}
+		return hi, false
+	}
+	if fn.Eval(hi) < target {
+		return hi, false
+	}
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		if fn.Eval(mid) >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}
+
+// RequiredBandwidth returns the minimum bandwidth (kbit/s per the model)
+// at which the profile can reach the target total satisfaction, assuming
+// every scored parameter is available up to its ideal. It returns
+// +Inf with ok=false when the target is unreachable even unconstrained.
+// This is the capacity-planning inverse of the per-edge optimization: how
+// fat must a link be for the user to be this happy?
+func RequiredBandwidth(p Profile, model media.BitrateModel, target float64) (kbps float64, ok bool) {
+	if model == nil {
+		model = media.DefaultBitrate
+	}
+	caps := p.Ideals()
+	// Unconstrained best.
+	best, sat, feasible := p.Optimize(Request{Caps: caps, Bitrate: model})
+	if !feasible || sat < target-1e-9 {
+		return math.Inf(1), false
+	}
+	hi := model.RequiredKbps(best)
+	if hi <= 0 {
+		return 0, true
+	}
+	lo := 0.0
+	for i := 0; i < 64; i++ {
+		mid := (lo + hi) / 2
+		_, s, okMid := p.Optimize(Request{Caps: caps, Bitrate: model, Bandwidth: mid})
+		if okMid && s >= target-1e-9 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, true
+}

@@ -1,0 +1,110 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qoschain/internal/media"
+)
+
+func TestInverseLinear(t *testing.T) {
+	fn := Linear{M: 0, I: 30}
+	x, ok := Inverse(fn, 0.5)
+	if !ok || math.Abs(x-15) > 1e-6 {
+		t.Errorf("Inverse(0.5) = %v ok=%v, want 15", x, ok)
+	}
+	if x, ok := Inverse(fn, 0); !ok || x != 0 {
+		t.Errorf("Inverse(0) = %v %v", x, ok)
+	}
+	if x, ok := Inverse(fn, 1); !ok || math.Abs(x-30) > 1e-6 {
+		t.Errorf("Inverse(1) = %v %v", x, ok)
+	}
+}
+
+func TestInverseSCurve(t *testing.T) {
+	fn := SCurve{M: 5, I: 20}
+	x, ok := Inverse(fn, 0.5)
+	if !ok || math.Abs(x-12.5) > 1e-6 {
+		t.Errorf("SCurve Inverse(0.5) = %v, want 12.5", x)
+	}
+}
+
+type brokenFn struct{}
+
+func (brokenFn) Eval(float64) float64 { return 0.3 }
+func (brokenFn) Min() float64         { return 0 }
+func (brokenFn) Ideal() float64       { return 10 }
+
+func TestInverseUnreachable(t *testing.T) {
+	if _, ok := Inverse(brokenFn{}, 0.9); ok {
+		t.Error("unreachable target must report ok=false")
+	}
+	if _, ok := Inverse(brokenFn{}, 1); ok {
+		t.Error("unreachable full satisfaction must report ok=false")
+	}
+}
+
+// Property: Eval(Inverse(target)) >= target for achievable targets.
+func TestInverseQuick(t *testing.T) {
+	fn := Exponential{M: 2, I: 40, K: 2}
+	prop := func(raw uint16) bool {
+		target := float64(raw%999) / 1000
+		x, ok := Inverse(fn, target)
+		if !ok {
+			return false
+		}
+		return fn.Eval(x) >= target-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequiredBandwidthSingleParam(t *testing.T) {
+	p := NewProfile(map[media.Param]Function{
+		media.ParamFrameRate: Linear{M: 0, I: 30},
+	})
+	// 0.66… satisfaction needs 20 fps = 2000 kbps under the default
+	// model.
+	kbps, ok := RequiredBandwidth(p, nil, 2.0/3.0)
+	if !ok || math.Abs(kbps-2000) > 1 {
+		t.Errorf("RequiredBandwidth = %v ok=%v, want ~2000", kbps, ok)
+	}
+	// Full satisfaction needs the ideal 30 fps = 3000 kbps.
+	kbps, ok = RequiredBandwidth(p, nil, 1)
+	if !ok || math.Abs(kbps-3000) > 1 {
+		t.Errorf("RequiredBandwidth(1) = %v, want ~3000", kbps)
+	}
+}
+
+func TestRequiredBandwidthMonotone(t *testing.T) {
+	p := NewProfile(map[media.Param]Function{
+		media.ParamFrameRate:  Linear{M: 0, I: 30},
+		media.ParamResolution: Linear{M: 0, I: 300},
+	})
+	model := media.LinearBitrate{PerUnit: map[media.Param]float64{
+		media.ParamFrameRate:  100,
+		media.ParamResolution: 5,
+	}}
+	prev := 0.0
+	for _, target := range []float64{0.25, 0.5, 0.75, 0.95} {
+		kbps, ok := RequiredBandwidth(p, model, target)
+		if !ok {
+			t.Fatalf("target %v should be reachable", target)
+		}
+		if kbps < prev-1 {
+			t.Errorf("required bandwidth must grow with the target: %v after %v", kbps, prev)
+		}
+		prev = kbps
+	}
+}
+
+func TestRequiredBandwidthUnreachable(t *testing.T) {
+	p := Profile{Functions: map[media.Param]Function{
+		media.ParamFrameRate: brokenFn{},
+	}}
+	if _, ok := RequiredBandwidth(p, nil, 0.9); ok {
+		t.Error("unreachable target must report ok=false")
+	}
+}

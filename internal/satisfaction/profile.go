@@ -1,0 +1,106 @@
+package satisfaction
+
+import (
+	"fmt"
+	"sort"
+
+	"qoschain/internal/media"
+)
+
+// Profile is a user's satisfaction profile: one satisfaction function per
+// application-level QoS parameter, optionally weighted. It is the
+// machine-usable form of the "user profile" of Section 3 — the
+// preferences the selection algorithm optimizes for.
+type Profile struct {
+	// Functions maps each scored parameter to its satisfaction function.
+	Functions map[media.Param]Function
+	// Weights optionally assigns relative importance per parameter for
+	// the weighted combination ([29]). A nil map means the unweighted
+	// geometric mean of Equation 1.
+	Weights map[media.Param]float64
+}
+
+// NewProfile builds an unweighted profile from the given functions.
+func NewProfile(fns map[media.Param]Function) Profile {
+	return Profile{Functions: fns}
+}
+
+// Params returns the scored parameter names in sorted order.
+func (p Profile) Params() []media.Param {
+	out := make([]media.Param, 0, len(p.Functions))
+	for k := range p.Functions {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Evaluate scores a parameter assignment: each scored parameter is fed to
+// its satisfaction function and the individual satisfactions are combined
+// per Equation 1 (or its weighted extension when Weights is set).
+// Parameters in vals that the profile does not score are ignored.
+func (p Profile) Evaluate(vals media.Params) float64 {
+	names := p.Params()
+	if len(names) == 0 {
+		return 1
+	}
+	s := make([]float64, len(names))
+	for i, name := range names {
+		s[i] = p.Functions[name].Eval(vals.Get(name))
+	}
+	if p.Weights == nil {
+		return Combine(s)
+	}
+	w := make([]float64, len(names))
+	for i, name := range names {
+		w[i] = p.Weights[name]
+	}
+	return WeightedCombine(s, w)
+}
+
+// EvaluateEach returns the per-parameter satisfactions keyed by parameter
+// name, useful for reporting and for the user-facing explanation of why a
+// chain scored the way it did.
+func (p Profile) EvaluateEach(vals media.Params) map[media.Param]float64 {
+	out := make(map[media.Param]float64, len(p.Functions))
+	for name, fn := range p.Functions {
+		out[name] = fn.Eval(vals.Get(name))
+	}
+	return out
+}
+
+// Ideals returns the ideal value of every scored parameter: the
+// assignment above which satisfaction cannot improve.
+func (p Profile) Ideals() media.Params {
+	out := make(media.Params, len(p.Functions))
+	for name, fn := range p.Functions {
+		out[name] = fn.Ideal()
+	}
+	return out
+}
+
+// Validate checks every satisfaction function against the Function
+// contract (monotone, [0,1] range, boundary behaviour) and that weights,
+// when present, are non-negative.
+func (p Profile) Validate() error {
+	if len(p.Functions) == 0 {
+		return fmt.Errorf("satisfaction: profile scores no parameters")
+	}
+	for name, fn := range p.Functions {
+		if fn == nil {
+			return fmt.Errorf("satisfaction: parameter %s has nil function", name)
+		}
+		if err := CheckMonotone(fn, 64); err != nil {
+			return fmt.Errorf("satisfaction: parameter %s: %w", name, err)
+		}
+	}
+	for name, w := range p.Weights {
+		if w < 0 {
+			return fmt.Errorf("satisfaction: parameter %s has negative weight %v", name, w)
+		}
+		if _, ok := p.Functions[name]; !ok {
+			return fmt.Errorf("satisfaction: weight for unscored parameter %s", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+
+	"qoschain/internal/media"
+)
+
+func videoProfile() Profile {
+	return NewProfile(map[media.Param]Function{
+		media.ParamFrameRate:  Linear{M: 0, I: 30},
+		media.ParamResolution: Linear{M: 0, I: 300},
+	})
+}
+
+func TestProfileParamsSorted(t *testing.T) {
+	p := videoProfile()
+	names := p.Params()
+	if len(names) != 2 || names[0] != media.ParamFrameRate || names[1] != media.ParamResolution {
+		t.Fatalf("Params() = %v, want [framerate resolution]", names)
+	}
+}
+
+func TestProfileEvaluate(t *testing.T) {
+	p := videoProfile()
+	vals := media.Params{media.ParamFrameRate: 30, media.ParamResolution: 300}
+	if got := p.Evaluate(vals); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ideal assignment should score 1, got %v", got)
+	}
+	vals = media.Params{media.ParamFrameRate: 15, media.ParamResolution: 300}
+	want := math.Sqrt(0.5)
+	if got := p.Evaluate(vals); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Evaluate = %v, want %v", got, want)
+	}
+	// Missing parameter evaluates at 0 → total 0.
+	if got := p.Evaluate(media.Params{media.ParamFrameRate: 30}); got != 0 {
+		t.Errorf("missing scored parameter should zero the total, got %v", got)
+	}
+}
+
+func TestProfileEvaluateEmpty(t *testing.T) {
+	if got := (Profile{}).Evaluate(nil); got != 1 {
+		t.Errorf("empty profile evaluates to 1, got %v", got)
+	}
+}
+
+func TestProfileEvaluateWeighted(t *testing.T) {
+	p := videoProfile()
+	p.Weights = map[media.Param]float64{media.ParamFrameRate: 1, media.ParamResolution: 0}
+	vals := media.Params{media.ParamFrameRate: 15, media.ParamResolution: 0}
+	if got := p.Evaluate(vals); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("weighted Evaluate = %v, want 0.5 (resolution ignored)", got)
+	}
+}
+
+func TestProfileEvaluateEach(t *testing.T) {
+	p := videoProfile()
+	each := p.EvaluateEach(media.Params{media.ParamFrameRate: 15, media.ParamResolution: 300})
+	if math.Abs(each[media.ParamFrameRate]-0.5) > 1e-12 {
+		t.Errorf("framerate satisfaction = %v, want 0.5", each[media.ParamFrameRate])
+	}
+	if math.Abs(each[media.ParamResolution]-1) > 1e-12 {
+		t.Errorf("resolution satisfaction = %v, want 1", each[media.ParamResolution])
+	}
+}
+
+func TestProfileIdeals(t *testing.T) {
+	ideals := videoProfile().Ideals()
+	if ideals[media.ParamFrameRate] != 30 || ideals[media.ParamResolution] != 300 {
+		t.Errorf("Ideals = %v", ideals)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := videoProfile().Validate(); err != nil {
+		t.Errorf("valid profile rejected: %v", err)
+	}
+	if err := (Profile{}).Validate(); err == nil {
+		t.Error("empty profile should fail validation")
+	}
+	bad := Profile{Functions: map[media.Param]Function{media.ParamFrameRate: nil}}
+	if err := bad.Validate(); err == nil {
+		t.Error("nil function should fail validation")
+	}
+	bad = Profile{Functions: map[media.Param]Function{media.ParamFrameRate: decreasing{}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("non-monotone function should fail validation")
+	}
+	p := videoProfile()
+	p.Weights = map[media.Param]float64{media.ParamFrameRate: -1}
+	if err := p.Validate(); err == nil {
+		t.Error("negative weight should fail validation")
+	}
+	p = videoProfile()
+	p.Weights = map[media.Param]float64{media.ParamAudioRate: 1}
+	if err := p.Validate(); err == nil {
+		t.Error("weight on unscored parameter should fail validation")
+	}
+}

@@ -1,0 +1,176 @@
+package service
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// This file provides constructors for the trans-coding archetypes the
+// paper's introduction motivates: format conversion, colour-depth
+// reduction, frame-rate reduction, resolution scaling, audio
+// downsampling, video→keyframe extraction and audio→text conversion.
+// Each archetype is a plain Service description; the executable
+// counterparts live in internal/transcode.
+
+// FormatConverter converts between container/codec formats without
+// touching continuous quality parameters (e.g. jpeg → gif).
+func FormatConverter(id ID, from, to media.Format) *Service {
+	return &Service{
+		ID:         id,
+		Name:       fmt.Sprintf("%s→%s converter", from, to),
+		Inputs:     []media.Format{from},
+		Outputs:    []media.Format{to},
+		CPUPerKbps: 0.5,
+		MemoryMB:   16,
+		Cost:       1,
+	}
+}
+
+// FrameRateReducer caps the video frame rate at maxFPS while keeping the
+// format unchanged in encoding terms (the output format carries a profile
+// tag so that chains remain acyclic under the distinct-format rule).
+func FrameRateReducer(id ID, format media.Format, maxFPS float64) *Service {
+	out := format
+	out.Profile = tagProfile(format.Profile, "lowfps")
+	return &Service{
+		ID:         id,
+		Name:       fmt.Sprintf("frame-rate reducer (≤%.0f fps)", maxFPS),
+		Inputs:     []media.Format{format},
+		Outputs:    []media.Format{out},
+		Caps:       media.Params{media.ParamFrameRate: maxFPS},
+		CPUPerKbps: 0.2,
+		MemoryMB:   8,
+		Cost:       1,
+	}
+}
+
+// ResolutionScaler downscales to one of the rungs of a resolution ladder
+// (in kilopixels), e.g. CIF (101 kpx) and QCIF (25 kpx).
+func ResolutionScaler(id ID, format media.Format, ladderKpx ...float64) *Service {
+	out := format
+	out.Profile = tagProfile(format.Profile, "scaled")
+	maxKpx := 0.0
+	for _, v := range ladderKpx {
+		if v > maxKpx {
+			maxKpx = v
+		}
+	}
+	return &Service{
+		ID:      id,
+		Name:    fmt.Sprintf("resolution scaler (≤%.0f kpx)", maxKpx),
+		Inputs:  []media.Format{format},
+		Outputs: []media.Format{out},
+		Caps:    media.Params{media.ParamResolution: maxKpx},
+		Domains: map[media.Param]satisfaction.Domain{
+			media.ParamResolution: {Values: append([]float64(nil), ladderKpx...)},
+		},
+		CPUPerKbps: 0.8,
+		MemoryMB:   32,
+		Cost:       2,
+	}
+}
+
+// ColorReducer lowers the colour depth (bits per pixel), e.g. the paper's
+// 256-colour → 2-colour first stage of the jpeg→gif example.
+func ColorReducer(id ID, from, to media.Format, maxBits float64) *Service {
+	return &Service{
+		ID:         id,
+		Name:       fmt.Sprintf("colour reducer (≤%.0f bpp)", maxBits),
+		Inputs:     []media.Format{from},
+		Outputs:    []media.Format{to},
+		Caps:       media.Params{media.ParamColorDepth: maxBits},
+		CPUPerKbps: 0.3,
+		MemoryMB:   8,
+		Cost:       1,
+	}
+}
+
+// AudioDownsampler reduces the audio sampling rate (kHz) and sample depth.
+func AudioDownsampler(id ID, from, to media.Format, maxKHz, maxBits float64) *Service {
+	return &Service{
+		ID:      id,
+		Name:    fmt.Sprintf("audio downsampler (≤%.1f kHz)", maxKHz),
+		Inputs:  []media.Format{from},
+		Outputs: []media.Format{to},
+		Caps: media.Params{
+			media.ParamAudioRate: maxKHz,
+			media.ParamAudioBits: maxBits,
+		},
+		CPUPerKbps: 0.1,
+		MemoryMB:   4,
+		Cost:       1,
+	}
+}
+
+// KeyframeExtractor converts a video stream into a sequence of still
+// keyframe images — the "video to key frame" adaptation of Section 1. The
+// frame rate collapses to at most one frame per second.
+func KeyframeExtractor(id ID, from media.Format) *Service {
+	return &Service{
+		ID:         id,
+		Name:       "video→keyframe extractor",
+		Inputs:     []media.Format{from},
+		Outputs:    []media.Format{media.VideoKeyframes},
+		Caps:       media.Params{media.ParamFrameRate: 1},
+		CPUPerKbps: 1.0,
+		MemoryMB:   64,
+		Cost:       3,
+	}
+}
+
+// SpeechToText converts audio into a text transcript — the "audio to
+// text" adaptation of Section 1. All continuous audio parameters collapse.
+func SpeechToText(id ID, from media.Format) *Service {
+	return &Service{
+		ID:      id,
+		Name:    "audio→text converter",
+		Inputs:  []media.Format{from},
+		Outputs: []media.Format{media.TextTranscript},
+		Caps: media.Params{
+			media.ParamAudioRate: 0,
+			media.ParamAudioBits: 0,
+		},
+		CPUPerKbps: 2.0,
+		MemoryMB:   128,
+		Cost:       5,
+	}
+}
+
+// TextSummarizer shortens text content (the "text summarization"
+// adaptation of Section 1).
+func TextSummarizer(id ID) *Service {
+	return &Service{
+		ID:         id,
+		Name:       "text summarizer",
+		Inputs:     []media.Format{media.TextPlain, media.TextHTML, media.TextTranscript},
+		Outputs:    []media.Format{media.TextSummary},
+		CPUPerKbps: 0.4,
+		MemoryMB:   32,
+		Cost:       2,
+	}
+}
+
+// HTMLToWML converts HTML pages to WML decks for WAP-era handsets
+// (Section 2's canonical web-content adaptation).
+func HTMLToWML(id ID) *Service {
+	return &Service{
+		ID:         id,
+		Name:       "HTML→WML converter",
+		Inputs:     []media.Format{media.TextHTML},
+		Outputs:    []media.Format{media.TextWML},
+		CPUPerKbps: 0.2,
+		MemoryMB:   8,
+		Cost:       1,
+	}
+}
+
+// tagProfile appends a tag to an existing profile string, keeping the
+// result stable and parseable.
+func tagProfile(existing, tag string) string {
+	if existing == "" {
+		return tag
+	}
+	return existing + "-" + tag
+}

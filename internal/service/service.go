@@ -1,0 +1,148 @@
+// Package service describes trans-coding services: the vertices of the
+// paper's adaptation graph (Section 4.2, Figure 2).
+//
+// A service advertises the input formats it consumes, the output formats
+// it produces, the continuous QoS capabilities of its output, the
+// computing resources it needs, and the monetary cost of using it — the
+// fields the "profile of intermediaries" of Section 3 enumerates.
+package service
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+// ID uniquely names a deployed trans-coding service instance.
+type ID string
+
+// Service is the description of one trans-coding service.
+type Service struct {
+	// ID is the unique instance identifier (e.g. "t7", "scaler-3").
+	ID ID
+	// Name is a human-readable label ("jpeg→gif colour reducer").
+	Name string
+	// Inputs are the formats the service accepts (input links of the
+	// vertex, Figure 2).
+	Inputs []media.Format
+	// Outputs are the formats the service can emit (output links).
+	Outputs []media.Format
+	// Caps bounds the continuous QoS parameters of the output stream:
+	// the service cannot emit a parameter above its cap. A parameter
+	// absent from Caps passes through unchanged. Combined with the
+	// input-side values via element-wise min, this encodes the paper's
+	// assumption that trans-coding only ever reduces quality.
+	Caps media.Params
+	// Domains optionally restricts output parameters to discrete
+	// ladders (e.g. a scaler that only emits CIF/QCIF resolutions).
+	Domains map[media.Param]satisfaction.Domain
+	// CPUPerKbps is the processing demand in MIPS per kbit/s of input —
+	// Section 4.3's observation that memory and computing needs are a
+	// function of the amount of input data.
+	CPUPerKbps float64
+	// MemoryMB is the resident memory the service needs to run.
+	MemoryMB float64
+	// Cost is the monetary charge per session for using the service,
+	// counted against the user's budget (Figure 4, Step 6).
+	Cost float64
+	// Host is the intermediary the instance runs on; empty until the
+	// service is deployed.
+	Host string
+}
+
+// Validate checks structural invariants of the description.
+func (s *Service) Validate() error {
+	if s.ID == "" {
+		return fmt.Errorf("service: empty ID")
+	}
+	if len(s.Inputs) == 0 {
+		return fmt.Errorf("service %s: no input formats", s.ID)
+	}
+	if len(s.Outputs) == 0 {
+		return fmt.Errorf("service %s: no output formats", s.ID)
+	}
+	for _, f := range s.Inputs {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("service %s input: %w", s.ID, err)
+		}
+	}
+	for _, f := range s.Outputs {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("service %s output: %w", s.ID, err)
+		}
+	}
+	for p, v := range s.Caps {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("service %s: cap %s=%v invalid", s.ID, p, v)
+		}
+	}
+	if s.CPUPerKbps < 0 || s.MemoryMB < 0 || s.Cost < 0 {
+		return fmt.Errorf("service %s: negative resource or cost", s.ID)
+	}
+	return nil
+}
+
+// Accepts reports whether the service consumes format f.
+func (s *Service) Accepts(f media.Format) bool {
+	for _, in := range s.Inputs {
+		if in == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Produces reports whether the service can emit format f.
+func (s *Service) Produces(f media.Format) bool {
+	for _, out := range s.Outputs {
+		if out == f {
+			return true
+		}
+	}
+	return false
+}
+
+// Transfer computes the QoS parameters available at the service's output
+// given the parameters arriving at its input: the element-wise minimum of
+// the input values and the service's caps. This is the quality-monotone
+// transfer the greedy optimality argument (Figure 5) relies on.
+func (s *Service) Transfer(in media.Params) media.Params {
+	return in.Min(s.Caps)
+}
+
+// CPURequired returns the MIPS demand for an input stream of the given
+// bitrate.
+func (s *Service) CPURequired(inputKbps float64) float64 {
+	return s.CPUPerKbps * inputKbps
+}
+
+// String renders a compact description: "id: in1|in2 -> out1|out2".
+func (s *Service) String() string {
+	ins := make([]string, len(s.Inputs))
+	for i, f := range s.Inputs {
+		ins[i] = f.String()
+	}
+	outs := make([]string, len(s.Outputs))
+	for i, f := range s.Outputs {
+		outs[i] = f.String()
+	}
+	return fmt.Sprintf("%s: %s -> %s", s.ID, strings.Join(ins, "|"), strings.Join(outs, "|"))
+}
+
+// Clone returns a deep copy of the service description.
+func (s *Service) Clone() *Service {
+	c := *s
+	c.Inputs = append([]media.Format(nil), s.Inputs...)
+	c.Outputs = append([]media.Format(nil), s.Outputs...)
+	c.Caps = s.Caps.Clone()
+	if s.Domains != nil {
+		c.Domains = make(map[media.Param]satisfaction.Domain, len(s.Domains))
+		for k, d := range s.Domains {
+			c.Domains[k] = satisfaction.Domain{Values: append([]float64(nil), d.Values...)}
+		}
+	}
+	return &c
+}

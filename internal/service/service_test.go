@@ -1,0 +1,178 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+)
+
+func sampleService() *Service {
+	return &Service{
+		ID:      "t1",
+		Name:    "test transcoder",
+		Inputs:  []media.Format{media.Opaque(5), media.Opaque(6)},
+		Outputs: []media.Format{media.Opaque(10), media.Opaque(11), media.Opaque(12), media.Opaque(13)},
+		Caps:    media.Params{media.ParamFrameRate: 25},
+	}
+}
+
+func TestServiceValidate(t *testing.T) {
+	if err := sampleService().Validate(); err != nil {
+		t.Errorf("valid service rejected: %v", err)
+	}
+	bad := []*Service{
+		{},
+		{ID: "x", Outputs: []media.Format{media.ImageGIF}},
+		{ID: "x", Inputs: []media.Format{media.ImageGIF}},
+		{ID: "x", Inputs: []media.Format{{}}, Outputs: []media.Format{media.ImageGIF}},
+		{ID: "x", Inputs: []media.Format{media.ImageGIF}, Outputs: []media.Format{{}}},
+		{ID: "x", Inputs: []media.Format{media.ImageGIF}, Outputs: []media.Format{media.ImageJPEG}, Caps: media.Params{media.ParamFrameRate: -1}},
+		{ID: "x", Inputs: []media.Format{media.ImageGIF}, Outputs: []media.Format{media.ImageJPEG}, Cost: -1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad service %d should fail validation", i)
+		}
+	}
+}
+
+// TestServiceFigure2 mirrors Figure 2: a trans-coding service T1 with
+// input formats F5 and F6 and output formats F10–F13.
+func TestServiceFigure2(t *testing.T) {
+	s := sampleService()
+	if !s.Accepts(media.Opaque(5)) || !s.Accepts(media.Opaque(6)) {
+		t.Error("T1 must accept F5 and F6")
+	}
+	if s.Accepts(media.Opaque(7)) {
+		t.Error("T1 must not accept F7")
+	}
+	for _, n := range []int{10, 11, 12, 13} {
+		if !s.Produces(media.Opaque(n)) {
+			t.Errorf("T1 must produce F%d", n)
+		}
+	}
+	if s.Produces(media.Opaque(9)) {
+		t.Error("T1 must not produce F9")
+	}
+}
+
+func TestServiceTransferOnlyReduces(t *testing.T) {
+	s := sampleService() // caps framerate at 25
+	out := s.Transfer(media.Params{media.ParamFrameRate: 30, media.ParamResolution: 300})
+	if out[media.ParamFrameRate] != 25 {
+		t.Errorf("framerate should cap at 25, got %v", out[media.ParamFrameRate])
+	}
+	if out[media.ParamResolution] != 300 {
+		t.Errorf("uncapped parameter should pass through, got %v", out[media.ParamResolution])
+	}
+	out = s.Transfer(media.Params{media.ParamFrameRate: 10})
+	if out[media.ParamFrameRate] != 10 {
+		t.Errorf("input below the cap must not be raised, got %v", out[media.ParamFrameRate])
+	}
+}
+
+func TestServiceCPURequired(t *testing.T) {
+	s := &Service{CPUPerKbps: 0.5}
+	if got := s.CPURequired(2000); got != 1000 {
+		t.Errorf("CPURequired = %v, want 1000", got)
+	}
+}
+
+func TestServiceString(t *testing.T) {
+	s := sampleService()
+	str := s.String()
+	for _, part := range []string{"t1:", "video/f5", "video/f6", "video/f10", "->"} {
+		if !strings.Contains(str, part) {
+			t.Errorf("String() = %q, missing %q", str, part)
+		}
+	}
+}
+
+func TestServiceClone(t *testing.T) {
+	s := sampleService()
+	s.Domains = map[media.Param]satisfaction.Domain{
+		media.ParamResolution: {Values: []float64{25, 101}},
+	}
+	c := s.Clone()
+	c.Inputs[0] = media.ImageGIF
+	c.Caps[media.ParamFrameRate] = 1
+	c.Domains[media.ParamResolution].Values[0] = 99
+	if s.Inputs[0] != media.Opaque(5) {
+		t.Error("Clone must not share Inputs")
+	}
+	if s.Caps[media.ParamFrameRate] != 25 {
+		t.Error("Clone must not share Caps")
+	}
+	if s.Domains[media.ParamResolution].Values[0] != 25 {
+		t.Error("Clone must not share Domains")
+	}
+}
+
+func TestArchetypesValidate(t *testing.T) {
+	archetypes := []*Service{
+		FormatConverter("c1", media.ImageJPEG, media.ImageGIF),
+		FrameRateReducer("r1", media.VideoMPEG1, 15),
+		ResolutionScaler("s1", media.VideoMPEG1, 25, 101),
+		ColorReducer("cr1", media.ImageJPEG, media.ImageJPEGGray, 2),
+		AudioDownsampler("a1", media.AudioPCM, media.AudioPCM8K, 8, 8),
+		KeyframeExtractor("k1", media.VideoMPEG1),
+		SpeechToText("st1", media.AudioPCM),
+		TextSummarizer("ts1"),
+		HTMLToWML("hw1"),
+	}
+	for _, s := range archetypes {
+		if err := s.Validate(); err != nil {
+			t.Errorf("archetype %s should validate: %v", s.ID, err)
+		}
+	}
+}
+
+func TestFrameRateReducerChangesFormatIdentity(t *testing.T) {
+	r := FrameRateReducer("r1", media.VideoMPEG1, 15)
+	if r.Outputs[0] == r.Inputs[0] {
+		t.Error("reducer output format must differ from input (distinct-format acyclicity)")
+	}
+	if r.Caps[media.ParamFrameRate] != 15 {
+		t.Errorf("cap = %v, want 15", r.Caps[media.ParamFrameRate])
+	}
+	out := r.Transfer(media.Params{media.ParamFrameRate: 30})
+	if out[media.ParamFrameRate] != 15 {
+		t.Error("reducer must cap frame rate")
+	}
+}
+
+func TestResolutionScalerLadder(t *testing.T) {
+	s := ResolutionScaler("s1", media.VideoMPEG1, 101, 25)
+	d, ok := s.Domains[media.ParamResolution]
+	if !ok {
+		t.Fatal("scaler must expose a resolution domain")
+	}
+	if len(d.Values) != 2 {
+		t.Fatalf("ladder = %v", d.Values)
+	}
+	if s.Caps[media.ParamResolution] != 101 {
+		t.Errorf("cap should be the ladder max, got %v", s.Caps[media.ParamResolution])
+	}
+}
+
+func TestKeyframeExtractorCollapsesMotion(t *testing.T) {
+	k := KeyframeExtractor("k1", media.VideoMPEG1)
+	out := k.Transfer(media.Params{media.ParamFrameRate: 30})
+	if out[media.ParamFrameRate] != 1 {
+		t.Errorf("keyframes should cap frame rate at 1, got %v", out[media.ParamFrameRate])
+	}
+	if k.Outputs[0].Kind != media.KindImage {
+		t.Error("keyframe output should be an image format")
+	}
+}
+
+func TestTagProfile(t *testing.T) {
+	if got := tagProfile("", "lowfps"); got != "lowfps" {
+		t.Errorf("tagProfile empty = %q", got)
+	}
+	if got := tagProfile("cif", "lowfps"); got != "cif-lowfps" {
+		t.Errorf("tagProfile = %q", got)
+	}
+}

@@ -1,0 +1,81 @@
+package session
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+)
+
+// Bandwidth reservation: when Config.ReserveBandwidth is set, an admitted
+// session holds its chain's bitrate on every inter-host link it crosses,
+// so concurrent sessions see only the remaining capacity — the admission
+// control a shared proxy infrastructure needs.
+
+// reservation is one held link share.
+type reservation struct {
+	from, to string
+	kbps     float64
+}
+
+// chainBitrate is the bandwidth the current chain's delivered parameters
+// require.
+func (s *Session) chainBitrate() float64 {
+	model := s.cfg.Select.Bitrate
+	if model == nil {
+		model = media.DefaultBitrate
+	}
+	return model.RequiredKbps(s.current.Params)
+}
+
+// reserveCurrent holds the chain's bitrate on each distinct consecutive
+// host pair. On failure it rolls back what it reserved and reports the
+// conflict.
+func (s *Session) reserveCurrent() error {
+	if s.current == nil || !s.current.Found {
+		return nil
+	}
+	kbps := s.chainBitrate()
+	if kbps <= 0 {
+		return nil
+	}
+	hosts := s.Hosts()
+	var made []reservation
+	for i := 1; i < len(hosts); i++ {
+		from, to := hosts[i-1], hosts[i]
+		if from == to {
+			continue
+		}
+		if err := s.cfg.Net.Reserve(from, to, kbps); err != nil {
+			for _, r := range made {
+				s.cfg.Net.Release(r.from, r.to, r.kbps)
+			}
+			return fmt.Errorf("session: admitting chain: %w", err)
+		}
+		made = append(made, reservation{from, to, kbps})
+	}
+	s.held = made
+	return nil
+}
+
+// releaseCurrent returns every held reservation.
+func (s *Session) releaseCurrent() {
+	for _, r := range s.held {
+		s.cfg.Net.Release(r.from, r.to, r.kbps)
+	}
+	s.held = nil
+}
+
+// Close releases the session's reservations; the session must not be
+// used afterwards.
+func (s *Session) Close() {
+	s.releaseCurrent()
+}
+
+// Reserved reports the bandwidth currently held per link.
+func (s *Session) Reserved() map[string]float64 {
+	out := make(map[string]float64, len(s.held))
+	for _, r := range s.held {
+		out[r.from+"->"+r.to] = r.kbps
+	}
+	return out
+}

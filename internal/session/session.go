@@ -1,0 +1,238 @@
+// Package session manages the lifetime of one adaptation session: it
+// composes the initial trans-coding chain, watches the overlay network,
+// and re-runs the QoS selection algorithm when the network drifts away
+// from what the current chain was negotiated for — the dynamic adaptation
+// to "fluctuating network resources" Section 3 calls for.
+package session
+
+import (
+	"fmt"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// Config assembles a session.
+type Config struct {
+	// Content/Device/Services describe the endpoints and the deployed
+	// trans-coding services (hosts stamped).
+	Content  *profile.Content
+	Device   *profile.Device
+	Services []*service.Service
+	// Net is the live overlay the session watches.
+	Net *overlay.Network
+	// SenderHost/ReceiverHost locate the endpoints on the overlay.
+	SenderHost, ReceiverHost string
+	// Select parameterizes the QoS selection algorithm.
+	Select core.Config
+	// Tolerance is the satisfaction slack before re-composition: the
+	// session switches chains only when a fresh selection would improve
+	// satisfaction by more than Tolerance, or when the current chain
+	// degraded/broke. Default 0.02.
+	Tolerance float64
+	// ReserveBandwidth makes the session hold its chain's bitrate on
+	// every inter-host link it crosses (admission control): concurrent
+	// sessions then compose against the remaining capacity only.
+	ReserveBandwidth bool
+}
+
+// Change records one re-composition.
+type Change struct {
+	// Reason is "degraded", "broken" or "improved".
+	Reason string
+	// From/To are the chain paths before and after.
+	From, To string
+	// Satisfaction is the post-change satisfaction.
+	Satisfaction float64
+}
+
+// Session is a live adaptation session.
+type Session struct {
+	cfg     Config
+	current *core.Result
+	history []Change
+	held    []reservation
+}
+
+// New composes the initial chain. It fails when no chain exists at all.
+func New(cfg Config) (*Session, error) {
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.02
+	}
+	s := &Session{cfg: cfg}
+	res, err := s.compose()
+	if err != nil {
+		return nil, err
+	}
+	s.current = res
+	if cfg.ReserveBandwidth {
+		if err := s.reserveCurrent(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// compose rebuilds the graph from the live overlay and selects a chain.
+func (s *Session) compose() (*core.Result, error) {
+	g, err := graph.Build(graph.Input{
+		Content:      s.cfg.Content,
+		Device:       s.cfg.Device,
+		Services:     s.cfg.Services,
+		Net:          s.cfg.Net,
+		SenderHost:   s.cfg.SenderHost,
+		ReceiverHost: s.cfg.ReceiverHost,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	res, err := core.Select(g, s.cfg.Select)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	return res, nil
+}
+
+// Result returns the current chain.
+func (s *Session) Result() *core.Result { return s.current }
+
+// History returns the recorded re-compositions.
+func (s *Session) History() []Change { return s.history }
+
+// Recompositions returns how many times the session switched chains.
+func (s *Session) Recompositions() int { return len(s.history) }
+
+// currentAchievable re-scores the current chain under the present
+// network: it rebuilds the graph and evaluates the current path's edges.
+// ok is false when the chain no longer exists (an edge disappeared or can
+// no longer carry the stream).
+func (s *Session) currentAchievable() (float64, bool) {
+	g, err := graph.Build(graph.Input{
+		Content:      s.cfg.Content,
+		Device:       s.cfg.Device,
+		Services:     s.cfg.Services,
+		Net:          s.cfg.Net,
+		SenderHost:   s.cfg.SenderHost,
+		ReceiverHost: s.cfg.ReceiverHost,
+	})
+	if err != nil {
+		return 0, false
+	}
+	edges := make([]*graph.Edge, 0, len(s.current.Formats))
+	at := graph.SenderID
+	for i, to := range s.current.Path[1:] {
+		var found *graph.Edge
+		for _, e := range g.Out(at) {
+			if e.To == to && e.Format == s.current.Formats[i] {
+				found = e
+				break
+			}
+		}
+		if found == nil {
+			return 0, false
+		}
+		edges = append(edges, found)
+		at = to
+	}
+	_, sat, _, ok := core.EvalPath(g, s.cfg.Select, edges)
+	return sat, ok
+}
+
+// Reevaluate checks the session against the current network state and
+// re-composes when warranted. It returns whether the chain changed.
+// When even a fresh composition fails (network partitioned), the session
+// keeps its last chain and reports the error. A reserving session
+// releases its share for the duration of the check so its own
+// reservation does not masquerade as congestion, then re-admits the
+// chain it ends up with.
+func (s *Session) Reevaluate() (changed bool, err error) {
+	if s.cfg.ReserveBandwidth {
+		s.releaseCurrent()
+		defer func() {
+			if rerr := s.reserveCurrent(); rerr != nil && err == nil {
+				err = rerr
+			}
+		}()
+	}
+	return s.reevaluate()
+}
+
+func (s *Session) reevaluate() (bool, error) {
+	achievable, alive := s.currentAchievable()
+
+	fresh, err := s.compose()
+	if err != nil {
+		if !alive {
+			return false, fmt.Errorf("session: current chain broken and no replacement: %w", err)
+		}
+		// Current chain still works; stay on it.
+		return false, nil
+	}
+
+	reason := ""
+	switch {
+	case !alive:
+		reason = "broken"
+	case achievable < s.current.Satisfaction-s.cfg.Tolerance:
+		// The network degraded under the current chain.
+		reason = "degraded"
+	case fresh.Satisfaction > achievable+s.cfg.Tolerance:
+		// A different chain is now substantially better.
+		reason = "improved"
+	default:
+		// Keep the current chain, but track its achievable level.
+		s.current.Satisfaction = achievable
+		return false, nil
+	}
+
+	s.history = append(s.history, Change{
+		Reason:       reason,
+		From:         core.PathString(s.current.Path),
+		To:           core.PathString(fresh.Path),
+		Satisfaction: fresh.Satisfaction,
+	})
+	s.current = fresh
+	return true, nil
+}
+
+// Hosts returns the ordered hosts of the current chain (sender host,
+// service hosts, receiver host), used to decide whether a network event
+// touches the session.
+func (s *Session) Hosts() []string {
+	hosts := []string{s.cfg.SenderHost}
+	for _, id := range s.current.Path[1 : len(s.current.Path)-1] {
+		for _, svc := range s.cfg.Services {
+			if service.ID(id) == svc.ID {
+				hosts = append(hosts, svc.Host)
+				break
+			}
+		}
+	}
+	return append(hosts, s.cfg.ReceiverHost)
+}
+
+// Touches reports whether a network event concerns a link between
+// consecutive hosts of the current chain.
+func (s *Session) Touches(ev overlay.Event) bool {
+	hosts := s.Hosts()
+	for i := 1; i < len(hosts); i++ {
+		if hosts[i-1] == ev.From && hosts[i] == ev.To {
+			return true
+		}
+	}
+	return false
+}
+
+// OnNetworkChange handles one overlay event: when it touches the current
+// chain the session re-evaluates immediately; unrelated events are
+// ignored (a fresh chain may still be picked up by periodic Reevaluate
+// calls).
+func (s *Session) OnNetworkChange(ev overlay.Event) (bool, error) {
+	if !s.Touches(ev) {
+		return false, nil
+	}
+	return s.Reevaluate()
+}

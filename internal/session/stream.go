@@ -1,0 +1,37 @@
+package session
+
+import (
+	"fmt"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/pipeline"
+)
+
+// Stream instantiates the session's current chain as a concurrent
+// trans-coding pipeline and pushes n synthetic source frames through it.
+// The pipeline is built against the *current* overlay state, so a
+// degraded link shows up as loss even before the next re-evaluation.
+func (s *Session) Stream(n int, opts pipeline.Options) (pipeline.Stats, error) {
+	if s.current == nil || !s.current.Found {
+		return pipeline.Stats{}, fmt.Errorf("session: no active chain to stream")
+	}
+	g, err := graph.Build(graph.Input{
+		Content:      s.cfg.Content,
+		Device:       s.cfg.Device,
+		Services:     s.cfg.Services,
+		Net:          s.cfg.Net,
+		SenderHost:   s.cfg.SenderHost,
+		ReceiverHost: s.cfg.ReceiverHost,
+	})
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("session: %w", err)
+	}
+	if opts.Bitrate == nil {
+		opts.Bitrate = s.cfg.Select.Bitrate
+	}
+	p, err := pipeline.FromResult(g, s.current, opts)
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("session: %w", err)
+	}
+	return p.Run(n), nil
+}

@@ -1,0 +1,261 @@
+// Package store persists profiles on the filesystem: a deployment keeps
+// its user, device, content and intermediary profiles as JSON documents
+// and assembles a profile.Set per request. The layout is one directory
+// per profile kind:
+//
+//	<root>/users/<name>.json
+//	<root>/devices/<id>.json
+//	<root>/contents/<id>.json
+//	<root>/intermediaries/<host>.json
+//	<root>/network.json
+//
+// Every document is validated on load; Assemble builds a ready-to-compose
+// profile.Set from stored pieces.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"qoschain/internal/profile"
+)
+
+// Store is a filesystem-backed profile repository.
+type Store struct {
+	root string
+}
+
+// Open ensures the directory layout exists and returns the store.
+func Open(root string) (*Store, error) {
+	for _, dir := range []string{"users", "devices", "contents", "intermediaries"} {
+		if err := os.MkdirAll(filepath.Join(root, dir), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{root: root}, nil
+}
+
+// Root returns the store's base directory.
+func (s *Store) Root() string { return s.root }
+
+// sanitize rejects path-escaping IDs.
+func sanitize(id string) (string, error) {
+	if id == "" || strings.ContainsAny(id, "/\\") || id == "." || id == ".." {
+		return "", fmt.Errorf("store: invalid profile ID %q", id)
+	}
+	return id + ".json", nil
+}
+
+func (s *Store) write(kind, id string, v interface{}) error {
+	name, err := sanitize(id)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding %s/%s: %w", kind, id, err)
+	}
+	path := filepath.Join(s.root, kind, name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+func (s *Store) read(kind, id string, v interface{}) error {
+	name, err := sanitize(id)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(filepath.Join(s.root, kind, name))
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("store: decoding %s/%s: %w", kind, id, err)
+	}
+	return nil
+}
+
+func (s *Store) list(kind string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.root, kind))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// PutUser validates and stores a user profile under its name.
+func (s *Store) PutUser(u *profile.User) error {
+	if err := u.Validate(); err != nil {
+		return err
+	}
+	return s.write("users", u.Name, u)
+}
+
+// User loads and validates a user profile.
+func (s *Store) User(name string) (*profile.User, error) {
+	var u profile.User
+	if err := s.read("users", name, &u); err != nil {
+		return nil, err
+	}
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	return &u, nil
+}
+
+// Users lists stored user names.
+func (s *Store) Users() ([]string, error) { return s.list("users") }
+
+// PutDevice validates and stores a device profile under its ID.
+func (s *Store) PutDevice(d *profile.Device) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	return s.write("devices", d.ID, d)
+}
+
+// Device loads and validates a device profile.
+func (s *Store) Device(id string) (*profile.Device, error) {
+	var d profile.Device
+	if err := s.read("devices", id, &d); err != nil {
+		return nil, err
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Devices lists stored device IDs.
+func (s *Store) Devices() ([]string, error) { return s.list("devices") }
+
+// PutContent validates and stores a content profile under its ID.
+func (s *Store) PutContent(c *profile.Content) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	return s.write("contents", c.ID, c)
+}
+
+// Content loads and validates a content profile.
+func (s *Store) Content(id string) (*profile.Content, error) {
+	var c profile.Content
+	if err := s.read("contents", id, &c); err != nil {
+		return nil, err
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Contents lists stored content IDs.
+func (s *Store) Contents() ([]string, error) { return s.list("contents") }
+
+// PutIntermediary validates and stores an intermediary profile under its
+// host name.
+func (s *Store) PutIntermediary(in *profile.Intermediary) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	return s.write("intermediaries", in.Host, in)
+}
+
+// Intermediary loads and validates an intermediary profile.
+func (s *Store) Intermediary(host string) (*profile.Intermediary, error) {
+	var in profile.Intermediary
+	if err := s.read("intermediaries", host, &in); err != nil {
+		return nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+// Intermediaries lists stored intermediary hosts.
+func (s *Store) Intermediaries() ([]string, error) { return s.list("intermediaries") }
+
+// PutNetwork validates and stores the network profile.
+func (s *Store) PutNetwork(n *profile.Network) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(n, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding network: %w", err)
+	}
+	return os.WriteFile(filepath.Join(s.root, "network.json"), append(data, '\n'), 0o644)
+}
+
+// Network loads and validates the network profile.
+func (s *Store) Network() (*profile.Network, error) {
+	data, err := os.ReadFile(filepath.Join(s.root, "network.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var n profile.Network
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("store: decoding network: %w", err)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// Assemble builds a validated profile.Set for one request: the named
+// user, content and device, the stored network, and every stored
+// intermediary.
+func (s *Store) Assemble(user, content, device string) (*profile.Set, error) {
+	u, err := s.User(user)
+	if err != nil {
+		return nil, err
+	}
+	c, err := s.Content(content)
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.Device(device)
+	if err != nil {
+		return nil, err
+	}
+	n, err := s.Network()
+	if err != nil {
+		return nil, err
+	}
+	hosts, err := s.Intermediaries()
+	if err != nil {
+		return nil, err
+	}
+	set := &profile.Set{User: *u, Content: *c, Device: *d, Network: *n}
+	for _, host := range hosts {
+		in, err := s.Intermediary(host)
+		if err != nil {
+			return nil, err
+		}
+		set.Intermediaries = append(set.Intermediaries, *in)
+	}
+	if err := set.Validate(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}

@@ -1,0 +1,276 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func sampleUser() *profile.User {
+	return &profile.User{
+		Name: "alice",
+		Preferences: map[media.Param]profile.FuncSpec{
+			media.ParamFrameRate: profile.LinearSpec(0, 30),
+		},
+		Budget: 20,
+	}
+}
+
+func sampleDevice() *profile.Device {
+	return &profile.Device{
+		ID:       "phone-1",
+		Class:    profile.ClassPhone,
+		Software: profile.Software{Decoders: []media.Format{media.VideoH263}},
+	}
+}
+
+func sampleContent() *profile.Content {
+	return &profile.Content{
+		ID: "clip-1",
+		Variants: []media.Descriptor{
+			{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: 30}},
+		},
+	}
+}
+
+func sampleIntermediary() *profile.Intermediary {
+	return &profile.Intermediary{
+		Host: "p1", CPUMips: 1000, MemoryMB: 256,
+		Services: []*service.Service{
+			service.FormatConverter("conv1", media.VideoMPEG1, media.VideoH263),
+		},
+	}
+}
+
+func sampleNetwork() *profile.Network {
+	return &profile.Network{Links: []profile.Link{
+		{From: "sender", To: "p1", BandwidthKbps: 2400},
+		{From: "p1", To: "phone-1", BandwidthKbps: 1800},
+	}}
+}
+
+func TestUserRoundTrip(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(sampleUser()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.User("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "alice" || got.Budget != 20 {
+		t.Errorf("loaded user = %+v", got)
+	}
+	names, err := s.Users()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "alice" {
+		t.Errorf("Users = %v", names)
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(&profile.User{}); err == nil {
+		t.Error("invalid user must be rejected")
+	}
+	if err := s.PutDevice(&profile.Device{ID: "x"}); err == nil {
+		t.Error("invalid device must be rejected")
+	}
+	if err := s.PutContent(&profile.Content{ID: "x"}); err == nil {
+		t.Error("invalid content must be rejected")
+	}
+	if err := s.PutNetwork(&profile.Network{Links: []profile.Link{{From: "a", To: "a"}}}); err == nil {
+		t.Error("invalid network must be rejected")
+	}
+}
+
+func TestSanitizeRejectsPathEscapes(t *testing.T) {
+	s := open(t)
+	for _, id := range []string{"", "..", "a/b", `a\b`} {
+		if _, err := s.User(id); err == nil {
+			t.Errorf("ID %q must be rejected", id)
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	s := open(t)
+	path := filepath.Join(s.Root(), "users", "bad.json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.User("bad"); err == nil {
+		t.Error("corrupt document must fail to load")
+	}
+	// A document that parses but fails validation must also fail.
+	if err := os.WriteFile(path, []byte(`{"name":"bad"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.User("bad"); err == nil {
+		t.Error("invalid document must fail to load")
+	}
+}
+
+func TestMissingDocument(t *testing.T) {
+	s := open(t)
+	if _, err := s.Device("ghost"); err == nil {
+		t.Error("missing device must fail")
+	}
+	if _, err := s.Network(); err == nil {
+		t.Error("missing network must fail")
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(sampleUser()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDevice(sampleDevice()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutContent(sampleContent()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutIntermediary(sampleIntermediary()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNetwork(sampleNetwork()); err != nil {
+		t.Fatal(err)
+	}
+	set, err := s.Assemble("alice", "clip-1", "phone-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.User.Name != "alice" || set.Content.ID != "clip-1" || set.Device.ID != "phone-1" {
+		t.Errorf("assembled set identities wrong: %+v", set)
+	}
+	if len(set.Intermediaries) != 1 || set.Intermediaries[0].Host != "p1" {
+		t.Errorf("intermediaries = %+v", set.Intermediaries)
+	}
+	if len(set.Intermediaries[0].Services) != 1 {
+		t.Error("intermediary services lost in round trip")
+	}
+}
+
+func TestAssembleMissingPiece(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(sampleUser()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assemble("alice", "nope", "phone-1"); err == nil {
+		t.Error("missing content must fail assembly")
+	}
+}
+
+func TestListsSorted(t *testing.T) {
+	s := open(t)
+	for _, id := range []string{"zeta", "alpha", "mid"} {
+		c := sampleContent()
+		c.ID = id
+		if err := s.PutContent(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := s.Contents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != "alpha" || ids[2] != "zeta" {
+		t.Errorf("Contents = %v", ids)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := open(t)
+	u := sampleUser()
+	if err := s.PutUser(u); err != nil {
+		t.Fatal(err)
+	}
+	u.Budget = 99
+	if err := s.PutUser(u); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.User("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Budget != 99 {
+		t.Errorf("overwrite lost: budget = %v", got.Budget)
+	}
+}
+
+func TestIntermediaryRoundTrip(t *testing.T) {
+	s := open(t)
+	if err := s.PutIntermediary(sampleIntermediary()); err != nil {
+		t.Fatal(err)
+	}
+	in, err := s.Intermediary("p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Host != "p1" || len(in.Services) != 1 || in.Services[0].ID != "conv1" {
+		t.Errorf("loaded intermediary = %+v", in)
+	}
+	hosts, err := s.Intermediaries()
+	if err != nil || len(hosts) != 1 {
+		t.Errorf("Intermediaries = %v %v", hosts, err)
+	}
+	if err := s.PutIntermediary(&profile.Intermediary{}); err == nil {
+		t.Error("invalid intermediary must be rejected")
+	}
+}
+
+func TestDeviceAndNetworkRoundTrip(t *testing.T) {
+	s := open(t)
+	if err := s.PutDevice(sampleDevice()); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Device("phone-1")
+	if err != nil || !d.Decodes(media.VideoH263) {
+		t.Errorf("device round trip: %v %v", d, err)
+	}
+	ids, err := s.Devices()
+	if err != nil || len(ids) != 1 {
+		t.Errorf("Devices = %v %v", ids, err)
+	}
+	if err := s.PutNetwork(sampleNetwork()); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Network()
+	if err != nil || len(n.Links) != 2 {
+		t.Errorf("network round trip: %v %v", n, err)
+	}
+}
+
+func TestAssembleInvalidCombination(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(sampleUser()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutContent(sampleContent()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDevice(sampleDevice()); err != nil {
+		t.Fatal(err)
+	}
+	// Missing network: assembly must fail cleanly.
+	if _, err := s.Assemble("alice", "clip-1", "phone-1"); err == nil {
+		t.Error("missing network must fail assembly")
+	}
+}

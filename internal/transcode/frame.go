@@ -1,0 +1,105 @@
+// Package transcode provides executable counterparts to the service
+// descriptions of internal/service: stages that actually consume and
+// produce synthetic media frames. Together with internal/pipeline it
+// substitutes for the real media transcoders the paper assumes — the
+// framework only depends on format signatures and quality transfer, both
+// of which these synthetic stages implement faithfully.
+package transcode
+
+import (
+	"fmt"
+	"math"
+
+	"qoschain/internal/media"
+)
+
+// Frame is one synthetic media unit flowing through an adaptation chain.
+type Frame struct {
+	// Seq is the source sequence number (0-based).
+	Seq int
+	// PTS is the presentation timestamp in seconds of virtual time.
+	PTS float64
+	// Format is the frame's current format signature.
+	Format media.Format
+	// Params are the QoS parameters the frame is encoded at.
+	Params media.Params
+	// Payload is the synthetic encoded payload; its size tracks the
+	// bitrate implied by Params.
+	Payload []byte
+	// Keyframe marks intra-coded frames (every GOP-th frame).
+	Keyframe bool
+}
+
+// Bytes returns the payload size.
+func (f Frame) Bytes() int { return len(f.Payload) }
+
+// payloadSize derives the per-frame payload in bytes from a bitrate
+// model: kbps / fps → kbit per frame → bytes.
+func payloadSize(model media.BitrateModel, p media.Params) int {
+	if model == nil {
+		model = media.DefaultBitrate
+	}
+	fps := p.Get(media.ParamFrameRate)
+	if fps <= 0 {
+		fps = 1
+	}
+	kbit := model.RequiredKbps(p) / fps
+	n := int(math.Ceil(kbit * 1000 / 8))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Source generates a deterministic synthetic stream.
+type Source struct {
+	// Format and Params describe the generated variant.
+	Format media.Format
+	Params media.Params
+	// Bitrate sizes payloads; nil uses media.DefaultBitrate.
+	Bitrate media.BitrateModel
+	// GOP is the keyframe interval (default 10).
+	GOP int
+}
+
+// Frames produces n frames with PTS spaced at 1/fps seconds.
+func (s Source) Frames(n int) []Frame {
+	gop := s.GOP
+	if gop <= 0 {
+		gop = 10
+	}
+	fps := s.Params.Get(media.ParamFrameRate)
+	if fps <= 0 {
+		fps = 1
+	}
+	size := payloadSize(s.Bitrate, s.Params)
+	out := make([]Frame, n)
+	for i := 0; i < n; i++ {
+		payload := make([]byte, size)
+		// A recognizable deterministic pattern (frame index signature)
+		// lets tests verify payloads are rewritten, not aliased.
+		for j := range payload {
+			payload[j] = byte((i + j) % 251)
+		}
+		out[i] = Frame{
+			Seq:      i,
+			PTS:      float64(i) / fps,
+			Format:   s.Format,
+			Params:   s.Params.Clone(),
+			Payload:  payload,
+			Keyframe: i%gop == 0,
+		}
+	}
+	return out
+}
+
+// Validate checks the source configuration.
+func (s Source) Validate() error {
+	if err := s.Format.Validate(); err != nil {
+		return err
+	}
+	if s.Params.Get(media.ParamFrameRate) < 0 {
+		return fmt.Errorf("transcode: negative frame rate")
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package transcode
+
+import "qoschain/internal/media"
+
+// Shaper is the sender-side rate adaptation: it decimates and re-sizes
+// frames down to the negotiated QoS parameters without changing the
+// format. The paper's model has every edge carry the stream at the
+// parameters the optimizer chose for it; the shaper realizes that choice
+// at the head of the chain so downstream links are never oversubscribed.
+type Shaper struct {
+	target media.Params
+	model  media.BitrateModel
+
+	credit float64
+	primed bool
+
+	consumed int
+	emitted  int
+	dropped  int
+}
+
+// NewShaper builds a shaper emitting at the target parameters.
+func NewShaper(target media.Params, model media.BitrateModel) *Shaper {
+	return &Shaper{target: target.Clone(), model: model}
+}
+
+// Process decimates the stream to the target frame rate and re-sizes the
+// payload to the target bitrate.
+func (s *Shaper) Process(f Frame) []Frame {
+	s.consumed++
+	inFPS := f.Params.Get(media.ParamFrameRate)
+	outFPS := s.target.Get(media.ParamFrameRate)
+	if outFPS > 0 && inFPS > outFPS {
+		ratio := outFPS / inFPS
+		if !s.primed {
+			s.credit = 1 - ratio
+			s.primed = true
+		}
+		s.credit += ratio
+		if s.credit < 1 {
+			s.dropped++
+			return nil
+		}
+		s.credit--
+	}
+	outParams := f.Params.Min(s.target)
+	payload := make([]byte, payloadSize(s.model, outParams))
+	n := copy(payload, f.Payload)
+	for i := n; i < len(payload); i++ {
+		payload[i] = byte(i % 251)
+	}
+	s.emitted++
+	return []Frame{{
+		Seq:      f.Seq,
+		PTS:      f.PTS,
+		Format:   f.Format,
+		Params:   outParams,
+		Payload:  payload,
+		Keyframe: f.Keyframe,
+	}}
+}
+
+// Counters reports consumed/emitted/dropped frame counts.
+func (s *Shaper) Counters() (consumed, emitted, dropped int) {
+	return s.consumed, s.emitted, s.dropped
+}

@@ -1,0 +1,72 @@
+package transcode
+
+import (
+	"testing"
+
+	"qoschain/internal/media"
+)
+
+func TestShaperDecimates(t *testing.T) {
+	s := NewShaper(media.Params{media.ParamFrameRate: 15}, nil)
+	frames := sourceFrames(t, 300, 30)
+	emitted := 0
+	for _, f := range frames {
+		out := s.Process(f)
+		emitted += len(out)
+		for _, of := range out {
+			if of.Format != f.Format {
+				t.Fatal("shaper must not change the format")
+			}
+			if of.Params.Get(media.ParamFrameRate) != 15 {
+				t.Fatalf("shaped fps = %v", of.Params.Get(media.ParamFrameRate))
+			}
+		}
+	}
+	if emitted < 149 || emitted > 151 {
+		t.Errorf("emitted %d of 300, want ~150", emitted)
+	}
+	consumed, em, dropped := s.Counters()
+	if consumed != 300 || em != emitted || consumed != em+dropped {
+		t.Errorf("counters leak: %d/%d/%d", consumed, em, dropped)
+	}
+}
+
+func TestShaperPassThroughWhenTargetHigher(t *testing.T) {
+	s := NewShaper(media.Params{media.ParamFrameRate: 60}, nil)
+	frames := sourceFrames(t, 50, 30)
+	emitted := 0
+	for _, f := range frames {
+		out := s.Process(f)
+		emitted += len(out)
+		if len(out) == 1 && out[0].Params.Get(media.ParamFrameRate) != 30 {
+			t.Fatal("shaper must never raise quality")
+		}
+	}
+	if emitted != 50 {
+		t.Errorf("emitted = %d, want all 50", emitted)
+	}
+}
+
+func TestShaperFirstFrameEmits(t *testing.T) {
+	s := NewShaper(media.Params{media.ParamFrameRate: 10}, nil)
+	first := sourceFrames(t, 1, 30)[0]
+	if out := s.Process(first); len(out) != 1 {
+		t.Error("the first frame must pass so the stream starts immediately")
+	}
+}
+
+func TestShaperResizesPayload(t *testing.T) {
+	s := NewShaper(media.Params{media.ParamFrameRate: 15}, nil)
+	in := sourceFrames(t, 1, 30)[0]
+	out := s.Process(in)
+	if len(out) != 1 {
+		t.Fatal("first frame should pass")
+	}
+	if &out[0].Payload[0] == &in.Payload[0] {
+		t.Error("shaper must rewrite, not alias, the payload")
+	}
+	// 15 fps at 100 kbps/fps → 1500 kbps / 15 fps = 12500 bytes/frame.
+	if out[0].Bytes() != 12500 {
+		t.Errorf("payload = %d bytes", out[0].Bytes())
+	}
+}

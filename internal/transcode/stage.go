@@ -1,0 +1,129 @@
+package transcode
+
+import (
+	"fmt"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+// Stage is an executable trans-coding stage: the runtime realization of
+// one service.Service vertex on a selected chain. It rewrites frame
+// formats, applies the service's quality transfer (capping parameters at
+// the negotiated targets) and thins the frame stream when the target
+// frame rate is below the input rate.
+type Stage struct {
+	svc    *service.Service
+	out    media.Format
+	target media.Params
+	model  media.BitrateModel
+
+	// frame-rate decimation state: classic accumulator thinning. The
+	// accumulator is primed on the first frame so the stream starts
+	// immediately and stays evenly spaced.
+	credit float64
+	primed bool
+
+	// counters
+	consumed int
+	emitted  int
+	dropped  int
+}
+
+// NewStage builds a stage for svc emitting outFormat at the negotiated
+// target parameters (from the selection result). outFormat must be one of
+// the service's advertised outputs, and targets must not exceed the
+// service's caps.
+func NewStage(svc *service.Service, outFormat media.Format, target media.Params, model media.BitrateModel) (*Stage, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("transcode: nil service")
+	}
+	if !svc.Produces(outFormat) {
+		return nil, fmt.Errorf("transcode: service %s does not produce %s", svc.ID, outFormat)
+	}
+	applied := target.Min(svc.Caps)
+	if !applied.Equal(target, 1e-9) {
+		return nil, fmt.Errorf("transcode: target %s exceeds caps of service %s", target, svc.ID)
+	}
+	return &Stage{svc: svc, out: outFormat, target: target.Clone(), model: model}, nil
+}
+
+// Process consumes one frame and returns the trans-coded output frames
+// (zero when the frame is decimated away by frame-rate reduction).
+func (s *Stage) Process(f Frame) []Frame {
+	s.consumed++
+	if !s.svc.Accepts(f.Format) {
+		// A mis-wired chain: drop rather than corrupt.
+		s.dropped++
+		return nil
+	}
+	inFPS := f.Params.Get(media.ParamFrameRate)
+	outFPS := s.target.Get(media.ParamFrameRate)
+	if outFPS > 0 && inFPS > outFPS {
+		// Accumulator decimation: forward outFPS out of every inFPS
+		// frames, evenly spread, starting with the first frame.
+		ratio := outFPS / inFPS
+		if !s.primed {
+			s.credit = 1 - ratio
+			s.primed = true
+		}
+		s.credit += ratio
+		if s.credit < 1 {
+			s.dropped++
+			return nil
+		}
+		s.credit--
+	}
+
+	outParams := f.Params.Min(s.target)
+	payload := make([]byte, payloadSize(s.model, outParams))
+	n := copy(payload, f.Payload)
+	for i := n; i < len(payload); i++ {
+		payload[i] = byte(i % 251)
+	}
+	s.emitted++
+	return []Frame{{
+		Seq:      f.Seq,
+		PTS:      f.PTS,
+		Format:   s.out,
+		Params:   outParams,
+		Payload:  payload,
+		Keyframe: f.Keyframe,
+	}}
+}
+
+// Service returns the stage's service description.
+func (s *Stage) Service() *service.Service { return s.svc }
+
+// OutputFormat returns the format the stage emits.
+func (s *Stage) OutputFormat() media.Format { return s.out }
+
+// Counters reports consumed/emitted/dropped frame counts.
+func (s *Stage) Counters() (consumed, emitted, dropped int) {
+	return s.consumed, s.emitted, s.dropped
+}
+
+// KeyframeStage is a specialization for video→keyframe extraction: only
+// intra frames survive.
+type KeyframeStage struct {
+	Stage
+}
+
+// NewKeyframeStage wraps svc (typically service.KeyframeExtractor).
+func NewKeyframeStage(svc *service.Service, outFormat media.Format, target media.Params, model media.BitrateModel) (*KeyframeStage, error) {
+	st, err := NewStage(svc, outFormat, target, model)
+	if err != nil {
+		return nil, err
+	}
+	return &KeyframeStage{Stage: *st}, nil
+}
+
+// Process forwards only keyframes, then applies the base trans-coding.
+func (k *KeyframeStage) Process(f Frame) []Frame {
+	if !f.Keyframe {
+		k.consumed++
+		k.dropped++
+		return nil
+	}
+	return k.Stage.Process(f)
+}

@@ -1,0 +1,200 @@
+package transcode
+
+import (
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+func sourceFrames(t *testing.T, n int, fps float64) []Frame {
+	t.Helper()
+	src := Source{
+		Format: media.VideoMPEG1,
+		Params: media.Params{media.ParamFrameRate: fps},
+	}
+	if err := src.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return src.Frames(n)
+}
+
+func TestSourceFrames(t *testing.T) {
+	frames := sourceFrames(t, 30, 30)
+	if len(frames) != 30 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if frames[0].PTS != 0 || frames[29].PTS <= frames[1].PTS {
+		t.Error("PTS must advance")
+	}
+	if !frames[0].Keyframe || frames[1].Keyframe || !frames[10].Keyframe {
+		t.Error("GOP-10 keyframe pattern broken")
+	}
+	// Payload sized by the default model: 3000 kbps at 30 fps = 100
+	// kbit/frame = 12500 bytes.
+	if got := frames[0].Bytes(); got != 12500 {
+		t.Errorf("payload = %d bytes, want 12500", got)
+	}
+	if frames[0].Payload[0] == frames[1].Payload[0] {
+		t.Error("payload patterns should differ per frame")
+	}
+}
+
+func TestSourceValidate(t *testing.T) {
+	bad := Source{Format: media.Format{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid format should fail")
+	}
+	neg := Source{Format: media.VideoMPEG1, Params: media.Params{media.ParamFrameRate: -1}}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative fps should fail")
+	}
+}
+
+func TestStagePassThrough(t *testing.T) {
+	svc := service.FormatConverter("c1", media.VideoMPEG1, media.VideoH263)
+	st, err := NewStage(svc, media.VideoH263, media.Params{media.ParamFrameRate: 30}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sourceFrames(t, 10, 30)
+	total := 0
+	for _, f := range frames {
+		out := st.Process(f)
+		total += len(out)
+		for _, of := range out {
+			if of.Format != media.VideoH263 {
+				t.Fatalf("output format = %s", of.Format)
+			}
+			if of.Params.Get(media.ParamFrameRate) != 30 {
+				t.Fatalf("output fps = %v", of.Params.Get(media.ParamFrameRate))
+			}
+		}
+	}
+	if total != 10 {
+		t.Errorf("converter should pass all frames, emitted %d", total)
+	}
+	consumed, emitted, dropped := st.Counters()
+	if consumed != 10 || emitted != 10 || dropped != 0 {
+		t.Errorf("counters = %d/%d/%d", consumed, emitted, dropped)
+	}
+}
+
+func TestStageFrameRateDecimation(t *testing.T) {
+	svc := service.FrameRateReducer("r1", media.VideoMPEG1, 15)
+	st, err := NewStage(svc, svc.Outputs[0], media.Params{media.ParamFrameRate: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sourceFrames(t, 300, 30)
+	emitted := 0
+	for _, f := range frames {
+		emitted += len(st.Process(f))
+	}
+	// 15/30 = half the frames, ±1 for accumulator boundary.
+	if emitted < 149 || emitted > 151 {
+		t.Errorf("emitted = %d of 300, want ~150", emitted)
+	}
+}
+
+func TestStageDecimationEvenSpread(t *testing.T) {
+	svc := service.FrameRateReducer("r1", media.VideoMPEG1, 10)
+	st, err := NewStage(svc, svc.Outputs[0], media.Params{media.ParamFrameRate: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sourceFrames(t, 90, 30)
+	var keptSeqs []int
+	for _, f := range frames {
+		if out := st.Process(f); len(out) > 0 {
+			keptSeqs = append(keptSeqs, f.Seq)
+		}
+	}
+	if len(keptSeqs) != 30 {
+		t.Fatalf("kept %d of 90, want 30", len(keptSeqs))
+	}
+	// Gaps should be uniform (every 3rd frame).
+	for i := 1; i < len(keptSeqs); i++ {
+		if gap := keptSeqs[i] - keptSeqs[i-1]; gap != 3 {
+			t.Fatalf("uneven decimation gap %d at %d", gap, i)
+		}
+	}
+}
+
+func TestStageShrinksPayload(t *testing.T) {
+	svc := service.FrameRateReducer("r1", media.VideoMPEG1, 15)
+	st, err := NewStage(svc, svc.Outputs[0], media.Params{media.ParamFrameRate: 15}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := sourceFrames(t, 1, 30)[0]
+	out := st.Process(in)
+	if len(out) != 1 {
+		t.Fatal("first frame should pass")
+	}
+	// Output: 15 fps → default model 1500 kbps / 15 fps = 100 kbit =
+	// 12500 bytes (same per-frame size; bitrate halves via frame count).
+	if out[0].Bytes() != 12500 {
+		t.Errorf("payload = %d", out[0].Bytes())
+	}
+	if &out[0].Payload[0] == &in.Payload[0] {
+		t.Error("payload must be rewritten, not aliased")
+	}
+}
+
+func TestStageRejectsWrongTargets(t *testing.T) {
+	svc := service.FrameRateReducer("r1", media.VideoMPEG1, 15)
+	if _, err := NewStage(svc, media.VideoH263, media.Params{}, nil); err == nil {
+		t.Error("unadvertised output format must be rejected")
+	}
+	if _, err := NewStage(svc, svc.Outputs[0], media.Params{media.ParamFrameRate: 20}, nil); err == nil {
+		t.Error("target above the cap must be rejected")
+	}
+	if _, err := NewStage(nil, media.VideoH263, nil, nil); err == nil {
+		t.Error("nil service must be rejected")
+	}
+}
+
+func TestStageDropsWrongInputFormat(t *testing.T) {
+	svc := service.FormatConverter("c1", media.VideoMPEG1, media.VideoH263)
+	st, err := NewStage(svc, media.VideoH263, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien := Frame{Format: media.AudioMP3, Params: media.Params{media.ParamFrameRate: 1}, Payload: []byte{1}}
+	if out := st.Process(alien); len(out) != 0 {
+		t.Error("wrong-format frame must be dropped")
+	}
+	_, _, dropped := st.Counters()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestKeyframeStage(t *testing.T) {
+	svc := service.KeyframeExtractor("k1", media.VideoMPEG1)
+	st, err := NewKeyframeStage(svc, media.VideoKeyframes, media.Params{media.ParamFrameRate: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sourceFrames(t, 100, 30) // keyframe every 10 → 10 keyframes
+	emitted := 0
+	for _, f := range frames {
+		out := st.Process(f)
+		emitted += len(out)
+		for _, of := range out {
+			if of.Format != media.VideoKeyframes {
+				t.Fatalf("keyframe output format = %s", of.Format)
+			}
+		}
+	}
+	if emitted == 0 || emitted > 10 {
+		t.Errorf("keyframe stage emitted %d of 100, want <=10 and >0", emitted)
+	}
+}
+
+func TestPayloadSizeFloor(t *testing.T) {
+	if payloadSize(nil, media.Params{}) < 1 {
+		t.Error("payload size must be at least 1 byte")
+	}
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+)
+
+// Content catalog generation: the "vast amount of multimedia content"
+// Section 1 describes, with each object stored in one or more variants —
+// the static-adaptation inventory dynamic composition starts from.
+
+// catalogTemplate describes one content archetype.
+type catalogTemplate struct {
+	kind     string
+	variants []media.Format
+	params   media.Params
+}
+
+var catalogTemplates = []catalogTemplate{
+	{"newscast", []media.Format{media.VideoMPEG1, media.VideoH261},
+		media.Params{media.ParamFrameRate: 30, media.ParamResolution: 300}},
+	{"sportscast", []media.Format{media.VideoMPEG2, media.VideoMPEG1},
+		media.Params{media.ParamFrameRate: 30, media.ParamResolution: 400}},
+	{"lecture", []media.Format{media.VideoMPEG1, media.AudioPCM},
+		media.Params{media.ParamFrameRate: 25, media.ParamAudioRate: 44.1}},
+	{"podcast", []media.Format{media.AudioPCM, media.AudioMP3},
+		media.Params{media.ParamAudioRate: 44.1, media.ParamAudioBits: 16}},
+	{"photo-story", []media.Format{media.ImageJPEG, media.ImagePNG},
+		media.Params{media.ParamResolution: 2000, media.ParamColorDepth: 24}},
+	{"article", []media.Format{media.TextHTML, media.TextPlain},
+		media.Params{}},
+}
+
+// Catalog generates n content profiles drawn from the archetype mix,
+// lightly perturbing quality parameters. IDs are deterministic
+// ("content-0" …).
+func Catalog(rng *rand.Rand, n int) []profile.Content {
+	out := make([]profile.Content, n)
+	for i := 0; i < n; i++ {
+		t := catalogTemplates[rng.Intn(len(catalogTemplates))]
+		c := profile.Content{
+			ID:          fmt.Sprintf("content-%d", i),
+			Title:       fmt.Sprintf("%s #%d", t.kind, i),
+			DurationSec: 30 + rng.Float64()*3600,
+		}
+		for _, f := range t.variants {
+			params := make(media.Params, len(t.params))
+			for k, v := range t.params {
+				params[k] = v * (0.8 + 0.4*rng.Float64())
+			}
+			c.Variants = append(c.Variants, media.Descriptor{Format: f, Params: params})
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+)
+
+// These tests pin the selection algorithm's result invariants on many
+// random scenarios: the returned chain must be a real path of the graph,
+// repeat no format, respect every edge's bandwidth, stay within budget,
+// and deliver parameters no higher than the source offers.
+
+func TestSelectResultInvariants(t *testing.T) {
+	for seed := int64(100); seed < 160; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sc := Generate(rng, Spec{Services: 20})
+		cfg := sc.Config
+		cfg.Budget = float64(5 + rng.Intn(10))
+		res, err := core.Select(sc.Graph, cfg)
+		if err != nil {
+			// Budget may make every chain infeasible; that is a legal
+			// outcome, not an invariant violation.
+			continue
+		}
+		assertResultInvariants(t, seed, sc.Graph, cfg, res)
+	}
+}
+
+func assertResultInvariants(t *testing.T, seed int64, g *graph.Graph, cfg core.Config, res *core.Result) {
+	t.Helper()
+	if len(res.Path) < 2 || res.Path[0] != graph.SenderID || res.Path[len(res.Path)-1] != graph.ReceiverID {
+		t.Fatalf("seed %d: malformed path %v", seed, res.Path)
+	}
+	if len(res.Formats) != len(res.Path)-1 {
+		t.Fatalf("seed %d: formats/path mismatch", seed)
+	}
+	// Every step must be a real edge, formats must be distinct, and the
+	// delivered stream must fit every edge's bandwidth.
+	seen := make(map[media.Format]bool)
+	model := cfg.Bitrate
+	if model == nil {
+		model = media.DefaultBitrate
+	}
+	need := model.RequiredKbps(res.Params)
+	for i := 1; i < len(res.Path); i++ {
+		format := res.Formats[i-1]
+		if seen[format] {
+			t.Fatalf("seed %d: format %s repeats along the path", seed, format)
+		}
+		seen[format] = true
+		var edge *graph.Edge
+		for _, e := range g.Out(res.Path[i-1]) {
+			if e.To == res.Path[i] && e.Format == format {
+				edge = e
+				break
+			}
+		}
+		if edge == nil {
+			t.Fatalf("seed %d: step %s-[%s]->%s is not a graph edge", seed, res.Path[i-1], format, res.Path[i])
+		}
+		if !math.IsInf(edge.BandwidthKbps, 1) && need > edge.BandwidthKbps+1e-6 {
+			t.Fatalf("seed %d: delivered stream (%.2f kbps) exceeds edge %s->%s (%.2f kbps)",
+				seed, need, edge.From, edge.To, edge.BandwidthKbps)
+		}
+	}
+	// Budget and satisfaction bounds.
+	if cfg.Budget > 0 && res.Cost > cfg.Budget+1e-9 {
+		t.Fatalf("seed %d: cost %v exceeds budget %v", seed, res.Cost, cfg.Budget)
+	}
+	if res.Satisfaction < 0 || res.Satisfaction > 1 {
+		t.Fatalf("seed %d: satisfaction %v outside [0,1]", seed, res.Satisfaction)
+	}
+	// Delivered parameters can never exceed what the source variant
+	// offers on the first edge.
+	var first *graph.Edge
+	for _, e := range g.Out(graph.SenderID) {
+		if e.To == res.Path[1] && e.Format == res.Formats[0] {
+			first = e
+			break
+		}
+	}
+	if first == nil {
+		t.Fatalf("seed %d: first edge missing", seed)
+	}
+	if !first.SourceParams.Dominates(res.Params) {
+		t.Fatalf("seed %d: delivered %s exceeds source %s", seed, res.Params, first.SourceParams)
+	}
+}
+
+// TestSelectHeapMatchesScanOnRandomScenarios extends the heap/scan
+// equivalence to many random graphs.
+func TestSelectHeapMatchesScanOnRandomScenarios(t *testing.T) {
+	for seed := int64(200); seed < 240; seed++ {
+		sc := Generate(rand.New(rand.NewSource(seed)), Spec{Services: 25})
+		scanRes, err1 := core.Select(sc.Graph, sc.Config)
+		heapCfg := sc.Config
+		heapCfg.UseHeap = true
+		heapRes, err2 := core.Select(sc.Graph, heapCfg)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("seed %d: error mismatch %v vs %v", seed, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if math.Abs(scanRes.Satisfaction-heapRes.Satisfaction) > 1e-12 {
+			t.Fatalf("seed %d: scan %v != heap %v", seed, scanRes.Satisfaction, heapRes.Satisfaction)
+		}
+		if core.PathString(scanRes.Path) != core.PathString(heapRes.Path) {
+			t.Fatalf("seed %d: paths differ: %s vs %s", seed,
+				core.PathString(scanRes.Path), core.PathString(heapRes.Path))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+)
+
+// Device population generation: the heterogeneous client mix Section 1
+// motivates, from desktop PCs down to audio-only players and text pagers.
+
+// deviceTemplate describes one device class archetype.
+type deviceTemplate struct {
+	class    profile.DeviceClass
+	cpuMips  float64
+	memoryMB float64
+	screenW  int
+	screenH  int
+	colorBit int
+	speakers int
+	decoders []media.Format
+}
+
+var deviceTemplates = []deviceTemplate{
+	{profile.ClassDesktop, 3000, 1024, 1280, 1024, 32, 2,
+		[]media.Format{media.VideoMPEG1, media.VideoMPEG2, media.VideoMPEG4, media.AudioPCM, media.AudioMP3, media.ImageJPEG, media.TextHTML}},
+	{profile.ClassLaptop, 2000, 512, 1024, 768, 32, 2,
+		[]media.Format{media.VideoMPEG1, media.VideoMPEG4, media.AudioMP3, media.ImageJPEG, media.TextHTML}},
+	{profile.ClassSetTop, 800, 128, 720, 576, 24, 2,
+		[]media.Format{media.VideoMPEG2, media.AudioPCM}},
+	{profile.ClassPDA, 400, 64, 320, 240, 16, 1,
+		[]media.Format{media.VideoH263, media.AudioGSM, media.ImageJPEG, media.TextHTML}},
+	{profile.ClassPhone, 150, 16, 176, 144, 12, 1,
+		[]media.Format{media.VideoH263QCIF, media.AudioGSM, media.ImageGIF, media.TextWML}},
+	{profile.ClassAudioOnly, 50, 8, 0, 0, 0, 1,
+		[]media.Format{media.AudioMP3, media.AudioPCM8K}},
+	{profile.ClassTextPager, 10, 1, 120, 32, 1, 0,
+		[]media.Format{media.TextPlain, media.TextSummary}},
+}
+
+// RandomDevice draws a device from the class mix, lightly perturbing its
+// hardware so populations are not identical.
+func RandomDevice(rng *rand.Rand, id string) profile.Device {
+	t := deviceTemplates[rng.Intn(len(deviceTemplates))]
+	return deviceFrom(t, id, rng)
+}
+
+// DeviceOfClass builds a device of the requested class; unknown classes
+// fall back to a desktop.
+func DeviceOfClass(class profile.DeviceClass, id string) profile.Device {
+	for _, t := range deviceTemplates {
+		if t.class == class {
+			return deviceFrom(t, id, nil)
+		}
+	}
+	return deviceFrom(deviceTemplates[0], id, nil)
+}
+
+func deviceFrom(t deviceTemplate, id string, rng *rand.Rand) profile.Device {
+	jitter := func(v float64) float64 {
+		if rng == nil {
+			return v
+		}
+		return v * (0.85 + 0.3*rng.Float64())
+	}
+	return profile.Device{
+		ID:    id,
+		Class: t.class,
+		Hardware: profile.Hardware{
+			CPUMips:      jitter(t.cpuMips),
+			MemoryMB:     jitter(t.memoryMB),
+			ScreenWidth:  t.screenW,
+			ScreenHeight: t.screenH,
+			ColorDepth:   t.colorBit,
+			Speakers:     t.speakers,
+		},
+		Software: profile.Software{
+			OS:       string(t.class) + "-os",
+			Decoders: append([]media.Format(nil), t.decoders...),
+		},
+	}
+}
+
+// Classes returns the device classes the generator knows, in mix order.
+func Classes() []profile.DeviceClass {
+	out := make([]profile.DeviceClass, len(deviceTemplates))
+	for i, t := range deviceTemplates {
+		out[i] = t.class
+	}
+	return out
+}
+
+// RandomUser draws a user whose frame-rate and resolution expectations
+// scale with how capable their device class typically is.
+func RandomUser(rng *rand.Rand, name string) profile.User {
+	idealFPS := 15 + rng.Float64()*15 // 15..30
+	return profile.User{
+		Name: name,
+		Preferences: map[media.Param]profile.FuncSpec{
+			media.ParamFrameRate: profile.LinearSpec(0, idealFPS),
+		},
+		Budget: float64(5 + rng.Intn(50)),
+	}
+}
+
+// Population builds n devices and users with deterministic IDs
+// ("dev-0"/"user-0" …).
+func Population(rng *rand.Rand, n int) ([]profile.Device, []profile.User) {
+	devices := make([]profile.Device, n)
+	users := make([]profile.User, n)
+	for i := 0; i < n; i++ {
+		devices[i] = RandomDevice(rng, fmt.Sprintf("dev-%d", i))
+		users[i] = RandomUser(rng, fmt.Sprintf("user-%d", i))
+	}
+	return devices, users
+}

@@ -1,0 +1,183 @@
+// Package workload generates synthetic adaptation scenarios — random
+// service graphs, device populations and content catalogs — for the
+// scalability and optimality experiments. Every generator is
+// deterministic given the same *rand.Rand seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+// Spec parameterizes random scenario generation.
+type Spec struct {
+	// Services is the total number of trans-coding services. At least
+	// Backbone of them form a guaranteed sender→receiver chain.
+	Services int
+	// Backbone is the length of the guaranteed chain (default 3,
+	// clamped to Services).
+	Backbone int
+	// ExtraEdgeFactor controls how many additional format matches the
+	// random services create: each extra service consumes and produces
+	// formats drawn from a pool of roughly Services*PoolFactor formats.
+	// Smaller pools yield denser graphs. Default 1.5.
+	PoolFactor float64
+	// MinKbps/MaxKbps bound the uniform per-edge bandwidth draw.
+	MinKbps, MaxKbps float64
+	// MaxFPS is the content's source frame rate (default 30).
+	MaxFPS float64
+}
+
+// withDefaults fills zero fields.
+func (s Spec) withDefaults() Spec {
+	if s.Services <= 0 {
+		s.Services = 10
+	}
+	if s.Backbone <= 0 {
+		s.Backbone = 3
+	}
+	if s.Backbone > s.Services {
+		s.Backbone = s.Services
+	}
+	if s.PoolFactor <= 0 {
+		s.PoolFactor = 1.5
+	}
+	if s.MinKbps <= 0 {
+		s.MinKbps = 500
+	}
+	if s.MaxKbps <= s.MinKbps {
+		s.MaxKbps = s.MinKbps + 3000
+	}
+	if s.MaxFPS <= 0 {
+		s.MaxFPS = 30
+	}
+	return s
+}
+
+// Scenario is one generated problem instance.
+type Scenario struct {
+	Graph  *graph.Graph
+	Config core.Config
+}
+
+// Generate builds a random adaptation scenario: a guaranteed backbone
+// chain sender→s1→…→sB→receiver plus Services-B random services wired
+// over a shared format pool, with uniform random edge bandwidths. The
+// user's satisfaction is linear in frame rate with ideal MaxFPS.
+func Generate(rng *rand.Rand, spec Spec) Scenario {
+	spec = spec.withDefaults()
+
+	// Format universe. Format 0 is the source; the last is the only
+	// format the receiver decodes.
+	poolSize := int(float64(spec.Services)*spec.PoolFactor) + 2
+	fmtAt := func(i int) media.Format { return media.Opaque(i) }
+	sourceFormat := fmtAt(0)
+	sinkFormat := fmtAt(poolSize + 1)
+
+	services := make([]*service.Service, 0, spec.Services)
+	newService := func(i int, inputs, outputs []media.Format) *service.Service {
+		return &service.Service{
+			ID:      service.ID(fmt.Sprintf("s%d", i)),
+			Inputs:  inputs,
+			Outputs: outputs,
+			Cost:    float64(rng.Intn(5)),
+			Host:    fmt.Sprintf("h%d", i),
+		}
+	}
+
+	// Backbone chain over fresh formats woven through the pool.
+	prevFormat := sourceFormat
+	for i := 0; i < spec.Backbone; i++ {
+		var out media.Format
+		if i == spec.Backbone-1 {
+			out = sinkFormat
+		} else {
+			out = fmtAt(poolSize + 2 + i) // fresh, outside the pool
+		}
+		services = append(services, newService(i, []media.Format{prevFormat}, []media.Format{out}))
+		prevFormat = out
+	}
+
+	// Random services over the shared pool (plus occasional taps into
+	// the source and sink formats to create alternative chains).
+	for i := spec.Backbone; i < spec.Services; i++ {
+		nin := 1 + rng.Intn(2)
+		nout := 1 + rng.Intn(3)
+		inputs := make([]media.Format, 0, nin)
+		for j := 0; j < nin; j++ {
+			if rng.Float64() < 0.15 {
+				inputs = append(inputs, sourceFormat)
+			} else {
+				inputs = append(inputs, fmtAt(1+rng.Intn(poolSize)))
+			}
+		}
+		outputs := make([]media.Format, 0, nout)
+		for j := 0; j < nout; j++ {
+			if rng.Float64() < 0.15 {
+				outputs = append(outputs, sinkFormat)
+			} else {
+				outputs = append(outputs, fmtAt(1+rng.Intn(poolSize)))
+			}
+		}
+		s := newService(i, dedupFormats(inputs), dedupFormats(outputs))
+		// Occasional quality caps make some services lossy.
+		if rng.Float64() < 0.3 {
+			s.Caps = media.Params{media.ParamFrameRate: spec.MaxFPS * (0.3 + 0.7*rng.Float64())}
+		}
+		services = append(services, s)
+	}
+
+	content := &profile.Content{
+		ID: "workload-content",
+		Variants: []media.Descriptor{
+			{Format: sourceFormat, Params: media.Params{media.ParamFrameRate: spec.MaxFPS}},
+		},
+	}
+	device := &profile.Device{
+		ID:       "workload-device",
+		Software: profile.Software{Decoders: []media.Format{sinkFormat}},
+	}
+	g, err := graph.Build(graph.Input{
+		Content:  content,
+		Device:   device,
+		Services: services,
+	})
+	if err != nil {
+		// Generation is closed over valid inputs; a failure here is a
+		// programming error worth failing loudly on.
+		panic(fmt.Sprintf("workload: generated invalid scenario: %v", err))
+	}
+
+	// Assign random bandwidths to all edges.
+	for _, id := range g.NodeIDs() {
+		for _, e := range g.Out(id) {
+			e.BandwidthKbps = spec.MinKbps + rng.Float64()*(spec.MaxKbps-spec.MinKbps)
+		}
+	}
+
+	cfg := core.Config{
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: spec.MaxFPS},
+		}),
+	}
+	return Scenario{Graph: g, Config: cfg}
+}
+
+func dedupFormats(in []media.Format) []media.Format {
+	seen := make(map[media.Format]bool, len(in))
+	out := in[:0]
+	for _, f := range in {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/profile"
+)
+
+func TestGenerateAlwaysHasPath(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		sc := Generate(rand.New(rand.NewSource(seed)), Spec{Services: 15})
+		if !sc.Graph.HasPath() {
+			t.Fatalf("seed %d: generated graph lacks a sender→receiver path", seed)
+		}
+		res, err := core.Select(sc.Graph, sc.Config)
+		if err != nil && !errors.Is(err, core.ErrNoChain) {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The backbone guarantees structural connectivity; selection
+		// can only fail if a bandwidth cannot carry even zero fps,
+		// which the linear model never does.
+		if err != nil {
+			t.Fatalf("seed %d: selection failed despite backbone: %v", seed, err)
+		}
+		if res.Satisfaction < 0 || res.Satisfaction > 1 {
+			t.Fatalf("seed %d: satisfaction %v out of range", seed, res.Satisfaction)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(rand.New(rand.NewSource(7)), Spec{Services: 12})
+	b := Generate(rand.New(rand.NewSource(7)), Spec{Services: 12})
+	if a.Graph.String() != b.Graph.String() {
+		t.Error("same seed must generate identical graphs")
+	}
+	ra, err := core.Select(a.Graph, a.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := core.Select(b.Graph, b.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.PathString(ra.Path) != core.PathString(rb.Path) || ra.Satisfaction != rb.Satisfaction {
+		t.Error("same seed must select identical chains")
+	}
+}
+
+func TestGenerateSpecDefaults(t *testing.T) {
+	sc := Generate(rand.New(rand.NewSource(1)), Spec{})
+	if sc.Graph.NodeCount() != 12 { // 10 services + sender + receiver
+		t.Errorf("default Services should be 10, got %d nodes", sc.Graph.NodeCount())
+	}
+}
+
+func TestGenerateBackboneClamped(t *testing.T) {
+	sc := Generate(rand.New(rand.NewSource(1)), Spec{Services: 2, Backbone: 10})
+	if sc.Graph.NodeCount() != 4 {
+		t.Errorf("backbone must clamp to Services: %d nodes", sc.Graph.NodeCount())
+	}
+	if !sc.Graph.HasPath() {
+		t.Error("clamped backbone must still connect")
+	}
+}
+
+func TestGenerateEdgeBandwidthsInRange(t *testing.T) {
+	spec := Spec{Services: 20, MinKbps: 1000, MaxKbps: 2000}
+	sc := Generate(rand.New(rand.NewSource(3)), spec)
+	for _, id := range sc.Graph.NodeIDs() {
+		for _, e := range sc.Graph.Out(id) {
+			if e.BandwidthKbps < 1000 || e.BandwidthKbps > 2000 {
+				t.Fatalf("edge %s->%s bandwidth %v outside [1000,2000]", e.From, e.To, e.BandwidthKbps)
+			}
+		}
+	}
+}
+
+func TestRandomDeviceValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		d := RandomDevice(rng, "d")
+		if err := d.Validate(); err != nil {
+			t.Fatalf("device %d (%s) invalid: %v", i, d.Class, err)
+		}
+	}
+}
+
+func TestDeviceOfClass(t *testing.T) {
+	d := DeviceOfClass(profile.ClassPhone, "nokia")
+	if d.Class != profile.ClassPhone || d.ID != "nokia" {
+		t.Errorf("DeviceOfClass = %+v", d)
+	}
+	if d.Hardware.ScreenWidth != 176 {
+		t.Errorf("phone screen = %d", d.Hardware.ScreenWidth)
+	}
+	fallback := DeviceOfClass("hologram", "x")
+	if fallback.Class != profile.ClassDesktop {
+		t.Error("unknown class should fall back to desktop")
+	}
+}
+
+func TestClassesCoverTemplates(t *testing.T) {
+	classes := Classes()
+	if len(classes) != 7 {
+		t.Errorf("Classes = %v", classes)
+	}
+}
+
+func TestRandomUserValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 20; i++ {
+		u := RandomUser(rng, "u")
+		if err := u.Validate(); err != nil {
+			t.Fatalf("user %d invalid: %v", i, err)
+		}
+		if u.Budget <= 0 {
+			t.Error("generated users should have positive budgets")
+		}
+	}
+}
+
+func TestPopulation(t *testing.T) {
+	devices, users := Population(rand.New(rand.NewSource(9)), 10)
+	if len(devices) != 10 || len(users) != 10 {
+		t.Fatalf("population sizes = %d/%d", len(devices), len(users))
+	}
+	if devices[0].ID != "dev-0" || users[9].Name != "user-9" {
+		t.Error("population IDs should be deterministic")
+	}
+}
+
+func TestGeneratedScenarioSurvivesPrune(t *testing.T) {
+	sc := Generate(rand.New(rand.NewSource(11)), Spec{Services: 30})
+	sc.Graph.Prune()
+	if !sc.Graph.HasPath() {
+		t.Error("pruning must preserve the backbone path")
+	}
+	if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+		t.Errorf("selection after prune failed: %v", err)
+	}
+	if _, ok := sc.Graph.Node(graph.SenderID); !ok {
+		t.Error("sender must survive prune")
+	}
+}
+
+func TestCatalogGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	catalog := Catalog(rng, 50)
+	if len(catalog) != 50 {
+		t.Fatalf("catalog size = %d", len(catalog))
+	}
+	for i, c := range catalog {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("content %d invalid: %v", i, err)
+		}
+	}
+	if catalog[0].ID != "content-0" || catalog[49].ID != "content-49" {
+		t.Error("catalog IDs must be deterministic")
+	}
+	// Determinism across runs.
+	again := Catalog(rand.New(rand.NewSource(21)), 50)
+	for i := range catalog {
+		if catalog[i].Title != again[i].Title {
+			t.Fatalf("same seed must give the same catalog (item %d)", i)
+		}
+	}
+}
+
+func TestCatalogVariantsPerturbedButValid(t *testing.T) {
+	catalog := Catalog(rand.New(rand.NewSource(5)), 30)
+	sawMultiVariant := false
+	for _, c := range catalog {
+		if len(c.Variants) > 1 {
+			sawMultiVariant = true
+		}
+		for _, v := range c.Variants {
+			for name, val := range v.Params {
+				if val < 0 {
+					t.Fatalf("content %s variant %s has negative %s", c.ID, v.Format, name)
+				}
+			}
+		}
+	}
+	if !sawMultiVariant {
+		t.Error("the catalog mix should include multi-variant objects")
+	}
+}
