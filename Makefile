@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test vet race bench bench-select check ci
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-select runs the selection hot-path benchmarks with allocation
+# reporting, repeated for benchstat-comparable output. Compare against
+# the records in BENCH_selection.json.
+bench-select:
+	$(GO) test -run 'TestNone' -bench 'Select' -benchmem -count=5 ./
+
+# bench runs the full benchmark suite once (every table/figure of the
+# paper plus the extension experiments).
+bench:
+	$(GO) test -run 'TestNone' -bench . -benchmem ./
+
+check: vet build test
+
+ci: vet build race

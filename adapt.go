@@ -51,6 +51,12 @@ type Options struct {
 	// stop scoring audio parameters; video-hostile contexts (driving)
 	// stop scoring visual ones.
 	UseContext bool
+	// Cache, when set, memoizes built adaptation graphs keyed by the
+	// profile set's contents: repeated compositions over an unchanged
+	// deployment skip graph construction. Ignored when Prune is set
+	// (pruning mutates the graph, so a pruned graph must stay private
+	// to its composition).
+	Cache *graph.Cache
 }
 
 // Composition is the outcome of a Compose call.
@@ -85,7 +91,12 @@ func Compose(set *profile.Set, opts Options) (*Composition, error) {
 	if opts.UseContext {
 		satProfile = profile.ApplyContext(satProfile, &set.Context)
 	}
-	g, err := graph.BuildFromSet(set)
+	var g *graph.Graph
+	if opts.Cache != nil && !opts.Prune {
+		g, err = opts.Cache.BuildFromSet(set)
+	} else {
+		g, err = graph.BuildFromSet(set)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +115,85 @@ func Compose(set *profile.Set, opts Options) (*Composition, error) {
 		return &Composition{Result: res, Graph: g, Config: cfg}, err
 	}
 	return &Composition{Result: res, Graph: g, Config: cfg}, nil
+}
+
+// BatchComposition is one receiver's outcome of a ComposeBatch call.
+type BatchComposition struct {
+	// Result is the selected chain; nil when Err is a profile error.
+	Result *core.Result
+	// Config is the selection configuration derived for this receiver.
+	Config core.Config
+	// Err reports a per-receiver failure (invalid user profile, or
+	// core.ErrNoChain); other receivers are unaffected.
+	Err error
+}
+
+// ComposeBatch plans one adaptation chain per user profile against a
+// single shared adaptation graph: the graph is built (or fetched from
+// opts.Cache) once, then the selections fan out over a
+// runtime.GOMAXPROCS-bounded worker pool (core.SelectBatch). All users
+// share the set's content, device, context and network; each brings its
+// own satisfaction functions and budget. An empty users slice plans just
+// the set's own user. Results are in input order; the shared graph is
+// returned for inspection.
+func ComposeBatch(set *profile.Set, users []profile.User, opts Options) ([]BatchComposition, *graph.Graph, error) {
+	if set == nil {
+		return nil, nil, fmt.Errorf("qoschain: nil profile set")
+	}
+	if err := set.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(users) == 0 {
+		users = []profile.User{set.User}
+	}
+
+	var g *graph.Graph
+	var err error
+	if opts.Cache != nil && !opts.Prune {
+		g, err = opts.Cache.BuildFromSet(set)
+	} else {
+		g, err = graph.BuildFromSet(set)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Prune {
+		g.Prune()
+	}
+
+	out := make([]BatchComposition, len(users))
+	idx := make([]int, 0, len(users))   // positions with a valid config
+	cfgs := make([]core.Config, 0, len(users))
+	receiverCaps := set.Device.RenderCaps()
+	for i := range users {
+		satProfile, err := users[i].SatisfactionProfile(opts.Contact)
+		if err == nil {
+			err = satProfile.Validate()
+		}
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if opts.UseContext {
+			satProfile = profile.ApplyContext(satProfile, &set.Context)
+		}
+		cfg := core.Config{
+			Profile:      satProfile,
+			Bitrate:      opts.Bitrate,
+			Budget:       users[i].Budget,
+			ReceiverCaps: receiverCaps,
+			Trace:        opts.Trace,
+		}
+		out[i].Config = cfg
+		idx = append(idx, i)
+		cfgs = append(cfgs, cfg)
+	}
+
+	for j, br := range core.SelectBatch(g, cfgs) {
+		out[idx[j]].Result = br.Result
+		out[idx[j]].Err = br.Err
+	}
+	return out, g, nil
 }
 
 // Stream instantiates the composed chain as a concurrent trans-coding

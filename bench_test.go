@@ -12,6 +12,7 @@ import (
 	"qoschain/internal/baseline"
 	"qoschain/internal/bundle"
 	"qoschain/internal/core"
+	"qoschain/internal/graph"
 	"qoschain/internal/media"
 	"qoschain/internal/multicast"
 	"qoschain/internal/overlay"
@@ -270,7 +271,7 @@ func BenchmarkSelectionHeapVsScan(b *testing.B) {
 			name = "heap"
 		}
 		cfg := sc.Config
-		cfg.UseHeap = useHeap
+		cfg.Scan = !useHeap
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Select(sc.Graph, cfg); err != nil {
@@ -359,14 +360,110 @@ func BenchmarkOverlayWidestPath(b *testing.B) {
 }
 
 // BenchmarkComposeEndToEnd measures the full facade path: validate
-// profiles, build the graph, select the chain.
+// profiles, build the graph, select the chain. The warm-cache variant
+// serves the graph from a graph.Cache, the amortization a deployment
+// composing many requests over one stable service topology sees.
 func BenchmarkComposeEndToEnd(b *testing.B) {
 	set := newsSet() // shared with adapt_test.go
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Compose(set, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		cache := graph.NewCache(0)
+		if _, err := Compose(set, Options{Cache: cache}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := Compose(set, Options{Cache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSelectBitset measures the optimized selection hot path
+// (interned-format bitsets, label arena, scratch-reusing evaluator, heap
+// candidate queue) on the largest scaling workload; compare against
+// BenchmarkSelectionHeapVsScan/scan for the ablation and against the
+// BENCH_selection.json baseline record for the seed implementation.
+func BenchmarkSelectBitset(b *testing.B) {
+	sc := workload.Generate(rand.New(rand.NewSource(7)), workload.Spec{Services: 1000})
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Compose(set, Options{}); err != nil {
+		if _, err := core.Select(sc.Graph, sc.Config); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGraphCacheHit contrasts building the adaptation graph from
+// profiles with serving it from a warm graph.Cache.
+func BenchmarkGraphCacheHit(b *testing.B) {
+	set := newsSet()
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.BuildFromSet(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		cache := graph.NewCache(0)
+		if _, err := cache.BuildFromSet(set); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := cache.BuildFromSet(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchPlanner plans 32 heterogeneous receiver profiles against
+// one shared 200-service graph, sequentially and with the
+// GOMAXPROCS-bounded batch planner.
+func BenchmarkBatchPlanner(b *testing.B) {
+	sc := workload.Generate(rand.New(rand.NewSource(21)), workload.Spec{Services: 200})
+	cfgs := make([]core.Config, 32)
+	for i := range cfgs {
+		cfgs[i] = core.Config{
+			Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+				media.ParamFrameRate: satisfaction.Linear{M: 0, I: 5 + float64(i)},
+			}),
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range cfgs {
+				if _, err := core.Select(sc.Graph, cfgs[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, br := range core.SelectBatch(sc.Graph, cfgs) {
+				if br.Err != nil {
+					b.Fatal(br.Err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkMulticastSharing composes a 5-member group with shared

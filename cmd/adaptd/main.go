@@ -7,7 +7,8 @@
 //	adaptd -listen 127.0.0.1:8080
 //
 // Endpoints: GET /healthz, GET /v1/formats, POST /v1/compose,
-// POST /v1/graph — see internal/httpapi for the contract. Example:
+// POST /v1/composeBatch, POST /v1/graph — see internal/httpapi for the
+// contract. Example:
 //
 //	qospath -example | curl -s -X POST --data-binary @- \
 //	    'http://127.0.0.1:8080/v1/compose?trace=1'

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	adaptsim -services 40 -devices 5 -steps 10 -seed 7
+//	adaptsim -services 40 -batch 64                # parallel batch planning
 //	adaptsim -scenario docs/scenarios/churn.json   # declarative simulation
 package main
 
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"time"
 
 	"qoschain/internal/core"
 	"qoschain/internal/media"
@@ -22,6 +25,7 @@ import (
 	"qoschain/internal/overlay"
 	"qoschain/internal/paperexample"
 	"qoschain/internal/pipeline"
+	"qoschain/internal/satisfaction"
 	"qoschain/internal/session"
 	"qoschain/internal/sim"
 	"qoschain/internal/workload"
@@ -35,10 +39,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "random seed")
 	scenarioFile := flag.String("scenario", "", "run a declarative JSON scenario instead")
 	markdown := flag.Bool("markdown", false, "with -scenario: emit the report as Markdown")
+	batch := flag.Int("batch", 0, "plan this many receiver profiles against one shared graph and exit")
 	flag.Parse()
 
 	if *scenarioFile != "" {
 		runScenario(*scenarioFile, *markdown)
+		return
+	}
+	if *batch > 0 {
+		runBatch(rand.New(rand.NewSource(*seed)), *services, *batch)
 		return
 	}
 
@@ -107,6 +116,67 @@ func main() {
 			core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction), marker)
 	}
 	fmt.Printf("recompositions: %d\n", sess.Recompositions())
+}
+
+// runBatch builds one random adaptation graph and plans many receiver
+// profiles against it with the GOMAXPROCS-bounded batch planner,
+// comparing wall-clock time against planning the same profiles one by
+// one.
+func runBatch(rng *rand.Rand, services, receivers int) {
+	sc := workload.Generate(rng, workload.Spec{Services: services})
+	fmt.Printf("adaptsim: planning %d receiver profiles over one %d-service graph\n\n",
+		receivers, services)
+
+	// Each receiver wants a different ideal frame rate — heterogeneous
+	// satisfaction profiles over one shared deployment.
+	cfgs := make([]core.Config, receivers)
+	ideals := make([]float64, receivers)
+	for i := range cfgs {
+		ideals[i] = 5 + 25*rng.Float64()
+		cfgs[i] = core.Config{
+			Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+				media.ParamFrameRate: satisfaction.Linear{M: 0, I: ideals[i]},
+			}),
+		}
+	}
+
+	seqStart := time.Now()
+	for i := range cfgs {
+		_, _ = core.Select(sc.Graph, cfgs[i])
+	}
+	seqDur := time.Since(seqStart)
+
+	batchStart := time.Now()
+	results := core.SelectBatch(sc.Graph, cfgs)
+	batchDur := time.Since(batchStart)
+
+	tb := metrics.NewTable("receiver", "ideal fps", "chain", "satisfaction")
+	shown := receivers
+	if shown > 10 {
+		shown = 10
+	}
+	planned := 0
+	for i, br := range results {
+		if br.Err == nil {
+			planned++
+		}
+		if i >= shown {
+			continue
+		}
+		chain, sat := "(no chain)", "-"
+		if br.Err == nil {
+			chain = core.PathString(br.Result.Path)
+			sat = core.DisplaySat(br.Result.Satisfaction)
+		}
+		tb.AddRow(fmt.Sprintf("recv-%d", i), fmt.Sprintf("%.1f", ideals[i]), chain, sat)
+	}
+	tb.Render(os.Stdout)
+	if shown < receivers {
+		fmt.Printf("... (%d more)\n", receivers-shown)
+	}
+	fmt.Printf("\nplanned %d/%d receivers\n", planned, receivers)
+	fmt.Printf("sequential: %v   batch (%d workers): %v   speedup: %.2fx\n",
+		seqDur, runtime.GOMAXPROCS(0), batchDur, float64(seqDur)/float64(batchDur))
 }
 
 // runScenario executes a declarative sim scenario and prints its report.

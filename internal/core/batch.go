@@ -1,0 +1,57 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"qoschain/internal/graph"
+)
+
+// BatchResult is the outcome of one entry of a SelectBatch call: the
+// selected chain or the per-entry failure (e.g. ErrNoChain). Entries are
+// independent — one receiver failing does not affect the others.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// SelectBatch plans many receiver configurations against one shared
+// adaptation graph, fanning the work out over a worker pool bounded by
+// runtime.GOMAXPROCS. Results are returned in input order.
+//
+// Select never mutates the graph, so all workers read the same instance;
+// the caller must not modify the graph (or the overlay feeding it)
+// concurrently. Each worker builds its own evaluator scratch, so per-run
+// allocation stays flat as the batch grows.
+func SelectBatch(g *graph.Graph, cfgs []Config) []BatchResult {
+	out := make([]BatchResult, len(cfgs))
+	if len(cfgs) == 0 {
+		return out
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				r, err := Select(g, cfgs[i])
+				out[i] = BatchResult{Result: r, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

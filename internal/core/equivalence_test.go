@@ -1,0 +1,305 @@
+package core_test
+
+// Result-identity proof for the optimized selection hot path. The seed
+// implementation kept per-label format sets as map[media.Format]bool,
+// evaluated edges with freshly allocated maps, and scanned a candidate
+// map for the best label. referenceSelect below is a direct
+// transliteration of that implementation (maps, Profile.Optimize, linear
+// scan over a map with the seed's exact tie-breaking); the tests assert
+// that the bitset/arena/heap implementation returns bit-identical
+// results — path, formats, satisfaction, cost and expanded count — on
+// hundreds of random graphs, for both the default heap and the
+// Config.Scan variant, and that the greedy optimum matches the
+// exhaustive baseline.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qoschain/internal/baseline"
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/workload"
+)
+
+// referenceEvalEdge is the seed implementation of core.EvalEdge: fresh
+// maps per call, media.Params.Min, satisfaction.Profile.Optimize.
+func referenceEvalEdge(g *graph.Graph, cfg core.Config, upstreamParams media.Params, upstreamCost float64, e *graph.Edge) (params media.Params, sat, cost float64, ok bool) {
+	node, exists := g.Node(e.To)
+	if !exists {
+		return nil, 0, 0, false
+	}
+	caps := upstreamParams.Clone()
+	if caps == nil {
+		caps = media.Params{}
+	}
+	for _, name := range cfg.Profile.Params() {
+		if _, present := caps[name]; !present {
+			caps[name] = 0
+		}
+	}
+	var domains map[media.Param]satisfaction.Domain
+	cost = upstreamCost + e.TransmissionCost
+	bandwidth := e.BandwidthKbps
+	if math.IsInf(bandwidth, 1) {
+		bandwidth = 0
+	}
+	if node.Service != nil {
+		caps = caps.Min(node.Service.Caps)
+		domains = node.Service.Domains
+		cost += node.Service.Cost
+		if host, declared := g.HostResources(node.Host); declared {
+			if node.Service.MemoryMB > host.MemoryMB {
+				return nil, 0, 0, false
+			}
+			if node.Service.CPUPerKbps > 0 && host.CPUMips > 0 {
+				cpuCap := host.CPUMips / node.Service.CPUPerKbps
+				if bandwidth <= 0 || cpuCap < bandwidth {
+					bandwidth = cpuCap
+				}
+			}
+		}
+	} else if node.IsReceiver() && cfg.ReceiverCaps != nil {
+		caps = caps.Min(cfg.ReceiverCaps)
+	}
+	if cfg.Budget > 0 && cost > cfg.Budget {
+		return nil, 0, 0, false
+	}
+	params, sat, ok = cfg.Profile.Optimize(satisfaction.Request{
+		Caps:      caps,
+		Domains:   domains,
+		Bitrate:   cfg.Bitrate,
+		Bandwidth: bandwidth,
+	})
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return params, sat, cost, true
+}
+
+type refLabel struct {
+	sat     float64
+	params  media.Params
+	parent  graph.NodeID
+	edge    *graph.Edge
+	cost    float64
+	formats map[media.Format]bool
+	seq     int
+}
+
+// referenceSelect is the seed implementation of core.Select: candidate
+// labels in a map, format sets as maps, linear scan with the
+// (satisfaction, recency, natural ID) tie-break.
+func referenceSelect(g *graph.Graph, cfg core.Config) (*core.Result, bool) {
+	labels := make(map[graph.NodeID]*refLabel)
+	expanded := make(map[graph.NodeID]*refLabel)
+	inVT := map[graph.NodeID]bool{graph.SenderID: true}
+	seq := 0
+	res := &core.Result{}
+
+	relax := func(from graph.NodeID, e *graph.Edge) {
+		if inVT[e.To] {
+			return
+		}
+		var upstreamParams media.Params
+		var upstreamCost float64
+		var upstreamFormats map[media.Format]bool
+		if from == graph.SenderID {
+			upstreamParams = e.SourceParams
+		} else {
+			ul := expanded[from]
+			if ul == nil {
+				return
+			}
+			upstreamParams = ul.params
+			upstreamCost = ul.cost
+			upstreamFormats = ul.formats
+		}
+		if upstreamFormats[e.Format] {
+			return
+		}
+		params, sat, cost, ok := referenceEvalEdge(g, cfg, upstreamParams, upstreamCost, e)
+		if !ok {
+			return
+		}
+		cur := labels[e.To]
+		if cur != nil && sat <= cur.sat {
+			return
+		}
+		formats := make(map[media.Format]bool, len(upstreamFormats)+1)
+		for f := range upstreamFormats {
+			formats[f] = true
+		}
+		formats[e.Format] = true
+		seq++
+		labels[e.To] = &refLabel{sat: sat, params: params, parent: from, edge: e, cost: cost, formats: formats, seq: seq}
+	}
+
+	for _, e := range g.Out(graph.SenderID) {
+		relax(graph.SenderID, e)
+	}
+
+	for {
+		if len(labels) == 0 {
+			res.Found = false
+			return res, false
+		}
+		var best graph.NodeID
+		var bestL *refLabel
+		for id, l := range labels {
+			if bestL == nil || l.sat > bestL.sat ||
+				(l.sat == bestL.sat && (l.seq > bestL.seq ||
+					(l.seq == bestL.seq && graph.LessNatural(id, best)))) {
+				best, bestL = id, l
+			}
+		}
+		delete(labels, best)
+		inVT[best] = true
+		res.Expanded++
+		expanded[best] = bestL
+		if best == graph.ReceiverID {
+			res.Found = true
+			res.Satisfaction = bestL.sat
+			res.Params = bestL.params
+			res.Cost = bestL.cost
+			var revPath []graph.NodeID
+			var revFormats []media.Format
+			cur, curL := best, bestL
+			for curL != nil {
+				revPath = append(revPath, cur)
+				revFormats = append(revFormats, curL.edge.Format)
+				cur = curL.parent
+				if cur == graph.SenderID {
+					break
+				}
+				curL = expanded[cur]
+			}
+			revPath = append(revPath, graph.SenderID)
+			for i := len(revPath) - 1; i >= 0; i-- {
+				res.Path = append(res.Path, revPath[i])
+			}
+			for i := len(revFormats) - 1; i >= 0; i-- {
+				res.Formats = append(res.Formats, revFormats[i])
+			}
+			return res, true
+		}
+		for _, e := range g.Out(best) {
+			relax(best, e)
+		}
+	}
+}
+
+// assertIdentical requires exact equality — including float bits — of
+// everything a Result reports about the selected chain.
+func assertIdentical(t *testing.T, seed int64, name string, want, got *core.Result) {
+	t.Helper()
+	if want.Found != got.Found {
+		t.Fatalf("seed %d: %s Found = %v, want %v", seed, name, got.Found, want.Found)
+	}
+	if core.PathString(got.Path) != core.PathString(want.Path) {
+		t.Fatalf("seed %d: %s path = %s, want %s", seed, name, core.PathString(got.Path), core.PathString(want.Path))
+	}
+	if len(got.Formats) != len(want.Formats) {
+		t.Fatalf("seed %d: %s formats = %v, want %v", seed, name, got.Formats, want.Formats)
+	}
+	for i := range want.Formats {
+		if got.Formats[i] != want.Formats[i] {
+			t.Fatalf("seed %d: %s format[%d] = %v, want %v", seed, name, i, got.Formats[i], want.Formats[i])
+		}
+	}
+	if got.Satisfaction != want.Satisfaction {
+		t.Fatalf("seed %d: %s satisfaction = %.17g, want %.17g", seed, name, got.Satisfaction, want.Satisfaction)
+	}
+	if got.Cost != want.Cost {
+		t.Fatalf("seed %d: %s cost = %.17g, want %.17g", seed, name, got.Cost, want.Cost)
+	}
+	if got.Expanded != want.Expanded {
+		t.Fatalf("seed %d: %s expanded = %d, want %d", seed, name, got.Expanded, want.Expanded)
+	}
+	if !want.Params.Equal(got.Params, 0) {
+		t.Fatalf("seed %d: %s params = %v, want %v", seed, name, got.Params, want.Params)
+	}
+}
+
+// TestSelectMatchesSeedReference runs the optimized implementation (both
+// candidate-selection variants) against the seed transliteration on 220
+// random graphs of varying size and asserts bit-identical results.
+func TestSelectMatchesSeedReference(t *testing.T) {
+	for seed := int64(0); seed < 220; seed++ {
+		sc := workload.Generate(rand.New(rand.NewSource(seed)),
+			workload.Spec{Services: 10 + int(seed%40)})
+		ref, found := referenceSelect(sc.Graph, sc.Config)
+
+		heapRes, errHeap := core.Select(sc.Graph, sc.Config)
+		scanCfg := sc.Config
+		scanCfg.Scan = true
+		scanRes, errScan := core.Select(sc.Graph, scanCfg)
+
+		if (errHeap == nil) != found || (errScan == nil) != found {
+			t.Fatalf("seed %d: reference found=%v, heap err=%v, scan err=%v",
+				seed, found, errHeap, errScan)
+		}
+		if !found {
+			// Failure results still must agree on the work performed.
+			if heapRes.Expanded != ref.Expanded || scanRes.Expanded != ref.Expanded {
+				t.Fatalf("seed %d: failure expanded %d/%d, want %d",
+					seed, heapRes.Expanded, scanRes.Expanded, ref.Expanded)
+			}
+			continue
+		}
+		assertIdentical(t, seed, "heap", ref, heapRes)
+		assertIdentical(t, seed, "scan", ref, scanRes)
+	}
+}
+
+// TestSelectMatchesExhaustiveBaseline asserts the greedy optimum equals
+// the exhaustive search's optimum satisfaction on small random graphs.
+func TestSelectMatchesExhaustiveBaseline(t *testing.T) {
+	for seed := int64(500); seed < 540; seed++ {
+		sc := workload.Generate(rand.New(rand.NewSource(seed)), workload.Spec{Services: 8})
+		res, err := core.Select(sc.Graph, sc.Config)
+		exh, _ := baseline.Exhaustive(sc.Graph, sc.Config, 0)
+		if (err == nil) != exh.Found {
+			t.Fatalf("seed %d: select err=%v, exhaustive found=%v", seed, err, exh.Found)
+		}
+		if err != nil {
+			continue
+		}
+		if math.Abs(res.Satisfaction-exh.Satisfaction) > 1e-9 {
+			t.Fatalf("seed %d: select sat %.17g != exhaustive %.17g",
+				seed, res.Satisfaction, exh.Satisfaction)
+		}
+	}
+}
+
+// TestSelectBatchMatchesSequential asserts the parallel batch planner
+// returns exactly what per-receiver sequential Select calls return.
+func TestSelectBatchMatchesSequential(t *testing.T) {
+	sc := workload.Generate(rand.New(rand.NewSource(99)), workload.Spec{Services: 40})
+	cfgs := make([]core.Config, 24)
+	for i := range cfgs {
+		cfgs[i] = core.Config{
+			Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+				media.ParamFrameRate: satisfaction.Linear{M: 0, I: 5 + float64(i)},
+			}),
+		}
+	}
+	batch := core.SelectBatch(sc.Graph, cfgs)
+	if len(batch) != len(cfgs) {
+		t.Fatalf("batch returned %d results for %d configs", len(batch), len(cfgs))
+	}
+	for i := range cfgs {
+		want, wantErr := core.Select(sc.Graph, cfgs[i])
+		got := batch[i]
+		if (wantErr == nil) != (got.Err == nil) {
+			t.Fatalf("cfg %d: batch err=%v, sequential err=%v", i, got.Err, wantErr)
+		}
+		if wantErr != nil {
+			continue
+		}
+		assertIdentical(t, int64(i), "batch", want, got.Result)
+	}
+}

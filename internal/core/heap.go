@@ -1,39 +1,69 @@
 package core
 
-import "qoschain/internal/graph"
-
-// candidateHeap is the priority queue behind Config.UseHeap: a max-heap
-// on (satisfaction, recency, natural ID) with lazy deletion — superseded
+// candidateHeap is the default candidate selector: a hand-rolled binary
+// max-heap on (satisfaction, recency) with lazy deletion — superseded
 // entries stay in the heap and are skipped on pop by comparing the label
-// pointer against the live candidate map.
-type candidateHeap []heapEntry
+// pointer against the live candidate slot. It avoids the interface boxing
+// of container/heap, and entries live inline in one growable slice (no
+// per-entry allocation).
+//
+// Every label carries a unique seq, so (sat, seq) is a total order and no
+// further tie-break is needed: pop order is fully determined, matching
+// the linear scan's (sat, seq, natural-ID) rule exactly.
+type candidateHeap struct {
+	es []heapEntry
+}
 
 type heapEntry struct {
-	id graph.NodeID
-	l  *label
+	idx int32 // interned vertex index
+	l   *label
 }
 
-func (h candidateHeap) Len() int { return len(h) }
+func (h *candidateHeap) len() int { return len(h.es) }
 
-func (h candidateHeap) Less(i, j int) bool {
-	a, b := h[i], h[j]
-	if a.l.sat != b.l.sat {
-		return a.l.sat > b.l.sat
+// less orders entry i before entry j (higher satisfaction first, most
+// recent label on ties).
+func (h *candidateHeap) less(i, j int) bool {
+	a, b := h.es[i].l, h.es[j].l
+	if a.sat != b.sat {
+		return a.sat > b.sat
 	}
-	if a.l.seq != b.l.seq {
-		return a.l.seq > b.l.seq
-	}
-	return graph.LessNatural(a.id, b.id)
+	return a.seq > b.seq
 }
 
-func (h candidateHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) push(e heapEntry) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
 
-func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(heapEntry)) }
-
-func (h *candidateHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *candidateHeap) pop() heapEntry {
+	top := h.es[0]
+	n := len(h.es) - 1
+	h.es[0] = h.es[n]
+	h.es[n] = heapEntry{} // drop the label reference
+	h.es = h.es[:n]
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && h.less(r, c) {
+			c = r
+		}
+		if !h.less(c, i) {
+			break
+		}
+		h.es[i], h.es[c] = h.es[c], h.es[i]
+		i = c
+	}
+	return top
 }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+// TestPathToReportsInconsistency covers the trace-path reconstruction
+// invariant: a candidate whose parent chain is broken (no expanded label)
+// must surface an error instead of silently emitting a truncated path
+// that skips straight to the sender.
+func TestPathToReportsInconsistency(t *testing.T) {
+	g := graph.NewGraph("sender", "receiver")
+	for _, id := range []string{"a", "b"} {
+		if err := g.AddService(&service.Service{
+			ID:      service.ID(id),
+			Inputs:  []media.Format{media.Opaque(1)},
+			Outputs: []media.Format{media.Opaque(2)},
+			Host:    id,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ai, ok := g.NodeIndex(graph.NodeID("a"))
+	if !ok {
+		t.Fatal("a not interned")
+	}
+	bi, ok := g.NodeIndex(graph.NodeID("b"))
+	if !ok {
+		t.Fatal("b not interned")
+	}
+
+	expanded := make([]*label, g.NodeIndexCount())
+	l := &label{parent: int32(ai)}
+
+	if _, err := pathTo(int32(bi), l, expanded, g); err == nil {
+		t.Fatal("pathTo with a missing parent label should error, got nil")
+	}
+
+	expanded[ai] = &label{parent: graph.SenderIndex}
+	path, err := pathTo(int32(bi), l, expanded, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := PathString(path); got != "sender,a,b" {
+		t.Errorf("path = %s, want sender,a,b", got)
+	}
+}

@@ -15,10 +15,17 @@
 // along any path, which makes the greedy expansion return the true
 // optimum; the property tests in this package and the exhaustive baseline
 // in internal/baseline verify this.
+//
+// The implementation works on the graph's interned vertex and format
+// indices: per-vertex state lives in flat slices, the acyclicity rule's
+// format set is an immutable bitset (formatMask), labels come from a
+// bump arena, and the per-relaxation optimization reuses scratch buffers
+// (edgeEvaluator). The equivalence tests in equivalence_test.go pin the
+// results — including tie-breaking — to a direct transliteration of the
+// Figure 4 pseudocode.
 package core
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"sort"
@@ -49,10 +56,13 @@ type Config struct {
 	ReceiverCaps media.Params
 	// Trace records the per-round state (Table 1) when true.
 	Trace bool
-	// UseHeap selects candidates with a priority queue (lazy deletion)
-	// instead of the linear scan Figure 4 implies. Results are
-	// identical (same tie-breaking); the ablation benchmark compares
-	// the two on large graphs.
+	// Scan selects candidates with the linear scan Figure 4 implies
+	// instead of the default priority queue (lazy deletion). Results
+	// are identical (same tie-breaking); the ablation benchmark
+	// compares the two on large graphs.
+	Scan bool
+	// UseHeap is deprecated: the priority queue is now the default, so
+	// the field is ignored. Set Scan to force the linear scan.
 	UseHeap bool
 }
 
@@ -98,15 +108,17 @@ type Round struct {
 	Satisfaction float64
 }
 
-// label is the best-known way to reach a vertex.
+// label is the best-known way to reach a vertex. parent is the interned
+// index of the upstream vertex; formats is the bitset of interned format
+// indices used along the path (acyclicity rule).
 type label struct {
 	sat     float64
 	params  media.Params
-	parent  graph.NodeID
+	parent  int32
 	edge    *graph.Edge
 	cost    float64
-	formats map[media.Format]bool // formats on the path (acyclicity rule)
-	seq     int                   // recency for deterministic tie-breaks
+	formats formatMask
+	seq     int32 // recency for deterministic tie-breaks
 }
 
 // Select runs the QoS selection algorithm on the adaptation graph.
@@ -117,27 +129,36 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("core: config has an empty satisfaction profile")
 	}
 
-	labels := make(map[graph.NodeID]*label)   // CS: candidate labels
-	expanded := make(map[graph.NodeID]*label) // VT labels, for reconstruction
-	var candidates candidateHeap              // only used with cfg.UseHeap
-	inVT := make(map[graph.NodeID]bool)
+	n := g.NodeIndexCount()
+	labels := make([]*label, n)   // CS: candidate labels, indexed by vertex
+	expanded := make([]*label, n) // VT labels, for reconstruction
+	inVT := make([]bool, n)
+	numCandidates := 0
+	useHeap := !cfg.Scan
+	var candidates candidateHeap
+	var larena labelArena
+	var warena wordArena
+	extWords := extWordsFor(g.FormatCount())
+	ev := newEdgeEvaluator(g, &cfg)
+
 	vtOrder := []graph.NodeID{graph.SenderID}
-	inVT[graph.SenderID] = true
-	seq := 0
+	inVT[graph.SenderIndex] = true
+	var seq int32
 
 	res := &Result{}
 
 	// relax recomputes the label of e.To through e and keeps it when it
 	// beats the current one (Figure 4 Steps 2 and 8, with Equation 2 as
 	// the per-candidate optimization).
-	relax := func(from graph.NodeID, e *graph.Edge) {
-		if inVT[e.To] {
+	relax := func(from int32, e *graph.Edge) {
+		to := e.ToIndex()
+		if inVT[to] {
 			return
 		}
 		var upstreamParams media.Params
 		var upstreamCost float64
-		var upstreamFormats map[media.Format]bool
-		if from == graph.SenderID {
+		var upstreamFormats formatMask
+		if from == graph.SenderIndex {
 			upstreamParams = e.SourceParams
 		} else {
 			ul := expanded[from]
@@ -150,51 +171,62 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 		// Distinct-format acyclicity rule (Section 4.2): a format may
 		// not repeat along a path.
-		if upstreamFormats[e.Format] {
+		fIdx := e.FormatIndex()
+		if upstreamFormats.has(fIdx) {
 			return
 		}
 
 		// Per-candidate optimization under the Equation 2 bandwidth
 		// constraint and the budget (Figure 4 Step 2).
-		params, sat, cost, ok := EvalEdge(g, cfg, upstreamParams, upstreamCost, e)
+		params, sat, cost, ok := ev.eval(upstreamParams, upstreamCost, e)
 		if !ok {
 			return
 		}
-		cur := labels[e.To]
+		cur := labels[to]
 		if cur != nil && sat <= cur.sat {
 			return
 		}
-		formats := make(map[media.Format]bool, len(upstreamFormats)+1)
-		for f := range upstreamFormats {
-			formats[f] = true
+		// Persist the evaluator's scratch params, recycling the map of
+		// the label being defeated (it is unreachable once replaced —
+		// stale heap entries never read params).
+		var kept media.Params
+		if cur != nil {
+			kept = cur.params
+			clear(kept)
+			for k, v := range params {
+				kept[k] = v
+			}
+		} else {
+			kept = params.Clone()
+			numCandidates++
 		}
-		formats[e.Format] = true
 		seq++
-		l := &label{
+		l := larena.alloc()
+		*l = label{
 			sat:     sat,
-			params:  params,
+			params:  kept,
 			parent:  from,
 			edge:    e,
 			cost:    cost,
-			formats: formats,
+			formats: upstreamFormats.with(fIdx, &warena, extWords),
 			seq:     seq,
 		}
-		labels[e.To] = l
-		if cfg.UseHeap {
-			heap.Push(&candidates, heapEntry{id: e.To, l: l})
+		labels[to] = l
+		if useHeap {
+			candidates.push(heapEntry{idx: int32(to), l: l})
 		}
 	}
 
 	// Step 1–2: seed CS with the sender's neighbors.
-	for _, e := range g.Out(graph.SenderID) {
-		relax(graph.SenderID, e)
+	for _, e := range g.OutAt(graph.SenderIndex) {
+		relax(graph.SenderIndex, e)
 	}
 
 	round := 0
 	for {
 		round++
 		// Step 3: no candidates left → failure.
-		if len(labels) == 0 {
+		if numCandidates == 0 {
 			res.Found = false
 			return res, fmt.Errorf("%w after %d rounds", ErrNoChain, round-1)
 		}
@@ -203,23 +235,28 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		// Ties break toward the most recently updated label, then by
 		// natural ID order, keeping runs deterministic. The heap
 		// variant pops lazily, skipping entries superseded by a later
-		// relaxation.
-		var best graph.NodeID
+		// relaxation; because each label carries a unique seq,
+		// (sat, seq) is a total order and both variants pick the same
+		// candidate.
+		best := int32(-1)
 		var bestL *label
-		if cfg.UseHeap {
-			for candidates.Len() > 0 {
-				e := heap.Pop(&candidates).(heapEntry)
-				if labels[e.id] == e.l {
-					best, bestL = e.id, e.l
+		if useHeap {
+			for candidates.len() > 0 {
+				e := candidates.pop()
+				if labels[e.idx] == e.l {
+					best, bestL = e.idx, e.l
 					break
 				}
 			}
 		} else {
-			for id, l := range labels {
+			for i, l := range labels {
+				if l == nil {
+					continue
+				}
 				if bestL == nil || l.sat > bestL.sat ||
 					(l.sat == bestL.sat && (l.seq > bestL.seq ||
-						(l.seq == bestL.seq && graph.LessNatural(id, best)))) {
-					best, bestL = id, l
+						(l.seq == bestL.seq && graph.LessNatural(g.NodeIDAt(i), g.NodeIDAt(int(best)))))) {
+					best, bestL = int32(i), l
 				}
 			}
 		}
@@ -230,51 +267,59 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 		}
 
 		if cfg.Trace {
+			path, err := pathTo(best, bestL, expanded, g)
+			if err != nil {
+				return nil, err
+			}
 			res.Rounds = append(res.Rounds, Round{
 				Number:       round,
 				Considered:   append([]graph.NodeID(nil), vtOrder...),
-				Candidates:   candidateIDs(labels),
-				Selected:     best,
-				Path:         pathTo(best, bestL, expanded),
+				Candidates:   candidateIDs(labels, g),
+				Selected:     g.NodeIDAt(int(best)),
+				Path:         path,
 				Params:       bestL.params.Clone(),
 				Satisfaction: bestL.sat,
 			})
 		}
 
 		// Step 4–5: move the selection from CS to VT.
-		delete(labels, best)
+		labels[best] = nil
+		numCandidates--
 		inVT[best] = true
-		vtOrder = append(vtOrder, best)
+		vtOrder = append(vtOrder, g.NodeIDAt(int(best)))
 		res.Expanded++
 
 		// Step 7: receiver selected → reconstruct and report.
 		expanded[best] = bestL
-		if best == graph.ReceiverID {
+		if best == graph.ReceiverIndex {
 			res.Found = true
 			res.Satisfaction = bestL.sat
 			res.Params = bestL.params
 			res.Cost = bestL.cost
-			res.Path, res.Formats = reconstruct(best, bestL, expanded)
+			res.Path, res.Formats = reconstruct(best, bestL, expanded, g)
 			return res, nil
 		}
 
 		// Step 8: relax the neighbors of the selected service.
-		for _, e := range g.Out(best) {
+		for _, e := range g.OutAt(int(best)) {
 			relax(best, e)
 		}
 	}
 }
 
 // candidateIDs returns CS sorted naturally with the receiver last.
-func candidateIDs(labels map[graph.NodeID]*label) []graph.NodeID {
+func candidateIDs(labels []*label, g *graph.Graph) []graph.NodeID {
 	out := make([]graph.NodeID, 0, len(labels))
 	hasReceiver := false
-	for id := range labels {
-		if id == graph.ReceiverID {
+	for i, l := range labels {
+		if l == nil {
+			continue
+		}
+		if i == graph.ReceiverIndex {
 			hasReceiver = true
 			continue
 		}
-		out = append(out, id)
+		out = append(out, g.NodeIDAt(i))
 	}
 	sort.Slice(out, func(i, j int) bool { return graph.LessNatural(out[i], out[j]) })
 	if hasReceiver {
@@ -284,15 +329,19 @@ func candidateIDs(labels map[graph.NodeID]*label) []graph.NodeID {
 }
 
 // pathTo reconstructs the current best path to a candidate whose label is
-// l, walking parents through the expanded (VT) labels.
-func pathTo(id graph.NodeID, l *label, expanded map[graph.NodeID]*label) []graph.NodeID {
-	rev := []graph.NodeID{id}
+// l, walking parents through the expanded (VT) labels. Every parent on
+// the walk must be in VT — relaxation only ever records expanded parents
+// — so a missing parent label is an internal inconsistency and is
+// reported as an error rather than silently truncating the path.
+func pathTo(idx int32, l *label, expanded []*label, g *graph.Graph) ([]graph.NodeID, error) {
+	rev := []graph.NodeID{g.NodeIDAt(int(idx))}
 	cur := l.parent
-	for cur != graph.SenderID {
-		rev = append(rev, cur)
+	for cur != graph.SenderIndex {
+		rev = append(rev, g.NodeIDAt(int(cur)))
 		pl := expanded[cur]
 		if pl == nil {
-			break
+			return nil, fmt.Errorf("core: inconsistent trace path to %s: parent %s has no expanded label",
+				g.NodeIDAt(int(idx)), g.NodeIDAt(int(cur)))
 		}
 		cur = pl.parent
 	}
@@ -301,20 +350,20 @@ func pathTo(id graph.NodeID, l *label, expanded map[graph.NodeID]*label) []graph
 	for i := len(rev) - 1; i >= 0; i-- {
 		out = append(out, rev[i])
 	}
-	return out
+	return out, nil
 }
 
 // reconstruct follows parents from the receiver back to the sender
 // (Figure 4 Step 10) and returns the path plus the per-edge formats.
-func reconstruct(id graph.NodeID, l *label, expanded map[graph.NodeID]*label) ([]graph.NodeID, []media.Format) {
+func reconstruct(idx int32, l *label, expanded []*label, g *graph.Graph) ([]graph.NodeID, []media.Format) {
 	var revPath []graph.NodeID
 	var revFormats []media.Format
-	cur, curL := id, l
+	cur, curL := idx, l
 	for curL != nil {
-		revPath = append(revPath, cur)
+		revPath = append(revPath, g.NodeIDAt(int(cur)))
 		revFormats = append(revFormats, curL.edge.Format)
 		cur = curL.parent
-		if cur == graph.SenderID {
+		if cur == graph.SenderIndex {
 			break
 		}
 		curL = expanded[cur]

@@ -441,8 +441,8 @@ func TestSelectHeapMatchesScan(t *testing.T) {
 	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: graph.ReceiverID, Format: media.Opaque(1),
 		BandwidthKbps: 900, SourceParams: media.Params{media.ParamFrameRate: 30}})
 	scanCfg := fpsConfig()
+	scanCfg.Scan = true
 	heapCfg := fpsConfig()
-	heapCfg.UseHeap = true
 	scan, err := Select(g, scanCfg)
 	if err != nil {
 		t.Fatal(err)
@@ -468,7 +468,6 @@ func TestSelectHeapNoChain(t *testing.T) {
 	mustEdge(t, g, &graph.Edge{From: graph.SenderID, To: "t1", Format: media.Opaque(1),
 		BandwidthKbps: 1000, SourceParams: media.Params{media.ParamFrameRate: 30}})
 	cfg := fpsConfig()
-	cfg.UseHeap = true
 	if _, err := Select(g, cfg); !errors.Is(err, ErrNoChain) {
 		t.Errorf("heap variant should also fail with ErrNoChain, got %v", err)
 	}

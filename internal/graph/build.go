@@ -71,38 +71,43 @@ func Build(in Input) (*Graph, error) {
 		}
 	}
 
-	// bw returns the available bandwidth and one-way delay between two
-	// hosts, and whether an edge should exist at all: disconnected
-	// hosts yield no edge. Delay uses the direct link when present and
-	// the minimum-delay route otherwise.
-	bw := func(fromHost, toHost string) (kbps, delayMs, loss float64, connected bool) {
-		if in.Net == nil {
-			return math.Inf(1), 0, 0, true
+	// Index services by accepted input format once, so edge wiring walks
+	// only the services that actually match an output format instead of
+	// re-scanning the full service list per output link. This turns the
+	// wiring from O(S²·F) into O(S·F + E), preserving the declaration
+	// order the quadratic scan produced.
+	acceptsFormat := make(map[media.Format][]*service.Service)
+	for _, s := range in.Services {
+		for _, f := range s.Inputs {
+			acceptsFormat[f] = append(acceptsFormat[f], s)
 		}
-		v := in.Net.AvailableBandwidth(fromHost, toHost)
-		if v <= 0 {
-			return 0, 0, 0, false
-		}
-		if fromHost == toHost {
-			return v, 0, 0, true
-		}
-		if _, d, l, direct := in.Net.Link(fromHost, toHost); direct {
-			return v, d, l, true
-		}
-		if _, d, ok := in.Net.MinDelayPath(fromHost, toHost); ok {
-			return v, d, 0, true
-		}
-		return v, 0, 0, true
 	}
 
 	// Sender → services and sender → receiver, one edge per variant
-	// format accepted downstream.
+	// format accepted downstream. Two variants sharing a format would
+	// produce byte-identical edges; senderSeen drops the duplicates
+	// (distinct parameters keep both edges — they are different offers).
+	type senderKey struct {
+		to NodeID
+		f  media.Format
+	}
+	senderSeen := make(map[senderKey][]media.Params)
+	dupSender := func(to NodeID, f media.Format, p media.Params) bool {
+		k := senderKey{to, f}
+		for _, prev := range senderSeen[k] {
+			if prev.Equal(p, 0) {
+				return true
+			}
+		}
+		senderSeen[k] = append(senderSeen[k], p)
+		return false
+	}
 	for _, variant := range in.Content.Variants {
-		for _, s := range in.Services {
-			if !s.Accepts(variant.Format) {
+		for _, s := range acceptsFormat[variant.Format] {
+			if dupSender(NodeID(s.ID), variant.Format, variant.Params) {
 				continue
 			}
-			kbps, delay, loss, connected := bw(in.SenderHost, s.Host)
+			kbps, delay, loss, connected := linkQoS(in.Net, in.SenderHost, s.Host)
 			if !connected {
 				continue
 			}
@@ -117,8 +122,8 @@ func Build(in Input) (*Graph, error) {
 				return nil, err
 			}
 		}
-		if in.Device.Decodes(variant.Format) {
-			if kbps, delay, loss, connected := bw(in.SenderHost, in.ReceiverHost); connected {
+		if in.Device.Decodes(variant.Format) && !dupSender(ReceiverID, variant.Format, variant.Params) {
+			if kbps, delay, loss, connected := linkQoS(in.Net, in.SenderHost, in.ReceiverHost); connected {
 				if err := g.AddEdge(&Edge{
 					From: SenderID, To: ReceiverID,
 					Format:        variant.Format,
@@ -134,14 +139,27 @@ func Build(in Input) (*Graph, error) {
 	}
 
 	// Service → service edges wherever an output link matches an input
-	// link, and service → receiver for decodable outputs.
+	// link, and service → receiver for decodable outputs. A service
+	// listing the same output format twice would duplicate its edges;
+	// svcSeen collapses them (the duplicates are fully identical — same
+	// endpoints, format and host pair).
+	type svcKey struct {
+		from, to NodeID
+		f        media.Format
+	}
+	svcSeen := make(map[svcKey]bool)
 	for _, from := range in.Services {
 		for _, f := range from.Outputs {
-			for _, to := range in.Services {
-				if to.ID == from.ID || !to.Accepts(f) {
+			for _, to := range acceptsFormat[f] {
+				if to.ID == from.ID {
 					continue
 				}
-				kbps, delay, loss, connected := bw(from.Host, to.Host)
+				k := svcKey{NodeID(from.ID), NodeID(to.ID), f}
+				if svcSeen[k] {
+					continue
+				}
+				svcSeen[k] = true
+				kbps, delay, loss, connected := linkQoS(in.Net, from.Host, to.Host)
 				if !connected {
 					continue
 				}
@@ -155,8 +173,10 @@ func Build(in Input) (*Graph, error) {
 					return nil, err
 				}
 			}
-			if in.Device.Decodes(f) {
-				if kbps, delay, loss, connected := bw(from.Host, in.ReceiverHost); connected {
+			k := svcKey{NodeID(from.ID), ReceiverID, f}
+			if in.Device.Decodes(f) && !svcSeen[k] {
+				svcSeen[k] = true
+				if kbps, delay, loss, connected := linkQoS(in.Net, from.Host, in.ReceiverHost); connected {
 					if err := g.AddEdge(&Edge{
 						From: NodeID(from.ID), To: ReceiverID,
 						Format:        f,
@@ -172,6 +192,32 @@ func Build(in Input) (*Graph, error) {
 	}
 
 	return g, nil
+}
+
+// linkQoS returns the bandwidth, one-way delay and loss the overlay
+// offers between two hosts, and whether an edge should exist at all:
+// disconnected hosts yield no edge. Delay uses the direct link when
+// present and the minimum-delay route otherwise. A nil network means
+// unconstrained connectivity. Shared by Build and the Cache's
+// bandwidth-only edge refresh.
+func linkQoS(net *overlay.Network, fromHost, toHost string) (kbps, delayMs, loss float64, connected bool) {
+	if net == nil {
+		return math.Inf(1), 0, 0, true
+	}
+	v := net.AvailableBandwidth(fromHost, toHost)
+	if v <= 0 {
+		return 0, 0, 0, false
+	}
+	if fromHost == toHost {
+		return v, 0, 0, true
+	}
+	if _, d, l, direct := net.Link(fromHost, toHost); direct {
+		return v, d, l, true
+	}
+	if _, d, ok := net.MinDelayPath(fromHost, toHost); ok {
+		return v, d, 0, true
+	}
+	return v, 0, 0, true
 }
 
 // BuildFromSet builds the graph from a full profile set, deploying every

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// cacheNet builds the two-hop overlay the cache tests mutate.
+func cacheNet() *overlay.Network {
+	net := overlay.New()
+	net.AddLink("sender", "p1", 2000, 5, 0)
+	net.AddLink("p1", "recv", 1500, 5, 0)
+	return net
+}
+
+// cacheInput is a minimal buildable input: one converter on p1 between
+// the source format and the device's only decoder.
+func cacheInput(net *overlay.Network) Input {
+	return Input{
+		Content: &profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.Opaque(1), Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Device: &profile.Device{ID: "d", Software: profile.Software{
+			Decoders: []media.Format{media.Opaque(2)},
+		}},
+		Services: []*service.Service{{
+			ID:      "s1",
+			Inputs:  []media.Format{media.Opaque(1)},
+			Outputs: []media.Format{media.Opaque(2)},
+			Host:    "p1",
+		}},
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "recv",
+	}
+}
+
+func TestCacheHitReturnsSameGraph(t *testing.T) {
+	net := cacheNet()
+	c := NewCache(0)
+	g1, err := c.Build(cacheInput(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Build(cacheInput(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("unchanged input should return the cached graph instance")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+}
+
+func TestCacheBandwidthChangeRefreshesEdgesInPlace(t *testing.T) {
+	net := cacheNet()
+	c := NewCache(0)
+	in := cacheInput(net)
+	g1, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetBandwidth("sender", "p1", 900); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("bandwidth-only change must refresh the cached graph, not rebuild it")
+	}
+	out := g2.Out(SenderID)
+	if len(out) != 1 || out[0].BandwidthKbps != 900 {
+		t.Fatalf("sender edge bandwidth = %v, want refreshed to 900", out)
+	}
+	if st := c.Stats(); st.Refreshes != 1 {
+		t.Fatalf("stats = %+v, want 1 refresh", st)
+	}
+}
+
+func TestCacheZeroCrossingRebuilds(t *testing.T) {
+	net := cacheNet()
+	c := NewCache(0)
+	in := cacheInput(net)
+	g1, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Out(SenderID)) != 1 {
+		t.Fatalf("expected one sender edge, got %d", len(g1.Out(SenderID)))
+	}
+	// Bandwidth hitting zero disconnects the host pair: topology is no
+	// longer valid, the graph must be rebuilt without the edge.
+	if err := net.SetBandwidth("sender", "p1", 0); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Fatal("connectivity change must rebuild, not refresh")
+	}
+	if len(g2.Out(SenderID)) != 0 {
+		t.Fatalf("rebuilt graph should drop the disconnected edge, has %d", len(g2.Out(SenderID)))
+	}
+}
+
+func TestCacheTopologyChangeRebuilds(t *testing.T) {
+	net := cacheNet()
+	c := NewCache(0)
+	in := cacheInput(net)
+	g1, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.RemoveLink("p1", "recv")
+	g2, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 == g2 {
+		t.Fatal("link removal must rebuild the graph")
+	}
+}
+
+func TestCacheInvalidateAndReset(t *testing.T) {
+	net := cacheNet()
+	c := NewCache(0)
+	in := cacheInput(net)
+	if _, err := c.Build(in); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate(in)
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after Invalidate = %d, want 0", st.Entries)
+	}
+	if _, err := c.Build(in); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after Reset = %d, want 0", st.Entries)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	net := cacheNet()
+	c := NewCache(1)
+	inA := cacheInput(net)
+	inB := cacheInput(net)
+	inB.Content = &profile.Content{ID: "other", Variants: inA.Content.Variants}
+	gA, err := c.Build(inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Build(inB); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1 (evicted)", st.Entries)
+	}
+	gA2, err := c.Build(inA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gA == gA2 {
+		t.Fatal("A was evicted; a fresh build must return a new graph")
+	}
+}
+
+func TestCacheBuildFromSet(t *testing.T) {
+	set := &profile.Set{
+		User: profile.User{
+			Name: "u",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+		},
+		Content: profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.Opaque(1), Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Device: profile.Device{ID: "d", Software: profile.Software{
+			Decoders: []media.Format{media.Opaque(2)},
+		}},
+		Network: profile.Network{Links: []profile.Link{
+			{From: "sender", To: "p1", BandwidthKbps: 2000},
+			{From: "p1", To: "d", BandwidthKbps: 1500},
+		}},
+		Intermediaries: []profile.Intermediary{{
+			Host: "p1", CPUMips: 1000, MemoryMB: 256,
+			Services: []*service.Service{{
+				ID:      "s1",
+				Inputs:  []media.Format{media.Opaque(1)},
+				Outputs: []media.Format{media.Opaque(2)},
+			}},
+		}},
+	}
+	c := NewCache(0)
+	g1, err := c.BuildFromSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := c.BuildFromSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1 != g2 {
+		t.Fatal("equal sets must share one cached graph")
+	}
+	// A changed link value is part of the static fingerprint: new entry.
+	set.Network.Links[0].BandwidthKbps = 100
+	g3, err := c.BuildFromSet(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g1 {
+		t.Fatal("changed network profile must produce a fresh graph")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 1 hit, 2 misses", st)
+	}
+}
+
+func TestOverlayGenerationAdvances(t *testing.T) {
+	net := cacheNet()
+	g0 := net.Generation()
+	if err := net.SetBandwidth("sender", "p1", 42); err != nil {
+		t.Fatal(err)
+	}
+	if g1 := net.Generation(); g1 <= g0 {
+		t.Fatalf("generation %d should advance past %d on mutation", g1, g0)
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import (
+	"testing"
+
+	"qoschain/internal/media"
+)
+
+// FuzzFormatInterning checks the format-interning round trip: interning
+// any two (possibly equal) formats must hand out stable dense indices
+// that FormatIndex and FormatAt invert exactly.
+func FuzzFormatInterning(f *testing.F) {
+	f.Add(uint8(1), "mpeg1", "", uint8(1), "h263", "cif")
+	f.Add(uint8(2), "jpeg", "gray", uint8(2), "jpeg", "gray")
+	f.Add(uint8(0), "", "", uint8(7), "pcm", "")
+	f.Fuzz(func(t *testing.T, k1 uint8, enc1, prof1 string, k2 uint8, enc2, prof2 string) {
+		g := NewGraph("sender", "receiver")
+		formats := []media.Format{
+			{Kind: media.Kind(k1), Encoding: enc1, Profile: prof1},
+			{Kind: media.Kind(k2), Encoding: enc2, Profile: prof2},
+		}
+		seen := make(map[media.Format]int)
+		for _, fm := range formats {
+			idx := int(g.internFormat(fm))
+			if prev, ok := seen[fm]; ok && prev != idx {
+				t.Fatalf("format %v re-interned at %d, was %d", fm, idx, prev)
+			}
+			seen[fm] = idx
+			got, ok := g.FormatIndex(fm)
+			if !ok || got != idx {
+				t.Fatalf("FormatIndex(%v) = %d,%v; want %d,true", fm, got, ok, idx)
+			}
+			if back := g.FormatAt(idx); back != fm {
+				t.Fatalf("FormatAt(%d) = %v, want %v", idx, back, fm)
+			}
+		}
+		if g.FormatCount() != len(seen) {
+			t.Fatalf("FormatCount = %d, want %d", g.FormatCount(), len(seen))
+		}
+	})
+}

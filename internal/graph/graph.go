@@ -28,6 +28,15 @@ const (
 	ReceiverID NodeID = "receiver"
 )
 
+// Reserved vertex indices: every graph interns its vertices to dense
+// integer indices at insertion time, with the sender and receiver always
+// occupying the first two slots. The selection hot path uses indices to
+// replace map lookups with slice indexing.
+const (
+	SenderIndex   = 0
+	ReceiverIndex = 1
+)
+
 // Node is one vertex of the adaptation graph.
 type Node struct {
 	// ID is the vertex identity.
@@ -49,6 +58,10 @@ func (n *Node) IsReceiver() bool { return n.ID == ReceiverID }
 type Edge struct {
 	// From/To are the endpoint vertices.
 	From, To NodeID
+	// fromIdx/toIdx/formatIdx are the interned indices of the endpoints
+	// and the format label, assigned by AddEdge. They are meaningless on
+	// edges that have not been added to a graph.
+	fromIdx, toIdx, formatIdx int32
 	// Format is the media format flowing over the edge (the matching
 	// output/input link label, e.g. "F5" in Figure 3).
 	Format media.Format
@@ -86,21 +99,100 @@ type Graph struct {
 	in    map[NodeID][]*Edge
 	edges int
 	hosts map[string]HostResources
+
+	// Interning tables: vertices and edge formats are assigned dense
+	// integer indices at insertion time so the selection algorithm can
+	// replace maps with slices and format sets with bitsets. Indices are
+	// never reused, even after pruning removes a vertex.
+	nodeIdx   map[NodeID]int32
+	nodeList  []NodeID
+	formatIdx map[media.Format]int32
+	formats   []media.Format
 }
 
 // NewGraph returns an empty graph containing only the sender and
 // receiver vertices on the given hosts.
 func NewGraph(senderHost, receiverHost string) *Graph {
 	g := &Graph{
-		nodes: make(map[NodeID]*Node),
-		out:   make(map[NodeID][]*Edge),
-		in:    make(map[NodeID][]*Edge),
-		hosts: make(map[string]HostResources),
+		nodes:     make(map[NodeID]*Node),
+		out:       make(map[NodeID][]*Edge),
+		in:        make(map[NodeID][]*Edge),
+		hosts:     make(map[string]HostResources),
+		nodeIdx:   make(map[NodeID]int32),
+		formatIdx: make(map[media.Format]int32),
 	}
 	g.nodes[SenderID] = &Node{ID: SenderID, Host: senderHost}
 	g.nodes[ReceiverID] = &Node{ID: ReceiverID, Host: receiverHost}
+	g.internNode(SenderID)   // index 0 == SenderIndex
+	g.internNode(ReceiverID) // index 1 == ReceiverIndex
 	return g
 }
+
+// internNode assigns the next dense index to a vertex.
+func (g *Graph) internNode(id NodeID) int32 {
+	if i, ok := g.nodeIdx[id]; ok {
+		return i
+	}
+	i := int32(len(g.nodeList))
+	g.nodeIdx[id] = i
+	g.nodeList = append(g.nodeList, id)
+	return i
+}
+
+// internFormat assigns the next dense index to an edge format.
+func (g *Graph) internFormat(f media.Format) int32 {
+	if i, ok := g.formatIdx[f]; ok {
+		return i
+	}
+	i := int32(len(g.formats))
+	g.formatIdx[f] = i
+	g.formats = append(g.formats, f)
+	return i
+}
+
+// NodeIndexCount returns the size of the vertex index space (indices are
+// dense in [0, NodeIndexCount) but may include pruned vertices).
+func (g *Graph) NodeIndexCount() int { return len(g.nodeList) }
+
+// NodeIndex returns the interned index of a vertex.
+func (g *Graph) NodeIndex(id NodeID) (int, bool) {
+	i, ok := g.nodeIdx[id]
+	return int(i), ok
+}
+
+// NodeIDAt returns the vertex ID for an interned index. The ID of a
+// pruned vertex remains resolvable.
+func (g *Graph) NodeIDAt(i int) NodeID { return g.nodeList[i] }
+
+// FormatCount returns the number of distinct edge formats interned so
+// far.
+func (g *Graph) FormatCount() int { return len(g.formats) }
+
+// FormatIndex returns the interned index of a format that appeared on at
+// least one edge.
+func (g *Graph) FormatIndex(f media.Format) (int, bool) {
+	i, ok := g.formatIdx[f]
+	return int(i), ok
+}
+
+// FormatAt returns the format for an interned index.
+func (g *Graph) FormatAt(i int) media.Format { return g.formats[i] }
+
+// FromIndex returns the interned index of the edge's source vertex.
+// Valid only for edges added to a graph.
+func (e *Edge) FromIndex() int { return int(e.fromIdx) }
+
+// ToIndex returns the interned index of the edge's target vertex.
+// Valid only for edges added to a graph.
+func (e *Edge) ToIndex() int { return int(e.toIdx) }
+
+// FormatIndex returns the interned index of the edge's format label.
+// Valid only for edges added to a graph.
+func (e *Edge) FormatIndex() int { return int(e.formatIdx) }
+
+// OutAt returns the outgoing edges of the vertex with the given interned
+// index.
+func (g *Graph) OutAt(i int) []*Edge { return g.out[g.nodeList[i]] }
 
 // AddService inserts a service vertex. It fails on duplicate or reserved
 // IDs.
@@ -113,6 +205,7 @@ func (g *Graph) AddService(s *service.Service) error {
 		return fmt.Errorf("graph: duplicate vertex %q", id)
 	}
 	g.nodes[id] = &Node{ID: id, Service: s, Host: s.Host}
+	g.internNode(id)
 	return nil
 }
 
@@ -127,6 +220,9 @@ func (g *Graph) AddEdge(e *Edge) error {
 	if e.From == e.To {
 		return fmt.Errorf("graph: self-loop on %q", e.From)
 	}
+	e.fromIdx = g.nodeIdx[e.From]
+	e.toIdx = g.nodeIdx[e.To]
+	e.formatIdx = g.internFormat(e.Format)
 	g.out[e.From] = append(g.out[e.From], e)
 	g.in[e.To] = append(g.in[e.To], e)
 	g.edges++

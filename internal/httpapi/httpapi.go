@@ -8,11 +8,14 @@
 //	GET  /healthz            liveness probe
 //	GET  /v1/formats         the well-known media formats
 //	POST /v1/compose         profile.Set JSON -> composed chain JSON
+//	POST /v1/composeBatch    {set, users[]} JSON -> one chain per user
 //	POST /v1/graph           profile.Set JSON -> adaptation graph (DOT)
 //
 // /v1/compose query parameters: trace=1 (include the per-round trace),
 // prune=1 (prune the graph first), contact=<class> (per-contact
-// preferences).
+// preferences). /v1/composeBatch accepts the same parameters and plans
+// every user of the request against one shared adaptation graph
+// (core.SelectBatch) served from a per-handler graph cache.
 package httpapi
 
 import (
@@ -32,12 +35,17 @@ import (
 // maxBody bounds request bodies (profile sets are small).
 const maxBody = 4 << 20
 
-// Handler returns the API's http.Handler.
+// Handler returns the API's http.Handler. Batch compositions share one
+// graph cache for the handler's lifetime.
 func Handler() http.Handler {
 	mux := http.NewServeMux()
+	cache := graph.NewCache(0)
 	mux.HandleFunc("/healthz", handleHealth)
 	mux.HandleFunc("/v1/formats", handleFormats)
 	mux.HandleFunc("/v1/compose", handleCompose)
+	mux.HandleFunc("/v1/composeBatch", func(w http.ResponseWriter, r *http.Request) {
+		handleComposeBatch(w, r, cache)
+	})
 	mux.HandleFunc("/v1/graph", handleGraph)
 	return mux
 }
@@ -105,6 +113,75 @@ func handleCompose(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest is the JSON body of /v1/composeBatch: the shared profile
+// set plus the user profiles to plan. An empty users list plans the
+// set's own user.
+type batchRequest struct {
+	Set   *profile.Set   `json:"set"`
+	Users []profile.User `json:"users"`
+}
+
+// batchEntryResponse is one user's outcome in a batch response.
+type batchEntryResponse struct {
+	User         string             `json:"user"`
+	Error        string             `json:"error,omitempty"`
+	Path         []string           `json:"path,omitempty"`
+	Formats      []string           `json:"formats,omitempty"`
+	Params       map[string]float64 `json:"params,omitempty"`
+	Satisfaction float64            `json:"satisfaction"`
+	Cost         float64            `json:"cost"`
+}
+
+func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cache) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	defer r.Body.Close()
+	var req batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Set == nil {
+		writeError(w, http.StatusBadRequest, "missing set")
+		return
+	}
+	q := r.URL.Query()
+	opts := qoschain.Options{
+		Trace:   q.Get("trace") == "1",
+		Prune:   q.Get("prune") == "1",
+		Contact: profile.ContactClass(q.Get("contact")),
+		Cache:   cache,
+	}
+	users := req.Users
+	if len(users) == 0 {
+		users = []profile.User{req.Set.User}
+	}
+	results, _, err := qoschain.ComposeBatch(req.Set, users, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entries := make([]batchEntryResponse, len(results))
+	for i, br := range results {
+		entry := batchEntryResponse{User: users[i].Name}
+		if br.Err != nil {
+			entry.Error = br.Err.Error()
+		} else {
+			entry.Path = nodeStrings(br.Result.Path)
+			entry.Formats = formatStrings(br.Result.Formats)
+			entry.Params = paramMap(br.Result.Params)
+			entry.Satisfaction = br.Result.Satisfaction
+			entry.Cost = br.Result.Cost
+		}
+		entries[i] = entry
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"results": entries})
 }
 
 func handleGraph(w http.ResponseWriter, r *http.Request) {

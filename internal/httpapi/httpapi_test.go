@@ -253,3 +253,67 @@ func TestComposeContactParameter(t *testing.T) {
 		t.Errorf("contact=client should lower satisfaction, got %v", body.Satisfaction)
 	}
 }
+
+func TestComposeBatchEndpoint(t *testing.T) {
+	srv := server(t)
+	set := testSet()
+	bob := set.User
+	bob.Name = "bob"
+	bob.Preferences = map[media.Param]profile.FuncSpec{
+		media.ParamFrameRate: profile.LinearSpec(0, 15),
+	}
+	body, err := json.Marshal(map[string]interface{}{
+		"set":   set,
+		"users": []profile.User{set.User, bob},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/composeBatch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			User         string   `json:"user"`
+			Error        string   `json:"error"`
+			Path         []string `json:"path"`
+			Satisfaction float64  `json:"satisfaction"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(out.Results))
+	}
+	for i, want := range []string{"alice", "bob"} {
+		r := out.Results[i]
+		if r.User != want {
+			t.Errorf("result %d user = %q, want %q", i, r.User, want)
+		}
+		if r.Error != "" {
+			t.Errorf("result %d error = %q", i, r.Error)
+		}
+		if len(r.Path) < 2 || r.Satisfaction <= 0 {
+			t.Errorf("result %d path=%v sat=%v", i, r.Path, r.Satisfaction)
+		}
+	}
+}
+
+func TestComposeBatchRejectsMissingSet(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/composeBatch", "application/json",
+		strings.NewReader(`{"users": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}

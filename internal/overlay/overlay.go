@@ -26,6 +26,7 @@ type Network struct {
 	nodes map[string]bool
 	links map[edge]*linkState
 	subs  []chan Event
+	gen   uint64 // bumped on every mutation; see Generation
 }
 
 type edge struct{ from, to string }
@@ -81,6 +82,17 @@ func (n *Network) AddNode(id string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.nodes[id] = true
+	n.gen++
+}
+
+// Generation returns a counter that increases on every mutation of the
+// network (nodes, links, bandwidth, reservations). Consumers such as
+// graph.Cache use it to detect that a network is unchanged without
+// diffing its state.
+func (n *Network) Generation() uint64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.gen
 }
 
 // AddLink installs (or replaces) the directed link from→to.
@@ -89,6 +101,7 @@ func (n *Network) AddLink(from, to string, bandwidthKbps, delayMs, lossRate floa
 	defer n.mu.Unlock()
 	n.nodes[from] = true
 	n.nodes[to] = true
+	n.gen++
 	n.links[edge{from, to}] = &linkState{
 		bandwidthKbps: bandwidthKbps,
 		delayMs:       delayMs,
@@ -109,6 +122,9 @@ func (n *Network) RemoveLink(from, to string) {
 	n.mu.Lock()
 	_, existed := n.links[edge{from, to}]
 	delete(n.links, edge{from, to})
+	if existed {
+		n.gen++
+	}
 	subs := append([]chan Event(nil), n.subs...)
 	n.mu.Unlock()
 	if existed {
@@ -184,6 +200,7 @@ func (n *Network) Reserve(from, to string, kbps float64) error {
 		return fmt.Errorf("overlay: link %s->%s has %.1f kbps available, need %.1f", from, to, avail, kbps)
 	}
 	l.reservedKbps += kbps
+	n.gen++
 	subs := append([]chan Event(nil), n.subs...)
 	avail := l.available()
 	n.mu.Unlock()
@@ -201,6 +218,7 @@ func (n *Network) Release(from, to string, kbps float64) {
 		if l.reservedKbps < 0 {
 			l.reservedKbps = 0
 		}
+		n.gen++
 	}
 	var subs []chan Event
 	var avail float64
@@ -224,6 +242,7 @@ func (n *Network) SetBandwidth(from, to string, kbps float64) error {
 		return fmt.Errorf("overlay: no link %s->%s", from, to)
 	}
 	l.bandwidthKbps = kbps
+	n.gen++
 	subs := append([]chan Event(nil), n.subs...)
 	n.mu.Unlock()
 	notify(subs, Event{From: from, To: to, BandwidthKbps: kbps})

@@ -170,15 +170,16 @@ func TestTable1TraceTableRenders(t *testing.T) {
 	}
 }
 
-// TestTable1HeapVariantIdentical asserts that the heap-based candidate
-// selection reproduces the identical Table 1 trace.
+// TestTable1HeapVariantIdentical asserts that the linear-scan candidate
+// selection reproduces the identical Table 1 trace the default heap
+// variant produces.
 func TestTable1HeapVariantIdentical(t *testing.T) {
 	g, err := Table1Graph(true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := Table1Config()
-	cfg.UseHeap = true
+	cfg.Scan = true
 	res, err := core.Select(g, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -97,10 +97,10 @@ func assertResultInvariants(t *testing.T, seed int64, g *graph.Graph, cfg core.C
 func TestSelectHeapMatchesScanOnRandomScenarios(t *testing.T) {
 	for seed := int64(200); seed < 240; seed++ {
 		sc := Generate(rand.New(rand.NewSource(seed)), Spec{Services: 25})
-		scanRes, err1 := core.Select(sc.Graph, sc.Config)
-		heapCfg := sc.Config
-		heapCfg.UseHeap = true
-		heapRes, err2 := core.Select(sc.Graph, heapCfg)
+		scanCfg := sc.Config
+		scanCfg.Scan = true
+		scanRes, err1 := core.Select(sc.Graph, scanCfg)
+		heapRes, err2 := core.Select(sc.Graph, sc.Config)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("seed %d: error mismatch %v vs %v", seed, err1, err2)
 		}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench.sh — vet, race-test, then run the selection benchmarks with
+# allocation reporting, 5 repetitions for benchstat comparison.
+#
+# Usage: scripts/bench.sh [output-file]
+#   With an argument, benchmark output is also written to that file so
+#   two runs can be compared with benchstat:
+#     scripts/bench.sh old.txt; <apply change>; scripts/bench.sh new.txt
+#     benchstat old.txt new.txt
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./...
+
+out="${1:-}"
+if [ -n "$out" ]; then
+	go test -run 'TestNone' -bench 'Select' -benchmem -count=5 ./ | tee "$out"
+else
+	go test -run 'TestNone' -bench 'Select' -benchmem -count=5 ./
+fi
