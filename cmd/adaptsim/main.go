@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"qoschain/internal/core"
+	"qoschain/internal/fault"
 	"qoschain/internal/media"
 	"qoschain/internal/metrics"
 	"qoschain/internal/overlay"
@@ -40,10 +41,15 @@ func main() {
 	scenarioFile := flag.String("scenario", "", "run a declarative JSON scenario instead")
 	markdown := flag.Bool("markdown", false, "with -scenario: emit the report as Markdown")
 	batch := flag.Int("batch", 0, "plan this many receiver profiles against one shared graph and exit")
+	chaos := flag.Bool("chaos", false, "inject a seeded fault schedule against the Figure 6 deployment and report availability")
 	flag.Parse()
 
 	if *scenarioFile != "" {
 		runScenario(*scenarioFile, *markdown)
+		return
+	}
+	if *chaos {
+		runChaos(*seed, *steps)
 		return
 	}
 	if *batch > 0 {
@@ -116,6 +122,102 @@ func main() {
 			core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction), marker)
 	}
 	fmt.Printf("recompositions: %d\n", sess.Recompositions())
+}
+
+// runChaos drives one failover session over the paper's Figure 6
+// deployment while a seeded fault schedule crashes hosts, flaps links,
+// collapses bandwidth, and churns services. Everything is derived from
+// the seed, so a run is exactly reproducible; the summary reports the
+// availability (steps with a healthy chain), failover and recovery
+// counts, and the mean time to recover.
+func runChaos(seed int64, steps int) {
+	net := paperexample.Table1Network()
+	svcs := paperexample.Table1Services(true)
+	pool := fault.NewServiceSet(svcs)
+	counters := metrics.NewCounters()
+
+	sess, err := session.New(session.Config{
+		Content:      paperexample.Table1Content(),
+		Device:       paperexample.Table1Device(),
+		Services:     svcs,
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "receiver",
+		Select:       paperexample.Table1Config(),
+		Pool:         pool,
+		Failover: session.FailoverConfig{
+			Enabled:           true,
+			SatisfactionFloor: 0.3,
+			JitterSeed:        seed,
+			Sleep:             func(time.Duration) {}, // virtual time
+			Metrics:           counters,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos session:", err)
+		os.Exit(1)
+	}
+
+	schedule := fault.RandomSchedule(fault.ChaosSpec{
+		Seed:                  seed,
+		Steps:                 steps,
+		HostCrashRate:         0.15,
+		LinkFlapRate:          0.10,
+		BandwidthCollapseRate: 0.10,
+		ServiceChurnRate:      0.10,
+		LossSpikeRate:         0.05,
+		Protected:             []string{"sender", "receiver"},
+	}, net, svcs)
+	inj, err := fault.NewInjector(net, pool, schedule)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chaos schedule:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("adaptsim: chaos over Figure 6 — %d steps, %d scheduled faults (seed %d)\n\n",
+		steps, len(schedule), seed)
+	fmt.Printf("t=0   chain=%s sat=%s\n",
+		core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction))
+
+	healthy := 0
+	for t := 1; t <= steps; t++ {
+		fired := inj.Step()
+		sess.Tick()
+		changed, rerr := sess.Reevaluate()
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "reevaluate:", rerr)
+			os.Exit(1)
+		}
+		if !sess.Degraded() {
+			healthy++
+		}
+		if len(fired) > 0 || changed {
+			marker := ""
+			if changed {
+				marker = "  <- recomposed"
+			}
+			if sess.Degraded() {
+				marker += "  [degraded]"
+			}
+			faults := ""
+			for _, f := range fired {
+				faults += " " + f.String()
+			}
+			fmt.Printf("t=%-3d chain=%s sat=%s%s%s\n", t,
+				core.PathString(sess.Result().Path),
+				core.DisplaySat(sess.Result().Satisfaction), marker, faults)
+		}
+	}
+
+	fmt.Printf("\navailability: %d/%d steps healthy (%.1f%%)\n",
+		healthy, steps, 100*float64(healthy)/float64(steps))
+	fmt.Printf("recompositions: %d, final chain: %s\n",
+		sess.Recompositions(), core.PathString(sess.Result().Path))
+	fmt.Println()
+	counters.Render(os.Stdout)
+	if st := sess.FailoverStatus(); st.Degraded {
+		fmt.Printf("\nsession ended DEGRADED: %s\n", st.LastError)
+	}
 }
 
 // runBatch builds one random adaptation graph and plans many receiver

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"qoschain/internal/graph"
+	"qoschain/internal/media"
+	"qoschain/internal/satisfaction"
+	"qoschain/internal/service"
+)
+
+// floorGraph: sender -> conv -> receiver, with a bandwidth that caps the
+// delivered frame rate at 15 fps (satisfaction 0.5 against ideal 30).
+func floorGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	conv := service.FormatConverter("conv", media.Opaque(1), media.Opaque(2))
+	g := graph.NewGraph("s", "r")
+	if err := g.AddService(conv); err != nil {
+		t.Fatal(err)
+	}
+	edges := []*graph.Edge{
+		{From: graph.SenderID, To: "conv", Format: media.Opaque(1), BandwidthKbps: 1500,
+			SourceParams: media.Params{media.ParamFrameRate: 30}},
+		{From: "conv", To: graph.ReceiverID, Format: media.Opaque(2), BandwidthKbps: 1500},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func floorConfig(floor float64) Config {
+	return Config{
+		Profile: satisfaction.NewProfile(map[media.Param]satisfaction.Function{
+			media.ParamFrameRate: satisfaction.Linear{M: 0, I: 30},
+		}),
+		SatisfactionFloor: floor,
+	}
+}
+
+func TestSelectAboveFloorPasses(t *testing.T) {
+	res, err := Select(floorGraph(t), floorConfig(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || math.Abs(res.Satisfaction-0.5) > 1e-9 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+func TestSelectBelowFloorReturnsChainAndError(t *testing.T) {
+	res, err := Select(floorGraph(t), floorConfig(0.8))
+	if !errors.Is(err, ErrBelowFloor) {
+		t.Fatalf("err = %v, want ErrBelowFloor", err)
+	}
+	// The degraded chain is still fully reported for callers that prefer
+	// it over nothing.
+	if res == nil || !res.Found || math.Abs(res.Satisfaction-0.5) > 1e-9 {
+		t.Errorf("below-floor result = %+v", res)
+	}
+	if PathString(res.Path) != "sender,conv,receiver" {
+		t.Errorf("path = %s", PathString(res.Path))
+	}
+}
+
+func TestSelectZeroFloorDisabled(t *testing.T) {
+	if _, err := Select(floorGraph(t), floorConfig(0)); err != nil {
+		t.Fatalf("floor 0 must not reject: %v", err)
+	}
+}
+
+func TestSelectFloorScanVariantAgrees(t *testing.T) {
+	cfg := floorConfig(0.8)
+	cfg.Scan = true
+	_, err := Select(floorGraph(t), cfg)
+	if !errors.Is(err, ErrBelowFloor) {
+		t.Fatalf("scan variant err = %v, want ErrBelowFloor", err)
+	}
+}

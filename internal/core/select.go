@@ -39,6 +39,13 @@ import (
 // trans-coding path (Figure 4, Step 3: TERMINATE(FAILURE)).
 var ErrNoChain = errors.New("core: no adaptation chain from sender to receiver")
 
+// ErrBelowFloor is returned when a chain exists but even the best one
+// falls below Config.SatisfactionFloor. The Result is still fully
+// populated (Found, path, params, satisfaction) so callers that prefer a
+// degraded chain over none — the session failover path — can adopt it
+// deliberately.
+var ErrBelowFloor = errors.New("core: best chain falls below the satisfaction floor")
+
 // Config parameterizes one selection run.
 type Config struct {
 	// Profile is the user's satisfaction profile — the optimization
@@ -56,6 +63,12 @@ type Config struct {
 	ReceiverCaps media.Params
 	// Trace records the per-round state (Table 1) when true.
 	Trace bool
+	// SatisfactionFloor is the minimum acceptable total satisfaction for
+	// a chain (a QoS guarantee): when the best chain scores below it,
+	// Select returns the chain together with ErrBelowFloor. 0 disables
+	// the floor. Because the greedy expansion pops the receiver at the
+	// global optimum, the check is exact.
+	SatisfactionFloor float64
 	// Scan selects candidates with the linear scan Figure 4 implies
 	// instead of the default priority queue (lazy deletion). Results
 	// are identical (same tie-breaking); the ablation benchmark
@@ -297,6 +310,10 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 			res.Params = bestL.params
 			res.Cost = bestL.cost
 			res.Path, res.Formats = reconstruct(best, bestL, expanded, g)
+			if cfg.SatisfactionFloor > 0 && res.Satisfaction < cfg.SatisfactionFloor {
+				return res, fmt.Errorf("%w: %.3f < %.3f",
+					ErrBelowFloor, res.Satisfaction, cfg.SatisfactionFloor)
+			}
 			return res, nil
 		}
 

@@ -1,0 +1,113 @@
+package fault
+
+import (
+	"math/rand"
+
+	"qoschain/internal/overlay"
+	"qoschain/internal/service"
+)
+
+// ChaosSpec parameterizes RandomSchedule. Zero-valued rates disable that
+// fault class; all randomness flows from Seed, so the same spec over the
+// same deployment always produces the same schedule.
+type ChaosSpec struct {
+	// Seed drives every random draw.
+	Seed int64
+	// Steps is the virtual-time horizon faults are scheduled within.
+	Steps int
+	// HostCrashRate is the per-step probability of crashing one random
+	// eligible host.
+	HostCrashRate float64
+	// LinkFlapRate is the per-step probability of failing one random link.
+	LinkFlapRate float64
+	// BandwidthCollapseRate is the per-step probability of collapsing one
+	// random link's capacity.
+	BandwidthCollapseRate float64
+	// ServiceChurnRate is the per-step probability of deregistering one
+	// random service.
+	ServiceChurnRate float64
+	// LossSpikeRate is the per-step probability of spiking one random
+	// link's loss rate.
+	LossSpikeRate float64
+	// MinOutage/MaxOutage bound each fault's RecoverAfter (steps).
+	// Defaults: 2 and 6.
+	MinOutage int
+	MaxOutage int
+	// Protected hosts are never crashed (typically the sender and
+	// receiver endpoints); their links may still fail.
+	Protected []string
+}
+
+// RandomSchedule derives a deterministic fault schedule from the spec
+// against the deployment's current topology and service pool. Every
+// fault is a bounded outage (RecoverAfter set), so a long enough run
+// always converges back to health.
+func RandomSchedule(spec ChaosSpec, net *overlay.Network, svcs []*service.Service) []Fault {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	minOut, maxOut := spec.MinOutage, spec.MaxOutage
+	if minOut <= 0 {
+		minOut = 2
+	}
+	if maxOut < minOut {
+		maxOut = minOut + 4
+	}
+	outage := func() int { return minOut + rng.Intn(maxOut-minOut+1) }
+
+	protected := make(map[string]bool, len(spec.Protected))
+	for _, h := range spec.Protected {
+		protected[h] = true
+	}
+	var hosts []string
+	for _, h := range net.Nodes() { // Nodes() is sorted: deterministic
+		if !protected[h] {
+			hosts = append(hosts, h)
+		}
+	}
+	snap := net.Snapshot()
+	links := snap.Links // deterministic order from Snapshot
+
+	var schedule []Fault
+	for step := 1; step <= spec.Steps; step++ {
+		if len(hosts) > 0 && rng.Float64() < spec.HostCrashRate {
+			schedule = append(schedule, Fault{
+				AtStep: step, Kind: HostCrash,
+				Host:         hosts[rng.Intn(len(hosts))],
+				RecoverAfter: outage(),
+			})
+		}
+		if len(links) > 0 && rng.Float64() < spec.LinkFlapRate {
+			l := links[rng.Intn(len(links))]
+			schedule = append(schedule, Fault{
+				AtStep: step, Kind: LinkDown,
+				From: l.From, To: l.To,
+				RecoverAfter: outage(),
+			})
+		}
+		if len(links) > 0 && rng.Float64() < spec.BandwidthCollapseRate {
+			l := links[rng.Intn(len(links))]
+			schedule = append(schedule, Fault{
+				AtStep: step, Kind: BandwidthCollapse,
+				From: l.From, To: l.To,
+				Factor:       0.05 + 0.20*rng.Float64(), // collapse to 5–25 %
+				RecoverAfter: outage(),
+			})
+		}
+		if len(svcs) > 0 && rng.Float64() < spec.ServiceChurnRate {
+			schedule = append(schedule, Fault{
+				AtStep: step, Kind: ServiceDown,
+				Service:      svcs[rng.Intn(len(svcs))].ID,
+				RecoverAfter: outage(),
+			})
+		}
+		if len(links) > 0 && rng.Float64() < spec.LossSpikeRate {
+			l := links[rng.Intn(len(links))]
+			schedule = append(schedule, Fault{
+				AtStep: step, Kind: LossSpike,
+				From: l.From, To: l.To,
+				LossRate:     0.2 + 0.6*rng.Float64(),
+				RecoverAfter: outage(),
+			})
+		}
+	}
+	return schedule
+}

@@ -10,6 +10,8 @@
 //	POST /v1/compose         profile.Set JSON -> composed chain JSON
 //	POST /v1/composeBatch    {set, users[]} JSON -> one chain per user
 //	POST /v1/graph           profile.Set JSON -> adaptation graph (DOT)
+//	POST /v1/sessions        profile.Set JSON -> live failover session
+//	GET  /v1/sessions[/{id}] session failover status (see sessions.go)
 //
 // /v1/compose query parameters: trace=1 (include the per-round trace),
 // prune=1 (prune the graph first), contact=<class> (per-contact
@@ -47,6 +49,7 @@ func Handler() http.Handler {
 		handleComposeBatch(w, r, cache)
 	})
 	mux.HandleFunc("/v1/graph", handleGraph)
+	NewSessionManager().register(mux)
 	return mux
 }
 

@@ -1,0 +1,375 @@
+package httpapi
+
+// sessions.go exposes live failover sessions over HTTP. A session is
+// created from a profile.Set and holds its own overlay network and
+// service pool; faults can then be injected against them and the
+// session's failover machinery observed through its status resource.
+//
+//	POST   /v1/sessions                  profile.Set JSON -> session created
+//	GET    /v1/sessions                  list session statuses
+//	GET    /v1/sessions/{id}             one session's chain + failover status
+//	POST   /v1/sessions/{id}/fault       inject a fault against the session's overlay
+//	POST   /v1/sessions/{id}/reevaluate  advance one step and re-evaluate
+//	DELETE /v1/sessions/{id}             tear the session down
+//
+// /v1/sessions query parameters: floor=<0..1> (minimum acceptable
+// satisfaction before graceful degradation, default 0), contact=<class>,
+// seed=<int> (failover jitter seed, default 1). Retry backoff never
+// wall-clock sleeps inside a handler; the virtual clock advances one
+// step per reevaluate call.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"qoschain/internal/core"
+	"qoschain/internal/fault"
+	"qoschain/internal/graph"
+	"qoschain/internal/metrics"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+	"qoschain/internal/session"
+)
+
+// SessionManager owns the live sessions created over the API.
+type SessionManager struct {
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*managedSession
+}
+
+// managedSession is one API-created session with its private overlay and
+// service pool (faults against one session never leak into another).
+type managedSession struct {
+	mu       sync.Mutex
+	id       string
+	sess     *session.Session
+	net      *overlay.Network
+	pool     *fault.ServiceSet
+	counters *metrics.Counters
+}
+
+// NewSessionManager returns an empty manager.
+func NewSessionManager() *SessionManager {
+	return &SessionManager{sessions: make(map[string]*managedSession)}
+}
+
+// register wires the session routes into a mux.
+func (sm *SessionManager) register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/sessions", sm.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", sm.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", sm.handleGet)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", sm.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/fault", sm.handleFault)
+	mux.HandleFunc("POST /v1/sessions/{id}/reevaluate", sm.handleReevaluate)
+}
+
+// sessionStatus is the JSON shape of one session's state.
+type sessionStatus struct {
+	ID             string                 `json:"id"`
+	Path           []string               `json:"path"`
+	Formats        []string               `json:"formats"`
+	Satisfaction   float64                `json:"satisfaction"`
+	Cost           float64                `json:"cost"`
+	Step           int                    `json:"step"`
+	Recompositions int                    `json:"recompositions"`
+	Failover       session.FailoverStatus `json:"failover"`
+	DownHosts      []string               `json:"downHosts,omitempty"`
+	History        []changeStatus         `json:"history,omitempty"`
+	Counters       map[string]int64       `json:"counters,omitempty"`
+}
+
+// changeStatus is one recorded re-composition.
+type changeStatus struct {
+	Reason       string  `json:"reason"`
+	From         string  `json:"from"`
+	To           string  `json:"to"`
+	Satisfaction float64 `json:"satisfaction"`
+}
+
+// status snapshots a managed session. Callers hold ms.mu.
+func (ms *managedSession) status() sessionStatus {
+	res := ms.sess.Result()
+	st := sessionStatus{
+		ID:             ms.id,
+		Path:           nodeStrings(res.Path),
+		Formats:        formatStrings(res.Formats),
+		Satisfaction:   res.Satisfaction,
+		Cost:           res.Cost,
+		Step:           ms.sess.CurrentStep(),
+		Recompositions: ms.sess.Recompositions(),
+		Failover:       ms.sess.FailoverStatus(),
+		DownHosts:      ms.net.DownHosts(),
+		Counters:       ms.counters.Snapshot(),
+	}
+	for _, ch := range ms.sess.History() {
+		st.History = append(st.History, changeStatus{
+			Reason:       ch.Reason,
+			From:         ch.From,
+			To:           ch.To,
+			Satisfaction: ch.Satisfaction,
+		})
+	}
+	return st
+}
+
+func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
+	defer r.Body.Close()
+	set, err := profile.DecodeSet(http.MaxBytesReader(nil, r.Body, maxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	q := r.URL.Query()
+	floor := 0.0
+	if v := q.Get("floor"); v != "" {
+		floor, err = strconv.ParseFloat(v, 64)
+		if err != nil || floor < 0 || floor > 1 {
+			writeError(w, http.StatusBadRequest, "floor must be a number in [0,1]")
+			return
+		}
+	}
+	var seed int64 = 1
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "seed must be an integer")
+			return
+		}
+	}
+	satProfile, err := set.User.SatisfactionProfile(profile.ContactClass(q.Get("contact")))
+	if err == nil {
+		err = satProfile.Validate()
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	net, err := overlay.FromProfile(set.Network)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	svcs := graph.CollectServices(set.Intermediaries)
+	pool := fault.NewServiceSet(svcs)
+	counters := metrics.NewCounters()
+	sess, err := session.New(session.Config{
+		Content:      &set.Content,
+		Device:       &set.Device,
+		Services:     svcs,
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: set.Device.ID,
+		Select: core.Config{
+			Profile:      satProfile,
+			Budget:       set.User.Budget,
+			ReceiverCaps: set.Device.RenderCaps(),
+		},
+		Pool: pool,
+		Failover: session.FailoverConfig{
+			Enabled:           true,
+			SatisfactionFloor: floor,
+			JitterSeed:        seed,
+			// HTTP handlers must not wall-clock sleep between retries.
+			Sleep:   func(time.Duration) {},
+			Metrics: counters,
+		},
+	})
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	sm.mu.Lock()
+	sm.seq++
+	ms := &managedSession{
+		id:       fmt.Sprintf("s%d", sm.seq),
+		sess:     sess,
+		net:      net,
+		pool:     pool,
+		counters: counters,
+	}
+	sm.sessions[ms.id] = ms
+	sm.mu.Unlock()
+
+	ms.mu.Lock()
+	st := ms.status()
+	ms.mu.Unlock()
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (sm *SessionManager) handleList(w http.ResponseWriter, r *http.Request) {
+	sm.mu.Lock()
+	all := make([]*managedSession, 0, len(sm.sessions))
+	for _, ms := range sm.sessions {
+		all = append(all, ms)
+	}
+	sm.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]sessionStatus, len(all))
+	for i, ms := range all {
+		ms.mu.Lock()
+		out[i] = ms.status()
+		ms.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"sessions": out})
+}
+
+// lookup fetches a session by path id, writing the 404 itself when absent.
+func (sm *SessionManager) lookup(w http.ResponseWriter, r *http.Request) *managedSession {
+	id := r.PathValue("id")
+	sm.mu.Lock()
+	ms := sm.sessions[id]
+	sm.mu.Unlock()
+	if ms == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+	}
+	return ms
+}
+
+func (sm *SessionManager) handleGet(w http.ResponseWriter, r *http.Request) {
+	ms := sm.lookup(w, r)
+	if ms == nil {
+		return
+	}
+	ms.mu.Lock()
+	st := ms.status()
+	ms.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (sm *SessionManager) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sm.mu.Lock()
+	_, ok := sm.sessions[id]
+	delete(sm.sessions, id)
+	sm.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// faultRequest is the JSON body of a fault injection. Kind follows
+// internal/fault: hostcrash, hostrecover, linkdown, linkup, bandwidth,
+// loss, delay, servicedown, serviceup. Bandwidth collapse multiplies the
+// link's current capacity by factor; injections are immediate and stay
+// until the inverse fault is posted.
+type faultRequest struct {
+	Kind     string  `json:"kind"`
+	Host     string  `json:"host,omitempty"`
+	From     string  `json:"from,omitempty"`
+	To       string  `json:"to,omitempty"`
+	Service  string  `json:"service,omitempty"`
+	Factor   float64 `json:"factor,omitempty"`
+	LossRate float64 `json:"lossRate,omitempty"`
+	DelayMs  float64 `json:"delayMs,omitempty"`
+}
+
+func (sm *SessionManager) handleFault(w http.ResponseWriter, r *http.Request) {
+	ms := sm.lookup(w, r)
+	if ms == nil {
+		return
+	}
+	defer r.Body.Close()
+	var req faultRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	f := fault.Fault{
+		AtStep:   1, // immediate; validated shape only
+		Kind:     fault.Kind(req.Kind),
+		Host:     req.Host,
+		From:     req.From,
+		To:       req.To,
+		Service:  service.ID(req.Service),
+		Factor:   req.Factor,
+		LossRate: req.LossRate,
+		DelayMs:  req.DelayMs,
+	}
+	if err := f.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ms.mu.Lock()
+	err := ms.apply(f)
+	var st sessionStatus
+	if err == nil {
+		st = ms.status()
+	}
+	ms.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// apply injects one fault against the session's private overlay and
+// pool. Callers hold ms.mu.
+func (ms *managedSession) apply(f fault.Fault) error {
+	switch f.Kind {
+	case fault.HostCrash:
+		if err := ms.net.FailHost(f.Host); err != nil {
+			return err
+		}
+		ms.pool.SetHostDown(f.Host, true)
+	case fault.HostRecover:
+		if err := ms.net.RecoverHost(f.Host); err != nil {
+			return err
+		}
+		ms.pool.SetHostDown(f.Host, false)
+	case fault.LinkDown:
+		return ms.net.FailLink(f.From, f.To)
+	case fault.LinkUp:
+		return ms.net.RecoverLink(f.From, f.To)
+	case fault.BandwidthCollapse:
+		for _, l := range ms.net.Snapshot().Links {
+			if l.From == f.From && l.To == f.To {
+				return ms.net.SetBandwidth(f.From, f.To, l.BandwidthKbps*f.Factor)
+			}
+		}
+		return fmt.Errorf("httpapi: no link %s->%s", f.From, f.To)
+	case fault.LossSpike:
+		return ms.net.SetLoss(f.From, f.To, f.LossRate)
+	case fault.DelaySpike:
+		return ms.net.SetDelay(f.From, f.To, f.DelayMs)
+	case fault.ServiceDown:
+		ms.pool.SetServiceDown(f.Service, true)
+	case fault.ServiceUp:
+		ms.pool.SetServiceDown(f.Service, false)
+	default:
+		return fmt.Errorf("httpapi: unsupported fault kind %q", f.Kind)
+	}
+	return nil
+}
+
+func (sm *SessionManager) handleReevaluate(w http.ResponseWriter, r *http.Request) {
+	ms := sm.lookup(w, r)
+	if ms == nil {
+		return
+	}
+	ms.mu.Lock()
+	ms.sess.Tick()
+	changed, err := ms.sess.Reevaluate()
+	st := ms.status()
+	ms.mu.Unlock()
+	resp := struct {
+		Changed bool   `json:"changed"`
+		Error   string `json:"error,omitempty"`
+		sessionStatus
+	}{Changed: changed, sessionStatus: st}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,276 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// failoverSet extends testSet with a second, worse proxy path so a
+// session has somewhere to fail over to: sender→p1→d carries 18 fps
+// (satisfaction 0.6), sender→p2→d only 9 fps (satisfaction 0.3).
+func failoverSet() *profile.Set {
+	set := testSet()
+	set.Network.Links = append(set.Network.Links,
+		profile.Link{From: "sender", To: "p2", BandwidthKbps: 2400},
+		profile.Link{From: "p2", To: "d", BandwidthKbps: 900},
+	)
+	set.Intermediaries = append(set.Intermediaries, profile.Intermediary{
+		Host: "p2", CPUMips: 1000, MemoryMB: 256,
+		Services: []*service.Service{
+			service.FormatConverter("conv2", media.VideoMPEG1, media.VideoH263),
+		},
+	})
+	return set
+}
+
+// sessionJSON mirrors the handler's status response for decoding.
+type sessionJSON struct {
+	ID           string   `json:"id"`
+	Path         []string `json:"path"`
+	Satisfaction float64  `json:"satisfaction"`
+	Step         int      `json:"step"`
+	Changed      bool     `json:"changed"`
+	Error        string   `json:"error"`
+	DownHosts    []string `json:"downHosts"`
+	Failover     struct {
+		Enabled     bool     `json:"enabled"`
+		Degraded    bool     `json:"degraded"`
+		Failovers   int      `json:"failovers"`
+		Retries     int      `json:"retries"`
+		Quarantined []string `json:"quarantined"`
+		LastError   string   `json:"lastError"`
+	} `json:"failover"`
+	History []struct {
+		Reason string `json:"reason"`
+		To     string `json:"to"`
+	} `json:"history"`
+	Counters map[string]int64 `json:"counters"`
+}
+
+func createSession(t *testing.T, srv string, set *profile.Set) sessionJSON {
+	t.Helper()
+	resp, err := http.Post(srv+"/v1/sessions", "application/json", setBody(t, set))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d", resp.StatusCode)
+	}
+	var s sessionJSON
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, sessionJSON) {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s sessionJSON
+	_ = json.NewDecoder(resp.Body).Decode(&s)
+	return resp, s
+}
+
+func TestSessionCreateAndGet(t *testing.T) {
+	srv := server(t)
+	s := createSession(t, srv.URL, failoverSet())
+	if s.ID == "" {
+		t.Fatal("session must get an id")
+	}
+	if want := []string{"sender", "conv1", "receiver"}; fmt.Sprint(s.Path) != fmt.Sprint(want) {
+		t.Errorf("path = %v, want %v", s.Path, want)
+	}
+	if !s.Failover.Enabled || s.Failover.Degraded {
+		t.Errorf("failover = %+v, want enabled and healthy", s.Failover)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/sessions/" + s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got sessionJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != s.ID || fmt.Sprint(got.Path) != fmt.Sprint(s.Path) {
+		t.Errorf("GET = %+v, want %+v", got, s)
+	}
+
+	listResp, err := http.Get(srv.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list struct {
+		Sessions []sessionJSON `json:"sessions"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sessions) != 1 || list.Sessions[0].ID != s.ID {
+		t.Errorf("list = %+v", list.Sessions)
+	}
+}
+
+func TestSessionFailoverRoundTrip(t *testing.T) {
+	srv := server(t)
+	s := createSession(t, srv.URL, failoverSet())
+	base := srv.URL + "/v1/sessions/" + s.ID
+
+	// Kill the active chain's host: the next reevaluation must fail over
+	// to the conv2 path and record the event.
+	resp, st := postJSON(t, base+"/fault", map[string]string{"kind": "hostcrash", "host": "p1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault status = %d", resp.StatusCode)
+	}
+	if fmt.Sprint(st.DownHosts) != "[p1]" {
+		t.Errorf("downHosts = %v", st.DownHosts)
+	}
+	resp, st = postJSON(t, base+"/reevaluate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reevaluate status = %d", resp.StatusCode)
+	}
+	if !st.Changed {
+		t.Fatal("host crash must trigger a chain switch")
+	}
+	if st.Path[1] != "conv2" {
+		t.Errorf("path = %v, want failover to conv2", st.Path)
+	}
+	if st.Failover.Failovers != 1 || st.Failover.Degraded {
+		t.Errorf("failover = %+v, want one recovered failover", st.Failover)
+	}
+	if st.Counters["failover.entered"] != 1 || st.Counters["failover.recovered"] != 1 {
+		t.Errorf("counters = %v", st.Counters)
+	}
+	if n := len(st.History); n == 0 || st.History[n-1].Reason != "failover" {
+		t.Errorf("history = %+v, want a failover entry", st.History)
+	}
+
+	// Recover the host: the session climbs back to the better chain.
+	resp, _ = postJSON(t, base+"/fault", map[string]string{"kind": "hostrecover", "host": "p1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recover status = %d", resp.StatusCode)
+	}
+	resp, st = postJSON(t, base+"/reevaluate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reevaluate status = %d", resp.StatusCode)
+	}
+	if !st.Changed || st.Path[1] != "conv1" {
+		t.Errorf("path = %v (changed=%v), want return to conv1", st.Path, st.Changed)
+	}
+	if st.Satisfaction < 0.59 {
+		t.Errorf("satisfaction = %v, want ~0.6 back", st.Satisfaction)
+	}
+}
+
+func TestSessionServiceChurnOverAPI(t *testing.T) {
+	srv := server(t)
+	s := createSession(t, srv.URL, failoverSet())
+	base := srv.URL + "/v1/sessions/" + s.ID
+
+	resp, _ := postJSON(t, base+"/fault", map[string]string{"kind": "servicedown", "service": "conv1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault status = %d", resp.StatusCode)
+	}
+	_, st := postJSON(t, base+"/reevaluate", nil)
+	if !st.Changed || st.Path[1] != "conv2" {
+		t.Errorf("path = %v, want conv2 after conv1 deregistered", st.Path)
+	}
+	postJSON(t, base+"/fault", map[string]string{"kind": "serviceup", "service": "conv1"})
+	_, st = postJSON(t, base+"/reevaluate", nil)
+	if !st.Changed || st.Path[1] != "conv1" {
+		t.Errorf("path = %v, want conv1 after re-registration", st.Path)
+	}
+}
+
+func TestSessionFaultValidation(t *testing.T) {
+	srv := server(t)
+	s := createSession(t, srv.URL, failoverSet())
+	base := srv.URL + "/v1/sessions/" + s.ID
+
+	resp, _ := postJSON(t, base+"/fault", map[string]string{"kind": "meteor"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad kind status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, base+"/fault", map[string]string{"kind": "hostcrash"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing host status = %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv.URL+"/v1/sessions/nope/fault", map[string]string{"kind": "hostcrash", "host": "p1"})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestSessionCreateRejectsBadInput(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/v1/sessions?floor=2", "application/json", setBody(t, failoverSet()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad floor status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSessionDelete(t *testing.T) {
+	srv := server(t)
+	s := createSession(t, srv.URL, failoverSet())
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/sessions/"+s.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status = %d", resp.StatusCode)
+	}
+	getResp, err := http.Get(srv.URL + "/v1/sessions/" + s.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Errorf("get after delete = %d, want 404", getResp.StatusCode)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("double delete = %d, want 404", resp2.StatusCode)
+	}
+}

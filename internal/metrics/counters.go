@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counters is a concurrency-safe set of named monotonic counters and
+// observed samples — the reliability bookkeeping the failover path
+// reports through (failovers, retries, degraded sessions, time to
+// recover). A nil *Counters is a valid no-op sink, so instrumented code
+// never needs to guard its calls.
+type Counters struct {
+	mu      sync.Mutex
+	counts  map[string]int64
+	samples map[string][]float64
+}
+
+// Well-known counter and sample names recorded by the session failover
+// path. Samples (Observe) use the same namespace as counters (Inc/Add).
+const (
+	// CounterFailovers counts entries into the failover loop.
+	CounterFailovers = "failover.entered"
+	// CounterRetries counts re-composition retry attempts beyond the
+	// first within failover loops.
+	CounterRetries = "failover.retries"
+	// CounterRecovered counts failovers that ended on a live chain.
+	CounterRecovered = "failover.recovered"
+	// CounterDegraded counts sessions that entered the degraded state
+	// (no chain cleared the satisfaction floor, or none existed at all).
+	CounterDegraded = "failover.degraded"
+	// CounterQuarantined counts host/service quarantine admissions.
+	CounterQuarantined = "failover.quarantined"
+	// SampleRecoverySteps observes the virtual-time steps a session spent
+	// without a healthy chain before recovering.
+	SampleRecoverySteps = "failover.recovery_steps"
+	// SampleRecoveryRetries observes how many attempts a successful
+	// failover needed.
+	SampleRecoveryRetries = "failover.recovery_retries"
+)
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		counts:  make(map[string]int64),
+		samples: make(map[string][]float64),
+	}
+}
+
+// Inc increments a named counter by one.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add increments a named counter by n.
+func (c *Counters) Add(name string, n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.counts[name] += n
+	c.mu.Unlock()
+}
+
+// Get returns a counter's value (0 for unknown names or a nil receiver).
+func (c *Counters) Get(name string) int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
+
+// Observe appends a value to a named sample series.
+func (c *Counters) Observe(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.samples[name] = append(c.samples[name], v)
+	c.mu.Unlock()
+}
+
+// Sample returns a copy of a named sample series.
+func (c *Counters) Sample(name string) []float64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]float64(nil), c.samples[name]...)
+}
+
+// SampleSummary summarizes a named sample series.
+func (c *Counters) SampleSummary(name string) Summary {
+	return Summarize(c.Sample(name))
+}
+
+// Snapshot returns every counter value, keyed by name.
+func (c *Counters) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.counts))
+	for k, v := range c.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Render writes the counters (sorted by name) and one summary line per
+// sample series.
+func (c *Counters) Render(w io.Writer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		names = append(names, k)
+	}
+	snames := make([]string, 0, len(c.samples))
+	for k := range c.samples {
+		snames = append(snames, k)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	sort.Strings(snames)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-28s %d\n", name, c.Get(name))
+	}
+	for _, name := range snames {
+		s := c.SampleSummary(name)
+		fmt.Fprintf(w, "%-28s n=%d mean=%.2f p50=%.2f max=%.2f\n",
+			name, s.Count, s.Mean, s.P50, s.Max)
+	}
+}

@@ -1,0 +1,194 @@
+package overlay
+
+import "fmt"
+
+// Failure states: fault injection marks hosts and links as down without
+// destroying their configuration, so a recovery restores the exact
+// pre-failure characteristics (capacity, delay, loss, reservations). A
+// down host or link is invisible to every query — Link, bandwidth,
+// routing, Snapshot — and Reserve refuses it, but Release still works so
+// sessions can withdraw cleanly from a crashed chain.
+
+// FailHost marks a host as crashed. Every link touching it stops carrying
+// traffic and watchers receive a zero-bandwidth event per affected link.
+// Failing an unknown or already-down host is an error.
+func (n *Network) FailHost(id string) error {
+	n.mu.Lock()
+	if !n.nodes[id] {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no host %s", id)
+	}
+	if n.down[id] {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: host %s is already down", id)
+	}
+	// Collect the links that were usable and now go dark.
+	var affected []edge
+	for e, l := range n.links {
+		if (e.from == id || e.to == id) && n.usableLocked(e, l) {
+			affected = append(affected, e)
+		}
+	}
+	n.down[id] = true
+	n.gen++
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	for _, e := range affected {
+		notify(subs, Event{From: e.from, To: e.to, BandwidthKbps: 0})
+	}
+	return nil
+}
+
+// RecoverHost brings a crashed host back. Links to still-healthy
+// neighbors resume at their retained characteristics and watchers receive
+// the restored bandwidth per link.
+func (n *Network) RecoverHost(id string) error {
+	n.mu.Lock()
+	if !n.nodes[id] {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no host %s", id)
+	}
+	if !n.down[id] {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: host %s is not down", id)
+	}
+	delete(n.down, id)
+	n.gen++
+	type restored struct {
+		e    edge
+		kbps float64
+	}
+	var affected []restored
+	for e, l := range n.links {
+		if (e.from == id || e.to == id) && n.usableLocked(e, l) {
+			affected = append(affected, restored{e, l.available()})
+		}
+	}
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	for _, r := range affected {
+		notify(subs, Event{From: r.e.from, To: r.e.to, BandwidthKbps: r.kbps})
+	}
+	return nil
+}
+
+// HostDown reports whether the host is currently crashed.
+func (n *Network) HostDown(id string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.down[id]
+}
+
+// DownHosts returns the currently crashed hosts (unsorted count is small;
+// callers sort if they need determinism).
+func (n *Network) DownHosts() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]string, 0, len(n.down))
+	for id := range n.down {
+		out = append(out, id)
+	}
+	return out
+}
+
+// FailLink marks the directed link as down, retaining its configuration
+// for recovery. Watchers receive a zero-bandwidth event.
+func (n *Network) FailLink(from, to string) error {
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	if l.down {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: link %s->%s is already down", from, to)
+	}
+	l.down = true
+	n.gen++
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	notify(subs, Event{From: from, To: to, BandwidthKbps: 0})
+	return nil
+}
+
+// RecoverLink brings a failed link back at its retained characteristics.
+func (n *Network) RecoverLink(from, to string) error {
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	if !l.down {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: link %s->%s is not down", from, to)
+	}
+	l.down = false
+	n.gen++
+	subs := append([]chan Event(nil), n.subs...)
+	avail := 0.0
+	if n.usableLocked(edge{from, to}, l) {
+		avail = l.available()
+	}
+	n.mu.Unlock()
+	notify(subs, Event{From: from, To: to, BandwidthKbps: avail})
+	return nil
+}
+
+// LinkDown reports whether the directed link itself is failed (host
+// crashes are reported separately by HostDown).
+func (n *Network) LinkDown(from, to string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l, ok := n.links[edge{from, to}]
+	return ok && l.down
+}
+
+// SetLoss updates an existing link's loss rate — a loss spike. Watchers
+// receive an event carrying the link's current bandwidth so that sessions
+// whose chain crosses the link re-evaluate.
+func (n *Network) SetLoss(from, to string, rate float64) error {
+	if rate < 0 || rate > 1 {
+		return fmt.Errorf("overlay: loss rate %v outside [0,1]", rate)
+	}
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	l.lossRate = rate
+	n.gen++
+	subs := append([]chan Event(nil), n.subs...)
+	avail := 0.0
+	if n.usableLocked(edge{from, to}, l) {
+		avail = l.available()
+	}
+	n.mu.Unlock()
+	notify(subs, Event{From: from, To: to, BandwidthKbps: avail})
+	return nil
+}
+
+// SetDelay updates an existing link's one-way delay — a latency spike.
+func (n *Network) SetDelay(from, to string, delayMs float64) error {
+	if delayMs < 0 {
+		return fmt.Errorf("overlay: negative delay %v", delayMs)
+	}
+	n.mu.Lock()
+	l, ok := n.links[edge{from, to}]
+	if !ok {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	l.delayMs = delayMs
+	n.gen++
+	subs := append([]chan Event(nil), n.subs...)
+	avail := 0.0
+	if n.usableLocked(edge{from, to}, l) {
+		avail = l.available()
+	}
+	n.mu.Unlock()
+	notify(subs, Event{From: from, To: to, BandwidthKbps: avail})
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 type Network struct {
 	mu    sync.RWMutex
 	nodes map[string]bool
+	down  map[string]bool // crashed hosts (fault injection)
 	links map[edge]*linkState
 	subs  []chan Event
 	gen   uint64 // bumped on every mutation; see Generation
@@ -36,6 +37,7 @@ type linkState struct {
 	reservedKbps  float64 // held by admitted sessions
 	delayMs       float64
 	lossRate      float64
+	down          bool // failed link (fault injection); state retained for recovery
 }
 
 // available returns the unreserved capacity, clamped at zero when
@@ -60,8 +62,16 @@ type Event struct {
 func New() *Network {
 	return &Network{
 		nodes: make(map[string]bool),
+		down:  make(map[string]bool),
 		links: make(map[edge]*linkState),
 	}
+}
+
+// usableLocked reports whether a link currently carries traffic: neither
+// the link itself nor either endpoint may be failed. Callers must hold at
+// least a read lock.
+func (n *Network) usableLocked(e edge, l *linkState) bool {
+	return !l.down && !n.down[e.from] && !n.down[e.to]
 }
 
 // FromProfile builds an overlay from a static network profile.
@@ -159,12 +169,13 @@ func (n *Network) LinkCount() int {
 }
 
 // Link returns the directed link's characteristics. The bandwidth
-// reported is the *available* (capacity minus reserved) bandwidth.
+// reported is the *available* (capacity minus reserved) bandwidth. A
+// failed link, or one touching a failed host, reports ok == false.
 func (n *Network) Link(from, to string) (bandwidthKbps, delayMs, lossRate float64, ok bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	l, ok := n.links[edge{from, to}]
-	if !ok {
+	if !ok || !n.usableLocked(edge{from, to}, l) {
 		return 0, 0, 0, false
 	}
 	return l.available(), l.delayMs, l.lossRate, true
@@ -193,6 +204,10 @@ func (n *Network) Reserve(from, to string, kbps float64) error {
 	if !ok {
 		n.mu.Unlock()
 		return fmt.Errorf("overlay: no link %s->%s", from, to)
+	}
+	if !n.usableLocked(edge{from, to}, l) {
+		n.mu.Unlock()
+		return fmt.Errorf("overlay: link %s->%s is down", from, to)
 	}
 	if l.available() < kbps-1e-9 {
 		avail := l.available()
@@ -275,7 +290,10 @@ func (n *Network) AvailableBandwidth(from, to string) float64 {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if l, ok := n.links[edge{from, to}]; ok {
+	if n.down[from] || n.down[to] {
+		return 0
+	}
+	if l, ok := n.links[edge{from, to}]; ok && n.usableLocked(edge{from, to}, l) {
 		return l.available()
 	}
 	return n.widestLocked(from, to)
@@ -312,12 +330,17 @@ func notify(subs []chan Event, ev Event) {
 	}
 }
 
-// Snapshot exports the current state as a static network profile.
+// Snapshot exports the current state as a static network profile. Failed
+// links and links touching failed hosts are excluded — they carry no
+// traffic until recovered.
 func (n *Network) Snapshot() profile.Network {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
 	links := make([]profile.Link, 0, len(n.links))
 	for e, l := range n.links {
+		if !n.usableLocked(e, l) {
+			continue
+		}
 		links = append(links, profile.Link{
 			From: e.from, To: e.to,
 			BandwidthKbps: l.available(),

@@ -13,7 +13,7 @@ import (
 // widestLocked computes the maximum-bottleneck bandwidth from src to dst.
 // Callers must hold at least a read lock.
 func (n *Network) widestLocked(src, dst string) float64 {
-	if !n.nodes[src] || !n.nodes[dst] {
+	if !n.nodes[src] || !n.nodes[dst] || n.down[src] || n.down[dst] {
 		return 0
 	}
 	// Dijkstra variant maximizing min-link bandwidth.
@@ -28,7 +28,7 @@ func (n *Network) widestLocked(src, dst string) float64 {
 			continue
 		}
 		for e, l := range n.links {
-			if e.from != cur.node {
+			if e.from != cur.node || !n.usableLocked(e, l) {
 				continue
 			}
 			w := math.Min(cur.width, l.available())
@@ -60,13 +60,16 @@ func (n *Network) HopCount(src, dst string) int {
 	}
 	n.mu.RLock()
 	defer n.mu.RUnlock()
+	if n.down[src] || n.down[dst] {
+		return -1
+	}
 	dist := map[string]int{src: 0}
 	queue := []string{src}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for e := range n.links {
-			if e.from != cur {
+		for e, l := range n.links {
+			if e.from != cur || !n.usableLocked(e, l) {
 				continue
 			}
 			if _, seen := dist[e.to]; seen {
@@ -88,7 +91,7 @@ func (n *Network) HopCount(src, dst string) int {
 func (n *Network) MinDelayPath(src, dst string) (path []string, delayMs float64, ok bool) {
 	n.mu.RLock()
 	defer n.mu.RUnlock()
-	if !n.nodes[src] || !n.nodes[dst] {
+	if !n.nodes[src] || !n.nodes[dst] || n.down[src] || n.down[dst] {
 		return nil, 0, false
 	}
 	if src == dst {
@@ -106,7 +109,7 @@ func (n *Network) MinDelayPath(src, dst string) (path []string, delayMs float64,
 			continue
 		}
 		for e, l := range n.links {
-			if e.from != cur.node {
+			if e.from != cur.node || !n.usableLocked(e, l) {
 				continue
 			}
 			d := cur.delay + l.delayMs

@@ -45,6 +45,10 @@ type Stats struct {
 	// Stages lists per-stage accounting in chain order (links
 	// interleaved with services).
 	Stages []StageStats
+	// Failure is the first stage failure of the run, nil on a clean
+	// drain. A failed run still reports the frames delivered before the
+	// chain went down.
+	Failure *StageFailure
 }
 
 // Pipeline is a runnable chain instance.
@@ -57,14 +61,15 @@ type Pipeline struct {
 
 // runner is one concurrent element: a trans-coding stage or a link.
 type runner interface {
-	run(in <-chan transcode.Frame, out chan<- transcode.Frame)
+	run(rc *runCtx, in <-chan transcode.Frame, out chan<- transcode.Frame)
 	stats() StageStats
 }
 
 // stageRunner wraps a transcode stage.
 type stageRunner struct {
-	id string
-	p  processor
+	id   string
+	p    processor
+	hook FaultHook
 }
 
 // processor is the subset of transcode stages the pipeline drives.
@@ -73,13 +78,25 @@ type processor interface {
 	Counters() (consumed, emitted, dropped int)
 }
 
-func (s *stageRunner) run(in <-chan transcode.Frame, out chan<- transcode.Frame) {
-	for f := range in {
+func (s *stageRunner) run(rc *runCtx, in <-chan transcode.Frame, out chan<- transcode.Frame) {
+	defer close(out)
+	for {
+		f, ok := rc.recv(in)
+		if !ok {
+			return
+		}
+		if s.hook != nil {
+			if err := s.hook(s.id, f.Seq); err != nil {
+				rc.fail(s.id, f.Seq, err)
+				return
+			}
+		}
 		for _, of := range s.p.Process(f) {
-			out <- of
+			if !rc.send(out, of) {
+				return
+			}
 		}
 	}
-	close(out)
 }
 
 func (s *stageRunner) stats() StageStats {
@@ -97,6 +114,7 @@ type linkRunner struct {
 	kbps float64
 	loss float64
 	rng  *rand.Rand
+	hook FaultHook
 
 	mu       sync.Mutex
 	consumed int
@@ -104,13 +122,24 @@ type linkRunner struct {
 	dropped  int
 }
 
-func (l *linkRunner) run(in <-chan transcode.Frame, out chan<- transcode.Frame) {
+func (l *linkRunner) run(rc *runCtx, in <-chan transcode.Frame, out chan<- transcode.Frame) {
+	defer close(out)
 	rate := l.kbps * 1000 / 8 // bytes per virtual second
 	burst := rate             // bucket capacity: one second of traffic
 	tokens := burst
 	lastPTS := 0.0
 	limited := !math.IsInf(l.kbps, 1) && l.kbps > 0
-	for f := range in {
+	for {
+		f, ok := rc.recv(in)
+		if !ok {
+			return
+		}
+		if l.hook != nil {
+			if err := l.hook(l.id, f.Seq); err != nil {
+				rc.fail(l.id, f.Seq, err)
+				return
+			}
+		}
 		l.mu.Lock()
 		l.consumed++
 		l.mu.Unlock()
@@ -140,9 +169,10 @@ func (l *linkRunner) run(in <-chan transcode.Frame, out chan<- transcode.Frame) 
 		l.mu.Lock()
 		l.emitted++
 		l.mu.Unlock()
-		out <- f
+		if !rc.send(out, f) {
+			return
+		}
 	}
-	close(out)
 }
 
 func (l *linkRunner) stats() StageStats {
@@ -162,6 +192,10 @@ type Options struct {
 	// LossSeed seeds the per-link packet-loss draws so lossy runs are
 	// reproducible (0 uses seed 1).
 	LossSeed int64
+	// FaultHook, when set, is consulted by every chain element before
+	// each frame; a non-nil return fails that stage with a typed
+	// StageFailure and shuts the whole pipeline down.
+	FaultHook FaultHook
 }
 
 // FromResult assembles a runnable pipeline from a selection result: the
@@ -210,8 +244,9 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 	// parameters before the first link, mirroring the optimizer's
 	// per-edge parameter choice.
 	p.stages = append(p.stages, &stageRunner{
-		id: "shaper:sender",
-		p:  transcode.NewShaper(res.Params, opts.Bitrate),
+		id:   "shaper:sender",
+		p:    transcode.NewShaper(res.Params, opts.Bitrate),
+		hook: opts.FaultHook,
 	})
 
 	// Walk the path: link to node i, then (if a service) its stage.
@@ -233,6 +268,7 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 			kbps: edge.BandwidthKbps,
 			loss: edge.LossRate,
 			rng:  lossRNG,
+			hook: opts.FaultHook,
 		})
 		p.delayMs += edge.DelayMs
 		node, _ := g.Node(res.Path[i])
@@ -245,7 +281,11 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
-		p.stages = append(p.stages, &stageRunner{id: string(node.Service.ID), p: stage})
+		p.stages = append(p.stages, &stageRunner{
+			id:   string(node.Service.ID),
+			p:    stage,
+			hook: opts.FaultHook,
+		})
 	}
 	return p, nil
 }
@@ -261,10 +301,14 @@ func findEdge(g *graph.Graph, from, to graph.NodeID, format media.Format) *graph
 }
 
 // Run pushes n source frames through the chain and blocks until the
-// stream drains, returning the delivery statistics.
+// stream drains or a stage fails, returning the delivery statistics.
+// On stage failure the run shuts down cleanly: every stage goroutine
+// exits, the partial delivery is reported, and Stats.Failure carries the
+// typed error.
 func (p *Pipeline) Run(n int) Stats {
 	frames := p.source.Frames(n)
 
+	rc := newRunCtx()
 	first := make(chan transcode.Frame, p.buffer)
 	in := first
 	var wg sync.WaitGroup
@@ -273,7 +317,7 @@ func (p *Pipeline) Run(n int) Stats {
 		wg.Add(1)
 		go func(st runner, in <-chan transcode.Frame, out chan<- transcode.Frame) {
 			defer wg.Done()
-			st.run(in, out)
+			st.run(rc, in, out)
 		}(st, in, out)
 		in = out
 	}
@@ -293,11 +337,14 @@ func (p *Pipeline) Run(n int) Stats {
 	}()
 
 	for _, f := range frames {
-		first <- f
+		if !rc.send(first, f) {
+			break
+		}
 	}
 	close(first)
 	wg.Wait()
 	<-done
+	stats.Failure = rc.Failure()
 
 	if stats.FramesOut > 1 && lastPTS > 0 {
 		stats.DeliveredFPS = float64(stats.FramesOut-1) / lastPTS

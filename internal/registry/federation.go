@@ -2,6 +2,7 @@ package registry
 
 import (
 	"sort"
+	"sync"
 
 	"qoschain/internal/media"
 	"qoschain/internal/service"
@@ -69,39 +70,71 @@ func (f *Federation) merge(query func(Source) []*service.Service) []*service.Ser
 	return out
 }
 
-// RemoteSource adapts a wire Client into a Source. Network errors
-// degrade to empty answers — a federation member being down must not
-// fail composition, merely shrink the discovered service pool.
+// RemoteSource adapts a wire Client into a Source. On a network error it
+// serves the last known good answer for the query (marking itself stale)
+// instead of silently shrinking the discovered pool to nothing — a
+// transiently unreachable federation member keeps its most recent
+// directory visible until it answers again. A query that never succeeded
+// degrades to an empty answer.
 type RemoteSource struct {
 	client *Client
+
+	mu      sync.Mutex
+	cache   map[string][]*service.Service
+	stale   bool
+	lastErr error
 }
 
 // NewRemoteSource wraps a connected client.
-func NewRemoteSource(c *Client) *RemoteSource { return &RemoteSource{client: c} }
+func NewRemoteSource(c *Client) *RemoteSource {
+	return &RemoteSource{client: c, cache: make(map[string][]*service.Service)}
+}
+
+// Stale reports whether the most recent query was served from cache
+// because the remote registry did not answer.
+func (r *RemoteSource) Stale() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stale
+}
+
+// LastError returns the most recent remote failure (nil after a
+// successful query).
+func (r *RemoteSource) LastError() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastErr
+}
+
+// serve records a fresh answer or falls back to the cached one.
+func (r *RemoteSource) serve(key string, svcs []*service.Service, err error) []*service.Service {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err == nil {
+		r.cache[key] = svcs
+		r.stale = false
+		r.lastErr = nil
+		return svcs
+	}
+	r.stale = true
+	r.lastErr = err
+	return r.cache[key]
+}
 
 // ByInput implements Source.
 func (r *RemoteSource) ByInput(f media.Format) []*service.Service {
 	svcs, err := r.client.ByInput(f)
-	if err != nil {
-		return nil
-	}
-	return svcs
+	return r.serve("in:"+f.String(), svcs, err)
 }
 
 // ByOutput implements Source.
 func (r *RemoteSource) ByOutput(f media.Format) []*service.Service {
 	svcs, err := r.client.ByOutput(f)
-	if err != nil {
-		return nil
-	}
-	return svcs
+	return r.serve("out:"+f.String(), svcs, err)
 }
 
 // All implements Source.
 func (r *RemoteSource) All() []*service.Service {
 	svcs, err := r.client.All()
-	if err != nil {
-		return nil
-	}
-	return svcs
+	return r.serve("all", svcs, err)
 }

@@ -2,6 +2,7 @@ package registry
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -177,26 +178,91 @@ func (s *Server) dispatch(req request) response {
 // Client talks to a registry Server over TCP. It is safe for sequential
 // use; guard with a mutex for concurrent callers.
 type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
-	sc   *bufio.Scanner
+	conn    net.Conn
+	enc     *json.Encoder
+	sc      *bufio.Scanner
+	timeout time.Duration
 }
 
-// Dial connects to a registry server.
+// Dial connects to a registry server with no I/O timeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, 0)
+}
+
+// DialTimeout connects with a bound on both the connection attempt and
+// every subsequent request/response round trip. A slow or hung registry
+// then fails fast instead of stalling its caller. timeout 0 disables
+// the bound.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("registry: dialing %s: %w", addr, err)
 	}
+	return newClient(conn, timeout), nil
+}
+
+// DialContext connects under a context: cancellation or deadline expiry
+// aborts the connection attempt. The context does not bound later round
+// trips — use SetTimeout or the *Context query variants for that.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("registry: dialing %s: %w", addr, err)
+	}
+	return newClient(conn, 0), nil
+}
+
+func newClient(conn net.Conn, timeout time.Duration) *Client {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc}, nil
+	return &Client{conn: conn, enc: json.NewEncoder(conn), sc: sc, timeout: timeout}
 }
+
+// SetTimeout changes the per-round-trip I/O bound (0 disables it).
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-func (c *Client) roundTrip(req request) (response, error) {
+// roundTrip performs one request/response exchange under the client's
+// timeout and the context's deadline/cancellation, whichever is sooner.
+func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
+	if err := ctx.Err(); err != nil {
+		return response{}, fmt.Errorf("registry: %w", err)
+	}
+	deadline, bounded := ctx.Deadline()
+	if c.timeout > 0 {
+		if t := time.Now().Add(c.timeout); !bounded || t.Before(deadline) {
+			deadline, bounded = t, true
+		}
+	}
+	if bounded {
+		_ = c.conn.SetDeadline(deadline)
+		defer c.conn.SetDeadline(time.Time{}) //nolint:errcheck // best-effort reset
+	}
+	if done := ctx.Done(); done != nil {
+		// Interrupt in-flight I/O on cancellation by expiring the
+		// connection deadline immediately.
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				_ = c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+	}
+
+	resp, err := c.exchange(req)
+	if err != nil && ctx.Err() != nil {
+		return resp, fmt.Errorf("registry: %w", ctx.Err())
+	}
+	return resp, err
+}
+
+func (c *Client) exchange(req request) (response, error) {
 	if err := c.enc.Encode(req); err != nil {
 		return response{}, fmt.Errorf("registry: sending request: %w", err)
 	}
@@ -218,25 +284,40 @@ func (c *Client) roundTrip(req request) (response, error) {
 
 // Register advertises a service with a lease.
 func (c *Client) Register(s *service.Service, lease time.Duration) error {
-	_, err := c.roundTrip(request{Op: "register", Service: s, LeaseMs: lease.Milliseconds()})
+	return c.RegisterContext(context.Background(), s, lease)
+}
+
+// RegisterContext is Register under a context.
+func (c *Client) RegisterContext(ctx context.Context, s *service.Service, lease time.Duration) error {
+	_, err := c.roundTrip(ctx, request{Op: "register", Service: s, LeaseMs: lease.Milliseconds()})
 	return err
 }
 
 // Deregister withdraws a service.
 func (c *Client) Deregister(id service.ID) error {
-	_, err := c.roundTrip(request{Op: "deregister", ID: id})
+	_, err := c.roundTrip(context.Background(), request{Op: "deregister", ID: id})
 	return err
 }
 
 // Renew extends a lease.
 func (c *Client) Renew(id service.ID, lease time.Duration) error {
-	_, err := c.roundTrip(request{Op: "renew", ID: id, LeaseMs: lease.Milliseconds()})
+	return c.RenewContext(context.Background(), id, lease)
+}
+
+// RenewContext is Renew under a context.
+func (c *Client) RenewContext(ctx context.Context, id service.ID, lease time.Duration) error {
+	_, err := c.roundTrip(ctx, request{Op: "renew", ID: id, LeaseMs: lease.Milliseconds()})
 	return err
 }
 
 // Lookup fetches one advertisement.
 func (c *Client) Lookup(id service.ID) (*service.Service, error) {
-	resp, err := c.roundTrip(request{Op: "lookup", ID: id})
+	return c.LookupContext(context.Background(), id)
+}
+
+// LookupContext is Lookup under a context.
+func (c *Client) LookupContext(ctx context.Context, id service.ID) (*service.Service, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "lookup", ID: id})
 	if err != nil {
 		return nil, err
 	}
@@ -248,7 +329,12 @@ func (c *Client) Lookup(id service.ID) (*service.Service, error) {
 
 // ByInput queries services accepting a format.
 func (c *Client) ByInput(f media.Format) ([]*service.Service, error) {
-	resp, err := c.roundTrip(request{Op: "byinput", Format: f.String()})
+	return c.ByInputContext(context.Background(), f)
+}
+
+// ByInputContext is ByInput under a context.
+func (c *Client) ByInputContext(ctx context.Context, f media.Format) ([]*service.Service, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "byinput", Format: f.String()})
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +343,12 @@ func (c *Client) ByInput(f media.Format) ([]*service.Service, error) {
 
 // ByOutput queries services producing a format.
 func (c *Client) ByOutput(f media.Format) ([]*service.Service, error) {
-	resp, err := c.roundTrip(request{Op: "byoutput", Format: f.String()})
+	return c.ByOutputContext(context.Background(), f)
+}
+
+// ByOutputContext is ByOutput under a context.
+func (c *Client) ByOutputContext(ctx context.Context, f media.Format) ([]*service.Service, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "byoutput", Format: f.String()})
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +357,12 @@ func (c *Client) ByOutput(f media.Format) ([]*service.Service, error) {
 
 // All lists every live advertisement.
 func (c *Client) All() ([]*service.Service, error) {
-	resp, err := c.roundTrip(request{Op: "all"})
+	return c.AllContext(context.Background())
+}
+
+// AllContext is All under a context.
+func (c *Client) AllContext(ctx context.Context) ([]*service.Service, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "all"})
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +371,7 @@ func (c *Client) All() ([]*service.Service, error) {
 
 // Len returns the number of live advertisements.
 func (c *Client) Len() (int, error) {
-	resp, err := c.roundTrip(request{Op: "len"})
+	resp, err := c.roundTrip(context.Background(), request{Op: "len"})
 	if err != nil {
 		return 0, err
 	}

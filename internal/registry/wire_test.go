@@ -1,6 +1,7 @@
 package registry
 
 import (
+	"context"
 	"net"
 	"testing"
 	"time"
@@ -165,7 +166,7 @@ func TestWireBadRequestLine(t *testing.T) {
 
 func TestWireUnknownOp(t *testing.T) {
 	_, c := startServer(t)
-	if _, err := c.roundTrip(request{Op: "explode"}); err == nil {
+	if _, err := c.roundTrip(context.Background(), request{Op: "explode"}); err == nil {
 		t.Error("unknown op should fail")
 	}
 }

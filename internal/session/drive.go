@@ -12,6 +12,9 @@ type Sample struct {
 	Satisfaction float64
 	// Recomposed reports whether this step switched chains.
 	Recomposed bool
+	// Degraded reports whether the session ran this step below its
+	// satisfaction floor (failover sessions only).
+	Degraded bool
 }
 
 // Drive advances virtual time: each step it calls advance (the caller's
@@ -24,6 +27,7 @@ func (s *Session) Drive(advance func(), steps int) ([]Sample, error) {
 		if advance != nil {
 			advance()
 		}
+		s.Tick()
 		changed, err := s.Reevaluate()
 		if err != nil {
 			return samples, err
@@ -33,6 +37,7 @@ func (s *Session) Drive(advance func(), steps int) ([]Sample, error) {
 			Path:         core.PathString(s.current.Path),
 			Satisfaction: s.current.Satisfaction,
 			Recomposed:   changed,
+			Degraded:     s.degraded,
 		})
 	}
 	return samples, nil

@@ -1,0 +1,312 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"qoschain/internal/core"
+	"qoschain/internal/metrics"
+	"qoschain/internal/service"
+)
+
+// ServicePool is a live view over the deployed services — typically a
+// *fault.ServiceSet. When a session has one, it composes against
+// Alive() instead of the static Config.Services list, so crashed hosts
+// and deregistered services drop out of candidate chains immediately.
+type ServicePool interface {
+	Alive() []*service.Service
+}
+
+// FailoverConfig tunes the session's failure handling. The zero value
+// disables failover entirely, preserving the strict error-returning
+// behavior of plain sessions.
+type FailoverConfig struct {
+	// Enabled turns the failover loop on.
+	Enabled bool
+	// MaxRetries bounds re-composition attempts per failover (beyond
+	// the first try). Default 4.
+	MaxRetries int
+	// BaseBackoff is the first retry's delay; it doubles per attempt up
+	// to MaxBackoff, with jitter. Defaults 50ms and 1s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed seeds the backoff jitter draws (0 uses seed 1) so
+	// chaos runs replay identically.
+	JitterSeed int64
+	// Sleep replaces time.Sleep between retries — tests and the
+	// virtual-time simulator inject a no-op recorder here.
+	Sleep func(time.Duration)
+	// QuarantineSteps is how many session ticks a failed host or
+	// service stays excluded from composition after a failure was
+	// pinned on it. Default 8.
+	QuarantineSteps int
+	// SatisfactionFloor is the minimum acceptable satisfaction for a
+	// recovered chain. Below it the session degrades gracefully:
+	// retries first, then adopts the best below-floor chain rather than
+	// dying. 0 accepts anything.
+	SatisfactionFloor float64
+	// Metrics receives failover counters; nil is a valid no-op sink.
+	Metrics *metrics.Counters
+}
+
+// FailoverStatus is the externally visible failure-handling state.
+type FailoverStatus struct {
+	// Enabled mirrors the config.
+	Enabled bool `json:"enabled"`
+	// Degraded is true while the session runs below its satisfaction
+	// floor (or with no viable chain at all).
+	Degraded bool `json:"degraded"`
+	// Failovers and Retries count loop entries and retry attempts.
+	Failovers int `json:"failovers"`
+	Retries   int `json:"retries"`
+	// Quarantined lists active exclusions ("host:p3", "svc:t7"), sorted.
+	Quarantined []string `json:"quarantined,omitempty"`
+	// LastError describes the most recent unrecovered failure, if any.
+	LastError string `json:"lastError,omitempty"`
+}
+
+func (fc *FailoverConfig) maxRetries() int {
+	if fc.MaxRetries > 0 {
+		return fc.MaxRetries
+	}
+	return 4
+}
+
+func (fc *FailoverConfig) baseBackoff() time.Duration {
+	if fc.BaseBackoff > 0 {
+		return fc.BaseBackoff
+	}
+	return 50 * time.Millisecond
+}
+
+func (fc *FailoverConfig) maxBackoff() time.Duration {
+	if fc.MaxBackoff > 0 {
+		return fc.MaxBackoff
+	}
+	return time.Second
+}
+
+func (fc *FailoverConfig) quarantineSteps() int {
+	if fc.QuarantineSteps > 0 {
+		return fc.QuarantineSteps
+	}
+	return 8
+}
+
+// Tick advances the session's virtual clock one step and re-admits
+// quarantined hosts and services whose sentence has expired. Drive loops
+// and the simulator call it once per step.
+func (s *Session) Tick() {
+	s.step++
+	for key, until := range s.quarantine {
+		if until <= s.step {
+			delete(s.quarantine, key)
+		}
+	}
+}
+
+// CurrentStep returns the session's virtual clock.
+func (s *Session) CurrentStep() int { return s.step }
+
+// QuarantineHost excludes a host's services from composition for the
+// configured number of ticks.
+func (s *Session) QuarantineHost(host string) {
+	s.quarantineKey("host:" + host)
+}
+
+// QuarantineService excludes one service from composition for the
+// configured number of ticks.
+func (s *Session) QuarantineService(id service.ID) {
+	s.quarantineKey("svc:" + string(id))
+}
+
+func (s *Session) quarantineKey(key string) {
+	if s.quarantine == nil {
+		s.quarantine = make(map[string]int)
+	}
+	if _, already := s.quarantine[key]; !already {
+		s.cfg.Failover.Metrics.Inc(metrics.CounterQuarantined)
+	}
+	s.quarantine[key] = s.step + s.cfg.Failover.quarantineSteps()
+}
+
+// Quarantined returns the active exclusions, sorted.
+func (s *Session) Quarantined() []string {
+	out := make([]string, 0, len(s.quarantine))
+	for key := range s.quarantine {
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Degraded reports whether the session is running below its
+// satisfaction floor (or without a viable fresh chain).
+func (s *Session) Degraded() bool { return s.degraded }
+
+// FailoverStatus snapshots the failure-handling state.
+func (s *Session) FailoverStatus() FailoverStatus {
+	st := FailoverStatus{
+		Enabled:     s.cfg.Failover.Enabled,
+		Degraded:    s.degraded,
+		Failovers:   s.failovers,
+		Retries:     s.retries,
+		Quarantined: s.Quarantined(),
+	}
+	if s.lastErr != nil {
+		st.LastError = s.lastErr.Error()
+	}
+	return st
+}
+
+// liveServices returns the composition candidates: the live pool (when
+// attached) minus quarantined hosts and services.
+func (s *Session) liveServices() []*service.Service {
+	svcs := s.cfg.Services
+	if s.cfg.Pool != nil {
+		svcs = s.cfg.Pool.Alive()
+	}
+	if len(s.quarantine) == 0 {
+		return svcs
+	}
+	out := make([]*service.Service, 0, len(svcs))
+	for _, svc := range svcs {
+		if s.quarantine["host:"+svc.Host] > s.step {
+			continue
+		}
+		if s.quarantine["svc:"+string(svc.ID)] > s.step {
+			continue
+		}
+		out = append(out, svc)
+	}
+	return out
+}
+
+// OnStageFailure reacts to a pipeline StageFailure: the culprit service
+// (and its host) is quarantined and the session fails over. Link and
+// sender-side stages trigger failover without quarantine — the overlay
+// already reflects link failures. The stage argument is the failing
+// element's ID as reported by pipeline.StageFailure.Stage. It returns
+// whether the session switched chains.
+func (s *Session) OnStageFailure(stage string) (bool, error) {
+	if !strings.HasPrefix(stage, "link:") && !strings.HasPrefix(stage, "shaper:") {
+		id := service.ID(stage)
+		s.QuarantineService(id)
+		for _, svc := range s.cfg.Services {
+			if svc.ID == id && svc.Host != "" {
+				s.QuarantineHost(svc.Host)
+				break
+			}
+		}
+	}
+	if !s.cfg.Failover.Enabled {
+		return s.Reevaluate()
+	}
+	if s.cfg.ReserveBandwidth {
+		s.releaseCurrent()
+		defer s.reserveCurrent() //nolint:errcheck // degraded sessions may not fit; tracked via lastErr
+	}
+	return s.failover(fmt.Errorf("session: stage %s failed", stage))
+}
+
+// failover is the bounded-retry re-composition loop. It never returns a
+// hard error and never blocks indefinitely: it retries with exponential
+// backoff and jitter, prefers any chain clearing the satisfaction floor,
+// then degrades gracefully to the best below-floor chain, and as a last
+// resort keeps the previous chain in a degraded state (a total partition
+// leaves nothing better to stream over).
+func (s *Session) failover(cause error) (bool, error) {
+	fc := &s.cfg.Failover
+	m := fc.Metrics
+	m.Inc(metrics.CounterFailovers)
+	s.failovers++
+	if !s.degraded {
+		s.degraded = true
+		s.downSince = s.step
+		m.Inc(metrics.CounterDegraded)
+	}
+	s.lastErr = cause
+
+	sleep := fc.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	if s.jitter == nil {
+		seed := fc.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		s.jitter = rand.New(rand.NewSource(seed))
+	}
+
+	var best *core.Result // best below-floor candidate seen
+	backoff := fc.baseBackoff()
+	for attempt := 0; attempt <= fc.maxRetries(); attempt++ {
+		if attempt > 0 {
+			m.Inc(metrics.CounterRetries)
+			s.retries++
+			// Full jitter: sleep a uniform fraction of the current
+			// backoff, then double it.
+			d := time.Duration(s.jitter.Int63n(int64(backoff))) + backoff/2
+			sleep(d)
+			if backoff *= 2; backoff > fc.maxBackoff() {
+				backoff = fc.maxBackoff()
+			}
+		}
+		res, err := s.composeWith(s.liveServices(), fc.SatisfactionFloor)
+		if err == nil {
+			s.adoptFailover(res, "failover", attempt)
+			return true, nil
+		}
+		if errors.Is(err, core.ErrBelowFloor) && res != nil && res.Found {
+			if best == nil || res.Satisfaction > best.Satisfaction {
+				best = res
+			}
+		}
+		s.lastErr = err
+	}
+
+	// Retry budget exhausted: graceful degradation. Adopt the best
+	// below-floor chain if any composition produced one — relaxing
+	// toward the minimum acceptable values rather than dying.
+	if best != nil {
+		s.recordChange("failover-degraded", best)
+		s.degraded = true
+		return true, nil
+	}
+	// Nothing composes at all (total partition): keep the last chain.
+	return false, nil
+}
+
+// adoptFailover installs a recovered chain and closes out the outage
+// bookkeeping.
+func (s *Session) adoptFailover(res *core.Result, reason string, attempt int) {
+	m := s.cfg.Failover.Metrics
+	s.recordChange(reason, res)
+	m.Inc(metrics.CounterRecovered)
+	m.Observe(metrics.SampleRecoveryRetries, float64(attempt))
+	if s.degraded {
+		m.Observe(metrics.SampleRecoverySteps, float64(s.step-s.downSince))
+		s.degraded = false
+	}
+	s.lastErr = nil
+}
+
+// recordChange appends to history and swaps the current chain.
+func (s *Session) recordChange(reason string, res *core.Result) {
+	from := ""
+	if s.current != nil {
+		from = core.PathString(s.current.Path)
+	}
+	s.history = append(s.history, Change{
+		Reason:       reason,
+		From:         from,
+		To:           core.PathString(res.Path),
+		Satisfaction: res.Satisfaction,
+	})
+	s.current = res
+}

@@ -6,7 +6,9 @@
 package session
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 
 	"qoschain/internal/core"
 	"qoschain/internal/graph"
@@ -37,6 +39,13 @@ type Config struct {
 	// every inter-host link it crosses (admission control): concurrent
 	// sessions then compose against the remaining capacity only.
 	ReserveBandwidth bool
+	// Pool, when set, overrides Services as the composition candidate
+	// source: the session composes against Pool.Alive() so failed hosts
+	// and deregistered services drop out immediately. Services is still
+	// used as the full directory for host lookups.
+	Pool ServicePool
+	// Failover tunes failure handling; the zero value disables it.
+	Failover FailoverConfig
 }
 
 // Change records one re-composition.
@@ -55,9 +64,21 @@ type Session struct {
 	current *core.Result
 	history []Change
 	held    []reservation
+
+	// failover state (see failover.go)
+	step       int
+	degraded   bool
+	downSince  int
+	quarantine map[string]int // "host:x"/"svc:y" -> expiry step
+	failovers  int
+	retries    int
+	lastErr    error
+	jitter     *rand.Rand
 }
 
-// New composes the initial chain. It fails when no chain exists at all.
+// New composes the initial chain. It fails when no chain exists at all;
+// with failover enabled a chain below the satisfaction floor is adopted
+// in a degraded state instead of rejected.
 func New(cfg Config) (*Session, error) {
 	if cfg.Tolerance <= 0 {
 		cfg.Tolerance = 0.02
@@ -65,7 +86,13 @@ func New(cfg Config) (*Session, error) {
 	s := &Session{cfg: cfg}
 	res, err := s.compose()
 	if err != nil {
-		return nil, err
+		if cfg.Failover.Enabled && errors.Is(err, core.ErrBelowFloor) && res != nil && res.Found {
+			s.degraded = true
+			s.downSince = 0
+			s.lastErr = err
+		} else {
+			return nil, err
+		}
 	}
 	s.current = res
 	if cfg.ReserveBandwidth {
@@ -76,12 +103,24 @@ func New(cfg Config) (*Session, error) {
 	return s, nil
 }
 
-// compose rebuilds the graph from the live overlay and selects a chain.
+// compose rebuilds the graph from the live services and selects a chain
+// at the configured satisfaction floor.
 func (s *Session) compose() (*core.Result, error) {
+	floor := s.cfg.Select.SatisfactionFloor
+	if s.cfg.Failover.Enabled && s.cfg.Failover.SatisfactionFloor > floor {
+		floor = s.cfg.Failover.SatisfactionFloor
+	}
+	return s.composeWith(s.liveServices(), floor)
+}
+
+// composeWith builds the graph over the given service set and selects a
+// chain. On core.ErrBelowFloor the below-floor result is passed through
+// alongside the error so callers can deliberately adopt a degraded chain.
+func (s *Session) composeWith(svcs []*service.Service, floor float64) (*core.Result, error) {
 	g, err := graph.Build(graph.Input{
 		Content:      s.cfg.Content,
 		Device:       s.cfg.Device,
-		Services:     s.cfg.Services,
+		Services:     svcs,
 		Net:          s.cfg.Net,
 		SenderHost:   s.cfg.SenderHost,
 		ReceiverHost: s.cfg.ReceiverHost,
@@ -89,9 +128,11 @@ func (s *Session) compose() (*core.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("session: %w", err)
 	}
-	res, err := core.Select(g, s.cfg.Select)
+	sel := s.cfg.Select
+	sel.SatisfactionFloor = floor
+	res, err := core.Select(g, sel)
 	if err != nil {
-		return nil, fmt.Errorf("session: %w", err)
+		return res, fmt.Errorf("session: %w", err)
 	}
 	return res, nil
 }
@@ -113,7 +154,7 @@ func (s *Session) currentAchievable() (float64, bool) {
 	g, err := graph.Build(graph.Input{
 		Content:      s.cfg.Content,
 		Device:       s.cfg.Device,
-		Services:     s.cfg.Services,
+		Services:     s.liveServices(),
 		Net:          s.cfg.Net,
 		SenderHost:   s.cfg.SenderHost,
 		ReceiverHost: s.cfg.ReceiverHost,
@@ -163,13 +204,27 @@ func (s *Session) Reevaluate() (changed bool, err error) {
 func (s *Session) reevaluate() (bool, error) {
 	achievable, alive := s.currentAchievable()
 
+	if s.cfg.Failover.Enabled && !alive {
+		// The chain lost an edge (host crash, link failure, service
+		// gone): enter the failover loop instead of erroring out.
+		return s.failover(fmt.Errorf("session: current chain broken"))
+	}
+
 	fresh, err := s.compose()
 	if err != nil {
 		if !alive {
 			return false, fmt.Errorf("session: current chain broken and no replacement: %w", err)
 		}
-		// Current chain still works; stay on it.
+		// Current chain still works; stay on it (with failover enabled
+		// this includes fresh candidates below the satisfaction floor).
 		return false, nil
+	}
+
+	if s.degraded {
+		// A healthy chain is available again — recover through the
+		// failover bookkeeping so the outage is accounted for.
+		s.adoptFailover(fresh, "recovered", 0)
+		return true, nil
 	}
 
 	reason := ""
@@ -188,13 +243,7 @@ func (s *Session) reevaluate() (bool, error) {
 		return false, nil
 	}
 
-	s.history = append(s.history, Change{
-		Reason:       reason,
-		From:         core.PathString(s.current.Path),
-		To:           core.PathString(fresh.Path),
-		Satisfaction: fresh.Satisfaction,
-	})
-	s.current = fresh
+	s.recordChange(reason, fresh)
 	return true, nil
 }
 

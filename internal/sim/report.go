@@ -16,11 +16,17 @@ func (r *Report) RenderMarkdown(w io.Writer) error {
 		len(r.Steps), len(r.Sessions), r.MeanSatisfaction(), r.TotalRejections())
 
 	b.WriteString("## Per-step\n\n")
-	b.WriteString("| step | arrivals | departures | active | mean satisfaction | recompositions | rejections |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| step | arrivals | departures | active | mean satisfaction | recompositions | rejections | degraded |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for _, s := range r.Steps {
-		fmt.Fprintf(&b, "| %d | %d | %d | %d | %.3f | %d | %d |\n",
-			s.Step, s.Arrivals, s.Departures, s.Active, s.MeanSat, s.Recompositions, s.Rejections)
+		fmt.Fprintf(&b, "| %d | %d | %d | %d | %.3f | %d | %d | %d |\n",
+			s.Step, s.Arrivals, s.Departures, s.Active, s.MeanSat, s.Recompositions, s.Rejections, s.Degraded)
+	}
+
+	if r.Counters != nil {
+		b.WriteString("\n## Failover metrics\n\n```\n")
+		r.Counters.Render(&b)
+		b.WriteString("```\n")
 	}
 
 	b.WriteString("\n## Per-session\n\n")

@@ -15,20 +15,28 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"qoschain/internal/core"
+	"qoschain/internal/fault"
 	"qoschain/internal/graph"
+	"qoschain/internal/metrics"
 	"qoschain/internal/overlay"
 	"qoschain/internal/profile"
+	"qoschain/internal/service"
 	"qoschain/internal/session"
 )
 
 // Event is one scheduled occurrence. Kind selects the variant:
 //
-//	arrive     SessionID, User, Device  — a session joins
-//	depart     SessionID                — a session leaves
-//	bandwidth  From, To, Kbps           — a link's capacity changes
-//	removelink From, To                 — a link fails
+//	arrive      SessionID, User, Device  — a session joins
+//	depart      SessionID                — a session leaves
+//	bandwidth   From, To, Kbps           — a link's capacity changes
+//	removelink  From, To                 — a link is removed for good
+//	hostdown    Host                     — a host crashes (links + services)
+//	hostup      Host                     — a crashed host recovers
+//	servicedown Service                  — a service deregisters
+//	serviceup   Service                  — a deregistered service returns
 type Event struct {
 	AtStep    int     `json:"atStep"`
 	Kind      string  `json:"kind"`
@@ -38,6 +46,8 @@ type Event struct {
 	From      string  `json:"from,omitempty"`
 	To        string  `json:"to,omitempty"`
 	Kbps      float64 `json:"kbps,omitempty"`
+	Host      string  `json:"host,omitempty"`
+	Service   string  `json:"service,omitempty"`
 }
 
 // Scenario is a complete simulation description.
@@ -61,6 +71,13 @@ type Scenario struct {
 	Devices []profile.Device `json:"devices"`
 	// Reserve enables bandwidth reservation (admission control).
 	Reserve bool `json:"reserve,omitempty"`
+	// Failover enables the session failover loop: broken chains
+	// re-compose with quarantine and graceful degradation instead of
+	// stalling on their last chain.
+	Failover bool `json:"failover,omitempty"`
+	// SatisfactionFloor is the failover sessions' minimum acceptable
+	// satisfaction (see session.FailoverConfig).
+	SatisfactionFloor float64 `json:"satisfactionFloor,omitempty"`
 	// Events is the schedule.
 	Events []Event `json:"events"`
 }
@@ -124,6 +141,14 @@ func (sc *Scenario) Validate() error {
 			if ev.From == "" || ev.To == "" {
 				return fmt.Errorf("sim: event %d: bad removelink event", i)
 			}
+		case "hostdown", "hostup":
+			if ev.Host == "" {
+				return fmt.Errorf("sim: event %d: %s needs host", i, ev.Kind)
+			}
+		case "servicedown", "serviceup":
+			if ev.Service == "" {
+				return fmt.Errorf("sim: event %d: %s needs service", i, ev.Kind)
+			}
 		default:
 			return fmt.Errorf("sim: event %d has unknown kind %q", i, ev.Kind)
 		}
@@ -154,6 +179,9 @@ type StepReport struct {
 	Rejections     int
 	Departures     int
 	Arrivals       int
+	// Degraded counts active sessions running below their satisfaction
+	// floor this step (failover scenarios only).
+	Degraded int
 }
 
 // SessionTrace records one session's life.
@@ -174,6 +202,18 @@ type Report struct {
 	Name     string
 	Steps    []StepReport
 	Sessions []SessionTrace
+	// Counters carries the failover metrics of a failover-enabled run
+	// (nil otherwise).
+	Counters *metrics.Counters
+}
+
+// DegradedSteps counts step/session pairs spent degraded.
+func (r *Report) DegradedSteps() int {
+	n := 0
+	for _, s := range r.Steps {
+		n += s.Degraded
+	}
+	return n
 }
 
 // MeanSatisfaction averages the per-step means over steps with sessions.
@@ -228,6 +268,11 @@ func Run(sc *Scenario) (*Report, error) {
 		devicesByID[sc.Devices[i].ID] = &sc.Devices[i]
 	}
 	pool := graph.CollectServices(sc.Intermediaries)
+	svcSet := fault.NewServiceSet(pool)
+	var counters *metrics.Counters
+	if sc.Failover {
+		counters = metrics.NewCounters()
+	}
 
 	steps := sc.Steps
 	for _, ev := range sc.Events {
@@ -240,7 +285,7 @@ func Run(sc *Scenario) (*Report, error) {
 		eventsAt[ev.AtStep] = append(eventsAt[ev.AtStep], ev)
 	}
 
-	report := &Report{Name: sc.Name}
+	report := &Report{Name: sc.Name, Counters: counters}
 	live := make(map[string]*active)
 	order := []string{} // arrival order for deterministic iteration
 
@@ -252,6 +297,16 @@ func Run(sc *Scenario) (*Report, error) {
 				_ = net.SetBandwidth(ev.From, ev.To, ev.Kbps)
 			case "removelink":
 				net.RemoveLink(ev.From, ev.To)
+			case "hostdown":
+				_ = net.FailHost(ev.Host)
+				svcSet.SetHostDown(ev.Host, true)
+			case "hostup":
+				_ = net.RecoverHost(ev.Host)
+				svcSet.SetHostDown(ev.Host, false)
+			case "servicedown":
+				svcSet.SetServiceDown(service.ID(ev.Service), true)
+			case "serviceup":
+				svcSet.SetServiceDown(service.ID(ev.Service), false)
 			case "depart":
 				if a, ok := live[ev.SessionID]; ok {
 					a.sess.Close()
@@ -273,7 +328,7 @@ func Run(sc *Scenario) (*Report, error) {
 				if perr != nil {
 					return nil, perr
 				}
-				sess, serr := session.New(session.Config{
+				scfg := session.Config{
 					Content:      &sc.Content,
 					Device:       device,
 					Services:     pool,
@@ -286,7 +341,18 @@ func Run(sc *Scenario) (*Report, error) {
 						ReceiverCaps: device.RenderCaps(),
 					},
 					ReserveBandwidth: sc.Reserve,
-				})
+				}
+				if sc.Failover {
+					scfg.Pool = svcSet
+					scfg.Failover = session.FailoverConfig{
+						Enabled:           true,
+						SatisfactionFloor: sc.SatisfactionFloor,
+						// Virtual time: retries must not wall-clock sleep.
+						Sleep:   func(time.Duration) {},
+						Metrics: counters,
+					}
+				}
+				sess, serr := session.New(scfg)
 				trace := SessionTrace{
 					ID: ev.SessionID, User: ev.User, Device: ev.Device,
 					ArriveStep: step,
@@ -307,6 +373,7 @@ func Run(sc *Scenario) (*Report, error) {
 		satSum := 0.0
 		for _, id := range order {
 			a := live[id]
+			a.sess.Tick()
 			changed, rerr := a.sess.Reevaluate()
 			if rerr != nil {
 				// A partitioned session keeps its last chain; count it
@@ -315,6 +382,9 @@ func Run(sc *Scenario) (*Report, error) {
 			}
 			if changed {
 				sr.Recompositions++
+			}
+			if a.sess.Degraded() {
+				sr.Degraded++
 			}
 			res := a.sess.Result()
 			satSum += res.Satisfaction
@@ -325,6 +395,7 @@ func Run(sc *Scenario) (*Report, error) {
 				Path:         core.PathString(res.Path),
 				Satisfaction: res.Satisfaction,
 				Recomposed:   changed,
+				Degraded:     a.sess.Degraded(),
 			})
 		}
 		sr.Active = len(order)

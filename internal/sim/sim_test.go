@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
 	"qoschain/internal/profile"
 	"qoschain/internal/service"
 )
@@ -273,5 +274,93 @@ func TestRenderMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(b2.String(), "*(rejected)*") {
 		t.Error("rejected session should be marked in the report")
+	}
+}
+
+func TestRunHostCrashFailsOverAndRecovers(t *testing.T) {
+	sc := scenario()
+	sc.Failover = true
+	sc.SatisfactionFloor = 0.3
+	sc.Events = []Event{
+		{AtStep: 1, Kind: "arrive", SessionID: "s1", User: "alice", Device: "dev-1"},
+		{AtStep: 3, Kind: "hostdown", Host: "proxy-fast"},
+		{AtStep: 6, Kind: "hostup", Host: "proxy-fast"},
+	}
+	sc.Steps = 8
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rep.Sessions[0].Samples
+	if samples[1].Path != "sender,fast,receiver" {
+		t.Errorf("pre-crash path = %s", samples[1].Path)
+	}
+	// Steps 3-5: proxy-fast is down, the session must survive on slow.
+	if samples[3].Path != "sender,slow,receiver" {
+		t.Errorf("mid-outage path = %s", samples[3].Path)
+	}
+	// After recovery the session returns to the fast chain.
+	if samples[7].Path != "sender,fast,receiver" || samples[7].Satisfaction != 1 {
+		t.Errorf("post-recovery sample = %+v", samples[7])
+	}
+	if rep.Counters == nil || rep.Counters.Get(metrics.CounterFailovers) == 0 {
+		t.Error("failover metrics must be recorded")
+	}
+}
+
+func TestRunServiceChurnEvents(t *testing.T) {
+	sc := scenario()
+	sc.Failover = true
+	sc.Events = []Event{
+		{AtStep: 1, Kind: "arrive", SessionID: "s1", User: "alice", Device: "dev-1"},
+		{AtStep: 2, Kind: "servicedown", Service: "fast"},
+		{AtStep: 5, Kind: "serviceup", Service: "fast"},
+	}
+	sc.Steps = 7
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := rep.Sessions[0].Samples
+	if samples[2].Path != "sender,slow,receiver" {
+		t.Errorf("path with fast deregistered = %s", samples[2].Path)
+	}
+	if samples[6].Path != "sender,fast,receiver" {
+		t.Errorf("path after re-registration = %s", samples[6].Path)
+	}
+}
+
+func TestRunUnrecoverableOutageDegradesNotAborts(t *testing.T) {
+	sc := scenario()
+	sc.Failover = true
+	sc.SatisfactionFloor = 0.3
+	sc.Events = []Event{
+		{AtStep: 1, Kind: "arrive", SessionID: "s1", User: "alice", Device: "dev-1"},
+		{AtStep: 2, Kind: "hostdown", Host: "proxy-fast"},
+		{AtStep: 2, Kind: "hostdown", Host: "proxy-slow"},
+	}
+	sc.Steps = 4
+	rep, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DegradedSteps() == 0 {
+		t.Error("total outage must show degraded steps")
+	}
+	last := rep.Sessions[0].Samples[3]
+	if !last.Degraded {
+		t.Errorf("final sample = %+v", last)
+	}
+}
+
+func TestScenarioValidatesFaultEvents(t *testing.T) {
+	sc := scenario()
+	sc.Events = []Event{{AtStep: 1, Kind: "hostdown"}}
+	if err := sc.Validate(); err == nil {
+		t.Error("hostdown without host must fail validation")
+	}
+	sc.Events = []Event{{AtStep: 1, Kind: "serviceup"}}
+	if err := sc.Validate(); err == nil {
+		t.Error("serviceup without service must fail validation")
 	}
 }
