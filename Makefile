@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-select check ci
+.PHONY: all build test vet race bench bench-select lint check ci
 
 all: check
 
@@ -26,6 +26,21 @@ bench-select:
 # paper plus the extension experiments).
 bench:
 	$(GO) test -run 'TestNone' -bench . -benchmem ./
+
+# lint runs staticcheck and govulncheck when they are installed, and
+# skips each gracefully when not (CI installs both; local machines may
+# not have them).
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
 
 check: vet build test
 

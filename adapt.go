@@ -24,6 +24,7 @@
 package qoschain
 
 import (
+	"context"
 	"fmt"
 
 	"qoschain/internal/core"
@@ -75,6 +76,14 @@ type Composition struct {
 // the user profile (satisfaction functions and budget) and the receiver
 // caps from the device hardware.
 func Compose(set *profile.Set, opts Options) (*Composition, error) {
+	return ComposeCtx(context.Background(), set, opts)
+}
+
+// ComposeCtx is Compose under a context: the selection loop observes
+// the context's deadline/cancellation (core.SelectCtx) so a request
+// whose budget ran out stops consuming planner time. Serving layers
+// pass their per-request context here.
+func ComposeCtx(ctx context.Context, set *profile.Set, opts Options) (*Composition, error) {
 	if set == nil {
 		return nil, fmt.Errorf("qoschain: nil profile set")
 	}
@@ -110,7 +119,7 @@ func Compose(set *profile.Set, opts Options) (*Composition, error) {
 		ReceiverCaps: set.Device.RenderCaps(),
 		Trace:        opts.Trace,
 	}
-	res, err := core.Select(g, cfg)
+	res, err := core.SelectCtx(ctx, g, cfg)
 	if err != nil {
 		return &Composition{Result: res, Graph: g, Config: cfg}, err
 	}
@@ -137,6 +146,13 @@ type BatchComposition struct {
 // the set's own user. Results are in input order; the shared graph is
 // returned for inspection.
 func ComposeBatch(set *profile.Set, users []profile.User, opts Options) ([]BatchComposition, *graph.Graph, error) {
+	return ComposeBatchCtx(context.Background(), set, users, opts)
+}
+
+// ComposeBatchCtx is ComposeBatch under a context: users not yet
+// planned when the deadline passes are marked aborted, and in-flight
+// selections stop at their next round check (core.SelectBatchCtx).
+func ComposeBatchCtx(ctx context.Context, set *profile.Set, users []profile.User, opts Options) ([]BatchComposition, *graph.Graph, error) {
 	if set == nil {
 		return nil, nil, fmt.Errorf("qoschain: nil profile set")
 	}
@@ -162,7 +178,7 @@ func ComposeBatch(set *profile.Set, users []profile.User, opts Options) ([]Batch
 	}
 
 	out := make([]BatchComposition, len(users))
-	idx := make([]int, 0, len(users))   // positions with a valid config
+	idx := make([]int, 0, len(users)) // positions with a valid config
 	cfgs := make([]core.Config, 0, len(users))
 	receiverCaps := set.Device.RenderCaps()
 	for i := range users {
@@ -189,7 +205,7 @@ func ComposeBatch(set *profile.Set, users []profile.User, opts Options) ([]Batch
 		cfgs = append(cfgs, cfg)
 	}
 
-	for j, br := range core.SelectBatch(g, cfgs) {
+	for j, br := range core.SelectBatchCtx(ctx, g, cfgs) {
 		out[idx[j]].Result = br.Result
 		out[idx[j]].Err = br.Err
 	}

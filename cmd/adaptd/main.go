@@ -6,6 +6,10 @@
 //
 //	adaptd -listen 127.0.0.1:8080
 //
+// Overload protection (see internal/admission) is opt-in:
+//
+//	adaptd -max-inflight 64 -request-timeout 2s -rate 50
+//
 // Endpoints: GET /healthz, GET /v1/formats, POST /v1/compose,
 // POST /v1/composeBatch, POST /v1/graph — see internal/httpapi for the
 // contract. Example:
@@ -32,6 +36,11 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "listen address")
 	storeDir := flag.String("store", "", "profile store directory (enables /v1/profiles and /v1/compose/byref)")
+	maxInFlight := flag.Int("max-inflight", 0, "cap on concurrently served requests (0 disables the limiter)")
+	maxQueue := flag.Int("max-queue", 0, "requests allowed to wait for a slot (default 4x -max-inflight; -1 for none)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated into the planner (0 unbounded)")
+	rate := flag.Float64("rate", 0, "per-client requests per second (0 disables rate limiting)")
+	burst := flag.Float64("burst", 0, "per-client token-bucket depth (default 2x -rate)")
 	flag.Parse()
 
 	handler := httpapi.Handler()
@@ -43,6 +52,13 @@ func main() {
 		}
 		handler = httpapi.HandlerWithStore(st)
 	}
+	handler = httpapi.WithAdmission(handler, httpapi.AdmissionConfig{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *requestTimeout,
+		Rate:           *rate,
+		Burst:          *burst,
+	})
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

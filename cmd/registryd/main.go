@@ -11,12 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"qoschain/internal/media"
@@ -32,10 +34,16 @@ func main() {
 	byInput := flag.String("byinput", "", "query services accepting this format")
 	byOutput := flag.String("byoutput", "", "query services producing this format")
 	all := flag.Bool("all", false, "list all registered services")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "close connections idle for this long (0 disables)")
+	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 disables)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight connections are force-closed")
 	flag.Parse()
 
 	if *listen != "" {
-		serve(*listen)
+		serve(*listen, registry.ServeOptions{
+			IdleTimeout:  *idleTimeout,
+			WriteTimeout: *writeTimeout,
+		}, *shutdownGrace)
 		return
 	}
 
@@ -91,18 +99,19 @@ func main() {
 	}
 }
 
-func serve(listenAddr string) {
+func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		fatal(err)
 	}
 	reg := registry.New()
-	srv := registry.Serve(reg, ln)
+	srv := registry.ServeOpts(reg, ln, opts)
 	fmt.Printf("registryd: serving on %s\n", srv.Addr())
 
-	// Sweep expired leases periodically until interrupted.
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	// Sweep expired leases periodically; SIGINT/SIGTERM stops accepting
+	// and drains in-flight connections before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ticker := time.NewTicker(10 * time.Second)
 	defer ticker.Stop()
 	for {
@@ -111,9 +120,12 @@ func serve(listenAddr string) {
 			if n := reg.Sweep(); n > 0 {
 				fmt.Printf("registryd: swept %d expired leases\n", n)
 			}
-		case <-stop:
+		case <-ctx.Done():
+			stop()
 			fmt.Println("registryd: shutting down")
-			if err := srv.Close(); err != nil {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+			defer cancel()
+			if err := srv.Shutdown(shutdownCtx); err != nil {
 				fatal(err)
 			}
 			return

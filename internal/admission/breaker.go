@@ -1,0 +1,210 @@
+package admission
+
+import (
+	"sync"
+	"time"
+
+	"qoschain/internal/metrics"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: Closed passes traffic, Open sheds everything until
+// the cool-down elapses, HalfOpen lets a bounded number of probes
+// through to test the downstream.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String renders the state for status endpoints and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the
+	// breaker open. Default 5.
+	FailureThreshold int
+	// OpenTimeout is the cool-down before an open breaker admits
+	// half-open probes. Default 5s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes is how many consecutive probe successes close the
+	// breaker again (and the concurrent probe allowance while
+	// half-open). Default 1.
+	HalfOpenProbes int
+	// Clock injects time; default SystemClock.
+	Clock Clock
+	// Metrics receives admission.breaker_* transition counters; nil is
+	// a no-op sink.
+	Metrics *metrics.Counters
+}
+
+func (c *BreakerConfig) failureThreshold() int {
+	if c.FailureThreshold > 0 {
+		return c.FailureThreshold
+	}
+	return 5
+}
+
+func (c *BreakerConfig) openTimeout() time.Duration {
+	if c.OpenTimeout > 0 {
+		return c.OpenTimeout
+	}
+	return 5 * time.Second
+}
+
+func (c *BreakerConfig) halfOpenProbes() int {
+	if c.HalfOpenProbes > 0 {
+		return c.HalfOpenProbes
+	}
+	return 1
+}
+
+func (c *BreakerConfig) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return SystemClock{}
+}
+
+// Breaker is a success-rate circuit breaker guarding a downstream (a
+// federation remote, a slow registry): consecutive failures trip it
+// open, an open breaker sheds calls instantly so callers fall back to
+// a cache instead of blocking on a dead peer, and after a cool-down a
+// few probes decide between closing it again and re-opening.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	successes int       // consecutive probe successes while half-open
+	probes    int       // probes admitted and not yet recorded
+	openedAt  time.Time // when the breaker last tripped
+}
+
+// NewBreaker builds a closed breaker from the config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. While open it returns false
+// until the cool-down elapses, then flips to half-open and admits up to
+// HalfOpenProbes outstanding probes. Every admitted call must be
+// matched by a Record.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.clock().Now().Sub(b.openedAt) < b.cfg.openTimeout() {
+			return false
+		}
+		b.transitionLocked(HalfOpen)
+		b.probes = 1
+		return true
+	default: // HalfOpen
+		if b.probes >= b.cfg.halfOpenProbes() {
+			return false
+		}
+		b.probes++
+		return true
+	}
+}
+
+// Record reports one call's outcome. While closed, FailureThreshold
+// consecutive failures trip the breaker; while half-open, a single
+// failure re-opens it and HalfOpenProbes consecutive successes close
+// it.
+func (b *Breaker) Record(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		if success {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.failureThreshold() {
+			b.transitionLocked(Open)
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if !success {
+			b.transitionLocked(Open)
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.halfOpenProbes() {
+			b.transitionLocked(Closed)
+		}
+	case Open:
+		// A straggling call recorded after the trip; an extra failure
+		// refreshes the cool-down so a storm of stragglers cannot
+		// close the window early.
+		if !success {
+			b.openedAt = b.cfg.clock().Now()
+		}
+	}
+}
+
+// Do runs fn under the breaker: an open breaker returns ErrBreakerOpen
+// without calling it; otherwise fn's error feeds Record.
+func (b *Breaker) Do(fn func() error) error {
+	if !b.Allow() {
+		return ErrBreakerOpen
+	}
+	err := fn()
+	b.Record(err == nil)
+	return err
+}
+
+// State returns the breaker's current position (an open breaker past
+// its cool-down still reports Open until the next Allow flips it).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// transitionLocked switches state and accounts the transition.
+func (b *Breaker) transitionLocked(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case Open:
+		b.openedAt = b.cfg.clock().Now()
+		b.failures = 0
+		b.successes = 0
+		b.probes = 0
+		b.cfg.Metrics.Inc(metrics.CounterBreakerOpened)
+	case HalfOpen:
+		b.successes = 0
+		b.cfg.Metrics.Inc(metrics.CounterBreakerHalfOpen)
+	case Closed:
+		b.failures = 0
+		b.successes = 0
+		b.probes = 0
+		b.cfg.Metrics.Inc(metrics.CounterBreakerClosed)
+	}
+}

@@ -1,0 +1,134 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"qoschain/internal/metrics"
+)
+
+func virtualBreaker(threshold, probes int, timeout time.Duration) (*Breaker, *VirtualClock, *metrics.Counters) {
+	clock := NewVirtualClock(time.Time{})
+	counters := metrics.NewCounters()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		OpenTimeout:      timeout,
+		HalfOpenProbes:   probes,
+		Clock:            clock,
+		Metrics:          counters,
+	})
+	return b, clock, counters
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	b, _, counters := virtualBreaker(3, 1, time.Second)
+	for i := 0; i < 2; i++ {
+		b.Record(false)
+	}
+	if b.State() != Closed {
+		t.Fatal("two failures must not trip a threshold-3 breaker")
+	}
+	b.Record(true) // success resets the streak
+	b.Record(false)
+	b.Record(false)
+	if b.State() != Closed {
+		t.Fatal("streak must reset on success")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("three consecutive failures must trip the breaker")
+	}
+	if b.Allow() {
+		t.Error("open breaker must shed")
+	}
+	if counters.Get(metrics.CounterBreakerOpened) != 1 {
+		t.Errorf("breaker_opened = %d", counters.Get(metrics.CounterBreakerOpened))
+	}
+}
+
+func TestBreakerHalfOpenAfterCooldownThenCloses(t *testing.T) {
+	b, clock, counters := virtualBreaker(1, 2, time.Second)
+	b.Record(false)
+	if b.Allow() {
+		t.Fatal("freshly opened breaker must shed")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cool-down elapsed: a probe must be admitted")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	// Probe allowance is bounded: one outstanding probe is admitted, a
+	// second may run concurrently (HalfOpenProbes 2), a third may not.
+	if !b.Allow() {
+		t.Fatal("second probe within allowance must be admitted")
+	}
+	if b.Allow() {
+		t.Fatal("probe allowance exceeded")
+	}
+	b.Record(true)
+	b.Record(true)
+	if b.State() != Closed {
+		t.Fatalf("state after %d probe successes = %v, want closed", 2, b.State())
+	}
+	if counters.Get(metrics.CounterBreakerHalfOpen) != 1 || counters.Get(metrics.CounterBreakerClosed) != 1 {
+		t.Errorf("transition counters: half_open=%d closed=%d",
+			counters.Get(metrics.CounterBreakerHalfOpen), counters.Get(metrics.CounterBreakerClosed))
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	b, clock, _ := virtualBreaker(1, 1, time.Second)
+	b.Record(false)
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe must be admitted")
+	}
+	b.Record(false)
+	if b.State() != Open {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	if b.Allow() {
+		t.Error("re-opened breaker must shed until the next cool-down")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Error("next cool-down must admit a fresh probe")
+	}
+}
+
+func TestBreakerStragglerFailureRefreshesCooldown(t *testing.T) {
+	b, clock, _ := virtualBreaker(1, 1, time.Second)
+	b.Record(false)
+	clock.Advance(900 * time.Millisecond)
+	b.Record(false) // straggling in-flight call fails after the trip
+	clock.Advance(200 * time.Millisecond)
+	if b.Allow() {
+		t.Error("straggler failure must refresh the cool-down window")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Error("refreshed cool-down must still elapse")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	b, clock, _ := virtualBreaker(1, 1, time.Second)
+	boom := errors.New("boom")
+	if err := b.Do(func() error { return boom }); err != boom {
+		t.Fatalf("Do must surface the call's error, got %v", err)
+	}
+	err := b.Do(func() error { t.Fatal("open breaker must not call fn"); return nil })
+	if !errors.Is(err, ErrBreakerOpen) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("open Do err = %v, want ErrBreakerOpen wrapping ErrOverloaded", err)
+	}
+	clock.Advance(time.Second)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe Do err = %v", err)
+	}
+	if b.State() != Closed {
+		t.Errorf("state = %v after successful probe", b.State())
+	}
+}

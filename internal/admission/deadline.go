@@ -1,0 +1,46 @@
+package admission
+
+import (
+	"context"
+	"time"
+)
+
+// Deadline propagation: a request that enters with a budget should
+// spend it deliberately — a slice on discovery, a slice on planning —
+// so one slow stage cannot silently eat the whole budget and leave the
+// rest of the pipeline to time out in a worse place.
+
+// SubDeadline derives a context whose deadline is the given fraction of
+// the parent's remaining budget (clamped to (0,1]). A parent without a
+// deadline is returned unchanged; the cancel function is always safe to
+// call.
+func SubDeadline(ctx context.Context, fraction float64) (context.Context, context.CancelFunc) {
+	deadline, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	if fraction <= 0 || fraction > 1 {
+		fraction = 1
+	}
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		// Already expired; hand back the parent so callers observe the
+		// parent's own error.
+		return context.WithCancel(ctx)
+	}
+	budget := time.Duration(float64(remaining) * fraction)
+	return context.WithTimeout(ctx, budget)
+}
+
+// WithBudget bounds a context by d when the parent is unbounded or
+// looser; a parent already tighter than d is returned as-is (a stage
+// never extends its caller's deadline).
+func WithBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(ctx)
+	}
+	if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= d {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, d)
+}

@@ -1,0 +1,92 @@
+package admission
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSubDeadlineFractionOfRemaining(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	sub, subCancel := SubDeadline(parent, 0.5)
+	defer subCancel()
+	d, ok := sub.Deadline()
+	if !ok {
+		t.Fatal("sub context must carry a deadline")
+	}
+	remaining := time.Until(d)
+	if remaining <= 400*time.Millisecond || remaining > 500*time.Millisecond {
+		t.Errorf("sub budget = %v, want ~500ms", remaining)
+	}
+}
+
+func TestSubDeadlineUnboundedParent(t *testing.T) {
+	sub, cancel := SubDeadline(context.Background(), 0.25)
+	defer cancel()
+	if _, ok := sub.Deadline(); ok {
+		t.Error("an unbounded parent must stay unbounded")
+	}
+}
+
+func TestSubDeadlineInvalidFractionUsesWhole(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for _, f := range []float64{0, -1, 2} {
+		sub, subCancel := SubDeadline(parent, f)
+		d, _ := sub.Deadline()
+		if remaining := time.Until(d); remaining < 900*time.Millisecond {
+			t.Errorf("fraction %v: budget = %v, want the whole remainder", f, remaining)
+		}
+		subCancel()
+	}
+}
+
+func TestSubDeadlineExpiredParent(t *testing.T) {
+	parent, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	sub, subCancel := SubDeadline(parent, 0.5)
+	defer subCancel()
+	if sub.Err() == nil {
+		t.Error("sub of an expired parent must be expired")
+	}
+}
+
+func TestWithBudgetBoundsUnboundedParent(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("budget must bound an unbounded parent")
+	}
+}
+
+func TestWithBudgetNeverExtendsParent(t *testing.T) {
+	parent, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	ctx, budgetCancel := WithBudget(parent, time.Hour)
+	defer budgetCancel()
+	d, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("deadline lost")
+	}
+	if time.Until(d) > 50*time.Millisecond {
+		t.Errorf("budget extended the parent's deadline to %v away", time.Until(d))
+	}
+}
+
+func TestWithBudgetZeroPassesThrough(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero budget must not add a deadline")
+	}
+}
+
+func TestVirtualClockAdvance(t *testing.T) {
+	c := NewVirtualClock(time.Time{})
+	start := c.Now()
+	c.Advance(3 * time.Second)
+	if got := c.Now().Sub(start); got != 3*time.Second {
+		t.Errorf("Advance moved %v, want 3s", got)
+	}
+}

@@ -1,0 +1,316 @@
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"qoschain/internal/metrics"
+)
+
+// LimiterConfig tunes a Limiter. The zero value of optional fields
+// picks the documented defaults.
+type LimiterConfig struct {
+	// Capacity is the number of requests allowed in flight at once.
+	// Default 16.
+	Capacity int
+	// MaxQueue bounds how many requests may wait for a slot; an
+	// arrival past the bound is shed immediately. Default 64. Zero
+	// queue (set MaxQueue to -1) sheds everything over Capacity.
+	MaxQueue int
+	// Clock injects time; default SystemClock. Queued tickets expire
+	// against it.
+	Clock Clock
+	// Metrics receives admission.* counters; nil is a no-op sink.
+	Metrics *metrics.Counters
+}
+
+func (c *LimiterConfig) capacity() int {
+	if c.Capacity > 0 {
+		return c.Capacity
+	}
+	return 16
+}
+
+func (c *LimiterConfig) maxQueue() int {
+	switch {
+	case c.MaxQueue > 0:
+		return c.MaxQueue
+	case c.MaxQueue < 0:
+		return 0
+	default:
+		return 64
+	}
+}
+
+func (c *LimiterConfig) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return SystemClock{}
+}
+
+// ticket states.
+const (
+	stateWaiting = iota
+	stateAdmitted
+	stateShed
+	stateReleased
+)
+
+// Ticket is one request's passage through the limiter. Concurrent
+// callers get one implicitly via Acquire; deterministic drivers (the
+// simulator) hold tickets explicitly via Offer and complete them with
+// Release.
+type Ticket struct {
+	lim      *Limiter
+	ready    chan struct{} // non-nil for Acquire waiters; closed on grant/shed
+	state    int
+	deadline time.Time // zero = waits forever
+	err      error     // shed reason
+}
+
+// Admitted reports whether the ticket currently holds a slot.
+func (t *Ticket) Admitted() bool {
+	t.lim.mu.Lock()
+	defer t.lim.mu.Unlock()
+	return t.state == stateAdmitted
+}
+
+// Shed reports whether the ticket was refused (queue full or deadline
+// expired while queued); Err carries the reason.
+func (t *Ticket) Shed() bool {
+	t.lim.mu.Lock()
+	defer t.lim.mu.Unlock()
+	return t.state == stateShed
+}
+
+// Err returns the shed reason (nil unless Shed).
+func (t *Ticket) Err() error {
+	t.lim.mu.Lock()
+	defer t.lim.mu.Unlock()
+	return t.err
+}
+
+// Release returns an admitted ticket's slot, promoting the queue head.
+// Releasing a non-admitted ticket is a no-op.
+func (t *Ticket) Release() {
+	t.lim.mu.Lock()
+	if t.state != stateAdmitted {
+		t.lim.mu.Unlock()
+		return
+	}
+	t.state = stateReleased
+	t.lim.releaseSlotLocked()
+	t.lim.mu.Unlock()
+}
+
+// LimiterStats is a consistent snapshot of a limiter's state and
+// lifetime totals.
+type LimiterStats struct {
+	// InFlight and QueueLen are the instantaneous occupancy.
+	InFlight, QueueLen int
+	// Admitted counts requests that obtained a slot (directly or after
+	// queueing); Queued counts the ones that had to wait first.
+	Admitted, Queued int64
+	// ShedQueueFull and ShedExpired count refusals: arrival at a full
+	// queue, and deadline expiry while waiting.
+	ShedQueueFull, ShedExpired int64
+}
+
+// Limiter is the deadline-aware concurrency limiter: at most Capacity
+// requests run at once, at most MaxQueue wait in FIFO order, and a
+// waiter past its deadline is shed with ErrOverloaded. It has no
+// background goroutines, so an idle limiter costs nothing and can never
+// leak.
+type Limiter struct {
+	cfg LimiterConfig
+
+	mu       sync.Mutex
+	inFlight int
+	queue    []*Ticket
+	stats    LimiterStats
+}
+
+// NewLimiter builds a limiter from the config.
+func NewLimiter(cfg LimiterConfig) *Limiter {
+	return &Limiter{cfg: cfg}
+}
+
+// Acquire obtains a slot, waiting in FIFO order behind earlier arrivals
+// up to the context's deadline. It returns a release function that must
+// be called exactly once when the request finishes. On refusal it
+// returns an error wrapping ErrOverloaded: immediately when the queue
+// is full, or when ctx expires/cancels while queued.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	l.mu.Lock()
+	t := l.offerLocked(true, deadlineOf(ctx))
+	switch t.state {
+	case stateAdmitted:
+		l.mu.Unlock()
+		return func() { t.Release() }, nil
+	case stateShed:
+		l.mu.Unlock()
+		return nil, t.err
+	}
+	// Queued: wait for grant, shed, or context expiry.
+	l.mu.Unlock()
+	select {
+	case <-t.ready:
+		l.mu.Lock()
+		state, terr := t.state, t.err
+		l.mu.Unlock()
+		if state == stateAdmitted {
+			return func() { t.Release() }, nil
+		}
+		return nil, terr
+	case <-ctx.Done():
+		l.mu.Lock()
+		if t.state == stateAdmitted {
+			// The grant raced the cancellation; honor it. The
+			// caller observes the context error on its own.
+			l.mu.Unlock()
+			return func() { t.Release() }, nil
+		}
+		if t.state == stateWaiting {
+			l.removeLocked(t)
+			l.shedLocked(t, shedExpired, fmt.Errorf("%w: abandoned while queued: %v", ErrOverloaded, ctx.Err()))
+		}
+		err = t.err
+		l.mu.Unlock()
+		return nil, err
+	}
+}
+
+// Offer is the deterministic entry point: it admits, queues, or sheds
+// without blocking and returns the ticket. A queued ticket is granted
+// by a later Release (FIFO) or shed by Expire once the clock passes its
+// deadline (zero deadline waits indefinitely). Single-threaded drivers
+// get an exactly replayable schedule.
+func (l *Limiter) Offer(deadline time.Time) *Ticket {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.offerLocked(false, deadline)
+}
+
+// offerLocked admits/queues/sheds one arrival. waiter selects whether
+// the ticket gets a ready channel for a blocked Acquire caller.
+func (l *Limiter) offerLocked(waiter bool, deadline time.Time) *Ticket {
+	t := &Ticket{lim: l, deadline: deadline}
+	if l.inFlight < l.cfg.capacity() {
+		l.inFlight++
+		t.state = stateAdmitted
+		l.stats.Admitted++
+		l.cfg.Metrics.Inc(metrics.CounterAdmissionAdmitted)
+		return t
+	}
+	if len(l.queue) >= l.cfg.maxQueue() {
+		l.shedLocked(t, shedQueueFull, fmt.Errorf("%w: queue full (%d in flight, %d waiting)",
+			ErrOverloaded, l.inFlight, len(l.queue)))
+		return t
+	}
+	if waiter {
+		t.ready = make(chan struct{})
+	}
+	l.queue = append(l.queue, t)
+	l.stats.Queued++
+	l.cfg.Metrics.Inc(metrics.CounterAdmissionQueued)
+	return t
+}
+
+// releaseSlotLocked frees one slot and hands it to the first queued
+// ticket that is still within its deadline; expired heads are shed on
+// the way.
+func (l *Limiter) releaseSlotLocked() {
+	now := l.cfg.clock().Now()
+	for len(l.queue) > 0 {
+		t := l.queue[0]
+		l.queue = l.queue[1:]
+		if !t.deadline.IsZero() && now.After(t.deadline) {
+			l.shedLocked(t, shedExpired, fmt.Errorf("%w: deadline expired after queueing", ErrOverloaded))
+			continue
+		}
+		t.state = stateAdmitted
+		l.stats.Admitted++
+		l.cfg.Metrics.Inc(metrics.CounterAdmissionAdmitted)
+		if t.ready != nil {
+			close(t.ready)
+		}
+		return
+	}
+	l.inFlight--
+}
+
+// Expire sheds every queued ticket whose deadline has passed and
+// returns how many it shed. Deterministic drivers call it after
+// advancing their virtual clock; the concurrent path does not need it
+// (waiters shed themselves via their context).
+func (l *Limiter) Expire() int {
+	now := l.cfg.clock().Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.queue[:0]
+	shed := 0
+	for _, t := range l.queue {
+		if !t.deadline.IsZero() && now.After(t.deadline) {
+			l.shedLocked(t, shedExpired, fmt.Errorf("%w: deadline expired after queueing", ErrOverloaded))
+			shed++
+			continue
+		}
+		kept = append(kept, t)
+	}
+	l.queue = kept
+	return shed
+}
+
+// shed flavors, for accounting.
+const (
+	shedQueueFull = iota
+	shedExpired
+)
+
+// shedLocked marks a ticket refused and accounts it.
+func (l *Limiter) shedLocked(t *Ticket, kind int, err error) {
+	t.state = stateShed
+	t.err = err
+	if t.ready != nil {
+		close(t.ready)
+	}
+	if kind == shedExpired {
+		l.stats.ShedExpired++
+		l.cfg.Metrics.Inc(metrics.CounterAdmissionShedExpired)
+	} else {
+		l.stats.ShedQueueFull++
+		l.cfg.Metrics.Inc(metrics.CounterAdmissionShedQueueFull)
+	}
+}
+
+// removeLocked drops a ticket from the wait queue (context expiry on
+// the concurrent path).
+func (l *Limiter) removeLocked(t *Ticket) {
+	for i, q := range l.queue {
+		if q == t {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// Stats snapshots occupancy and lifetime totals.
+func (l *Limiter) Stats() LimiterStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.InFlight = l.inFlight
+	st.QueueLen = len(l.queue)
+	return st
+}
+
+// deadlineOf extracts a context deadline (zero when unbounded).
+func deadlineOf(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Time{}
+}

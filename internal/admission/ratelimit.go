@@ -1,0 +1,186 @@
+package admission
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"qoschain/internal/metrics"
+)
+
+// RateConfig tunes a RateLimiter.
+type RateConfig struct {
+	// Rate is the steady-state tokens (requests) per second each
+	// client accrues. Default 50.
+	Rate float64
+	// Burst is the bucket depth — how many requests a client may fire
+	// back to back after an idle period. Default 2×Rate (min 1).
+	Burst float64
+	// MaxClients bounds the bucket map; beyond it, fully refilled
+	// (indistinguishable from fresh) buckets are dropped first, then
+	// the longest-idle ones. Default 10000.
+	MaxClients int
+	// Clock injects time; default SystemClock.
+	Clock Clock
+	// Metrics receives admission.rate_limited; nil is a no-op sink.
+	Metrics *metrics.Counters
+}
+
+func (c *RateConfig) rate() float64 {
+	if c.Rate > 0 {
+		return c.Rate
+	}
+	return 50
+}
+
+func (c *RateConfig) burst() float64 {
+	if c.Burst > 0 {
+		return c.Burst
+	}
+	if b := 2 * c.rate(); b >= 1 {
+		return b
+	}
+	return 1
+}
+
+func (c *RateConfig) maxClients() int {
+	if c.MaxClients > 0 {
+		return c.MaxClients
+	}
+	return 10000
+}
+
+func (c *RateConfig) clock() Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return SystemClock{}
+}
+
+// bucket is one client's token state; tokens refill lazily from the
+// elapsed time since last.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter applies per-client token buckets keyed by an opaque
+// client string (API key, remote address). It is deterministic under a
+// VirtualClock: refills derive purely from clock deltas.
+type RateLimiter struct {
+	cfg RateConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	limited int64
+}
+
+// NewRateLimiter builds a limiter from the config.
+func NewRateLimiter(cfg RateConfig) *RateLimiter {
+	return &RateLimiter{cfg: cfg, buckets: make(map[string]*bucket)}
+}
+
+// Allow spends one token of the client's bucket, reporting false (rate
+// limited) when none is available.
+func (r *RateLimiter) Allow(key string) bool {
+	now := r.cfg.clock().Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.refillLocked(key, now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	r.limited++
+	r.cfg.Metrics.Inc(metrics.CounterAdmissionRateLimited)
+	return false
+}
+
+// RetryAfter estimates how long the client must wait for its next
+// token — the Retry-After hint a 429 response carries. Zero means a
+// token is already available.
+func (r *RateLimiter) RetryAfter(key string) time.Duration {
+	now := r.cfg.clock().Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.refillLocked(key, now)
+	if b.tokens >= 1 {
+		return 0
+	}
+	need := 1 - b.tokens
+	return time.Duration(need / r.cfg.rate() * float64(time.Second))
+}
+
+// Limited returns how many requests were refused so far.
+func (r *RateLimiter) Limited() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.limited
+}
+
+// Clients returns the number of tracked buckets.
+func (r *RateLimiter) Clients() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buckets)
+}
+
+// refillLocked fetches (or creates) the client's bucket and credits the
+// tokens accrued since its last use.
+func (r *RateLimiter) refillLocked(key string, now time.Time) *bucket {
+	b := r.buckets[key]
+	if b == nil {
+		if len(r.buckets) >= r.cfg.maxClients() {
+			r.evictLocked(now)
+		}
+		b = &bucket{tokens: r.cfg.burst(), last: now}
+		r.buckets[key] = b
+		return b
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens += dt.Seconds() * r.cfg.rate()
+		if max := r.cfg.burst(); b.tokens > max {
+			b.tokens = max
+		}
+	}
+	b.last = now
+	return b
+}
+
+// evictLocked bounds the bucket map: fully refilled buckets behave
+// exactly like fresh ones, so dropping them never changes an admission
+// decision; if every bucket is still draining, the longest-idle ones go
+// (sorted by last-use then key, keeping eviction deterministic).
+func (r *RateLimiter) evictLocked(now time.Time) {
+	burst := r.cfg.burst()
+	for key, b := range r.buckets {
+		tokens := b.tokens
+		if dt := now.Sub(b.last); dt > 0 {
+			tokens += dt.Seconds() * r.cfg.rate()
+		}
+		if tokens >= burst {
+			delete(r.buckets, key)
+		}
+	}
+	over := len(r.buckets) - r.cfg.maxClients() + 1
+	if over <= 0 {
+		return
+	}
+	type idle struct {
+		key  string
+		last time.Time
+	}
+	all := make([]idle, 0, len(r.buckets))
+	for key, b := range r.buckets {
+		all = append(all, idle{key, b.last})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if !all[i].last.Equal(all[j].last) {
+			return all[i].last.Before(all[j].last)
+		}
+		return all[i].key < all[j].key
+	})
+	for i := 0; i < over && i < len(all); i++ {
+		delete(r.buckets, all[i].key)
+	}
+}

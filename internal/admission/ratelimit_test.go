@@ -1,0 +1,108 @@
+package admission
+
+import (
+	"testing"
+	"time"
+
+	"qoschain/internal/metrics"
+)
+
+func TestAllowBurstThenLimited(t *testing.T) {
+	clock := NewVirtualClock(time.Time{})
+	counters := metrics.NewCounters()
+	rl := NewRateLimiter(RateConfig{Rate: 10, Burst: 3, Clock: clock, Metrics: counters})
+	for i := 0; i < 3; i++ {
+		if !rl.Allow("c") {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if rl.Allow("c") {
+		t.Fatal("drained bucket must refuse")
+	}
+	if rl.Limited() != 1 || counters.Get(metrics.CounterAdmissionRateLimited) != 1 {
+		t.Errorf("limited = %d, counter = %d", rl.Limited(), counters.Get(metrics.CounterAdmissionRateLimited))
+	}
+	// Other clients have their own buckets.
+	if !rl.Allow("other") {
+		t.Error("an unrelated client must not be limited")
+	}
+}
+
+func TestRefillFromClockDeltas(t *testing.T) {
+	clock := NewVirtualClock(time.Time{})
+	rl := NewRateLimiter(RateConfig{Rate: 10, Burst: 2, Clock: clock})
+	rl.Allow("c")
+	rl.Allow("c")
+	if rl.Allow("c") {
+		t.Fatal("bucket should be empty")
+	}
+	clock.Advance(100 * time.Millisecond) // exactly one token at 10/s
+	if !rl.Allow("c") {
+		t.Fatal("one refilled token should admit")
+	}
+	if rl.Allow("c") {
+		t.Fatal("only one token should have refilled")
+	}
+	// Refill is capped at the burst depth.
+	clock.Advance(time.Hour)
+	if got := rl.RetryAfter("c"); got != 0 {
+		t.Errorf("RetryAfter after long idle = %v, want 0", got)
+	}
+	rl.Allow("c")
+	rl.Allow("c")
+	if rl.Allow("c") {
+		t.Error("idle refill must cap at burst depth")
+	}
+}
+
+func TestRetryAfter(t *testing.T) {
+	clock := NewVirtualClock(time.Time{})
+	rl := NewRateLimiter(RateConfig{Rate: 2, Burst: 1, Clock: clock})
+	if got := rl.RetryAfter("c"); got != 0 {
+		t.Fatalf("fresh bucket RetryAfter = %v", got)
+	}
+	rl.Allow("c")
+	// Empty bucket at 2 tokens/s: next token in 500ms.
+	if got := rl.RetryAfter("c"); got != 500*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want 500ms", got)
+	}
+}
+
+func TestEvictionPrefersRefilledBuckets(t *testing.T) {
+	clock := NewVirtualClock(time.Time{})
+	rl := NewRateLimiter(RateConfig{Rate: 1000, Burst: 2, MaxClients: 2, Clock: clock})
+	rl.Allow("a")
+	rl.Allow("b")
+	// Let both refill fully: evicting them is a semantic no-op, so a new
+	// client fits without touching any still-draining state.
+	clock.Advance(time.Second)
+	if !rl.Allow("c") {
+		t.Fatal("new client must be admitted")
+	}
+	if rl.Clients() > 2 {
+		t.Errorf("clients = %d, want <= MaxClients", rl.Clients())
+	}
+}
+
+func TestEvictionDropsLongestIdleDeterministically(t *testing.T) {
+	clock := NewVirtualClock(time.Time{})
+	rl := NewRateLimiter(RateConfig{Rate: 0.001, Burst: 5, MaxClients: 2, Clock: clock})
+	rl.Allow("old")
+	clock.Advance(time.Minute)
+	rl.Allow("new")
+	clock.Advance(time.Minute)
+	// Both buckets are still draining (refill is negligible); the
+	// longest-idle one ("old") must go.
+	rl.Allow("third")
+	if rl.Clients() != 2 {
+		t.Fatalf("clients = %d, want 2", rl.Clients())
+	}
+	// "new" kept its drained state: it still has tokens left from its
+	// burst of 5; "old" is gone, so re-adding it gets a fresh bucket.
+	if !rl.Allow("new") {
+		t.Error("surviving bucket lost its state")
+	}
+	if !rl.Allow("old") {
+		t.Error("evicted client must re-enter with a fresh bucket")
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +27,14 @@ type BatchResult struct {
 // concurrently. Each worker builds its own evaluator scratch, so per-run
 // allocation stays flat as the batch grows.
 func SelectBatch(g *graph.Graph, cfgs []Config) []BatchResult {
+	return SelectBatchCtx(context.Background(), g, cfgs)
+}
+
+// SelectBatchCtx is SelectBatch under a context (deadline propagation):
+// entries not yet started when the context expires are marked aborted
+// without running, and in-flight selections stop at their next round
+// check. The batch still returns one BatchResult per entry, in order.
+func SelectBatchCtx(ctx context.Context, g *graph.Graph, cfgs []Config) []BatchResult {
 	out := make([]BatchResult, len(cfgs))
 	if len(cfgs) == 0 {
 		return out
@@ -47,7 +57,11 @@ func SelectBatch(g *graph.Graph, cfgs []Config) []BatchResult {
 				if i >= len(cfgs) {
 					return
 				}
-				r, err := Select(g, cfgs[i])
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchResult{Err: fmt.Errorf("%w before starting: %w", ErrAborted, err)}
+					continue
+				}
+				r, err := SelectCtx(ctx, g, cfgs[i])
 				out[i] = BatchResult{Result: r, Err: err}
 			}
 		}()

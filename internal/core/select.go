@@ -26,6 +26,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -134,13 +135,32 @@ type label struct {
 	seq     int32 // recency for deterministic tie-breaks
 }
 
+// ErrAborted is returned when the caller's context expired or was
+// canceled mid-selection (deadline propagation): the work was shed to
+// honor the request's remaining budget. It always arrives wrapped
+// together with the context's own error, so both
+// errors.Is(err, ErrAborted) and errors.Is(err, context.DeadlineExceeded)
+// work.
+var ErrAborted = errors.New("core: selection aborted")
+
 // Select runs the QoS selection algorithm on the adaptation graph.
 // On failure it returns a non-nil Result (carrying the explored trace)
 // together with ErrNoChain.
 func Select(g *graph.Graph, cfg Config) (*Result, error) {
+	return SelectCtx(context.Background(), g, cfg)
+}
+
+// SelectCtx is Select under a context: the expansion loop checks the
+// context once per round and aborts with ErrAborted (wrapping the
+// context's error) when the deadline passes or the caller cancels, so
+// a request whose budget ran out stops consuming planner time. The
+// per-round check is one channel poll — negligible against a round's
+// relaxation work.
+func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error) {
 	if len(cfg.Profile.Functions) == 0 {
 		return nil, fmt.Errorf("core: config has an empty satisfaction profile")
 	}
+	done := ctx.Done()
 
 	n := g.NodeIndexCount()
 	labels := make([]*label, n)   // CS: candidate labels, indexed by vertex
@@ -238,6 +258,14 @@ func Select(g *graph.Graph, cfg Config) (*Result, error) {
 	round := 0
 	for {
 		round++
+		if done != nil {
+			select {
+			case <-done:
+				res.Found = false
+				return res, fmt.Errorf("%w after %d rounds: %w", ErrAborted, round-1, ctx.Err())
+			default:
+			}
+		}
 		// Step 3: no candidates left → failure.
 		if numCandidates == 0 {
 			res.Found = false

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSelectCtxCancelledBeforeStart(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SelectCtx(ctx, g, fpsConfig())
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, must also carry the context's cause", err)
+	}
+	if res == nil || res.Found {
+		t.Errorf("aborted selection must report not-found, got %+v", res)
+	}
+}
+
+func TestSelectCtxExpiredDeadline(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := SelectCtx(ctx, g, fpsConfig())
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrAborted wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestSelectCtxBackgroundMatchesSelect(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	plain, err1 := Select(g, fpsConfig())
+	ctxed, err2 := SelectCtx(context.Background(), g, fpsConfig())
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if plain.Satisfaction != ctxed.Satisfaction || len(plain.Path) != len(ctxed.Path) {
+		t.Errorf("Select and SelectCtx diverge: %+v vs %+v", plain, ctxed)
+	}
+}
+
+func TestSelectBatchCtxCancelledMarksAllAborted(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	cfgs := []Config{fpsConfig(), fpsConfig(), fpsConfig()}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := SelectBatchCtx(ctx, g, cfgs)
+	if len(results) != len(cfgs) {
+		t.Fatalf("results = %d, want one per entry", len(results))
+	}
+	for i, br := range results {
+		if !errors.Is(br.Err, ErrAborted) {
+			t.Errorf("entry %d err = %v, want ErrAborted", i, br.Err)
+		}
+	}
+}
+
+func TestSelectBatchCtxBackgroundCompletes(t *testing.T) {
+	g := chainGraph(t, 3000, 3000)
+	cfgs := []Config{fpsConfig(), fpsConfig()}
+	for i, br := range SelectBatchCtx(context.Background(), g, cfgs) {
+		if br.Err != nil || !br.Result.Found {
+			t.Errorf("entry %d: err=%v found=%v", i, br.Err, br.Result != nil && br.Result.Found)
+		}
+	}
+}

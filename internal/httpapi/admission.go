@@ -1,0 +1,150 @@
+package httpapi
+
+// admission.go wires internal/admission in front of the API: per-client
+// token-bucket rate limiting (429 + Retry-After), a deadline-aware
+// concurrency limiter with a bounded FIFO queue (503 + Retry-After when
+// shed), and a per-request deadline propagated through the request
+// context into the planner (qoschain.ComposeCtx observes it per
+// selection round). /healthz bypasses every guard — liveness must
+// answer precisely when the system is refusing work.
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qoschain/internal/admission"
+	"qoschain/internal/metrics"
+)
+
+// AdmissionConfig tunes the API's overload protection. The zero value
+// disables every guard (WithAdmission then returns the handler
+// unchanged), so embedding stays opt-in.
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently served requests; 0 disables the
+	// concurrency limiter.
+	MaxInFlight int
+	// MaxQueue bounds how many requests may wait for a slot (default
+	// 4×MaxInFlight; -1 for no queue).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline propagated via the
+	// request context — it bounds queue waiting AND planning. 0 leaves
+	// requests unbounded.
+	RequestTimeout time.Duration
+	// Rate/Burst set the per-client token bucket (requests per second
+	// and depth); Rate 0 disables rate limiting.
+	Rate, Burst float64
+	// RetryAfter is the hint attached to 503 responses. Default 1s.
+	RetryAfter time.Duration
+	// ClientKey extracts the rate-limit key from a request; the
+	// default uses the X-API-Key header when present, else the remote
+	// address host.
+	ClientKey func(*http.Request) string
+	// Clock injects time for tests; default wall clock.
+	Clock admission.Clock
+	// Metrics receives admission.* counters; nil is a no-op sink.
+	Metrics *metrics.Counters
+}
+
+func (c *AdmissionConfig) retryAfter() time.Duration {
+	if c.RetryAfter > 0 {
+		return c.RetryAfter
+	}
+	return time.Second
+}
+
+func (c *AdmissionConfig) maxQueue() int {
+	if c.MaxQueue != 0 {
+		return c.MaxQueue
+	}
+	return 4 * c.MaxInFlight
+}
+
+// ClientKey returns the admission identity of a request: the X-API-Key
+// header when present, else the remote address host. Exposed so tests
+// and alternative stacks key their buckets the same way.
+func ClientKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return "key:" + k
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return "addr:" + r.RemoteAddr
+	}
+	return "addr:" + host
+}
+
+// WithAdmission layers overload protection in front of a handler:
+// rate limit first (cheapest check, 429), then the concurrency limiter
+// (queue or 503), then the per-request deadline on the context the
+// inner handler sees. A zero config returns h unchanged.
+func WithAdmission(h http.Handler, cfg AdmissionConfig) http.Handler {
+	var lim *admission.Limiter
+	if cfg.MaxInFlight > 0 {
+		lim = admission.NewLimiter(admission.LimiterConfig{
+			Capacity: cfg.MaxInFlight,
+			MaxQueue: cfg.maxQueue(),
+			Clock:    cfg.Clock,
+			Metrics:  cfg.Metrics,
+		})
+	}
+	var rl *admission.RateLimiter
+	if cfg.Rate > 0 {
+		rl = admission.NewRateLimiter(admission.RateConfig{
+			Rate:    cfg.Rate,
+			Burst:   cfg.Burst,
+			Clock:   cfg.Clock,
+			Metrics: cfg.Metrics,
+		})
+	}
+	if lim == nil && rl == nil && cfg.RequestTimeout <= 0 {
+		return h
+	}
+	key := cfg.ClientKey
+	if key == nil {
+		key = ClientKey
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		if rl != nil {
+			k := key(r)
+			if !rl.Allow(k) {
+				setRetryAfter(w, rl.RetryAfter(k))
+				writeError(w, http.StatusTooManyRequests, admission.ErrRateLimited.Error())
+				return
+			}
+		}
+		ctx := r.Context()
+		if cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
+			defer cancel()
+		}
+		if lim != nil {
+			release, err := lim.Acquire(ctx)
+			if err != nil {
+				setRetryAfter(w, cfg.retryAfter())
+				writeError(w, http.StatusServiceUnavailable, err.Error())
+				return
+			}
+			defer release()
+		}
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// setRetryAfter writes the Retry-After header in whole seconds,
+// rounding up so clients never retry early (minimum 1).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}

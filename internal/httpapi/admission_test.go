@@ -1,0 +1,279 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qoschain/internal/admission"
+)
+
+// --- MaxBytesReader / 413 regression ---
+
+func postOversize(t *testing.T, srv *httptest.Server, path string) *http.Response {
+	t.Helper()
+	// One byte past the 4 MiB body cap, wrapped in syntactically valid
+	// JSON so only the size can be the reason for rejection.
+	huge := `{"pad":"` + strings.Repeat("x", maxBody+1) + `"}`
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestOversizeBodyReturns413(t *testing.T) {
+	srv := server(t)
+	for _, path := range []string{"/v1/compose", "/v1/composeBatch", "/v1/graph", "/v1/sessions"} {
+		resp := postOversize(t, srv, path)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s oversize status = %d, want 413", path, resp.StatusCode)
+			continue
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Errorf("%s 413 body is not JSON: %v", path, err)
+			continue
+		}
+		if body["error"] == "" {
+			t.Errorf("%s 413 body missing error field", path)
+		}
+	}
+}
+
+func TestUndersizeBodyStill400OnBadJSON(t *testing.T) {
+	srv := server(t)
+	resp, err := http.Post(srv.URL+"/v1/compose", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// --- WithAdmission middleware ---
+
+func TestWithAdmissionZeroConfigIsPassthrough(t *testing.T) {
+	h := http.NewServeMux()
+	if got := WithAdmission(h, AdmissionConfig{}); got != http.Handler(h) {
+		t.Error("zero config must return the handler unchanged")
+	}
+}
+
+func TestRateLimit429WithRetryAfter(t *testing.T) {
+	clock := admission.NewVirtualClock(time.Time{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	h := WithAdmission(inner, AdmissionConfig{Rate: 1, Burst: 1, Clock: clock})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(key string) *http.Response {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/formats", nil)
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	if resp := get("alice"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d", resp.StatusCode)
+	}
+	resp := get("alice")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("drained bucket = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body["error"] == "" {
+		t.Errorf("429 body = %v (%v)", body, err)
+	}
+	// A different API key has its own bucket.
+	if resp := get("bob"); resp.StatusCode != http.StatusOK {
+		t.Errorf("unrelated client = %d, want 200", resp.StatusCode)
+	}
+	// The virtual clock refills the bucket deterministically.
+	clock.Advance(time.Second)
+	if resp := get("alice"); resp.StatusCode != http.StatusOK {
+		t.Errorf("after refill = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestSaturatedLimiterSheds503(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+	})
+	h := WithAdmission(inner, AdmissionConfig{MaxInFlight: 1, MaxQueue: -1, RetryAfter: 3 * time.Second})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(srv.URL + "/v1/formats")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the slot is held
+
+	resp, err := http.Get(srv.URL + "/v1/formats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Errorf("Retry-After = %q, want \"3\"", ra)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !bytes.Contains(body, []byte("overloaded")) {
+		t.Errorf("503 body = %s", body)
+	}
+	close(release)
+	wg.Wait()
+}
+
+func TestQueuedRequestAdmittedAfterRelease(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	})
+	h := WithAdmission(inner, AdmissionConfig{MaxInFlight: 1, MaxQueue: 4})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Get(srv.URL + "/v1/formats")
+			if err != nil {
+				results <- -1
+				return
+			}
+			defer resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	<-entered      // first holds the slot; second queues
+	close(release) // finishing the first promotes the second
+	<-entered      // the queued request runs
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("request %d status = %d, want 200 for both", i, code)
+		}
+	}
+}
+
+func TestHealthzBypassesAdmission(t *testing.T) {
+	h := WithAdmission(Handler(), AdmissionConfig{Rate: 1, Burst: 1})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	for i := 0; i < 5; i++ {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz request %d = %d; liveness must bypass every guard", i, resp.StatusCode)
+		}
+	}
+}
+
+func TestRequestTimeoutReachesHandlerContext(t *testing.T) {
+	sawDeadline := make(chan bool, 1)
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, ok := r.Context().Deadline()
+		sawDeadline <- ok
+	})
+	h := WithAdmission(inner, AdmissionConfig{RequestTimeout: time.Second})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !<-sawDeadline {
+		t.Error("RequestTimeout must put a deadline on the handler's context")
+	}
+}
+
+func TestClientKeyExtraction(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/", nil)
+	r.RemoteAddr = "10.1.2.3:5555"
+	if got := ClientKey(r); got != "addr:10.1.2.3" {
+		t.Errorf("addr key = %q", got)
+	}
+	r.Header.Set("X-API-Key", "k123")
+	if got := ClientKey(r); got != "key:k123" {
+		t.Errorf("api-key key = %q", got)
+	}
+}
+
+// TestAdmissionNoGoroutineLeaks drives a saturating burst through the
+// middleware and verifies everything drains.
+func TestAdmissionNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	func() {
+		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(time.Millisecond)
+		})
+		h := WithAdmission(inner, AdmissionConfig{
+			MaxInFlight:    2,
+			MaxQueue:       2,
+			RequestTimeout: 100 * time.Millisecond,
+			Rate:           10000,
+		})
+		srv := httptest.NewServer(h)
+		defer srv.Close()
+		var wg sync.WaitGroup
+		for i := 0; i < 32; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Get(srv.URL + "/x")
+				if err == nil {
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck
+					resp.Body.Close()
+				}
+			}()
+		}
+		wg.Wait()
+	}()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}

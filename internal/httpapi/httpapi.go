@@ -91,7 +91,7 @@ type roundResponse struct {
 }
 
 func handleCompose(w http.ResponseWriter, r *http.Request) {
-	comp, status, err := composeFromRequest(r)
+	comp, status, err := composeFromRequest(w, r)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
@@ -144,10 +144,10 @@ func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cac
 	}
 	defer r.Body.Close()
 	var req batchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, bodyErrorStatus(err), err.Error())
 		return
 	}
 	if req.Set == nil {
@@ -165,7 +165,7 @@ func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cac
 	if len(users) == 0 {
 		users = []profile.User{req.Set.User}
 	}
-	results, _, err := qoschain.ComposeBatch(req.Set, users, opts)
+	results, _, err := qoschain.ComposeBatchCtx(r.Context(), req.Set, users, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -188,7 +188,7 @@ func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cac
 }
 
 func handleGraph(w http.ResponseWriter, r *http.Request) {
-	comp, status, err := composeFromRequest(r)
+	comp, status, err := composeFromRequest(w, r)
 	if err != nil && comp == nil {
 		writeError(w, status, err.Error())
 		return
@@ -200,17 +200,19 @@ func handleGraph(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// composeFromRequest parses the body and runs the composition. A
-// no-chain failure still returns the composition (for /v1/graph) along
-// with the error.
-func composeFromRequest(r *http.Request) (*qoschain.Composition, int, error) {
+// composeFromRequest parses the body and runs the composition under
+// the request's context (deadline propagation). A no-chain failure
+// still returns the composition (for /v1/graph) along with the error.
+// The body reader is bound to the real ResponseWriter so oversize
+// requests surface as a clean 413 instead of a connection reset.
+func composeFromRequest(w http.ResponseWriter, r *http.Request) (*qoschain.Composition, int, error) {
 	if r.Method != http.MethodPost {
 		return nil, http.StatusMethodNotAllowed, errors.New("POST only")
 	}
 	defer r.Body.Close()
-	set, err := profile.DecodeSet(http.MaxBytesReader(nil, r.Body, maxBody))
+	set, err := profile.DecodeSet(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		return nil, http.StatusBadRequest, err
+		return nil, bodyErrorStatus(err), err
 	}
 	q := r.URL.Query()
 	opts := qoschain.Options{
@@ -218,14 +220,27 @@ func composeFromRequest(r *http.Request) (*qoschain.Composition, int, error) {
 		Prune:   q.Get("prune") == "1",
 		Contact: profile.ContactClass(q.Get("contact")),
 	}
-	comp, err := qoschain.Compose(set, opts)
+	comp, err := qoschain.ComposeCtx(r.Context(), set, opts)
 	if err != nil {
 		if comp != nil && errors.Is(err, core.ErrNoChain) {
 			return comp, http.StatusUnprocessableEntity, fmt.Errorf("no adaptation chain: %w", err)
 		}
+		if errors.Is(err, core.ErrAborted) {
+			return nil, http.StatusServiceUnavailable, err
+		}
 		return nil, http.StatusBadRequest, err
 	}
 	return comp, http.StatusOK, nil
+}
+
+// bodyErrorStatus maps a request-body decode failure to its status:
+// 413 when http.MaxBytesReader cut the body off, 400 otherwise.
+func bodyErrorStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func nodeStrings(ids []graph.NodeID) []string {

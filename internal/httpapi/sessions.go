@@ -14,12 +14,15 @@ package httpapi
 //
 // /v1/sessions query parameters: floor=<0..1> (minimum acceptable
 // satisfaction before graceful degradation, default 0), contact=<class>,
-// seed=<int> (failover jitter seed, default 1). Retry backoff never
-// wall-clock sleeps inside a handler; the virtual clock advances one
-// step per reevaluate call.
+// seed=<int> (failover jitter seed, default 1), reserve=1 (hold the
+// chain's bitrate on the session's overlay links; a chain that does not
+// fit the free capacity is rejected with 503 before activation). Retry
+// backoff never wall-clock sleeps inside a handler; the virtual clock
+// advances one step per reevaluate call.
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -121,9 +124,9 @@ func (ms *managedSession) status() sessionStatus {
 
 func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	defer r.Body.Close()
-	set, err := profile.DecodeSet(http.MaxBytesReader(nil, r.Body, maxBody))
+	set, err := profile.DecodeSet(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, bodyErrorStatus(err), err.Error())
 		return
 	}
 	q := r.URL.Query()
@@ -160,12 +163,13 @@ func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
 	pool := fault.NewServiceSet(svcs)
 	counters := metrics.NewCounters()
 	sess, err := session.New(session.Config{
-		Content:      &set.Content,
-		Device:       &set.Device,
-		Services:     svcs,
-		Net:          net,
-		SenderHost:   "sender",
-		ReceiverHost: set.Device.ID,
+		Content:          &set.Content,
+		Device:           &set.Device,
+		Services:         svcs,
+		Net:              net,
+		SenderHost:       "sender",
+		ReceiverHost:     set.Device.ID,
+		ReserveBandwidth: q.Get("reserve") == "1",
 		Select: core.Config{
 			Profile:      satProfile,
 			Budget:       set.User.Budget,
@@ -182,6 +186,13 @@ func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
 		},
 	})
 	if err != nil {
+		// A chain that does not fit the overlay's free capacity is an
+		// overload condition, not a malformed request.
+		if errors.Is(err, overlay.ErrInsufficientCapacity) {
+			setRetryAfter(w, time.Second)
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
@@ -279,10 +290,10 @@ func (sm *SessionManager) handleFault(w http.ResponseWriter, r *http.Request) {
 	}
 	defer r.Body.Close()
 	var req faultRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, bodyErrorStatus(err), err.Error())
 		return
 	}
 	f := fault.Fault{

@@ -78,7 +78,7 @@ func handleComposeByRef(st *store.Store, w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	comp, err := qoschain.Compose(set, qoschain.Options{
+	comp, err := qoschain.ComposeCtx(r.Context(), set, qoschain.Options{
 		Trace:   q.Get("trace") == "1",
 		Prune:   q.Get("prune") == "1",
 		Contact: profile.ContactClass(q.Get("contact")),
@@ -87,6 +87,8 @@ func handleComposeByRef(st *store.Store, w http.ResponseWriter, r *http.Request)
 		status := http.StatusBadRequest
 		if errors.Is(err, core.ErrNoChain) {
 			status = http.StatusUnprocessableEntity
+		} else if errors.Is(err, core.ErrAborted) {
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err.Error())
 		return

@@ -41,6 +41,38 @@ const (
 	SampleRecoveryRetries = "failover.recovery_retries"
 )
 
+// Well-known counter and sample names recorded by the admission layer
+// (internal/admission and the bandwidth-reserving session path).
+const (
+	// CounterAdmissionAdmitted counts requests that obtained a
+	// concurrency slot (directly or after queueing).
+	CounterAdmissionAdmitted = "admission.admitted"
+	// CounterAdmissionQueued counts requests that had to wait in the
+	// limiter's FIFO queue before a decision.
+	CounterAdmissionQueued = "admission.queued"
+	// CounterAdmissionShedQueueFull counts requests shed on arrival
+	// because the wait queue was full.
+	CounterAdmissionShedQueueFull = "admission.shed_queue_full"
+	// CounterAdmissionShedExpired counts requests shed because their
+	// deadline expired (or their caller gave up) while queued.
+	CounterAdmissionShedExpired = "admission.shed_deadline"
+	// CounterAdmissionRateLimited counts requests refused by a
+	// client's token bucket.
+	CounterAdmissionRateLimited = "admission.rate_limited"
+	// CounterCapacityRejected counts compositions refused before
+	// activation because their chain would oversubscribe reserved
+	// overlay bandwidth.
+	CounterCapacityRejected = "admission.capacity_rejected"
+	// CounterBreakerOpened/HalfOpen/Closed count circuit breaker state
+	// transitions.
+	CounterBreakerOpened   = "admission.breaker_opened"
+	CounterBreakerHalfOpen = "admission.breaker_half_open"
+	CounterBreakerClosed   = "admission.breaker_closed"
+	// SampleReservedKbps observes the per-link bandwidth each admitted
+	// chain reserved.
+	SampleReservedKbps = "admission.reserved_kbps"
+)
+
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
 	return &Counters{

@@ -1,0 +1,149 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Capacity admission: before a composed chain is activated, its
+// bandwidth is reserved on every inter-host link it crosses —
+// atomically, so two concurrent admissions can never each pass a check
+// the other invalidates. A chain that would oversubscribe any live
+// reservation is rejected whole, with no partial holds to unwind.
+// Co-located services (From == To) need no reservation, per the paper's
+// model of infinite intra-host bandwidth.
+
+// ErrInsufficientCapacity is the typed rejection of a chain admission:
+// at least one link lacks the unreserved bandwidth the chain needs.
+var ErrInsufficientCapacity = errors.New("overlay: insufficient link capacity")
+
+// CapacityError reports the first link that could not take a chain's
+// reservation. It wraps ErrInsufficientCapacity.
+type CapacityError struct {
+	From, To                string
+	AvailableKbps, NeedKbps float64
+	// Down marks a link (or endpoint) that is failed rather than
+	// merely full.
+	Down bool
+}
+
+// Error implements error.
+func (e *CapacityError) Error() string {
+	if e.Down {
+		return fmt.Sprintf("overlay: link %s->%s is down", e.From, e.To)
+	}
+	return fmt.Sprintf("overlay: link %s->%s has %.1f kbps available, need %.1f",
+		e.From, e.To, e.AvailableKbps, e.NeedKbps)
+}
+
+// Unwrap ties the error to ErrInsufficientCapacity for errors.Is.
+func (e *CapacityError) Unwrap() error { return ErrInsufficientCapacity }
+
+// Reservation is one directed-link share of a chain admission.
+type Reservation struct {
+	From, To string
+	Kbps     float64
+}
+
+// ReserveChain atomically admits every reservation or none: all links
+// are checked under one lock before any is mutated, so a rejected chain
+// leaves the overlay untouched and a concurrent admission can never
+// interleave between check and commit. Reservations on the same link
+// are summed before checking (a chain may cross a link twice);
+// co-located pairs (From == To) and non-positive shares are skipped.
+// On failure it returns a *CapacityError naming the first offending
+// link in chain order.
+func (n *Network) ReserveChain(rs []Reservation) error {
+	n.mu.Lock()
+	// Aggregate per link, preserving first-touch order for stable
+	// error attribution.
+	need := make(map[edge]float64, len(rs))
+	order := make([]edge, 0, len(rs))
+	for _, r := range rs {
+		if r.From == r.To || r.Kbps <= 0 {
+			continue
+		}
+		e := edge{r.From, r.To}
+		if _, seen := need[e]; !seen {
+			order = append(order, e)
+		}
+		need[e] += r.Kbps
+	}
+	// Check phase: nothing is mutated until every link clears.
+	for _, e := range order {
+		l, ok := n.links[e]
+		if !ok {
+			n.mu.Unlock()
+			return &CapacityError{From: e.from, To: e.to, NeedKbps: need[e], Down: true}
+		}
+		if !n.usableLocked(e, l) {
+			n.mu.Unlock()
+			return &CapacityError{From: e.from, To: e.to, NeedKbps: need[e], Down: true}
+		}
+		if l.available() < need[e]-1e-9 {
+			err := &CapacityError{From: e.from, To: e.to, AvailableKbps: l.available(), NeedKbps: need[e]}
+			n.mu.Unlock()
+			return err
+		}
+	}
+	// Commit phase.
+	events := make([]Event, 0, len(order))
+	for _, e := range order {
+		l := n.links[e]
+		l.reservedKbps += need[e]
+		events = append(events, Event{From: e.from, To: e.to, BandwidthKbps: l.available()})
+	}
+	if len(order) > 0 {
+		n.gen++
+	}
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	for _, ev := range events {
+		notify(subs, ev)
+	}
+	return nil
+}
+
+// ReleaseChain returns a chain's reservations in one mutation,
+// clamping each link's reservation at zero. Unknown links and
+// co-located pairs are ignored.
+func (n *Network) ReleaseChain(rs []Reservation) {
+	n.mu.Lock()
+	events := make([]Event, 0, len(rs))
+	changed := false
+	for _, r := range rs {
+		if r.From == r.To || r.Kbps <= 0 {
+			continue
+		}
+		l, ok := n.links[edge{r.From, r.To}]
+		if !ok {
+			continue
+		}
+		l.reservedKbps -= r.Kbps
+		if l.reservedKbps < 0 {
+			l.reservedKbps = 0
+		}
+		changed = true
+		events = append(events, Event{From: r.From, To: r.To, BandwidthKbps: l.available()})
+	}
+	if changed {
+		n.gen++
+	}
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	for _, ev := range events {
+		notify(subs, ev)
+	}
+}
+
+// TotalReservedKbps sums the live reservations across all links — the
+// admission layer's "how much of the overlay is spoken for" gauge.
+func (n *Network) TotalReservedKbps() float64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	total := 0.0
+	for _, l := range n.links {
+		total += l.reservedKbps
+	}
+	return total
+}

@@ -1,0 +1,114 @@
+package registry
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"qoschain/internal/admission"
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+// TestRemoteSourceBreakerOpenServesStale is the acceptance scenario: a
+// remote registry answers once, then dies; the breaker trips, and while
+// it is open queries are served from the last-known-good directory
+// without touching the network at all.
+func TestRemoteSourceBreakerOpenServesStale(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := New()
+	_ = reg.Register(service.FormatConverter("c1", media.ImageJPEG, media.ImageGIF), 0)
+	srv := Serve(reg, ln)
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.SetTimeout(time.Second)
+
+	clock := admission.NewVirtualClock(time.Time{})
+	breaker := admission.NewBreaker(admission.BreakerConfig{
+		FailureThreshold: 2,
+		OpenTimeout:      time.Minute,
+		Clock:            clock,
+	})
+	src := NewRemoteSourceOpts(client, RemoteSourceOptions{Breaker: breaker})
+
+	// Healthy round trip populates the last-known-good cache.
+	if got := src.ByInput(media.ImageJPEG); len(got) != 1 || got[0].ID != "c1" {
+		t.Fatalf("healthy query = %v", got)
+	}
+	if src.Stale() {
+		t.Fatal("fresh answer must not be stale")
+	}
+
+	// Kill the remote: the next queries fail and trip the breaker.
+	srv.Close()
+	for i := 0; i < 2; i++ {
+		if got := src.ByInput(media.ImageJPEG); len(got) != 1 {
+			t.Fatalf("failure %d: stale cache lost, got %v", i, got)
+		}
+	}
+	if breaker.State() != admission.Open {
+		t.Fatalf("breaker state = %v, want open after 2 failures", breaker.State())
+	}
+
+	// Open breaker: served from cache with no network I/O. Closing the
+	// client connection proves nothing touches the wire.
+	client.Close()
+	got := src.ByInput(media.ImageJPEG)
+	if len(got) != 1 || got[0].ID != "c1" {
+		t.Fatalf("open-breaker query = %v, want the last-known-good directory", got)
+	}
+	if !src.Stale() {
+		t.Error("open-breaker answer must be marked stale")
+	}
+	if breaker.Allow() { // still within cool-down
+		t.Error("breaker must stay open inside the cool-down")
+	}
+
+	// A query the cache never saw degrades to empty rather than blocking.
+	if got := src.ByOutput(media.ImageGIF); got != nil {
+		t.Errorf("uncached open-breaker query = %v, want nil", got)
+	}
+}
+
+// TestRemoteSourceTimeoutBoundsQuery verifies the per-query budget: a
+// hung remote costs at most the configured timeout.
+func TestRemoteSourceTimeoutBoundsQuery(t *testing.T) {
+	// A listener that accepts and never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	client, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	src := NewRemoteSourceOpts(client, RemoteSourceOptions{Timeout: 50 * time.Millisecond})
+	start := time.Now()
+	if got := src.All(); got != nil {
+		t.Errorf("hung remote should answer nil, got %v", got)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("query took %v, the 50ms budget did not bind", elapsed)
+	}
+	if src.LastError() == nil {
+		t.Error("timeout must be recorded as the last error")
+	}
+}

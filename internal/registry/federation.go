@@ -1,9 +1,12 @@
 package registry
 
 import (
+	"context"
 	"sort"
 	"sync"
+	"time"
 
+	"qoschain/internal/admission"
 	"qoschain/internal/media"
 	"qoschain/internal/service"
 )
@@ -39,26 +42,78 @@ func NewFederation(sources ...Source) *Federation {
 // Add appends another member.
 func (f *Federation) Add(src Source) { f.sources = append(f.sources, src) }
 
+// ContextSource is the deadline-aware query surface: a Source whose
+// round trips observe a context. RemoteSource and Federation implement
+// it; a plain in-memory Registry needs no deadline and is queried
+// directly.
+type ContextSource interface {
+	Source
+	ByInputContext(context.Context, media.Format) []*service.Service
+	ByOutputContext(context.Context, media.Format) []*service.Service
+	AllContext(context.Context) []*service.Service
+}
+
+// Federation implements ContextSource; assert it.
+var _ ContextSource = (*Federation)(nil)
+
 // ByInput implements Source.
 func (f *Federation) ByInput(format media.Format) []*service.Service {
-	return f.merge(func(s Source) []*service.Service { return s.ByInput(format) })
+	return f.ByInputContext(context.Background(), format)
 }
 
 // ByOutput implements Source.
 func (f *Federation) ByOutput(format media.Format) []*service.Service {
-	return f.merge(func(s Source) []*service.Service { return s.ByOutput(format) })
+	return f.ByOutputContext(context.Background(), format)
 }
 
 // All implements Source.
 func (f *Federation) All() []*service.Service {
-	return f.merge(func(s Source) []*service.Service { return s.All() })
+	return f.AllContext(context.Background())
 }
 
-func (f *Federation) merge(query func(Source) []*service.Service) []*service.Service {
+// ByInputContext queries every member under the context, giving each
+// remaining member a fair share of the remaining budget.
+func (f *Federation) ByInputContext(ctx context.Context, format media.Format) []*service.Service {
+	return f.merge(ctx, func(ctx context.Context, s Source) []*service.Service {
+		if cs, ok := s.(ContextSource); ok {
+			return cs.ByInputContext(ctx, format)
+		}
+		return s.ByInput(format)
+	})
+}
+
+// ByOutputContext is ByInputContext for the output index.
+func (f *Federation) ByOutputContext(ctx context.Context, format media.Format) []*service.Service {
+	return f.merge(ctx, func(ctx context.Context, s Source) []*service.Service {
+		if cs, ok := s.(ContextSource); ok {
+			return cs.ByOutputContext(ctx, format)
+		}
+		return s.ByOutput(format)
+	})
+}
+
+// AllContext lists every member's directory under the context.
+func (f *Federation) AllContext(ctx context.Context) []*service.Service {
+	return f.merge(ctx, func(ctx context.Context, s Source) []*service.Service {
+		if cs, ok := s.(ContextSource); ok {
+			return cs.AllContext(ctx)
+		}
+		return s.All()
+	})
+}
+
+// merge unions the members' answers under per-member sub-deadlines:
+// with k members left and a deadline on ctx, the next member gets 1/k
+// of the remaining budget, so one hung remote cannot eat the slices of
+// the members queried after it.
+func (f *Federation) merge(ctx context.Context, query func(context.Context, Source) []*service.Service) []*service.Service {
 	seen := make(map[service.ID]bool)
 	var out []*service.Service
-	for _, src := range f.sources {
-		for _, svc := range query(src) {
+	for i, src := range f.sources {
+		stage, cancel := admission.SubDeadline(ctx, 1/float64(len(f.sources)-i))
+		svcs := query(stage, src)
+		cancel()
+		for _, svc := range svcs {
 			if seen[svc.ID] {
 				continue
 			}
@@ -76,8 +131,21 @@ func (f *Federation) merge(query func(Source) []*service.Service) []*service.Ser
 // transiently unreachable federation member keeps its most recent
 // directory visible until it answers again. A query that never succeeded
 // degrades to an empty answer.
+//
+// Two admission-layer guards compose with the stale cache:
+//
+//   - a per-query Timeout bounds each round trip (the per-stage
+//     sub-deadline of a composition that consults the federation), and
+//   - an optional circuit Breaker sheds queries outright while the
+//     remote is failing: an open breaker serves the last-known-good
+//     directory without touching the network at all, so a dead remote
+//     costs nothing after the first few failures instead of a timeout
+//     per query.
 type RemoteSource struct {
 	client *Client
+
+	timeout time.Duration
+	breaker *admission.Breaker
 
 	mu      sync.Mutex
 	cache   map[string][]*service.Service
@@ -85,10 +153,38 @@ type RemoteSource struct {
 	lastErr error
 }
 
-// NewRemoteSource wraps a connected client.
-func NewRemoteSource(c *Client) *RemoteSource {
-	return &RemoteSource{client: c, cache: make(map[string][]*service.Service)}
+// RemoteSource implements ContextSource; assert it.
+var _ ContextSource = (*RemoteSource)(nil)
+
+// RemoteSourceOptions tunes a RemoteSource's admission guards; the zero
+// value disables both.
+type RemoteSourceOptions struct {
+	// Timeout bounds every query round trip; 0 leaves only the
+	// caller's context deadline (if any).
+	Timeout time.Duration
+	// Breaker, when set, guards the remote: while open, queries are
+	// served from the last-known-good cache without any network I/O.
+	Breaker *admission.Breaker
 }
+
+// NewRemoteSource wraps a connected client with no guards.
+func NewRemoteSource(c *Client) *RemoteSource {
+	return NewRemoteSourceOpts(c, RemoteSourceOptions{})
+}
+
+// NewRemoteSourceOpts wraps a connected client with the given guards.
+func NewRemoteSourceOpts(c *Client, opts RemoteSourceOptions) *RemoteSource {
+	return &RemoteSource{
+		client:  c,
+		timeout: opts.Timeout,
+		breaker: opts.Breaker,
+		cache:   make(map[string][]*service.Service),
+	}
+}
+
+// Breaker returns the guarding breaker (nil when unguarded), for
+// status reporting.
+func (r *RemoteSource) Breaker() *admission.Breaker { return r.breaker }
 
 // Stale reports whether the most recent query was served from cache
 // because the remote registry did not answer.
@@ -121,20 +217,54 @@ func (r *RemoteSource) serve(key string, svcs []*service.Service, err error) []*
 	return r.cache[key]
 }
 
+// query runs one guarded round trip: breaker first (an open breaker
+// serves stale without network I/O), then the per-query timeout on top
+// of the caller's context.
+func (r *RemoteSource) query(ctx context.Context, key string, fn func(context.Context) ([]*service.Service, error)) []*service.Service {
+	if r.breaker != nil && !r.breaker.Allow() {
+		return r.serve(key, nil, admission.ErrBreakerOpen)
+	}
+	qctx, cancel := admission.WithBudget(ctx, r.timeout)
+	svcs, err := fn(qctx)
+	cancel()
+	if r.breaker != nil {
+		r.breaker.Record(err == nil)
+	}
+	return r.serve(key, svcs, err)
+}
+
 // ByInput implements Source.
 func (r *RemoteSource) ByInput(f media.Format) []*service.Service {
-	svcs, err := r.client.ByInput(f)
-	return r.serve("in:"+f.String(), svcs, err)
+	return r.ByInputContext(context.Background(), f)
 }
 
 // ByOutput implements Source.
 func (r *RemoteSource) ByOutput(f media.Format) []*service.Service {
-	svcs, err := r.client.ByOutput(f)
-	return r.serve("out:"+f.String(), svcs, err)
+	return r.ByOutputContext(context.Background(), f)
 }
 
 // All implements Source.
 func (r *RemoteSource) All() []*service.Service {
-	svcs, err := r.client.All()
-	return r.serve("all", svcs, err)
+	return r.AllContext(context.Background())
+}
+
+// ByInputContext implements ContextSource.
+func (r *RemoteSource) ByInputContext(ctx context.Context, f media.Format) []*service.Service {
+	return r.query(ctx, "in:"+f.String(), func(ctx context.Context) ([]*service.Service, error) {
+		return r.client.ByInputContext(ctx, f)
+	})
+}
+
+// ByOutputContext implements ContextSource.
+func (r *RemoteSource) ByOutputContext(ctx context.Context, f media.Format) []*service.Service {
+	return r.query(ctx, "out:"+f.String(), func(ctx context.Context) ([]*service.Service, error) {
+		return r.client.ByOutputContext(ctx, f)
+	})
+}
+
+// AllContext implements ContextSource.
+func (r *RemoteSource) AllContext(ctx context.Context) []*service.Service {
+	return r.query(ctx, "all", func(ctx context.Context) ([]*service.Service, error) {
+		return r.client.AllContext(ctx)
+	})
 }

@@ -44,8 +44,9 @@ type response struct {
 
 // Server exposes a Registry over TCP.
 type Server struct {
-	reg *Registry
-	ln  net.Listener
+	reg  *Registry
+	ln   net.Listener
+	opts ServeOptions
 
 	mu     sync.Mutex
 	conns  map[net.Conn]bool
@@ -53,10 +54,26 @@ type Server struct {
 	wg     sync.WaitGroup
 }
 
-// Serve starts serving the registry on the given listener; it returns
-// immediately and handles connections until Close.
+// ServeOptions bounds a Server's per-connection I/O — the TCP analogue
+// of http.Server's Read/WriteTimeout. The zero value disables both
+// (connections may idle forever), preserving the historical behavior.
+type ServeOptions struct {
+	// IdleTimeout closes a connection that sends no request for this
+	// long. 0 disables the bound.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds writing one response. 0 disables the bound.
+	WriteTimeout time.Duration
+}
+
+// Serve starts serving the registry on the given listener with no I/O
+// bounds; it returns immediately and handles connections until Close.
 func Serve(reg *Registry, ln net.Listener) *Server {
-	s := &Server{reg: reg, ln: ln, conns: make(map[net.Conn]bool)}
+	return ServeOpts(reg, ln, ServeOptions{})
+}
+
+// ServeOpts is Serve with per-connection I/O bounds.
+func ServeOpts(reg *Registry, ln net.Listener, opts ServeOptions) *Server {
+	s := &Server{reg: reg, ln: ln, opts: opts, conns: make(map[net.Conn]bool)}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -80,6 +97,36 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// connections to drain. When the context expires first, the remaining
+// connections are force-closed (mirroring http.Server.Shutdown).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+		return err
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -113,13 +160,22 @@ func (s *Server) handle(conn net.Conn) {
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	enc := json.NewEncoder(conn)
-	for scanner.Scan() {
+	for {
+		if s.opts.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		if !scanner.Scan() {
+			return
+		}
 		var req request
 		var resp response
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp = response{Error: fmt.Sprintf("bad request: %v", err)}
 		} else {
 			resp = s.dispatch(req)
+		}
+		if s.opts.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))
 		}
 		if err := enc.Encode(resp); err != nil {
 			return

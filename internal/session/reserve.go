@@ -4,18 +4,19 @@ import (
 	"fmt"
 
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/overlay"
 )
 
 // Bandwidth reservation: when Config.ReserveBandwidth is set, an admitted
 // session holds its chain's bitrate on every inter-host link it crosses,
 // so concurrent sessions see only the remaining capacity — the admission
-// control a shared proxy infrastructure needs.
-
-// reservation is one held link share.
-type reservation struct {
-	from, to string
-	kbps     float64
-}
+// control a shared proxy infrastructure needs. The hold is taken with
+// overlay.ReserveChain, atomically across the whole chain: a session that
+// would oversubscribe any link is rejected before activation, with
+// nothing to roll back, and the typed overlay.ErrInsufficientCapacity
+// surfaces to callers (httpapi maps it to 503). Failover re-composition
+// releases the old chain's holds and re-reserves the new chain's.
 
 // chainBitrate is the bandwidth the current chain's delivered parameters
 // require.
@@ -27,9 +28,9 @@ func (s *Session) chainBitrate() float64 {
 	return model.RequiredKbps(s.current.Params)
 }
 
-// reserveCurrent holds the chain's bitrate on each distinct consecutive
-// host pair. On failure it rolls back what it reserved and reports the
-// conflict.
+// reserveCurrent atomically holds the chain's bitrate on each
+// consecutive host pair. On an oversubscribed link nothing is held and
+// the typed capacity error is reported.
 func (s *Session) reserveCurrent() error {
 	if s.current == nil || !s.current.Found {
 		return nil
@@ -39,29 +40,31 @@ func (s *Session) reserveCurrent() error {
 		return nil
 	}
 	hosts := s.Hosts()
-	var made []reservation
+	rs := make([]overlay.Reservation, 0, len(hosts)-1)
 	for i := 1; i < len(hosts); i++ {
-		from, to := hosts[i-1], hosts[i]
-		if from == to {
+		if hosts[i-1] == hosts[i] {
 			continue
 		}
-		if err := s.cfg.Net.Reserve(from, to, kbps); err != nil {
-			for _, r := range made {
-				s.cfg.Net.Release(r.from, r.to, r.kbps)
-			}
-			return fmt.Errorf("session: admitting chain: %w", err)
-		}
-		made = append(made, reservation{from, to, kbps})
+		rs = append(rs, overlay.Reservation{From: hosts[i-1], To: hosts[i], Kbps: kbps})
 	}
-	s.held = made
+	if len(rs) == 0 {
+		return nil
+	}
+	if err := s.cfg.Net.ReserveChain(rs); err != nil {
+		s.cfg.Failover.Metrics.Inc(metrics.CounterCapacityRejected)
+		return fmt.Errorf("session: admitting chain: %w", err)
+	}
+	s.held = rs
+	s.cfg.Failover.Metrics.Observe(metrics.SampleReservedKbps, kbps)
 	return nil
 }
 
 // releaseCurrent returns every held reservation.
 func (s *Session) releaseCurrent() {
-	for _, r := range s.held {
-		s.cfg.Net.Release(r.from, r.to, r.kbps)
+	if len(s.held) == 0 {
+		return
 	}
+	s.cfg.Net.ReleaseChain(s.held)
 	s.held = nil
 }
 
@@ -71,11 +74,12 @@ func (s *Session) Close() {
 	s.releaseCurrent()
 }
 
-// Reserved reports the bandwidth currently held per link.
+// Reserved reports the bandwidth currently held per link (links a chain
+// crosses twice report the summed share).
 func (s *Session) Reserved() map[string]float64 {
 	out := make(map[string]float64, len(s.held))
 	for _, r := range s.held {
-		out[r.from+"->"+r.to] = r.kbps
+		out[r.From+"->"+r.To] += r.Kbps
 	}
 	return out
 }

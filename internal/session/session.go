@@ -63,7 +63,7 @@ type Session struct {
 	cfg     Config
 	current *core.Result
 	history []Change
-	held    []reservation
+	held    []overlay.Reservation
 
 	// failover state (see failover.go)
 	step       int

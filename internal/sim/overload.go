@@ -1,0 +1,276 @@
+package sim
+
+// overload.go is the deterministic overload experiment behind
+// adaptsim -overload: a seeded burst of requests is pushed through the
+// admission layers (per-client token buckets, then the bounded-queue
+// concurrency limiter) under a virtual clock. Nothing sleeps and no
+// goroutines run — every admit/queue/shed decision derives from the
+// seed and the spec, so a run is exactly replayable.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"qoschain/internal/admission"
+	"qoschain/internal/metrics"
+)
+
+// OverloadSpec configures one overload burst. Zero fields pick the
+// documented defaults.
+type OverloadSpec struct {
+	// Seed drives arrival times and client assignment.
+	Seed int64
+	// Capacity is the limiter's in-flight cap (default 8).
+	Capacity int
+	// MaxQueue is the limiter's wait-queue depth (default 2×Capacity).
+	MaxQueue int
+	// BurstFactor scales the burst: BurstFactor×Capacity requests
+	// arrive within Spread (default 10 — the classic 10× overload).
+	BurstFactor int
+	// Clients is how many distinct client keys fire the burst
+	// (default 4); requests are assigned to clients by the seed.
+	Clients int
+	// Rate and Burst are the per-client token bucket (default 20/s,
+	// depth 10).
+	Rate, Burst float64
+	// ServiceTime is how long an admitted request holds its slot
+	// (default 80ms).
+	ServiceTime time.Duration
+	// Deadline is each request's patience: a request still queued when
+	// it elapses is shed (default 250ms).
+	Deadline time.Duration
+	// Spread is the arrival window of the burst (default 50ms).
+	Spread time.Duration
+	// Tick is the virtual-clock step (default 5ms).
+	Tick time.Duration
+}
+
+func (s *OverloadSpec) withDefaults() OverloadSpec {
+	out := *s
+	if out.Capacity <= 0 {
+		out.Capacity = 8
+	}
+	if out.MaxQueue == 0 {
+		out.MaxQueue = 2 * out.Capacity
+	}
+	if out.BurstFactor <= 0 {
+		out.BurstFactor = 10
+	}
+	if out.Clients <= 0 {
+		out.Clients = 4
+	}
+	if out.Rate <= 0 {
+		out.Rate = 20
+	}
+	if out.Burst <= 0 {
+		out.Burst = 10
+	}
+	if out.ServiceTime <= 0 {
+		out.ServiceTime = 80 * time.Millisecond
+	}
+	if out.Deadline <= 0 {
+		out.Deadline = 250 * time.Millisecond
+	}
+	if out.Spread <= 0 {
+		out.Spread = 50 * time.Millisecond
+	}
+	if out.Tick <= 0 {
+		out.Tick = 5 * time.Millisecond
+	}
+	return out
+}
+
+// OverloadTick is one virtual-clock step of the experiment.
+type OverloadTick struct {
+	// AtMs is the tick's offset from the burst start in milliseconds.
+	AtMs int64
+	// Arrivals is how many requests arrived during this tick.
+	Arrivals int
+	// RateLimited of those were refused a token.
+	RateLimited int
+	// InFlight and QueueLen are the limiter occupancy after the tick.
+	InFlight, QueueLen int
+	// Completed is how many admitted requests finished this tick.
+	Completed int
+	// Expired is how many queued requests were shed for deadline
+	// expiry this tick.
+	Expired int
+}
+
+// OverloadReport is the exact breakdown of one burst. Every request is
+// accounted for: Admitted + RateLimited + ShedQueueFull + ShedExpired
+// == Requests, and Completed == Admitted once the run drains.
+type OverloadReport struct {
+	Spec     OverloadSpec
+	Requests int
+	// Admitted obtained a slot (AdmittedDirect immediately, the rest
+	// after queueing); Completed finished their service time.
+	Admitted, AdmittedDirect, Completed int
+	// Queued requests waited for a slot at some point.
+	Queued int
+	// RateLimited were refused a token before reaching the limiter.
+	RateLimited int
+	// ShedQueueFull arrived at a full wait queue; ShedExpired ran out
+	// of deadline while queued.
+	ShedQueueFull, ShedExpired int
+	// Ticks is how many virtual steps the run took to drain.
+	Ticks int
+	// Timeline is the per-tick trace (ticks with no activity are
+	// omitted).
+	Timeline []OverloadTick
+	// Counters is the admission.* counter snapshot of the run.
+	Counters map[string]int64
+}
+
+// Accounted reports whether every request's fate is recorded exactly
+// once — the invariant the determinism tests assert.
+func (r *OverloadReport) Accounted() bool {
+	return r.Admitted+r.RateLimited+r.ShedQueueFull+r.ShedExpired == r.Requests &&
+		r.Completed == r.Admitted
+}
+
+// overloadArrival is one scheduled request of the burst.
+type overloadArrival struct {
+	at     time.Duration // offset from burst start
+	client string
+}
+
+// RunOverload drives one seeded burst through the admission layers
+// under a virtual clock and returns the exact breakdown. The run
+// advances tick by tick until every request is completed or shed.
+func RunOverload(spec OverloadSpec) *OverloadReport {
+	sp := spec.withDefaults()
+	rng := rand.New(rand.NewSource(sp.Seed))
+	clock := admission.NewVirtualClock(time.Time{})
+	counters := metrics.NewCounters()
+	lim := admission.NewLimiter(admission.LimiterConfig{
+		Capacity: sp.Capacity,
+		MaxQueue: sp.MaxQueue,
+		Clock:    clock,
+		Metrics:  counters,
+	})
+	rl := admission.NewRateLimiter(admission.RateConfig{
+		Rate:    sp.Rate,
+		Burst:   sp.Burst,
+		Clock:   clock,
+		Metrics: counters,
+	})
+
+	// Schedule the burst: BurstFactor×Capacity requests spread over the
+	// arrival window, each from a seeded client. Sorting by (time,
+	// client) makes the schedule independent of map/sort quirks.
+	n := sp.BurstFactor * sp.Capacity
+	arrivals := make([]overloadArrival, n)
+	for i := range arrivals {
+		arrivals[i] = overloadArrival{
+			at:     time.Duration(rng.Int63n(int64(sp.Spread))),
+			client: fmt.Sprintf("client-%d", rng.Intn(sp.Clients)),
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool {
+		if arrivals[i].at != arrivals[j].at {
+			return arrivals[i].at < arrivals[j].at
+		}
+		return arrivals[i].client < arrivals[j].client
+	})
+
+	rep := &OverloadReport{Spec: sp, Requests: n}
+	start := clock.Now()
+
+	// running holds admitted tickets and their finish times; waiting
+	// holds queued tickets to watch for promotion or shedding.
+	type runningReq struct {
+		t      *admission.Ticket
+		finish time.Time
+	}
+	var running []runningReq
+	var waiting []*admission.Ticket
+	next := 0 // next arrival to inject
+
+	for tick := 0; ; tick++ {
+		now := clock.Now()
+		tr := OverloadTick{AtMs: now.Sub(start).Milliseconds()}
+
+		// 1. Finish admitted requests whose service time elapsed. Each
+		// Release promotes the queue head in FIFO order (slot transfer).
+		keepRunning := running[:0]
+		for _, r := range running {
+			if !now.Before(r.finish) {
+				r.t.Release()
+				rep.Completed++
+				tr.Completed++
+				continue
+			}
+			keepRunning = append(keepRunning, r)
+		}
+		running = keepRunning
+
+		// 2. Shed queued requests that ran out of deadline.
+		tr.Expired = lim.Expire()
+		rep.ShedExpired += tr.Expired
+
+		// 3. Inject this tick's arrivals: token bucket first, then the
+		// limiter.
+		for next < len(arrivals) && arrivals[next].at <= now.Sub(start) {
+			a := arrivals[next]
+			next++
+			tr.Arrivals++
+			if !rl.Allow(a.client) {
+				rep.RateLimited++
+				tr.RateLimited++
+				continue
+			}
+			t := lim.Offer(now.Add(sp.Deadline))
+			switch {
+			case t.Admitted():
+				rep.Admitted++
+				rep.AdmittedDirect++
+				running = append(running, runningReq{t, now.Add(sp.ServiceTime)})
+			case t.Shed():
+				rep.ShedQueueFull++
+			default:
+				rep.Queued++
+				waiting = append(waiting, t)
+			}
+		}
+
+		// 4. Collect promotions and expiries among the waiters. A
+		// promoted waiter starts its service time now.
+		keepWaiting := waiting[:0]
+		for _, t := range waiting {
+			switch {
+			case t.Admitted():
+				rep.Admitted++
+				running = append(running, runningReq{t, now.Add(sp.ServiceTime)})
+			case t.Shed():
+				// Expired: already counted via lim.Expire's return or
+				// shed during a Release promotion scan.
+			default:
+				keepWaiting = append(keepWaiting, t)
+			}
+		}
+		waiting = keepWaiting
+
+		st := lim.Stats()
+		tr.InFlight, tr.QueueLen = st.InFlight, st.QueueLen
+		if tr.Arrivals > 0 || tr.Completed > 0 || tr.Expired > 0 {
+			rep.Timeline = append(rep.Timeline, tr)
+		}
+
+		if next >= len(arrivals) && len(running) == 0 && len(waiting) == 0 {
+			rep.Ticks = tick + 1
+			break
+		}
+		clock.Advance(sp.Tick)
+	}
+
+	// Release-time promotions can shed expired queue heads without going
+	// through Expire; reconcile against the limiter's own totals.
+	st := lim.Stats()
+	rep.ShedExpired = int(st.ShedExpired)
+	rep.ShedQueueFull = int(st.ShedQueueFull)
+	rep.Counters = counters.Snapshot()
+	return rep
+}

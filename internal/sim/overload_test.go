@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"qoschain/internal/metrics"
+)
+
+func TestRunOverloadDeterministic(t *testing.T) {
+	a := RunOverload(OverloadSpec{Seed: 42})
+	b := RunOverload(OverloadSpec{Seed: 42})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed must replay exactly:\n%+v\nvs\n%+v", a, b)
+	}
+	c := RunOverload(OverloadSpec{Seed: 43})
+	if reflect.DeepEqual(a.Timeline, c.Timeline) {
+		t.Error("different seeds should produce different schedules")
+	}
+}
+
+// TestRunOverloadExactBreakdown pins the seed-42 burst: 10x capacity 8
+// with a 16-deep queue admits exactly 24 requests, rate-limits 40, and
+// sheds 16 at the full queue. A change to any admission layer that
+// alters the schedule fails this test.
+func TestRunOverloadExactBreakdown(t *testing.T) {
+	rep := RunOverload(OverloadSpec{Seed: 42})
+	if rep.Requests != 80 {
+		t.Fatalf("requests = %d, want 80 (10x capacity 8)", rep.Requests)
+	}
+	if rep.Admitted != 24 || rep.AdmittedDirect != 8 || rep.Queued != 16 {
+		t.Errorf("admitted=%d direct=%d queued=%d, want 24/8/16", rep.Admitted, rep.AdmittedDirect, rep.Queued)
+	}
+	if rep.RateLimited != 40 || rep.ShedQueueFull != 16 || rep.ShedExpired != 0 {
+		t.Errorf("rate-limited=%d queue-full=%d expired=%d, want 40/16/0",
+			rep.RateLimited, rep.ShedQueueFull, rep.ShedExpired)
+	}
+	if rep.Completed != rep.Admitted {
+		t.Errorf("completed=%d, every admitted request (%d) must finish", rep.Completed, rep.Admitted)
+	}
+	if !rep.Accounted() {
+		t.Errorf("requests unaccounted: %+v", rep)
+	}
+	// The counters mirror the report.
+	if rep.Counters[metrics.CounterAdmissionAdmitted] != int64(rep.Admitted) ||
+		rep.Counters[metrics.CounterAdmissionRateLimited] != int64(rep.RateLimited) ||
+		rep.Counters[metrics.CounterAdmissionShedQueueFull] != int64(rep.ShedQueueFull) {
+		t.Errorf("counters disagree with report: %v", rep.Counters)
+	}
+}
+
+func TestRunOverloadAccountedAcrossSeeds(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rep := RunOverload(OverloadSpec{Seed: seed})
+		if !rep.Accounted() {
+			t.Errorf("seed %d: unaccounted requests: admitted=%d rate-limited=%d queue-full=%d expired=%d of %d, completed=%d",
+				seed, rep.Admitted, rep.RateLimited, rep.ShedQueueFull, rep.ShedExpired, rep.Requests, rep.Completed)
+		}
+	}
+}
+
+// TestRunOverloadDeadlineShedding shrinks the deadline below the queue
+// wait so deadline expiry — not just queue overflow — appears in the
+// breakdown.
+func TestRunOverloadDeadlineShedding(t *testing.T) {
+	rep := RunOverload(OverloadSpec{
+		Seed:        7,
+		Capacity:    2,
+		MaxQueue:    16,
+		BurstFactor: 10,
+		Rate:        10000, // effectively no rate limiting
+		Burst:       10000,
+		ServiceTime: 100 * time.Millisecond,
+		Deadline:    60 * time.Millisecond, // shorter than one service rotation
+	})
+	if rep.ShedExpired == 0 {
+		t.Errorf("tight deadline must shed queued requests by expiry: %+v", rep)
+	}
+	if !rep.Accounted() {
+		t.Errorf("unaccounted: %+v", rep)
+	}
+}
