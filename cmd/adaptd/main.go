@@ -10,6 +10,15 @@
 //
 //	adaptd -max-inflight 64 -request-timeout 2s -rate 50
 //
+// Durable session state (see internal/journal) is opt-in: with
+// -state-dir every session command is journaled through a checksummed
+// write-ahead log and replayed on the next start, so a crash (even a
+// SIGKILL mid-write) loses nothing that was acknowledged. Recovery
+// re-applies bandwidth reservations, reconciles holds whose links died,
+// and reports what it rebuilt on /healthz.
+//
+//	adaptd -state-dir /var/lib/adaptd -snapshot-every 64
+//
 // Endpoints: GET /healthz, GET /v1/formats, POST /v1/compose,
 // POST /v1/composeBatch, POST /v1/graph — see internal/httpapi for the
 // contract. Example:
@@ -30,6 +39,8 @@ import (
 	"time"
 
 	"qoschain/internal/httpapi"
+	"qoschain/internal/metrics"
+	"qoschain/internal/session"
 	"qoschain/internal/store"
 )
 
@@ -41,17 +52,48 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline propagated into the planner (0 unbounded)")
 	rate := flag.Float64("rate", 0, "per-client requests per second (0 disables rate limiting)")
 	burst := flag.Float64("burst", 0, "per-client token-bucket depth (default 2x -rate)")
+	stateDir := flag.String("state-dir", "", "session state directory (enables the write-ahead journal and crash recovery)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "journal commands between compacting snapshots (0 = default 64)")
 	flag.Parse()
 
-	handler := httpapi.Handler()
+	var opts httpapi.Options
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adaptd:", err)
 			os.Exit(1)
 		}
-		handler = httpapi.HandlerWithStore(st)
+		opts.Store = st
 	}
+	var sessions *session.Manager
+	if *stateDir != "" {
+		var err error
+		sessions, err = session.NewManager(session.ManagerConfig{
+			StateDir:      *stateDir,
+			SnapshotEvery: *snapshotEvery,
+			Counters:      metrics.NewCounters(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptd: recovering state:", err)
+			os.Exit(1)
+		}
+		rec := sessions.Recovery()
+		if rec.Sessions > 0 || rec.JournalRecords > 0 || rec.TruncatedBytes > 0 {
+			fmt.Printf("adaptd: recovered %d sessions (snapshot seq %d, %d journal records, %d torn bytes truncated)\n",
+				rec.Sessions, rec.SnapshotSeq, rec.JournalRecords, rec.TruncatedBytes)
+		}
+		for _, msg := range rec.ReplayErrors {
+			fmt.Fprintln(os.Stderr, "adaptd: replay:", msg)
+		}
+		// Release or re-compose around holds whose links died with the
+		// previous process.
+		if rep := sessions.Reconcile(); rep.Recomposed > 0 {
+			fmt.Printf("adaptd: reconciled %d sessions, released %.0f kbps of stale holds\n",
+				rep.Recomposed, rep.ReleasedKbps)
+		}
+		opts.Sessions = sessions
+	}
+	handler := httpapi.HandlerWithOptions(opts)
 	handler = httpapi.WithAdmission(handler, httpapi.AdmissionConfig{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -93,6 +135,14 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintln(os.Stderr, "adaptd: shutdown:", err)
 			os.Exit(1)
+		}
+		// A clean exit snapshots the session state, compacting the
+		// journal to exactly the live sessions.
+		if sessions != nil {
+			if err := sessions.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptd: closing state:", err)
+				os.Exit(1)
+			}
 		}
 	}
 }

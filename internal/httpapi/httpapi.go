@@ -32,29 +32,63 @@ import (
 	"qoschain/internal/graph"
 	"qoschain/internal/media"
 	"qoschain/internal/profile"
+	"qoschain/internal/session"
+	"qoschain/internal/store"
 )
 
 // maxBody bounds request bodies (profile sets are small).
 const maxBody = 4 << 20
 
-// Handler returns the API's http.Handler. Batch compositions share one
-// graph cache for the handler's lifetime.
+// Options configures the API handler.
+type Options struct {
+	// Sessions, when set, backs /v1/sessions with an existing (possibly
+	// persistent) session manager. Nil uses a fresh in-memory one.
+	Sessions *session.Manager
+	// Store, when set, additionally serves /v1/profiles and
+	// /v1/compose/byref from the profile store.
+	Store *store.Store
+}
+
+// Handler returns the API's http.Handler over in-memory session state.
+// Batch compositions share one graph cache for the handler's lifetime.
 func Handler() http.Handler {
+	return HandlerWithOptions(Options{})
+}
+
+// HandlerWithOptions returns the API's http.Handler. With a persistent
+// session manager, /healthz reports the startup recovery (sessions
+// rebuilt, journal records replayed, torn bytes truncated, reconcile
+// outcome).
+func HandlerWithOptions(opts Options) http.Handler {
 	mux := http.NewServeMux()
 	cache := graph.NewCache(0)
-	mux.HandleFunc("/healthz", handleHealth)
+	sessions := opts.Sessions
+	if sessions == nil {
+		sessions, _ = session.NewManager(session.ManagerConfig{}) // in-memory never errors
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		handleHealth(w, r, sessions)
+	})
 	mux.HandleFunc("/v1/formats", handleFormats)
 	mux.HandleFunc("/v1/compose", handleCompose)
 	mux.HandleFunc("/v1/composeBatch", func(w http.ResponseWriter, r *http.Request) {
 		handleComposeBatch(w, r, cache)
 	})
 	mux.HandleFunc("/v1/graph", handleGraph)
-	NewSessionManager().register(mux)
+	NewSessionManagerWith(sessions).register(mux)
+	if opts.Store != nil {
+		registerStore(mux, opts.Store)
+	}
 	return mux
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+func handleHealth(w http.ResponseWriter, r *http.Request, sessions *session.Manager) {
+	resp := map[string]interface{}{"status": "ok"}
+	if sessions != nil && sessions.Persistent() {
+		resp["durable"] = true
+		resp["recovery"] = sessions.Recovery()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func handleFormats(w http.ResponseWriter, r *http.Request) {

@@ -4,13 +4,16 @@ package httpapi
 // created from a profile.Set and holds its own overlay network and
 // service pool; faults can then be injected against them and the
 // session's failover machinery observed through its status resource.
+// Session lifecycle, fault application, and (when the server runs with a
+// state directory) durability all live in session.Manager — this file is
+// the HTTP veneer.
 //
 //	POST   /v1/sessions                  profile.Set JSON -> session created
 //	GET    /v1/sessions                  list session statuses
 //	GET    /v1/sessions/{id}             one session's chain + failover status
 //	POST   /v1/sessions/{id}/fault       inject a fault against the session's overlay
 //	POST   /v1/sessions/{id}/reevaluate  advance one step and re-evaluate
-//	DELETE /v1/sessions/{id}             tear the session down
+//	DELETE /v1/sessions/{id}             tear the session down (releases its holds)
 //
 // /v1/sessions query parameters: floor=<0..1> (minimum acceptable
 // satisfaction before graceful degradation, default 0), contact=<class>,
@@ -19,48 +22,42 @@ package httpapi
 // fit the free capacity is rejected with 503 before activation). Retry
 // backoff never wall-clock sleeps inside a handler; the virtual clock
 // advances one step per reevaluate call.
+//
+// On a persistent manager every state-changing request is journaled
+// before the response is written; a journal failure surfaces as 500 and
+// the server should be restarted (recovery replays to the last fsynced
+// record).
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
-	"sort"
 	"strconv"
-	"sync"
 	"time"
 
-	"qoschain/internal/core"
 	"qoschain/internal/fault"
-	"qoschain/internal/graph"
-	"qoschain/internal/metrics"
 	"qoschain/internal/overlay"
 	"qoschain/internal/profile"
 	"qoschain/internal/service"
 	"qoschain/internal/session"
 )
 
-// SessionManager owns the live sessions created over the API.
+// SessionManager adapts a session.Manager to the HTTP routes.
 type SessionManager struct {
-	mu       sync.Mutex
-	seq      int
-	sessions map[string]*managedSession
+	m *session.Manager
 }
 
-// managedSession is one API-created session with its private overlay and
-// service pool (faults against one session never leak into another).
-type managedSession struct {
-	mu       sync.Mutex
-	id       string
-	sess     *session.Session
-	net      *overlay.Network
-	pool     *fault.ServiceSet
-	counters *metrics.Counters
-}
-
-// NewSessionManager returns an empty manager.
+// NewSessionManager returns a manager over in-memory (non-durable)
+// session state.
 func NewSessionManager() *SessionManager {
-	return &SessionManager{sessions: make(map[string]*managedSession)}
+	m, _ := session.NewManager(session.ManagerConfig{}) // in-memory never errors
+	return &SessionManager{m: m}
+}
+
+// NewSessionManagerWith wraps an existing (possibly persistent) manager.
+func NewSessionManagerWith(m *session.Manager) *SessionManager {
+	return &SessionManager{m: m}
 }
 
 // register wires the session routes into a mux.
@@ -73,53 +70,20 @@ func (sm *SessionManager) register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/sessions/{id}/reevaluate", sm.handleReevaluate)
 }
 
-// sessionStatus is the JSON shape of one session's state.
-type sessionStatus struct {
-	ID             string                 `json:"id"`
-	Path           []string               `json:"path"`
-	Formats        []string               `json:"formats"`
-	Satisfaction   float64                `json:"satisfaction"`
-	Cost           float64                `json:"cost"`
-	Step           int                    `json:"step"`
-	Recompositions int                    `json:"recompositions"`
-	Failover       session.FailoverStatus `json:"failover"`
-	DownHosts      []string               `json:"downHosts,omitempty"`
-	History        []changeStatus         `json:"history,omitempty"`
-	Counters       map[string]int64       `json:"counters,omitempty"`
-}
-
-// changeStatus is one recorded re-composition.
-type changeStatus struct {
-	Reason       string  `json:"reason"`
-	From         string  `json:"from"`
-	To           string  `json:"to"`
-	Satisfaction float64 `json:"satisfaction"`
-}
-
-// status snapshots a managed session. Callers hold ms.mu.
-func (ms *managedSession) status() sessionStatus {
-	res := ms.sess.Result()
-	st := sessionStatus{
-		ID:             ms.id,
-		Path:           nodeStrings(res.Path),
-		Formats:        formatStrings(res.Formats),
-		Satisfaction:   res.Satisfaction,
-		Cost:           res.Cost,
-		Step:           ms.sess.CurrentStep(),
-		Recompositions: ms.sess.Recompositions(),
-		Failover:       ms.sess.FailoverStatus(),
-		DownHosts:      ms.net.DownHosts(),
-		Counters:       ms.counters.Snapshot(),
+// createError maps a session.Manager.Create failure to its HTTP status:
+// malformed specs are the client's fault, capacity exhaustion is an
+// overload condition, a journal failure is a server-side durability
+// loss, anything else is an unprocessable (chain-less) profile.
+func createError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, session.ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, overlay.ErrInsufficientCapacity):
+		setRetryAfter(w, time.Second)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
 	}
-	for _, ch := range ms.sess.History() {
-		st.History = append(st.History, changeStatus{
-			Reason:       ch.Reason,
-			From:         ch.From,
-			To:           ch.To,
-			Satisfaction: ch.Satisfaction,
-		})
-	}
-	return st
 }
 
 func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -146,99 +110,42 @@ func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	satProfile, err := set.User.SatisfactionProfile(profile.ContactClass(q.Get("contact")))
-	if err == nil {
-		err = satProfile.Validate()
-	}
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	net, err := overlay.FromProfile(set.Network)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
-	svcs := graph.CollectServices(set.Intermediaries)
-	pool := fault.NewServiceSet(svcs)
-	counters := metrics.NewCounters()
-	sess, err := session.New(session.Config{
-		Content:          &set.Content,
-		Device:           &set.Device,
-		Services:         svcs,
-		Net:              net,
-		SenderHost:       "sender",
-		ReceiverHost:     set.Device.ID,
-		ReserveBandwidth: q.Get("reserve") == "1",
-		Select: core.Config{
-			Profile:      satProfile,
-			Budget:       set.User.Budget,
-			ReceiverCaps: set.Device.RenderCaps(),
-		},
-		Pool: pool,
-		Failover: session.FailoverConfig{
-			Enabled:           true,
-			SatisfactionFloor: floor,
-			JitterSeed:        seed,
-			// HTTP handlers must not wall-clock sleep between retries.
-			Sleep:   func(time.Duration) {},
-			Metrics: counters,
-		},
+	ms, err := sm.m.Create(session.CreateSpec{
+		Set:     *set,
+		Floor:   floor,
+		Seed:    seed,
+		Contact: q.Get("contact"),
+		Reserve: q.Get("reserve") == "1",
 	})
 	if err != nil {
-		// A chain that does not fit the overlay's free capacity is an
-		// overload condition, not a malformed request.
-		if errors.Is(err, overlay.ErrInsufficientCapacity) {
-			setRetryAfter(w, time.Second)
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+		if ms != nil {
+			// The session exists in memory but its creation did not make
+			// it to the journal — a durability loss, not a client error.
+			writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		createError(w, err)
 		return
 	}
-	sm.mu.Lock()
-	sm.seq++
-	ms := &managedSession{
-		id:       fmt.Sprintf("s%d", sm.seq),
-		sess:     sess,
-		net:      net,
-		pool:     pool,
-		counters: counters,
-	}
-	sm.sessions[ms.id] = ms
-	sm.mu.Unlock()
-
-	ms.mu.Lock()
-	st := ms.status()
-	ms.mu.Unlock()
-	writeJSON(w, http.StatusCreated, st)
+	writeJSON(w, http.StatusCreated, ms.State())
 }
 
 func (sm *SessionManager) handleList(w http.ResponseWriter, r *http.Request) {
-	sm.mu.Lock()
-	all := make([]*managedSession, 0, len(sm.sessions))
-	for _, ms := range sm.sessions {
-		all = append(all, ms)
-	}
-	sm.mu.Unlock()
-	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
-	out := make([]sessionStatus, len(all))
+	all := sm.m.List()
+	out := make([]session.State, len(all))
 	for i, ms := range all {
-		ms.mu.Lock()
-		out[i] = ms.status()
-		ms.mu.Unlock()
+		out[i] = ms.State()
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{"sessions": out})
 }
 
 // lookup fetches a session by path id, writing the 404 itself when absent.
-func (sm *SessionManager) lookup(w http.ResponseWriter, r *http.Request) *managedSession {
+func (sm *SessionManager) lookup(w http.ResponseWriter, r *http.Request) *session.Managed {
 	id := r.PathValue("id")
-	sm.mu.Lock()
-	ms := sm.sessions[id]
-	sm.mu.Unlock()
-	if ms == nil {
+	ms, ok := sm.m.Get(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return nil
 	}
 	return ms
 }
@@ -248,20 +155,18 @@ func (sm *SessionManager) handleGet(w http.ResponseWriter, r *http.Request) {
 	if ms == nil {
 		return
 	}
-	ms.mu.Lock()
-	st := ms.status()
-	ms.mu.Unlock()
-	writeJSON(w, http.StatusOK, st)
+	writeJSON(w, http.StatusOK, ms.State())
 }
 
 func (sm *SessionManager) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	sm.mu.Lock()
-	_, ok := sm.sessions[id]
-	delete(sm.sessions, id)
-	sm.mu.Unlock()
+	ok, err := sm.m.Delete(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown session %q", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
@@ -311,57 +216,17 @@ func (sm *SessionManager) handleFault(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ms.mu.Lock()
-	err := ms.apply(f)
-	var st sessionStatus
-	if err == nil {
-		st = ms.status()
-	}
-	ms.mu.Unlock()
-	if err != nil {
+	if err := ms.ApplyFault(f); err != nil {
+		// The fault either failed to apply (client error) or applied but
+		// failed to journal (durability loss).
+		if errors.Is(err, session.ErrJournal) {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
-}
-
-// apply injects one fault against the session's private overlay and
-// pool. Callers hold ms.mu.
-func (ms *managedSession) apply(f fault.Fault) error {
-	switch f.Kind {
-	case fault.HostCrash:
-		if err := ms.net.FailHost(f.Host); err != nil {
-			return err
-		}
-		ms.pool.SetHostDown(f.Host, true)
-	case fault.HostRecover:
-		if err := ms.net.RecoverHost(f.Host); err != nil {
-			return err
-		}
-		ms.pool.SetHostDown(f.Host, false)
-	case fault.LinkDown:
-		return ms.net.FailLink(f.From, f.To)
-	case fault.LinkUp:
-		return ms.net.RecoverLink(f.From, f.To)
-	case fault.BandwidthCollapse:
-		for _, l := range ms.net.Snapshot().Links {
-			if l.From == f.From && l.To == f.To {
-				return ms.net.SetBandwidth(f.From, f.To, l.BandwidthKbps*f.Factor)
-			}
-		}
-		return fmt.Errorf("httpapi: no link %s->%s", f.From, f.To)
-	case fault.LossSpike:
-		return ms.net.SetLoss(f.From, f.To, f.LossRate)
-	case fault.DelaySpike:
-		return ms.net.SetDelay(f.From, f.To, f.DelayMs)
-	case fault.ServiceDown:
-		ms.pool.SetServiceDown(f.Service, true)
-	case fault.ServiceUp:
-		ms.pool.SetServiceDown(f.Service, false)
-	default:
-		return fmt.Errorf("httpapi: unsupported fault kind %q", f.Kind)
-	}
-	return nil
+	writeJSON(w, http.StatusOK, ms.State())
 }
 
 func (sm *SessionManager) handleReevaluate(w http.ResponseWriter, r *http.Request) {
@@ -369,18 +234,18 @@ func (sm *SessionManager) handleReevaluate(w http.ResponseWriter, r *http.Reques
 	if ms == nil {
 		return
 	}
-	ms.mu.Lock()
-	ms.sess.Tick()
-	changed, err := ms.sess.Reevaluate()
-	st := ms.status()
-	ms.mu.Unlock()
+	changed, evalErr, logErr := ms.Reevaluate()
+	if logErr != nil {
+		writeError(w, http.StatusInternalServerError, logErr.Error())
+		return
+	}
 	resp := struct {
 		Changed bool   `json:"changed"`
 		Error   string `json:"error,omitempty"`
-		sessionStatus
-	}{Changed: changed, sessionStatus: st}
-	if err != nil {
-		resp.Error = err.Error()
+		session.State
+	}{Changed: changed, State: ms.State()}
+	if evalErr != nil {
+		resp.Error = evalErr.Error()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
 	"qoschain/internal/media"
 	"qoschain/internal/profile"
 	"qoschain/internal/service"
+	"qoschain/internal/session"
 )
 
 // failoverSet extends testSet with a second, worse proxy path so a
@@ -272,5 +274,98 @@ func TestSessionDelete(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusNotFound {
 		t.Errorf("double delete = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// persistentServer serves the API over a durable session manager rooted
+// at dir, returning the server and the manager (for Close).
+func persistentServer(t *testing.T, dir string) (*httptest.Server, *session.Manager) {
+	t.Helper()
+	m, err := session.NewManager(session.ManagerConfig{StateDir: dir})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	srv := httptest.NewServer(HandlerWithOptions(Options{Sessions: m}))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func getSession(t *testing.T, srv, id string) (int, sessionJSON) {
+	t.Helper()
+	resp, err := http.Get(srv + "/v1/sessions/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s sessionJSON
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, s
+}
+
+// TestSessionsSurviveRestart drives the full durability path over HTTP:
+// sessions created and mutated against one server instance are rebuilt
+// by the next instance over the same state directory, deletions
+// included, and /healthz reports the recovery.
+func TestSessionsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv1, m1 := persistentServer(t, dir)
+
+	created := createSession(t, srv1.URL, failoverSet())
+	doomed := createSession(t, srv1.URL, testSet())
+	resp, _ := postJSON(t, srv1.URL+"/v1/sessions/"+created.ID+"/fault",
+		map[string]string{"kind": "hostcrash", "host": "p1"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault status = %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, srv1.URL+"/v1/sessions/"+created.ID+"/reevaluate", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reevaluate status = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv1.URL+"/v1/sessions/"+doomed.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %v status=%v", err, resp.StatusCode)
+	}
+	_, want := getSession(t, srv1.URL, created.ID)
+	srv1.Close()
+	if err := m1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	srv2, m2 := persistentServer(t, dir)
+	defer m2.Close()
+	status, got := getSession(t, srv2.URL, created.ID)
+	if status != http.StatusOK {
+		t.Fatalf("recovered session status = %d", status)
+	}
+	wantJSON, _ := json.Marshal(want)
+	gotJSON, _ := json.Marshal(got)
+	if string(gotJSON) != string(wantJSON) {
+		t.Errorf("recovered session diverged:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	if status, _ := getSession(t, srv2.URL, doomed.ID); status != http.StatusNotFound {
+		t.Errorf("deleted session came back: status = %d", status)
+	}
+
+	// /healthz reports the recovery.
+	hresp, err := http.Get(srv2.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var health struct {
+		Durable  bool `json:"durable"`
+		Recovery struct {
+			Sessions int `json:"sessions"`
+		} `json:"recovery"`
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.Durable || health.Recovery.Sessions != 1 {
+		t.Errorf("healthz = %+v, want durable with 1 recovered session", health)
 	}
 }

@@ -18,15 +18,17 @@ import (
 //	                                  (same trace/prune/contact parameters
 //	                                  as /v1/compose)
 func HandlerWithStore(st *store.Store) http.Handler {
-	mux := http.NewServeMux()
-	mux.Handle("/", Handler())
+	return HandlerWithOptions(Options{Store: st})
+}
+
+// registerStore wires the store-backed routes into a mux.
+func registerStore(mux *http.ServeMux, st *store.Store) {
 	mux.HandleFunc("/v1/profiles", func(w http.ResponseWriter, r *http.Request) {
 		handleProfiles(st, w, r)
 	})
 	mux.HandleFunc("/v1/compose/byref", func(w http.ResponseWriter, r *http.Request) {
 		handleComposeByRef(st, w, r)
 	})
-	return mux
 }
 
 func handleProfiles(st *store.Store, w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,114 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Crash injection: the journal's durability claims are only worth what a
+// kill at the worst possible instant leaves behind, so every write-path
+// step exposes a named FailPoint. A test (or the adaptsim -crash
+// harness) arms a point to fire on its Nth hit under a seeded schedule;
+// when it fires, the journal stops dead exactly as a SIGKILL would —
+// bytes written so far stay on disk, nothing after the point happens,
+// and every later operation reports ErrCrashed. Recovery then runs
+// against whatever the "kill" left in the state directory.
+
+// FailPoint names one crash site in the write path.
+type FailPoint string
+
+const (
+	// FPAppend crashes before any byte of the Nth record is written.
+	FPAppend FailPoint = "append"
+	// FPTornAppend crashes halfway through writing the Nth record,
+	// leaving a torn tail for recovery to truncate.
+	FPTornAppend FailPoint = "append.torn"
+	// FPSync crashes before the Nth fsync returns: appended records may
+	// or may not have reached the platter.
+	FPSync FailPoint = "sync"
+	// FPSnapshotTemp crashes after the snapshot temp file is written and
+	// fsynced but before the rename publishes it.
+	FPSnapshotTemp FailPoint = "snapshot.temp"
+	// FPSnapshotRename crashes after the rename publishes the snapshot
+	// but before the old journal generation is rotated out.
+	FPSnapshotRename FailPoint = "snapshot.rename"
+)
+
+// FailPoints lists every point a schedule may arm.
+var AllFailPoints = []FailPoint{FPAppend, FPTornAppend, FPSync, FPSnapshotTemp, FPSnapshotRename}
+
+// ErrCrashed marks every operation attempted after an armed failpoint
+// fired — the in-process stand-in for the process being gone.
+var ErrCrashed = errors.New("journal: crashed at failpoint")
+
+// CrashError reports which failpoint fired and on which hit. It wraps
+// ErrCrashed for errors.Is.
+type CrashError struct {
+	Point FailPoint
+	Hit   int
+}
+
+// Error implements error.
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("journal: crashed at failpoint %s (hit %d)", e.Point, e.Hit)
+}
+
+// Unwrap ties the error to ErrCrashed.
+func (e *CrashError) Unwrap() error { return ErrCrashed }
+
+// IsCrash reports whether err stems from an armed failpoint firing.
+func IsCrash(err error) bool { return errors.Is(err, ErrCrashed) }
+
+// FailPoints is a concurrency-safe registry of armed crash sites shared
+// by a journal and its snapshots. The zero value (and a nil receiver)
+// never fires.
+type FailPoints struct {
+	mu   sync.Mutex
+	arm  map[FailPoint]int // fire on the Nth hit (1-based)
+	hits map[FailPoint]int
+}
+
+// NewFailPoints returns an empty registry.
+func NewFailPoints() *FailPoints {
+	return &FailPoints{arm: make(map[FailPoint]int), hits: make(map[FailPoint]int)}
+}
+
+// Arm schedules the point to fire on its nth hit (n <= 0 disarms).
+func (fp *FailPoints) Arm(p FailPoint, n int) {
+	if fp == nil {
+		return
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	if n <= 0 {
+		delete(fp.arm, p)
+		return
+	}
+	fp.arm[p] = n
+}
+
+// Hits returns how often the point has been reached so far.
+func (fp *FailPoints) Hits(p FailPoint) int {
+	if fp == nil {
+		return 0
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.hits[p]
+}
+
+// hit counts one arrival at the point and returns the CrashError when
+// the armed count is reached.
+func (fp *FailPoints) hit(p FailPoint) *CrashError {
+	if fp == nil {
+		return nil
+	}
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	fp.hits[p]++
+	if n, armed := fp.arm[p]; armed && fp.hits[p] == n {
+		return &CrashError{Point: p, Hit: n}
+	}
+	return nil
+}

@@ -73,6 +73,38 @@ const (
 	SampleReservedKbps = "admission.reserved_kbps"
 )
 
+// Well-known counter names recorded by the durability layer
+// (internal/journal and the persistent session manager's recovery path).
+const (
+	// CounterJournalAppends counts records appended to the write-ahead
+	// journal.
+	CounterJournalAppends = "journal.appends"
+	// CounterJournalSyncs counts group-commit fsyncs (one per batch of
+	// appends, not one per record).
+	CounterJournalSyncs = "journal.syncs"
+	// CounterJournalSnapshots counts compacting snapshots published.
+	CounterJournalSnapshots = "journal.snapshots"
+	// CounterJournalReplayed counts journal records replayed at startup.
+	CounterJournalReplayed = "journal.replayed"
+	// CounterJournalTruncatedBytes accumulates torn-tail bytes recovery
+	// had to truncate.
+	CounterJournalTruncatedBytes = "journal.truncated_bytes"
+	// CounterRecoverySessions counts sessions rebuilt from the snapshot
+	// and journal at startup.
+	CounterRecoverySessions = "recovery.sessions"
+	// CounterRecoveryErrors counts journaled events that failed to
+	// replay (skipped, with the session state left at its last good
+	// point).
+	CounterRecoveryErrors = "recovery.errors"
+	// CounterRecoveryReconciled counts recovered sessions whose chain or
+	// bandwidth holds no longer matched the live overlay and were pushed
+	// through failover re-composition.
+	CounterRecoveryReconciled = "recovery.reconciled"
+	// SampleRecoveryReleasedKbps observes bandwidth released during
+	// post-recovery reconciliation (holds whose links died).
+	SampleRecoveryReleasedKbps = "recovery.released_kbps"
+)
+
 // NewCounters returns an empty counter set.
 func NewCounters() *Counters {
 	return &Counters{

@@ -145,6 +145,18 @@ func (n *Network) LinkDown(from, to string) bool {
 	return ok && l.down
 }
 
+// Usable reports whether the directed link exists and currently carries
+// traffic: the link itself is up and neither endpoint host is crashed.
+// Recovery uses it to decide whether a re-applied bandwidth hold still
+// sits on a live link.
+func (n *Network) Usable(from, to string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	e := edge{from, to}
+	l, ok := n.links[e]
+	return ok && n.usableLocked(e, l)
+}
+
 // SetLoss updates an existing link's loss rate — a loss spike. Watchers
 // receive an event carrying the link's current bandwidth so that sessions
 // whose chain crosses the link re-evaluate.

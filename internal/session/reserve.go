@@ -74,6 +74,13 @@ func (s *Session) Close() {
 	s.releaseCurrent()
 }
 
+// Held returns the session's live reservations as taken (one entry per
+// hop, not aggregated per link) — the shares recovery must re-establish
+// or release after a restart.
+func (s *Session) Held() []overlay.Reservation {
+	return append([]overlay.Reservation(nil), s.held...)
+}
+
 // Reserved reports the bandwidth currently held per link (links a chain
 // crosses twice report the summed share).
 func (s *Session) Reserved() map[string]float64 {

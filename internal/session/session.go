@@ -48,14 +48,16 @@ type Config struct {
 	Failover FailoverConfig
 }
 
-// Change records one re-composition.
+// Change records one re-composition. The JSON tags match the session
+// status resource httpapi serves.
 type Change struct {
 	// Reason is "degraded", "broken" or "improved".
-	Reason string
+	Reason string `json:"reason"`
 	// From/To are the chain paths before and after.
-	From, To string
+	From string `json:"from"`
+	To   string `json:"to"`
 	// Satisfaction is the post-change satisfaction.
-	Satisfaction float64
+	Satisfaction float64 `json:"satisfaction"`
 }
 
 // Session is a live adaptation session.

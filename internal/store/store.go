@@ -15,6 +15,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -23,6 +24,18 @@ import (
 
 	"qoschain/internal/profile"
 )
+
+// ErrDurability marks a write that may not have reached stable storage:
+// the temp-file write, its fsync, the rename, or the directory fsync
+// failed. The on-disk state is either the old document or the new one —
+// never a torn mix — but the caller cannot assume the update survived a
+// power loss.
+var ErrDurability = errors.New("store: durability failure")
+
+// ErrCorruptProfile marks a stored document that no longer parses as
+// JSON — a torn write from a pre-durability version, manual editing, or
+// disk corruption. The error message carries the offending file path.
+var ErrCorruptProfile = errors.New("store: corrupt profile")
 
 // Store is a filesystem-backed profile repository.
 type Store struct {
@@ -59,13 +72,45 @@ func (s *Store) write(kind, id string, v interface{}) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding %s/%s: %w", kind, id, err)
 	}
-	path := filepath.Join(s.root, kind, name)
+	return writeDurable(filepath.Join(s.root, kind, name), append(data, '\n'))
+}
+
+// writeDurable publishes data at path so that a crash at any instant
+// leaves either the old document or the new one: write to a temp file,
+// fsync it (so the rename never publishes an empty or torn file), rename
+// over the target, then fsync the directory (so the rename itself
+// survives a power loss).
+func writeDurable(path string, data []byte) error {
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("%w: syncing %s: %w", ErrDurability, tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: %w", ErrDurability, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return fmt.Errorf("store: %w", err)
+		os.Remove(tmp)
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return fmt.Errorf("%w: %w", ErrDurability, err)
+	}
+	defer dir.Close()
+	if err := dir.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing %s: %w", ErrDurability, filepath.Dir(path), err)
 	}
 	return nil
 }
@@ -75,12 +120,13 @@ func (s *Store) read(kind, id string, v interface{}) error {
 	if err != nil {
 		return err
 	}
-	data, err := os.ReadFile(filepath.Join(s.root, kind, name))
+	path := filepath.Join(s.root, kind, name)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := json.Unmarshal(data, v); err != nil {
-		return fmt.Errorf("store: decoding %s/%s: %w", kind, id, err)
+		return fmt.Errorf("%w: %s: %w", ErrCorruptProfile, path, err)
 	}
 	return nil
 }
@@ -203,18 +249,19 @@ func (s *Store) PutNetwork(n *profile.Network) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding network: %w", err)
 	}
-	return os.WriteFile(filepath.Join(s.root, "network.json"), append(data, '\n'), 0o644)
+	return writeDurable(filepath.Join(s.root, "network.json"), append(data, '\n'))
 }
 
 // Network loads and validates the network profile.
 func (s *Store) Network() (*profile.Network, error) {
-	data, err := os.ReadFile(filepath.Join(s.root, "network.json"))
+	path := filepath.Join(s.root, "network.json")
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
 	var n profile.Network
 	if err := json.Unmarshal(data, &n); err != nil {
-		return nil, fmt.Errorf("store: decoding network: %w", err)
+		return nil, fmt.Errorf("%w: %s: %w", ErrCorruptProfile, path, err)
 	}
 	if err := n.Validate(); err != nil {
 		return nil, err

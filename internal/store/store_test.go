@@ -1,8 +1,10 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"qoschain/internal/media"
@@ -272,5 +274,66 @@ func TestAssembleInvalidCombination(t *testing.T) {
 	// Missing network: assembly must fail cleanly.
 	if _, err := s.Assemble("alice", "clip-1", "phone-1"); err == nil {
 		t.Error("missing network must fail assembly")
+	}
+}
+
+// TestCorruptProfileSentinel writes a valid profile, truncates the file
+// mid-document (a torn write), and requires the typed sentinel with the
+// offending path in the message.
+func TestCorruptProfileSentinel(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(sampleUser()); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(s.Root(), "users", "alice.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.User("alice")
+	if !errors.Is(err, ErrCorruptProfile) {
+		t.Fatalf("err = %v, want ErrCorruptProfile", err)
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("error %q should name the corrupt file %s", err, path)
+	}
+	// The network document takes the same path.
+	if err := os.WriteFile(filepath.Join(s.Root(), "network.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Network(); !errors.Is(err, ErrCorruptProfile) {
+		t.Fatalf("network err = %v, want ErrCorruptProfile", err)
+	}
+}
+
+// TestWriteDurableLeavesNoTemp checks the fsync'd write path: the
+// document round-trips, no .tmp residue remains, and a write into a
+// missing directory surfaces the typed durability error.
+func TestWriteDurableLeavesNoTemp(t *testing.T) {
+	s := open(t)
+	if err := s.PutUser(sampleUser()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutNetwork(sampleNetwork()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Join(s.Root(), "users"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("temp residue %s left behind", e.Name())
+		}
+	}
+	if _, err := s.User("alice"); err != nil {
+		t.Errorf("durable write did not round-trip: %v", err)
+	}
+	bad := &Store{root: filepath.Join(s.Root(), "missing")}
+	if err := bad.PutUser(sampleUser()); !errors.Is(err, ErrDurability) {
+		t.Errorf("err = %v, want ErrDurability", err)
 	}
 }
