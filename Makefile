@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race bench bench-select lint check ci
+.PHONY: all build test vet race race-obs bench bench-select trace-overhead lint check ci
 
 all: check
 
@@ -15,6 +15,16 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# race-obs races the observability surfaces specifically: the metrics
+# registry, the tracer, and the HTTP middleware that drives both.
+race-obs:
+	$(GO) test -race -count=1 ./internal/metrics/ ./internal/trace/ ./internal/httpapi/
+
+# trace-overhead runs the instrumentation-overhead guard: BenchmarkSelect
+# traced vs plain must stay within a 5% budget.
+trace-overhead:
+	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestTracingOverheadGuard -count=1 -v ./
 
 # bench-select runs the selection hot-path benchmarks with allocation
 # reporting, repeated for benchstat-comparable output. Compare against

@@ -33,7 +33,35 @@ import (
 	"qoschain/internal/pipeline"
 	"qoschain/internal/profile"
 	"qoschain/internal/satisfaction"
+	"qoschain/internal/trace"
 )
+
+// buildGraph builds (or fetches) the adaptation graph for a compose
+// call, recording a "graph.build" span with the cache outcome when the
+// context carries a trace.
+func buildGraph(ctx context.Context, set *profile.Set, opts Options) (*graph.Graph, error) {
+	sp := trace.FromContext(ctx).StartSpan("graph.build")
+	var (
+		g       *graph.Graph
+		outcome graph.BuildOutcome
+		err     error
+	)
+	if opts.Cache != nil && !opts.Prune {
+		g, outcome, err = opts.Cache.BuildFromSetEx(set)
+	} else {
+		g, err = graph.BuildFromSet(set)
+		outcome = "uncached"
+	}
+	if err != nil {
+		sp.End(trace.Str("cache", string(outcome)), trace.Str("outcome", "error"))
+		return nil, err
+	}
+	if opts.Prune {
+		g.Prune()
+	}
+	sp.End(trace.Str("cache", string(outcome)), trace.Int("nodes", g.NodeIndexCount()))
+	return g, nil
+}
 
 // Options tunes a composition.
 type Options struct {
@@ -100,17 +128,9 @@ func ComposeCtx(ctx context.Context, set *profile.Set, opts Options) (*Compositi
 	if opts.UseContext {
 		satProfile = profile.ApplyContext(satProfile, &set.Context)
 	}
-	var g *graph.Graph
-	if opts.Cache != nil && !opts.Prune {
-		g, err = opts.Cache.BuildFromSet(set)
-	} else {
-		g, err = graph.BuildFromSet(set)
-	}
+	g, err := buildGraph(ctx, set, opts)
 	if err != nil {
 		return nil, err
-	}
-	if opts.Prune {
-		g.Prune()
 	}
 	cfg := core.Config{
 		Profile:      satProfile,
@@ -163,18 +183,9 @@ func ComposeBatchCtx(ctx context.Context, set *profile.Set, users []profile.User
 		users = []profile.User{set.User}
 	}
 
-	var g *graph.Graph
-	var err error
-	if opts.Cache != nil && !opts.Prune {
-		g, err = opts.Cache.BuildFromSet(set)
-	} else {
-		g, err = graph.BuildFromSet(set)
-	}
+	g, err := buildGraph(ctx, set, opts)
 	if err != nil {
 		return nil, nil, err
-	}
-	if opts.Prune {
-		g.Prune()
 	}
 
 	out := make([]BatchComposition, len(users))

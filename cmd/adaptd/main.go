@@ -19,6 +19,14 @@
 //
 //	adaptd -state-dir /var/lib/adaptd -snapshot-every 64
 //
+// Observability is always on: every response carries an X-Trace-Id
+// header, GET /metrics serves the Prometheus text exposition, and
+// GET /debug/traces returns the last completed request traces. An
+// access log (-access-log) and a private pprof/expvar listener with
+// mutex and block profiling (-debug-addr) are opt-in:
+//
+//	adaptd -access-log - -debug-addr 127.0.0.1:8081
+//
 // Endpoints: GET /healthz, GET /v1/formats, POST /v1/compose,
 // POST /v1/composeBatch, POST /v1/graph — see internal/httpapi for the
 // contract. Example:
@@ -31,6 +39,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -38,10 +47,12 @@ import (
 	"syscall"
 	"time"
 
+	"qoschain/internal/debugz"
 	"qoschain/internal/httpapi"
 	"qoschain/internal/metrics"
 	"qoschain/internal/session"
 	"qoschain/internal/store"
+	"qoschain/internal/trace"
 )
 
 func main() {
@@ -54,9 +65,21 @@ func main() {
 	burst := flag.Float64("burst", 0, "per-client token-bucket depth (default 2x -rate)")
 	stateDir := flag.String("state-dir", "", "session state directory (enables the write-ahead journal and crash recovery)")
 	snapshotEvery := flag.Int("snapshot-every", 0, "journal commands between compacting snapshots (0 = default 64)")
+	debugAddr := flag.String("debug-addr", "", "private diagnostics listener (pprof with mutex/block profiling, /debug/vars, /metrics, /debug/traces)")
+	accessLog := flag.String("access-log", "", "write one structured line per request to this file (\"-\" for stdout)")
+	traceKeep := flag.Int("trace-keep", trace.DefaultKeep, "completed request traces kept for /debug/traces")
 	flag.Parse()
 
+	// One registry and tracer observe the whole process: every handler
+	// layer writes into them, /metrics and /debug/traces read from them,
+	// and expvar mirrors the registry for stock tooling.
+	reg := metrics.NewRegistry()
+	metrics.RegisterWellKnown(reg)
+	metrics.PublishExpvar("qoschain", reg)
+	tracer := trace.NewTracer(*traceKeep)
+
 	var opts httpapi.Options
+	opts.Metrics = reg
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -71,7 +94,7 @@ func main() {
 		sessions, err = session.NewManager(session.ManagerConfig{
 			StateDir:      *stateDir,
 			SnapshotEvery: *snapshotEvery,
-			Counters:      metrics.NewCounters(),
+			Counters:      metrics.CountersOn(reg),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adaptd: recovering state:", err)
@@ -100,7 +123,46 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		Rate:           *rate,
 		Burst:          *burst,
+		Metrics:        metrics.CountersOn(reg),
 	})
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptd:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		accessW = f
+	}
+	// Observability is the outermost layer so shed and rate-limited
+	// requests are still traced, logged and counted, and so /metrics and
+	// /debug/traces answer while the API is refusing work.
+	handler = httpapi.WithObservability(handler, httpapi.ObsConfig{
+		Registry:  reg,
+		Tracer:    tracer,
+		AccessLog: accessW,
+	})
+
+	if *debugAddr != "" {
+		debugz.EnableProfiling()
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("adaptd: diagnostics on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			dsrv := &http.Server{Handler: debugz.Handler(reg, tracer), ReadHeaderTimeout: 5 * time.Second}
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "adaptd: debug listener:", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -32,8 +33,25 @@ import (
 	"qoschain/internal/satisfaction"
 	"qoschain/internal/session"
 	"qoschain/internal/sim"
+	"qoschain/internal/trace"
 	"qoschain/internal/workload"
 )
+
+// renderSpanStats prints the tracer's per-span aggregate — the trace
+// summary the failure harnesses end their reports with.
+func renderSpanStats(tracer *trace.Tracer) {
+	stats := tracer.SpanStats()
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Println("\n-- trace summary (spans over kept traces) --")
+	tb := metrics.NewTable("span", "count", "total ms", "mean ms", "max ms")
+	for _, st := range stats {
+		tb.AddRow(st.Name, st.Count,
+			fmt.Sprintf("%.2f", st.TotalMs), fmt.Sprintf("%.3f", st.MeanMs), fmt.Sprintf("%.3f", st.MaxMs))
+	}
+	tb.Render(os.Stdout)
+}
 
 func main() {
 	services := flag.Int("services", 20, "number of trans-coding services in the random scenario")
@@ -148,8 +166,10 @@ func runChaos(seed int64, steps int) {
 	svcs := paperexample.Table1Services(true)
 	pool := fault.NewServiceSet(svcs)
 	counters := metrics.NewCounters()
+	tracer := trace.NewTracer(steps + 1)
 
-	sess, err := session.New(session.Config{
+	setupTr := tracer.Start("chaos.setup")
+	sess, err := session.NewCtx(trace.NewContext(context.Background(), setupTr), session.Config{
 		Content:      paperexample.Table1Content(),
 		Device:       paperexample.Table1Device(),
 		Services:     svcs,
@@ -166,6 +186,7 @@ func runChaos(seed int64, steps int) {
 			Metrics:           counters,
 		},
 	})
+	setupTr.Finish()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chaos session:", err)
 		os.Exit(1)
@@ -196,7 +217,9 @@ func runChaos(seed int64, steps int) {
 	for t := 1; t <= steps; t++ {
 		fired := inj.Step()
 		sess.Tick()
-		changed, rerr := sess.Reevaluate()
+		stepTr := tracer.Start(fmt.Sprintf("chaos.step-%d", t))
+		changed, rerr := sess.ReevaluateCtx(trace.NewContext(context.Background(), stepTr))
+		stepTr.Finish()
 		if rerr != nil {
 			fmt.Fprintln(os.Stderr, "reevaluate:", rerr)
 			os.Exit(1)
@@ -228,6 +251,7 @@ func runChaos(seed int64, steps int) {
 		sess.Recompositions(), core.PathString(sess.Result().Path))
 	fmt.Println()
 	counters.Render(os.Stdout)
+	renderSpanStats(tracer)
 	if st := sess.FailoverStatus(); st.Degraded {
 		fmt.Printf("\nsession ended DEGRADED: %s\n", st.LastError)
 	}
@@ -267,6 +291,10 @@ func runOverload(seed int64) {
 		ctb.AddRow(k, rep.Counters[k])
 	}
 	ctb.Render(os.Stdout)
+	if qw := rep.QueueWait; qw.Count > 0 {
+		fmt.Printf("\nqueue wait (virtual ms): n=%d mean=%.1f p50=%.1f p90=%.1f max=%.1f\n",
+			qw.Count, qw.Mean, qw.P50, qw.P90, qw.Max)
+	}
 
 	// Part 2: capacity admission. Sessions over one shared Figure 6
 	// overlay reserve their chain's bitrate before activation; the first
@@ -438,6 +466,10 @@ func runCrash(seed int64) {
 		len(journal.AllFailPoints), seed)
 	tb := metrics.NewTable("failpoint", "committed seq", "recovered seq", "sessions",
 		"torn bytes", "identical", "reconciled", "leak kbps")
+	// One counter set and tracer span every failpoint scenario, so the
+	// closing tables aggregate the whole sweep.
+	counters := metrics.NewCounters()
+	tracer := trace.NewTracer(len(journal.AllFailPoints) * 64)
 	failed := false
 	for _, point := range journal.AllFailPoints {
 		dir, err := os.MkdirTemp("", "adaptsim-crash-*")
@@ -446,7 +478,10 @@ func runCrash(seed int64) {
 			os.Exit(1)
 		}
 		defer os.RemoveAll(dir)
-		rep, err := sim.RunCrash(sim.CrashSpec{StateDir: dir, Seed: seed, Point: point})
+		rep, err := sim.RunCrash(sim.CrashSpec{
+			StateDir: dir, Seed: seed, Point: point,
+			Counters: counters, Tracer: tracer,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "adaptsim: %s: %v\n", point, err)
 			os.Exit(1)
@@ -459,6 +494,9 @@ func runCrash(seed int64) {
 		}
 	}
 	tb.Render(os.Stdout)
+	fmt.Println()
+	counters.Render(os.Stdout)
+	renderSpanStats(tracer)
 	if failed {
 		fmt.Println("\ncrash recovery: FAIL")
 		os.Exit(1)

@@ -8,6 +8,10 @@
 //	registryd -addr 127.0.0.1:7007 -register svc.json   # advertise a service
 //	registryd -addr 127.0.0.1:7007 -byinput video/mpeg1 # query by input format
 //	registryd -addr 127.0.0.1:7007 -all                 # list everything
+//
+// With -debug-addr the daemon additionally serves pprof (mutex and
+// block profiling enabled), /debug/vars, and a /metrics exposition of
+// the lease-sweep counters on a private HTTP listener.
 package main
 
 import (
@@ -16,12 +20,15 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"qoschain/internal/debugz"
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
 	"qoschain/internal/registry"
 	"qoschain/internal/service"
 )
@@ -37,13 +44,14 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "close connections idle for this long (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight connections are force-closed")
+	debugAddr := flag.String("debug-addr", "", "private diagnostics listener (pprof with mutex/block profiling, /debug/vars, /metrics)")
 	flag.Parse()
 
 	if *listen != "" {
 		serve(*listen, registry.ServeOptions{
 			IdleTimeout:  *idleTimeout,
 			WriteTimeout: *writeTimeout,
-		}, *shutdownGrace)
+		}, *shutdownGrace, *debugAddr)
 		return
 	}
 
@@ -99,7 +107,7 @@ func main() {
 	}
 }
 
-func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration) {
+func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration, debugAddr string) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		fatal(err)
@@ -107,6 +115,24 @@ func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration) {
 	reg := registry.New()
 	srv := registry.ServeOpts(reg, ln, opts)
 	fmt.Printf("registryd: serving on %s\n", srv.Addr())
+
+	mreg := metrics.NewRegistry()
+	mreg.Add("registry.sweeps", 0)
+	mreg.Add("registry.swept_leases", 0)
+	if debugAddr != "" {
+		debugz.EnableProfiling()
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("registryd: diagnostics on http://%s/debug/pprof/\n", dln.Addr())
+		go func() {
+			dsrv := &http.Server{Handler: debugz.Handler(mreg, nil), ReadHeaderTimeout: 5 * time.Second}
+			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "registryd: debug listener:", err)
+			}
+		}()
+	}
 
 	// Sweep expired leases periodically; SIGINT/SIGTERM stops accepting
 	// and drains in-flight connections before exiting.
@@ -117,7 +143,9 @@ func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration) {
 	for {
 		select {
 		case <-ticker.C:
+			mreg.Inc("registry.sweeps")
 			if n := reg.Sweep(); n > 0 {
+				mreg.Add("registry.swept_leases", int64(n))
 				fmt.Printf("registryd: swept %d expired leases\n", n)
 			}
 		case <-ctx.Done():

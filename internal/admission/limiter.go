@@ -68,6 +68,7 @@ type Ticket struct {
 	ready    chan struct{} // non-nil for Acquire waiters; closed on grant/shed
 	state    int
 	deadline time.Time // zero = waits forever
+	enqueued time.Time // when the ticket entered the wait queue
 	err      error     // shed reason
 }
 
@@ -213,6 +214,7 @@ func (l *Limiter) offerLocked(waiter bool, deadline time.Time) *Ticket {
 	if waiter {
 		t.ready = make(chan struct{})
 	}
+	t.enqueued = l.cfg.clock().Now()
 	l.queue = append(l.queue, t)
 	l.stats.Queued++
 	l.cfg.Metrics.Inc(metrics.CounterAdmissionQueued)
@@ -234,6 +236,9 @@ func (l *Limiter) releaseSlotLocked() {
 		t.state = stateAdmitted
 		l.stats.Admitted++
 		l.cfg.Metrics.Inc(metrics.CounterAdmissionAdmitted)
+		// Queue wait is measured on the injected clock, so deterministic
+		// drivers (VirtualClock) record replayable waits.
+		l.cfg.Metrics.Observe(metrics.HistQueueWaitMs, float64(now.Sub(t.enqueued))/float64(time.Millisecond))
 		if t.ready != nil {
 			close(t.ready)
 		}

@@ -34,6 +34,7 @@ import (
 	"qoschain/internal/graph"
 	"qoschain/internal/media"
 	"qoschain/internal/satisfaction"
+	"qoschain/internal/trace"
 )
 
 // ErrNoChain is returned when the receiver cannot be reached through any
@@ -162,6 +163,17 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 	}
 	done := ctx.Done()
 
+	// One whole-selection span whenever the request carries a trace; the
+	// per-round spans below additionally require cfg.Trace so the
+	// default hot path stays at a single span per selection.
+	tr := trace.FromContext(ctx)
+	var selSpan *trace.Span
+	if tr != nil {
+		selSpan = tr.StartSpan("core.select")
+	}
+	traceRounds := cfg.Trace && tr != nil
+	var roundSpan *trace.Span
+
 	n := g.NodeIndexCount()
 	labels := make([]*label, n)   // CS: candidate labels, indexed by vertex
 	expanded := make([]*label, n) // VT labels, for reconstruction
@@ -258,10 +270,15 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 	round := 0
 	for {
 		round++
+		if traceRounds {
+			roundSpan = tr.StartSpan("select.round", trace.Int("round", round))
+		}
 		if done != nil {
 			select {
 			case <-done:
 				res.Found = false
+				roundSpan.End(trace.Str("outcome", "aborted"))
+				selSpan.End(trace.Int("rounds", round-1), trace.Str("outcome", "aborted"))
 				return res, fmt.Errorf("%w after %d rounds: %w", ErrAborted, round-1, ctx.Err())
 			default:
 			}
@@ -269,6 +286,8 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 		// Step 3: no candidates left → failure.
 		if numCandidates == 0 {
 			res.Found = false
+			roundSpan.End(trace.Str("outcome", "no_chain"))
+			selSpan.End(trace.Int("rounds", round-1), trace.Str("outcome", "no_chain"))
 			return res, fmt.Errorf("%w after %d rounds", ErrNoChain, round-1)
 		}
 
@@ -304,12 +323,16 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 		if bestL == nil {
 			// Heap exhausted by stale entries — equivalent to empty CS.
 			res.Found = false
+			roundSpan.End(trace.Str("outcome", "no_chain"))
+			selSpan.End(trace.Int("rounds", round-1), trace.Str("outcome", "no_chain"))
 			return res, fmt.Errorf("%w after %d rounds", ErrNoChain, round-1)
 		}
 
 		if cfg.Trace {
 			path, err := pathTo(best, bestL, expanded, g)
 			if err != nil {
+				roundSpan.End(trace.Str("outcome", "error"))
+				selSpan.End(trace.Str("outcome", "error"))
 				return nil, err
 			}
 			res.Rounds = append(res.Rounds, Round{
@@ -338,16 +361,24 @@ func SelectCtx(ctx context.Context, g *graph.Graph, cfg Config) (*Result, error)
 			res.Params = bestL.params
 			res.Cost = bestL.cost
 			res.Path, res.Formats = reconstruct(best, bestL, expanded, g)
+			roundSpan.End(trace.Str("selected", string(graph.ReceiverID)))
 			if cfg.SatisfactionFloor > 0 && res.Satisfaction < cfg.SatisfactionFloor {
+				selSpan.End(trace.Int("rounds", round), trace.Int("expanded", res.Expanded),
+					trace.Str("outcome", "below_floor"))
 				return res, fmt.Errorf("%w: %.3f < %.3f",
 					ErrBelowFloor, res.Satisfaction, cfg.SatisfactionFloor)
 			}
+			selSpan.End(trace.Int("rounds", round), trace.Int("expanded", res.Expanded),
+				trace.Str("outcome", "found"))
 			return res, nil
 		}
 
 		// Step 8: relax the neighbors of the selected service.
 		for _, e := range g.OutAt(int(best)) {
 			relax(best, e)
+		}
+		if traceRounds {
+			roundSpan.End(trace.Str("selected", string(g.NodeIDAt(int(best)))))
 		}
 	}
 }

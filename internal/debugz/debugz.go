@@ -1,0 +1,45 @@
+// Package debugz assembles the diagnostics endpoint daemons expose on a
+// private -debug-addr listener: the net/http/pprof profiles (with mutex
+// and block sampling enabled), expvar, and — when wired — the metrics
+// registry's Prometheus exposition and the tracer's completed traces.
+// It is deliberately separate from the serving listener so profiling an
+// overloaded daemon never competes with (or leaks to) API traffic.
+package debugz
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+
+	"qoschain/internal/metrics"
+	"qoschain/internal/trace"
+)
+
+// EnableProfiling turns on mutex and block profiling at moderate sample
+// rates: 1-in-5 mutex contention events and blocking events of 1ms or
+// longer. Call it once when a debug listener is configured — the
+// sampling has a small cost, so it stays off otherwise.
+func EnableProfiling() {
+	runtime.SetMutexProfileFraction(5)
+	runtime.SetBlockProfileRate(int(1e6)) // report blocking >= 1ms
+}
+
+// Handler returns the diagnostics mux. reg and tr may be nil; their
+// endpoints are omitted.
+func Handler(reg *metrics.Registry, tr *trace.Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if tr != nil {
+		mux.Handle("/debug/traces", tr.Handler())
+	}
+	return mux
+}

@@ -112,10 +112,26 @@ func (c *Cache) Invalidate(in Input) {
 	delete(c.entries, fingerprintInput(&in))
 }
 
+// BuildOutcome reports how a cache lookup was served: a plain hit, a
+// hit that refreshed edge QoS in place, or a miss that built the graph.
+type BuildOutcome string
+
+const (
+	OutcomeHit     BuildOutcome = "hit"
+	OutcomeRefresh BuildOutcome = "refresh"
+	OutcomeMiss    BuildOutcome = "miss"
+)
+
 // Build returns the adaptation graph for the input, reusing a cached one
 // when the structural inputs are unchanged. See the type comment for the
 // network-change rules.
 func (c *Cache) Build(in Input) (*Graph, error) {
+	g, _, err := c.BuildEx(in)
+	return g, err
+}
+
+// BuildEx is Build plus the exact cache outcome, for instrumentation.
+func (c *Cache) BuildEx(in Input) (*Graph, BuildOutcome, error) {
 	key := fingerprintInput(&in)
 	var gen uint64
 	if in.Net != nil {
@@ -129,7 +145,7 @@ func (c *Cache) Build(in Input) (*Graph, error) {
 			c.touch(e)
 			g := e.g
 			c.mu.Unlock()
-			return g, nil
+			return g, OutcomeHit, nil
 		}
 		connSig, valueSig := networkSignatures(in.Net.Snapshot())
 		if connSig == e.connSig {
@@ -145,7 +161,7 @@ func (c *Cache) Build(in Input) (*Graph, error) {
 				c.touch(e)
 				g := e.g
 				c.mu.Unlock()
-				return g, nil
+				return g, OutcomeRefresh, nil
 			}
 		} else {
 			delete(c.entries, key)
@@ -156,7 +172,7 @@ func (c *Cache) Build(in Input) (*Graph, error) {
 
 	g, err := Build(in)
 	if err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
 	e := &cacheEntry{g: g, in: in, netGen: gen}
 	if in.Net != nil {
@@ -167,7 +183,7 @@ func (c *Cache) Build(in Input) (*Graph, error) {
 	c.entries[key] = e
 	c.evictLocked()
 	c.mu.Unlock()
-	return g, nil
+	return g, OutcomeMiss, nil
 }
 
 // BuildFromSet returns the graph for a full profile set, cached on a
@@ -175,11 +191,18 @@ func (c *Cache) Build(in Input) (*Graph, error) {
 // two calls with equal sets share one graph and skip both overlay and
 // graph construction.
 func (c *Cache) BuildFromSet(set *profile.Set) (*Graph, error) {
+	g, _, err := c.BuildFromSetEx(set)
+	return g, err
+}
+
+// BuildFromSetEx is BuildFromSet plus the exact cache outcome, for
+// instrumentation.
+func (c *Cache) BuildFromSetEx(set *profile.Set) (*Graph, BuildOutcome, error) {
 	// Validate first: it stamps each service's Host from its
 	// intermediary, which the fingerprint must see so that the first and
 	// subsequent calls hash identically.
 	if err := set.Validate(); err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
 	key := fingerprintSet(set)
 	c.mu.Lock()
@@ -188,14 +211,14 @@ func (c *Cache) BuildFromSet(set *profile.Set) (*Graph, error) {
 		c.touch(e)
 		g := e.g
 		c.mu.Unlock()
-		return g, nil
+		return g, OutcomeHit, nil
 	}
 	c.misses++
 	c.mu.Unlock()
 
 	g, err := BuildFromSet(set)
 	if err != nil {
-		return nil, err
+		return nil, OutcomeMiss, err
 	}
 	e := &cacheEntry{g: g}
 	c.mu.Lock()
@@ -203,7 +226,7 @@ func (c *Cache) BuildFromSet(set *profile.Set) (*Graph, error) {
 	c.entries[key] = e
 	c.evictLocked()
 	c.mu.Unlock()
-	return g, nil
+	return g, OutcomeMiss, nil
 }
 
 func (c *Cache) touch(e *cacheEntry) {

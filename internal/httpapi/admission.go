@@ -18,6 +18,7 @@ import (
 
 	"qoschain/internal/admission"
 	"qoschain/internal/metrics"
+	"qoschain/internal/trace"
 )
 
 // AdmissionConfig tunes the API's overload protection. The zero value
@@ -127,12 +128,15 @@ func WithAdmission(h http.Handler, cfg AdmissionConfig) http.Handler {
 			defer cancel()
 		}
 		if lim != nil {
+			sp := trace.FromContext(ctx).StartSpan("admission.acquire")
 			release, err := lim.Acquire(ctx)
 			if err != nil {
+				sp.End(trace.Str("outcome", "shed"))
 				setRetryAfter(w, cfg.retryAfter())
 				writeError(w, http.StatusServiceUnavailable, err.Error())
 				return
 			}
+			sp.End(trace.Str("outcome", "admitted"))
 			defer release()
 		}
 		h.ServeHTTP(w, r.WithContext(ctx))

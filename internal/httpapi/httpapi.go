@@ -31,6 +31,7 @@ import (
 	"qoschain/internal/core"
 	"qoschain/internal/graph"
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
 	"qoschain/internal/profile"
 	"qoschain/internal/session"
 	"qoschain/internal/store"
@@ -47,6 +48,11 @@ type Options struct {
 	// Store, when set, additionally serves /v1/profiles and
 	// /v1/compose/byref from the profile store.
 	Store *store.Store
+	// Metrics, when set, receives planner-level observations the
+	// observability middleware cannot see (compose.select_rounds). The
+	// request-level http.*/compose.latency_ms series are recorded by
+	// WithObservability instead. Nil is a valid no-op sink.
+	Metrics *metrics.Registry
 }
 
 // Handler returns the API's http.Handler over in-memory session state.
@@ -70,9 +76,11 @@ func HandlerWithOptions(opts Options) http.Handler {
 		handleHealth(w, r, sessions)
 	})
 	mux.HandleFunc("/v1/formats", handleFormats)
-	mux.HandleFunc("/v1/compose", handleCompose)
+	mux.HandleFunc("/v1/compose", func(w http.ResponseWriter, r *http.Request) {
+		handleCompose(w, r, opts.Metrics)
+	})
 	mux.HandleFunc("/v1/composeBatch", func(w http.ResponseWriter, r *http.Request) {
-		handleComposeBatch(w, r, cache)
+		handleComposeBatch(w, r, cache, opts.Metrics)
 	})
 	mux.HandleFunc("/v1/graph", handleGraph)
 	NewSessionManagerWith(sessions).register(mux)
@@ -124,13 +132,14 @@ type roundResponse struct {
 	Satisfaction float64  `json:"satisfaction"`
 }
 
-func handleCompose(w http.ResponseWriter, r *http.Request) {
+func handleCompose(w http.ResponseWriter, r *http.Request, reg *metrics.Registry) {
 	comp, status, err := composeFromRequest(w, r)
 	if err != nil {
 		writeError(w, status, err.Error())
 		return
 	}
 	res := comp.Result
+	reg.Observe(metrics.HistSelectRounds, float64(res.Expanded))
 	resp := composeResponse{
 		Path:         nodeStrings(res.Path),
 		Formats:      formatStrings(res.Formats),
@@ -171,7 +180,7 @@ type batchEntryResponse struct {
 	Cost         float64            `json:"cost"`
 }
 
-func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cache) {
+func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cache, reg *metrics.Registry) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
@@ -210,6 +219,7 @@ func handleComposeBatch(w http.ResponseWriter, r *http.Request, cache *graph.Cac
 		if br.Err != nil {
 			entry.Error = br.Err.Error()
 		} else {
+			reg.Observe(metrics.HistSelectRounds, float64(br.Result.Expanded))
 			entry.Path = nodeStrings(br.Result.Path)
 			entry.Formats = formatStrings(br.Result.Formats)
 			entry.Params = paramMap(br.Result.Params)

@@ -1,0 +1,183 @@
+package httpapi
+
+// observe.go is the API's observability layer: one middleware that gives
+// every request a trace (X-Trace-Id on every response, including 4xx/5xx
+// and admission sheds), records the http.*/compose.* metrics, emits one
+// structured access-log line per request, and serves the introspection
+// endpoints:
+//
+//	GET /metrics       Prometheus text exposition of the registry
+//	GET /debug/traces  last-N completed traces as JSON (?id= for one)
+//
+// WithObservability must be the outermost layer — outside WithAdmission —
+// so a shed request is still traced and logged, and so /metrics and
+// /debug/traces answer even while the API is refusing work.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qoschain/internal/metrics"
+	"qoschain/internal/trace"
+)
+
+// ObsConfig wires the observability layer. Any nil field disables that
+// aspect; a fully zero config returns the handler unchanged.
+type ObsConfig struct {
+	// Registry receives http.requests/http.latency_ms/compose.latency_ms
+	// and the trace.* counters, and is served on GET /metrics.
+	Registry *metrics.Registry
+	// Tracer starts one trace per request (propagated via the request
+	// context) and is served on GET /debug/traces.
+	Tracer *trace.Tracer
+	// AccessLog receives one line per request:
+	//   ts=<RFC3339> method=<M> path=<P> status=<S> bytes=<N> dur_ms=<D> trace=<ID>
+	// Writes are serialized, so a plain bytes.Buffer or os.Stderr works.
+	AccessLog io.Writer
+	// Now injects time for tests; default time.Now.
+	Now func() time.Time
+}
+
+// statusWriter captures the status code and body size a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// composeOutcome maps a compose endpoint's status code to the outcome
+// label of compose.latency_ms.
+func composeOutcome(status int) string {
+	switch {
+	case status == http.StatusOK:
+		return "ok"
+	case status == http.StatusUnprocessableEntity:
+		return "no_chain"
+	case status == http.StatusTooManyRequests:
+		return "rate_limited"
+	case status == http.StatusServiceUnavailable:
+		return "shed"
+	case status >= 500:
+		return "error"
+	default:
+		return "client_error"
+	}
+}
+
+// isComposePath reports whether a request path is a composition endpoint
+// (the ones compose.latency_ms aggregates over).
+func isComposePath(p string) bool {
+	return p == "/v1/compose" || p == "/v1/composeBatch" || strings.HasPrefix(p, "/v1/compose/")
+}
+
+// WithObservability wraps a handler with tracing, metrics and access
+// logging, and serves /metrics and /debug/traces itself (before the
+// inner handler, so they bypass admission control when layered outside
+// WithAdmission). A zero config returns h unchanged.
+func WithObservability(h http.Handler, cfg ObsConfig) http.Handler {
+	if cfg.Registry == nil && cfg.Tracer == nil && cfg.AccessLog == nil {
+		return h
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	var logMu sync.Mutex  // serializes access-log writes
+	var lastDropped int64 // last observed tracer drop total (under logMu)
+	var metricsH, tracesH http.Handler
+	if cfg.Registry != nil {
+		metricsH = cfg.Registry.Handler()
+	}
+	if cfg.Tracer != nil {
+		tracesH = cfg.Tracer.Handler()
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		var tr *trace.Trace
+		if cfg.Tracer != nil {
+			tr = cfg.Tracer.Start(r.Method + " " + r.URL.Path)
+			w.Header().Set("X-Trace-Id", tr.ID())
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		switch {
+		case metricsH != nil && r.URL.Path == "/metrics":
+			metricsH.ServeHTTP(sw, r)
+		case tracesH != nil && r.URL.Path == "/debug/traces":
+			tracesH.ServeHTTP(sw, r)
+		default:
+			h.ServeHTTP(sw, r)
+		}
+		if sw.status == 0 {
+			// Handler wrote nothing; net/http will send 200 on return.
+			sw.status = http.StatusOK
+		}
+		dur := now().Sub(start)
+		tr.Finish()
+
+		if reg := cfg.Registry; reg != nil {
+			code := strconv.Itoa(sw.status)
+			reg.Inc(metrics.CounterHTTPRequests, metrics.L("code", code))
+			reg.Observe(metrics.HistHTTPLatencyMs, float64(dur)/float64(time.Millisecond),
+				metrics.L("code", code))
+			if isComposePath(r.URL.Path) {
+				reg.Observe(metrics.HistComposeLatencyMs, float64(dur)/float64(time.Millisecond),
+					metrics.L("outcome", composeOutcome(sw.status)))
+			}
+			if cfg.Tracer != nil {
+				reg.Inc(metrics.CounterTracesCompleted)
+			}
+		}
+
+		if cfg.AccessLog != nil || (cfg.Registry != nil && cfg.Tracer != nil) {
+			logMu.Lock()
+			if cfg.Registry != nil && cfg.Tracer != nil {
+				// trace.spans_dropped is a monotonic counter fed by the
+				// tracer's running total; record the delta since the last
+				// request under the same lock that orders requests here.
+				if d := cfg.Tracer.DroppedSpans(); d > lastDropped {
+					cfg.Registry.Add(metrics.CounterTraceSpansDropped, d-lastDropped)
+					lastDropped = d
+				}
+			}
+			if cfg.AccessLog != nil {
+				id := ""
+				if tr != nil {
+					id = tr.ID()
+				}
+				fmt.Fprintf(cfg.AccessLog, "ts=%s method=%s path=%s status=%d bytes=%d dur_ms=%.3f trace=%s\n",
+					start.UTC().Format(time.RFC3339Nano), r.Method, r.URL.Path,
+					sw.status, sw.bytes, float64(dur)/float64(time.Millisecond), id)
+			}
+			logMu.Unlock()
+		}
+	})
+}

@@ -110,7 +110,7 @@ func (sm *SessionManager) handleCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ms, err := sm.m.Create(session.CreateSpec{
+	ms, err := sm.m.CreateCtx(r.Context(), session.CreateSpec{
 		Set:     *set,
 		Floor:   floor,
 		Seed:    seed,
@@ -216,7 +216,7 @@ func (sm *SessionManager) handleFault(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := ms.ApplyFault(f); err != nil {
+	if err := ms.ApplyFaultCtx(r.Context(), f); err != nil {
 		// The fault either failed to apply (client error) or applied but
 		// failed to journal (durability loss).
 		if errors.Is(err, session.ErrJournal) {
@@ -234,7 +234,7 @@ func (sm *SessionManager) handleReevaluate(w http.ResponseWriter, r *http.Reques
 	if ms == nil {
 		return
 	}
-	changed, evalErr, logErr := ms.Reevaluate()
+	changed, evalErr, logErr := ms.ReevaluateCtx(r.Context())
 	if logErr != nil {
 		writeError(w, http.StatusInternalServerError, logErr.Error())
 		return

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"qoschain/internal/metrics"
 )
@@ -208,6 +209,7 @@ func (l *Log) LastSeq() uint64 { return l.j.LastSeq() }
 // fsync — the group-commit point every caller batches through. It
 // returns the sequence number of the last record.
 func (l *Log) Append(records ...[]byte) (uint64, error) {
+	start := time.Now()
 	var last uint64
 	for _, data := range records {
 		seq, err := l.j.Append(data)
@@ -217,10 +219,14 @@ func (l *Log) Append(records ...[]byte) (uint64, error) {
 		last = seq
 		l.counters.Inc(metrics.CounterJournalAppends)
 	}
+	syncStart := time.Now()
 	if err := l.j.Sync(); err != nil {
 		return 0, err
 	}
+	now := time.Now()
 	l.counters.Inc(metrics.CounterJournalSyncs)
+	l.counters.Observe(metrics.HistJournalFsyncMs, float64(now.Sub(syncStart))/float64(time.Millisecond))
+	l.counters.Observe(metrics.HistJournalAppendMs, float64(now.Sub(start))/float64(time.Millisecond))
 	return last, nil
 }
 

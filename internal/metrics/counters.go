@@ -3,19 +3,22 @@ package metrics
 import (
 	"fmt"
 	"io"
-	"sort"
-	"sync"
 )
 
-// Counters is a concurrency-safe set of named monotonic counters and
-// observed samples — the reliability bookkeeping the failover path
-// reports through (failovers, retries, degraded sessions, time to
-// recover). A nil *Counters is a valid no-op sink, so instrumented code
-// never needs to guard its calls.
+// Counters is the concurrency-safe sink instrumented code reports
+// through — the reliability bookkeeping of the failover, admission,
+// and durability paths. It is a thin facade over a Registry: counts
+// go to counter series and Observe feeds bounded histogram series, so
+// a long-lived daemon's metric memory stays constant (the old
+// implementation appended every observation to a slice forever). A
+// nil *Counters is a valid no-op sink, so instrumented code never
+// needs to guard its calls.
 type Counters struct {
-	mu      sync.Mutex
-	counts  map[string]int64
-	samples map[string][]float64
+	r *Registry
+	// mirror, when non-nil, receives a copy of every write. Reads
+	// always come from r, so a private sink stays deterministic while
+	// the process-wide registry still sees the series (see Fanout).
+	mirror *Counters
 }
 
 // Well-known counter and sample names recorded by the session failover
@@ -105,12 +108,43 @@ const (
 	SampleRecoveryReleasedKbps = "recovery.released_kbps"
 )
 
-// NewCounters returns an empty counter set.
+// NewCounters returns an empty counter set backed by its own private
+// registry.
 func NewCounters() *Counters {
-	return &Counters{
-		counts:  make(map[string]int64),
-		samples: make(map[string][]float64),
+	return &Counters{r: NewRegistry()}
+}
+
+// CountersOn returns a Counters facade that records into an existing
+// registry, so legacy *Counters call sites and registry-native code
+// share one store. A nil registry yields a nil (no-op) sink.
+func CountersOn(r *Registry) *Counters {
+	if r == nil {
+		return nil
 	}
+	return &Counters{r: r}
+}
+
+// Fanout returns a sink that writes through to both primary and
+// mirror but reads (Get/Sample/Snapshot/Render) only from primary.
+// The session manager uses this to keep its per-session counters
+// byte-deterministic for crash-recovery fingerprints while the same
+// series still reach the daemon's process-wide registry.
+func Fanout(primary, mirror *Counters) *Counters {
+	if primary == nil {
+		return mirror
+	}
+	if mirror == nil {
+		return primary
+	}
+	return &Counters{r: primary.r, mirror: mirror}
+}
+
+// Registry exposes the backing registry (nil for a nil sink).
+func (c *Counters) Registry() *Registry {
+	if c == nil {
+		return nil
+	}
+	return c.r
 }
 
 // Inc increments a named counter by one.
@@ -121,9 +155,8 @@ func (c *Counters) Add(name string, n int64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.counts[name] += n
-	c.mu.Unlock()
+	c.r.Add(name, n)
+	c.mirror.Add(name, n)
 }
 
 // Get returns a counter's value (0 for unknown names or a nil receiver).
@@ -131,74 +164,62 @@ func (c *Counters) Get(name string) int64 {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.counts[name]
+	return c.r.CounterValue(name)
 }
 
-// Observe appends a value to a named sample series.
+// Observe records a value into a named histogram series. Unlike the
+// pre-registry implementation this is bounded: aggregate stats cover
+// every observation, but only the most recent SampleWindow raw values
+// are retained.
 func (c *Counters) Observe(name string, v float64) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	c.samples[name] = append(c.samples[name], v)
-	c.mu.Unlock()
+	c.r.Observe(name, v)
+	c.mirror.Observe(name, v)
 }
 
-// Sample returns a copy of a named sample series.
+// Sample returns a copy of the retained raw observations of a series,
+// oldest first — at most SampleWindow values (see Observe).
 func (c *Counters) Sample(name string) []float64 {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]float64(nil), c.samples[name]...)
+	return c.r.Window(name)
 }
 
-// SampleSummary summarizes a named sample series.
+// SampleSummary summarizes a named series. Count, mean, std, min, and
+// max are exact over the full stream; quantiles are exact up to
+// SampleWindow observations and bucket-interpolated beyond.
 func (c *Counters) SampleSummary(name string) Summary {
-	return Summarize(c.Sample(name))
+	if c == nil {
+		return Summary{}
+	}
+	return c.r.SampleSummary(name)
 }
 
-// Snapshot returns every counter value, keyed by name.
+// Snapshot returns every counter value, keyed by rendered series name.
 func (c *Counters) Snapshot() map[string]int64 {
 	if c == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make(map[string]int64, len(c.counts))
-	for k, v := range c.counts {
-		out[k] = v
-	}
-	return out
+	return c.r.CounterMap()
 }
 
 // Render writes the counters (sorted by name) and one summary line per
-// sample series.
+// histogram series.
 func (c *Counters) Render(w io.Writer) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	names := make([]string, 0, len(c.counts))
-	for k := range c.counts {
-		names = append(names, k)
+	// Snapshot is already sorted by (name, labels).
+	snap := c.r.Snapshot()
+	for _, p := range snap.Counters {
+		fmt.Fprintf(w, "%-28s %d\n", seriesKey(p.Name, p.Labels), p.Value)
 	}
-	snames := make([]string, 0, len(c.samples))
-	for k := range c.samples {
-		snames = append(snames, k)
-	}
-	c.mu.Unlock()
-	sort.Strings(names)
-	sort.Strings(snames)
-	for _, name := range names {
-		fmt.Fprintf(w, "%-28s %d\n", name, c.Get(name))
-	}
-	for _, name := range snames {
-		s := c.SampleSummary(name)
+	for _, h := range snap.Hists {
+		s := c.r.summaryByKey(seriesKey(h.Name, h.Labels))
 		fmt.Fprintf(w, "%-28s n=%d mean=%.2f p50=%.2f max=%.2f\n",
-			name, s.Count, s.Mean, s.P50, s.Max)
+			seriesKey(h.Name, h.Labels), s.Count, s.Mean, s.P50, s.Max)
 	}
 }

@@ -46,8 +46,13 @@ func TestCountersConcurrentWriters(t *testing.T) {
 	if got := c.Get("admission.shed_queue_full"); got != 2*writers*perG {
 		t.Errorf("shed = %d, want %d", got, 2*writers*perG)
 	}
-	if got := len(c.Sample("admission.reserved_kbps")); got != writers*perG {
-		t.Errorf("samples = %d, want %d", got, writers*perG)
+	// Raw retention is bounded at SampleWindow, but the histogram's
+	// aggregate count still covers every observation.
+	if got := len(c.Sample("admission.reserved_kbps")); got != SampleWindow {
+		t.Errorf("retained samples = %d, want %d (bounded window)", got, SampleWindow)
+	}
+	if got := c.SampleSummary("admission.reserved_kbps").Count; got != writers*perG {
+		t.Errorf("summary count = %d, want %d", got, writers*perG)
 	}
 	snap := c.Snapshot()
 	if snap["admission.admitted"] != writers*perG {

@@ -1,0 +1,171 @@
+package metrics
+
+import "math"
+
+// SampleWindow is how many recent raw observations each histogram
+// series retains for exact small-sample summaries (Window / Sample).
+// Aggregate moments and bucket counts cover the full stream; only the
+// raw-value window is bounded, which is what keeps a long-lived
+// daemon's metric memory constant.
+const SampleWindow = 1024
+
+// DefBuckets is the default histogram bucket upper bounds. The range
+// is wide (1e-3 .. 1e5) because the same default serves latencies in
+// milliseconds, retry counts, and bandwidth in kbps.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000,
+}
+
+// histSeries is one bounded histogram series. Guarded by the owning
+// Registry's mutex.
+type histSeries struct {
+	name   string
+	labels string
+
+	bounds  []float64 // upper bounds, ascending
+	buckets []int64   // len(bounds)+1; last is the overflow bucket
+
+	count      int64
+	sum, sumsq float64
+	min, max   float64
+
+	window []float64 // ring of recent raw observations
+	wnext  int       // next write position
+	wfull  bool      // ring has wrapped
+}
+
+func newHistSeries(name, labels string, bounds []float64) *histSeries {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	return &histSeries{
+		name:    name,
+		labels:  labels,
+		bounds:  bounds,
+		buckets: make([]int64, len(bounds)+1),
+	}
+}
+
+func (h *histSeries) observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.sumsq += v * v
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i]++
+	if h.window == nil {
+		h.window = make([]float64, 0, 16)
+	}
+	if len(h.window) < SampleWindow && !h.wfull {
+		h.window = append(h.window, v)
+		return
+	}
+	h.wfull = true
+	h.window[h.wnext] = v
+	h.wnext++
+	if h.wnext == SampleWindow {
+		h.wnext = 0
+	}
+}
+
+// windowCopy returns the retained raw observations, oldest first.
+func (h *histSeries) windowCopy() []float64 {
+	if len(h.window) == 0 {
+		return nil
+	}
+	if !h.wfull {
+		return append([]float64(nil), h.window...)
+	}
+	out := make([]float64, 0, len(h.window))
+	out = append(out, h.window[h.wnext:]...)
+	out = append(out, h.window[:h.wnext]...)
+	return out
+}
+
+// summary is exact while the window still holds every observation;
+// past that, count/mean/std/min/max stay exact (from the moments) and
+// quantiles are interpolated from the bucket counts.
+func (h *histSeries) summary() Summary {
+	if h.count == 0 {
+		return Summary{}
+	}
+	if !h.wfull {
+		return Summarize(h.window)
+	}
+	n := float64(h.count)
+	mean := h.sum / n
+	std := 0.0
+	if h.count > 1 {
+		// Sample variance from the raw moments, clamped against
+		// floating-point cancellation.
+		v := (h.sumsq - n*mean*mean) / (n - 1)
+		if v > 0 {
+			std = math.Sqrt(v)
+		}
+	}
+	return Summary{
+		Count: int(h.count),
+		Mean:  mean,
+		Std:   std,
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.bucketQuantile(0.50),
+		P90:   h.bucketQuantile(0.90),
+		P99:   h.bucketQuantile(0.99),
+	}
+}
+
+// bucketQuantile interpolates the q-quantile from bucket counts,
+// clamping the result to the observed [min, max].
+func (h *histSeries) bucketQuantile(q float64) float64 {
+	rank := q * float64(h.count)
+	var cum int64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo := h.min
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if lo < h.min {
+				lo = h.min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.max
+}
+
+func (h *histSeries) point() HistPoint {
+	return HistPoint{
+		Name:    h.name,
+		Labels:  h.labels,
+		Count:   h.count,
+		Sum:     h.sum,
+		Min:     h.min,
+		Max:     h.max,
+		Bounds:  h.bounds, // shared; bounds are never mutated
+		Buckets: append([]int64(nil), h.buckets...),
+	}
+}

@@ -1,0 +1,351 @@
+package metrics
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Label is one key="value" pair attached to a metric series. Series
+// with the same name but different label sets are independent.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry is the process-wide metric store: monotonic counters,
+// gauges, and fixed-bucket histograms, all with optional labels. All
+// state is bounded — histograms keep aggregate moments, bucket counts,
+// and a fixed window of recent raw observations, never the full sample
+// stream — so a Registry is safe to feed from a long-lived daemon. A
+// nil *Registry is a valid no-op sink.
+//
+// Expose a Registry over HTTP with (*Registry).Handler (Prometheus
+// text format) and PublishExpvar (expvar JSON).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*counterSeries
+	gauges   map[string]*gaugeSeries
+	hists    map[string]*histSeries
+}
+
+type counterSeries struct {
+	name   string
+	labels string // canonical rendered label set, "" when unlabeled
+	value  int64
+}
+
+type gaugeSeries struct {
+	name   string
+	labels string
+	value  float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*counterSeries),
+		gauges:   make(map[string]*gaugeSeries),
+		hists:    make(map[string]*histSeries),
+	}
+}
+
+// labelKey renders labels canonically (sorted by key) for use both as
+// a map-key suffix and in exposition: `k1="v1",k2="v2"`.
+func labelKey(labels []Label) string {
+	switch len(labels) {
+	case 0:
+		return ""
+	case 1:
+		return labels[0].Key + `="` + escapeLabel(labels[0].Value) + `"`
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Key)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l.Value))
+		sb.WriteByte('"')
+	}
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Inc increments a counter series by one.
+func (r *Registry) Inc(name string, labels ...Label) { r.Add(name, 1, labels...) }
+
+// Add increments a counter series by n, creating it at zero first if
+// needed (so Add(name, 0) declares a series for exposition).
+func (r *Registry) Add(name string, n int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	lk := labelKey(labels)
+	key := seriesKey(name, lk)
+	r.mu.Lock()
+	s, ok := r.counters[key]
+	if !ok {
+		s = &counterSeries{name: name, labels: lk}
+		r.counters[key] = s
+	}
+	s.value += n
+	r.mu.Unlock()
+}
+
+// CounterValue reads a counter series (0 for unknown series).
+func (r *Registry) CounterValue(name string, labels ...Label) int64 {
+	if r == nil {
+		return 0
+	}
+	key := seriesKey(name, labelKey(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.counters[key]; ok {
+		return s.value
+	}
+	return 0
+}
+
+// SetGauge sets a gauge series to v.
+func (r *Registry) SetGauge(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	lk := labelKey(labels)
+	key := seriesKey(name, lk)
+	r.mu.Lock()
+	s, ok := r.gauges[key]
+	if !ok {
+		s = &gaugeSeries{name: name, labels: lk}
+		r.gauges[key] = s
+	}
+	s.value = v
+	r.mu.Unlock()
+}
+
+// AddGauge adjusts a gauge series by delta (useful for in-flight
+// style gauges).
+func (r *Registry) AddGauge(name string, delta float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	lk := labelKey(labels)
+	key := seriesKey(name, lk)
+	r.mu.Lock()
+	s, ok := r.gauges[key]
+	if !ok {
+		s = &gaugeSeries{name: name, labels: lk}
+		r.gauges[key] = s
+	}
+	s.value += delta
+	r.mu.Unlock()
+}
+
+// GaugeValue reads a gauge series (0 for unknown series).
+func (r *Registry) GaugeValue(name string, labels ...Label) float64 {
+	if r == nil {
+		return 0
+	}
+	key := seriesKey(name, labelKey(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.gauges[key]; ok {
+		return s.value
+	}
+	return 0
+}
+
+// Observe records v into a histogram series, creating it with the
+// default bucket bounds if needed.
+func (r *Registry) Observe(name string, v float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	lk := labelKey(labels)
+	key := seriesKey(name, lk)
+	r.mu.Lock()
+	h, ok := r.hists[key]
+	if !ok {
+		h = newHistSeries(name, lk, nil)
+		r.hists[key] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// ObserveDuration records d into a histogram series in milliseconds.
+func (r *Registry) ObserveDuration(name string, d time.Duration, labels ...Label) {
+	r.Observe(name, float64(d)/float64(time.Millisecond), labels...)
+}
+
+// DeclareHist creates an empty histogram series so it appears in
+// exposition before its first observation.
+func (r *Registry) DeclareHist(name string, labels ...Label) {
+	if r == nil {
+		return
+	}
+	lk := labelKey(labels)
+	key := seriesKey(name, lk)
+	r.mu.Lock()
+	if _, ok := r.hists[key]; !ok {
+		r.hists[key] = newHistSeries(name, lk, nil)
+	}
+	r.mu.Unlock()
+}
+
+// Window returns a copy of the most recent raw observations of a
+// histogram series, oldest first — at most SampleWindow values. It
+// returns nil for unknown series.
+func (r *Registry) Window(name string, labels ...Label) []float64 {
+	if r == nil {
+		return nil
+	}
+	key := seriesKey(name, labelKey(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h.windowCopy()
+	}
+	return nil
+}
+
+// SampleSummary summarizes a histogram series. While the series holds
+// no more than SampleWindow observations the summary is exact; past
+// that, count/mean/std/min/max remain exact and quantiles are
+// interpolated from the bucket counts.
+func (r *Registry) SampleSummary(name string, labels ...Label) Summary {
+	if r == nil {
+		return Summary{}
+	}
+	key := seriesKey(name, labelKey(labels))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h.summary()
+	}
+	return Summary{}
+}
+
+// summaryByKey summarizes a histogram by its rendered series key
+// (`name` or `name{labels}`), for callers iterating a Snapshot.
+func (r *Registry) summaryByKey(key string) Summary {
+	if r == nil {
+		return Summary{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[key]; ok {
+		return h.summary()
+	}
+	return Summary{}
+}
+
+// CounterPoint, GaugePoint, and HistPoint are one series each inside a
+// Snapshot. Labels is the canonical rendered label set ("" when
+// unlabeled).
+type CounterPoint struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  int64  `json:"value"`
+}
+
+type GaugePoint struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+type HistPoint struct {
+	Name    string    `json:"name"`
+	Labels  string    `json:"labels,omitempty"`
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"` // non-cumulative; len(Bounds)+1 with the overflow bucket last
+}
+
+// RegistrySnapshot is a point-in-time copy of every series, taken
+// atomically under one lock acquisition and sorted by (name, labels).
+type RegistrySnapshot struct {
+	Counters []CounterPoint `json:"counters"`
+	Gauges   []GaugePoint   `json:"gauges,omitempty"`
+	Hists    []HistPoint    `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every series atomically.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var snap RegistrySnapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	snap.Counters = make([]CounterPoint, 0, len(r.counters))
+	for _, s := range r.counters {
+		snap.Counters = append(snap.Counters, CounterPoint{Name: s.name, Labels: s.labels, Value: s.value})
+	}
+	snap.Gauges = make([]GaugePoint, 0, len(r.gauges))
+	for _, s := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugePoint{Name: s.name, Labels: s.labels, Value: s.value})
+	}
+	snap.Hists = make([]HistPoint, 0, len(r.hists))
+	for _, h := range r.hists {
+		snap.Hists = append(snap.Hists, h.point())
+	}
+	r.mu.Unlock()
+	sortPoints := func(ni, li, nj, lj string) bool {
+		if ni != nj {
+			return ni < nj
+		}
+		return li < lj
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool {
+		return sortPoints(snap.Counters[i].Name, snap.Counters[i].Labels, snap.Counters[j].Name, snap.Counters[j].Labels)
+	})
+	sort.Slice(snap.Gauges, func(i, j int) bool {
+		return sortPoints(snap.Gauges[i].Name, snap.Gauges[i].Labels, snap.Gauges[j].Name, snap.Gauges[j].Labels)
+	})
+	sort.Slice(snap.Hists, func(i, j int) bool {
+		return sortPoints(snap.Hists[i].Name, snap.Hists[i].Labels, snap.Hists[j].Name, snap.Hists[j].Labels)
+	})
+	return snap
+}
+
+// CounterMap returns every counter value keyed by its rendered series
+// key (`name` or `name{labels}`).
+func (r *Registry) CounterMap() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for key, s := range r.counters {
+		out[key] = s.value
+	}
+	return out
+}

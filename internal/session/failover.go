@@ -11,6 +11,7 @@ import (
 	"qoschain/internal/core"
 	"qoschain/internal/metrics"
 	"qoschain/internal/service"
+	"qoschain/internal/trace"
 )
 
 // ServicePool is a live view over the deployed services — typically a
@@ -257,15 +258,20 @@ func (s *Session) failover(cause error) (bool, error) {
 				backoff = fc.maxBackoff()
 			}
 		}
+		sp := s.tr.StartSpan("failover.attempt", trace.Int("attempt", attempt))
 		res, err := s.composeWith(s.liveServices(), fc.SatisfactionFloor)
 		if err == nil {
+			sp.End(trace.Str("outcome", "recovered"))
 			s.adoptFailover(res, "failover", attempt)
 			return true, nil
 		}
 		if errors.Is(err, core.ErrBelowFloor) && res != nil && res.Found {
+			sp.End(trace.Str("outcome", "below_floor"))
 			if best == nil || res.Satisfaction > best.Satisfaction {
 				best = res
 			}
+		} else {
+			sp.End(trace.Str("outcome", "error"))
 		}
 		s.lastErr = err
 	}

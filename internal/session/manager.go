@@ -25,6 +25,7 @@ package session
 // links died.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +42,7 @@ import (
 	"qoschain/internal/metrics"
 	"qoschain/internal/overlay"
 	"qoschain/internal/profile"
+	"qoschain/internal/trace"
 )
 
 // ErrBadSpec marks a CreateSpec that fails validation before any
@@ -78,9 +80,10 @@ type ManagerConfig struct {
 	// SnapshotEvery compacts the journal after this many commands.
 	// Default 64; negative disables periodic snapshots.
 	SnapshotEvery int
-	// Counters receives journal.* and recovery.* metrics (not the
-	// per-session failover counters, which live with each session and
-	// replay with it). Nil is a valid no-op sink.
+	// Counters receives journal.* and recovery.* metrics, and mirrors
+	// every per-session failover counter (the authoritative copies live
+	// with each session and replay with it — see metrics.Fanout). Nil is
+	// a valid no-op sink.
 	Counters *metrics.Counters
 	// FailPoints injects deterministic crash sites into the journal —
 	// the adaptsim -crash harness and tests arm these.
@@ -316,6 +319,13 @@ func (m *Manager) bumpSeq(id string) {
 // buildManaged constructs a session from its spec — the single path both
 // live creation and replay go through, so they cannot diverge.
 func (m *Manager) buildManaged(id string, spec CreateSpec) (*Managed, error) {
+	return m.buildManagedCtx(context.Background(), id, spec)
+}
+
+// buildManagedCtx is buildManaged under a context carrying the creating
+// request's trace (replay passes a background context — tracing never
+// influences session state, so replayed sessions stay byte-identical).
+func (m *Manager) buildManagedCtx(ctx context.Context, id string, spec CreateSpec) (*Managed, error) {
 	set := spec.Set
 	if err := set.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
@@ -334,7 +344,7 @@ func (m *Manager) buildManaged(id string, spec CreateSpec) (*Managed, error) {
 	svcs := graph.CollectServices(set.Intermediaries)
 	pool := fault.NewServiceSet(svcs)
 	counters := metrics.NewCounters()
-	sess, err := New(Config{
+	sess, err := NewCtx(ctx, Config{
 		Content:          &set.Content,
 		Device:           &set.Device,
 		Services:         svcs,
@@ -354,8 +364,12 @@ func (m *Manager) buildManaged(id string, spec CreateSpec) (*Managed, error) {
 			JitterSeed:        spec.Seed,
 			// Managed sessions run on a virtual clock; retries never
 			// wall-clock sleep.
-			Sleep:   func(time.Duration) {},
-			Metrics: counters,
+			Sleep: func(time.Duration) {},
+			// The session's private counters stay authoritative (they are
+			// part of the deterministic State/Fingerprint); the manager's
+			// sink mirrors every write so daemon-wide registries see
+			// failover.* activity too.
+			Metrics: metrics.Fanout(counters, m.cfg.Counters),
 		},
 	})
 	if err != nil {
@@ -427,7 +441,13 @@ func (m *Manager) Persistent() bool { return m.log != nil }
 // fails — the caller sees the error and the process is expected to die,
 // exactly like a crash between apply and log.
 func (m *Manager) Create(spec CreateSpec) (*Managed, error) {
-	ms, err := m.buildManaged("", spec)
+	return m.CreateCtx(context.Background(), spec)
+}
+
+// CreateCtx is Create under a context: a trace carried by the context
+// records the composition and journal-append spans of the creation.
+func (m *Manager) CreateCtx(ctx context.Context, spec CreateSpec) (*Managed, error) {
+	ms, err := m.buildManagedCtx(ctx, "", spec)
 	if err != nil {
 		return nil, err
 	}
@@ -437,10 +457,23 @@ func (m *Manager) Create(spec CreateSpec) (*Managed, error) {
 	ms.id = fmt.Sprintf("s%d", m.seq)
 	m.sessions[ms.id] = ms
 	m.histories[ms.id] = &sessionHistory{Create: spec}
-	if err := m.journalCommand(walEvent{Op: "create", ID: ms.id, Create: &spec}); err != nil {
+	if err := m.journalTraced(ctx, walEvent{Op: "create", ID: ms.id, Create: &spec}); err != nil {
 		return ms, err
 	}
 	return ms, nil
+}
+
+// journalTraced wraps journalCommand in a "journal.append" span when the
+// context carries a trace. Callers hold m.mu.
+func (m *Manager) journalTraced(ctx context.Context, ev walEvent) error {
+	sp := trace.FromContext(ctx).StartSpan("journal.append", trace.Str("op", ev.Op))
+	err := m.journalCommand(ev)
+	if err != nil {
+		sp.End(trace.Str("outcome", "error"))
+		return err
+	}
+	sp.End()
+	return nil
 }
 
 // Get returns a session by ID.
@@ -519,6 +552,11 @@ func (ms *Managed) Held() []overlay.Reservation {
 // ApplyFault injects one fault against the session's private overlay and
 // pool, journaling it on success.
 func (ms *Managed) ApplyFault(f fault.Fault) error {
+	return ms.ApplyFaultCtx(context.Background(), f)
+}
+
+// ApplyFaultCtx is ApplyFault under a context carrying the request trace.
+func (ms *Managed) ApplyFaultCtx(ctx context.Context, f fault.Fault) error {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	if err := ms.applyFault(f); err != nil {
@@ -530,7 +568,7 @@ func (ms *Managed) ApplyFault(f fault.Fault) error {
 	if h := ms.m.histories[ms.id]; h != nil {
 		h.Events = append(h.Events, ev)
 	}
-	return ms.m.journalCommand(ev)
+	return ms.m.journalTraced(ctx, ev)
 }
 
 // applyFault mutates the overlay/pool. Callers hold ms.mu.
@@ -576,17 +614,24 @@ func (ms *Managed) applyFault(f fault.Fault) error {
 // the deterministic state machine, surfaced to the client); logErr is a
 // durability failure.
 func (ms *Managed) Reevaluate() (changed bool, evalErr, logErr error) {
+	return ms.ReevaluateCtx(context.Background())
+}
+
+// ReevaluateCtx is Reevaluate under a context: a trace carried by the
+// context records the re-composition's selection, failover and journal
+// spans.
+func (ms *Managed) ReevaluateCtx(ctx context.Context) (changed bool, evalErr, logErr error) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	ms.sess.Tick()
-	changed, evalErr = ms.sess.Reevaluate()
+	changed, evalErr = ms.sess.ReevaluateCtx(ctx)
 	ms.m.mu.Lock()
 	defer ms.m.mu.Unlock()
 	ev := walEvent{Op: "reevaluate", ID: ms.id}
 	if h := ms.m.histories[ms.id]; h != nil {
 		h.Events = append(h.Events, ev)
 	}
-	logErr = ms.m.journalCommand(ev)
+	logErr = ms.m.journalTraced(ctx, ev)
 	return changed, evalErr, logErr
 }
 

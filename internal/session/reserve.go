@@ -6,6 +6,7 @@ import (
 	"qoschain/internal/media"
 	"qoschain/internal/metrics"
 	"qoschain/internal/overlay"
+	"qoschain/internal/trace"
 )
 
 // Bandwidth reservation: when Config.ReserveBandwidth is set, an admitted
@@ -50,10 +51,13 @@ func (s *Session) reserveCurrent() error {
 	if len(rs) == 0 {
 		return nil
 	}
+	sp := s.tr.StartSpan("session.reserve", trace.Int("links", len(rs)))
 	if err := s.cfg.Net.ReserveChain(rs); err != nil {
+		sp.End(trace.Str("outcome", "rejected"))
 		s.cfg.Failover.Metrics.Inc(metrics.CounterCapacityRejected)
 		return fmt.Errorf("session: admitting chain: %w", err)
 	}
+	sp.End(trace.Str("outcome", "reserved"))
 	s.held = rs
 	s.cfg.Failover.Metrics.Observe(metrics.SampleReservedKbps, kbps)
 	return nil

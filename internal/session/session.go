@@ -6,6 +6,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -15,6 +16,7 @@ import (
 	"qoschain/internal/overlay"
 	"qoschain/internal/profile"
 	"qoschain/internal/service"
+	"qoschain/internal/trace"
 )
 
 // Config assembles a session.
@@ -76,16 +78,30 @@ type Session struct {
 	retries    int
 	lastErr    error
 	jitter     *rand.Rand
+
+	// tr is the trace of the request currently driving the session, set
+	// transiently by the *Ctx entry points. It never influences session
+	// state, so replayed sessions (which run without one) stay
+	// byte-identical to live ones.
+	tr *trace.Trace
 }
 
 // New composes the initial chain. It fails when no chain exists at all;
 // with failover enabled a chain below the satisfaction floor is adopted
 // in a degraded state instead of rejected.
 func New(cfg Config) (*Session, error) {
+	return NewCtx(context.Background(), cfg)
+}
+
+// NewCtx is New under a context: when the context carries a trace
+// (internal/trace), the initial composition's graph build, selection
+// rounds and bandwidth reservation record spans on it.
+func NewCtx(ctx context.Context, cfg Config) (*Session, error) {
 	if cfg.Tolerance <= 0 {
 		cfg.Tolerance = 0.02
 	}
-	s := &Session{cfg: cfg}
+	s := &Session{cfg: cfg, tr: trace.FromContext(ctx)}
+	defer func() { s.tr = nil }()
 	res, err := s.compose()
 	if err != nil {
 		if cfg.Failover.Enabled && errors.Is(err, core.ErrBelowFloor) && res != nil && res.Found {
@@ -132,7 +148,10 @@ func (s *Session) composeWith(svcs []*service.Service, floor float64) (*core.Res
 	}
 	sel := s.cfg.Select
 	sel.SatisfactionFloor = floor
-	res, err := core.Select(g, sel)
+	// Thread the driving request's trace (if any) into the selection so
+	// core.SelectCtx records its spans; a nil trace makes this a plain
+	// background context and SelectCtx behaves exactly like Select.
+	res, err := core.SelectCtx(trace.NewContext(context.Background(), s.tr), g, sel)
 	if err != nil {
 		return res, fmt.Errorf("session: %w", err)
 	}
@@ -192,6 +211,14 @@ func (s *Session) currentAchievable() (float64, bool) {
 // reservation does not masquerade as congestion, then re-admits the
 // chain it ends up with.
 func (s *Session) Reevaluate() (changed bool, err error) {
+	return s.ReevaluateCtx(context.Background())
+}
+
+// ReevaluateCtx is Reevaluate under a context: a trace carried by the
+// context records the re-composition's graph/selection/reservation spans.
+func (s *Session) ReevaluateCtx(ctx context.Context) (changed bool, err error) {
+	s.tr = trace.FromContext(ctx)
+	defer func() { s.tr = nil }()
 	if s.cfg.ReserveBandwidth {
 		s.releaseCurrent()
 		defer func() {

@@ -25,6 +25,7 @@ package sim
 // and the armed failpoint hit, so a failing run reproduces exactly.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -33,10 +34,12 @@ import (
 	"qoschain/internal/fault"
 	"qoschain/internal/journal"
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
 	"qoschain/internal/paperexample"
 	"qoschain/internal/profile"
 	"qoschain/internal/service"
 	"qoschain/internal/session"
+	"qoschain/internal/trace"
 )
 
 // Figure6Set renders the paper's Figure 6 deployment as a profile.Set —
@@ -99,6 +102,14 @@ type CrashSpec struct {
 	// SnapshotEvery compacts the journal this often (default 5, small so
 	// snapshot failpoints are reachable).
 	SnapshotEvery int
+	// Counters, when set, receives the journal.*/recovery.* metrics of
+	// both the crashed run and its recovery — the caller typically shares
+	// one sink across every scenario for an aggregate report. Tracing and
+	// metrics never influence the journaled state, so the byte-identity
+	// contract is unaffected.
+	Counters *metrics.Counters
+	// Tracer, when set, records one trace per driven command.
+	Tracer *trace.Tracer
 }
 
 // CrashReport is one scenario's outcome.
@@ -170,9 +181,24 @@ func RunCrash(spec CrashSpec) (*CrashReport, error) {
 		StateDir:      spec.StateDir,
 		SnapshotEvery: spec.SnapshotEvery,
 		FailPoints:    fp,
+		Counters:      spec.Counters,
 	})
 	if err != nil {
 		return rep, fmt.Errorf("sim: opening state dir: %w", err)
+	}
+
+	// traced runs one driven command under a fresh trace when the spec
+	// carries a tracer (a nil tracer yields a plain background context).
+	traced := func(name string, run func(context.Context) error) error {
+		ctx := context.Background()
+		var tr *trace.Trace
+		if spec.Tracer != nil {
+			tr = spec.Tracer.Start(name)
+			ctx = trace.NewContext(ctx, tr)
+		}
+		err := run(ctx)
+		tr.Finish()
+		return err
 	}
 
 	// states[seq] is the canonical session state after the command that
@@ -212,10 +238,12 @@ func RunCrash(spec CrashSpec) (*CrashReport, error) {
 	// fault/reevaluate schedule.
 	for i := 0; i < spec.Sessions && !crashed; i++ {
 		err := step(func() error {
-			_, err := m.Create(session.CreateSpec{
-				Set: set, Floor: 0.3, Seed: spec.Seed + int64(i), Reserve: true,
+			return traced("crash.create", func(ctx context.Context) error {
+				_, err := m.CreateCtx(ctx, session.CreateSpec{
+					Set: set, Floor: 0.3, Seed: spec.Seed + int64(i), Reserve: true,
+				})
+				return err
 			})
-			return err
 		})
 		if err != nil {
 			return rep, fmt.Errorf("sim: creating session %d: %w", i, err)
@@ -250,14 +278,20 @@ func RunCrash(spec CrashSpec) (*CrashReport, error) {
 			if down[id][host] {
 				f.Kind = fault.HostRecover
 			}
-			err = step(func() error { return ms.ApplyFault(f) })
+			err = step(func() error {
+				return traced("crash.fault", func(ctx context.Context) error {
+					return ms.ApplyFaultCtx(ctx, f)
+				})
+			})
 			if err == nil && !crashed {
 				down[id][host] = f.Kind == fault.HostCrash
 			}
 		default: // advance and re-evaluate
 			err = step(func() error {
-				_, _, logErr := ms.Reevaluate()
-				return logErr
+				return traced("crash.reevaluate", func(ctx context.Context) error {
+					_, _, logErr := ms.ReevaluateCtx(ctx)
+					return logErr
+				})
 			})
 		}
 		if err != nil {
@@ -268,8 +302,10 @@ func RunCrash(spec CrashSpec) (*CrashReport, error) {
 	for extra := 0; !crashed && extra < 10*spec.Steps; extra++ {
 		ms, _ := m.Get(ids[0])
 		if err := step(func() error {
-			_, _, logErr := ms.Reevaluate()
-			return logErr
+			return traced("crash.reevaluate", func(ctx context.Context) error {
+				_, _, logErr := ms.ReevaluateCtx(ctx)
+				return logErr
+			})
 		}); err != nil {
 			return rep, fmt.Errorf("sim: top-up: %w", err)
 		}
@@ -294,7 +330,7 @@ func RunCrash(spec CrashSpec) (*CrashReport, error) {
 	}
 	// The crashed process is gone; only the state directory survives.
 
-	m2, err := session.NewManager(session.ManagerConfig{StateDir: spec.StateDir})
+	m2, err := session.NewManager(session.ManagerConfig{StateDir: spec.StateDir, Counters: spec.Counters})
 	if err != nil {
 		return rep, fmt.Errorf("sim: recovering: %w", err)
 	}

@@ -122,6 +122,9 @@ type OverloadReport struct {
 	Timeline []OverloadTick
 	// Counters is the admission.* counter snapshot of the run.
 	Counters map[string]int64
+	// QueueWait summarizes the virtual-clock waiting time (ms) of
+	// requests that queued before admission.
+	QueueWait metrics.Summary
 }
 
 // Accounted reports whether every request's fate is recorded exactly
@@ -272,5 +275,6 @@ func RunOverload(spec OverloadSpec) *OverloadReport {
 	rep.ShedExpired = int(st.ShedExpired)
 	rep.ShedQueueFull = int(st.ShedQueueFull)
 	rep.Counters = counters.Snapshot()
+	rep.QueueWait = counters.SampleSummary(metrics.HistQueueWaitMs)
 	return rep
 }

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the retained completed traces as JSON; mount it at
+// GET /debug/traces. `?id=<trace-id>` returns one trace (404 when it
+// has rotated out of the ring), `?n=<k>` limits the list to the k
+// newest.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if id := r.URL.Query().Get("id"); id != "" {
+			snap, ok := t.Get(id)
+			if !ok {
+				w.WriteHeader(http.StatusNotFound)
+				json.NewEncoder(w).Encode(map[string]string{"error": "trace not retained: " + id})
+				return
+			}
+			json.NewEncoder(w).Encode(snap)
+			return
+		}
+		snaps := t.Snapshots()
+		if nstr := r.URL.Query().Get("n"); nstr != "" {
+			if n, err := strconv.Atoi(nstr); err == nil && n >= 0 && n < len(snaps) {
+				snaps = snaps[:n]
+			}
+		}
+		if snaps == nil {
+			snaps = []TraceSnapshot{}
+		}
+		json.NewEncoder(w).Encode(struct {
+			Total  uint64          `json:"completed_total"`
+			Traces []TraceSnapshot `json:"traces"`
+		}{Total: t.CompletedTotal(), Traces: snaps})
+	})
+}

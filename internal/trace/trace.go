@@ -1,0 +1,357 @@
+// Package trace is a lightweight, dependency-free request tracer: a
+// Tracer hands out Traces (one per request, each with a random ID), a
+// Trace collects timed Spans from the layers a request passes through
+// (graph build, selection rounds, reservation, failover, journal), and
+// the Tracer retains the last N completed traces for inspection over
+// GET /debug/traces.
+//
+// Propagation is by context: the HTTP layer calls NewContext and
+// instrumented code calls FromContext. Every API is safe on a nil
+// receiver, so code paths without a tracer pay only a nil check.
+package trace
+
+import (
+	"context"
+	"math/rand/v2"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxSpans caps spans per trace; beyond it StartSpan returns nil and
+// the drop is counted, so a pathological request cannot balloon one
+// trace's memory.
+const MaxSpans = 512
+
+// DefaultKeep is how many completed traces a Tracer retains when
+// NewTracer is given a non-positive capacity.
+const DefaultKeep = 64
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Str and Int build Attrs.
+func Str(k, v string) Attr     { return Attr{Key: k, Value: v} }
+func Int(k string, v int) Attr { return Attr{Key: k, Value: strconv.Itoa(v)} }
+func Dur(k string, d time.Duration) Attr {
+	return Attr{Key: k, Value: strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 3, 64) + "ms"}
+}
+
+// Tracer retains the last N completed traces in a ring.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []*Trace
+	next    int
+	total   uint64 // completed traces ever
+	dropped atomic.Int64
+}
+
+// NewTracer returns a tracer keeping the last keep completed traces
+// (DefaultKeep if keep <= 0).
+func NewTracer(keep int) *Tracer {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	return &Tracer{ring: make([]*Trace, 0, keep)}
+}
+
+// Start begins a new trace with a fresh random ID. A nil tracer
+// returns a nil trace, which is itself a valid no-op.
+func (t *Tracer) Start(name string) *Trace {
+	if t == nil {
+		return nil
+	}
+	return &Trace{
+		id:     newID(),
+		name:   name,
+		start:  time.Now(),
+		tracer: t,
+	}
+}
+
+func newID() string {
+	const hex = "0123456789abcdef"
+	var b [16]byte
+	v := rand.Uint64()
+	for i := range b {
+		b[i] = hex[v&0xf]
+		v >>= 4
+		if i == 7 {
+			v = rand.Uint64()
+		}
+	}
+	return string(b[:])
+}
+
+// CompletedTotal reports how many traces have finished into this
+// tracer (not just the retained window).
+func (t *Tracer) CompletedTotal() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// DroppedSpans reports spans discarded across all traces because a
+// trace hit MaxSpans.
+func (t *Tracer) DroppedSpans() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+func (t *Tracer) record(tr *Trace) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, tr)
+		return
+	}
+	t.ring[t.next] = tr
+	t.next++
+	if t.next == cap(t.ring) {
+		t.next = 0
+	}
+}
+
+// Trace is one request's span collection. Spans may be started from
+// multiple goroutines; callers must end spans (and join any helper
+// goroutines) before Finish.
+type Trace struct {
+	id     string
+	name   string
+	start  time.Time
+	tracer *Tracer
+
+	mu       sync.Mutex
+	spans    []*Span
+	end      time.Time
+	finished bool
+}
+
+// ID returns the trace's hex ID ("" for a nil trace).
+func (tr *Trace) ID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id
+}
+
+// StartSpan opens a timed span. Nil-safe; returns nil past MaxSpans.
+func (tr *Trace) StartSpan(name string, attrs ...Attr) *Span {
+	if tr == nil {
+		return nil
+	}
+	sp := &Span{name: name, start: time.Now(), attrs: attrs}
+	tr.mu.Lock()
+	if len(tr.spans) >= MaxSpans || tr.finished {
+		tr.mu.Unlock()
+		if tr.tracer != nil {
+			tr.tracer.dropped.Add(1)
+		}
+		return nil
+	}
+	tr.spans = append(tr.spans, sp)
+	tr.mu.Unlock()
+	return sp
+}
+
+// Finish closes the trace and hands it to the tracer's retained ring.
+// Finishing twice is a no-op.
+func (tr *Trace) Finish() {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.finished {
+		tr.mu.Unlock()
+		return
+	}
+	tr.finished = true
+	tr.end = time.Now()
+	tr.mu.Unlock()
+	if tr.tracer != nil {
+		tr.tracer.record(tr)
+	}
+}
+
+// Span is one timed operation inside a trace. A span belongs to the
+// goroutine that started it until End; attrs must not be added after.
+type Span struct {
+	name  string
+	start time.Time
+	end   time.Time
+	attrs []Attr
+	done  atomic.Bool
+}
+
+// SetAttr annotates the span. Nil-safe; ignored after End.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil || s.done.Load() {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End closes the span, optionally attaching final attrs.
+func (s *Span) End(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	s.end = time.Now()
+	s.done.Store(true)
+}
+
+// --- context propagation ---
+
+type ctxKey struct{}
+
+// NewContext attaches a trace to a context. A nil trace returns ctx
+// unchanged.
+func NewContext(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the context's trace, or nil.
+func FromContext(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}
+
+// --- snapshots for /debug/traces and summaries ---
+
+// SpanSnapshot is one completed span, offsets relative to the trace
+// start.
+type SpanSnapshot struct {
+	Name       string  `json:"name"`
+	OffsetMs   float64 `json:"offset_ms"`
+	DurationMs float64 `json:"duration_ms"`
+	Attrs      []Attr  `json:"attrs,omitempty"`
+}
+
+// TraceSnapshot is one completed trace.
+type TraceSnapshot struct {
+	ID         string         `json:"id"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMs float64        `json:"duration_ms"`
+	Spans      []SpanSnapshot `json:"spans"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (tr *Trace) snapshot() TraceSnapshot {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	snap := TraceSnapshot{
+		ID:         tr.id,
+		Name:       tr.name,
+		Start:      tr.start,
+		DurationMs: ms(tr.end.Sub(tr.start)),
+		Spans:      make([]SpanSnapshot, 0, len(tr.spans)),
+	}
+	for _, sp := range tr.spans {
+		end := sp.end
+		if !sp.done.Load() {
+			end = tr.end // span left open: clamp to trace end
+		}
+		snap.Spans = append(snap.Spans, SpanSnapshot{
+			Name:       sp.name,
+			OffsetMs:   ms(sp.start.Sub(tr.start)),
+			DurationMs: ms(end.Sub(sp.start)),
+			Attrs:      sp.attrs,
+		})
+	}
+	return snap
+}
+
+// Snapshots returns the retained completed traces, newest first.
+func (t *Tracer) Snapshots() []TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	traces := make([]*Trace, 0, len(t.ring))
+	// Ring order: t.next is the oldest entry once wrapped.
+	for i := 0; i < len(t.ring); i++ {
+		idx := t.next + i
+		if idx >= len(t.ring) {
+			idx -= len(t.ring)
+		}
+		traces = append(traces, t.ring[idx])
+	}
+	t.mu.Unlock()
+	out := make([]TraceSnapshot, 0, len(traces))
+	for i := len(traces) - 1; i >= 0; i-- {
+		out = append(out, traces[i].snapshot())
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID, if still in the
+// ring.
+func (t *Tracer) Get(id string) (TraceSnapshot, bool) {
+	for _, snap := range t.Snapshots() {
+		if snap.ID == id {
+			return snap, true
+		}
+	}
+	return TraceSnapshot{}, false
+}
+
+// SpanStat aggregates the retained traces' spans by name.
+type SpanStat struct {
+	Name    string
+	Count   int
+	TotalMs float64
+	MeanMs  float64
+	MaxMs   float64
+}
+
+// SpanStats summarizes spans across the retained traces, sorted by
+// name — the sim binaries print this as the trace summary table.
+func (t *Tracer) SpanStats() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	agg := map[string]*SpanStat{}
+	for _, snap := range t.Snapshots() {
+		for _, sp := range snap.Spans {
+			s, ok := agg[sp.Name]
+			if !ok {
+				s = &SpanStat{Name: sp.Name}
+				agg[s.Name] = s
+			}
+			s.Count++
+			s.TotalMs += sp.DurationMs
+			if sp.DurationMs > s.MaxMs {
+				s.MaxMs = sp.DurationMs
+			}
+		}
+	}
+	out := make([]SpanStat, 0, len(agg))
+	for _, s := range agg {
+		s.MeanMs = s.TotalMs / float64(s.Count)
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

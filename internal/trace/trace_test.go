@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceLifecycle(t *testing.T) {
+	tt := NewTracer(4)
+	tr := tt.Start("POST /v1/compose")
+	if tr.ID() == "" || len(tr.ID()) != 16 {
+		t.Fatalf("trace ID = %q, want 16 hex chars", tr.ID())
+	}
+	sp := tr.StartSpan("graph.build", Str("cache", "miss"))
+	time.Sleep(time.Millisecond)
+	sp.End(Int("edges", 42))
+	tr.StartSpan("core.select").End()
+	tr.Finish()
+
+	snaps := tt.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshots = %d, want 1", len(snaps))
+	}
+	got := snaps[0]
+	if got.ID != tr.ID() || got.Name != "POST /v1/compose" {
+		t.Errorf("snapshot = %+v", got)
+	}
+	if len(got.Spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(got.Spans))
+	}
+	if got.Spans[0].Name != "graph.build" || got.Spans[0].DurationMs <= 0 {
+		t.Errorf("span[0] = %+v", got.Spans[0])
+	}
+	if len(got.Spans[0].Attrs) != 2 {
+		t.Errorf("attrs = %v", got.Spans[0].Attrs)
+	}
+	if tt.CompletedTotal() != 1 {
+		t.Errorf("completed = %d", tt.CompletedTotal())
+	}
+}
+
+func TestTracerRingKeepsNewest(t *testing.T) {
+	tt := NewTracer(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr := tt.Start("r")
+		ids = append(ids, tr.ID())
+		tr.Finish()
+	}
+	snaps := tt.Snapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("retained = %d, want 3", len(snaps))
+	}
+	// Newest first.
+	if snaps[0].ID != ids[4] || snaps[2].ID != ids[2] {
+		t.Errorf("retained order wrong: %v vs created %v", snaps, ids)
+	}
+	if _, ok := tt.Get(ids[0]); ok {
+		t.Error("rotated-out trace must not be retrievable")
+	}
+	if _, ok := tt.Get(ids[4]); !ok {
+		t.Error("newest trace must be retrievable")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tt *Tracer
+	tr := tt.Start("x")
+	if tr != nil {
+		t.Fatal("nil tracer must hand out nil traces")
+	}
+	// All nil-receiver calls must be inert.
+	tr.StartSpan("s").End()
+	tr.Finish()
+	if tr.ID() != "" {
+		t.Error("nil trace ID must be empty")
+	}
+	if tt.Snapshots() != nil || tt.SpanStats() != nil || tt.CompletedTotal() != 0 {
+		t.Error("nil tracer reads must be empty")
+	}
+	ctx := NewContext(context.Background(), nil)
+	if FromContext(ctx) != nil {
+		t.Error("nil trace must not be attached")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	tt := NewTracer(2)
+	tr := tt.Start("req")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace must round-trip through context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("bare context must have no trace")
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	tt := NewTracer(1)
+	tr := tt.Start("big")
+	for i := 0; i < MaxSpans+10; i++ {
+		tr.StartSpan("s").End()
+	}
+	if tt.DroppedSpans() != 10 {
+		t.Errorf("dropped = %d, want 10", tt.DroppedSpans())
+	}
+	tr.Finish()
+	if got := len(tt.Snapshots()[0].Spans); got != MaxSpans {
+		t.Errorf("spans = %d, want %d", got, MaxSpans)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tt := NewTracer(2)
+	tr := tt.Start("batch")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sp := tr.StartSpan("worker")
+				sp.SetAttr(Int("i", i))
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tt.Snapshots()[0].Spans); got != 160 {
+		t.Errorf("spans = %d, want 160", got)
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	tt := NewTracer(4)
+	tr := tt.Start("req")
+	tr.StartSpan("core.select").End()
+	tr.Finish()
+
+	rr := httptest.NewRecorder()
+	tt.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces", nil))
+	var body struct {
+		Total  uint64          `json:"completed_total"`
+		Traces []TraceSnapshot `json:"traces"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &body); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rr.Body.String())
+	}
+	if body.Total != 1 || len(body.Traces) != 1 || body.Traces[0].ID != tr.ID() {
+		t.Errorf("body = %+v", body)
+	}
+
+	rr = httptest.NewRecorder()
+	tt.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?id="+tr.ID(), nil))
+	var one TraceSnapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &one); err != nil || one.ID != tr.ID() {
+		t.Errorf("by-id lookup = %+v err=%v", one, err)
+	}
+
+	rr = httptest.NewRecorder()
+	tt.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/traces?id=deadbeefdeadbeef", nil))
+	if rr.Code != 404 {
+		t.Errorf("unknown id status = %d, want 404", rr.Code)
+	}
+}
+
+func TestSpanStats(t *testing.T) {
+	tt := NewTracer(8)
+	for i := 0; i < 3; i++ {
+		tr := tt.Start("req")
+		tr.StartSpan("a").End()
+		tr.StartSpan("b").End()
+		tr.Finish()
+	}
+	stats := tt.SpanStats()
+	if len(stats) != 2 || stats[0].Name != "a" || stats[0].Count != 3 || stats[1].Name != "b" {
+		t.Errorf("stats = %+v", stats)
+	}
+}

@@ -1,0 +1,93 @@
+// Instrumentation-overhead guard: BenchmarkSelect runs the same
+// mid-size selection plain and with a live trace in the context, and
+// TestTracingOverheadGuard (opt-in via TRACE_OVERHEAD_GUARD=1, wired
+// into CI) fails if the traced path is more than 5% slower. The span
+// machinery is allocation-light by design; this pins that property.
+package qoschain
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/trace"
+	"qoschain/internal/workload"
+)
+
+// BenchmarkSelect compares the selection hot path with and without
+// request tracing. "plain" is the untouched core.Select; "traced" runs
+// core.SelectCtx with a live Trace in the context, which opens the
+// core.select and per-round select.round spans.
+func BenchmarkSelect(b *testing.B) {
+	sc := workload.Generate(rand.New(rand.NewSource(11)), workload.Spec{Services: 200})
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traced", func(b *testing.B) {
+		tracer := trace.NewTracer(4)
+		for i := 0; i < b.N; i++ {
+			tr := tracer.Start("bench.select")
+			ctx := trace.NewContext(context.Background(), tr)
+			if _, err := core.SelectCtx(ctx, sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+		}
+	})
+}
+
+// TestTracingOverheadGuard measures both BenchmarkSelect variants and
+// fails if tracing costs more than 5% wall time. It is opt-in
+// (TRACE_OVERHEAD_GUARD=1) because micro-benchmark timing is too noisy
+// for the default -race matrix; CI runs it in a dedicated step.
+func TestTracingOverheadGuard(t *testing.T) {
+	if os.Getenv("TRACE_OVERHEAD_GUARD") == "" {
+		t.Skip("set TRACE_OVERHEAD_GUARD=1 to run the overhead guard")
+	}
+	sc := workload.Generate(rand.New(rand.NewSource(11)), workload.Spec{Services: 200})
+	plainBench := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Select(sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	tracedBench := func(b *testing.B) {
+		tracer := trace.NewTracer(4)
+		for i := 0; i < b.N; i++ {
+			tr := tracer.Start("bench.select")
+			ctx := trace.NewContext(context.Background(), tr)
+			if _, err := core.SelectCtx(ctx, sc.Graph, sc.Config); err != nil {
+				b.Fatal(err)
+			}
+			tr.Finish()
+		}
+	}
+	// Interleave several runs of each variant and compare the per-variant
+	// minimums: the min ns/op is the least scheduler-disturbed measurement
+	// of each, so the comparison reflects the instrumentation rather than
+	// which variant drew the noisier time slice.
+	const runs = 5
+	var p, tr int64
+	for i := 0; i < runs; i++ {
+		if ns := testing.Benchmark(plainBench).NsPerOp(); p == 0 || ns < p {
+			p = ns
+		}
+		if ns := testing.Benchmark(tracedBench).NsPerOp(); tr == 0 || ns < tr {
+			tr = ns
+		}
+	}
+	overhead := float64(tr-p) / float64(p) * 100
+	msg := fmt.Sprintf("plain %d ns/op, traced %d ns/op, overhead %.2f%%", p, tr, overhead)
+	if overhead > 5 {
+		t.Fatalf("tracing overhead above 5%% budget: %s", msg)
+	}
+	t.Log(msg)
+}
