@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-obs bench bench-select trace-overhead lint check ci
+.PHONY: all build test vet race race-obs bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
 
 all: check
 
@@ -31,6 +31,18 @@ trace-overhead:
 # the records in BENCH_selection.json.
 bench-select:
 	$(GO) test -run 'TestNone' -bench 'Select' -benchmem -count=5 ./
+
+# bench-pipeline runs the data-plane throughput benchmarks (seed
+# protocol vs batched executor) with allocation reporting, repeated for
+# benchstat-comparable output. Compare against BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) test -run 'TestNone' -bench 'DataPlane' -benchmem -count=5 ./
+
+# pipeline-guard runs the data-plane regression guard: the batched Run
+# must stay >= 9.9x faster than the seed-protocol reference (11x
+# recorded minus a 10% budget) at < 1 alloc/frame.
+pipeline-guard:
+	PIPELINE_PERF_GUARD=1 $(GO) test -run TestPipelinePerfGuard -count=1 -v ./
 
 # bench runs the full benchmark suite once (every table/figure of the
 # paper plus the extension experiments).

@@ -72,7 +72,7 @@ func main() {
 		return
 	}
 	if *chaos {
-		runChaos(*seed, *steps)
+		runChaos(*seed, *steps, *frames)
 		return
 	}
 	if *crash {
@@ -93,9 +93,18 @@ func main() {
 	fmt.Printf("adaptsim: %d services, %d devices, %d fluctuation steps (seed %d)\n\n",
 		*services, *devices, *steps, *seed)
 
-	// Part 1: compose and stream for a random scenario per device.
+	// Part 1: compose and stream for a random scenario per device. All
+	// chains share one executor worker pool — the deployment shape a
+	// daemon would use — instead of goroutines-per-stage-per-device.
 	fmt.Println("-- composition and streaming --")
-	tb := metrics.NewTable("device", "chain", "negotiated fps", "delivered fps", "frames out")
+	ex := pipeline.NewExecutor(0)
+	type streamed struct {
+		device string
+		chain  string
+		fps    float64
+		handle *pipeline.Handle
+	}
+	var runs []streamed
 	for d := 0; d < *devices; d++ {
 		sc := workload.Generate(rng, workload.Spec{Services: *services})
 		res, err := core.Select(sc.Graph, sc.Config)
@@ -108,10 +117,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "device %d: %v\n", d, err)
 			continue
 		}
-		stats := p.Run(*frames)
-		tb.AddRow(fmt.Sprintf("dev-%d", d), core.PathString(res.Path),
-			res.Params.Get(media.ParamFrameRate), stats.DeliveredFPS, stats.FramesOut)
+		h, err := ex.Submit(p, *frames)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "device %d: %v\n", d, err)
+			continue
+		}
+		runs = append(runs, streamed{
+			device: fmt.Sprintf("dev-%d", d),
+			chain:  core.PathString(res.Path),
+			fps:    res.Params.Get(media.ParamFrameRate),
+			handle: h,
+		})
 	}
+	tb := metrics.NewTable("device", "chain", "negotiated fps", "delivered fps", "frames out")
+	for _, r := range runs {
+		stats := r.handle.Wait()
+		tb.AddRow(r.device, r.chain, r.fps, stats.DeliveredFPS, stats.FramesOut)
+	}
+	ex.Close()
 	tb.Render(os.Stdout)
 
 	// Part 2: a live session over the paper's Figure 6 network with a
@@ -161,7 +184,7 @@ func main() {
 // the seed, so a run is exactly reproducible; the summary reports the
 // availability (steps with a healthy chain), failover and recovery
 // counts, and the mean time to recover.
-func runChaos(seed int64, steps int) {
+func runChaos(seed int64, steps, frames int) {
 	net := paperexample.Table1Network()
 	svcs := paperexample.Table1Services(true)
 	pool := fault.NewServiceSet(svcs)
@@ -249,6 +272,22 @@ func runChaos(seed int64, steps int) {
 		healthy, steps, 100*float64(healthy)/float64(steps))
 	fmt.Printf("recompositions: %d, final chain: %s\n",
 		sess.Recompositions(), core.PathString(sess.Result().Path))
+
+	// Data plane: push frames through the surviving chain on the shared
+	// batched executor, folding pipeline.* series into the chaos report.
+	if !sess.Degraded() {
+		ex := pipeline.NewExecutor(0)
+		streamTr := tracer.Start("chaos.stream")
+		stats, serr := sess.StreamOn(ex, frames, pipeline.Options{Metrics: counters})
+		streamTr.Finish()
+		ex.Close()
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "stream:", serr)
+			os.Exit(1)
+		}
+		fmt.Printf("data plane: %d/%d frames delivered at %.1f fps over the final chain\n",
+			stats.FramesOut, stats.FramesIn, stats.DeliveredFPS)
+	}
 	fmt.Println()
 	counters.Render(os.Stdout)
 	renderSpanStats(tracer)

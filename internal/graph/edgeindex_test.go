@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/service"
+)
+
+func TestEdgeBetweenFindsEveryEdge(t *testing.T) {
+	g := buildFixture(t)
+	// The index must agree with a linear scan for every edge in the graph.
+	for _, id := range g.NodeIDs() {
+		for _, e := range g.Out(id) {
+			got := g.EdgeBetween(e.From, e.To, e.Format)
+			if got == nil {
+				t.Fatalf("EdgeBetween(%s,%s,%v) = nil for an existing edge", e.From, e.To, e.Format)
+			}
+			if got.From != e.From || got.To != e.To || got.Format != e.Format {
+				t.Fatalf("EdgeBetween returned the wrong edge: %+v", got)
+			}
+		}
+	}
+}
+
+func TestEdgeBetweenMisses(t *testing.T) {
+	g := buildFixture(t)
+	if e := g.EdgeBetween(SenderID, "conv2", media.Opaque(1)); e != nil {
+		t.Errorf("nonexistent hop returned %+v", e)
+	}
+	if e := g.EdgeBetween(SenderID, "conv1", media.Opaque(9)); e != nil {
+		t.Errorf("wrong format returned %+v", e)
+	}
+	if e := g.EdgeBetween("ghost", ReceiverID, media.Opaque(1)); e != nil {
+		t.Errorf("unknown node returned %+v", e)
+	}
+}
+
+// TestEdgeBetweenInvalidatedByAddEdge: the lazily built index must be
+// rebuilt after the graph grows, not serve a stale snapshot.
+func TestEdgeBetweenInvalidatedByAddEdge(t *testing.T) {
+	g := NewGraph("s", "r")
+	conv := service.FormatConverter("c", media.Opaque(1), media.Opaque(2))
+	if err := g.AddService(conv); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(&Edge{From: SenderID, To: "c", Format: media.Opaque(1), BandwidthKbps: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// Build the index, then grow the graph.
+	if g.EdgeBetween(SenderID, "c", media.Opaque(1)) == nil {
+		t.Fatal("first edge not indexed")
+	}
+	if err := g.AddEdge(&Edge{From: "c", To: ReceiverID, Format: media.Opaque(2), BandwidthKbps: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeBetween("c", ReceiverID, media.Opaque(2)) == nil {
+		t.Error("edge added after the index was built is invisible")
+	}
+}
+
+// TestEdgeBetweenInvalidatedByPrune: edges removed by pruning must stop
+// resolving.
+func TestEdgeBetweenInvalidatedByPrune(t *testing.T) {
+	g := NewGraph("s", "r")
+	dead := service.FormatConverter("dead", media.Opaque(1), media.Opaque(5))
+	live := service.FormatConverter("live", media.Opaque(1), media.Opaque(2))
+	for _, svc := range []*service.Service{dead, live} {
+		if err := g.AddService(svc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []*Edge{
+		{From: SenderID, To: "dead", Format: media.Opaque(1), BandwidthKbps: 100},
+		{From: SenderID, To: "live", Format: media.Opaque(1), BandwidthKbps: 100},
+		{From: "live", To: ReceiverID, Format: media.Opaque(2), BandwidthKbps: 100},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.EdgeBetween(SenderID, "dead", media.Opaque(1)) == nil {
+		t.Fatal("dead-end edge should resolve before pruning")
+	}
+	g.Prune()
+	if e := g.EdgeBetween(SenderID, "dead", media.Opaque(1)); e != nil {
+		t.Errorf("pruned edge still resolves: %+v", e)
+	}
+	if g.EdgeBetween(SenderID, "live", media.Opaque(1)) == nil {
+		t.Error("surviving edge lost from the index")
+	}
+}
+
+// TestEdgeBetweenFirstWins: parallel duplicate edges (legal before
+// pruning) must resolve to the first one added — the same edge a linear
+// first-match scan would return.
+func TestEdgeBetweenFirstWins(t *testing.T) {
+	g := NewGraph("s", "r")
+	conv := service.FormatConverter("c", media.Opaque(1), media.Opaque(2))
+	if err := g.AddService(conv); err != nil {
+		t.Fatal(err)
+	}
+	first := &Edge{From: SenderID, To: "c", Format: media.Opaque(1), BandwidthKbps: 111}
+	second := &Edge{From: SenderID, To: "c", Format: media.Opaque(1), BandwidthKbps: 222}
+	if err := g.AddEdge(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(second); err != nil {
+		t.Fatal(err)
+	}
+	got := g.EdgeBetween(SenderID, "c", media.Opaque(1))
+	if got != first {
+		t.Errorf("EdgeBetween returned bandwidth %v, want the first-added edge (111)", got.BandwidthKbps)
+	}
+}
+
+// TestEdgeBetweenSurvivesBandwidthRefresh: in-place mutation of edge
+// attributes (the overlay's bandwidth refresh path) must be visible
+// through the index without any invalidation — the index maps to edge
+// pointers, not copies.
+func TestEdgeBetweenSurvivesBandwidthRefresh(t *testing.T) {
+	g := buildFixture(t)
+	e := g.EdgeBetween(SenderID, "conv1", media.Opaque(1))
+	if e == nil {
+		t.Fatal("fixture edge missing")
+	}
+	e.BandwidthKbps = 777
+	if got := g.EdgeBetween(SenderID, "conv1", media.Opaque(1)); got.BandwidthKbps != 777 {
+		t.Errorf("refresh invisible through index: %v", got.BandwidthKbps)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"qoschain/internal/media"
 	"qoschain/internal/service"
@@ -108,6 +109,19 @@ type Graph struct {
 	nodeList  []NodeID
 	formatIdx map[media.Format]int32
 	formats   []media.Format
+
+	// edgeIdx is a lazily built (from, to, format) → edge lookup table
+	// shared by concurrent readers (chain instantiation, mass failover
+	// re-instantiation). Structural mutations drop it; in-place edge
+	// updates (bandwidth refresh) keep it, since edge pointers are
+	// stable. See EdgeBetween.
+	edgeIdx atomic.Pointer[map[edgeKey]*Edge]
+}
+
+// edgeKey identifies an edge for EdgeBetween lookups.
+type edgeKey struct {
+	from, to NodeID
+	format   media.Format
 }
 
 // NewGraph returns an empty graph containing only the sender and
@@ -226,7 +240,38 @@ func (g *Graph) AddEdge(e *Edge) error {
 	g.out[e.From] = append(g.out[e.From], e)
 	g.in[e.To] = append(g.in[e.To], e)
 	g.edges++
+	g.edgeIdx.Store(nil)
 	return nil
+}
+
+// EdgeBetween returns the edge from→to carrying format, or nil. When
+// parallel duplicates exist (only possible before Prune dedups them) the
+// first edge in adjacency order wins, matching a linear scan of Out.
+// Lookups hit a lazily built index, so instantiating a chain — or
+// re-instantiating thousands of them during a mass failover — costs
+// O(1) per path step instead of a scan of the vertex's out-degree.
+//
+// EdgeBetween is safe for concurrent use with other readers. Like every
+// Graph accessor it must not race with structural mutation (AddEdge,
+// Prune), which invalidates the index.
+func (g *Graph) EdgeBetween(from, to NodeID, format media.Format) *Edge {
+	idx := g.edgeIdx.Load()
+	if idx == nil {
+		m := make(map[edgeKey]*Edge, g.edges)
+		for _, edges := range g.out {
+			for _, e := range edges {
+				k := edgeKey{e.From, e.To, e.Format}
+				if _, dup := m[k]; !dup {
+					m[k] = e
+				}
+			}
+		}
+		// Concurrent first builds may race benignly: each stores an
+		// equivalent map and the last write wins.
+		g.edgeIdx.Store(&m)
+		idx = &m
+	}
+	return (*idx)[edgeKey{from, to, format}]
 }
 
 // SetHostResources declares an intermediary host's capacity. Hosts with

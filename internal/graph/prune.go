@@ -14,6 +14,8 @@ package graph
 // It returns the number of edges removed. The sender and receiver are
 // never removed, even when disconnected.
 func (g *Graph) Prune() int {
+	// Pruning rewrites adjacency lists; drop the EdgeBetween index.
+	g.edgeIdx.Store(nil)
 	removed := g.dedupEdges()
 
 	reachable := g.forwardReachable(SenderID)

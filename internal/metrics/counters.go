@@ -108,6 +108,36 @@ const (
 	SampleRecoveryReleasedKbps = "recovery.released_kbps"
 )
 
+// Well-known counter and sample names recorded by the data plane
+// (internal/pipeline's batched streaming executor). Per-run totals are
+// folded in once when a chain finishes, so the per-frame hot path never
+// touches the sink.
+const (
+	// CounterPipelineFramesIn counts source frames fed into chains.
+	CounterPipelineFramesIn = "pipeline.frames_in"
+	// CounterPipelineFramesOut counts frames delivered to receivers.
+	CounterPipelineFramesOut = "pipeline.frames_out"
+	// CounterPipelineBytesOut accumulates delivered payload bytes.
+	CounterPipelineBytesOut = "pipeline.bytes_out"
+	// CounterPipelineDropped counts frames dropped by any chain element
+	// (shaping decimation, link loss draws, token-bucket overflow).
+	CounterPipelineDropped = "pipeline.frames_dropped"
+	// CounterPipelineBatches counts delivered frame batches.
+	CounterPipelineBatches = "pipeline.batches"
+	// CounterPipelineChains counts chain runs that finished (drained,
+	// failed, or canceled).
+	CounterPipelineChains = "pipeline.chains"
+	// CounterPipelineFailures counts chain runs that ended in a typed
+	// stage failure.
+	CounterPipelineFailures = "pipeline.stage_failures"
+	// SamplePipelineBatchOccupancy observes the mean delivered-batch
+	// fill fraction of each finished run (1.0 = every batch full).
+	SamplePipelineBatchOccupancy = "pipeline.batch_occupancy"
+	// SamplePipelineQueueDepth observes the executor's run-queue depth
+	// each time a worker picks up a chain.
+	SamplePipelineQueueDepth = "pipeline.queue_depth"
+)
+
 // NewCounters returns an empty counter set backed by its own private
 // registry.
 func NewCounters() *Counters {

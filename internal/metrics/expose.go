@@ -57,6 +57,10 @@ func RegisterWellKnown(r *Registry) {
 		CounterJournalReplayed, CounterJournalTruncatedBytes,
 		CounterRecoverySessions, CounterRecoveryErrors, CounterRecoveryReconciled,
 		CounterHTTPRequests, CounterTracesCompleted, CounterTraceSpansDropped,
+		CounterPipelineFramesIn, CounterPipelineFramesOut,
+		CounterPipelineBytesOut, CounterPipelineDropped,
+		CounterPipelineBatches, CounterPipelineChains,
+		CounterPipelineFailures,
 	} {
 		r.Add(name, 0)
 	}
@@ -65,6 +69,7 @@ func RegisterWellKnown(r *Registry) {
 		SampleRecoveryReleasedKbps,
 		HistComposeLatencyMs, HistHTTPLatencyMs, HistQueueWaitMs,
 		HistJournalAppendMs, HistJournalFsyncMs, HistSelectRounds,
+		SamplePipelineBatchOccupancy, SamplePipelineQueueDepth,
 	} {
 		r.DeclareHist(name)
 	}

@@ -1,0 +1,335 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+
+	"qoschain/internal/core"
+	"qoschain/internal/graph"
+	"qoschain/internal/metrics"
+	"qoschain/internal/paperexample"
+)
+
+// The equivalence suite pins the batched data plane against the seed
+// implementation's protocol (RunReference): for every chain shape, loss
+// seed and batch size, a clean drain must produce byte-identical Stats —
+// same delivered frames and bytes, same per-stage accounting, same
+// failure record. This is what lets the executor rewrite claim "exact
+// semantics preserved" rather than "roughly the same numbers".
+
+// eqShape is one chain fixture of the equivalence matrix.
+type eqShape struct {
+	name  string
+	build func(t *testing.T) (*graph.Graph, *core.Result)
+}
+
+func eqShapes() []eqShape {
+	return []eqShape{
+		{"full-rate", func(t *testing.T) (*graph.Graph, *core.Result) {
+			return selectChain(t, 3000, 3000)
+		}},
+		{"bottleneck", func(t *testing.T) (*graph.Graph, *core.Result) {
+			return selectChain(t, 3000, 1500)
+		}},
+		{"lossy", func(t *testing.T) (*graph.Graph, *core.Result) {
+			g, res := selectChain(t, 3000, 3000)
+			for _, e := range g.Out("t1") {
+				e.LossRate = 0.2
+			}
+			return g, res
+		}},
+		{"table1", func(t *testing.T) (*graph.Graph, *core.Result) {
+			t.Helper()
+			g, err := paperexample.Table1Graph(true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Select(g, paperexample.Table1Config())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g, res
+		}},
+	}
+}
+
+// statsDiff compares two Stats field by field and reports the first
+// discrepancy, or "" when they are identical.
+func statsDiff(a, b Stats) string {
+	if a.FramesIn != b.FramesIn {
+		return fmt.Sprintf("FramesIn %d != %d", a.FramesIn, b.FramesIn)
+	}
+	if a.FramesOut != b.FramesOut {
+		return fmt.Sprintf("FramesOut %d != %d", a.FramesOut, b.FramesOut)
+	}
+	if a.BytesOut != b.BytesOut {
+		return fmt.Sprintf("BytesOut %d != %d", a.BytesOut, b.BytesOut)
+	}
+	if math.Abs(a.DeliveredFPS-b.DeliveredFPS) > 1e-9 {
+		return fmt.Sprintf("DeliveredFPS %v != %v", a.DeliveredFPS, b.DeliveredFPS)
+	}
+	if a.ChainDelayMs != b.ChainDelayMs {
+		return fmt.Sprintf("ChainDelayMs %v != %v", a.ChainDelayMs, b.ChainDelayMs)
+	}
+	if len(a.Stages) != len(b.Stages) {
+		return fmt.Sprintf("stage count %d != %d", len(a.Stages), len(b.Stages))
+	}
+	for i := range a.Stages {
+		if a.Stages[i] != b.Stages[i] {
+			return fmt.Sprintf("stage %d: %+v != %+v", i, a.Stages[i], b.Stages[i])
+		}
+	}
+	if (a.Failure == nil) != (b.Failure == nil) {
+		return fmt.Sprintf("failure %v != %v", a.Failure, b.Failure)
+	}
+	if a.Failure != nil &&
+		(a.Failure.Stage != b.Failure.Stage || a.Failure.Frame != b.Failure.Frame) {
+		return fmt.Sprintf("failure %v != %v", a.Failure, b.Failure)
+	}
+	return ""
+}
+
+// TestEquivalenceRunMatchesReference sweeps shapes × loss seeds × batch
+// sizes and demands full-Stats identity between the batched pooled Run
+// and the frame-at-a-time unpooled RunReference.
+func TestEquivalenceRunMatchesReference(t *testing.T) {
+	const n = 500
+	for _, sh := range eqShapes() {
+		for _, seed := range []int64{1, 7, 99} {
+			g, res := sh.build(t)
+			ref, err := FromResult(g, res, Options{NoPool: true, LossSeed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.RunReference(n)
+			for _, batch := range []int{1, 3, 64, 257} {
+				name := fmt.Sprintf("%s/seed%d/batch%d", sh.name, seed, batch)
+				p, err := FromResult(g, res, Options{Batch: batch, LossSeed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := statsDiff(want, p.Run(n)); d != "" {
+					t.Errorf("%s: Run diverges from reference: %s", name, d)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceExecutorMatchesReference runs the same matrix through a
+// shared executor: cooperative inline scheduling must not change a
+// single delivered byte either.
+func TestEquivalenceExecutorMatchesReference(t *testing.T) {
+	const n = 500
+	ex := NewExecutor(2)
+	defer ex.Close()
+	for _, sh := range eqShapes() {
+		for _, seed := range []int64{1, 7} {
+			g, res := sh.build(t)
+			ref, err := FromResult(g, res, Options{NoPool: true, LossSeed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.RunReference(n)
+			for _, batch := range []int{1, 64} {
+				name := fmt.Sprintf("%s/seed%d/batch%d", sh.name, seed, batch)
+				p, err := FromResult(g, res, Options{Batch: batch, LossSeed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				h, err := ex.Submit(p, n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := statsDiff(want, h.Wait()); d != "" {
+					t.Errorf("%s: executor diverges from reference: %s", name, d)
+				}
+			}
+		}
+	}
+}
+
+// TestEquivalenceFaultFailureIdentity injects mid-stream faults and
+// checks every execution mode reports the same typed failure — the same
+// stage, at the same source frame. (Delivered counts on a faulted run
+// are timing-dependent in the concurrent modes and deliberately not
+// compared; the failure record is the deterministic contract.)
+func TestEquivalenceFaultFailureIdentity(t *testing.T) {
+	g, res := selectChain(t, 3000, 1500)
+	for _, tc := range []struct {
+		stage string
+		frame int
+	}{
+		{"t1", 70},
+		{"shaper:sender", 3},
+		{"link:t1->receiver", 150},
+	} {
+		hook := func(stage string, frame int) error {
+			if stage == tc.stage && frame >= tc.frame {
+				return errors.New("injected")
+			}
+			return nil
+		}
+		check := func(mode string, s Stats) {
+			if s.Failure == nil {
+				t.Fatalf("%s %s@%d: no failure recorded", mode, tc.stage, tc.frame)
+			}
+			if s.Failure.Stage != tc.stage || s.Failure.Frame != tc.frame {
+				t.Errorf("%s %s@%d: failure = %s@%d", mode, tc.stage, tc.frame,
+					s.Failure.Stage, s.Failure.Frame)
+			}
+			if s.FramesOut >= 300 {
+				t.Errorf("%s %s@%d: faulted run delivered the full stream", mode, tc.stage, tc.frame)
+			}
+		}
+
+		ref, err := FromResult(g, res, Options{NoPool: true, FaultHook: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("reference", ref.RunReference(300))
+
+		p, err := FromResult(g, res, Options{FaultHook: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("run", p.Run(300))
+
+		ex := NewExecutor(1)
+		pe, err := FromResult(g, res, Options{FaultHook: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ex.Submit(pe, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("executor", h.Wait())
+		ex.Close()
+	}
+}
+
+// TestEquivalenceExecutorFaultDeterministic: the executor's inline
+// batch-by-batch path has no cross-goroutine races, so even a faulted
+// run must reproduce full Stats — delivered counts included — under the
+// same batch size.
+func TestEquivalenceExecutorFaultDeterministic(t *testing.T) {
+	g, res := selectChain(t, 3000, 1500)
+	hook := func(stage string, frame int) error {
+		if stage == "t1" && frame >= 123 {
+			return errors.New("injected")
+		}
+		return nil
+	}
+	run := func() Stats {
+		ex := NewExecutor(1)
+		defer ex.Close()
+		p, err := FromResult(g, res, Options{FaultHook: hook})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ex.Submit(p, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Wait()
+	}
+	a, b := run(), run()
+	if d := statsDiff(a, b); d != "" {
+		t.Errorf("executor fault runs diverge: %s", d)
+	}
+	if a.Failure == nil {
+		t.Fatal("expected a failure")
+	}
+}
+
+// TestEquivalenceLossSweep drives higher loss rates through the matrix:
+// loss draws come from a per-link seeded RNG that must see frames in the
+// identical order in every mode.
+func TestEquivalenceLossSweep(t *testing.T) {
+	for _, loss := range []float64{0.05, 0.5} {
+		g, res := selectChain(t, 3000, 3000)
+		for _, e := range g.Out("t1") {
+			e.LossRate = loss
+		}
+		ref, err := FromResult(g, res, Options{NoPool: true, LossSeed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.RunReference(800)
+		p, err := FromResult(g, res, Options{LossSeed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := statsDiff(want, p.Run(800)); d != "" {
+			t.Errorf("loss %.2f: %s", loss, d)
+		}
+	}
+}
+
+// TestRunStreamingMemory checks the batched Run really streams: pushing
+// a stream whose materialized form would be ~190 MB must allocate only a
+// small fraction of that, because payload buffers recycle through the
+// pool instead of being allocated per frame.
+func TestRunStreamingMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory sweep")
+	}
+	g, res := selectChain(t, 3000, 3000)
+	const n = 15000 // 12.5 KB/frame source → ~190 MB materialized
+
+	p, err := FromResult(g, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(n / 10) // warm the shared pool's steady state
+
+	p2, err := FromResult(g, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocated := allocDelta(func() {
+		if stats := p2.Run(n); stats.FramesOut != n {
+			t.Errorf("FramesOut = %d", stats.FramesOut)
+		}
+	})
+	naive := uint64(n) * 12500
+	if allocated > naive/5 {
+		t.Errorf("Run(%d) allocated %d bytes; streaming+pooling should stay well under the %d-byte materialized size", n, allocated, naive)
+	}
+}
+
+func TestEquivalenceMetricsFold(t *testing.T) {
+	g, res := selectChain(t, 3000, 3000)
+	sink := metrics.NewCounters()
+	p, err := FromResult(g, res, Options{Metrics: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Run(200)
+	if got := sink.Get("pipeline.frames_out"); got != int64(stats.FramesOut) {
+		t.Errorf("pipeline.frames_out = %d, stats %d", got, stats.FramesOut)
+	}
+	if got := sink.Get("pipeline.frames_in"); got != 200 {
+		t.Errorf("pipeline.frames_in = %d", got)
+	}
+	if got := sink.Get("pipeline.chains"); got != 1 {
+		t.Errorf("pipeline.chains = %d", got)
+	}
+	if got := sink.Get("pipeline.batches"); got <= 0 {
+		t.Errorf("pipeline.batches = %d", got)
+	}
+}
+
+// allocDelta measures the heap bytes allocated while f runs.
+func allocDelta(f func()) uint64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}

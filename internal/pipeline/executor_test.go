@@ -1,0 +1,179 @@
+package pipeline
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestExecutorManyChains is the scale acceptance check: 1000 concurrent
+// chains over one small worker pool must all drain correctly, with live
+// memory bounded by the pool (not by session count) and every worker
+// goroutine released by Close.
+func TestExecutorManyChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep")
+	}
+	g, res := selectChain(t, 3000, 3000)
+	base := runtime.NumGoroutine()
+	ex := NewExecutor(4)
+
+	const chains, frames = 1000, 600 // ~7.5 MB per chain if materialized
+	want := func() Stats {
+		p, err := FromResult(g, res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p.Run(frames)
+	}()
+
+	handles := make([]*Handle, chains)
+	for i := range handles {
+		p, err := FromResult(g, res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ex.Submit(p, frames)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+
+	// Sample the heap while the fleet is in flight: 1000 chains of 600
+	// frames would hold ~7.5 GB if each materialized its stream; the
+	// streaming executor must stay orders of magnitude below that.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 512<<20 {
+		t.Errorf("heap = %d MB mid-flight; executor memory is not bounded", ms.HeapAlloc>>20)
+	}
+
+	for i, h := range handles {
+		got := h.Wait()
+		if got.FramesOut != want.FramesOut || got.BytesOut != want.BytesOut {
+			t.Fatalf("chain %d: %d frames/%d bytes, want %d/%d",
+				i, got.FramesOut, got.BytesOut, want.FramesOut, want.BytesOut)
+		}
+	}
+	if ex.Active() != 0 {
+		t.Errorf("Active = %d after all chains drained", ex.Active())
+	}
+	ex.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: baseline %d, now %d", base, runtime.NumGoroutine())
+}
+
+func TestExecutorCancel(t *testing.T) {
+	g, res := selectChain(t, 3000, 3000)
+	ex := NewExecutor(1)
+	defer ex.Close()
+
+	p, err := FromResult(g, res, Options{Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ex.Submit(p, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Cancel()
+	stats := h.Wait() // must return promptly despite the million-frame ask
+	if !h.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	if stats.FramesOut >= 1_000_000 {
+		t.Error("canceled chain claims a full drain")
+	}
+}
+
+func TestExecutorSubmitAfterClose(t *testing.T) {
+	g, res := selectChain(t, 3000, 3000)
+	ex := NewExecutor(1)
+	ex.Close()
+	p, err := FromResult(g, res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Submit(p, 10); err == nil {
+		t.Error("Submit after Close must fail")
+	}
+}
+
+// TestExecutorCloseCancelsPending closes the pool while chains are
+// queued and mid-stream; every Wait must still return.
+func TestExecutorCloseCancelsPending(t *testing.T) {
+	g, res := selectChain(t, 3000, 3000)
+	ex := NewExecutor(1)
+	var handles []*Handle
+	for i := 0; i < 20; i++ {
+		p, err := FromResult(g, res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := ex.Submit(p, 200_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	ex.Close()
+	for i, h := range handles {
+		h.Wait()
+		if !h.Canceled() && h.stats.FramesOut != 200_000 {
+			t.Errorf("chain %d neither drained nor canceled", i)
+		}
+	}
+	if ex.Active() != 0 {
+		t.Errorf("Active = %d after Close", ex.Active())
+	}
+}
+
+// TestExecutorConcurrentStartsAndCancels hammers Submit/Cancel/Wait from
+// many goroutines — the -race target for the scheduler's locking.
+func TestExecutorConcurrentStartsAndCancels(t *testing.T) {
+	g, res := selectChain(t, 3000, 3000)
+	ex := NewExecutor(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := FromResult(g, res, Options{Batch: 16})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			h, err := ex.Submit(p, 2000)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%3 == 0 {
+				h.Cancel()
+			}
+			h.Wait()
+		}(i)
+	}
+	wg.Wait()
+	ex.Close()
+	if ex.Active() != 0 {
+		t.Errorf("Active = %d", ex.Active())
+	}
+}
+
+func TestExecutorDefaultsToGOMAXPROCS(t *testing.T) {
+	ex := NewExecutor(0)
+	defer ex.Close()
+	if ex.Workers() != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers = %d, want GOMAXPROCS %d", ex.Workers(), runtime.GOMAXPROCS(0))
+	}
+}

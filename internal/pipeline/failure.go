@@ -65,6 +65,7 @@ func (rc *runCtx) Failure() *StageFailure {
 }
 
 // recv receives the next frame, aborting if the run is shutting down.
+// Used by the frame-at-a-time reference path.
 func (rc *runCtx) recv(in <-chan transcode.Frame) (transcode.Frame, bool) {
 	select {
 	case <-rc.stop:
@@ -75,11 +76,34 @@ func (rc *runCtx) recv(in <-chan transcode.Frame) (transcode.Frame, bool) {
 }
 
 // send forwards a frame downstream, aborting if the run is shutting down.
+// Used by the frame-at-a-time reference path.
 func (rc *runCtx) send(out chan<- transcode.Frame, f transcode.Frame) bool {
 	select {
 	case <-rc.stop:
 		return false
 	case out <- f:
+		return true
+	}
+}
+
+// recvBatch receives the next frame batch, aborting if the run is
+// shutting down.
+func (rc *runCtx) recvBatch(in <-chan []transcode.Frame) ([]transcode.Frame, bool) {
+	select {
+	case <-rc.stop:
+		return nil, false
+	case b, ok := <-in:
+		return b, ok
+	}
+}
+
+// sendBatch forwards a frame batch downstream, aborting if the run is
+// shutting down.
+func (rc *runCtx) sendBatch(out chan<- []transcode.Frame, b []transcode.Frame) bool {
+	select {
+	case <-rc.stop:
+		return false
+	case out <- b:
 		return true
 	}
 }

@@ -1,9 +1,19 @@
 // Package pipeline executes a selected adaptation chain over a synthetic
-// media stream: one goroutine per trans-coding stage, channels between
-// them, and bandwidth-limited links that drop frames exceeding the link's
-// per-second byte budget. It is the runtime that turns a core.Result into
-// flowing frames — the "self-organizing data distribution" role the
-// paper's framework delegates to the intermediaries.
+// media stream. It is the runtime that turns a core.Result into flowing
+// frames — the "self-organizing data distribution" role the paper's
+// framework delegates to the intermediaries — and it is built to sustain
+// the rates the planner negotiates: stages exchange frames in batches
+// over bounded queues, payload buffers recycle through a pool with
+// zero-copy handoff between stages that don't re-encode, and a shared
+// Executor multiplexes thousands of concurrent chains over a fixed
+// worker pool with per-chain backpressure.
+//
+// Ownership rules (DESIGN §12): a frame belongs to exactly one chain
+// element at a time. An element that consumes a frame either hands its
+// payload downstream (links, zero-copy rewrites), recycles it to the
+// pool (drops, re-encodes), or leaves it to the garbage collector when
+// no pool is attached. Frame Params are shared read-only and must never
+// be mutated in flight.
 package pipeline
 
 import (
@@ -11,12 +21,29 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"qoschain/internal/core"
 	"qoschain/internal/graph"
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
 	"qoschain/internal/transcode"
 )
+
+// DefaultBatch is the number of frames exchanged per queue operation
+// when Options.Batch is unset. Synchronization cost amortizes roughly
+// batch-fold, so the default is large enough to make queue traffic
+// negligible while keeping per-chain memory small.
+const DefaultBatch = 64
+
+// DefaultQueue is the per-hop queue depth, in batches, when
+// Options.Buffer is unset.
+const DefaultQueue = 4
+
+// sharedPool recycles payload buffers across every pooled pipeline in
+// the process, so concurrent chains under one Executor feed each other's
+// steady state instead of allocating privately.
+var sharedPool = transcode.NewPayloadPool()
 
 // StageStats reports one stage's frame accounting.
 type StageStats struct {
@@ -51,17 +78,25 @@ type Stats struct {
 	Failure *StageFailure
 }
 
-// Pipeline is a runnable chain instance.
+// Pipeline is a runnable chain instance. A Pipeline carries per-run
+// stage state (counters, token buckets, decimation accumulators), so
+// each instance must be run exactly once — build a fresh one per run
+// with FromResult.
 type Pipeline struct {
 	source  transcode.Source
 	stages  []runner
-	buffer  int
+	batch   int
+	queue   int
+	pool    *transcode.PayloadPool
+	sink    *metrics.Counters
 	delayMs float64
 }
 
-// runner is one concurrent element: a trans-coding stage or a link.
+// runner is one chain element: a trans-coding stage or a link. It
+// consumes one input batch and appends survivors to out; returning
+// false aborts the run (the element has recorded a StageFailure).
 type runner interface {
-	run(rc *runCtx, in <-chan transcode.Frame, out chan<- transcode.Frame)
+	process(rc *runCtx, in, out []transcode.Frame) ([]transcode.Frame, bool)
 	stats() StageStats
 }
 
@@ -75,28 +110,22 @@ type stageRunner struct {
 // processor is the subset of transcode stages the pipeline drives.
 type processor interface {
 	Process(transcode.Frame) []transcode.Frame
+	ProcessAppend(transcode.Frame, []transcode.Frame) []transcode.Frame
+	UsePool(*transcode.PayloadPool)
 	Counters() (consumed, emitted, dropped int)
 }
 
-func (s *stageRunner) run(rc *runCtx, in <-chan transcode.Frame, out chan<- transcode.Frame) {
-	defer close(out)
-	for {
-		f, ok := rc.recv(in)
-		if !ok {
-			return
-		}
+func (s *stageRunner) process(rc *runCtx, in, out []transcode.Frame) ([]transcode.Frame, bool) {
+	for _, f := range in {
 		if s.hook != nil {
 			if err := s.hook(s.id, f.Seq); err != nil {
 				rc.fail(s.id, f.Seq, err)
-				return
+				return out, false
 			}
 		}
-		for _, of := range s.p.Process(f) {
-			if !rc.send(out, of) {
-				return
-			}
-		}
+		out = s.p.ProcessAppend(f, out)
 	}
+	return out, true
 }
 
 func (s *stageRunner) stats() StageStats {
@@ -109,82 +138,109 @@ func (s *stageRunner) stats() StageStats {
 // second (burst capacity of one second) and a frame passes only when the
 // bucket holds its payload. Oversubscribed frames are dropped — the loss
 // a real network would impose when the negotiated rate is exceeded.
+//
+// Counters are atomics folded in once per batch, so the per-frame hot
+// path takes no locks and mid-run stats() reads stay consistent.
 type linkRunner struct {
 	id   string
-	kbps float64
 	loss float64
 	rng  *rand.Rand
 	hook FaultHook
+	pool *transcode.PayloadPool
 
-	mu       sync.Mutex
-	consumed int
-	emitted  int
-	dropped  int
+	// token-bucket state, touched only by the (single) goroutine or
+	// worker slice driving this chain.
+	rate    float64
+	burst   float64
+	tokens  float64
+	lastPTS float64
+	limited bool
+
+	consumed atomic.Int64
+	emitted  atomic.Int64
+	dropped  atomic.Int64
 }
 
-func (l *linkRunner) run(rc *runCtx, in <-chan transcode.Frame, out chan<- transcode.Frame) {
-	defer close(out)
-	rate := l.kbps * 1000 / 8 // bytes per virtual second
-	burst := rate             // bucket capacity: one second of traffic
-	tokens := burst
-	lastPTS := 0.0
-	limited := !math.IsInf(l.kbps, 1) && l.kbps > 0
-	for {
-		f, ok := rc.recv(in)
-		if !ok {
-			return
-		}
-		if l.hook != nil {
-			if err := l.hook(l.id, f.Seq); err != nil {
-				rc.fail(l.id, f.Seq, err)
-				return
-			}
-		}
-		l.mu.Lock()
-		l.consumed++
-		l.mu.Unlock()
-		if l.loss > 0 && l.rng != nil && l.rng.Float64() < l.loss {
-			l.mu.Lock()
-			l.dropped++
-			l.mu.Unlock()
-			continue
-		}
-		if limited {
-			if f.PTS > lastPTS {
-				tokens += (f.PTS - lastPTS) * rate
-				if tokens > burst {
-					tokens = burst
-				}
-				lastPTS = f.PTS
-			}
-			need := float64(f.Bytes())
-			if need > tokens+1e-6 {
-				l.mu.Lock()
-				l.dropped++
-				l.mu.Unlock()
-				continue
-			}
-			tokens -= need
-		}
-		l.mu.Lock()
-		l.emitted++
-		l.mu.Unlock()
-		if !rc.send(out, f) {
-			return
-		}
+func newLinkRunner(id string, kbps, loss float64, rng *rand.Rand, hook FaultHook, pool *transcode.PayloadPool) *linkRunner {
+	rate := kbps * 1000 / 8 // bytes per virtual second
+	return &linkRunner{
+		id: id, loss: loss, rng: rng, hook: hook, pool: pool,
+		rate: rate, burst: rate, tokens: rate,
+		limited: !math.IsInf(kbps, 1) && kbps > 0,
 	}
 }
 
+func (l *linkRunner) recycle(b []byte) {
+	if l.pool != nil {
+		l.pool.Put(b)
+	}
+}
+
+func (l *linkRunner) process(rc *runCtx, in, out []transcode.Frame) ([]transcode.Frame, bool) {
+	var consumed, emitted, dropped int64
+	ok := true
+	for _, f := range in {
+		if l.hook != nil {
+			if err := l.hook(l.id, f.Seq); err != nil {
+				rc.fail(l.id, f.Seq, err)
+				ok = false
+				break
+			}
+		}
+		consumed++
+		if l.loss > 0 && l.rng != nil && l.rng.Float64() < l.loss {
+			dropped++
+			l.recycle(f.Payload)
+			continue
+		}
+		if l.limited {
+			if f.PTS > l.lastPTS {
+				l.tokens += (f.PTS - l.lastPTS) * l.rate
+				if l.tokens > l.burst {
+					l.tokens = l.burst
+				}
+				l.lastPTS = f.PTS
+			}
+			need := float64(len(f.Payload))
+			if need > l.tokens+1e-6 {
+				dropped++
+				l.recycle(f.Payload)
+				continue
+			}
+			l.tokens -= need
+		}
+		emitted++
+		out = append(out, f)
+	}
+	l.consumed.Add(consumed)
+	l.emitted.Add(emitted)
+	l.dropped.Add(dropped)
+	return out, ok
+}
+
 func (l *linkRunner) stats() StageStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return StageStats{ID: l.id, Consumed: l.consumed, Emitted: l.emitted, Dropped: l.dropped}
+	return StageStats{
+		ID:       l.id,
+		Consumed: int(l.consumed.Load()),
+		Emitted:  int(l.emitted.Load()),
+		Dropped:  int(l.dropped.Load()),
+	}
 }
 
 // Options tunes pipeline construction.
 type Options struct {
-	// Buffer is the channel depth between elements (default 16).
+	// Batch is the number of frames exchanged per queue operation and
+	// generated per source step (default DefaultBatch). Partial batches
+	// flush immediately — a stage never holds frames back to fill one.
+	Batch int
+	// Buffer is the per-hop queue depth in batches (default
+	// DefaultQueue). Together with Batch it bounds how far ahead an
+	// element can run before backpressure stalls it.
 	Buffer int
+	// NoPool disables payload-buffer pooling and zero-copy handoff,
+	// reverting to a fresh allocation per re-encoded frame. Used by the
+	// reference path and by callers that retain delivered frames.
+	NoPool bool
 	// Bitrate sizes synthetic payloads; nil uses media.DefaultBitrate.
 	Bitrate media.BitrateModel
 	// GOP is the source keyframe interval (default 10).
@@ -196,6 +252,24 @@ type Options struct {
 	// each frame; a non-nil return fails that stage with a typed
 	// StageFailure and shuts the whole pipeline down.
 	FaultHook FaultHook
+	// Metrics, when set, receives the pipeline.* series (frame/byte/
+	// drop totals, batch occupancy) folded in when the run finishes. A
+	// nil sink is a no-op.
+	Metrics *metrics.Counters
+}
+
+func (o Options) batch() int {
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	return DefaultBatch
+}
+
+func (o Options) queue() int {
+	if o.Buffer > 0 {
+		return o.Buffer
+	}
+	return DefaultQueue
 }
 
 // FromResult assembles a runnable pipeline from a selection result: the
@@ -213,19 +287,9 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 	if len(res.Path) < 2 || len(res.Formats) != len(res.Path)-1 {
 		return nil, fmt.Errorf("pipeline: malformed result path")
 	}
-	buffer := opts.Buffer
-	if buffer <= 0 {
-		buffer = 16
-	}
 
 	// Source parameters come from the sender's outgoing edge.
-	var sourceEdge *graph.Edge
-	for _, e := range g.Out(graph.SenderID) {
-		if e.To == res.Path[1] && e.Format == res.Formats[0] {
-			sourceEdge = e
-			break
-		}
-	}
+	sourceEdge := g.EdgeBetween(graph.SenderID, res.Path[1], res.Formats[0])
 	if sourceEdge == nil {
 		return nil, fmt.Errorf("pipeline: result path's first edge not in graph")
 	}
@@ -237,21 +301,28 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 			Bitrate: opts.Bitrate,
 			GOP:     opts.GOP,
 		},
-		buffer: buffer,
+		batch: opts.batch(),
+		queue: opts.queue(),
+		sink:  opts.Metrics,
+	}
+	if !opts.NoPool {
+		p.pool = sharedPool
 	}
 
 	// The sender shapes the stream down to the negotiated delivery
 	// parameters before the first link, mirroring the optimizer's
 	// per-edge parameter choice.
+	shaper := transcode.NewShaper(res.Params, opts.Bitrate)
+	shaper.UsePool(p.pool)
 	p.stages = append(p.stages, &stageRunner{
 		id:   "shaper:sender",
-		p:    transcode.NewShaper(res.Params, opts.Bitrate),
+		p:    shaper,
 		hook: opts.FaultHook,
 	})
 
 	// Walk the path: link to node i, then (if a service) its stage.
 	for i := 1; i < len(res.Path); i++ {
-		edge := findEdge(g, res.Path[i-1], res.Path[i], res.Formats[i-1])
+		edge := g.EdgeBetween(res.Path[i-1], res.Path[i], res.Formats[i-1])
 		if edge == nil {
 			return nil, fmt.Errorf("pipeline: missing edge %s->%s", res.Path[i-1], res.Path[i])
 		}
@@ -263,13 +334,10 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 		if edge.LossRate > 0 {
 			lossRNG = rand.New(rand.NewSource(seed + int64(i)))
 		}
-		p.stages = append(p.stages, &linkRunner{
-			id:   fmt.Sprintf("link:%s->%s", edge.From, edge.To),
-			kbps: edge.BandwidthKbps,
-			loss: edge.LossRate,
-			rng:  lossRNG,
-			hook: opts.FaultHook,
-		})
+		p.stages = append(p.stages, newLinkRunner(
+			fmt.Sprintf("link:%s->%s", edge.From, edge.To),
+			edge.BandwidthKbps, edge.LossRate, lossRNG, opts.FaultHook, p.pool,
+		))
 		p.delayMs += edge.DelayMs
 		node, _ := g.Node(res.Path[i])
 		if node == nil || node.Service == nil {
@@ -281,6 +349,7 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: %w", err)
 		}
+		stage.UsePool(p.pool)
 		p.stages = append(p.stages, &stageRunner{
 			id:   string(node.Service.ID),
 			p:    stage,
@@ -290,70 +359,174 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 	return p, nil
 }
 
-// findEdge locates the graph edge used by the path step.
-func findEdge(g *graph.Graph, from, to graph.NodeID, format media.Format) *graph.Edge {
-	for _, e := range g.Out(from) {
-		if e.To == to && e.Format == format {
-			return e
-		}
+// batchList is a bounded free list of reusable batch slices shared by
+// one run's producers and consumers.
+type batchList struct {
+	ch    chan []transcode.Frame
+	batch int
+}
+
+func newBatchList(batch, depth int) *batchList {
+	return &batchList{ch: make(chan []transcode.Frame, depth), batch: batch}
+}
+
+func (fl *batchList) get() []transcode.Frame {
+	select {
+	case b := <-fl.ch:
+		return b[:0]
+	default:
+		return make([]transcode.Frame, 0, fl.batch)
 	}
-	return nil
+}
+
+func (fl *batchList) put(b []transcode.Frame) {
+	if cap(b) == 0 {
+		return
+	}
+	select {
+	case fl.ch <- b:
+	default:
+	}
 }
 
 // Run pushes n source frames through the chain and blocks until the
 // stream drains or a stage fails, returning the delivery statistics.
-// On stage failure the run shuts down cleanly: every stage goroutine
-// exits, the partial delivery is reported, and Stats.Failure carries the
-// typed error.
+//
+// Execution is streaming and batched: the source generates frames
+// lazily (O(batch), not O(n), memory), one goroutine per element
+// exchanges []Frame batches over bounded queues — backpressure, not
+// buffering, absorbs a slow element — and payload buffers recycle
+// through the pool. On stage failure the run shuts down cleanly: every
+// goroutine exits, the partial delivery is reported, and Stats.Failure
+// carries the typed error.
 func (p *Pipeline) Run(n int) Stats {
-	frames := p.source.Frames(n)
-
 	rc := newRunCtx()
-	first := make(chan transcode.Frame, p.buffer)
+	cur := p.source.Cursor(n, p.pool)
+	free := newBatchList(p.batch, (len(p.stages)+2)*p.queue)
+
+	first := make(chan []transcode.Frame, p.queue)
 	in := first
 	var wg sync.WaitGroup
 	for _, st := range p.stages {
-		out := make(chan transcode.Frame, p.buffer)
+		out := make(chan []transcode.Frame, p.queue)
 		wg.Add(1)
-		go func(st runner, in <-chan transcode.Frame, out chan<- transcode.Frame) {
+		go func(st runner, in <-chan []transcode.Frame, out chan<- []transcode.Frame) {
 			defer wg.Done()
-			st.run(rc, in, out)
+			defer close(out)
+			for {
+				b, ok := rc.recvBatch(in)
+				if !ok {
+					return
+				}
+				ob, ok := st.process(rc, b, free.get())
+				free.put(b)
+				if !ok {
+					free.put(ob)
+					return
+				}
+				if len(ob) == 0 {
+					// Flush-on-partial means empty results vanish
+					// rather than clogging the queue.
+					free.put(ob)
+					continue
+				}
+				if !rc.sendBatch(out, ob) {
+					return
+				}
+			}
 		}(st, in, out)
 		in = out
 	}
 
-	// Sink: collect delivered frames.
-	var stats Stats
-	stats.FramesIn = n
+	// Sink: collect delivered batches, recycle payloads.
+	var acc deliveryAccumulator
 	done := make(chan struct{})
-	var lastPTS float64
 	go func() {
 		defer close(done)
-		for f := range in {
-			stats.FramesOut++
-			stats.BytesOut += f.Bytes()
-			lastPTS = f.PTS
+		for b := range in {
+			acc.take(b, p.pool)
+			free.put(b)
 		}
 	}()
 
-	for _, f := range frames {
-		if !rc.send(first, f) {
+	// Feed: generate source batches on demand — the bounded first queue
+	// is the backpressure that keeps generation at the chain's pace.
+	for {
+		b := cur.Next(free.get())
+		if len(b) == 0 {
+			free.put(b)
+			break
+		}
+		if !rc.sendBatch(first, b) {
 			break
 		}
 	}
 	close(first)
 	wg.Wait()
 	<-done
-	stats.Failure = rc.Failure()
 
-	if stats.FramesOut > 1 && lastPTS > 0 {
-		stats.DeliveredFPS = float64(stats.FramesOut-1) / lastPTS
+	return p.finish(n, rc, &acc)
+}
+
+// deliveryAccumulator gathers sink-side totals shared by Run and the
+// Executor's inline path.
+type deliveryAccumulator struct {
+	framesOut int
+	bytesOut  int
+	lastPTS   float64
+	batches   int64
+	occupied  int64
+}
+
+func (a *deliveryAccumulator) take(b []transcode.Frame, pool *transcode.PayloadPool) {
+	a.batches++
+	a.occupied += int64(len(b))
+	for _, f := range b {
+		a.framesOut++
+		a.bytesOut += len(f.Payload)
+		a.lastPTS = f.PTS
+		if pool != nil {
+			pool.Put(f.Payload)
+		}
+	}
+}
+
+// finish assembles Stats from a completed run and folds the pipeline.*
+// series into the metrics sink.
+func (p *Pipeline) finish(n int, rc *runCtx, acc *deliveryAccumulator) Stats {
+	stats := Stats{
+		FramesIn:     n,
+		FramesOut:    acc.framesOut,
+		BytesOut:     acc.bytesOut,
+		ChainDelayMs: p.delayMs,
+		Failure:      rc.Failure(),
+	}
+	if stats.FramesOut > 1 && acc.lastPTS > 0 {
+		stats.DeliveredFPS = float64(stats.FramesOut-1) / acc.lastPTS
 	} else {
 		stats.DeliveredFPS = float64(stats.FramesOut)
 	}
-	stats.ChainDelayMs = p.delayMs
+	dropped := 0
 	for _, st := range p.stages {
-		stats.Stages = append(stats.Stages, st.stats())
+		ss := st.stats()
+		dropped += ss.Dropped
+		stats.Stages = append(stats.Stages, ss)
+	}
+
+	if s := p.sink; s != nil {
+		s.Add(metrics.CounterPipelineFramesIn, int64(stats.FramesIn))
+		s.Add(metrics.CounterPipelineFramesOut, int64(stats.FramesOut))
+		s.Add(metrics.CounterPipelineBytesOut, int64(stats.BytesOut))
+		s.Add(metrics.CounterPipelineDropped, int64(dropped))
+		s.Add(metrics.CounterPipelineBatches, acc.batches)
+		s.Inc(metrics.CounterPipelineChains)
+		if stats.Failure != nil {
+			s.Inc(metrics.CounterPipelineFailures)
+		}
+		if acc.batches > 0 {
+			s.Observe(metrics.SamplePipelineBatchOccupancy,
+				float64(acc.occupied)/float64(acc.batches*int64(p.batch)))
+		}
 	}
 	return stats
 }

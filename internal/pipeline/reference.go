@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"sync"
+
+	"qoschain/internal/transcode"
+)
+
+// RunReference executes the chain with the seed implementation's
+// protocol: the whole source materialized up front (O(n·payload)
+// memory), one goroutine per element, and one channel operation per
+// frame. Stage semantics are shared with Run — the same process methods
+// drive both — so for a given seed the two produce identical Stats on a
+// clean drain.
+//
+// It is retained as the "before" side of BENCH_pipeline.json and as the
+// baseline the equivalence suite pins the batched executor against.
+// Build the pipeline with Options.NoPool: this path does not recycle
+// delivered payloads.
+func (p *Pipeline) RunReference(n int) Stats {
+	frames := p.source.Frames(n)
+
+	rc := newRunCtx()
+	first := make(chan transcode.Frame, 16)
+	in := first
+	var wg sync.WaitGroup
+	for _, st := range p.stages {
+		out := make(chan transcode.Frame, 16)
+		wg.Add(1)
+		go func(st runner, in <-chan transcode.Frame, out chan<- transcode.Frame) {
+			defer wg.Done()
+			defer close(out)
+			for {
+				f, ok := rc.recv(in)
+				if !ok {
+					return
+				}
+				ofs, ok := st.process(rc, []transcode.Frame{f}, nil)
+				if !ok {
+					return
+				}
+				for _, of := range ofs {
+					if !rc.send(out, of) {
+						return
+					}
+				}
+			}
+		}(st, in, out)
+		in = out
+	}
+
+	var acc deliveryAccumulator
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for f := range in {
+			acc.framesOut++
+			acc.bytesOut += len(f.Payload)
+			acc.lastPTS = f.PTS
+		}
+	}()
+
+	for _, f := range frames {
+		if !rc.send(first, f) {
+			break
+		}
+	}
+	close(first)
+	wg.Wait()
+	<-done
+
+	return p.finish(n, rc, &acc)
+}

@@ -12,8 +12,37 @@ import (
 // The pipeline is built against the *current* overlay state, so a
 // degraded link shows up as loss even before the next re-evaluation.
 func (s *Session) Stream(n int, opts pipeline.Options) (pipeline.Stats, error) {
+	p, err := s.pipeline(opts)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	return p.Run(n), nil
+}
+
+// StreamOn is Stream multiplexed over a shared executor: the chain is
+// submitted to ex's worker pool instead of spawning its own goroutines,
+// which is how a daemon runs thousands of concurrent sessions' data
+// planes. It blocks until the chain drains (or fails/cancels).
+func (s *Session) StreamOn(ex *pipeline.Executor, n int, opts pipeline.Options) (pipeline.Stats, error) {
+	p, err := s.pipeline(opts)
+	if err != nil {
+		return pipeline.Stats{}, err
+	}
+	h, err := ex.Submit(p, n)
+	if err != nil {
+		return pipeline.Stats{}, fmt.Errorf("session: %w", err)
+	}
+	return h.Wait(), nil
+}
+
+// pipeline builds a fresh chain instance from the session's current
+// selection result against the current overlay state. Session-level
+// defaults are applied: the selection's bitrate model, and the failover
+// metrics sink (so pipeline.* series land next to failover.* ones)
+// unless the caller supplies their own.
+func (s *Session) pipeline(opts pipeline.Options) (*pipeline.Pipeline, error) {
 	if s.current == nil || !s.current.Found {
-		return pipeline.Stats{}, fmt.Errorf("session: no active chain to stream")
+		return nil, fmt.Errorf("session: no active chain to stream")
 	}
 	g, err := graph.Build(graph.Input{
 		Content:      s.cfg.Content,
@@ -24,14 +53,17 @@ func (s *Session) Stream(n int, opts pipeline.Options) (pipeline.Stats, error) {
 		ReceiverHost: s.cfg.ReceiverHost,
 	})
 	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("session: %w", err)
+		return nil, fmt.Errorf("session: %w", err)
 	}
 	if opts.Bitrate == nil {
 		opts.Bitrate = s.cfg.Select.Bitrate
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = s.cfg.Failover.Metrics
+	}
 	p, err := pipeline.FromResult(g, s.current, opts)
 	if err != nil {
-		return pipeline.Stats{}, fmt.Errorf("session: %w", err)
+		return nil, fmt.Errorf("session: %w", err)
 	}
-	return p.Run(n), nil
+	return p, nil
 }

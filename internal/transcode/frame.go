@@ -62,8 +62,38 @@ type Source struct {
 	GOP int
 }
 
-// Frames produces n frames with PTS spaced at 1/fps seconds.
+// Frames produces n frames with PTS spaced at 1/fps seconds. It
+// materializes the whole stream at once — O(n·payload) memory — and is
+// kept as a thin wrapper over Cursor for tests and small direct runs;
+// the pipeline streams through a Cursor instead.
 func (s Source) Frames(n int) []Frame {
+	out := s.Cursor(n, nil).Next(make([]Frame, 0, n))
+	// Preserve the historical contract: every materialized frame owns a
+	// private Params map (cursor-emitted frames share the source's).
+	for i := range out {
+		out[i].Params = out[i].Params.Clone()
+	}
+	return out
+}
+
+// Cursor generates a Source's stream lazily, batch by batch, so an
+// n-frame run holds O(batch) rather than O(n) payload memory. Frames
+// are identical to Source.Frames output — same deterministic payload
+// pattern, PTS spacing and keyframe cadence — except that every frame
+// shares the source's Params map read-only instead of owning a clone.
+type Cursor struct {
+	format  media.Format
+	params  media.Params
+	fps     float64
+	gop     int
+	size    int
+	n, next int
+	pool    *PayloadPool
+}
+
+// Cursor returns a lazy generator for the first n frames, drawing
+// payload buffers from pool (nil allocates plainly).
+func (s Source) Cursor(n int, pool *PayloadPool) *Cursor {
 	gop := s.GOP
 	if gop <= 0 {
 		gop = 10
@@ -72,26 +102,73 @@ func (s Source) Frames(n int) []Frame {
 	if fps <= 0 {
 		fps = 1
 	}
-	size := payloadSize(s.Bitrate, s.Params)
-	out := make([]Frame, n)
-	for i := 0; i < n; i++ {
-		payload := make([]byte, size)
+	return &Cursor{
+		format: s.Format,
+		params: s.Params,
+		fps:    fps,
+		gop:    gop,
+		size:   payloadSize(s.Bitrate, s.Params),
+		n:      n,
+		pool:   pool,
+	}
+}
+
+// patternPeriod is the modulus of the deterministic payload pattern
+// byte((i+j) % patternPeriod). Prime, so the pattern never aligns with
+// frame or GOP boundaries.
+const patternPeriod = 251
+
+// patternTable holds two full periods of the payload pattern, so any
+// phase-shifted period can be block-copied out of it.
+var patternTable = func() []byte {
+	t := make([]byte, 2*patternPeriod)
+	for j := range t {
+		t[j] = byte(j % patternPeriod)
+	}
+	return t
+}()
+
+// fillPattern writes payload[j] = byte((off+j) % patternPeriod) using
+// block copies instead of a byte-wise modulo loop — the fill is the
+// data plane's single largest per-frame cost, so it runs at memcpy
+// speed: one phase-shifted period from the table, then doubling.
+func fillPattern(payload []byte, off int) {
+	off %= patternPeriod
+	n := copy(payload, patternTable[off:])
+	if n >= len(payload) {
+		return
+	}
+	// Doubling requires the copied prefix to be whole periods.
+	n -= n % patternPeriod
+	for n < len(payload) {
+		n += copy(payload[n:], payload[:n])
+	}
+}
+
+// Next appends up to cap(dst)-len(dst) frames to dst and returns it.
+// An unchanged length signals the stream is exhausted.
+func (c *Cursor) Next(dst []Frame) []Frame {
+	for len(dst) < cap(dst) && c.next < c.n {
+		i := c.next
+		payload := c.pool.Get(c.size)
 		// A recognizable deterministic pattern (frame index signature)
 		// lets tests verify payloads are rewritten, not aliased.
-		for j := range payload {
-			payload[j] = byte((i + j) % 251)
-		}
-		out[i] = Frame{
+		fillPattern(payload, i)
+		dst = append(dst, Frame{
 			Seq:      i,
-			PTS:      float64(i) / fps,
-			Format:   s.Format,
-			Params:   s.Params.Clone(),
+			PTS:      float64(i) / c.fps,
+			Format:   c.format,
+			Params:   c.params,
 			Payload:  payload,
-			Keyframe: i%gop == 0,
-		}
+			Keyframe: i%c.gop == 0,
+		})
+		c.next++
 	}
-	return out
+	return dst
 }
+
+// Remaining reports how many frames the cursor has yet to emit.
+func (c *Cursor) Remaining() int { return c.n - c.next }
 
 // Validate checks the source configuration.
 func (s Source) Validate() error {

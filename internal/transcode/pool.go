@@ -1,0 +1,112 @@
+package transcode
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Payload pool size classes: powers of two from 64 B to 16 MiB. A
+// request above the largest class falls back to a plain allocation.
+const (
+	poolMinClass = 6  // 64 B
+	poolMaxClass = 24 // 16 MiB
+	// poolClassCap bounds how many idle buffers one size class retains,
+	// so the pool's memory stays proportional to the live working set
+	// rather than the historical peak.
+	poolClassCap = 4096
+)
+
+// PayloadPool recycles frame payload buffers between pipeline stages.
+// It is the allocation-discipline half of the batched executor: a stage
+// that re-encodes a frame takes its output buffer from the pool and
+// returns the input buffer, and the pipeline sink returns delivered
+// payloads, so a steady-state stream allocates nothing per frame.
+//
+// Buffers are bucketed into power-of-two size classes behind per-class
+// locks. Get returns a buffer of exactly the requested length whose
+// contents are UNDEFINED — callers must overwrite every byte (every
+// producer in this package does). A nil *PayloadPool is valid and
+// degrades to plain make/garbage-collection, which keeps pooling an
+// opt-in property of the pipeline rather than of the stage types.
+type PayloadPool struct {
+	classes [poolMaxClass + 1]payloadClass
+
+	// misses counts Gets that had to allocate, which tests use to prove
+	// the steady state recycles instead of allocating.
+	misses atomic.Int64
+}
+
+type payloadClass struct {
+	mu   sync.Mutex
+	bufs [][]byte
+}
+
+// NewPayloadPool returns an empty pool.
+func NewPayloadPool() *PayloadPool { return &PayloadPool{} }
+
+// sizeClass returns the class whose buffers can hold n bytes.
+func sizeClass(n int) int {
+	c := bits.Len(uint(n - 1))
+	if c < poolMinClass {
+		c = poolMinClass
+	}
+	return c
+}
+
+// Get returns a buffer of length n with undefined contents. The caller
+// owns it until handed to another stage or returned with Put.
+func (p *PayloadPool) Get(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	if p == nil {
+		return make([]byte, n)
+	}
+	c := sizeClass(n)
+	if c > poolMaxClass {
+		return make([]byte, n)
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if last := len(cl.bufs) - 1; last >= 0 {
+		b := cl.bufs[last]
+		cl.bufs[last] = nil
+		cl.bufs = cl.bufs[:last]
+		cl.mu.Unlock()
+		return b[:n]
+	}
+	cl.mu.Unlock()
+	p.misses.Add(1)
+	return make([]byte, n, 1<<c)
+}
+
+// Put returns a buffer to the pool. The caller must not touch b again.
+// Buffers the pool did not produce are accepted too (they join the
+// class their capacity floors into); undersized or oversized ones are
+// dropped to the garbage collector.
+func (p *PayloadPool) Put(b []byte) {
+	if p == nil || cap(b) < 1<<poolMinClass {
+		return
+	}
+	// Floor, not round: a class-c shelf promises cap >= 1<<c.
+	c := bits.Len(uint(cap(b))) - 1
+	if c > poolMaxClass {
+		return
+	}
+	cl := &p.classes[c]
+	cl.mu.Lock()
+	if len(cl.bufs) < poolClassCap {
+		cl.bufs = append(cl.bufs, b[:cap(b)])
+	}
+	cl.mu.Unlock()
+}
+
+// Misses reports how many Gets allocated because no recycled buffer was
+// available.
+func (p *PayloadPool) Misses() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.misses.Load()
+}

@@ -17,12 +17,23 @@ type Stage struct {
 	out    media.Format
 	target media.Params
 	model  media.BitrateModel
+	pool   *PayloadPool
 
 	// frame-rate decimation state: classic accumulator thinning. The
 	// accumulator is primed on the first frame so the stream starts
 	// immediately and stays evenly spaced.
 	credit float64
 	primed bool
+
+	// Negotiated-output cache: every frame of one stream carries the
+	// same parameters, so the per-frame Min (a map allocation) and
+	// bitrate-model evaluation are computed once and reused until the
+	// input assignment actually changes. Emitted frames share cachedOut
+	// read-only — the pipeline's ownership rules (DESIGN §12) forbid
+	// mutating a frame's Params in flight.
+	cachedIn   media.Params
+	cachedOut  media.Params
+	cachedSize int
 
 	// counters
 	consumed int
@@ -48,14 +59,67 @@ func NewStage(svc *service.Service, outFormat media.Format, target media.Params,
 	return &Stage{svc: svc, out: outFormat, target: target.Clone(), model: model}, nil
 }
 
+// UsePool attaches a payload pool: output buffers come from it, consumed
+// input buffers return to it, and a re-encode that would reproduce the
+// input byte-for-byte (same payload size) passes the buffer through
+// zero-copy. Only attach a pool when the caller owns every frame handed
+// to Process — the pipeline does; direct users normally should not.
+func (s *Stage) UsePool(p *PayloadPool) { s.pool = p }
+
+// outputFor returns the negotiated output parameters and payload size
+// for frames carrying in, recomputing only when the input changes.
+func (s *Stage) outputFor(in media.Params) (media.Params, int) {
+	if s.cachedOut == nil || !in.Equal(s.cachedIn, 0) {
+		s.cachedIn = in
+		s.cachedOut = in.Min(s.target)
+		s.cachedSize = payloadSize(s.model, s.cachedOut)
+	}
+	return s.cachedOut, s.cachedSize
+}
+
+// recycle returns a dead payload to the pool, if one is attached.
+func (s *Stage) recycle(b []byte) {
+	if s.pool != nil {
+		s.pool.Put(b)
+	}
+}
+
+// rewrite re-encodes src into a payload of the given size. With a pool
+// attached and an unchanged size the rewrite would copy src verbatim,
+// so the buffer is handed through zero-copy instead; otherwise a fresh
+// buffer is filled and src is recycled.
+func (s *Stage) rewrite(src []byte, size int) []byte {
+	if s.pool != nil && size == len(src) {
+		return src
+	}
+	dst := s.pool.Get(size)
+	n := copy(dst, src)
+	fillPattern(dst[n:], n)
+	s.recycle(src)
+	return dst
+}
+
 // Process consumes one frame and returns the trans-coded output frames
 // (zero when the frame is decimated away by frame-rate reduction).
 func (s *Stage) Process(f Frame) []Frame {
+	out := s.ProcessAppend(f, nil)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ProcessAppend trans-codes one frame, appending any output to out and
+// returning it. It is the allocation-free form the batched pipeline
+// drives: out is a reused batch buffer, and with a pool attached the
+// payload traffic recycles instead of allocating.
+func (s *Stage) ProcessAppend(f Frame, out []Frame) []Frame {
 	s.consumed++
 	if !s.svc.Accepts(f.Format) {
 		// A mis-wired chain: drop rather than corrupt.
 		s.dropped++
-		return nil
+		s.recycle(f.Payload)
+		return out
 	}
 	inFPS := f.Params.Get(media.ParamFrameRate)
 	outFPS := s.target.Get(media.ParamFrameRate)
@@ -70,26 +134,23 @@ func (s *Stage) Process(f Frame) []Frame {
 		s.credit += ratio
 		if s.credit < 1 {
 			s.dropped++
-			return nil
+			s.recycle(f.Payload)
+			return out
 		}
 		s.credit--
 	}
 
-	outParams := f.Params.Min(s.target)
-	payload := make([]byte, payloadSize(s.model, outParams))
-	n := copy(payload, f.Payload)
-	for i := n; i < len(payload); i++ {
-		payload[i] = byte(i % 251)
-	}
+	outParams, size := s.outputFor(f.Params)
+	payload := s.rewrite(f.Payload, size)
 	s.emitted++
-	return []Frame{{
+	return append(out, Frame{
 		Seq:      f.Seq,
 		PTS:      f.PTS,
 		Format:   s.out,
 		Params:   outParams,
 		Payload:  payload,
 		Keyframe: f.Keyframe,
-	}}
+	})
 }
 
 // Service returns the stage's service description.
@@ -120,10 +181,21 @@ func NewKeyframeStage(svc *service.Service, outFormat media.Format, target media
 
 // Process forwards only keyframes, then applies the base trans-coding.
 func (k *KeyframeStage) Process(f Frame) []Frame {
+	out := k.ProcessAppend(f, nil)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// ProcessAppend forwards only keyframes, then applies the base
+// trans-coding.
+func (k *KeyframeStage) ProcessAppend(f Frame, out []Frame) []Frame {
 	if !f.Keyframe {
 		k.consumed++
 		k.dropped++
-		return nil
+		k.recycle(f.Payload)
+		return out
 	}
-	return k.Stage.Process(f)
+	return k.Stage.ProcessAppend(f, out)
 }

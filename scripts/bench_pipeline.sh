@@ -1,0 +1,23 @@
+#!/bin/sh
+# bench_pipeline.sh — race-test the data plane, then run the pipeline
+# throughput benchmarks with allocation reporting, 5 repetitions for
+# benchstat comparison against the records in BENCH_pipeline.json.
+#
+# Usage: scripts/bench_pipeline.sh [output-file]
+#   With an argument, benchmark output is also written to that file so
+#   two runs can be compared with benchstat:
+#     scripts/bench_pipeline.sh old.txt; <apply change>; scripts/bench_pipeline.sh new.txt
+#     benchstat old.txt new.txt
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go vet ./internal/pipeline/ ./internal/transcode/
+go test -race ./internal/pipeline/ ./internal/transcode/
+
+out="${1:-}"
+if [ -n "$out" ]; then
+	go test -run 'TestNone' -bench 'DataPlane' -benchmem -count=5 ./ | tee "$out"
+else
+	go test -run 'TestNone' -bench 'DataPlane' -benchmem -count=5 ./
+fi
