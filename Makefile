@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-obs bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
+.PHONY: all build test vet race race-obs race-cluster cluster-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
 
 all: check
 
@@ -20,6 +20,19 @@ race:
 # registry, the tracer, and the HTTP middleware that drives both.
 race-obs:
 	$(GO) test -race -count=1 ./internal/metrics/ ./internal/trace/ ./internal/httpapi/
+
+# race-cluster races the replicated tier: WAL shipping, promotion,
+# routing, and the membership/lease machinery they depend on.
+race-cluster:
+	$(GO) test -race -count=1 ./internal/cluster/ ./internal/registry/
+
+# cluster-smoke runs seeded node-kill scenarios against a 3-replica
+# Figure 6 deployment: WAL shipping over real sockets, lease-expiry
+# death detection, follower promotion. Fails unless every adopted
+# session is byte-identical with zero leaked bandwidth and the dead
+# node's shipper is fenced.
+cluster-smoke:
+	$(GO) run ./cmd/adaptsim -cluster -trials 5 -seed 7
 
 # trace-overhead runs the instrumentation-overhead guard: BenchmarkSelect
 # traced vs plain must stay within a 5% budget.

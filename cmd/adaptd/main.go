@@ -27,9 +27,19 @@
 //
 //	adaptd -access-log - -debug-addr 127.0.0.1:8081
 //
+// Replicated operation (see internal/cluster) is opt-in: with
+// -cluster-id the daemon joins a cluster through a registryd membership
+// lease, ships its session journal to the rendezvous-elected follower,
+// and mirrors the followers that elect it. A router (or any peer) can
+// then promote a dead node's replica and adopt its sessions.
+//
+//	adaptd -state-dir /var/lib/adaptd -cluster-id n1 \
+//	    -cluster-registry 127.0.0.1:7600 -overlay-host p1
+//
 // Endpoints: GET /healthz, GET /v1/formats, POST /v1/compose,
 // POST /v1/composeBatch, POST /v1/graph — see internal/httpapi for the
-// contract. Example:
+// contract. Cluster nodes additionally serve POST /v1/cluster/ship,
+// POST /v1/cluster/promote and GET /v1/cluster/status. Example:
 //
 //	qospath -example | curl -s -X POST --data-binary @- \
 //	    'http://127.0.0.1:8080/v1/compose?trace=1'
@@ -44,12 +54,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"qoschain/internal/cluster"
 	"qoschain/internal/debugz"
 	"qoschain/internal/httpapi"
 	"qoschain/internal/metrics"
+	"qoschain/internal/registry"
 	"qoschain/internal/session"
 	"qoschain/internal/store"
 	"qoschain/internal/trace"
@@ -68,7 +81,18 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "private diagnostics listener (pprof with mutex/block profiling, /debug/vars, /metrics, /debug/traces)")
 	accessLog := flag.String("access-log", "", "write one structured line per request to this file (\"-\" for stdout)")
 	traceKeep := flag.Int("trace-keep", trace.DefaultKeep, "completed request traces kept for /debug/traces")
+	clusterID := flag.String("cluster-id", "", "node ID in a replicated composition tier (requires -state-dir and -cluster-registry)")
+	clusterRegistry := flag.String("cluster-registry", "", "registryd address holding the cluster's membership leases")
+	advertise := flag.String("advertise", "", "address other nodes reach this one at (default: the bound listen address)")
+	overlayHost := flag.String("overlay-host", "", "overlay host this node represents; injected as a host crash when a peer promotes our replica")
+	clusterLease := flag.Duration("cluster-lease", 10*time.Second, "membership lease TTL; a node silent past this is declared dead")
+	shipInterval := flag.Duration("ship-interval", time.Second, "how often the journal is shipped to the follower (also the heartbeat cadence)")
 	flag.Parse()
+
+	if *clusterID != "" && (*stateDir == "" || *clusterRegistry == "") {
+		fmt.Fprintln(os.Stderr, "adaptd: -cluster-id requires -state-dir and -cluster-registry")
+		os.Exit(1)
+	}
 
 	// One registry and tracer observe the whole process: every handler
 	// layer writes into them, /metrics and /debug/traces read from them,
@@ -89,16 +113,35 @@ func main() {
 		opts.Store = st
 	}
 	var sessions *session.Manager
+	var node *cluster.Node
 	if *stateDir != "" {
-		var err error
-		sessions, err = session.NewManager(session.ManagerConfig{
-			StateDir:      *stateDir,
-			SnapshotEvery: *snapshotEvery,
-			Counters:      metrics.CountersOn(reg),
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "adaptd: recovering state:", err)
-			os.Exit(1)
+		if *clusterID != "" {
+			var err error
+			node, err = cluster.NewNode(cluster.NodeConfig{
+				ID:            *clusterID,
+				StateDir:      *stateDir,
+				Host:          *overlayHost,
+				SnapshotEvery: *snapshotEvery,
+				Counters:      metrics.CountersOn(reg),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptd: recovering cluster state:", err)
+				os.Exit(1)
+			}
+			sessions = node.Manager()
+			opts.Sessions = node
+		} else {
+			var err error
+			sessions, err = session.NewManager(session.ManagerConfig{
+				StateDir:      *stateDir,
+				SnapshotEvery: *snapshotEvery,
+				Counters:      metrics.CountersOn(reg),
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adaptd: recovering state:", err)
+				os.Exit(1)
+			}
+			opts.Sessions = sessions
 		}
 		rec := sessions.Recovery()
 		if rec.Sessions > 0 || rec.JournalRecords > 0 || rec.TruncatedBytes > 0 {
@@ -114,7 +157,6 @@ func main() {
 			fmt.Printf("adaptd: reconciled %d sessions, released %.0f kbps of stale holds\n",
 				rep.Recomposed, rep.ReleasedKbps)
 		}
-		opts.Sessions = sessions
 	}
 	handler := httpapi.HandlerWithOptions(opts)
 	handler = httpapi.WithAdmission(handler, httpapi.AdmissionConfig{
@@ -125,6 +167,12 @@ func main() {
 		Burst:          *burst,
 		Metrics:        metrics.CountersOn(reg),
 	})
+	// Cluster endpoints (ship/promote/status) mount outside admission —
+	// replication must not be shed with client traffic — but inside the
+	// observability layer, so they are traced and counted.
+	if node != nil {
+		handler = node.Handler(handler)
+	}
 	var accessW io.Writer
 	switch *accessLog {
 	case "":
@@ -181,6 +229,66 @@ func main() {
 	// drains in-flight requests before exiting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Cluster heartbeat: keep the membership lease alive (self-healing
+	// across registryd restarts), learn the membership, and ship the
+	// journal suffix to the rendezvous-elected follower. One loop does
+	// all three so a node is exactly as alive as its replication stream.
+	if node != nil {
+		addr := *advertise
+		if addr == "" {
+			addr = ln.Addr().String()
+		}
+		// The registry speaks a plain TCP protocol; forgive a pasted URL.
+		regAddr := strings.TrimPrefix(strings.TrimPrefix(*clusterRegistry, "http://"), "https://")
+		registrar := registry.NewRegistrar(registry.RegistrarConfig{
+			Addr:    regAddr,
+			Lease:   *clusterLease,
+			Timeout: 5 * time.Second,
+			Member:  &registry.Member{ID: *clusterID, Addr: addr, Host: *overlayHost},
+		})
+		defer registrar.Close()
+		fmt.Printf("adaptd: cluster node %s advertising %s (registry %s, lease %v)\n",
+			*clusterID, addr, *clusterRegistry, *clusterLease)
+		go func() {
+			tick := time.NewTicker(*shipInterval)
+			defer tick.Stop()
+			var lastErr string
+			report := func(err error) {
+				// Log state transitions, not every failing tick; the
+				// live stream state is on /healthz.
+				msg := ""
+				if err != nil {
+					msg = err.Error()
+				}
+				if msg != lastErr && msg != "" {
+					fmt.Fprintln(os.Stderr, "adaptd: cluster:", msg)
+				}
+				lastErr = msg
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				hctx, cancel := context.WithTimeout(ctx, *shipInterval+5*time.Second)
+				err := registrar.Heartbeat(hctx)
+				if err == nil {
+					var members []registry.Member
+					if members, err = registrar.Members(hctx); err == nil {
+						if follower, ok := cluster.FollowerOf(members, *clusterID); ok {
+							node.Shipper().SetPeer(follower)
+							_, err = node.Shipper().Ship(hctx)
+						}
+					}
+				}
+				cancel()
+				report(err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -199,8 +307,15 @@ func main() {
 			os.Exit(1)
 		}
 		// A clean exit snapshots the session state, compacting the
-		// journal to exactly the live sessions.
-		if sessions != nil {
+		// journal to exactly the live sessions (and, on a cluster node,
+		// every replica's mirror).
+		switch {
+		case node != nil:
+			if err := node.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "adaptd: closing state:", err)
+				os.Exit(1)
+			}
+		case sessions != nil:
 			if err := sessions.Close(); err != nil {
 				fmt.Fprintln(os.Stderr, "adaptd: closing state:", err)
 				os.Exit(1)

@@ -1,0 +1,126 @@
+package cluster
+
+// planner.go extracts composition behind a transport-agnostic
+// interface. The paper's selection algorithm itself is a pure function
+// of the profile set; whether it runs in-process (LocalPlanner) or on a
+// remote replica over HTTP (RemotePlanner) is a deployment decision the
+// router should not be wired to. The Plan type is the minimal composed
+// chain both transports can produce — the fields of the /v1/compose
+// response the cluster actually routes on.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+
+	"qoschain"
+	"qoschain/internal/profile"
+)
+
+// Plan is a composed adaptation chain, transport-neutral: the selected
+// path, the media format on each hop, the delivered QoS parameters, and
+// the satisfaction/cost the selection maximized. Its JSON field names
+// match the /v1/compose response so a RemotePlanner decodes the server
+// reply directly.
+type Plan struct {
+	Path         []string           `json:"path"`
+	Formats      []string           `json:"formats"`
+	Params       map[string]float64 `json:"params"`
+	Satisfaction float64            `json:"satisfaction"`
+	Cost         float64            `json:"cost"`
+}
+
+// Planner composes an adaptation chain for a profile set. contact is
+// the user's contact class ("" for the profile defaults).
+type Planner interface {
+	Plan(ctx context.Context, set *profile.Set, contact string) (*Plan, error)
+}
+
+// LocalPlanner runs the selection algorithm in-process.
+type LocalPlanner struct {
+	// Prune removes useless vertices/edges before selection.
+	Prune bool
+}
+
+// Plan implements Planner over qoschain.ComposeCtx.
+func (p LocalPlanner) Plan(ctx context.Context, set *profile.Set, contact string) (*Plan, error) {
+	comp, err := qoschain.ComposeCtx(ctx, set, qoschain.Options{
+		Prune:   p.Prune,
+		Contact: profile.ContactClass(contact),
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := comp.Result
+	plan := &Plan{
+		Path:         make([]string, len(res.Path)),
+		Formats:      make([]string, len(res.Formats)),
+		Params:       make(map[string]float64, len(res.Params)),
+		Satisfaction: res.Satisfaction,
+		Cost:         res.Cost,
+	}
+	for i, n := range res.Path {
+		plan.Path[i] = string(n)
+	}
+	for i, f := range res.Formats {
+		plan.Formats[i] = f.String()
+	}
+	for k, v := range res.Params {
+		plan.Params[string(k)] = v
+	}
+	return plan, nil
+}
+
+// RemotePlanner composes by POSTing the profile set to another node's
+// /v1/compose endpoint.
+type RemotePlanner struct {
+	// Base is the node's HTTP host:port (no scheme).
+	Base string
+	// Client is the HTTP client (nil uses http.DefaultClient).
+	Client *http.Client
+}
+
+// Plan implements Planner over the /v1/compose wire protocol.
+func (p *RemotePlanner) Plan(ctx context.Context, set *profile.Set, contact string) (*Plan, error) {
+	var body bytes.Buffer
+	if err := set.Encode(&body); err != nil {
+		return nil, fmt.Errorf("cluster: encoding profile set: %w", err)
+	}
+	u := "http://" + p.Base + "/v1/compose"
+	if contact != "" {
+		u += "?contact=" + url.QueryEscape(contact)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, &body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := p.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		if json.Unmarshal(msg, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("cluster: compose on %s: %s", p.Base, e.Error)
+		}
+		return nil, fmt.Errorf("cluster: compose on %s: status %d", p.Base, resp.StatusCode)
+	}
+	var plan Plan
+	if err := json.NewDecoder(resp.Body).Decode(&plan); err != nil {
+		return nil, fmt.Errorf("cluster: decoding compose response: %w", err)
+	}
+	return &plan, nil
+}

@@ -1,0 +1,275 @@
+package cluster
+
+// replicate.go is the WAL-shipping wire protocol and the primary-side
+// Shipper. A batch carries a journal suffix bracketed by chain hashes
+// (journal.ShipBatch) as JSON: record payloads base64-encoded by
+// encoding/json, chain positions hex-encoded. The follower verifies the
+// chain on receipt and acks with its applied offset; any mismatch —
+// wrong offset, torn batch, forged record — is rejected without
+// touching the follower's journal, and the shipper re-requests from the
+// offset the follower reports. Once a follower has been promoted it
+// fences its dead source: a resurrected primary's ships are refused so
+// the adopted sessions cannot fork.
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"qoschain/internal/journal"
+	"qoschain/internal/metrics"
+	"qoschain/internal/registry"
+)
+
+// ShipPath is the HTTP route a follower accepts journal batches on.
+const ShipPath = "/v1/cluster/ship"
+
+// shipRecord is one journal record on the wire ([]byte is base64 in
+// JSON).
+type shipRecord struct {
+	Seq  uint64 `json:"seq"`
+	Data []byte `json:"data"`
+}
+
+// shipSnapshot bootstraps a follower whose offset predates compaction.
+type shipSnapshot struct {
+	Seq   uint64 `json:"seq"`
+	Chain string `json:"chain"`
+	Data  []byte `json:"data"`
+}
+
+// shipRequest is a journal.ShipBatch plus the shipping node's identity.
+type shipRequest struct {
+	Source    string        `json:"source"`
+	FromSeq   uint64        `json:"fromSeq"`
+	FromChain string        `json:"fromChain"`
+	EndSeq    uint64        `json:"endSeq"`
+	EndChain  string        `json:"endChain"`
+	Records   []shipRecord  `json:"records,omitempty"`
+	Snapshot  *shipSnapshot `json:"snapshot,omitempty"`
+}
+
+// shipResponse acks or rejects a batch. AppliedSeq is always the
+// follower's current applied offset — on rejection the shipper resumes
+// from there. Fenced means the follower promoted this source's replica
+// and will never accept another batch from it.
+type shipResponse struct {
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+	Fenced     bool   `json:"fenced,omitempty"`
+	AppliedSeq uint64 `json:"appliedSeq"`
+	Chain      string `json:"chain,omitempty"`
+}
+
+func chainHex(c journal.Chain) string { return hex.EncodeToString(c[:]) }
+
+func parseChain(s string) (journal.Chain, error) {
+	var c journal.Chain
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(c) {
+		return c, fmt.Errorf("cluster: bad chain hash %q", s)
+	}
+	copy(c[:], b)
+	return c, nil
+}
+
+// encodeShip renders a batch for the wire.
+func encodeShip(source string, b *journal.ShipBatch) *shipRequest {
+	req := &shipRequest{
+		Source:    source,
+		FromSeq:   b.FromSeq,
+		FromChain: chainHex(b.FromChain),
+		EndSeq:    b.EndSeq,
+		EndChain:  chainHex(b.EndChain),
+	}
+	for _, r := range b.Records {
+		req.Records = append(req.Records, shipRecord{Seq: r.Seq, Data: r.Data})
+	}
+	if b.Snapshot != nil {
+		req.Snapshot = &shipSnapshot{
+			Seq:   b.Snapshot.Seq,
+			Chain: chainHex(b.Snapshot.Chain),
+			Data:  b.Snapshot.Data,
+		}
+	}
+	return req
+}
+
+// decodeShip rebuilds the journal batch from the wire form.
+func decodeShip(req *shipRequest) (*journal.ShipBatch, error) {
+	fromChain, err := parseChain(req.FromChain)
+	if err != nil {
+		return nil, err
+	}
+	endChain, err := parseChain(req.EndChain)
+	if err != nil {
+		return nil, err
+	}
+	b := &journal.ShipBatch{
+		FromSeq:   req.FromSeq,
+		FromChain: fromChain,
+		EndSeq:    req.EndSeq,
+		EndChain:  endChain,
+	}
+	for _, r := range req.Records {
+		b.Records = append(b.Records, journal.Record{Seq: r.Seq, Data: r.Data})
+	}
+	if req.Snapshot != nil {
+		snapChain, err := parseChain(req.Snapshot.Chain)
+		if err != nil {
+			return nil, err
+		}
+		b.Snapshot = &journal.Snapshot{
+			Seq:   req.Snapshot.Seq,
+			Chain: snapChain,
+			Data:  req.Snapshot.Data,
+		}
+	}
+	return b, nil
+}
+
+// Shipper pushes a node's primary journal to its follower. It tracks
+// the follower's acked offset and trusts the follower over its own
+// bookkeeping: every rejection carries the follower's applied offset
+// and the next round resumes from there, so a follower restart, a lost
+// ack, or a fresh follower all converge without a separate handshake.
+type Shipper struct {
+	node   *Node
+	client *http.Client
+	batch  int // max records per batch (0 = journal default)
+
+	mu      sync.Mutex
+	peer    registry.Member
+	hasPeer bool
+	acked   uint64
+	fenced  bool
+	lastErr error
+}
+
+// SetPeer points the shipper at a (possibly new) follower. Changing
+// peers resets the acked offset to zero; the first ship round learns
+// the real offset from the new follower's rejection.
+func (s *Shipper) SetPeer(m registry.Member) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hasPeer && s.peer.ID == m.ID {
+		s.peer = m // refresh address
+		return
+	}
+	s.peer, s.hasPeer, s.acked, s.fenced = m, true, 0, false
+}
+
+// Peer reports the current follower and acked offset.
+func (s *Shipper) Peer() (peer registry.Member, acked uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer, s.acked, s.hasPeer
+}
+
+// Fenced reports whether the follower refused this node as a dead,
+// already-failed-over source.
+func (s *Shipper) Fenced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fenced
+}
+
+// Ship drains the primary journal to the follower: batches are shipped
+// until the follower's ack reaches the primary's last sequence. It
+// returns the number of records acked this call. A fenced shipper is a
+// permanent no-op error — this node lost its sessions to a promotion
+// and must not resurrect them.
+func (s *Shipper) Ship(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasPeer {
+		return 0, nil
+	}
+	if s.fenced {
+		return 0, fmt.Errorf("cluster: %s is fenced by follower %s", s.node.cfg.ID, s.peer.ID)
+	}
+	shipped := 0
+	// Each round either advances the ack or adopts the follower's
+	// offset; two extra rounds absorb one offset resync plus one
+	// snapshot bootstrap before we call the stream stuck.
+	for round := 0; round < 16; round++ {
+		last := s.node.primary.LastSeq()
+		if s.acked >= last && round > 0 {
+			break
+		}
+		// Observed before the batch lands: how many records the
+		// follower was behind when this batch was cut.
+		s.node.counters().Observe(metrics.SampleReplicationLag, float64(last-s.acked))
+		b, err := s.node.primary.ReadShip(s.acked, s.batch)
+		if err != nil {
+			s.lastErr = err
+			return shipped, err
+		}
+		resp, err := s.post(ctx, encodeShip(s.node.cfg.ID, b))
+		if err != nil {
+			s.lastErr = err
+			return shipped, err
+		}
+		c := s.node.counters()
+		if resp.Fenced {
+			s.fenced = true
+			return shipped, fmt.Errorf("cluster: %s is fenced by follower %s", s.node.cfg.ID, s.peer.ID)
+		}
+		if !resp.OK {
+			// Offset or chain mismatch: resume from the follower's
+			// truth. If that doesn't move us forward, give up this call.
+			if resp.AppliedSeq == s.acked {
+				err := fmt.Errorf("cluster: follower %s rejected batch at %d: %s", s.peer.ID, s.acked, resp.Error)
+				s.lastErr = err
+				return shipped, err
+			}
+			s.acked = resp.AppliedSeq
+			continue
+		}
+		shipped += int(resp.AppliedSeq - s.acked)
+		s.acked = resp.AppliedSeq
+		s.lastErr = nil
+		c.Inc(metrics.CounterReplicationShipBatches)
+		c.Add(metrics.CounterReplicationShippedRecords, int64(len(b.Records)))
+		if b.Snapshot != nil {
+			c.Inc(metrics.CounterReplicationSnapshotShips)
+		}
+		if s.acked >= last {
+			break
+		}
+	}
+	return shipped, nil
+}
+
+// post performs one ship round trip.
+func (s *Shipper) post(ctx context.Context, req *shipRequest) (*shipResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hr, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+s.peer.Addr+ShipPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	client := s.client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(hr)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sr shipResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("cluster: decoding ship response: %w", err)
+	}
+	return &sr, nil
+}

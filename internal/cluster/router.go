@@ -1,0 +1,374 @@
+package cluster
+
+// router.go fronts the replicated tier. The Router holds the live
+// membership (fed from the registry's lease table), proxies the
+// /v1/sessions API to the node that owns each session, and — when a
+// member's lease expires — drives the failover: it asks the dead
+// node's follower to promote its replica, then routes the dead node's
+// session IDs to the adopter.
+//
+// Session placement needs no lookup table: creates go to a
+// rendezvous-chosen node, and every session ID carries its minting
+// node as a prefix ("n2-s7"), so any router instance can route any ID
+// from the membership list alone. Composition (/v1/compose) goes
+// through the transport-agnostic Planner — in-process on the router or
+// remoted to a replica.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"qoschain/internal/metrics"
+	"qoschain/internal/profile"
+	"qoschain/internal/registry"
+)
+
+// RouterConfig assembles a Router.
+type RouterConfig struct {
+	// Planner composes /v1/compose requests; nil remotes each request
+	// to a live node round-robin.
+	Planner Planner
+	// Client proxies requests (nil uses http.DefaultClient).
+	Client *http.Client
+	// Counters receives cluster.* metrics (nil is a no-op sink).
+	Counters *metrics.Counters
+}
+
+// Promotion records one failover the router drove.
+type Promotion struct {
+	// Dead is the node whose lease expired.
+	Dead string `json:"dead"`
+	// Adopter is the follower that took the sessions over.
+	Adopter string `json:"adopter"`
+	// Report is the adopter's promotion report (nil when Err is set).
+	Report *PromoteReport `json:"report,omitempty"`
+	// TookMs is the router-observed recovery latency: expiry detection
+	// to promotion acknowledged.
+	TookMs float64 `json:"tookMs"`
+	// Err records a failed promotion (the follower died too, or the
+	// promote call failed); the router retries on the next update.
+	Err string `json:"err,omitempty"`
+}
+
+// Router proxies the session API across the cluster and fails sessions
+// over when members die.
+type Router struct {
+	planner  Planner
+	client   *http.Client
+	counters *metrics.Counters
+
+	mu    sync.Mutex
+	live  map[string]registry.Member // current members, by ID
+	known map[string]registry.Member // every member ever seen (address/host book)
+	dead  map[string]string          // dead node -> adopter (may chain)
+	rr    int                        // round-robin cursor for creates/composes
+}
+
+// NewRouter builds an empty router; call UpdateMembers to seed it.
+func NewRouter(cfg RouterConfig) *Router {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Router{
+		planner:  cfg.Planner,
+		client:   client,
+		counters: cfg.Counters,
+		live:     map[string]registry.Member{},
+		known:    map[string]registry.Member{},
+		dead:     map[string]string{},
+	}
+}
+
+// UpdateMembers ingests the latest live membership. Members missing
+// from consecutive updates are dead: for each, the router promotes the
+// follower the shard map had already assigned, so the dead node's
+// sessions survive on their replica. Returns the promotions attempted
+// this round (empty when membership is stable).
+func (r *Router) UpdateMembers(ctx context.Context, live []registry.Member) []Promotion {
+	r.mu.Lock()
+	newLive := make(map[string]registry.Member, len(live))
+	for _, m := range live {
+		newLive[m.ID] = m
+		r.known[m.ID] = m
+	}
+	// Cohort for follower election: the membership as the shipper saw
+	// it (previous live set) — FollowerOf excludes the dead node
+	// itself, so the router elects exactly the node that was already
+	// holding the replica.
+	cohort := make([]registry.Member, 0, len(r.live))
+	for _, m := range r.live {
+		cohort = append(cohort, m)
+	}
+	var deadIDs []string
+	for id := range r.live {
+		if _, ok := newLive[id]; !ok {
+			if _, already := r.dead[id]; !already {
+				deadIDs = append(deadIDs, id)
+			}
+		}
+	}
+	sort.Strings(deadIDs)
+	r.live = newLive
+	r.mu.Unlock()
+
+	var out []Promotion
+	for _, id := range deadIDs {
+		p := r.promoteDead(ctx, cohort, id)
+		out = append(out, p)
+	}
+	return out
+}
+
+// promoteDead elects the dead node's follower and asks it to adopt.
+func (r *Router) promoteDead(ctx context.Context, cohort []registry.Member, dead string) Promotion {
+	start := time.Now()
+	p := Promotion{Dead: dead}
+	follower, ok := FollowerOf(cohort, dead)
+	if !ok {
+		p.Err = "no follower in cohort"
+		return p
+	}
+	r.mu.Lock()
+	adopter, alive := r.live[follower.ID]
+	failHost := r.known[dead].Host
+	r.mu.Unlock()
+	if !alive {
+		p.Err = fmt.Sprintf("follower %s is not alive", follower.ID)
+		return p
+	}
+	p.Adopter = adopter.ID
+	body, _ := json.Marshal(promoteRequest{Source: dead, FailHost: failHost})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+adopter.Addr+PromotePath, strings.NewReader(string(body)))
+	if err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		p.Err = fmt.Sprintf("promote on %s: status %d: %s", adopter.ID, resp.StatusCode, strings.TrimSpace(string(msg)))
+		return p
+	}
+	var rep PromoteReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		p.Err = err.Error()
+		return p
+	}
+	p.Report = &rep
+	p.TookMs = float64(time.Since(start)) / float64(time.Millisecond)
+	r.counters.Observe(metrics.SampleClusterRecoveryMs, p.TookMs)
+	r.mu.Lock()
+	r.dead[dead] = adopter.ID
+	r.mu.Unlock()
+	return p
+}
+
+// Members returns the current live membership, sorted by ID.
+func (r *Router) Members() []registry.Member {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sortedLiveLocked()
+}
+
+func (r *Router) sortedLiveLocked() []registry.Member {
+	out := make([]registry.Member, 0, len(r.live))
+	for _, m := range r.live {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ownerOf maps a session ID to the member currently serving it: the
+// longest "<node>-" prefix names the minting node, and the dead map is
+// chased so adopted sessions route to their adopter.
+func (r *Router) ownerOf(id string) (registry.Member, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	owner := ""
+	for nodeID := range r.known {
+		if strings.HasPrefix(id, nodeID+"-") && len(nodeID) > len(owner) {
+			owner = nodeID
+		}
+	}
+	if owner == "" {
+		return registry.Member{}, fmt.Errorf("no cluster node owns session %q", id)
+	}
+	// Chase adoption chains (the adopter may itself have died later).
+	for hops := 0; hops < len(r.dead)+1; hops++ {
+		next, isDead := r.dead[owner]
+		if !isDead {
+			break
+		}
+		owner = next
+	}
+	m, ok := r.live[owner]
+	if !ok {
+		return registry.Member{}, fmt.Errorf("node %s owning session %q is down and not failed over", owner, id)
+	}
+	return m, nil
+}
+
+// nextLive picks a live member round-robin (for creates and remote
+// composition).
+func (r *Router) nextLive() (registry.Member, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ms := r.sortedLiveLocked()
+	if len(ms) == 0 {
+		return registry.Member{}, fmt.Errorf("no live cluster members")
+	}
+	m := ms[r.rr%len(ms)]
+	r.rr++
+	return m, nil
+}
+
+// ServeHTTP routes the session and composition API across the cluster.
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	path := req.URL.Path
+	switch {
+	case path == "/healthz":
+		r.handleHealth(w)
+	case path == "/v1/compose" && req.Method == http.MethodPost:
+		r.handleCompose(w, req)
+	case path == "/v1/sessions" && req.Method == http.MethodPost:
+		m, err := r.nextLive()
+		if err != nil {
+			routerError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		r.proxy(w, req, m)
+	case path == "/v1/sessions" && req.Method == http.MethodGet:
+		r.handleList(w, req)
+	case strings.HasPrefix(path, "/v1/sessions/"):
+		id := strings.TrimPrefix(path, "/v1/sessions/")
+		if i := strings.IndexByte(id, '/'); i >= 0 {
+			id = id[:i]
+		}
+		m, err := r.ownerOf(id)
+		if err != nil {
+			routerError(w, http.StatusNotFound, err)
+			return
+		}
+		r.proxy(w, req, m)
+	default:
+		routerError(w, http.StatusNotFound, fmt.Errorf("no cluster route for %s", path))
+	}
+}
+
+func routerError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// handleHealth reports the router's view of the cluster.
+func (r *Router) handleHealth(w http.ResponseWriter) {
+	r.mu.Lock()
+	dead := make(map[string]string, len(r.dead))
+	for k, v := range r.dead {
+		dead[k] = v
+	}
+	n := len(r.live)
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "ok",
+		"role":    "router",
+		"members": n,
+		"dead":    dead,
+	})
+}
+
+// handleCompose plans through the Planner abstraction: in-process when
+// the router was built with one, otherwise remoted to a live node.
+func (r *Router) handleCompose(w http.ResponseWriter, req *http.Request) {
+	defer req.Body.Close()
+	set, err := profile.DecodeSet(http.MaxBytesReader(w, req.Body, 1<<20))
+	if err != nil {
+		routerError(w, http.StatusBadRequest, err)
+		return
+	}
+	planner := r.planner
+	if planner == nil {
+		m, err := r.nextLive()
+		if err != nil {
+			routerError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		planner = &RemotePlanner{Base: m.Addr, Client: r.client}
+	}
+	plan, err := planner.Plan(req.Context(), set, req.URL.Query().Get("contact"))
+	if err != nil {
+		routerError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, plan)
+}
+
+// handleList fans a list out to every live member and merges the
+// "sessions" arrays.
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	merged := []json.RawMessage{}
+	for _, m := range r.Members() {
+		u := "http://" + m.Addr + "/v1/sessions"
+		lr, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := r.client.Do(lr)
+		if err != nil {
+			continue // a dying member drops out of the merged view
+		}
+		var doc struct {
+			Sessions []json.RawMessage `json:"sessions"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		merged = append(merged, doc.Sessions...)
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{"sessions": merged})
+}
+
+// proxy forwards the request verbatim to a member and copies the
+// response back.
+func (r *Router) proxy(w http.ResponseWriter, req *http.Request, m registry.Member) {
+	u := "http://" + m.Addr + req.URL.Path
+	if req.URL.RawQuery != "" {
+		u += "?" + req.URL.RawQuery
+	}
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, u, req.Body)
+	if err != nil {
+		routerError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		routerError(w, http.StatusBadGateway, fmt.Errorf("proxy to %s: %w", m.ID, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // client went away
+}

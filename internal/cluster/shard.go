@@ -1,0 +1,92 @@
+// Package cluster turns a set of standalone adaptation daemons into a
+// replicated composition tier. Each node runs the ordinary durable
+// session.Manager as its primary state plus one replica manager per
+// remote node it follows; the primary's hash-chained journal is shipped
+// over HTTP to its follower (replicate.go, node.go), a rendezvous-hash
+// shard map decides which node owns which session (this file), and a
+// Router proxies the /v1/sessions API to the owning node, promoting the
+// follower when a node's registry lease expires (router.go).
+//
+// Placement is deterministic and shared-nothing: every router and node
+// computes the same owner from the same membership list, so there is no
+// coordination service beyond the registry's lease table.
+package cluster
+
+import (
+	"hash/fnv"
+
+	"qoschain/internal/registry"
+)
+
+// score is the rendezvous (highest-random-weight) weight of key on
+// node. FNV-1a over nodeID \x00 key keeps the map dependency-free and
+// stable across processes and restarts; cryptographic quality is not
+// needed — only determinism and spread. Raw FNV of near-identical
+// strings is badly correlated across nodes (the shared suffix
+// dominates), so the sum goes through a murmur-style finalizer to
+// avalanche the node prefix across all 64 bits.
+func score(nodeID, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(nodeID)) //nolint:errcheck // hash.Hash never errors
+	h.Write([]byte{0})      //nolint:errcheck
+	h.Write([]byte(key))    //nolint:errcheck
+	return mix64(h.Sum64())
+}
+
+// mix64 is the 64-bit murmur3 finalizer: full avalanche, so a one-byte
+// difference in the hashed node ID reorders scores independently per
+// key.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Primary returns the member that owns key: the highest rendezvous
+// score, with the lexically smaller ID breaking exact ties. ok is false
+// for an empty membership. Removing one member moves only the keys that
+// member owned — the HRW minimal-disruption property the failover
+// design leans on.
+func Primary(members []registry.Member, key string) (registry.Member, bool) {
+	var best registry.Member
+	var bestScore uint64
+	found := false
+	for _, m := range members {
+		s := score(m.ID, key)
+		if !found || s > bestScore || (s == bestScore && m.ID < best.ID) {
+			best, bestScore, found = m, s, true
+		}
+	}
+	return best, found
+}
+
+// FollowerOf returns the member that replicates node id's journal: the
+// rendezvous winner for key id among the other members. The follower is
+// per-node, not per-session — one WAL stream per node pair — and the
+// choice does not depend on whether id itself is still in members, so
+// a router computing the failover target after id's lease expired picks
+// the same node the shipper was already feeding.
+func FollowerOf(members []registry.Member, id string) (registry.Member, bool) {
+	rest := make([]registry.Member, 0, len(members))
+	for _, m := range members {
+		if m.ID != id {
+			rest = append(rest, m)
+		}
+	}
+	return Primary(rest, id)
+}
+
+// Owners resolves key to its primary and the follower holding the
+// primary's replica. follower ok only when the membership has at least
+// two nodes.
+func Owners(members []registry.Member, key string) (primary, follower registry.Member, ok, followerOK bool) {
+	primary, ok = Primary(members, key)
+	if !ok {
+		return primary, follower, false, false
+	}
+	follower, followerOK = FollowerOf(members, primary.ID)
+	return primary, follower, ok, followerOK
+}

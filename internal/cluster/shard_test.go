@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"qoschain/internal/registry"
+)
+
+func members(ids ...string) []registry.Member {
+	out := make([]registry.Member, len(ids))
+	for i, id := range ids {
+		out[i] = registry.Member{ID: id, Addr: "127.0.0.1:0", Host: "p" + id}
+	}
+	return out
+}
+
+// TestRendezvousDeterminism: the shard map must give every router and
+// node the same answer from the same membership, regardless of list
+// order, and removing a member must move only that member's keys.
+func TestRendezvousDeterminism(t *testing.T) {
+	ms := members("n1", "n2", "n3", "n4")
+	perm := []registry.Member{ms[2], ms[0], ms[3], ms[1]}
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("k%d", i)
+		a, ok := Primary(ms, key)
+		b, ok2 := Primary(perm, key)
+		if !ok || !ok2 || a.ID != b.ID {
+			t.Fatalf("key %s: order-dependent owner %q vs %q", key, a.ID, b.ID)
+		}
+		// Minimal disruption: dropping n4 only moves n4's keys.
+		c, _ := Primary(ms[:3], key)
+		if a.ID != "n4" && c.ID != a.ID {
+			t.Fatalf("key %s moved from %s to %s though %s stayed", key, a.ID, c.ID, a.ID)
+		}
+		if a.ID == "n4" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys landed on n4 — degenerate distribution")
+	}
+}
+
+// TestFollowerOf: the follower must exclude the node itself and must
+// not depend on whether the node is still in the list — the property
+// that lets a router elect the same adopter the dead node shipped to.
+func TestFollowerOf(t *testing.T) {
+	ms := members("n1", "n2", "n3")
+	for _, id := range []string{"n1", "n2", "n3"} {
+		f, ok := FollowerOf(ms, id)
+		if !ok {
+			t.Fatalf("no follower for %s", id)
+		}
+		if f.ID == id {
+			t.Fatalf("%s follows itself", id)
+		}
+		// Same answer when the node has already dropped off the list.
+		var rest []registry.Member
+		for _, m := range ms {
+			if m.ID != id {
+				rest = append(rest, m)
+			}
+		}
+		g, ok := FollowerOf(rest, id)
+		if !ok || g.ID != f.ID {
+			t.Fatalf("follower of %s changed after its death: %s vs %s", id, f.ID, g.ID)
+		}
+	}
+	if _, ok := FollowerOf(members("n1"), "n1"); ok {
+		t.Fatal("single-node cluster invented a follower")
+	}
+
+	// Owners wires the two together.
+	p, f, ok, fok := Owners(ms, "some-session-key")
+	if !ok || !fok || p.ID == f.ID {
+		t.Fatalf("Owners = %s/%s (%v,%v)", p.ID, f.ID, ok, fok)
+	}
+	wantF, _ := FollowerOf(ms, p.ID)
+	if f.ID != wantF.ID {
+		t.Fatalf("Owners follower %s != FollowerOf %s", f.ID, wantF.ID)
+	}
+}

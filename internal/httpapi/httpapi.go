@@ -21,6 +21,7 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -40,11 +41,67 @@ import (
 // maxBody bounds request bodies (profile sets are small).
 const maxBody = 4 << 20
 
+// SessionBackend is the session store the API serves. A standalone
+// daemon passes its *session.Manager; a cluster replica passes its
+// cluster node, which fronts the local primary manager plus any
+// promoted replicas — the HTTP veneer cannot tell the difference.
+type SessionBackend interface {
+	CreateCtx(ctx context.Context, spec session.CreateSpec) (*session.Managed, error)
+	Get(id string) (*session.Managed, bool)
+	List() []*session.Managed
+	Delete(id string) (bool, error)
+	Persistent() bool
+	Recovery() *session.RecoveryReport
+	LastSeq() uint64
+}
+
+// ReplicationStatus is the replication half of /healthz — what a load
+// balancer gates on before routing sessions to a node.
+type ReplicationStatus struct {
+	// Role is "primary" (accepts creates; a cluster node), "solo"
+	// (durable but unreplicated), or "memory" (no journal at all).
+	Role string `json:"role"`
+	// NodeID is the cluster node name (empty outside a cluster).
+	NodeID string `json:"nodeId,omitempty"`
+	// AppliedSeq is the applied journal offset of the node's own
+	// primary state machine.
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// Streams lists per-peer replication state: outbound shipping (this
+	// node is the peer's primary) and inbound applies (this node
+	// follows the peer).
+	Streams []ReplicationStream `json:"streams,omitempty"`
+}
+
+// ReplicationStream is one peer's replication state.
+type ReplicationStream struct {
+	// Peer is the remote node ID.
+	Peer string `json:"peer"`
+	// Direction is "ship" (we stream our WAL to peer) or "apply" (we
+	// hold a replica of peer's sessions).
+	Direction string `json:"direction"`
+	// AckedSeq is the last offset the follower acked (ship direction).
+	AckedSeq uint64 `json:"ackedSeq,omitempty"`
+	// AppliedSeq is our replica's applied offset (apply direction).
+	AppliedSeq uint64 `json:"appliedSeq,omitempty"`
+	// LagRecords is how many records the follower side is behind.
+	LagRecords int64 `json:"lagRecords"`
+	// Promoted marks an apply stream whose source died and whose
+	// sessions this node adopted.
+	Promoted bool `json:"promoted,omitempty"`
+}
+
+// ReplicationReporter is implemented by backends that replicate (the
+// cluster node); /healthz includes its status when present.
+type ReplicationReporter interface {
+	ReplicationStatus() *ReplicationStatus
+}
+
 // Options configures the API handler.
 type Options struct {
 	// Sessions, when set, backs /v1/sessions with an existing (possibly
-	// persistent) session manager. Nil uses a fresh in-memory one.
-	Sessions *session.Manager
+	// persistent) session manager or a cluster node. Nil uses a fresh
+	// in-memory manager.
+	Sessions SessionBackend
 	// Store, when set, additionally serves /v1/profiles and
 	// /v1/compose/byref from the profile store.
 	Store *store.Store
@@ -70,7 +127,8 @@ func HandlerWithOptions(opts Options) http.Handler {
 	cache := graph.NewCache(0)
 	sessions := opts.Sessions
 	if sessions == nil {
-		sessions, _ = session.NewManager(session.ManagerConfig{}) // in-memory never errors
+		m, _ := session.NewManager(session.ManagerConfig{}) // in-memory never errors
+		sessions = m
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		handleHealth(w, r, sessions)
@@ -90,11 +148,24 @@ func HandlerWithOptions(opts Options) http.Handler {
 	return mux
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request, sessions *session.Manager) {
+func handleHealth(w http.ResponseWriter, r *http.Request, sessions SessionBackend) {
 	resp := map[string]interface{}{"status": "ok"}
 	if sessions != nil && sessions.Persistent() {
 		resp["durable"] = true
 		resp["recovery"] = sessions.Recovery()
+	}
+	// Replication role, applied offset and lag, so load balancers can
+	// gate on a node's replication state, not just liveness.
+	switch {
+	case sessions == nil:
+	case sessions.Persistent():
+		rs := &ReplicationStatus{Role: "solo", AppliedSeq: sessions.LastSeq()}
+		if rr, ok := sessions.(ReplicationReporter); ok {
+			rs = rr.ReplicationStatus()
+		}
+		resp["replication"] = rs
+	default:
+		resp["replication"] = &ReplicationStatus{Role: "memory"}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

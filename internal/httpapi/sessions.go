@@ -43,9 +43,10 @@ import (
 	"qoschain/internal/session"
 )
 
-// SessionManager adapts a session.Manager to the HTTP routes.
+// SessionManager adapts a SessionBackend (a session.Manager or a
+// cluster node) to the HTTP routes.
 type SessionManager struct {
-	m *session.Manager
+	m SessionBackend
 }
 
 // NewSessionManager returns a manager over in-memory (non-durable)
@@ -55,8 +56,8 @@ func NewSessionManager() *SessionManager {
 	return &SessionManager{m: m}
 }
 
-// NewSessionManagerWith wraps an existing (possibly persistent) manager.
-func NewSessionManagerWith(m *session.Manager) *SessionManager {
+// NewSessionManagerWith wraps an existing backend.
+func NewSessionManagerWith(m SessionBackend) *SessionManager {
 	return &SessionManager{m: m}
 }
 

@@ -1,0 +1,182 @@
+package journal
+
+// ship.go turns the hash-chained journal into a replication substrate.
+// A primary reads the suffix after a follower's applied offset as a
+// ShipBatch — the records plus the chain positions bracketing them — and
+// the follower verifies the whole batch by recomputing the chain from
+// its own applied position before appending a single byte. Because the
+// chain hash folds every (seq, data) pair since genesis (or the last
+// snapshot base), a truncated, reordered, spliced or bit-flipped batch
+// cannot verify, and a verified batch appended verbatim leaves the
+// follower at the exact chain position the primary reported — replicas
+// are byte-identical by construction, not by comparison.
+//
+// When compaction has already dropped the suffix a lagging follower
+// needs, the batch instead carries the newest snapshot (plus whatever
+// records follow it); the follower bootstraps a fresh state directory
+// from it and resumes incremental shipping.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ErrCompacted reports that the records after the requested offset were
+// compacted into a snapshot and can no longer be shipped incrementally.
+var ErrCompacted = errors.New("journal: records compacted away")
+
+// ShipBatch is a chain-verified slice of the journal: every record with
+// FromSeq < seq <= EndSeq, bracketed by the chain positions before and
+// after. A receiver at (FromSeq, FromChain) that verifies the batch and
+// appends the records verbatim lands exactly at (EndSeq, EndChain).
+type ShipBatch struct {
+	// FromSeq/FromChain is the chain position the receiver must already
+	// hold — its applied offset.
+	FromSeq   uint64
+	FromChain Chain
+	// Records is the suffix, in strict sequence order.
+	Records []Record
+	// EndSeq/EndChain is the chain position after the last record (equal
+	// to From* for an empty batch).
+	EndSeq   uint64
+	EndChain Chain
+	// Snapshot, when non-nil, replaces incremental catch-up: the
+	// receiver's offset predates compaction, so it must bootstrap from
+	// this snapshot and then apply Records (which start at Snapshot.Seq).
+	Snapshot *Snapshot
+}
+
+// VerifyShip recomputes the chain across a received batch. Any gap,
+// reorder, truncation or payload damage breaks the recomputed chain and
+// surfaces as ErrCorrupt — the receiver rejects the batch without
+// touching its journal and re-requests from its applied offset.
+func VerifyShip(b *ShipBatch) error {
+	seq, chain := b.FromSeq, b.FromChain
+	for _, r := range b.Records {
+		if r.Seq != seq+1 {
+			return fmt.Errorf("%w: ship batch gap: record %d after %d", ErrCorrupt, r.Seq, seq)
+		}
+		if len(r.Data) > MaxRecord {
+			return fmt.Errorf("%w: ship batch record %d of %d bytes exceeds MaxRecord", ErrCorrupt, r.Seq, len(r.Data))
+		}
+		chain = chain.next(r.Seq, r.Data)
+		seq = r.Seq
+	}
+	if seq != b.EndSeq {
+		return fmt.Errorf("%w: ship batch ends at seq %d, header says %d", ErrCorrupt, seq, b.EndSeq)
+	}
+	if chain != b.EndChain {
+		return fmt.Errorf("%w: ship batch chain mismatch at seq %d", ErrCorrupt, seq)
+	}
+	return nil
+}
+
+// ReadSince assembles the ship batch after offset `since`: at most max
+// records (0 means a default batch size), with the chain positions
+// bracketing them. It returns ErrCompacted when `since` predates the
+// oldest journal generation — the caller falls back to snapshot
+// shipping. Reading concurrent with appends is safe: ScanFile verifies
+// a consistent prefix and anything past the last complete record is
+// simply not shipped yet.
+func (l *Log) ReadSince(since uint64, max int) (*ShipBatch, error) {
+	if max <= 0 {
+		max = 1024
+	}
+	if last := l.j.LastSeq(); since > last {
+		return nil, fmt.Errorf("journal: ReadSince(%d) is beyond the log end %d", since, last)
+	}
+
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	type wal struct {
+		base uint64
+		name string
+	}
+	var wals []wal
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if base, ok := parseWalName(e.Name()); ok {
+			wals = append(wals, wal{base, e.Name()})
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i].base < wals[j].base })
+
+	batch := &ShipBatch{FromSeq: since}
+	located := false // chain position at `since` has been found
+	seq, chain := uint64(0), Chain{}
+scan:
+	for _, w := range wals {
+		sr, err := ScanFile(filepath.Join(l.dir, w.name))
+		if err != nil {
+			continue // headerless stale generation, same policy as OpenLog
+		}
+		if !located {
+			if sr.BaseSeq > since {
+				return nil, fmt.Errorf("%w: offset %d predates generation base %d", ErrCompacted, since, sr.BaseSeq)
+			}
+			if sr.LastSeq < since {
+				continue // wholly before the offset
+			}
+			// This generation covers the offset: fold forward from its base.
+			seq, chain = sr.BaseSeq, sr.BaseChain
+			located = true
+			if seq == since {
+				batch.FromChain = chain
+			}
+		}
+		for _, r := range sr.Records {
+			if r.Seq <= seq {
+				continue // overlap with a prior generation
+			}
+			if r.Seq != seq+1 {
+				// A gap between generations: nothing after it is shippable.
+				break scan
+			}
+			chain = chain.next(r.Seq, r.Data)
+			seq = r.Seq
+			if seq == since {
+				batch.FromChain = chain
+				continue
+			}
+			if seq > since {
+				batch.Records = append(batch.Records, r)
+				batch.EndSeq, batch.EndChain = seq, chain
+				if len(batch.Records) >= max {
+					break scan
+				}
+			}
+		}
+	}
+	if !located {
+		return nil, fmt.Errorf("%w: offset %d not covered by any journal generation", ErrCompacted, since)
+	}
+	if len(batch.Records) == 0 {
+		batch.EndSeq, batch.EndChain = batch.FromSeq, batch.FromChain
+	}
+	return batch, nil
+}
+
+// LastChain returns the chain position after the last appended record.
+func (l *Log) LastChain() Chain { return l.j.LastChain() }
+
+// Bootstrap initializes a state directory at a shipped snapshot: the
+// snapshot file is durably written, and the next OpenLog starts a fresh
+// journal generation at its chain position. The directory must not hold
+// a live journal — callers wipe a stale replica directory first.
+func Bootstrap(dir string, snap *Snapshot) error {
+	if snap == nil {
+		return errors.New("journal: bootstrap without a snapshot")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	_, err := WriteSnapshot(dir, snap.Seq, snap.Chain, snap.Data, nil)
+	return err
+}

@@ -1,0 +1,280 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// applyShip is the follower side of the shipping protocol, exactly as
+// the cluster layer runs it: the batch must start at the follower's
+// applied chain position, verify end to end, and only then append.
+func applyShip(fl *Log, b *ShipBatch) error {
+	if b.FromSeq != fl.LastSeq() || b.FromChain != fl.LastChain() {
+		return fmt.Errorf("ship batch from seq %d does not match applied offset %d", b.FromSeq, fl.LastSeq())
+	}
+	if err := VerifyShip(b); err != nil {
+		return err
+	}
+	datas := make([][]byte, len(b.Records))
+	for i, r := range b.Records {
+		datas[i] = r.Data
+	}
+	if len(datas) == 0 {
+		return nil
+	}
+	if _, err := fl.Append(datas...); err != nil {
+		return err
+	}
+	if fl.LastChain() != b.EndChain {
+		return fmt.Errorf("applied chain diverged from shipped EndChain")
+	}
+	return nil
+}
+
+// cloneBatch deep-copies a batch so corruption cases cannot leak into
+// each other or into the pristine re-request.
+func cloneBatch(b *ShipBatch) *ShipBatch {
+	c := *b
+	c.Records = make([]Record, len(b.Records))
+	for i, r := range b.Records {
+		c.Records[i] = Record{Seq: r.Seq, Data: bytes.Clone(r.Data)}
+	}
+	return &c
+}
+
+func appendN(t *testing.T, l *Log, start, n int) {
+	t.Helper()
+	recs := make([][]byte, 0, n)
+	for i := start; i < start+n; i++ {
+		recs = append(recs, []byte(fmt.Sprintf("cmd-%04d", i)))
+	}
+	if _, err := l.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShipRoundTrip(t *testing.T) {
+	primary, _ := openDir(t, t.TempDir(), Options{})
+	defer primary.Close()
+	follower, _ := openDir(t, t.TempDir(), Options{})
+	defer follower.Close()
+
+	appendN(t, primary, 0, 10)
+	b, err := primary.ReadSince(0, 0)
+	if err != nil {
+		t.Fatalf("ReadSince(0): %v", err)
+	}
+	if len(b.Records) != 10 || b.FromSeq != 0 || b.EndSeq != 10 {
+		t.Fatalf("batch = from %d end %d with %d records", b.FromSeq, b.EndSeq, len(b.Records))
+	}
+	if err := applyShip(follower, b); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if follower.LastSeq() != primary.LastSeq() || follower.LastChain() != primary.LastChain() {
+		t.Fatalf("follower at (%d) after apply, primary at (%d)", follower.LastSeq(), primary.LastSeq())
+	}
+
+	// Incremental catch-up continues from the acked offset.
+	appendN(t, primary, 10, 5)
+	b2, err := primary.ReadSince(follower.LastSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b2.Records) != 5 {
+		t.Fatalf("incremental batch has %d records, want 5", len(b2.Records))
+	}
+	if err := applyShip(follower, b2); err != nil {
+		t.Fatalf("incremental apply: %v", err)
+	}
+	if follower.LastChain() != primary.LastChain() {
+		t.Fatal("chains diverged after incremental ship")
+	}
+
+	// A caught-up follower gets an empty batch bracketed by its position.
+	b3, err := primary.ReadSince(primary.LastSeq(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b3.Records) != 0 || b3.EndSeq != b3.FromSeq || b3.EndChain != b3.FromChain {
+		t.Fatalf("caught-up batch = %+v", b3)
+	}
+}
+
+func TestShipBatchSizeLimit(t *testing.T) {
+	primary, _ := openDir(t, t.TempDir(), Options{})
+	defer primary.Close()
+	appendN(t, primary, 0, 10)
+
+	b, err := primary.ReadSince(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 3 || b.EndSeq != 3 {
+		t.Fatalf("limited batch = end %d with %d records", b.EndSeq, len(b.Records))
+	}
+	if err := VerifyShip(b); err != nil {
+		t.Fatalf("limited batch must verify: %v", err)
+	}
+	// The next window picks up exactly where the limit cut off.
+	b2, err := primary.ReadSince(b.EndSeq, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.FromSeq != 3 || b2.FromChain != b.EndChain || b2.Records[0].Seq != 4 {
+		t.Fatalf("windowed continuation = from %d first %d", b2.FromSeq, b2.Records[0].Seq)
+	}
+}
+
+func TestShipReadSinceMidChain(t *testing.T) {
+	primary, _ := openDir(t, t.TempDir(), Options{})
+	defer primary.Close()
+	appendN(t, primary, 0, 8)
+
+	// Reading from a mid-chain offset reconstructs FromChain by folding
+	// the prefix, so a batch from any acked offset verifies.
+	b, err := primary.ReadSince(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FromSeq != 5 || len(b.Records) != 3 || b.Records[0].Seq != 6 {
+		t.Fatalf("mid-chain batch = %+v", b)
+	}
+	if err := VerifyShip(b); err != nil {
+		t.Fatalf("mid-chain batch must verify: %v", err)
+	}
+}
+
+func TestShipCompactedFallsBackToSnapshot(t *testing.T) {
+	primary, _ := openDir(t, t.TempDir(), Options{})
+	defer primary.Close()
+	appendN(t, primary, 0, 10)
+	if err := primary.Snapshot([]byte("state@10")); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, primary, 10, 4)
+
+	// Offsets inside the compacted prefix cannot ship incrementally.
+	if _, err := primary.ReadSince(5, 0); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("ReadSince(5) after compaction = %v, want ErrCompacted", err)
+	}
+	// The snapshot base itself still ships (it is the new generation's base).
+	b, err := primary.ReadSince(10, 0)
+	if err != nil {
+		t.Fatalf("ReadSince(snapshot base): %v", err)
+	}
+	if len(b.Records) != 4 || b.Records[0].Seq != 11 {
+		t.Fatalf("post-snapshot batch = %+v", b)
+	}
+	if err := VerifyShip(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap a follower from the snapshot and resume shipping.
+	snap, _, err := LatestSnapshot(primary.Dir())
+	if err != nil || snap == nil {
+		t.Fatalf("LatestSnapshot: %v %v", snap, err)
+	}
+	fdir := t.TempDir()
+	if err := Bootstrap(fdir, snap); err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	fl, rec := openDir(t, fdir, Options{})
+	defer fl.Close()
+	if rec.SnapshotSeq != 10 || string(rec.SnapshotData) != "state@10" {
+		t.Fatalf("bootstrapped recovery = %+v", rec)
+	}
+	if err := applyShip(fl, b); err != nil {
+		t.Fatalf("apply after bootstrap: %v", err)
+	}
+	if fl.LastSeq() != primary.LastSeq() || fl.LastChain() != primary.LastChain() {
+		t.Fatal("bootstrapped follower did not converge with primary")
+	}
+}
+
+// TestShipTornBatchTable mirrors the torn-tail recovery tests at the
+// batch level: every way a shipped batch can arrive damaged — truncated,
+// reordered, spliced, bit-flipped, or claiming the wrong offsets — must
+// be rejected by chain verification without moving the follower, and the
+// follower's re-request from its applied offset must then apply cleanly.
+func TestShipTornBatchTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(b *ShipBatch)
+	}{
+		{"truncated tail", func(b *ShipBatch) {
+			b.Records = b.Records[:len(b.Records)-2]
+		}},
+		{"truncated tail with forged end seq", func(b *ShipBatch) {
+			b.Records = b.Records[:len(b.Records)-2]
+			b.EndSeq = b.Records[len(b.Records)-1].Seq
+		}},
+		{"bit flip in payload", func(b *ShipBatch) {
+			b.Records[2].Data[0] ^= 0x40
+		}},
+		{"reordered records", func(b *ShipBatch) {
+			b.Records[1], b.Records[2] = b.Records[2], b.Records[1]
+		}},
+		{"dropped middle record", func(b *ShipBatch) {
+			b.Records = append(b.Records[:2:2], b.Records[3:]...)
+		}},
+		{"spliced foreign record", func(b *ShipBatch) {
+			b.Records[3] = Record{Seq: b.Records[3].Seq, Data: []byte("forged")}
+		}},
+		{"forged from chain", func(b *ShipBatch) {
+			b.FromChain[0] ^= 0x01
+		}},
+		{"forged end chain", func(b *ShipBatch) {
+			b.EndChain[7] ^= 0x80
+		}},
+		{"offset behind applied", func(b *ShipBatch) {
+			b.FromSeq--
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			primary, _ := openDir(t, t.TempDir(), Options{})
+			defer primary.Close()
+			follower, _ := openDir(t, t.TempDir(), Options{})
+			defer follower.Close()
+
+			// Follower is caught up to seq 3; the batch ships 4..9.
+			appendN(t, primary, 0, 3)
+			sync, err := primary.ReadSince(0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := applyShip(follower, sync); err != nil {
+				t.Fatal(err)
+			}
+			appendN(t, primary, 3, 6)
+			pristine, err := primary.ReadSince(follower.LastSeq(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			damaged := cloneBatch(pristine)
+			tc.corrupt(damaged)
+			appliedBefore, chainBefore := follower.LastSeq(), follower.LastChain()
+			if err := applyShip(follower, damaged); err == nil {
+				t.Fatal("damaged batch applied without error")
+			}
+			if follower.LastSeq() != appliedBefore || follower.LastChain() != chainBefore {
+				t.Fatalf("damaged batch moved the follower: seq %d -> %d", appliedBefore, follower.LastSeq())
+			}
+
+			// Re-request from the unchanged applied offset heals the stream.
+			retry, err := primary.ReadSince(follower.LastSeq(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := applyShip(follower, retry); err != nil {
+				t.Fatalf("re-requested batch failed: %v", err)
+			}
+			if follower.LastSeq() != primary.LastSeq() || follower.LastChain() != primary.LastChain() {
+				t.Fatal("follower did not converge after retry")
+			}
+		})
+	}
+}

@@ -108,6 +108,40 @@ const (
 	SampleRecoveryReleasedKbps = "recovery.released_kbps"
 )
 
+// Well-known counter and sample names recorded by the replicated
+// composition tier (internal/cluster): WAL shipping between replicas
+// and node-loss failover.
+const (
+	// CounterReplicationShipBatches counts ship batches a primary sent
+	// that its follower verified and acked.
+	CounterReplicationShipBatches = "replication.ship_batches"
+	// CounterReplicationShippedRecords counts journal records shipped
+	// and acked.
+	CounterReplicationShippedRecords = "replication.shipped_records"
+	// CounterReplicationShipRejected counts batches a follower rejected
+	// (chain mismatch, offset mismatch, or a fenced source).
+	CounterReplicationShipRejected = "replication.ship_rejected"
+	// CounterReplicationSnapshotShips counts catch-ups that fell back to
+	// shipping a full snapshot because the suffix was compacted away.
+	CounterReplicationSnapshotShips = "replication.snapshot_ships"
+	// CounterReplicationApplied counts replicated records a follower
+	// appended and applied to its replica state machine.
+	CounterReplicationApplied = "replication.applied_records"
+	// SampleReplicationLag observes the primary's view of its follower's
+	// lag (records appended locally but not yet acked) at each ship.
+	SampleReplicationLag = "replication.lag_records"
+	// CounterClusterPromotions counts followers promoted after a node's
+	// membership lease expired.
+	CounterClusterPromotions = "cluster.promotions"
+	// CounterClusterAdopted counts sessions adopted by promoted
+	// followers.
+	CounterClusterAdopted = "cluster.sessions_adopted"
+	// SampleClusterRecoveryMs observes wall-clock milliseconds from
+	// detecting a dead node to its sessions being served by the
+	// follower.
+	SampleClusterRecoveryMs = "cluster.recovery_ms"
+)
+
 // Well-known counter and sample names recorded by the data plane
 // (internal/pipeline's batched streaming executor). Per-run totals are
 // folded in once when a chain finishes, so the per-frame hot path never

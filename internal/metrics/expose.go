@@ -61,12 +61,17 @@ func RegisterWellKnown(r *Registry) {
 		CounterPipelineBytesOut, CounterPipelineDropped,
 		CounterPipelineBatches, CounterPipelineChains,
 		CounterPipelineFailures,
+		CounterReplicationShipBatches, CounterReplicationShippedRecords,
+		CounterReplicationShipRejected, CounterReplicationSnapshotShips,
+		CounterReplicationApplied,
+		CounterClusterPromotions, CounterClusterAdopted,
 	} {
 		r.Add(name, 0)
 	}
 	for _, name := range []string{
 		SampleRecoverySteps, SampleRecoveryRetries, SampleReservedKbps,
 		SampleRecoveryReleasedKbps,
+		SampleReplicationLag, SampleClusterRecoveryMs,
 		HistComposeLatencyMs, HistHTTPLatencyMs, HistQueueWaitMs,
 		HistJournalAppendMs, HistJournalFsyncMs, HistSelectRounds,
 		SamplePipelineBatchOccupancy, SamplePipelineQueueDepth,

@@ -198,6 +198,9 @@ func (j *job) runSlice(k int) bool {
 		for _, st := range j.p.stages {
 			next, ok := st.process(j.rc, in, spare[:0])
 			if !ok {
+				// The element recycled its unconsumed input; the partial
+				// output batch is ours to return to the pool.
+				recycleFrames(j.p.pool, next)
 				return true
 			}
 			spare, in = in, next

@@ -105,6 +105,19 @@ type stageRunner struct {
 	id   string
 	p    processor
 	hook FaultHook
+	pool *transcode.PayloadPool
+}
+
+// recycleFrames returns the payloads of an abandoned batch to the pool
+// — the cleanup every failure and cancellation path owes the pool so
+// its outstanding-buffer accounting returns to zero.
+func recycleFrames(pool *transcode.PayloadPool, frames []transcode.Frame) {
+	if pool == nil {
+		return
+	}
+	for _, f := range frames {
+		pool.Put(f.Payload)
+	}
 }
 
 // processor is the subset of transcode stages the pipeline drives.
@@ -116,10 +129,14 @@ type processor interface {
 }
 
 func (s *stageRunner) process(rc *runCtx, in, out []transcode.Frame) ([]transcode.Frame, bool) {
-	for _, f := range in {
+	for i, f := range in {
 		if s.hook != nil {
 			if err := s.hook(s.id, f.Seq); err != nil {
 				rc.fail(s.id, f.Seq, err)
+				// The failing frame and everything behind it were never
+				// consumed; their payloads go back to the pool here (the
+				// caller recycles the partial output batch).
+				recycleFrames(s.pool, in[i:])
 				return out, false
 			}
 		}
@@ -179,10 +196,13 @@ func (l *linkRunner) recycle(b []byte) {
 func (l *linkRunner) process(rc *runCtx, in, out []transcode.Frame) ([]transcode.Frame, bool) {
 	var consumed, emitted, dropped int64
 	ok := true
-	for _, f := range in {
+	for i, f := range in {
 		if l.hook != nil {
 			if err := l.hook(l.id, f.Seq); err != nil {
 				rc.fail(l.id, f.Seq, err)
+				// Unconsumed frames (this one included) return to the
+				// pool; the caller recycles the partial output batch.
+				recycleFrames(l.pool, in[i:])
 				ok = false
 				break
 			}
@@ -241,6 +261,10 @@ type Options struct {
 	// reverting to a fresh allocation per re-encoded frame. Used by the
 	// reference path and by callers that retain delivered frames.
 	NoPool bool
+	// Pool, when set (and NoPool is false), replaces the process-shared
+	// payload pool for this pipeline. Leak audits use a private pool so
+	// Outstanding() reflects one run rather than every concurrent chain.
+	Pool *transcode.PayloadPool
 	// Bitrate sizes synthetic payloads; nil uses media.DefaultBitrate.
 	Bitrate media.BitrateModel
 	// GOP is the source keyframe interval (default 10).
@@ -306,7 +330,11 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 		sink:  opts.Metrics,
 	}
 	if !opts.NoPool {
-		p.pool = sharedPool
+		if opts.Pool != nil {
+			p.pool = opts.Pool
+		} else {
+			p.pool = sharedPool
+		}
 	}
 
 	// The sender shapes the stream down to the negotiated delivery
@@ -318,6 +346,7 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 		id:   "shaper:sender",
 		p:    shaper,
 		hook: opts.FaultHook,
+		pool: p.pool,
 	})
 
 	// Walk the path: link to node i, then (if a service) its stage.
@@ -354,6 +383,7 @@ func FromResult(g *graph.Graph, res *core.Result, opts Options) (*Pipeline, erro
 			id:   string(node.Service.ID),
 			p:    stage,
 			hook: opts.FaultHook,
+			pool: p.pool,
 		})
 	}
 	return p, nil
@@ -405,10 +435,15 @@ func (p *Pipeline) Run(n int) Stats {
 	free := newBatchList(p.batch, (len(p.stages)+2)*p.queue)
 
 	first := make(chan []transcode.Frame, p.queue)
+	// Every hop's channel is remembered so an aborted run can sweep the
+	// batches stranded in them back to the pool — without the sweep a
+	// mid-stream failure leaks every in-flight payload buffer.
+	hops := []chan []transcode.Frame{first}
 	in := first
 	var wg sync.WaitGroup
 	for _, st := range p.stages {
 		out := make(chan []transcode.Frame, p.queue)
+		hops = append(hops, out)
 		wg.Add(1)
 		go func(st runner, in <-chan []transcode.Frame, out chan<- []transcode.Frame) {
 			defer wg.Done()
@@ -421,6 +456,9 @@ func (p *Pipeline) Run(n int) Stats {
 				ob, ok := st.process(rc, b, free.get())
 				free.put(b)
 				if !ok {
+					// The element recycled its unconsumed input; the
+					// partial output it produced is ours to clean up.
+					recycleFrames(p.pool, ob)
 					free.put(ob)
 					return
 				}
@@ -431,6 +469,7 @@ func (p *Pipeline) Run(n int) Stats {
 					continue
 				}
 				if !rc.sendBatch(out, ob) {
+					recycleFrames(p.pool, ob)
 					return
 				}
 			}
@@ -458,12 +497,22 @@ func (p *Pipeline) Run(n int) Stats {
 			break
 		}
 		if !rc.sendBatch(first, b) {
+			recycleFrames(p.pool, b)
 			break
 		}
 	}
 	close(first)
 	wg.Wait()
 	<-done
+
+	// After an abort, batches can be stranded in any hop queue (every
+	// goroutine has exited and every channel is closed, so the drain
+	// terminates). On a clean drain the queues are already empty.
+	for _, ch := range hops {
+		for b := range ch {
+			recycleFrames(p.pool, b)
+		}
+	}
 
 	return p.finish(n, rc, &acc)
 }

@@ -1,0 +1,134 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"qoschain/internal/transcode"
+)
+
+// The tests in this file audit the pool ownership discipline of DESIGN
+// §12: after any run — clean, failed mid-batch, or canceled — every
+// payload buffer taken from the pool must have been returned, so a
+// private pool's Outstanding() reads zero. They run under -race in CI,
+// which also exercises the shutdown paths for ordering bugs.
+
+// leakPipeline builds a pooled pipeline over the failGraph chain with a
+// private pool so the audit is not polluted by concurrent tests using
+// the process-shared pool.
+func leakPipeline(t *testing.T, pool *transcode.PayloadPool, hook FaultHook) *Pipeline {
+	t.Helper()
+	g, res := failGraph(t)
+	p, err := FromResult(g, res, Options{
+		Batch:     8,
+		Buffer:    1, // tight queues strand batches in flight on abort
+		Pool:      pool,
+		FaultHook: hook,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func auditPool(t *testing.T, pool *transcode.PayloadPool, when string) {
+	t.Helper()
+	if n := pool.Outstanding(); n != 0 {
+		t.Fatalf("%s: %d pooled payload buffers leaked", when, n)
+	}
+}
+
+func TestRunCleanLeaksNoPoolBuffers(t *testing.T) {
+	pool := transcode.NewPayloadPool()
+	p := leakPipeline(t, pool, nil)
+	if stats := p.Run(200); stats.Failure != nil {
+		t.Fatalf("unexpected failure: %v", stats.Failure)
+	}
+	auditPool(t, pool, "clean run")
+}
+
+// TestRunFailureLeaksNoPoolBuffers kills the chain at every element and
+// at several frame offsets (start of a batch, mid-batch, deep into the
+// stream) and asserts the pool balances each time. Mid-batch failures
+// are the interesting case: the failing element holds a half-consumed
+// input batch and a half-built output batch, upstream elements hold
+// batches in flight, and the feed may be blocked on a full queue.
+func TestRunFailureLeaksNoPoolBuffers(t *testing.T) {
+	stages := []string{"shaper:sender", "link:sender->conv", "conv", "link:conv->receiver"}
+	for _, stage := range stages {
+		for _, at := range []int{0, 3, 13, 100} {
+			t.Run(fmt.Sprintf("%s@%d", stage, at), func(t *testing.T) {
+				pool := transcode.NewPayloadPool()
+				p := leakPipeline(t, pool, func(s string, frame int) error {
+					if s == stage && frame >= at {
+						return errors.New("injected crash")
+					}
+					return nil
+				})
+				if stats := p.Run(400); stats.Failure == nil {
+					t.Fatal("expected a failure")
+				}
+				auditPool(t, pool, "failed run")
+			})
+		}
+	}
+}
+
+// TestExecutorFailureLeaksNoPoolBuffers drives the same mid-batch
+// failures through the inline executor path, whose abort unwinds a
+// partially built output batch inside runSlice rather than a goroutine
+// chain.
+func TestExecutorFailureLeaksNoPoolBuffers(t *testing.T) {
+	ex := NewExecutor(2)
+	defer ex.Close()
+	for _, at := range []int{0, 5, 50} {
+		pool := transcode.NewPayloadPool()
+		p := leakPipeline(t, pool, func(s string, frame int) error {
+			if s == "conv" && frame >= at {
+				return errors.New("injected crash")
+			}
+			return nil
+		})
+		h, err := ex.Submit(p, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats := h.Wait(); stats.Failure == nil {
+			t.Fatalf("at=%d: expected a failure", at)
+		}
+		auditPool(t, pool, fmt.Sprintf("executor failure at %d", at))
+	}
+}
+
+// TestExecutorCancelLeaksNoPoolBuffers cancels chains mid-stream — and
+// closes the executor with chains still queued — and asserts the pool
+// balances. Cancellation lands at slice boundaries, so the audit proves
+// no slice leaves payloads checked out between scheduling turns.
+func TestExecutorCancelLeaksNoPoolBuffers(t *testing.T) {
+	pool := transcode.NewPayloadPool()
+	ex := NewExecutor(2)
+	const chains = 8
+	handles := make([]*Handle, 0, chains)
+	for i := 0; i < chains; i++ {
+		p := leakPipeline(t, pool, nil)
+		h, err := ex.Submit(p, 100_000) // long enough to be mid-stream when canceled
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	// Cancel half explicitly; Close cancels the rest wherever they are.
+	for _, h := range handles[:chains/2] {
+		h.Cancel()
+	}
+	ex.Close()
+	for i, h := range handles {
+		stats := h.Wait()
+		if !h.Canceled() {
+			t.Fatalf("chain %d: expected cancellation, got %d/%d frames",
+				i, stats.FramesOut, stats.FramesIn)
+		}
+	}
+	auditPool(t, pool, "cancel + close")
+}

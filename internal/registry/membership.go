@@ -1,0 +1,111 @@
+package registry
+
+// membership.go promotes the registry to cluster-membership authority
+// for the replicated composition tier: adaptd replicas join under a
+// lease exactly like service advertisements, and the router derives the
+// shard map (rendezvous hashing — see internal/cluster) from the live
+// member list. A replica that stops renewing expires out of the list,
+// which is the cluster's only failure detector: lease expiry, observed
+// identically by every router polling the same registry, triggers
+// follower promotion.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Member is one composition-tier replica registered with the
+// membership authority.
+type Member struct {
+	// ID is the replica's stable node name (also its session-ID prefix).
+	ID string `json:"id"`
+	// Addr is the HTTP base address peers and routers reach it at.
+	Addr string `json:"addr"`
+	// Host is the overlay host the replica fronts in the deployment
+	// topology; when the member dies, promotion faults this host in
+	// adopted sessions so reconciliation releases its links.
+	Host string `json:"host,omitempty"`
+}
+
+type memberEntry struct {
+	m       Member
+	expires time.Time
+}
+
+// Join registers a replica under a lease (0 = no expiry). Rejoining an
+// existing ID replaces the previous advertisement — the restart path.
+func (r *Registry) Join(m Member, lease time.Duration) error {
+	if m.ID == "" || m.Addr == "" {
+		return fmt.Errorf("registry: member needs id and addr")
+	}
+	var expires time.Time
+	if lease > 0 {
+		expires = r.clock.Now().Add(lease)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members == nil {
+		r.members = make(map[string]*memberEntry)
+	}
+	r.members[m.ID] = &memberEntry{m: m, expires: expires}
+	return nil
+}
+
+// RenewMember extends a member's lease; like service Renew it fails for
+// unknown or already-expired members, so a replica that outlived its
+// lease must rejoin.
+func (r *Registry) RenewMember(id string, lease time.Duration) error {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.members[id]
+	if !ok || (!e.expires.IsZero() && now.After(e.expires)) {
+		return fmt.Errorf("registry: no live member %s", id)
+	}
+	if lease > 0 {
+		e.expires = now.Add(lease)
+	} else {
+		e.expires = time.Time{}
+	}
+	return nil
+}
+
+// Leave removes a member immediately (graceful shutdown).
+func (r *Registry) Leave(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[id]; !ok {
+		return fmt.Errorf("registry: unknown member %s", id)
+	}
+	delete(r.members, id)
+	return nil
+}
+
+// Members returns the live membership, sorted by ID — the input every
+// router feeds the shard map.
+func (r *Registry) Members() []Member {
+	now := r.clock.Now()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Member, 0, len(r.members))
+	for _, e := range r.members {
+		if e.expires.IsZero() || !now.After(e.expires) {
+			out = append(out, e.m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// sweepMembersLocked drops expired members; called from Sweep.
+func (r *Registry) sweepMembersLocked(now time.Time) int {
+	n := 0
+	for id, e := range r.members {
+		if !e.expires.IsZero() && now.After(e.expires) {
+			delete(r.members, id)
+			n++
+		}
+	}
+	return n
+}

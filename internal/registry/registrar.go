@@ -1,0 +1,163 @@
+package registry
+
+// registrar.go fixes the brittle half of the lease protocol. A client
+// that only ever calls Renew is betting the registry never restarts:
+// after a registryd restart the lease table is empty, every renewal
+// fails with "no live registration", and the advertisement silently
+// ages out of the cluster until a human intervenes. The Registrar makes
+// renewal self-healing — when a heartbeat fails for any reason (dead
+// connection, restarted registry, expired lease), it re-dials and
+// re-registers from scratch instead of propagating the error, so one
+// surviving heartbeat tick restores the advertisement.
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"qoschain/internal/service"
+)
+
+// RegistrarConfig assembles a Registrar. At least one of Service and
+// Member must be set; a replica that both advertises its services and
+// participates in cluster membership sets both and heartbeats once.
+type RegistrarConfig struct {
+	// Addr is the registry server's TCP address.
+	Addr string
+	// Lease is the advertisement lease; each heartbeat extends it.
+	Lease time.Duration
+	// Timeout bounds each dial and round trip (0 = unbounded).
+	Timeout time.Duration
+	// Service is the service advertisement to keep alive, if any.
+	Service *service.Service
+	// Member is the cluster-membership advertisement to keep alive, if
+	// any.
+	Member *Member
+}
+
+// Registrar keeps advertisements alive across registry restarts.
+// Methods are safe for concurrent use.
+type Registrar struct {
+	cfg RegistrarConfig
+
+	mu     sync.Mutex
+	client *Client
+	// live tracks whether the current connection has a registration the
+	// registry acknowledged — only then is Renew meaningful.
+	live bool
+}
+
+// NewRegistrar builds a Registrar; nothing is sent until the first
+// Heartbeat.
+func NewRegistrar(cfg RegistrarConfig) *Registrar {
+	return &Registrar{cfg: cfg}
+}
+
+// Heartbeat renews the advertisements, re-registering from scratch when
+// renewal fails. It returns an error only when re-registration itself
+// failed — the registry is actually unreachable, not merely restarted.
+func (r *Registrar) Heartbeat(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil && r.live {
+		if err := r.renewLocked(ctx); err == nil {
+			return nil
+		}
+		// Renewal failed: the connection may be dead or the registry may
+		// have lost the lease table. Either way the cure is the same.
+		r.resetLocked()
+	}
+	return r.registerLocked(ctx)
+}
+
+// renewLocked extends both leases over the current connection.
+func (r *Registrar) renewLocked(ctx context.Context) error {
+	if r.cfg.Service != nil {
+		if err := r.client.RenewContext(ctx, r.cfg.Service.ID, r.cfg.Lease); err != nil {
+			return err
+		}
+	}
+	if r.cfg.Member != nil {
+		if err := r.client.RenewMemberContext(ctx, r.cfg.Member.ID, r.cfg.Lease); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registerLocked (re)dials if needed and registers both advertisements.
+func (r *Registrar) registerLocked(ctx context.Context) error {
+	if r.client == nil {
+		c, err := DialTimeout(r.cfg.Addr, r.cfg.Timeout)
+		if err != nil {
+			return err
+		}
+		r.client = c
+	}
+	if r.cfg.Service != nil {
+		if err := r.client.RegisterContext(ctx, r.cfg.Service, r.cfg.Lease); err != nil {
+			r.resetLocked()
+			return err
+		}
+	}
+	if r.cfg.Member != nil {
+		if err := r.client.JoinContext(ctx, *r.cfg.Member, r.cfg.Lease); err != nil {
+			r.resetLocked()
+			return err
+		}
+	}
+	r.live = true
+	return nil
+}
+
+// resetLocked drops the connection so the next attempt redials.
+func (r *Registrar) resetLocked() {
+	if r.client != nil {
+		r.client.Close()
+		r.client = nil
+	}
+	r.live = false
+}
+
+// Members polls the live cluster membership over the Registrar's
+// connection, redialing once on failure — routers and replicas share
+// the Registrar's self-healing transport instead of managing their own.
+func (r *Registrar) Members(ctx context.Context) ([]Member, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client == nil {
+		c, err := DialTimeout(r.cfg.Addr, r.cfg.Timeout)
+		if err != nil {
+			return nil, err
+		}
+		r.client = c
+	}
+	ms, err := r.client.MembersContext(ctx)
+	if err == nil {
+		return ms, nil
+	}
+	r.resetLocked()
+	c, derr := DialTimeout(r.cfg.Addr, r.cfg.Timeout)
+	if derr != nil {
+		return nil, err
+	}
+	r.client = c
+	return r.client.MembersContext(ctx)
+}
+
+// Close withdraws the advertisements best-effort and drops the
+// connection.
+func (r *Registrar) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil && r.live {
+		if r.cfg.Service != nil {
+			r.client.Deregister(r.cfg.Service.ID) //nolint:errcheck // best-effort withdrawal
+		}
+		if r.cfg.Member != nil {
+			r.client.Leave(r.cfg.Member.ID) //nolint:errcheck // best-effort withdrawal
+		}
+	}
+	r.resetLocked()
+	return nil
+}

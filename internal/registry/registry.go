@@ -85,6 +85,8 @@ type Registry struct {
 	byInput  map[media.Format]map[service.ID]bool
 	byOutput map[media.Format]map[service.ID]bool
 	subs     []chan Event
+	// members is the cluster-membership table (see membership.go).
+	members map[string]*memberEntry
 }
 
 // New returns an empty registry on the system clock.
@@ -209,9 +211,10 @@ func (r *Registry) Len() int {
 	return n
 }
 
-// Sweep removes expired entries and notifies watchers; it returns the
-// number removed. Queries already ignore expired entries, so Sweep exists
-// to reclaim memory and emit EventExpired.
+// Sweep removes expired entries (service registrations and cluster
+// members alike) and notifies watchers; it returns the number removed.
+// Queries already ignore expired entries, so Sweep exists to reclaim
+// memory, emit EventExpired, and make member expiry observable.
 func (r *Registry) Sweep() int {
 	now := r.clock.Now()
 	r.mu.Lock()
@@ -223,12 +226,13 @@ func (r *Registry) Sweep() int {
 			delete(r.entries, id)
 		}
 	}
+	expiredMembers := r.sweepMembersLocked(now)
 	subs := append([]chan Event(nil), r.subs...)
 	r.mu.Unlock()
 	for _, id := range expired {
 		notify(subs, Event{Kind: EventExpired, Service: id})
 	}
-	return len(expired)
+	return len(expired) + expiredMembers
 }
 
 // Watch subscribes to registry events; the channel has the given buffer

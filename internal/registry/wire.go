@@ -22,16 +22,21 @@ import (
 // request is the wire form of a registry operation.
 type request struct {
 	// Op is one of "register", "deregister", "renew", "lookup",
-	// "byinput", "byoutput", "all", "len".
+	// "byinput", "byoutput", "all", "len" — or, for cluster membership,
+	// "join", "mrenew", "leave", "members".
 	Op string `json:"op"`
 	// Service carries the advertisement for register.
 	Service *service.Service `json:"service,omitempty"`
 	// ID names the target for deregister/renew/lookup.
 	ID service.ID `json:"id,omitempty"`
-	// LeaseMs is the lease duration for register/renew.
+	// LeaseMs is the lease duration for register/renew/join/mrenew.
 	LeaseMs int64 `json:"leaseMs,omitempty"`
 	// Format is the query format for byinput/byoutput.
 	Format string `json:"format,omitempty"`
+	// Member carries the replica advertisement for join.
+	Member *Member `json:"member,omitempty"`
+	// MemberID names the target for mrenew/leave.
+	MemberID string `json:"memberId,omitempty"`
 }
 
 // response is the wire form of a registry reply.
@@ -40,6 +45,7 @@ type response struct {
 	Error    string             `json:"error,omitempty"`
 	Services []*service.Service `json:"services,omitempty"`
 	Count    int                `json:"count,omitempty"`
+	Members  []Member           `json:"members,omitempty"`
 }
 
 // Server exposes a Registry over TCP.
@@ -226,6 +232,27 @@ func (s *Server) dispatch(req request) response {
 		return response{OK: true, Services: svcs, Count: len(svcs)}
 	case "len":
 		return response{OK: true, Count: s.reg.Len()}
+	case "join":
+		if req.Member == nil {
+			return response{Error: "join without member"}
+		}
+		if err := s.reg.Join(*req.Member, time.Duration(req.LeaseMs)*time.Millisecond); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "mrenew":
+		if err := s.reg.RenewMember(req.MemberID, time.Duration(req.LeaseMs)*time.Millisecond); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "leave":
+		if err := s.reg.Leave(req.MemberID); err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true}
+	case "members":
+		ms := s.reg.Members()
+		return response{OK: true, Members: ms, Count: len(ms)}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
@@ -432,4 +459,46 @@ func (c *Client) Len() (int, error) {
 		return 0, err
 	}
 	return resp.Count, nil
+}
+
+// Join advertises a cluster member under a lease.
+func (c *Client) Join(m Member, lease time.Duration) error {
+	return c.JoinContext(context.Background(), m, lease)
+}
+
+// JoinContext is Join under a context.
+func (c *Client) JoinContext(ctx context.Context, m Member, lease time.Duration) error {
+	_, err := c.roundTrip(ctx, request{Op: "join", Member: &m, LeaseMs: lease.Milliseconds()})
+	return err
+}
+
+// RenewMember extends a member's lease.
+func (c *Client) RenewMember(id string, lease time.Duration) error {
+	return c.RenewMemberContext(context.Background(), id, lease)
+}
+
+// RenewMemberContext is RenewMember under a context.
+func (c *Client) RenewMemberContext(ctx context.Context, id string, lease time.Duration) error {
+	_, err := c.roundTrip(ctx, request{Op: "mrenew", MemberID: id, LeaseMs: lease.Milliseconds()})
+	return err
+}
+
+// Leave withdraws a member.
+func (c *Client) Leave(id string) error {
+	_, err := c.roundTrip(context.Background(), request{Op: "leave", MemberID: id})
+	return err
+}
+
+// Members lists the live cluster membership.
+func (c *Client) Members() ([]Member, error) {
+	return c.MembersContext(context.Background())
+}
+
+// MembersContext is Members under a context.
+func (c *Client) MembersContext(ctx context.Context) ([]Member, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "members"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Members, nil
 }

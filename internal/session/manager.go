@@ -77,6 +77,12 @@ type ManagerConfig struct {
 	// StateDir enables durability: commands are journaled there and
 	// replayed on the next open. Empty keeps the manager in-memory only.
 	StateDir string
+	// IDPrefix namespaces session IDs (e.g. "n1-" yields "n1-s1"), so a
+	// cluster router can map any session ID back to the node that minted
+	// it. Empty for a standalone daemon. A replica manager mirroring a
+	// remote primary sets the primary's prefix, so replicated creates
+	// replay under their original IDs.
+	IDPrefix string
 	// SnapshotEvery compacts the journal after this many commands.
 	// Default 64; negative disables periodic snapshots.
 	SnapshotEvery int
@@ -311,6 +317,7 @@ func (ms *Managed) replay(ev walEvent) error {
 
 // bumpSeq keeps the ID counter ahead of every replayed session ID.
 func (m *Manager) bumpSeq(id string) {
+	id = strings.TrimPrefix(id, m.cfg.IDPrefix)
 	if n, err := strconv.Atoi(strings.TrimPrefix(id, "s")); err == nil && n > m.seq {
 		m.seq = n
 	}
@@ -454,7 +461,7 @@ func (m *Manager) CreateCtx(ctx context.Context, spec CreateSpec) (*Managed, err
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.seq++
-	ms.id = fmt.Sprintf("s%d", m.seq)
+	ms.id = fmt.Sprintf("%ss%d", m.cfg.IDPrefix, m.seq)
 	m.sessions[ms.id] = ms
 	m.histories[ms.id] = &sessionHistory{Create: spec}
 	if err := m.journalTraced(ctx, walEvent{Op: "create", ID: ms.id, Create: &spec}); err != nil {

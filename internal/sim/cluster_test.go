@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"testing"
+
+	"qoschain/internal/metrics"
+)
+
+// TestRunCluster runs the full failover scenario — replicate, kill,
+// promote, verify — under a couple of seeds so different victims are
+// exercised.
+func TestRunCluster(t *testing.T) {
+	for _, seed := range []int64{1, 7} {
+		counters := metrics.NewCounters()
+		rep, err := RunCluster(ClusterSpec{
+			StateRoot: t.TempDir(),
+			Seed:      seed,
+			Sessions:  4,
+			Counters:  counters,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("seed %d: contract violated: %+v", seed, rep)
+		}
+		if rep.ShippedRecords == 0 {
+			t.Fatalf("seed %d: nothing replicated before the kill", seed)
+		}
+		if rep.Adopted == 0 || rep.ServedAfterFailover != rep.Adopted {
+			t.Fatalf("seed %d: adopted %d, served %d", seed, rep.Adopted, rep.ServedAfterFailover)
+		}
+		if counters.Get(metrics.CounterClusterPromotions) == 0 {
+			t.Fatalf("seed %d: no promotion recorded", seed)
+		}
+		if s := counters.SampleSummary(metrics.SampleReplicationLag); s.Count == 0 {
+			t.Fatalf("seed %d: no replication lag samples", seed)
+		}
+	}
+}

@@ -35,6 +35,13 @@ type PayloadPool struct {
 	// misses counts Gets that had to allocate, which tests use to prove
 	// the steady state recycles instead of allocating.
 	misses atomic.Int64
+
+	// outstanding counts pool-eligible buffers currently checked out:
+	// +1 per Get, -1 per Put. Leak audits assert it returns to zero
+	// after a run — valid only under the ownership discipline this
+	// package follows (every Get-ed buffer is eventually Put exactly
+	// once, and nothing else is Put).
+	outstanding atomic.Int64
 }
 
 type payloadClass struct {
@@ -67,6 +74,7 @@ func (p *PayloadPool) Get(n int) []byte {
 	if c > poolMaxClass {
 		return make([]byte, n)
 	}
+	p.outstanding.Add(1)
 	cl := &p.classes[c]
 	cl.mu.Lock()
 	if last := len(cl.bufs) - 1; last >= 0 {
@@ -94,6 +102,9 @@ func (p *PayloadPool) Put(b []byte) {
 	if c > poolMaxClass {
 		return
 	}
+	// A full shelf still counts as returned — the buffer left the
+	// caller's ownership either way.
+	p.outstanding.Add(-1)
 	cl := &p.classes[c]
 	cl.mu.Lock()
 	if len(cl.bufs) < poolClassCap {
@@ -109,4 +120,14 @@ func (p *PayloadPool) Misses() int64 {
 		return 0
 	}
 	return p.misses.Load()
+}
+
+// Outstanding reports how many pool-eligible buffers are checked out
+// (Get minus Put). Zero after a pipeline run means no payload buffer
+// leaked on a failure or cancellation path.
+func (p *PayloadPool) Outstanding() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.outstanding.Load()
 }
