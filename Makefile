@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-obs race-cluster cluster-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
+.PHONY: all build test vet race race-obs race-cluster race-storm cluster-smoke storm-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
 
 all: check
 
@@ -33,6 +33,19 @@ race-cluster:
 # node's shipper is fenced.
 cluster-smoke:
 	$(GO) run ./cmd/adaptsim -cluster -trials 5 -seed 7
+
+# race-storm races the mass re-composition tier: the storm controller's
+# concurrent class fan-out and the incremental graph repair it drives.
+race-storm:
+	$(GO) test -race -count=1 ./internal/storm/ ./internal/graph/ ./internal/overlay/
+
+# storm-smoke runs a seeded correlated backbone event over a scaled
+# multi-region deployment and mass re-composes by equivalence class.
+# Fails unless Select cost is sub-linear in the affected sessions
+# (≤ 0.05 calls/session), no bandwidth leaks, and every member chain
+# matches the naive per-session re-evaluation byte-for-byte.
+storm-smoke:
+	$(GO) run ./cmd/adaptsim -storm -storm-sessions 4000 -seed 7
 
 # trace-overhead runs the instrumentation-overhead guard: BenchmarkSelect
 # traced vs plain must stay within a 5% budget.

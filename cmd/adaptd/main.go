@@ -65,6 +65,7 @@ import (
 	"qoschain/internal/registry"
 	"qoschain/internal/session"
 	"qoschain/internal/store"
+	"qoschain/internal/storm"
 	"qoschain/internal/trace"
 )
 
@@ -104,6 +105,16 @@ func main() {
 
 	var opts httpapi.Options
 	opts.Metrics = reg
+	// The storm controller owns mass re-composition state. The daemon's
+	// overlay regions attach at runtime; even before any do, /healthz
+	// carries the storm section and /metrics the storm.* counters.
+	storms, err := storm.Open(storm.Config{Counters: metrics.CountersOn(reg)}, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptd: storm controller:", err)
+		os.Exit(1)
+	}
+	defer storms.Close()
+	opts.Storm = storms
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

@@ -67,6 +67,11 @@ func main() {
 	overload := flag.Bool("overload", false, "drive a seeded 10x burst through the admission layers under a virtual clock and report the admitted/queued/shed breakdown")
 	clusterFlag := flag.Bool("cluster", false, "run a 3-replica Figure 6 deployment with WAL shipping, kill a node mid-run, and verify byte-identical failover with zero leaked bandwidth")
 	trials := flag.Int("trials", 5, "with -cluster: how many seeded kill scenarios to run")
+	stormFlag := flag.Bool("storm", false, "inject a seeded correlated backbone event over a scaled Figure 6 deployment and mass re-compose by equivalence class, verifying sub-linear Select cost, zero leaked bandwidth, and per-session plan equivalence")
+	stormSessions := flag.Int("storm-sessions", 100000, "with -storm: total session count")
+	stormRegions := flag.Int("storm-regions", 4, "with -storm: number of network regions")
+	stormClasses := flag.Int("storm-classes", 8, "with -storm: equivalence classes per region")
+	stormVerify := flag.Bool("storm-verify", true, "with -storm: run the naive per-session Select equivalence check")
 	flag.Parse()
 
 	if *scenarioFile != "" {
@@ -87,6 +92,10 @@ func main() {
 	}
 	if *clusterFlag {
 		runCluster(*seed, *trials)
+		return
+	}
+	if *stormFlag {
+		runStorm(*seed, *stormSessions, *stormRegions, *stormClasses, *stormVerify)
 		return
 	}
 	if *batch > 0 {
@@ -606,4 +615,58 @@ func runCrash(seed int64) {
 		os.Exit(1)
 	}
 	fmt.Println("\ncrash recovery: every committed session recovered byte-identical, zero leaked kbps")
+}
+
+// runStorm injects a seeded correlated backbone event over a scaled
+// multi-region Figure 6 deployment and mass re-composes every affected
+// session by equivalence class. The run verifies the storm contract —
+// sub-linear Select cost (≤ 0.05 calls per affected session), zero
+// leaked bandwidth, and (with -storm-verify) byte-identical chains
+// against the naive per-session re-evaluation — and exits nonzero on
+// any violation, so it doubles as the CI storm smoke check.
+func runStorm(seed int64, sessions, regions, classes int, verify bool) {
+	fmt.Printf("adaptsim: backbone storm — %d sessions, %d regions × %d classes (seed %d, verify %v)\n\n",
+		sessions, regions, classes, seed, verify)
+	counters := metrics.NewCounters()
+	rep, err := sim.RunStorm(sim.StormSpec{
+		Seed:             seed,
+		Sessions:         sessions,
+		Regions:          regions,
+		ClassesPerRegion: classes,
+		Verify:           verify,
+		Counters:         counters,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim:", err)
+		os.Exit(1)
+	}
+	tb := metrics.NewTable("sessions", "classes", "backbone links", "affected classes",
+		"affected sessions", "select calls", "selects/affected", "replanned",
+		"degraded", "swap failed", "leak kbps")
+	tb.AddRow(rep.Sessions, rep.Classes, rep.BackboneLinks, rep.AffectedClasses,
+		rep.AffectedSessions, rep.SelectCalls, fmt.Sprintf("%.4f", rep.SelectsPerAff),
+		rep.Replanned, rep.DegradedSessions, rep.SwapFailed,
+		fmt.Sprintf("%.3f", rep.LeakKbps))
+	tb.Render(os.Stdout)
+	fmt.Printf("\ngraph cache: %d incremental repairs, %d full rebuilds\n",
+		rep.CacheRepairs, rep.CacheRebuilds)
+	if verify {
+		fmt.Printf("equivalence: %d naive per-session checks, %d mismatches\n",
+			rep.NaiveChecks, rep.Mismatches)
+	}
+	fmt.Printf("recovery: %.2f ms wall-clock for %d sessions\n", rep.RecoveryMs, rep.AffectedSessions)
+	fmt.Println()
+	counters.Render(os.Stdout)
+	if qd := counters.SampleSummary(metrics.SampleStormQueueDepth); qd.Count > 0 {
+		fmt.Printf("\nstorm queue depth: n=%d mean=%.2f p90=%.2f max=%.2f\n",
+			qd.Count, qd.Mean, qd.P90, qd.Max)
+	}
+	if !rep.OK() {
+		if rep.Err != "" {
+			fmt.Fprintln(os.Stderr, "adaptsim:", rep.Err)
+		}
+		fmt.Println("\nbackbone storm: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("\nbackbone storm: sub-linear re-composition, zero leaked kbps, chains equivalent")
 }

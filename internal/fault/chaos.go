@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 
 	"qoschain/internal/overlay"
 	"qoschain/internal/service"
@@ -29,6 +31,17 @@ type ChaosSpec struct {
 	// LossSpikeRate is the per-step probability of spiking one random
 	// link's loss rate.
 	LossSpikeRate float64
+	// BackboneRate is the per-step probability of a correlated backbone
+	// event: every link touching one randomly chosen region degrades at
+	// once — one BandwidthCollapse per link, all sharing a Group tag, the
+	// same collapse factor and the same recovery step. This is the
+	// realistic correlated failure a storm controller must absorb, as
+	// opposed to the independent single-link faults above.
+	BackboneRate float64
+	// Regions maps host → region name for backbone events. A link belongs
+	// to every region either endpoint is in; hosts absent from the map
+	// fall into the region "core". Ignored when BackboneRate is zero.
+	Regions map[string]string
 	// MinOutage/MaxOutage bound each fault's RecoverAfter (steps).
 	// Defaults: 2 and 6.
 	MinOutage int
@@ -65,6 +78,27 @@ func RandomSchedule(spec ChaosSpec, net *overlay.Network, svcs []*service.Servic
 	}
 	snap := net.Snapshot()
 	links := snap.Links // deterministic order from Snapshot
+
+	// Backbone setup: the sorted list of regions that actually own links,
+	// so the per-step region draw is deterministic and never a no-op.
+	regionOf := func(host string) string {
+		if r, ok := spec.Regions[host]; ok {
+			return r
+		}
+		return "core"
+	}
+	var regions []string
+	if spec.BackboneRate > 0 {
+		seen := make(map[string]bool)
+		for _, l := range links {
+			seen[regionOf(l.From)] = true
+			seen[regionOf(l.To)] = true
+		}
+		for r := range seen {
+			regions = append(regions, r)
+		}
+		sort.Strings(regions)
+	}
 
 	var schedule []Fault
 	for step := 1; step <= spec.Steps; step++ {
@@ -107,6 +141,31 @@ func RandomSchedule(spec ChaosSpec, net *overlay.Network, svcs []*service.Servic
 				LossRate:     0.2 + 0.6*rng.Float64(),
 				RecoverAfter: outage(),
 			})
+		}
+		if len(regions) > 0 && rng.Float64() < spec.BackboneRate {
+			region := regions[rng.Intn(len(regions))]
+			// One factor, one outage, one group for the whole event: the
+			// links degrade and recover together, the way a shared
+			// backbone failing under them would look. The factor is
+			// shallower than a single-link collapse (35–65 % instead of
+			// 5–25 %) — a backbone brownout, not an outage, so admitted
+			// traffic still fits and the event exercises re-planning
+			// rather than topology loss.
+			factor := 0.35 + 0.30*rng.Float64()
+			recover := outage()
+			group := fmt.Sprintf("backbone-%s-t%d", region, step)
+			for _, l := range links {
+				if regionOf(l.From) != region && regionOf(l.To) != region {
+					continue
+				}
+				schedule = append(schedule, Fault{
+					AtStep: step, Kind: BandwidthCollapse,
+					From: l.From, To: l.To,
+					Factor:       factor,
+					RecoverAfter: recover,
+					Group:        group,
+				})
+			}
 		}
 	}
 	return schedule

@@ -1,0 +1,129 @@
+package fault
+
+// Tests for the correlated backbone event class and the changed-link
+// reduction the storm controller consumes.
+
+import (
+	"reflect"
+	"testing"
+
+	"qoschain/internal/overlay"
+)
+
+// backboneNet is two regions: edge hosts e1/e2 and core hosts c1/c2.
+func backboneNet() *overlay.Network {
+	net := overlay.New()
+	net.AddLink("e1", "c1", 1000, 5, 0)
+	net.AddLink("e2", "c1", 1000, 5, 0)
+	net.AddLink("c1", "c2", 2000, 5, 0)
+	return net
+}
+
+var backboneRegions = map[string]string{"e1": "edge", "e2": "edge"}
+
+func TestBackboneEventIsCorrelated(t *testing.T) {
+	net := backboneNet()
+	schedule := RandomSchedule(ChaosSpec{
+		Seed: 11, Steps: 1, BackboneRate: 1, Regions: backboneRegions,
+	}, net, nil)
+	if len(schedule) == 0 {
+		t.Fatal("BackboneRate=1 produced no faults")
+	}
+	group := schedule[0].Group
+	if group == "" {
+		t.Fatal("backbone fault carries no Group tag")
+	}
+	region := ""
+	for _, f := range schedule {
+		if f.Kind != BandwidthCollapse {
+			t.Fatalf("backbone event emitted %s, want only bandwidth collapses", f.Kind)
+		}
+		// Every fault of the event shares factor, group, and recovery —
+		// the links brown out and recover together.
+		if f.Group != group || f.Factor != schedule[0].Factor || f.RecoverAfter != schedule[0].RecoverAfter {
+			t.Fatalf("uncorrelated fault in backbone event: %+v vs %+v", f, schedule[0])
+		}
+		if f.Factor < 0.35 || f.Factor > 0.65 {
+			t.Fatalf("backbone factor %.3f outside the brownout band [0.35, 0.65]", f.Factor)
+		}
+		_ = region
+	}
+	// The region draw picked either "edge" (2 links) or "core" (all 3:
+	// every link touches a core endpoint); both are correlated events.
+	if n := len(schedule); n != 2 && n != 3 {
+		t.Fatalf("backbone event hit %d links, want 2 (edge) or 3 (core)", n)
+	}
+}
+
+func TestBackboneScheduleDeterministic(t *testing.T) {
+	spec := ChaosSpec{Seed: 23, Steps: 5, BackboneRate: 0.8, Regions: backboneRegions}
+	a := RandomSchedule(spec, backboneNet(), nil)
+	b := RandomSchedule(spec, backboneNet(), nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different backbone schedules")
+	}
+	spec.Seed = 24
+	c := RandomSchedule(spec, backboneNet(), nil)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestBackboneRecoveryRestoresCapacity(t *testing.T) {
+	net := backboneNet()
+	schedule := RandomSchedule(ChaosSpec{
+		Seed: 11, Steps: 1, BackboneRate: 1, Regions: backboneRegions,
+		MinOutage: 1, MaxOutage: 1,
+	}, net, nil)
+	inj, err := NewInjector(net, nil, schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := inj.Step() // the collapse
+	if len(fired) == 0 {
+		t.Fatal("no faults fired at step 1")
+	}
+	capAfter, _, _ := net.Capacity(fired[0].From, fired[0].To)
+	if capAfter >= 1000 {
+		t.Fatalf("capacity %0.f not collapsed", capAfter)
+	}
+	recovered := inj.Step() // the scheduled inverse, one step later
+	if len(recovered) != len(fired) {
+		t.Fatalf("recovery fired %d faults, collapse fired %d", len(recovered), len(fired))
+	}
+	for _, f := range fired {
+		capKbps, _, ok := net.Capacity(f.From, f.To)
+		if !ok || capKbps != 1000 && capKbps != 2000 {
+			t.Fatalf("link %s->%s capacity %.0f not restored", f.From, f.To, capKbps)
+		}
+	}
+	// The inverse faults keep the event's group, so observers can
+	// correlate recovery with the collapse.
+	if recovered[0].Group != fired[0].Group {
+		t.Fatalf("recovery group %q != collapse group %q", recovered[0].Group, fired[0].Group)
+	}
+}
+
+func TestChangedLinksReduction(t *testing.T) {
+	net := backboneNet()
+	fired := []Fault{
+		{Kind: BandwidthCollapse, From: "e1", To: "c1", Factor: 0.5},
+		{Kind: BandwidthCollapse, From: "e1", To: "c1", Factor: 0.5}, // duplicate
+		{Kind: LossSpike, From: "c1", To: "c2", LossRate: 0.4},
+		{Kind: HostCrash, Host: "e2"}, // expands to e2's links
+		{Kind: ServiceDown, Service: "t1"},
+		{Kind: HostCrash, Host: "ghost"}, // unknown host: contributes nothing
+	}
+	got := ChangedLinks(fired, net)
+	want := []overlay.LinkRef{
+		{From: "c1", To: "c2"},
+		{From: "e1", To: "c1"},
+		{From: "e2", To: "c1"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ChangedLinks = %v, want %v", got, want)
+	}
+	if len(ChangedLinks(nil, net)) != 0 {
+		t.Fatal("ChangedLinks(nil) should be empty")
+	}
+}

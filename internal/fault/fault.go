@@ -72,6 +72,11 @@ type Fault struct {
 	// RecoverAfter > 0 auto-schedules the inverse fault that many steps
 	// after this one fires — a bounded outage.
 	RecoverAfter int `json:"recoverAfter,omitempty"`
+	// Group correlates faults born from one event: a backbone event that
+	// degrades every link of a region stamps the same Group on each
+	// per-link fault, so consumers (the storm controller, reports) can
+	// treat them as one incident. Empty for independent faults.
+	Group string `json:"group,omitempty"`
 }
 
 // String renders the fault compactly for logs and reports.
@@ -364,32 +369,32 @@ func (inj *Injector) inverse(f Fault) (Fault, bool) {
 	key := [2]string{f.From, f.To}
 	switch f.Kind {
 	case HostCrash:
-		return Fault{AtStep: at, Kind: HostRecover, Host: f.Host}, true
+		return Fault{AtStep: at, Kind: HostRecover, Host: f.Host, Group: f.Group}, true
 	case LinkDown:
-		return Fault{AtStep: at, Kind: LinkUp, From: f.From, To: f.To}, true
+		return Fault{AtStep: at, Kind: LinkUp, From: f.From, To: f.To, Group: f.Group}, true
 	case BandwidthCollapse:
 		orig, ok := inj.savedBandwidth[key]
 		if !ok {
 			return Fault{}, false
 		}
 		delete(inj.savedBandwidth, key)
-		return Fault{AtStep: at, Kind: restoreBandwidth, From: f.From, To: f.To, Factor: orig}, true
+		return Fault{AtStep: at, Kind: restoreBandwidth, From: f.From, To: f.To, Factor: orig, Group: f.Group}, true
 	case LossSpike:
 		orig, ok := inj.savedLoss[key]
 		if !ok {
 			return Fault{}, false
 		}
 		delete(inj.savedLoss, key)
-		return Fault{AtStep: at, Kind: LossSpike, From: f.From, To: f.To, LossRate: orig}, true
+		return Fault{AtStep: at, Kind: LossSpike, From: f.From, To: f.To, LossRate: orig, Group: f.Group}, true
 	case DelaySpike:
 		orig, ok := inj.savedDelay[key]
 		if !ok {
 			return Fault{}, false
 		}
 		delete(inj.savedDelay, key)
-		return Fault{AtStep: at, Kind: DelaySpike, From: f.From, To: f.To, DelayMs: orig}, true
+		return Fault{AtStep: at, Kind: DelaySpike, From: f.From, To: f.To, DelayMs: orig, Group: f.Group}, true
 	case ServiceDown:
-		return Fault{AtStep: at, Kind: ServiceUp, Service: f.Service}, true
+		return Fault{AtStep: at, Kind: ServiceUp, Service: f.Service, Group: f.Group}, true
 	}
 	return Fault{}, false
 }

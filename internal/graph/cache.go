@@ -52,7 +52,7 @@ type Cache struct {
 	tick    uint64
 	entries map[uint64]*cacheEntry
 
-	hits, misses, refreshes uint64
+	hits, misses, refreshes, repairs uint64
 }
 
 type cacheEntry struct {
@@ -87,6 +87,9 @@ type CacheStats struct {
 	// Refreshes counts hits that re-annotated edge QoS in place after a
 	// bandwidth-only network change.
 	Refreshes uint64
+	// Repairs counts hits that patched only the edges touching a known
+	// changed-link set (BuildRepair) instead of re-annotating every edge.
+	Repairs uint64
 	// Entries is the current number of cached graphs.
 	Entries int
 }
@@ -95,7 +98,7 @@ type CacheStats struct {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Refreshes: c.refreshes, Entries: len(c.entries)}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Refreshes: c.refreshes, Repairs: c.repairs, Entries: len(c.entries)}
 }
 
 // Reset drops every cached graph.
@@ -119,6 +122,7 @@ type BuildOutcome string
 const (
 	OutcomeHit     BuildOutcome = "hit"
 	OutcomeRefresh BuildOutcome = "refresh"
+	OutcomeRepair  BuildOutcome = "repair"
 	OutcomeMiss    BuildOutcome = "miss"
 )
 

@@ -1,0 +1,121 @@
+package graph
+
+import "qoschain/internal/overlay"
+
+// Incremental graph repair: when the caller knows *which* links a
+// network event changed (the fault → overlay event path carries the
+// changed-link set), re-annotating every edge of a cached graph is
+// wasted work — on a Figure 6-style deployment a backbone event touches
+// a handful of links while the graph carries hundreds of edges. Repair
+// patches only the edges the changed set can influence:
+//
+//   - an edge between hosts joined by a direct usable link is exact as
+//     long as that one link is unchanged — skipped unless its link is in
+//     the changed set;
+//   - an edge between hosts with no direct link was annotated from a
+//     routed (widest/min-delay) path that may cross any changed link —
+//     always re-queried, conservatively;
+//   - a co-located edge (same host) is link-independent — always skipped.
+//
+// Repair preserves the cache's refresh-vs-rebuild decision rule: it
+// applies only while the connectivity signature is unchanged. Any
+// topology-affecting event (link down, host crash, bandwidth to zero)
+// changes the connectivity signature and falls back to a full rebuild,
+// exactly as BuildEx would.
+
+// BuildRepair is Build with a known changed-link set: a cached graph
+// whose topology is intact is patched only on the edges touching the
+// changed links. See BuildRepairEx for the outcome rules.
+func (c *Cache) BuildRepair(in Input, changed []overlay.LinkRef) (*Graph, error) {
+	g, _, err := c.BuildRepairEx(in, changed)
+	return g, err
+}
+
+// BuildRepairEx is BuildEx specialized for a known changed-link set.
+// With no cached entry, no live network, or an empty changed set it
+// behaves exactly like BuildEx. On a cached entry whose connectivity
+// signature is unchanged it returns OutcomeRepair after patching only
+// the affected edges; a connectivity change (or a host pair that lost
+// its routed path) falls back to the BuildEx rebuild path and reports
+// OutcomeMiss.
+func (c *Cache) BuildRepairEx(in Input, changed []overlay.LinkRef) (*Graph, BuildOutcome, error) {
+	if in.Net == nil || len(changed) == 0 {
+		return c.BuildEx(in)
+	}
+	key := fingerprintInput(&in)
+	gen := in.Net.Generation()
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.mu.Unlock()
+		return c.BuildEx(in)
+	}
+	if gen == e.netGen {
+		c.hits++
+		c.touch(e)
+		g := e.g
+		c.mu.Unlock()
+		return g, OutcomeHit, nil
+	}
+	connSig, valueSig := networkSignatures(in.Net.Snapshot())
+	if connSig != e.connSig {
+		// Host-pair reachability may have changed: rebuild from scratch.
+		delete(c.entries, key)
+		c.mu.Unlock()
+		return c.BuildEx(in)
+	}
+	touched := make(map[[2]string]bool, len(changed))
+	for _, l := range changed {
+		touched[[2]string{l.From, l.To}] = true
+	}
+	if !repairEdgeQoS(e.g, &e.in, touched) {
+		// A routed host pair lost connectivity despite an unchanged link
+		// set — same fallback as the refresh path.
+		delete(c.entries, key)
+		c.mu.Unlock()
+		return c.BuildEx(in)
+	}
+	e.valueSig = valueSig
+	e.netGen = gen
+	c.hits++
+	c.repairs++
+	c.touch(e)
+	g := e.g
+	c.mu.Unlock()
+	return g, OutcomeRepair, nil
+}
+
+// repairEdgeQoS re-annotates the edges the changed-link set can
+// influence (see the package comment above for the decision rule). It
+// reports false when some edge's host pair is no longer connected — the
+// caller must rebuild.
+func repairEdgeQoS(g *Graph, in *Input, touched map[[2]string]bool) bool {
+	for i := 0; i < g.NodeIndexCount(); i++ {
+		fromNode, ok := g.Node(g.NodeIDAt(i))
+		if !ok {
+			continue // pruned vertex
+		}
+		for _, e := range g.OutAt(i) {
+			toNode, ok := g.Node(e.To)
+			if !ok {
+				continue
+			}
+			if fromNode.Host == toNode.Host {
+				continue // co-located: +Inf regardless of any link
+			}
+			if !touched[[2]string{fromNode.Host, toNode.Host}] &&
+				in.Net.HasUsableLink(fromNode.Host, toNode.Host) {
+				continue // direct link unchanged: annotation still exact
+			}
+			kbps, delay, loss, connected := linkQoS(in.Net, fromNode.Host, toNode.Host)
+			if !connected {
+				return false
+			}
+			e.BandwidthKbps = kbps
+			e.DelayMs = delay
+			e.LossRate = loss
+		}
+	}
+	return true
+}

@@ -1,0 +1,241 @@
+package graph
+
+// Tests for incremental graph repair (BuildRepair): a repaired graph
+// must carry exactly the annotations a full rebuild would, only edges
+// touching the changed-link set are re-queried, topology changes fall
+// back to a rebuild, and concurrent repairs against concurrent Build
+// traffic are race-free.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"qoschain/internal/media"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// repairNet is a three-proxy overlay: two parallel sender uplinks and a
+// routed pair (sender→p3 has no direct link, so its edge is annotated
+// from a widest path).
+func repairNet() *overlay.Network {
+	net := overlay.New()
+	net.AddLink("sender", "p1", 2000, 5, 0)
+	net.AddLink("sender", "p2", 3000, 5, 0)
+	net.AddLink("p1", "p3", 1800, 5, 0)
+	net.AddLink("p2", "p3", 2500, 5, 0)
+	net.AddLink("p1", "recv", 1500, 5, 0)
+	net.AddLink("p2", "recv", 1600, 5, 0)
+	net.AddLink("p3", "recv", 1400, 5, 0)
+	return net
+}
+
+// repairInput deploys one converter per proxy so the graph has an edge
+// over every link plus the routed sender→p3 pair.
+func repairInput(net *overlay.Network) Input {
+	svc := func(id, host string) *service.Service {
+		return &service.Service{
+			ID:      service.ID(id),
+			Inputs:  []media.Format{media.Opaque(1)},
+			Outputs: []media.Format{media.Opaque(2)},
+			Host:    host,
+		}
+	}
+	return Input{
+		Content: &profile.Content{ID: "c", Variants: []media.Descriptor{
+			{Format: media.Opaque(1), Params: media.Params{media.ParamFrameRate: 30}},
+		}},
+		Device: &profile.Device{ID: "d", Software: profile.Software{
+			Decoders: []media.Format{media.Opaque(2)},
+		}},
+		Services:     []*service.Service{svc("s1", "p1"), svc("s2", "p2"), svc("s3", "p3")},
+		Net:          net,
+		SenderHost:   "sender",
+		ReceiverHost: "recv",
+	}
+}
+
+// edgeBandwidths flattens a graph's per-edge bandwidth annotations.
+func edgeBandwidths(g *Graph) map[string]float64 {
+	out := make(map[string]float64)
+	for _, id := range g.NodeIDs() {
+		for _, e := range g.Out(id) {
+			out[fmt.Sprintf("%s->%s/%s", e.From, e.To, e.Format)] = e.BandwidthKbps
+		}
+	}
+	return out
+}
+
+func TestRepairMatchesFullRebuild(t *testing.T) {
+	net := repairNet()
+	c := NewCache(0)
+	in := repairInput(net)
+	g, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A value-only change on two links, repaired with the exact
+	// changed-link set.
+	if err := net.SetBandwidth("sender", "p1", 900); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.SetBandwidth("p2", "p3", 1100); err != nil {
+		t.Fatal(err)
+	}
+	changed := []overlay.LinkRef{{From: "sender", To: "p1"}, {From: "p2", To: "p3"}}
+	repaired, outcome, err := c.BuildRepairEx(in, changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeRepair {
+		t.Fatalf("outcome = %s, want %s", outcome, OutcomeRepair)
+	}
+	if repaired != g {
+		t.Fatal("repair must patch the cached graph in place, not rebuild")
+	}
+
+	// Ground truth: a cold cache built from the same post-change network.
+	fresh, err := NewCache(0).Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := edgeBandwidths(fresh), edgeBandwidths(repaired)
+	if len(want) != len(got) {
+		t.Fatalf("repaired graph has %d edges, rebuild has %d", len(got), len(want))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Fatalf("edge %s: repaired bandwidth %.1f, rebuild %.1f", k, got[k], w)
+		}
+	}
+	if st := c.Stats(); st.Repairs != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 repair", st)
+	}
+}
+
+func TestRepairSkipsUntouchedDirectEdges(t *testing.T) {
+	net := repairNet()
+	c := NewCache(0)
+	in := repairInput(net)
+	g, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := edgeBandwidths(g)
+
+	// Change p1→recv but repair with a changed set naming only
+	// sender→p2: the p1→recv direct edge must keep its stale annotation
+	// (proof the repair did not re-query it), while the routed
+	// sender→p3 pair is always conservatively re-queried.
+	if err := net.SetBandwidth("p1", "recv", 700); err != nil {
+		t.Fatal(err)
+	}
+	if _, outcome, err := c.BuildRepairEx(in, []overlay.LinkRef{{From: "sender", To: "p2"}}); err != nil {
+		t.Fatal(err)
+	} else if outcome != OutcomeRepair {
+		t.Fatalf("outcome = %s, want %s", outcome, OutcomeRepair)
+	}
+	after := edgeBandwidths(g)
+	key := fmt.Sprintf("p1->recv/%s", media.Opaque(2))
+	if after[key] != before[key] {
+		t.Fatalf("untouched direct edge was re-annotated: %.1f -> %.1f", before[key], after[key])
+	}
+}
+
+func TestRepairTopologyChangeFallsBackToRebuild(t *testing.T) {
+	net := repairNet()
+	c := NewCache(0)
+	in := repairInput(net)
+	if _, err := c.Build(in); err != nil {
+		t.Fatal(err)
+	}
+	// A link going down changes the connectivity signature; repair must
+	// refuse to patch and rebuild from scratch like BuildEx would.
+	if err := net.FailLink("p1", "recv"); err != nil {
+		t.Fatal(err)
+	}
+	_, outcome, err := c.BuildRepairEx(in, []overlay.LinkRef{{From: "p1", To: "recv"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeMiss {
+		t.Fatalf("outcome = %s after topology change, want %s (full rebuild)", outcome, OutcomeMiss)
+	}
+	if st := c.Stats(); st.Repairs != 0 {
+		t.Fatalf("stats = %+v: a topology change must never count as a repair", st)
+	}
+}
+
+func TestRepairEmptyChangedSetIsBuildEx(t *testing.T) {
+	net := repairNet()
+	c := NewCache(0)
+	in := repairInput(net)
+	g1, err := c.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, outcome, err := c.BuildRepairEx(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g1 || outcome != OutcomeHit {
+		t.Fatalf("empty changed set: outcome %s, want plain hit on the cached graph", outcome)
+	}
+}
+
+// TestRepairConcurrentWithBuild drives repairs, refreshes and rebuilds
+// from many goroutines against one cache while the network mutates —
+// the -race proof for the in-place refresh the storm controller leans
+// on. (The *planner* still serializes selection against refresh per the
+// cache contract; the cache itself must be internally race-free.)
+func TestRepairConcurrentWithBuild(t *testing.T) {
+	net := repairNet()
+	c := NewCache(0)
+	in := repairInput(net)
+	if _, err := c.Build(in); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	mutatorDone := make(chan struct{})
+	// Mutator: bandwidth wobbles on two links until the readers finish.
+	go func() {
+		defer close(mutatorDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = net.SetBandwidth("sender", "p1", 1000+float64(i%7)*100)
+			_ = net.SetBandwidth("p2", "p3", 1500+float64(i%5)*100)
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			changed := []overlay.LinkRef{{From: "sender", To: "p1"}, {From: "p2", To: "p3"}}
+			for i := 0; i < 200; i++ {
+				if w%2 == 0 {
+					if _, _, err := c.BuildRepairEx(in, changed); err != nil {
+						t.Errorf("BuildRepairEx: %v", err)
+						return
+					}
+				} else {
+					if _, err := c.Build(in); err != nil {
+						t.Errorf("Build: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-mutatorDone
+}

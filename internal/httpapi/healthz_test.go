@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"qoschain/internal/storm"
 )
 
 // healthzDoc is the decoded /healthz body the replication tests assert
@@ -13,6 +15,7 @@ type healthzDoc struct {
 	Status      string             `json:"status"`
 	Durable     bool               `json:"durable"`
 	Replication *ReplicationStatus `json:"replication"`
+	Storm       *storm.Status      `json:"storm"`
 }
 
 func getHealthz(t *testing.T, base string) healthzDoc {
@@ -58,5 +61,33 @@ func TestHealthzReplicationStatus(t *testing.T) {
 	}
 	if got, want := doc.Replication.AppliedSeq, m.LastSeq(); got != want || want == 0 {
 		t.Fatalf("appliedSeq = %d, want live offset %d (nonzero)", got, want)
+	}
+}
+
+// TestHealthzStormStatus: when a storm controller is wired in, /healthz
+// carries its live view — class and session counts, pending links and
+// the in-progress flag — so operators can gate traffic on recovery
+// state.
+func TestHealthzStormStatus(t *testing.T) {
+	// Without a controller the section is absent.
+	bare := httptest.NewServer(Handler())
+	defer bare.Close()
+	if doc := getHealthz(t, bare.URL); doc.Storm != nil {
+		t.Fatalf("storm section present without a controller: %+v", doc.Storm)
+	}
+
+	ctrl, err := storm.Open(storm.Config{}, nil)
+	if err != nil {
+		t.Fatalf("storm.Open: %v", err)
+	}
+	defer ctrl.Close()
+	srv := httptest.NewServer(HandlerWithOptions(Options{Storm: ctrl}))
+	defer srv.Close()
+	doc := getHealthz(t, srv.URL)
+	if doc.Storm == nil {
+		t.Fatal("healthz missing the storm section")
+	}
+	if doc.Storm.Classes != 0 || doc.Storm.Active || doc.Storm.Storms != 0 {
+		t.Fatalf("fresh controller status = %+v", doc.Storm)
 	}
 }

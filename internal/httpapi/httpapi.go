@@ -36,6 +36,7 @@ import (
 	"qoschain/internal/profile"
 	"qoschain/internal/session"
 	"qoschain/internal/store"
+	"qoschain/internal/storm"
 )
 
 // maxBody bounds request bodies (profile sets are small).
@@ -96,6 +97,15 @@ type ReplicationReporter interface {
 	ReplicationStatus() *ReplicationStatus
 }
 
+// StormReporter is implemented by the mass re-composition controller
+// (internal/storm); when wired, /healthz carries its live status —
+// class and session counts, pending changed links, whether a storm is
+// executing, and the last storm's report — so operators can gate
+// traffic on recovery state, not just liveness.
+type StormReporter interface {
+	Status() storm.Status
+}
+
 // Options configures the API handler.
 type Options struct {
 	// Sessions, when set, backs /v1/sessions with an existing (possibly
@@ -110,6 +120,8 @@ type Options struct {
 	// request-level http.*/compose.latency_ms series are recorded by
 	// WithObservability instead. Nil is a valid no-op sink.
 	Metrics *metrics.Registry
+	// Storm, when set, adds the storm controller's status to /healthz.
+	Storm StormReporter
 }
 
 // Handler returns the API's http.Handler over in-memory session state.
@@ -127,11 +139,16 @@ func HandlerWithOptions(opts Options) http.Handler {
 	cache := graph.NewCache(0)
 	sessions := opts.Sessions
 	if sessions == nil {
-		m, _ := session.NewManager(session.ManagerConfig{}) // in-memory never errors
+		// In-memory never errors. Wire the registry through so failover.*
+		// counters (entered, recovered, reevaluate.<reason>, ...) reach
+		// /metrics even without a caller-supplied manager.
+		m, _ := session.NewManager(session.ManagerConfig{
+			Counters: metrics.CountersOn(opts.Metrics),
+		})
 		sessions = m
 	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		handleHealth(w, r, sessions)
+		handleHealth(w, r, sessions, opts.Storm)
 	})
 	mux.HandleFunc("/v1/formats", handleFormats)
 	mux.HandleFunc("/v1/compose", func(w http.ResponseWriter, r *http.Request) {
@@ -148,8 +165,11 @@ func HandlerWithOptions(opts Options) http.Handler {
 	return mux
 }
 
-func handleHealth(w http.ResponseWriter, r *http.Request, sessions SessionBackend) {
+func handleHealth(w http.ResponseWriter, r *http.Request, sessions SessionBackend, storms StormReporter) {
 	resp := map[string]interface{}{"status": "ok"}
+	if storms != nil {
+		resp["storm"] = storms.Status()
+	}
 	if sessions != nil && sessions.Persistent() {
 		resp["durable"] = true
 		resp["recovery"] = sessions.Recovery()

@@ -235,7 +235,18 @@ func (sm *SessionManager) handleReevaluate(w http.ResponseWriter, r *http.Reques
 	if ms == nil {
 		return
 	}
-	changed, evalErr, logErr := ms.ReevaluateCtx(r.Context())
+	// ?reason= attributes the re-evaluation in journal and metrics;
+	// unadorned client calls are manual by definition.
+	reason := r.URL.Query().Get("reason")
+	switch reason {
+	case "":
+		reason = session.ReevalManual
+	case session.ReevalManual, session.ReevalFault, session.ReevalStorm:
+	default:
+		writeError(w, http.StatusBadRequest, "unknown reevaluate reason "+reason)
+		return
+	}
+	changed, evalErr, logErr := ms.ReevaluateReasonCtx(r.Context(), reason)
 	if logErr != nil {
 		writeError(w, http.StatusInternalServerError, logErr.Error())
 		return

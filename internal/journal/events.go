@@ -1,0 +1,44 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Event is the typed envelope for write-ahead logs that multiplex
+// several record kinds through one Log — the storm controller's stream
+// of class definitions, attachments, network changes and fan-out
+// commits, for example. Kind names the payload shape; Data carries the
+// payload's own JSON. The envelope is versioned by Kind alone: adding a
+// new kind never disturbs replay of the old ones, and an unknown kind
+// is the replayer's signal that a newer writer produced the log.
+type Event struct {
+	Kind string          `json:"kind"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// EncodeEvent marshals a payload under its kind, ready for Log.Append.
+func EncodeEvent(kind string, payload any) ([]byte, error) {
+	if kind == "" {
+		return nil, fmt.Errorf("journal: event kind must be non-empty")
+	}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("journal: encode %s event: %w", kind, err)
+	}
+	return json.Marshal(Event{Kind: kind, Data: data})
+}
+
+// DecodeEvent splits a journal record back into its kind and raw
+// payload; the caller dispatches on the kind and unmarshals Data into
+// the matching payload type.
+func DecodeEvent(record []byte) (kind string, data json.RawMessage, err error) {
+	var ev Event
+	if err := json.Unmarshal(record, &ev); err != nil {
+		return "", nil, fmt.Errorf("journal: decode event: %w", err)
+	}
+	if ev.Kind == "" {
+		return "", nil, fmt.Errorf("journal: event record has no kind")
+	}
+	return ev.Kind, ev.Data, nil
+}

@@ -42,6 +42,47 @@ const (
 	// SampleRecoveryRetries observes how many attempts a successful
 	// failover needed.
 	SampleRecoveryRetries = "failover.recovery_retries"
+	// CounterReevalPrefix prefixes the per-reason re-evaluation counters
+	// below; the reason token ("manual", "fault", "storm") is appended,
+	// so storm-driven re-plans are distinguishable from per-session
+	// failover in traces and dashboards.
+	CounterReevalPrefix = "failover.reevaluate_"
+	// CounterReevalManual counts client- or driver-requested
+	// re-evaluations.
+	CounterReevalManual = CounterReevalPrefix + "manual"
+	// CounterReevalFault counts re-evaluations forced by fault handling
+	// (post-recovery reconciliation, dead-link sweeps).
+	CounterReevalFault = CounterReevalPrefix + "fault"
+	// CounterReevalStorm counts re-evaluations driven by the mass
+	// re-composition storm controller.
+	CounterReevalStorm = CounterReevalPrefix + "storm"
+)
+
+// Well-known counter and sample names recorded by the re-composition
+// storm controller (internal/storm).
+const (
+	// CounterStormEvents counts storms executed (one per backbone event
+	// absorbed).
+	CounterStormEvents = "storm.events"
+	// CounterStormClasses counts equivalence classes re-planned across
+	// all storms.
+	CounterStormClasses = "storm.classes"
+	// CounterStormSessionsReplanned counts member sessions whose chain
+	// hold was swapped by a storm fan-out.
+	CounterStormSessionsReplanned = "storm.sessions_replanned"
+	// CounterStormSelectCalls counts Select invocations storms spent —
+	// the numerator of the Select-calls-per-affected-session ratio that
+	// proves class planning amortizes.
+	CounterStormSelectCalls = "storm.select_calls"
+	// CounterStormDegraded counts member sessions left below their QoS
+	// floor after a storm (no above-floor chain existed for their class).
+	CounterStormDegraded = "storm.sessions_degraded"
+	// SampleStormQueueDepth observes the storm admission lane's queue
+	// depth at each class admission — how backed up a storm in flight is.
+	SampleStormQueueDepth = "storm.queue_depth"
+	// SampleStormRecoveryMs observes wall-clock milliseconds from storm
+	// start to the last fan-out.
+	SampleStormRecoveryMs = "storm.recovery_ms"
 )
 
 // Well-known counter and sample names recorded by the admission layer

@@ -65,6 +65,10 @@ func RegisterWellKnown(r *Registry) {
 		CounterReplicationShipRejected, CounterReplicationSnapshotShips,
 		CounterReplicationApplied,
 		CounterClusterPromotions, CounterClusterAdopted,
+		CounterReevalManual, CounterReevalFault, CounterReevalStorm,
+		CounterStormEvents, CounterStormClasses,
+		CounterStormSessionsReplanned, CounterStormSelectCalls,
+		CounterStormDegraded,
 	} {
 		r.Add(name, 0)
 	}
@@ -75,6 +79,7 @@ func RegisterWellKnown(r *Registry) {
 		HistComposeLatencyMs, HistHTTPLatencyMs, HistQueueWaitMs,
 		HistJournalAppendMs, HistJournalFsyncMs, HistSelectRounds,
 		SamplePipelineBatchOccupancy, SamplePipelineQueueDepth,
+		SampleStormQueueDepth, SampleStormRecoveryMs,
 	} {
 		r.DeclareHist(name)
 	}

@@ -1,0 +1,46 @@
+package overlay
+
+import "sort"
+
+// LinkRef names one directed link. It is the unit of change the fault →
+// overlay → storm-controller event path carries: a fault that degrades
+// link L is reported as the set of LinkRefs it touched, and graph repair
+// patches only edges riding those links.
+type LinkRef struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// LinksOf returns every directed link touching the host (as source or
+// destination), sorted. Fault handlers use it to expand a host-level
+// event into the link set it degrades.
+func (n *Network) LinksOf(host string) []LinkRef {
+	n.mu.RLock()
+	refs := make([]LinkRef, 0, 4)
+	for e := range n.links {
+		if e.from == host || e.to == host {
+			refs = append(refs, LinkRef{From: e.from, To: e.to})
+		}
+	}
+	n.mu.RUnlock()
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].From != refs[j].From {
+			return refs[i].From < refs[j].From
+		}
+		return refs[i].To < refs[j].To
+	})
+	return refs
+}
+
+// HasUsableLink reports whether a direct, currently usable link from→to
+// exists — the same test the graph annotator applies when deciding
+// between the direct-link QoS and the widest-path fallback. Graph
+// repair relies on it: an
+// edge between directly linked hosts is exact as long as that one link
+// is unchanged, while a routed edge must be re-queried after any change.
+func (n *Network) HasUsableLink(from, to string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	l, ok := n.links[edge{from, to}]
+	return ok && n.usableLocked(edge{from, to}, l)
+}

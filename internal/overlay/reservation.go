@@ -136,6 +136,98 @@ func (n *Network) ReleaseChain(rs []Reservation) {
 	}
 }
 
+// SwapChain atomically moves a session from one chain hold to another:
+// the old reservations are released and the new ones acquired under one
+// lock, so a concurrent admission can never observe the session holding
+// both chains, half a chain, or neither. The release is visible to the
+// acquire check, which is what lets a storm re-plan succeed on links
+// that are full only because of the holds being replaced. On failure
+// every touched reservation is restored to its exact prior value and a
+// *CapacityError names the first offending link — the session keeps its
+// old hold untouched.
+func (n *Network) SwapChain(release, acquire []Reservation) error {
+	n.mu.Lock()
+	// Remember the prior reservation of every link we mutate so a failed
+	// acquire can restore the overlay byte-for-byte.
+	saved := make(map[edge]float64, len(release)+len(acquire))
+	touched := make([]edge, 0, len(release)+len(acquire))
+	touch := func(e edge, l *linkState) {
+		if _, ok := saved[e]; !ok {
+			saved[e] = l.reservedKbps
+			touched = append(touched, e)
+		}
+	}
+	// Release phase: same semantics as ReleaseChain (unknown links and
+	// co-located pairs ignored, clamped at zero).
+	for _, r := range release {
+		if r.From == r.To || r.Kbps <= 0 {
+			continue
+		}
+		e := edge{r.From, r.To}
+		l, ok := n.links[e]
+		if !ok {
+			continue
+		}
+		touch(e, l)
+		l.reservedKbps -= r.Kbps
+		if l.reservedKbps < 0 {
+			l.reservedKbps = 0
+		}
+	}
+	// Aggregate the acquire per link, preserving first-touch order for
+	// stable error attribution (a chain may cross a link twice).
+	need := make(map[edge]float64, len(acquire))
+	order := make([]edge, 0, len(acquire))
+	for _, r := range acquire {
+		if r.From == r.To || r.Kbps <= 0 {
+			continue
+		}
+		e := edge{r.From, r.To}
+		if _, seen := need[e]; !seen {
+			order = append(order, e)
+		}
+		need[e] += r.Kbps
+	}
+	// Check phase: nothing further is mutated until every link clears.
+	for _, e := range order {
+		l, ok := n.links[e]
+		if !ok || !n.usableLocked(e, l) {
+			for _, t := range touched {
+				n.links[t].reservedKbps = saved[t]
+			}
+			n.mu.Unlock()
+			return &CapacityError{From: e.from, To: e.to, NeedKbps: need[e], Down: true}
+		}
+		if l.available() < need[e]-1e-9 {
+			err := &CapacityError{From: e.from, To: e.to, AvailableKbps: l.available(), NeedKbps: need[e]}
+			for _, t := range touched {
+				n.links[t].reservedKbps = saved[t]
+			}
+			n.mu.Unlock()
+			return err
+		}
+	}
+	// Commit phase.
+	for _, e := range order {
+		l := n.links[e]
+		touch(e, l)
+		l.reservedKbps += need[e]
+	}
+	events := make([]Event, 0, len(touched))
+	for _, e := range touched {
+		events = append(events, Event{From: e.from, To: e.to, BandwidthKbps: n.links[e].available()})
+	}
+	if len(touched) > 0 {
+		n.gen++
+	}
+	subs := append([]chan Event(nil), n.subs...)
+	n.mu.Unlock()
+	for _, ev := range events {
+		notify(subs, ev)
+	}
+	return nil
+}
+
 // TotalReservedKbps sums the live reservations across all links — the
 // admission layer's "how much of the overlay is spoken for" gauge.
 func (n *Network) TotalReservedKbps() float64 {

@@ -1,0 +1,138 @@
+package overlay
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// swapNet is a sender with two disjoint two-hop paths to recv.
+func swapNet() *Network {
+	net := New()
+	net.AddLink("s", "a", 1000, 5, 0)
+	net.AddLink("a", "r", 1000, 5, 0)
+	net.AddLink("s", "b", 1000, 5, 0)
+	net.AddLink("b", "r", 1000, 5, 0)
+	return net
+}
+
+func TestSwapChainMovesHoldAtomically(t *testing.T) {
+	net := swapNet()
+	old := []Reservation{{From: "s", To: "a", Kbps: 600}, {From: "a", To: "r", Kbps: 600}}
+	if err := net.ReserveChain(old); err != nil {
+		t.Fatal(err)
+	}
+	next := []Reservation{{From: "s", To: "b", Kbps: 600}, {From: "b", To: "r", Kbps: 600}}
+	if err := net.SwapChain(old, next); err != nil {
+		t.Fatalf("SwapChain: %v", err)
+	}
+	if _, reserved, _ := net.Capacity("s", "a"); reserved != 0 {
+		t.Fatalf("old path still reserves %.0f kbps", reserved)
+	}
+	if _, reserved, _ := net.Capacity("s", "b"); reserved != 600 {
+		t.Fatalf("new path reserves %.0f kbps, want 600", reserved)
+	}
+	if total := net.TotalReservedKbps(); total != 1200 {
+		t.Fatalf("TotalReservedKbps = %.0f, want 1200", total)
+	}
+}
+
+func TestSwapChainReleaseVisibleToAcquire(t *testing.T) {
+	// The new chain shares a full link with the old one: the swap only
+	// succeeds because the release happens before the acquire check,
+	// under the same lock. This is the exact shape of a storm re-plan
+	// that keeps a session on one of its current links.
+	net := swapNet()
+	old := []Reservation{{From: "s", To: "a", Kbps: 900}, {From: "a", To: "r", Kbps: 900}}
+	if err := net.ReserveChain(old); err != nil {
+		t.Fatal(err)
+	}
+	next := []Reservation{{From: "s", To: "a", Kbps: 800}, {From: "a", To: "r", Kbps: 800}}
+	if err := net.SwapChain(old, next); err != nil {
+		t.Fatalf("SwapChain on shared full link: %v", err)
+	}
+	if _, reserved, _ := net.Capacity("s", "a"); reserved != 800 {
+		t.Fatalf("shared link reserves %.0f kbps, want 800", reserved)
+	}
+}
+
+func TestSwapChainFailureRestoresExactly(t *testing.T) {
+	net := swapNet()
+	old := []Reservation{{From: "s", To: "a", Kbps: 600}, {From: "a", To: "r", Kbps: 600}}
+	if err := net.ReserveChain(old); err != nil {
+		t.Fatal(err)
+	}
+	// A competitor fills the b path, so the swap's acquire must fail.
+	if err := net.ReserveChain([]Reservation{{From: "s", To: "b", Kbps: 700}}); err != nil {
+		t.Fatal(err)
+	}
+	next := []Reservation{{From: "s", To: "b", Kbps: 600}, {From: "b", To: "r", Kbps: 600}}
+	err := net.SwapChain(old, next)
+	if err == nil {
+		t.Fatal("SwapChain succeeded over a full link")
+	}
+	var ce *CapacityError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error = %v, want *CapacityError", err)
+	}
+	// The failed swap must restore every touched link byte-for-byte:
+	// the old hold intact, the competitor intact, nothing acquired.
+	if _, reserved, _ := net.Capacity("s", "a"); reserved != 600 {
+		t.Fatalf("old hold damaged: s->a reserves %.0f kbps, want 600", reserved)
+	}
+	if _, reserved, _ := net.Capacity("a", "r"); reserved != 600 {
+		t.Fatalf("old hold damaged: a->r reserves %.0f kbps, want 600", reserved)
+	}
+	if _, reserved, _ := net.Capacity("s", "b"); reserved != 700 {
+		t.Fatalf("competitor damaged: s->b reserves %.0f kbps, want 700", reserved)
+	}
+	if _, reserved, _ := net.Capacity("b", "r"); reserved != 0 {
+		t.Fatalf("partial acquire leaked: b->r reserves %.0f kbps, want 0", reserved)
+	}
+}
+
+// TestSwapChainConcurrent swaps two sessions back and forth between the
+// two paths from many goroutines; the invariant is that the total
+// reservation never drifts — no observer can see half a swap.
+func TestSwapChainConcurrent(t *testing.T) {
+	net := swapNet()
+	pathA := []Reservation{{From: "s", To: "a", Kbps: 100}, {From: "a", To: "r", Kbps: 100}}
+	pathB := []Reservation{{From: "s", To: "b", Kbps: 100}, {From: "b", To: "r", Kbps: 100}}
+
+	const sessions = 4
+	var wg sync.WaitGroup
+	for i := 0; i < sessions; i++ {
+		if err := net.ReserveChain(pathA); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cur, next := pathA, pathB
+			for j := 0; j < 500; j++ {
+				if err := net.SwapChain(cur, next); err == nil {
+					cur, next = next, cur
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	// Auditor: the sum of reservations is constant through every swap.
+	for {
+		select {
+		case <-done:
+			if total := net.TotalReservedKbps(); total != sessions*200 {
+				t.Fatalf("TotalReservedKbps = %.0f after swaps, want %d", total, sessions*200)
+			}
+			return
+		default:
+		}
+		if total := net.TotalReservedKbps(); total != sessions*200 {
+			t.Fatalf("observed torn swap: TotalReservedKbps = %.0f, want %d", total, sessions*200)
+		}
+	}
+}

@@ -28,6 +28,7 @@ func (s *Session) Drive(advance func(), steps int) ([]Sample, error) {
 			advance()
 		}
 		s.Tick()
+		s.NoteReevaluateReason(ReevalManual)
 		changed, err := s.Reevaluate()
 		if err != nil {
 			return samples, err

@@ -54,6 +54,33 @@ type FailoverConfig struct {
 	Metrics *metrics.Counters
 }
 
+// Reevaluate reason tokens: who asked for a re-composition. They are
+// journaled with the reevaluate command and appended to
+// metrics.CounterReevalPrefix, so the failover.* series tell a
+// storm-driven mass re-plan apart from a client request or a
+// fault-recovery sweep.
+const (
+	// ReevalManual marks client- or driver-requested re-evaluations.
+	ReevalManual = "manual"
+	// ReevalFault marks re-evaluations forced by fault handling (the
+	// post-recovery Reconcile sweep, dead-link cleanup).
+	ReevalFault = "fault"
+	// ReevalStorm marks re-evaluations driven by the storm controller's
+	// class fan-out.
+	ReevalStorm = "storm"
+)
+
+// NoteReevaluateReason attributes the next re-evaluation to its driver
+// in the failover.* metrics. An empty reason records nothing — that is
+// what replaying a journal from before reasons existed produces, so
+// live and replayed counter state stay byte-identical.
+func (s *Session) NoteReevaluateReason(reason string) {
+	if reason == "" {
+		return
+	}
+	s.cfg.Failover.Metrics.Inc(metrics.CounterReevalPrefix + reason)
+}
+
 // FailoverStatus is the externally visible failure-handling state.
 type FailoverStatus struct {
 	// Enabled mirrors the config.

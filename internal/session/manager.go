@@ -102,6 +102,12 @@ type walEvent struct {
 	ID     string       `json:"id"`
 	Create *CreateSpec  `json:"create,omitempty"`
 	Fault  *fault.Fault `json:"fault,omitempty"`
+	// Reason attributes a reevaluate command to its driver — "manual"
+	// (client request), "fault" (post-recovery reconciliation) or
+	// "storm" (mass re-composition) — so traces can tell storm-driven
+	// re-plans from per-session failover. Empty on journals written
+	// before the field existed; replay treats empty as unattributed.
+	Reason string `json:"reason,omitempty"`
 }
 
 // sessionHistory is one session's replayable command stream: its
@@ -308,6 +314,11 @@ func (ms *Managed) replay(ev walEvent) error {
 		return ms.applyFault(*ev.Fault)
 	case "reevaluate":
 		ms.sess.Tick()
+		// The reason counter is part of the session's deterministic
+		// counter state, so replay must increment it exactly as the live
+		// command did (old journals carry no reason: no increment, same
+		// as the live no-reason path never taken today).
+		ms.sess.NoteReevaluateReason(ev.Reason)
 		ms.sess.Reevaluate() //nolint:errcheck // deterministic session-level outcome, replayed as-is
 		return nil
 	default:
@@ -626,15 +637,29 @@ func (ms *Managed) Reevaluate() (changed bool, evalErr, logErr error) {
 
 // ReevaluateCtx is Reevaluate under a context: a trace carried by the
 // context records the re-composition's selection, failover and journal
-// spans.
+// spans. The command is attributed to the "manual" reason; fault
+// handling and the storm controller use ReevaluateReasonCtx.
 func (ms *Managed) ReevaluateCtx(ctx context.Context) (changed bool, evalErr, logErr error) {
+	return ms.ReevaluateReasonCtx(ctx, ReevalManual)
+}
+
+// ReevaluateReason is Reevaluate with an explicit cause attribution —
+// one of ReevalManual, ReevalFault or ReevalStorm — journaled with the
+// command and surfaced in the failover.reevaluate_* counters.
+func (ms *Managed) ReevaluateReason(reason string) (changed bool, evalErr, logErr error) {
+	return ms.ReevaluateReasonCtx(context.Background(), reason)
+}
+
+// ReevaluateReasonCtx is ReevaluateReason under a context.
+func (ms *Managed) ReevaluateReasonCtx(ctx context.Context, reason string) (changed bool, evalErr, logErr error) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	ms.sess.Tick()
+	ms.sess.NoteReevaluateReason(reason)
 	changed, evalErr = ms.sess.ReevaluateCtx(ctx)
 	ms.m.mu.Lock()
 	defer ms.m.mu.Unlock()
-	ev := walEvent{Op: "reevaluate", ID: ms.id}
+	ev := walEvent{Op: "reevaluate", ID: ms.id, Reason: reason}
 	if h := ms.m.histories[ms.id]; h != nil {
 		h.Events = append(h.Events, ev)
 	}
@@ -734,7 +759,7 @@ func (m *Manager) Reconcile() *ReconcileReport {
 		if !broken {
 			continue
 		}
-		ms.Reevaluate() //nolint:errcheck // degraded outcomes land in the session state
+		ms.ReevaluateReason(ReevalFault) //nolint:errcheck // degraded outcomes land in the session state
 		rep.Recomposed++
 		rep.ReleasedKbps += stale
 		rep.Sessions = append(rep.Sessions, ms.id)

@@ -1,0 +1,194 @@
+package storm_test
+
+// Durability tests: journal replay round-trips the controller state
+// byte-for-byte, a crash mid-storm resumes to the same final state a
+// crash-free run reaches, and snapshots compact without changing
+// anything observable.
+
+import (
+	"testing"
+
+	"qoschain/internal/journal"
+	"qoschain/internal/storm"
+)
+
+// buildDurable runs the canonical scenario against a durable controller
+// rooted at dir: two classes with members, a backbone collapse, one
+// storm. fp may arm journal crash sites; stormErr receives Storm's
+// error. The controller is returned still open.
+func buildDurable(t *testing.T, dir string, fp *journal.FailPoints) (*storm.Controller, storm.Region, error) {
+	t.Helper()
+	reg := buildRegion("r1", 80000)
+	c, err := storm.Open(storm.Config{StateDir: dir, FailPoints: fp}, []storm.Region{reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, ideal := range []float64{30, 24} {
+		cls, err := c.AddClass(classSpec("r1", ideal, 0.6))
+		if err != nil {
+			t.Fatalf("AddClass %.0f: %v", ideal, err)
+		}
+		if _, err := c.Attach(cls.Key(), 6); err != nil {
+			t.Fatalf("Attach %.0f: %v", ideal, err)
+		}
+	}
+	collapse(t, c, reg, 0.5)
+	_, stormErr := c.Storm()
+	return c, reg, stormErr
+}
+
+// reopen restores the journal at dir onto a fresh, pre-fault region —
+// the same way a restarted process would come back up.
+func reopen(t *testing.T, dir string) (*storm.Controller, storm.Region) {
+	t.Helper()
+	reg := buildRegion("r1", 80000)
+	c, err := storm.Open(storm.Config{StateDir: dir}, []storm.Region{reg})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	return c, reg
+}
+
+func TestJournalReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c, reg, err := buildDurable(t, dir, nil)
+	if err != nil {
+		t.Fatalf("Storm: %v", err)
+	}
+	want, err := c.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	wantReserved := reg.Net.TotalReservedKbps()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	c2, reg2 := reopen(t, dir)
+	defer c2.Close()
+	rec := c2.Recovery()
+	if rec == nil || rec.Records == 0 {
+		t.Fatalf("Recovery() = %+v, want replayed records", rec)
+	}
+	if rec.Classes != 2 || rec.Sessions != 12 {
+		t.Fatalf("recovered %d classes / %d sessions, want 2 / 12", rec.Classes, rec.Sessions)
+	}
+	got, err := c2.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint after replay: %v", err)
+	}
+	if got != want {
+		t.Fatalf("replayed state differs from live state\nlive:     %s\nreplayed: %s", want, got)
+	}
+	if r := reg2.Net.TotalReservedKbps(); r != wantReserved {
+		t.Fatalf("replayed overlay reserves %.1f kbps, live reserved %.1f", r, wantReserved)
+	}
+	if d := leak(c2, reg2); d != 0 {
+		t.Fatalf("leak after replay: %.3f kbps", d)
+	}
+}
+
+func TestCrashMidStormResumes(t *testing.T) {
+	// Control: the same scenario with no crash.
+	controlDir := t.TempDir()
+	control, _, err := buildDurable(t, controlDir, nil)
+	if err != nil {
+		t.Fatalf("control Storm: %v", err)
+	}
+	want, err := control.Fingerprint()
+	if err != nil {
+		t.Fatalf("control Fingerprint: %v", err)
+	}
+	control.Close()
+
+	// Crash run: kill the journal on its first storm-class append. The
+	// setup writes 2 class + 2 attach + 1 netchange + 1 storm-begin
+	// records, so the 7th append is the first class fan-out.
+	for _, point := range []journal.FailPoint{journal.FPAppend, journal.FPTornAppend} {
+		t.Run(string(point), func(t *testing.T) {
+			dir := t.TempDir()
+			fp := journal.NewFailPoints()
+			fp.Arm(point, 7)
+			c, reg, stormErr := buildDurable(t, dir, fp)
+			if stormErr == nil {
+				t.Fatal("Storm survived an armed journal crash")
+			}
+			if !journal.IsCrash(stormErr) {
+				t.Fatalf("Storm error = %v, want a journal crash", stormErr)
+			}
+			if d := leak(c, reg); d != 0 {
+				t.Fatalf("leak at crash point: %.3f kbps", d)
+			}
+			c.Close()
+
+			c2, reg2 := reopen(t, dir)
+			defer c2.Close()
+			rec := c2.Recovery()
+			if rec == nil || !rec.ResumedStorm || rec.Resumed == nil {
+				t.Fatalf("Recovery() = %+v, want a resumed storm", rec)
+			}
+			if !rec.Resumed.Resumed {
+				t.Fatal("resumed report not marked Resumed")
+			}
+			got, err := c2.Fingerprint()
+			if err != nil {
+				t.Fatalf("Fingerprint after resume: %v", err)
+			}
+			if got != want {
+				t.Fatalf("crash-resume state differs from crash-free run\ncontrol: %s\nresumed: %s", want, got)
+			}
+			if d := leak(c2, reg2); d != 0 {
+				t.Fatalf("leak after resume: %.3f kbps", d)
+			}
+		})
+	}
+}
+
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	reg := buildRegion("r1", 200000)
+	c, err := storm.Open(storm.Config{StateDir: dir, SnapshotEvery: 4}, []storm.Region{reg})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Enough commands to cross several snapshot boundaries.
+	for i, ideal := range []float64{30, 28, 26, 24, 22, 20} {
+		cls, err := c.AddClass(classSpec("r1", ideal, 0.55))
+		if err != nil {
+			t.Fatalf("AddClass %d: %v", i, err)
+		}
+		if _, err := c.Attach(cls.Key(), 3); err != nil {
+			t.Fatalf("Attach %d: %v", i, err)
+		}
+	}
+	collapse(t, c, reg, 0.5)
+	if _, err := c.Storm(); err != nil {
+		t.Fatalf("Storm: %v", err)
+	}
+	want, err := c.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint: %v", err)
+	}
+	c.Close()
+
+	reg2 := buildRegion("r1", 200000)
+	c2, err := storm.Open(storm.Config{StateDir: dir, SnapshotEvery: 4}, []storm.Region{reg2})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer c2.Close()
+	rec := c2.Recovery()
+	if rec == nil || !rec.FromSnapshot {
+		t.Fatalf("Recovery() = %+v, want snapshot-based restart", rec)
+	}
+	got, err := c2.Fingerprint()
+	if err != nil {
+		t.Fatalf("Fingerprint after snapshot restore: %v", err)
+	}
+	if got != want {
+		t.Fatalf("snapshot restore differs\nlive:     %s\nrestored: %s", want, got)
+	}
+	if d := leak(c2, reg2); d != 0 {
+		t.Fatalf("leak after snapshot restore: %.3f kbps", d)
+	}
+}

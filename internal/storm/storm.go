@@ -1,0 +1,676 @@
+// Package storm implements mass re-composition: when a backbone event
+// degrades many links at once, re-running the paper's Select once per
+// affected session is O(sessions × Select) — a thundering herd. Most
+// sessions are indistinguishable to the planner: they share a device
+// profile, content, network region and QoS floor, so the chain Select
+// would pick for one is the chain it would pick for all. The storm
+// controller groups sessions into equivalence classes keyed by exactly
+// that fingerprint, runs Select once per class against an incrementally
+// repaired graph (graph.Cache.BuildRepair patches only edges touching
+// the changed links), and fans the chosen chain out to every member
+// with an atomic per-session hold swap (overlay.SwapChain — release
+// old, acquire new, never a partial).
+//
+// Robustness properties:
+//
+//   - Bounded concurrency: class re-plans pass through a dedicated
+//     admission lane (internal/admission.Limiter), so a storm never
+//     starves client traffic of planner capacity.
+//   - Priority ordering: classes furthest below their QoS floor after
+//     the event re-plan first.
+//   - Graceful degradation: when no above-floor chain exists for a
+//     class the best below-floor chain is adopted (core.ErrBelowFloor);
+//     when no chain exists at all, members keep their old holds rather
+//     than being dropped.
+//   - Crash safety: classes, attachments, network changes and per-class
+//     fan-outs are journaled through the hash-chained WAL
+//     (internal/journal). A crash mid-storm replays to a consistent
+//     state and finishes the interrupted storm: fanned-out classes are
+//     restored from their journal records, the remainder re-planned in
+//     the recorded priority order.
+//
+// The controller owns every reservation it manages: all mutations of a
+// region's overlay must either go through the controller or be reported
+// to it via OnLinkChange, which is what keeps the incremental-repair
+// bookkeeping (the per-region dirty-link map) complete.
+package storm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"qoschain/internal/admission"
+	"qoschain/internal/core"
+	"qoschain/internal/fault"
+	"qoschain/internal/graph"
+	"qoschain/internal/journal"
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/overlay"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+)
+
+// Region is one overlay deployment the controller plans within: its
+// live network, its deployed services, and the hosts the endpoints sit
+// on. Regions are infrastructure, not journaled state — the embedder
+// reconstructs them (fresh topology) and passes them to Open, which
+// replays journaled mutations on top.
+type Region struct {
+	Name         string
+	Net          *overlay.Network
+	Services     []*service.Service
+	SenderHost   string
+	ReceiverHost string
+}
+
+// Config assembles a Controller.
+type Config struct {
+	// StateDir, when non-empty, makes the controller durable: every
+	// command and storm fan-out is journaled there and replayed by Open.
+	StateDir string
+	// SnapshotEvery compacts the journal every that many records.
+	// Default 512.
+	SnapshotEvery int
+	// LaneCapacity bounds concurrently re-planning classes — the storm
+	// admission lane. Default 2.
+	LaneCapacity int
+	// Workers is how many goroutines drain the class queue during a
+	// storm. Default 1, which is also what makes storms deterministic;
+	// more workers keep every safety property but may order class plans
+	// differently between runs.
+	Workers int
+	// Verify runs the naive per-session equivalence check: after each
+	// class plan, Select is re-run for every member against the same
+	// repaired graph and the result compared with the class chain. The
+	// storm report counts any mismatch. Expensive — harness use only.
+	Verify bool
+	// CacheSize bounds the graph cache. Default max(64, 2×classes) is
+	// applied lazily; set explicitly to override.
+	CacheSize int
+	// Counters receives storm.* and admission metrics; nil is a no-op
+	// sink.
+	Counters *metrics.Counters
+	// FailPoints injects deterministic journal crash sites; nil
+	// disables.
+	FailPoints *journal.FailPoints
+}
+
+// ClassSpec is the equivalence-class fingerprint: everything the
+// planner consumes that distinguishes one session population from
+// another. Two sessions with equal specs would always be handed the
+// same chain, which is what makes planning once per class sound.
+type ClassSpec struct {
+	// Region names the network region the class lives in.
+	Region string `json:"region"`
+	// Content/Device are the endpoints' profiles.
+	Content profile.Content `json:"content"`
+	Device  profile.Device  `json:"device"`
+	// User carries the satisfaction preferences; Contact selects the
+	// per-contact override set.
+	User    profile.User         `json:"user"`
+	Contact profile.ContactClass `json:"contact,omitempty"`
+	// Floor is the class's QoS floor (minimum acceptable satisfaction).
+	Floor float64 `json:"floor,omitempty"`
+}
+
+// Key derives the class's stable identity: the region name plus a hash
+// of the canonical JSON encoding of the spec (Go marshals maps with
+// sorted keys, so the encoding is deterministic).
+func (s *ClassSpec) Key() string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		// A spec that cannot marshal cannot be journaled either;
+		// AddClass rejects it before the key is ever used.
+		return s.Region + "-unmarshalable"
+	}
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%s-%016x", s.Region, h.Sum64())
+}
+
+// Class is one live equivalence class: the planning inputs derived from
+// its spec, the chain currently fanned out to its members, and the
+// incremental-repair watermark.
+type Class struct {
+	spec   ClassSpec
+	key    string
+	selcfg core.Config
+	in     graph.Input
+
+	current  *core.Result
+	kbps     float64
+	degraded bool
+	members  []*Session
+
+	// repairGen is the region-net generation the class's cached graph
+	// was last annotated at; links dirtied after it must be repaired
+	// before the next Select.
+	repairGen uint64
+}
+
+// Key returns the class's stable identity.
+func (c *Class) Key() string { return c.key }
+
+// Members returns how many sessions are attached.
+func (c *Class) Members() int { return len(c.members) }
+
+// Chain renders the class's current chain.
+func (c *Class) Chain() string {
+	if c.current == nil || !c.current.Found {
+		return ""
+	}
+	return core.PathString(c.current.Path)
+}
+
+// Satisfaction returns the class chain's satisfaction.
+func (c *Class) Satisfaction() float64 {
+	if c.current == nil {
+		return 0
+	}
+	return c.current.Satisfaction
+}
+
+// Degraded reports whether the class runs below its floor.
+func (c *Class) Degraded() bool { return c.degraded }
+
+// Session is one class member: its identity and the chain hold it
+// currently owns on the region overlay.
+type Session struct {
+	ID       string
+	class    *Class
+	held     []overlay.Reservation
+	degraded bool
+}
+
+// region is a Region plus the lookups the controller derives from it.
+type region struct {
+	Region
+	hostOf map[service.ID]string
+	// dirty maps each link to the net generation it last changed at —
+	// the incremental-repair bookkeeping. A class whose repairGen is
+	// older than a link's entry must have that link's edges repaired
+	// before its next Select.
+	dirty map[overlay.LinkRef]uint64
+	// pending is the changed-link set of events not yet absorbed by a
+	// storm.
+	pending map[overlay.LinkRef]bool
+}
+
+// Controller is the storm controller. See the package comment.
+type Controller struct {
+	mu      sync.Mutex
+	cfg     Config
+	cache   *graph.Cache
+	lane    *admission.Limiter
+	log     *journal.Log
+	rec     *Recovery
+	regions map[string]*region
+	classes map[string]*Class
+	order   []string // class keys in creation order (deterministic walks)
+
+	stormSeq        int
+	active          bool
+	naiveChecks     int
+	naiveMismatches int
+	lastReport      *Report
+	records         int // journal records since last snapshot
+	replaying       bool
+	openStorm       *beginRecord // begin seen without end during replay
+	replayDone      map[string]bool
+	journalDead     bool // a journal append failed; durability is lost
+}
+
+// Open builds a controller over the given regions and, when
+// Config.StateDir is set, replays its journal: classes are re-planned,
+// attachments re-reserved, network changes re-applied and completed
+// fan-outs restored, all in command order, so the controller resumes
+// exactly where it crashed. An interrupted storm (begin without end) is
+// finished before Open returns.
+func Open(cfg Config, regions []Region) (*Controller, error) {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 512
+	}
+	if cfg.LaneCapacity <= 0 {
+		cfg.LaneCapacity = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 64
+	}
+	c := &Controller{
+		cfg:     cfg,
+		cache:   graph.NewCache(cfg.CacheSize),
+		lane:    admission.NewLimiter(admission.LimiterConfig{Capacity: cfg.LaneCapacity, MaxQueue: 1 << 20, Metrics: cfg.Counters}),
+		regions: make(map[string]*region),
+		classes: make(map[string]*Class),
+	}
+	for _, r := range regions {
+		if r.Name == "" || r.Net == nil {
+			return nil, fmt.Errorf("storm: region needs a name and a network")
+		}
+		if _, dup := c.regions[r.Name]; dup {
+			return nil, fmt.Errorf("storm: duplicate region %q", r.Name)
+		}
+		hostOf := make(map[service.ID]string, len(r.Services))
+		for _, svc := range r.Services {
+			hostOf[svc.ID] = svc.Host
+		}
+		c.regions[r.Name] = &region{
+			Region:  r,
+			hostOf:  hostOf,
+			dirty:   make(map[overlay.LinkRef]uint64),
+			pending: make(map[overlay.LinkRef]bool),
+		}
+	}
+	if cfg.StateDir != "" {
+		if err := c.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close closes the journal. The controller must not be used afterwards.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.log != nil {
+		err := c.log.Close()
+		c.log = nil
+		return err
+	}
+	return nil
+}
+
+// Recovery reports what Open replayed; nil for a fresh store.
+func (c *Controller) Recovery() *Recovery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec
+}
+
+// AddClass registers and plans one equivalence class: the class graph
+// is built, Select runs once, and the chosen chain becomes the chain
+// every subsequently attached member receives. A below-floor best chain
+// is adopted degraded; no chain at all rejects the class.
+func (c *Controller) AddClass(spec ClassSpec) (*Class, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cls, err := c.addClassLocked(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.journalLocked(kindClass, spec); err != nil {
+		return nil, err
+	}
+	return cls, nil
+}
+
+func (c *Controller) addClassLocked(spec ClassSpec) (*Class, error) {
+	r, ok := c.regions[spec.Region]
+	if !ok {
+		return nil, fmt.Errorf("storm: unknown region %q", spec.Region)
+	}
+	key := spec.Key()
+	if _, dup := c.classes[key]; dup {
+		return nil, fmt.Errorf("storm: duplicate class %s", key)
+	}
+	prof, err := spec.User.SatisfactionProfile(spec.Contact)
+	if err != nil {
+		return nil, fmt.Errorf("storm: class %s: %w", key, err)
+	}
+	cls := &Class{
+		spec:   spec,
+		key:    key,
+		selcfg: core.Config{Profile: prof, SatisfactionFloor: spec.Floor},
+	}
+	cls.in = graph.Input{
+		Content:      &cls.spec.Content,
+		Device:       &cls.spec.Device,
+		Services:     r.Services,
+		Net:          r.Net,
+		SenderHost:   r.SenderHost,
+		ReceiverHost: r.ReceiverHost,
+	}
+	gen := r.Net.Generation()
+	g, err := c.cache.Build(cls.in)
+	if err != nil {
+		return nil, fmt.Errorf("storm: class %s: %w", key, err)
+	}
+	res, err := core.Select(g, cls.selcfg)
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrBelowFloor) && res != nil && res.Found:
+		cls.degraded = true
+	default:
+		return nil, fmt.Errorf("storm: class %s: %w", key, err)
+	}
+	cls.current = res
+	cls.kbps = requiredKbps(cls.selcfg, res)
+	cls.repairGen = gen
+	c.classes[key] = cls
+	c.order = append(c.order, key)
+	return cls, nil
+}
+
+// Attach adds n member sessions to the class and reserves the class
+// chain for each (one atomic ReserveChain per member). A member whose
+// reservation is refused — the region filled up between plans — is
+// attached degraded, holding nothing, rather than rejected: the next
+// storm or recovery event re-plans it with everyone else.
+func (c *Controller) Attach(key string, n int) ([]*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ss, err := c.attachLocked(key, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.journalLocked(kindAttach, attachRecord{Key: key, Count: n}); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+func (c *Controller) attachLocked(key string, n int) ([]*Session, error) {
+	cls, ok := c.classes[key]
+	if !ok {
+		return nil, fmt.Errorf("storm: unknown class %s", key)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("storm: attach count %d < 1", n)
+	}
+	r := c.regions[cls.spec.Region]
+	rs := c.chainReservations(cls)
+	out := make([]*Session, 0, n)
+	for i := 0; i < n; i++ {
+		s := &Session{ID: fmt.Sprintf("%s#%d", key, len(cls.members)), class: cls, degraded: cls.degraded}
+		if len(rs) > 0 {
+			hold := append([]overlay.Reservation(nil), rs...)
+			if err := r.Net.ReserveChain(hold); err == nil {
+				s.held = hold
+				c.markDirtyLocked(r, hold)
+			} else {
+				s.degraded = true
+			}
+		}
+		cls.members = append(cls.members, s)
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// chainReservations renders the class's current chain as the per-link
+// reservations one member holds (consecutive distinct hosts, class
+// bitrate each). Empty when the class has no chain or needs no
+// bandwidth.
+func (c *Controller) chainReservations(cls *Class) []overlay.Reservation {
+	if cls.current == nil || !cls.current.Found || cls.kbps <= 0 {
+		return nil
+	}
+	hosts := c.chainHosts(cls)
+	rs := make([]overlay.Reservation, 0, len(hosts)-1)
+	for i := 1; i < len(hosts); i++ {
+		if hosts[i-1] == hosts[i] {
+			continue
+		}
+		rs = append(rs, overlay.Reservation{From: hosts[i-1], To: hosts[i], Kbps: cls.kbps})
+	}
+	return rs
+}
+
+// chainHosts returns the ordered hosts of the class chain (sender,
+// service hosts, receiver).
+func (c *Controller) chainHosts(cls *Class) []string {
+	r := c.regions[cls.spec.Region]
+	hosts := []string{r.SenderHost}
+	for _, id := range cls.current.Path[1 : len(cls.current.Path)-1] {
+		if h, ok := r.hostOf[service.ID(id)]; ok {
+			hosts = append(hosts, h)
+		}
+	}
+	return append(hosts, r.ReceiverHost)
+}
+
+// markDirtyLocked stamps the links of a reservation set with the
+// region's current generation — the incremental-repair bookkeeping for
+// reservation changes the controller itself makes.
+func (c *Controller) markDirtyLocked(r *region, rs []overlay.Reservation) {
+	gen := r.Net.Generation()
+	for _, res := range rs {
+		if res.From == res.To {
+			continue
+		}
+		r.dirty[overlay.LinkRef{From: res.From, To: res.To}] = gen
+	}
+}
+
+// OnLinkChange reports that an external event (fault injection, a real
+// network monitor) changed the QoS of the given links in a region. The
+// links are marked pending for the next Storm and dirty for graph
+// repair, and the post-change link state is journaled so recovery can
+// re-apply it to a freshly built region.
+func (c *Controller) OnLinkChange(regionName string, links []overlay.LinkRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[regionName]
+	if !ok {
+		return fmt.Errorf("storm: unknown region %q", regionName)
+	}
+	if len(links) == 0 {
+		return nil
+	}
+	rec := c.noteLinkChangeLocked(r, links)
+	return c.journalLocked(kindNetChange, rec)
+}
+
+// noteLinkChangeLocked marks the links pending+dirty and captures their
+// post-change state for the journal.
+func (c *Controller) noteLinkChangeLocked(r *region, links []overlay.LinkRef) netChangeRecord {
+	gen := r.Net.Generation()
+	rec := netChangeRecord{Region: r.Name, Links: make([]linkChange, 0, len(links))}
+	for _, l := range links {
+		r.pending[l] = true
+		r.dirty[l] = gen
+		lc := linkChange{From: l.From, To: l.To}
+		if capacity, _, ok := r.Net.Capacity(l.From, l.To); ok {
+			lc.CapacityKbps = capacity
+		} else {
+			lc.Missing = true
+		}
+		if _, delay, loss, ok := r.Net.Link(l.From, l.To); ok {
+			lc.DelayMs, lc.LossRate = delay, loss
+		} else {
+			lc.Down = true
+		}
+		rec.Links = append(rec.Links, lc)
+	}
+	return rec
+}
+
+// OnFaults is the fault-injection adapter: it reduces a batch of fired
+// faults to their changed-link set (fault.ChangedLinks) and reports it
+// for the region. The returned count is how many links changed.
+func (c *Controller) OnFaults(regionName string, fired []fault.Fault) (int, error) {
+	c.mu.Lock()
+	r, ok := c.regions[regionName]
+	c.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("storm: unknown region %q", regionName)
+	}
+	links := fault.ChangedLinks(fired, r.Net)
+	if len(links) == 0 {
+		return 0, nil
+	}
+	return len(links), c.OnLinkChange(regionName, links)
+}
+
+// requiredKbps converts a planned chain's delivered parameters into the
+// bitrate one member must reserve.
+func requiredKbps(cfg core.Config, res *core.Result) float64 {
+	if res == nil || !res.Found {
+		return 0
+	}
+	model := cfg.Bitrate
+	if model == nil {
+		model = media.DefaultBitrate
+	}
+	return model.RequiredKbps(res.Params)
+}
+
+// classKbps recomputes the member bitrate for a fresh plan result.
+func (cls *Class) planKbps(res *core.Result) float64 {
+	return requiredKbps(cls.selcfg, res)
+}
+
+// Classes returns the number of registered classes.
+func (c *Controller) Classes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.classes)
+}
+
+// Sessions returns the number of attached member sessions.
+func (c *Controller) Sessions() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cls := range c.classes {
+		n += len(cls.members)
+	}
+	return n
+}
+
+// Class returns a registered class by key.
+func (c *Controller) Class(key string) (*Class, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cls, ok := c.classes[key]
+	return cls, ok
+}
+
+// HeldKbps sums the chain holds of every member in the region — the
+// number that must equal the overlay's TotalReservedKbps when the
+// controller owns all reservations (the zero-leak audit).
+func (c *Controller) HeldKbps(regionName string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0.0
+	for _, key := range c.order {
+		cls := c.classes[key]
+		if cls.spec.Region != regionName {
+			continue
+		}
+		for _, s := range cls.members {
+			for _, res := range s.held {
+				total += res.Kbps
+			}
+		}
+	}
+	return total
+}
+
+// CacheStats exposes the planner cache counters (repairs vs rebuilds).
+func (c *Controller) CacheStats() graph.CacheStats { return c.cache.Stats() }
+
+// Fingerprint renders the controller's deterministic state — every
+// class's chain and every member's holds — as canonical JSON, the
+// byte-identity token the crash tests compare across restarts.
+func (c *Controller) Fingerprint() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	type memberState struct {
+		ID       string                `json:"id"`
+		Held     []overlay.Reservation `json:"held,omitempty"`
+		Degraded bool                  `json:"degraded,omitempty"`
+	}
+	type classState struct {
+		Key          string        `json:"key"`
+		Chain        string        `json:"chain"`
+		Satisfaction float64       `json:"satisfaction"`
+		Kbps         float64       `json:"kbps"`
+		Degraded     bool          `json:"degraded"`
+		Members      []memberState `json:"members,omitempty"`
+	}
+	out := make([]classState, 0, len(c.order))
+	for _, key := range c.order {
+		cls := c.classes[key]
+		cs := classState{
+			Key: key, Chain: cls.Chain(), Satisfaction: cls.Satisfaction(),
+			Kbps: cls.kbps, Degraded: cls.degraded,
+		}
+		for _, s := range cls.members {
+			cs.Members = append(cs.Members, memberState{ID: s.ID, Held: s.held, Degraded: s.degraded})
+		}
+		out = append(out, cs)
+	}
+	data, err := json.Marshal(out)
+	return string(data), err
+}
+
+// Status is the operator view exposed on /healthz.
+type Status struct {
+	Regions          int     `json:"regions"`
+	Classes          int     `json:"classes"`
+	Sessions         int     `json:"sessions"`
+	Storms           int     `json:"storms"`
+	Active           bool    `json:"active"`
+	PendingLinks     int     `json:"pendingLinks"`
+	DegradedSessions int     `json:"degradedSessions"`
+	LaneInFlight     int     `json:"laneInFlight"`
+	LaneQueued       int     `json:"laneQueued"`
+	LastStorm        *Report `json:"lastStorm,omitempty"`
+}
+
+// Status snapshots the controller for /healthz.
+func (c *Controller) Status() Status {
+	lane := c.lane.Stats()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Regions:      len(c.regions),
+		Classes:      len(c.classes),
+		Storms:       c.stormSeq,
+		Active:       c.active,
+		LaneInFlight: lane.InFlight,
+		LaneQueued:   lane.QueueLen,
+		LastStorm:    c.lastReport,
+	}
+	for _, r := range c.regions {
+		st.PendingLinks += len(r.pending)
+	}
+	for _, cls := range c.classes {
+		st.Sessions += len(cls.members)
+		for _, s := range cls.members {
+			if s.degraded {
+				st.DegradedSessions++
+			}
+		}
+	}
+	return st
+}
+
+// sortLinks renders a link set deterministically.
+func sortLinks(set map[overlay.LinkRef]bool) []overlay.LinkRef {
+	out := make([]overlay.LinkRef, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// now is stubbed in tests that need deterministic reports.
+var now = time.Now
