@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-obs race-cluster race-storm cluster-smoke storm-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
+.PHONY: all build test vet race race-all race-obs race-cluster race-storm cluster-smoke storm-smoke storm-cluster-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
 
 all: check
 
@@ -15,6 +15,18 @@ vet:
 
 race:
 	$(GO) test -race ./...
+
+# race-all folds every targeted race lane into one target: the
+# observability surfaces, the replicated tier, the storm tier, the
+# data plane, and the durable session layer the storm-attached daemon
+# path runs on. CI runs this instead of the individual race-* targets.
+race-all:
+	$(GO) test -race -count=1 \
+		./internal/metrics/ ./internal/trace/ ./internal/httpapi/ \
+		./internal/cluster/ ./internal/registry/ \
+		./internal/storm/ ./internal/graph/ ./internal/overlay/ \
+		./internal/pipeline/ ./internal/transcode/ \
+		./internal/journal/ ./internal/session/ ./internal/sim/
 
 # race-obs races the observability surfaces specifically: the metrics
 # registry, the tracer, and the HTTP middleware that drives both.
@@ -46,6 +58,15 @@ race-storm:
 # matches the naive per-session re-evaluation byte-for-byte.
 storm-smoke:
 	$(GO) run ./cmd/adaptsim -storm -storm-sessions 4000 -seed 7
+
+# storm-cluster-smoke runs the storm-safe live path end to end: live
+# /v1/sessions creates attach to equivalence classes on a replicated
+# pair, a backbone loss spike storms the classes, the primary is
+# killed after one fan-out, and the promoted follower must resume the
+# open storm to the byte-identical controller fingerprint with zero
+# leaked bandwidth (EXPERIMENTS.md EXT-P).
+storm-cluster-smoke:
+	$(GO) run ./cmd/adaptsim -storm-cluster -trials 2 -seed 7
 
 # trace-overhead runs the instrumentation-overhead guard: BenchmarkSelect
 # traced vs plain must stay within a 5% budget.

@@ -88,6 +88,7 @@ func main() {
 	overlayHost := flag.String("overlay-host", "", "overlay host this node represents; injected as a host crash when a peer promotes our replica")
 	clusterLease := flag.Duration("cluster-lease", 10*time.Second, "membership lease TTL; a node silent past this is declared dead")
 	shipInterval := flag.Duration("ship-interval", time.Second, "how often the journal is shipped to the follower (also the heartbeat cadence)")
+	stormAttach := flag.Bool("storm-attach", false, "attach /v1/sessions to the storm controller: sessions fold into fingerprint-keyed equivalence classes on shared region overlays and faults re-compose class-at-a-time (with -cluster-id the class state replicates in the shipped WAL)")
 	flag.Parse()
 
 	if *clusterID != "" && (*stateDir == "" || *clusterRegistry == "") {
@@ -105,16 +106,20 @@ func main() {
 
 	var opts httpapi.Options
 	opts.Metrics = reg
-	// The storm controller owns mass re-composition state. The daemon's
-	// overlay regions attach at runtime; even before any do, /healthz
-	// carries the storm section and /metrics the storm.* counters.
-	storms, err := storm.Open(storm.Config{Counters: metrics.CountersOn(reg)}, nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "adaptd: storm controller:", err)
-		os.Exit(1)
+	if !*stormAttach {
+		// The standalone storm controller owns mass re-composition state.
+		// The daemon's overlay regions attach at runtime; even before any
+		// do, /healthz carries the storm section and /metrics the storm.*
+		// counters. With -storm-attach the session manager embeds the
+		// controller instead, and /healthz reports that one.
+		storms, err := storm.Open(storm.Config{Counters: metrics.CountersOn(reg)}, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptd: storm controller:", err)
+			os.Exit(1)
+		}
+		defer storms.Close()
+		opts.Storm = storms
 	}
-	defer storms.Close()
-	opts.Storm = storms
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -134,6 +139,7 @@ func main() {
 				Host:          *overlayHost,
 				SnapshotEvery: *snapshotEvery,
 				Counters:      metrics.CountersOn(reg),
+				Storm:         *stormAttach,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "adaptd: recovering cluster state:", err)
@@ -147,6 +153,7 @@ func main() {
 				StateDir:      *stateDir,
 				SnapshotEvery: *snapshotEvery,
 				Counters:      metrics.CountersOn(reg),
+				Storm:         *stormAttach,
 			})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "adaptd: recovering state:", err)
@@ -163,11 +170,30 @@ func main() {
 			fmt.Fprintln(os.Stderr, "adaptd: replay:", msg)
 		}
 		// Release or re-compose around holds whose links died with the
-		// previous process.
+		// previous process. In storm-attached mode this also finishes any
+		// storm the journal left open (begin without end).
 		if rep := sessions.Reconcile(); rep.Recomposed > 0 {
 			fmt.Printf("adaptd: reconciled %d sessions, released %.0f kbps of stale holds\n",
 				rep.Recomposed, rep.ReleasedKbps)
 		}
+	} else if *stormAttach {
+		// No journal: class state dies with the process, but the live
+		// path — shared regions, class-at-a-time re-composition — is the
+		// same.
+		var err error
+		sessions, err = session.NewManager(session.ManagerConfig{
+			Storm:    true,
+			Counters: metrics.CountersOn(reg),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adaptd:", err)
+			os.Exit(1)
+		}
+		opts.Sessions = sessions
+	}
+	if *stormAttach {
+		// /healthz reports the embedded controller.
+		opts.Storm = sessions.StormController()
 	}
 	handler := httpapi.HandlerWithOptions(opts)
 	handler = httpapi.WithAdmission(handler, httpapi.AdmissionConfig{

@@ -82,6 +82,17 @@ type NodeConfig struct {
 	Counters *metrics.Counters
 	// Client ships batches (nil uses http.DefaultClient).
 	Client *http.Client
+	// Storm runs every manager on this node — the primary and each
+	// replica — in storm-attached mode (see session.ManagerConfig.Storm):
+	// sessions attach to equivalence classes and storm fan-out records
+	// ride the shipped WAL, so a promoted follower resumes an open storm.
+	Storm bool
+	// StormVerify arms the primary's naive-equivalence check (harness
+	// use only; replicas replay recorded plans and never Select).
+	StormVerify bool
+	// StormHaltAfterFanouts arms the primary's deterministic mid-storm
+	// crash site (harness use only).
+	StormHaltAfterFanouts int
 }
 
 // replica is one followed node's mirrored state.
@@ -117,10 +128,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	primary, err := session.NewManager(session.ManagerConfig{
-		StateDir:      filepath.Join(cfg.StateDir, "primary"),
-		IDPrefix:      cfg.ID + "-",
-		SnapshotEvery: cfg.SnapshotEvery,
-		Counters:      cfg.Counters,
+		StateDir:              filepath.Join(cfg.StateDir, "primary"),
+		IDPrefix:              cfg.ID + "-",
+		SnapshotEvery:         cfg.SnapshotEvery,
+		Counters:              cfg.Counters,
+		Storm:                 cfg.Storm,
+		StormVerify:           cfg.StormVerify,
+		StormHaltAfterFanouts: cfg.StormHaltAfterFanouts,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: opening primary state: %w", err)
@@ -173,6 +187,11 @@ func (n *Node) openReplicaLocked(source string) (*replica, error) {
 		// The source decides compaction; the replica follows verbatim.
 		SnapshotEvery: -1,
 		Counters:      n.cfg.Counters,
+		// Replicas mirror the source's mode so replicated storm records
+		// replay; the halt crash site stays primary-only, and Verify is
+		// pointless on a replica (replay applies recorded plans, it
+		// never runs Select).
+		Storm: n.cfg.Storm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: opening replica of %s: %w", source, err)
@@ -286,6 +305,44 @@ func (n *Node) Recovery() *session.RecoveryReport { return n.primary.Recovery() 
 
 // LastSeq is the primary journal's applied offset.
 func (n *Node) LastSeq() uint64 { return n.primary.LastSeq() }
+
+// StormFingerprint renders the storm controller state of the primary
+// (source == "") or of the replica mirroring source. Byte-equality of
+// these strings across nodes is the cluster storm audit: a promoted
+// follower must land on the dead primary's exact class chains.
+func (n *Node) StormFingerprint(source string) (string, error) {
+	if source == "" {
+		ctrl := n.primary.StormController()
+		if ctrl == nil {
+			return "", errors.New("cluster: node is not in storm mode")
+		}
+		return ctrl.Fingerprint()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := n.replicas[source]
+	if r == nil {
+		return "", fmt.Errorf("cluster: %s holds no replica of %s", n.cfg.ID, source)
+	}
+	ctrl := r.m.StormController()
+	if ctrl == nil {
+		return "", errors.New("cluster: replica is not in storm mode")
+	}
+	return ctrl.Fingerprint()
+}
+
+// ReplicaManager exposes the manager mirroring source, for audits that
+// need more than the fingerprint (e.g. the shared-region reservation
+// ledger after a storm-mode promotion).
+func (n *Node) ReplicaManager(source string) (*session.Manager, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r := n.replicas[source]
+	if r == nil {
+		return nil, false
+	}
+	return r.m, true
+}
 
 // ---- httpapi.ReplicationReporter -------------------------------------
 

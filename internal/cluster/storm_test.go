@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qoschain/internal/httpapi"
+	"qoschain/internal/registry"
+	"qoschain/internal/session"
+)
+
+// startStormNode is startNode with the storm-attached manager: live
+// sessions fold into equivalence classes and the class state ships in
+// the WAL alongside the session commands.
+func startStormNode(t *testing.T, id, host string) *testNode {
+	t.Helper()
+	n, err := NewNode(NodeConfig{
+		ID:       id,
+		StateDir: filepath.Join(t.TempDir(), id),
+		Host:     host,
+		Storm:    true,
+	})
+	if err != nil {
+		t.Fatalf("storm node %s: %v", id, err)
+	}
+	srv := httptest.NewServer(n.Handler(httpapi.HandlerWithOptions(httpapi.Options{Sessions: n})))
+	t.Cleanup(func() { srv.Close(); n.Close() })
+	return &testNode{
+		node:   n,
+		srv:    srv,
+		member: registry.Member{ID: id, Addr: strings.TrimPrefix(srv.URL, "http://"), Host: host},
+	}
+}
+
+// TestStormAccessors pins the failure modes of the storm-state
+// accessors the EXT-P harness leans on: a non-storm node refuses to
+// fingerprint, a missing replica is reported by name, and a shipped
+// storm replica's fingerprint matches the primary's byte-for-byte.
+func TestStormAccessors(t *testing.T) {
+	plain := startNode(t, "plain", "p9", nil, 0)
+	if _, err := plain.node.StormFingerprint(""); err == nil ||
+		!strings.Contains(err.Error(), "not in storm mode") {
+		t.Errorf("plain StormFingerprint() err = %v, want not-in-storm-mode", err)
+	}
+	if _, err := plain.node.StormFingerprint("ghost"); err == nil ||
+		!strings.Contains(err.Error(), "ghost") {
+		t.Errorf("missing-replica err = %v, want mention of ghost", err)
+	}
+	if _, ok := plain.node.ReplicaManager("ghost"); ok {
+		t.Error("ReplicaManager(ghost) = ok, want missing")
+	}
+
+	n1 := startStormNode(t, "s1", "p8")
+	n2 := startStormNode(t, "s2", "p7")
+	if _, err := n1.node.CreateCtx(context.Background(), session.CreateSpec{
+		Set: *clusterSet(), Floor: 0.3, Seed: 1,
+	}); err != nil {
+		t.Fatalf("storm create: %v", err)
+	}
+	fp, err := n1.node.StormFingerprint("")
+	if err != nil || fp == "" {
+		t.Fatalf("primary fingerprint = %q, %v", fp, err)
+	}
+
+	n1.node.Shipper().SetPeer(n2.member)
+	if _, err := n1.node.Shipper().Ship(context.Background()); err != nil {
+		t.Fatalf("ship: %v", err)
+	}
+	rfp, err := n2.node.StormFingerprint("s1")
+	if err != nil {
+		t.Fatalf("replica fingerprint: %v", err)
+	}
+	if rfp != fp {
+		t.Errorf("replica fingerprint diverged:\nprimary %s\nreplica %s", fp, rfp)
+	}
+	if rm, ok := n2.node.ReplicaManager("s1"); !ok || rm.StormController() == nil {
+		t.Errorf("ReplicaManager(s1) = %v, %v; want storm-attached manager", rm, ok)
+	}
+}

@@ -224,6 +224,30 @@ func TestSessionFaultValidation(t *testing.T) {
 	}
 }
 
+func TestReevaluateReasonValidation(t *testing.T) {
+	srv := server(t)
+	s := createSession(t, srv.URL, failoverSet())
+	base := srv.URL + "/v1/sessions/" + s.ID
+
+	resp, st := postJSON(t, base+"/reevaluate?reason=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reason=bogus status = %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(st.Error, "unknown reevaluate reason") {
+		t.Errorf("reason=bogus error = %q, want mention of unknown reason", st.Error)
+	}
+	for _, reason := range []string{"", "manual", "fault", "storm"} {
+		url := base + "/reevaluate"
+		if reason != "" {
+			url += "?reason=" + reason
+		}
+		resp, st := postJSON(t, url, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("reason=%q status = %d (error %q), want 200", reason, resp.StatusCode, st.Error)
+		}
+	}
+}
+
 func TestSessionCreateRejectsBadInput(t *testing.T) {
 	srv := server(t)
 	resp, err := http.Post(srv.URL+"/v1/sessions", "application/json", strings.NewReader("{nope"))

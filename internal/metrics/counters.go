@@ -83,6 +83,12 @@ const (
 	// SampleStormRecoveryMs observes wall-clock milliseconds from storm
 	// start to the last fan-out.
 	SampleStormRecoveryMs = "storm.recovery_ms"
+	// GaugeStormClassesAttached gauges how many equivalence classes
+	// currently have at least one attached member session.
+	GaugeStormClassesAttached = "storm.classes_attached"
+	// SampleStormMembersPerClass observes a class's member count at each
+	// attach — the class-skew distribution operators read off /metrics.
+	SampleStormMembersPerClass = "storm.members_per_class"
 )
 
 // Well-known counter and sample names recorded by the admission layer
@@ -262,6 +268,23 @@ func (c *Counters) Add(name string, n int64) {
 	}
 	c.r.Add(name, n)
 	c.mirror.Add(name, n)
+}
+
+// SetGauge sets a named gauge to v.
+func (c *Counters) SetGauge(name string, v float64) {
+	if c == nil {
+		return
+	}
+	c.r.SetGauge(name, v)
+	c.mirror.SetGauge(name, v)
+}
+
+// Gauge returns a gauge's value (0 for unknown names or a nil receiver).
+func (c *Counters) Gauge(name string) float64 {
+	if c == nil {
+		return 0
+	}
+	return c.r.GaugeValue(name)
 }
 
 // Get returns a counter's value (0 for unknown names or a nil receiver).

@@ -73,6 +73,11 @@ func RegisterWellKnown(r *Registry) {
 		r.Add(name, 0)
 	}
 	for _, name := range []string{
+		GaugeStormClassesAttached,
+	} {
+		r.SetGauge(name, 0)
+	}
+	for _, name := range []string{
 		SampleRecoverySteps, SampleRecoveryRetries, SampleReservedKbps,
 		SampleRecoveryReleasedKbps,
 		SampleReplicationLag, SampleClusterRecoveryMs,
@@ -80,6 +85,7 @@ func RegisterWellKnown(r *Registry) {
 		HistJournalAppendMs, HistJournalFsyncMs, HistSelectRounds,
 		SamplePipelineBatchOccupancy, SamplePipelineQueueDepth,
 		SampleStormQueueDepth, SampleStormRecoveryMs,
+		SampleStormMembersPerClass,
 	} {
 		r.DeclareHist(name)
 	}

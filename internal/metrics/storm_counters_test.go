@@ -20,6 +20,7 @@ func TestStormCountersRegisteredWellKnown(t *testing.T) {
 		CounterStormEvents, CounterStormClasses,
 		CounterStormSessionsReplanned, CounterStormSelectCalls,
 		CounterStormDegraded,
+		GaugeStormClassesAttached, SampleStormMembersPerClass,
 	} {
 		// Prometheus names swap dots for underscores.
 		want := strings.ReplaceAll(name, ".", "_")

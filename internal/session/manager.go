@@ -42,6 +42,7 @@ import (
 	"qoschain/internal/metrics"
 	"qoschain/internal/overlay"
 	"qoschain/internal/profile"
+	"qoschain/internal/storm"
 	"qoschain/internal/trace"
 )
 
@@ -94,6 +95,21 @@ type ManagerConfig struct {
 	// FailPoints injects deterministic crash sites into the journal —
 	// the adaptsim -crash harness and tests arm these.
 	FailPoints *journal.FailPoints
+	// Storm switches the manager to storm-attached mode: instead of a
+	// private overlay and failover loop per session, each create derives
+	// a shared region from its network profile and attaches the session
+	// to a storm equivalence class (fingerprint-keyed ClassSpec).
+	// Faults route their changed-link sets through the storm controller
+	// — one Select per affected class, atomic SwapChain per member — and
+	// the controller's storm records journal through this manager's WAL,
+	// so cluster WAL shipping replicates class state for free.
+	Storm bool
+	// StormVerify arms the controller's naive per-session equivalence
+	// check (harness use only).
+	StormVerify bool
+	// StormHaltAfterFanouts arms the controller's deterministic
+	// mid-storm crash site (see storm.Config.HaltAfterFanouts).
+	StormHaltAfterFanouts int
 }
 
 // walEvent is the journaled wire form of one command.
@@ -108,6 +124,12 @@ type walEvent struct {
 	// re-plans from per-session failover. Empty on journals written
 	// before the field existed; replay treats empty as unattributed.
 	Reason string `json:"reason,omitempty"`
+	// Kind/Data carry a storm controller record when Op is "storm":
+	// Kind is the controller's record kind (storm-begin, storm-class,
+	// storm-end) and Data its payload, replayed back through
+	// storm.Controller.ReplayRecord.
+	Kind string          `json:"kind,omitempty"`
+	Data json.RawMessage `json:"data,omitempty"`
 }
 
 // sessionHistory is one session's replayable command stream: its
@@ -118,10 +140,15 @@ type sessionHistory struct {
 	Events []walEvent `json:"events,omitempty"`
 }
 
-// snapshotDoc is the snapshot payload.
+// snapshotDoc is the snapshot payload. Non-storm managers carry
+// per-session histories (deleted sessions compact away); storm-attached
+// managers carry the full ordered command log instead, because sessions
+// in one region share overlay state and cross-session command order is
+// what makes replay deterministic.
 type snapshotDoc struct {
 	Seq      int                        `json:"seq"`
 	Sessions map[string]*sessionHistory `json:"sessions"`
+	Ordered  []walEvent                 `json:"ordered,omitempty"`
 }
 
 // RecoveryReport summarizes what a Manager rebuilt at startup; adaptd
@@ -169,10 +196,25 @@ type Manager struct {
 	seq         int // session ID counter
 	eventsSince int // commands since the last snapshot
 	recovery    *RecoveryReport
+
+	// Storm-attached mode state. storm is the embedded controller (its
+	// records journal through this manager's WAL via the sink); ordered
+	// is the full command log in journal order, the storm-mode snapshot
+	// payload. attachMu serializes create/delete so attach order on the
+	// shared region overlays matches journal order; it is never taken by
+	// the controller's sink path, so it cannot deadlock against a storm
+	// fan-out (which holds the controller lock and then takes m.mu).
+	storm    *storm.Controller
+	ordered  []walEvent
+	attachMu sync.Mutex
 }
 
-// Managed is one manager-owned session with its private overlay and
-// service pool (faults against one session never leak into another).
+// Managed is one manager-owned session. In the default mode it owns a
+// private overlay and service pool (faults against one session never
+// leak into another) and sess drives per-session failover. In
+// storm-attached mode sess is nil: the session is a member of a storm
+// equivalence class, net aliases the shared region overlay, and all
+// re-composition happens through the manager's storm controller.
 type Managed struct {
 	mu       sync.Mutex
 	m        *Manager
@@ -181,6 +223,11 @@ type Managed struct {
 	net      *overlay.Network
 	pool     *fault.ServiceSet
 	counters *metrics.Counters
+
+	attached bool
+	classKey string
+	region   string
+	step     int // virtual clock: one tick per reevaluate
 }
 
 // NewManager builds a manager and — with a state directory — recovers
@@ -194,6 +241,22 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		sessions:  make(map[string]*Managed),
 		histories: make(map[string]*sessionHistory),
 		recovery:  &RecoveryReport{},
+	}
+	if cfg.Storm {
+		// The embedded controller journals its storm records through
+		// this manager's WAL (the sink) and is rebuilt from it on
+		// recovery — it never owns a log of its own.
+		ctrl, err := storm.Open(storm.Config{
+			Workers:          1,
+			Verify:           cfg.StormVerify,
+			HaltAfterFanouts: cfg.StormHaltAfterFanouts,
+			Counters:         cfg.Counters,
+			Sink:             m.stormSink,
+		}, nil)
+		if err != nil {
+			return nil, err
+		}
+		m.storm = ctrl
 	}
 	if cfg.StateDir == "" {
 		return m, nil
@@ -220,7 +283,16 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 			return nil, fmt.Errorf("session: decoding snapshot: %w", err)
 		}
 		m.seq = doc.Seq
-		m.recovery.SnapshotSessions = len(doc.Sessions)
+		if m.cfg.Storm {
+			// Storm-mode snapshots are the ordered command log; replay
+			// it like a journal prefix (cross-session order matters on
+			// the shared region overlays).
+			for _, ev := range doc.Ordered {
+				m.replayCommand(ev, 0)
+			}
+			m.recovery.SnapshotSessions = len(m.sessions)
+		}
+		m.recovery.SnapshotSessions += len(doc.Sessions)
 		ids := make([]string, 0, len(doc.Sessions))
 		for id := range doc.Sessions {
 			ids = append(ids, id)
@@ -264,19 +336,34 @@ func (m *Manager) replayError(msg string) {
 
 // replayCommand re-applies one journaled command during recovery.
 func (m *Manager) replayCommand(ev walEvent, seq uint64) {
+	if m.cfg.Storm {
+		// The ordered log must mirror the journal exactly so the next
+		// snapshot replays to the same state.
+		m.ordered = append(m.ordered, ev)
+	}
 	switch ev.Op {
 	case "create":
 		if ev.Create == nil {
 			m.replayError(fmt.Sprintf("journal seq %d: create without spec", seq))
 			return
 		}
-		ms, err := m.buildManaged(ev.ID, *ev.Create)
+		var (
+			ms  *Managed
+			err error
+		)
+		if m.cfg.Storm {
+			ms, err = m.buildAttached(ev.ID, *ev.Create)
+		} else {
+			ms, err = m.buildManaged(ev.ID, *ev.Create)
+		}
 		if err != nil {
 			m.replayError(fmt.Sprintf("journal seq %d: create %s: %v", seq, ev.ID, err))
 			return
 		}
 		m.sessions[ev.ID] = ms
-		m.histories[ev.ID] = &sessionHistory{Create: *ev.Create}
+		if !m.cfg.Storm {
+			m.histories[ev.ID] = &sessionHistory{Create: *ev.Create}
+		}
 		m.bumpSeq(ev.ID)
 	case "fault", "reevaluate":
 		ms := m.sessions[ev.ID]
@@ -293,10 +380,27 @@ func (m *Manager) replayCommand(ev walEvent, seq uint64) {
 		}
 	case "delete":
 		if ms := m.sessions[ev.ID]; ms != nil {
-			ms.sess.Close()
+			if ms.attached {
+				if err := m.storm.DetachSession(ev.ID); err != nil {
+					m.replayError(fmt.Sprintf("journal seq %d: detach %s: %v", seq, ev.ID, err))
+				}
+			} else {
+				ms.sess.Close()
+			}
 		}
 		delete(m.sessions, ev.ID)
 		delete(m.histories, ev.ID)
+	case "storm":
+		// A storm controller record that journaled through the sink;
+		// hand it back for replay (fan-outs re-apply their recorded
+		// plans — no Select).
+		if m.storm == nil {
+			m.replayError(fmt.Sprintf("journal seq %d: storm record without storm mode", seq))
+			return
+		}
+		if err := m.storm.ReplayRecord(ev.Kind, ev.Data); err != nil {
+			m.replayError(fmt.Sprintf("journal seq %d: storm %s: %v", seq, ev.Kind, err))
+		}
 	default:
 		m.replayError(fmt.Sprintf("journal seq %d: unknown op %q", seq, ev.Op))
 	}
@@ -306,6 +410,9 @@ func (m *Manager) replayCommand(ev walEvent, seq uint64) {
 // session's own error returns (a failed reevaluate under partition, say)
 // are part of its deterministic behavior, not replay failures.
 func (ms *Managed) replay(ev walEvent) error {
+	if ms.attached {
+		return ms.replayAttached(ev)
+	}
 	switch ev.Op {
 	case "fault":
 		if ev.Fault == nil {
@@ -407,6 +514,9 @@ func (m *Manager) journalCommand(ev walEvent) error {
 	if err != nil {
 		return fmt.Errorf("session: encoding command: %w", err)
 	}
+	if m.cfg.Storm {
+		m.ordered = append(m.ordered, ev)
+	}
 	if _, err := m.log.Append(data); err != nil {
 		return fmt.Errorf("%w: %w", ErrJournal, err)
 	}
@@ -422,7 +532,12 @@ func (m *Manager) snapshotLocked() error {
 	if m.log == nil {
 		return nil
 	}
-	data, err := json.Marshal(snapshotDoc{Seq: m.seq, Sessions: m.histories})
+	doc := snapshotDoc{Seq: m.seq, Sessions: m.histories}
+	if m.cfg.Storm {
+		doc.Sessions = nil
+		doc.Ordered = m.ordered
+	}
+	data, err := json.Marshal(doc)
 	if err != nil {
 		return fmt.Errorf("session: encoding snapshot: %w", err)
 	}
@@ -465,6 +580,9 @@ func (m *Manager) Create(spec CreateSpec) (*Managed, error) {
 // CreateCtx is Create under a context: a trace carried by the context
 // records the composition and journal-append spans of the creation.
 func (m *Manager) CreateCtx(ctx context.Context, spec CreateSpec) (*Managed, error) {
+	if m.cfg.Storm {
+		return m.createAttachedCtx(ctx, spec)
+	}
 	ms, err := m.buildManagedCtx(ctx, "", spec)
 	if err != nil {
 		return nil, err
@@ -517,6 +635,9 @@ func (m *Manager) List() []*Managed {
 // Delete tears a session down, releasing its bandwidth holds, and
 // journals the deletion. It reports whether the session existed.
 func (m *Manager) Delete(id string) (bool, error) {
+	if m.cfg.Storm {
+		return m.deleteAttached(id)
+	}
 	m.mu.Lock()
 	ms, ok := m.sessions[id]
 	if !ok {
@@ -562,6 +683,10 @@ func (ms *Managed) Pool() *fault.ServiceSet { return ms.pool }
 
 // Held returns the session's live bandwidth reservations.
 func (ms *Managed) Held() []overlay.Reservation {
+	if ms.attached {
+		v, _ := ms.m.storm.MemberState(ms.id)
+		return v.Held
+	}
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	return ms.sess.Held()
@@ -575,6 +700,9 @@ func (ms *Managed) ApplyFault(f fault.Fault) error {
 
 // ApplyFaultCtx is ApplyFault under a context carrying the request trace.
 func (ms *Managed) ApplyFaultCtx(ctx context.Context, f fault.Fault) error {
+	if ms.attached {
+		return ms.applyFaultAttachedCtx(ctx, f)
+	}
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	if err := ms.applyFault(f); err != nil {
@@ -652,6 +780,9 @@ func (ms *Managed) ReevaluateReason(reason string) (changed bool, evalErr, logEr
 
 // ReevaluateReasonCtx is ReevaluateReason under a context.
 func (ms *Managed) ReevaluateReasonCtx(ctx context.Context, reason string) (changed bool, evalErr, logErr error) {
+	if ms.attached {
+		return ms.reevaluateAttachedCtx(ctx, reason)
+	}
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	ms.sess.Tick()
@@ -694,6 +825,9 @@ func (ms *Managed) State() State {
 }
 
 func (ms *Managed) stateLocked() State {
+	if ms.attached {
+		return ms.attachedStateLocked()
+	}
 	res := ms.sess.Result()
 	st := State{
 		ID:             ms.id,
@@ -736,6 +870,9 @@ func (ms *Managed) Fingerprint() (string, error) {
 // crash replays the reconciled state. The report is also recorded on the
 // recovery report.
 func (m *Manager) Reconcile() *ReconcileReport {
+	if m.cfg.Storm {
+		return m.reconcileStorm()
+	}
 	rep := &ReconcileReport{}
 	for _, ms := range m.List() {
 		rep.Checked++

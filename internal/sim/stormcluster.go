@@ -1,0 +1,391 @@
+package sim
+
+// stormcluster.go is the storm-safe live-path harness (EXPERIMENTS.md
+// EXT-P): the daemon-path unification of /v1/sessions with the storm
+// controller, replicated across the cluster tier, killed mid-storm.
+//
+// Two runs share one scaled Figure 6 deployment and one correlated
+// backbone fault (a loss spike on the link every class chain crosses):
+//
+//   - the REFERENCE run drives a storm-attached manager in-process with
+//     naive-equivalence verification on. It proves the daemon path
+//     absorbs the fault in O(affected classes) Selects and that every
+//     class chain matches the per-session Select byte-for-byte
+//     (Mismatches == 0), then records the controller fingerprint.
+//
+//   - the KILL run drives the same creates over live HTTP against a
+//     cluster primary whose controller is armed to halt after its first
+//     storm fan-out. The WAL — session commands and storm records
+//     interleaved — ships to a follower; the primary dies mid-storm
+//     with a begin-without-end journaled. Promoting the follower
+//     resumes the open storm in its recorded priority order. The
+//     promoted controller's fingerprint must equal the reference run's
+//     byte-for-byte, with zero leaked kbps on the shared region ledger.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"strings"
+
+	"qoschain/internal/cluster"
+	"qoschain/internal/fault"
+	"qoschain/internal/httpapi"
+	"qoschain/internal/metrics"
+	"qoschain/internal/profile"
+	"qoschain/internal/registry"
+	"qoschain/internal/session"
+)
+
+// StormClusterSpec configures one mid-storm failover scenario.
+type StormClusterSpec struct {
+	// StateRoot holds the two nodes' journal trees (a fresh temp dir
+	// per scenario).
+	StateRoot string
+	// Seed derives the per-session create seeds.
+	Seed int64
+	// Classes is how many equivalence classes the sessions split into,
+	// via QoS-floor variation over the shared deployment (default 6).
+	Classes int
+	// PerClass is how many sessions attach to each class (default 4).
+	PerClass int
+	// HaltAfterFanouts arms the primary's mid-storm crash: the
+	// controller dies after journaling this many class fan-outs
+	// (default 1 — the storm is barely started).
+	HaltAfterFanouts int
+	// SnapshotEvery compacts the primary journal this often (default 8,
+	// small enough that the follower exercises the storm-mode snapshot
+	// bootstrap).
+	SnapshotEvery int
+	// Counters, when set, receives the storm.*/replication.* series.
+	Counters *metrics.Counters
+}
+
+// StormClusterReport is the scenario outcome.
+type StormClusterReport struct {
+	Seed     int64 `json:"seed"`
+	Classes  int   `json:"classes"`
+	Sessions int   `json:"sessions"`
+	// Reference-run numbers: the daemon path's storm cost and the
+	// naive-equivalence audit.
+	RefAffectedClasses  int `json:"refAffectedClasses"`
+	RefAffectedSessions int `json:"refAffectedSessions"`
+	RefSelectCalls      int `json:"refSelectCalls"`
+	RefNaiveChecks      int `json:"refNaiveChecks"`
+	RefMismatches       int `json:"refMismatches"`
+	// Kill-run numbers.
+	ShippedRecords int64 `json:"shippedRecords"`
+	// Halted reports the primary actually died mid-storm (the fault
+	// request surfaced the halt instead of finishing the fan-out).
+	Halted bool `json:"halted"`
+	// ResumedClasses is how many fan-outs the promoted follower had to
+	// finish (affected minus the pre-crash fan-outs).
+	ResumedClasses int `json:"resumedClasses"`
+	// FingerprintsIdentical is the headline check: the promoted
+	// follower's controller fingerprint equals the reference run's
+	// byte-for-byte.
+	FingerprintsIdentical bool `json:"fingerprintsIdentical"`
+	// LeakKbps is reserved bandwidth no member accounts for on the
+	// promoted follower (must be 0).
+	LeakKbps float64 `json:"leakKbps"`
+	// RecoveryMs is the promotion latency including the resumed storm.
+	RecoveryMs float64 `json:"recoveryMs"`
+	// Err describes a contract violation; empty means the scenario
+	// passed.
+	Err string `json:"err,omitempty"`
+}
+
+// OK reports whether the scenario upheld the storm-safe live-path
+// contract: the fault was absorbed class-at-a-time (Selects bounded by
+// the class count, chains verified against the naive baseline), the
+// primary died mid-storm, and the promoted follower resumed to the
+// reference state exactly, leaking nothing.
+func (r *StormClusterReport) OK() bool {
+	return r.Err == "" && r.Halted && r.FingerprintsIdentical &&
+		r.LeakKbps == 0 && r.RefMismatches == 0 &&
+		r.RefSelectCalls <= r.Classes && r.ResumedClasses > 0
+}
+
+// stormClusterSet is the shared deployment: Figure 6 with every link
+// scaled to hold the whole session population, so the loss spike — not
+// capacity starvation — is what drives the storm.
+func stormClusterSet(sessions int) profile.Set {
+	set := Figure6Set()
+	scale := math.Ceil(float64(sessions) * 1.15)
+	for i := range set.Network.Links {
+		set.Network.Links[i].BandwidthKbps *= scale
+	}
+	return set
+}
+
+// stormFloors derives the class-splitting QoS floors.
+func stormFloors(classes int) []float64 {
+	floors := make([]float64, classes)
+	for i := range floors {
+		floors[i] = 0.30 + 0.05*float64(i%10)
+	}
+	return floors
+}
+
+// createStormSessions drives the creates through one round-trip
+// function (in-process or HTTP), PerClass sessions per floor, in
+// deterministic order.
+func createStormSessions(spec StormClusterSpec, create func(floor float64, seed int64) error) error {
+	floors := stormFloors(spec.Classes)
+	n := 0
+	for _, floor := range floors {
+		for j := 0; j < spec.PerClass; j++ {
+			if err := create(floor, spec.Seed+int64(n)); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+// backboneLink resolves the link every class chain crosses: the hop
+// from the sender to the first chain host. One loss spike there is the
+// correlated backbone event.
+func backboneLink(m *session.Manager, set *profile.Set) (from, to string, err error) {
+	hostOf := map[string]string{}
+	for _, in := range set.Intermediaries {
+		for _, svc := range in.Services {
+			hostOf[string(svc.ID)] = in.Host
+		}
+	}
+	for _, ms := range m.List() {
+		for _, hop := range ms.State().Path {
+			if h, ok := hostOf[hop]; ok {
+				return "sender", h, nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("sim: no session chain crosses an intermediary host")
+}
+
+// startStormNode opens one storm-attached cluster node and serves its
+// API on a loopback socket.
+func startStormNode(id, dir string, halt, snapshotEvery int, counters *metrics.Counters) (*clusterNode, error) {
+	n, err := cluster.NewNode(cluster.NodeConfig{
+		ID: id, StateDir: dir, Host: "node-" + id,
+		SnapshotEvery: snapshotEvery, Counters: counters,
+		Storm: true, StormHaltAfterFanouts: halt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		n.Close() //nolint:errcheck
+		return nil, err
+	}
+	api := httpapi.HandlerWithOptions(httpapi.Options{Sessions: n})
+	srv := &http.Server{Handler: n.Handler(api)}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return &clusterNode{
+		node: n, srv: srv, ln: ln,
+		member: registry.Member{ID: id, Addr: ln.Addr().String(), Host: "node-" + id},
+	}, nil
+}
+
+// RunStormCluster executes one mid-storm failover scenario end to end.
+func RunStormCluster(spec StormClusterSpec) (*StormClusterReport, error) {
+	if spec.Classes <= 0 {
+		spec.Classes = 6
+	}
+	if spec.PerClass <= 0 {
+		spec.PerClass = 4
+	}
+	if spec.HaltAfterFanouts <= 0 {
+		spec.HaltAfterFanouts = 1
+	}
+	if spec.SnapshotEvery == 0 {
+		spec.SnapshotEvery = 8
+	}
+	if spec.Counters == nil {
+		spec.Counters = metrics.NewCounters()
+	}
+	rep := &StormClusterReport{Seed: spec.Seed, Classes: spec.Classes,
+		Sessions: spec.Classes * spec.PerClass}
+	ctx := context.Background()
+	set := stormClusterSet(rep.Sessions)
+
+	// ---- Reference run: in-process, verified, never killed. ----------
+	refCounters := metrics.NewCounters()
+	// The ID prefix matches the primary's so member IDs — part of the
+	// controller fingerprint — agree between the runs.
+	ref, err := session.NewManager(session.ManagerConfig{
+		Storm: true, StormVerify: true, IDPrefix: "n1-", Counters: refCounters,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("sim: reference manager: %w", err)
+	}
+	err = createStormSessions(spec, func(floor float64, seed int64) error {
+		_, err := ref.Create(session.CreateSpec{Set: set, Floor: floor, Seed: seed})
+		return err
+	})
+	if err != nil {
+		return rep, fmt.Errorf("sim: reference create: %w", err)
+	}
+	from, to, err := backboneLink(ref, &set)
+	if err != nil {
+		return rep, err
+	}
+	const lossRate = 0.05
+	refSelectBase := refCounters.Get(metrics.CounterStormSelectCalls)
+	refSession := ref.List()[0]
+	if err := refSession.ApplyFault(fault.Fault{
+		Kind: fault.LossSpike, From: from, To: to, LossRate: lossRate,
+	}); err != nil {
+		return rep, fmt.Errorf("sim: reference fault: %w", err)
+	}
+	rep.RefSelectCalls = int(refCounters.Get(metrics.CounterStormSelectCalls) - refSelectBase)
+	refStorm := ref.StormController().Status().LastStorm
+	if refStorm == nil {
+		rep.Err = "reference fault triggered no storm"
+		return rep, nil
+	}
+	rep.RefAffectedClasses = refStorm.AffectedClasses
+	rep.RefAffectedSessions = refStorm.AffectedSessions
+	rep.RefNaiveChecks = refStorm.NaiveChecks
+	rep.RefMismatches = refStorm.Mismatches
+	if rep.RefAffectedClasses <= spec.HaltAfterFanouts {
+		rep.Err = fmt.Sprintf("fault affected %d classes; need more than the %d pre-crash fan-outs for a mid-storm kill",
+			rep.RefAffectedClasses, spec.HaltAfterFanouts)
+		return rep, nil
+	}
+	refFP, err := ref.StormController().Fingerprint()
+	if err != nil {
+		return rep, fmt.Errorf("sim: reference fingerprint: %w", err)
+	}
+
+	// ---- Kill run: live HTTP, halt-armed primary, one follower. ------
+	n1, err := startStormNode("n1", spec.StateRoot+"/n1", spec.HaltAfterFanouts,
+		spec.SnapshotEvery, spec.Counters)
+	if err != nil {
+		return rep, fmt.Errorf("sim: starting n1: %w", err)
+	}
+	defer n1.close()
+	n2, err := startStormNode("n2", spec.StateRoot+"/n2", 0, spec.SnapshotEvery, spec.Counters)
+	if err != nil {
+		return rep, fmt.Errorf("sim: starting n2: %w", err)
+	}
+	defer n2.close()
+	n1.node.Shipper().SetPeer(n2.member)
+
+	var setBuf bytes.Buffer
+	if err := set.Encode(&setBuf); err != nil {
+		return rep, err
+	}
+	base := "http://" + n1.ln.Addr().String()
+	shippedBase := spec.Counters.Get(metrics.CounterReplicationShippedRecords)
+	var firstID string
+	err = createStormSessions(spec, func(floor float64, seed int64) error {
+		url := fmt.Sprintf("%s/v1/sessions?floor=%g&seed=%d", base, floor, seed)
+		resp, err := http.Post(url, "application/json", bytes.NewReader(setBuf.Bytes()))
+		if err != nil {
+			return err
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close() //nolint:errcheck
+		if resp.StatusCode != http.StatusCreated {
+			return fmt.Errorf("%s: %s", resp.Status, body)
+		}
+		if firstID == "" {
+			var st struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &st); err != nil {
+				return err
+			}
+			firstID = st.ID
+		}
+		_, err = n1.node.Shipper().Ship(ctx)
+		return err
+	})
+	if err != nil {
+		return rep, fmt.Errorf("sim: kill-run create: %w", err)
+	}
+
+	// The backbone event, through the live fault endpoint of ONE
+	// session. The primary fans out the first class, journals it, and
+	// dies: the request surfaces the halt as an error.
+	faultBody, _ := json.Marshal(map[string]any{
+		"kind": "loss", "from": from, "to": to, "lossRate": lossRate,
+	})
+	resp, err := http.Post(base+"/v1/sessions/"+firstID+"/fault",
+		"application/json", bytes.NewReader(faultBody))
+	if err != nil {
+		return rep, fmt.Errorf("sim: kill-run fault: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	rep.Halted = resp.StatusCode != http.StatusOK && strings.Contains(string(body), "halted")
+	if !rep.Halted {
+		rep.Err = fmt.Sprintf("primary did not halt mid-storm: %s: %s", resp.Status, body)
+		return rep, nil
+	}
+
+	// The dying primary's last ship carries the fault command, the
+	// storm begin and the pre-crash fan-outs — and no end record.
+	if _, err := n1.node.Shipper().Ship(ctx); err != nil {
+		return rep, fmt.Errorf("sim: final ship: %w", err)
+	}
+	rep.ShippedRecords = spec.Counters.Get(metrics.CounterReplicationShippedRecords) - shippedBase
+	n1.srv.Close() //nolint:errcheck
+
+	// Promote: the follower adopts the replica, and its storm-mode
+	// Reconcile finds the begin-without-end and finishes the storm in
+	// the recorded priority order. No host fault is injected — the dead
+	// node is not part of the content overlay.
+	promo, err := n2.node.Promote("n1", "")
+	if err != nil {
+		return rep, fmt.Errorf("sim: promote: %w", err)
+	}
+	rep.RecoveryMs = promo.TookMs
+
+	// The resume must be real: the promoted controller's last storm is
+	// the finished open storm, covering exactly the fan-outs the dead
+	// primary never ran.
+	rm, ok := n2.node.ReplicaManager("n1")
+	if !ok {
+		return rep, fmt.Errorf("sim: n2 lost its replica of n1 after promotion")
+	}
+	rctrl := rm.StormController()
+	last := rctrl.Status().LastStorm
+	if last == nil || !last.Resumed {
+		rep.Err = "promoted follower did not resume the open storm"
+		return rep, nil
+	}
+	rep.ResumedClasses = last.AffectedClasses
+
+	// The promoted controller must land on the reference state exactly.
+	gotFP, err := n2.node.StormFingerprint("n1")
+	if err != nil {
+		return rep, fmt.Errorf("sim: promoted fingerprint: %w", err)
+	}
+	rep.FingerprintsIdentical = gotFP == refFP
+	if !rep.FingerprintsIdentical {
+		rep.Err = fmt.Sprintf("promoted storm state diverged from the reference run\n got %s\nwant %s", gotFP, refFP)
+		return rep, nil
+	}
+
+	// Zero-leak audit on the promoted follower's shared region ledger.
+	for _, name := range rctrl.Regions() {
+		held := rctrl.HeldKbps(name)
+		reserved := rctrl.RegionNet(name).TotalReservedKbps()
+		if d := reserved - held; math.Abs(d) > 1e-6*math.Max(1, math.Max(held, reserved)) {
+			rep.LeakKbps += d
+		}
+	}
+	if rep.LeakKbps != 0 {
+		rep.Err = fmt.Sprintf("promoted follower leaked %.3f kbps", rep.LeakKbps)
+	}
+	return rep, nil
+}

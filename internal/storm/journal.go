@@ -34,6 +34,7 @@ import (
 const (
 	kindClass      = "class"
 	kindAttach     = "attach"
+	kindDetach     = "detach"
 	kindNetChange  = "netchange"
 	kindStormBegin = "storm-begin"
 	kindStormClass = "storm-class"
@@ -43,6 +44,13 @@ const (
 type attachRecord struct {
 	Key   string `json:"key"`
 	Count int    `json:"count"`
+	// ID, when set, is the caller-chosen member ID of a single
+	// AttachSession; Count is 1 and the legacy mint loop is skipped.
+	ID string `json:"id,omitempty"`
+}
+
+type detachRecord struct {
+	ID string `json:"id"`
 }
 
 // linkChange is one link's post-change state, captured when the change
@@ -111,8 +119,28 @@ type Recovery struct {
 // journalLocked appends one typed record. Nil log (in-memory
 // controller) and replay are no-ops. An append failure is permanent:
 // the journal can no longer be trusted to match memory.
+//
+// In embedded mode (Config.Sink) the controller owns no log of its own:
+// storm fan-out records are handed to the host's WAL and everything
+// else — classes, attachments, net changes — is derived state the host
+// reconstructs by replaying its own commands, so it is not forwarded.
 func (c *Controller) journalLocked(kind string, payload any) error {
-	if c.log == nil || c.replaying {
+	if c.replaying {
+		return nil
+	}
+	if c.cfg.Sink != nil {
+		switch kind {
+		case kindStormBegin, kindStormClass, kindStormEnd:
+			data, err := json.Marshal(payload)
+			if err != nil {
+				return err
+			}
+			return c.cfg.Sink(kind, data)
+		default:
+			return nil
+		}
+	}
+	if c.log == nil {
 		return nil
 	}
 	if c.journalDead {
@@ -167,54 +195,69 @@ func (c *Controller) recover() error {
 		}
 		rep.Records++
 	}
-	open := c.openStorm
-	c.openStorm = nil
 	rep.Classes = len(c.classes)
 	for _, cls := range c.classes {
 		rep.Sessions += len(cls.members)
 	}
 	c.mu.Unlock()
 
-	if open != nil {
-		// Crash mid-storm: finish it. Classes with a journaled fan-out
-		// were restored during replay; the remainder re-plan live, in
-		// the recorded priority order.
-		var items []planItem
-		c.mu.Lock()
-		c.replaying = false
-		c.active = true
-		done := c.replayDone
-		c.replayDone = nil
-		for _, key := range open.Classes {
-			if done[key] {
-				continue
-			}
-			if cls, ok := c.classes[key]; ok {
-				items = append(items, planItem{cls: cls})
-			}
-		}
-		total := 0
-		for _, links := range open.Links {
-			total += len(links)
-		}
-		c.mu.Unlock()
-		stormRep, err := c.execute(open.Storm, total, items, true)
-		if err != nil {
-			return fmt.Errorf("storm: resume storm %d: %w", open.Storm, err)
-		}
+	stormRep, err := c.ResumeOpenStorm()
+	if err != nil {
+		return err
+	}
+	if stormRep != nil {
 		rep.ResumedStorm = true
 		rep.Resumed = stormRep
-		c.mu.Lock()
-		c.lastReport = stormRep
-		c.mu.Unlock()
-	} else {
-		c.mu.Lock()
-		c.replaying = false
-		c.replayDone = nil
-		c.mu.Unlock()
 	}
 	c.rec = rep
 	return nil
+}
+
+// ResumeOpenStorm finishes a storm whose begin record was replayed
+// without a matching end — a crash (or failover) mid-fan-out. Classes
+// with a journaled fan-out were restored verbatim during replay; the
+// remainder re-plan live here, in the recorded priority order, so the
+// resulting state is byte-identical to what the interrupted process
+// would have produced. Exported for embedded mode: the host calls it
+// after its own replay completes (the promoted follower's Reconcile).
+// Returns (nil, nil) when no storm was open.
+func (c *Controller) ResumeOpenStorm() (*Report, error) {
+	c.mu.Lock()
+	open := c.openStorm
+	c.openStorm = nil
+	if open == nil {
+		c.replaying = false
+		c.replayDone = nil
+		c.mu.Unlock()
+		return nil, nil
+	}
+	c.replaying = false
+	c.active = true
+	c.fanouts = 0
+	done := c.replayDone
+	c.replayDone = nil
+	var items []planItem
+	for _, key := range open.Classes {
+		if done[key] {
+			continue
+		}
+		if cls, ok := c.classes[key]; ok {
+			items = append(items, planItem{cls: cls})
+		}
+	}
+	total := 0
+	for _, links := range open.Links {
+		total += len(links)
+	}
+	c.mu.Unlock()
+	stormRep, err := c.execute(open.Storm, total, items, true)
+	if err != nil {
+		return nil, fmt.Errorf("storm: resume storm %d: %w", open.Storm, err)
+	}
+	c.mu.Lock()
+	c.lastReport = stormRep
+	c.mu.Unlock()
+	return stormRep, nil
 }
 
 // replayLocked applies one journal record.
@@ -223,6 +266,23 @@ func (c *Controller) replayLocked(record []byte) error {
 	if err != nil {
 		return err
 	}
+	return c.replayKindLocked(kind, data)
+}
+
+// ReplayRecord applies one record by kind — the embedded-mode replay
+// entry point. The host replays its WAL and hands the storm-kind
+// records back in order; after the last one it calls ResumeOpenStorm.
+func (c *Controller) ReplayRecord(kind string, data json.RawMessage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.replaying
+	c.replaying = true
+	err := c.replayKindLocked(kind, data)
+	c.replaying = prev
+	return err
+}
+
+func (c *Controller) replayKindLocked(kind string, data json.RawMessage) error {
 	switch kind {
 	case kindClass:
 		var spec ClassSpec
@@ -236,8 +296,22 @@ func (c *Controller) replayLocked(record []byte) error {
 		if err := json.Unmarshal(data, &rec); err != nil {
 			return err
 		}
+		if rec.ID != "" {
+			cls, ok := c.classes[rec.Key]
+			if !ok {
+				return fmt.Errorf("attach for unknown class %s", rec.Key)
+			}
+			c.attachOneLocked(cls, rec.ID)
+			return nil
+		}
 		_, err := c.attachLocked(rec.Key, rec.Count)
 		return err
+	case kindDetach:
+		var rec detachRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return err
+		}
+		return c.detachLocked(rec.ID)
 	case kindNetChange:
 		var rec netChangeRecord
 		if err := json.Unmarshal(data, &rec); err != nil {
@@ -471,14 +545,19 @@ func (c *Controller) restoreSnapshotLocked(data []byte) error {
 			kbps:     cs.Kbps,
 			degraded: cs.Degraded,
 		}
-		cls.selcfg = core.Config{Profile: prof, SatisfactionFloor: cs.Spec.Floor}
+		cls.selcfg = core.Config{
+			Profile:           prof,
+			Budget:            cs.Spec.User.Budget,
+			ReceiverCaps:      cs.Spec.Device.RenderCaps(),
+			SatisfactionFloor: cs.Spec.Floor,
+		}
 		cls.in = graph.Input{
 			Content:      &cls.spec.Content,
 			Device:       &cls.spec.Device,
 			Services:     r.Services,
 			Net:          r.Net,
 			SenderHost:   r.SenderHost,
-			ReceiverHost: r.ReceiverHost,
+			ReceiverHost: receiverHost(&r.Region, &cls.spec),
 		}
 		if cs.Chain != nil {
 			cls.current = &core.Result{
@@ -499,6 +578,7 @@ func (c *Controller) restoreSnapshotLocked(data []byte) error {
 				s.held = hold
 			}
 			cls.members = append(cls.members, s)
+			c.memberIdx[s.ID] = s
 		}
 		c.classes[cls.key] = cls
 		c.order = append(c.order, cls.key)

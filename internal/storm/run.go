@@ -70,8 +70,14 @@ type planItem struct {
 	gap float64
 }
 
-// ErrStormActive rejects overlapping Storm calls.
+// ErrStormActive rejects overlapping Storm calls, and any Storm while a
+// replayed begin-without-end is still waiting on ResumeOpenStorm —
+// starting a fresh storm there would orphan the open storm's remainder.
 var ErrStormActive = errors.New("storm: a storm is already running")
+
+// ErrHalted reports that Config.HaltAfterFanouts aborted the storm —
+// the deterministic stand-in for a process death mid-fan-out.
+var ErrHalted = errors.New("storm: halted mid-storm by HaltAfterFanouts")
 
 // Storm absorbs the pending changed-link set and re-plans every
 // affected class — once per class, not once per session. Affected means
@@ -83,7 +89,7 @@ var ErrStormActive = errors.New("storm: a storm is already running")
 func (c *Controller) Storm() (*Report, error) {
 	start := now()
 	c.mu.Lock()
-	if c.active {
+	if c.active || c.openStorm != nil {
 		c.mu.Unlock()
 		return nil, ErrStormActive
 	}
@@ -102,6 +108,7 @@ func (c *Controller) Storm() (*Report, error) {
 	}
 	c.stormSeq++
 	c.active = true
+	c.fanouts = 0
 	seq := c.stormSeq
 
 	items := c.scoreLocked(c.affectedLocked(changed))
@@ -432,7 +439,52 @@ func (c *Controller) planOne(seq int, it planItem) (*ClassOutcome, error) {
 	if err := c.journalLocked(kindStormClass, rec); err != nil {
 		return nil, err
 	}
+	c.fanouts++
+	if c.cfg.HaltAfterFanouts > 0 && c.fanouts >= c.cfg.HaltAfterFanouts && !c.replaying {
+		// The fan-out above is journaled; dying here leaves begin + the
+		// completed class records and no end — the mid-storm crash state.
+		return nil, ErrHalted
+	}
 	return out, nil
+}
+
+// ReplanClass runs a single-class storm outside a fault event — the
+// embedded mode's manual re-evaluation path. The class re-plans against
+// its repaired graph and fans out exactly like a storm of one, sharing
+// the journal format so a crash mid-replan resumes identically.
+func (c *Controller) ReplanClass(key string) (*Report, error) {
+	start := now()
+	c.mu.Lock()
+	if c.active || c.openStorm != nil {
+		c.mu.Unlock()
+		return nil, ErrStormActive
+	}
+	cls, ok := c.classes[key]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("storm: unknown class %s", key)
+	}
+	c.stormSeq++
+	c.active = true
+	c.fanouts = 0
+	seq := c.stormSeq
+	items := c.scoreLocked([]*Class{cls})
+	if err := c.journalLocked(kindStormBegin, beginRecord{Storm: seq, Classes: []string{key}}); err != nil {
+		c.active = false
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.mu.Unlock()
+
+	rep, err := c.execute(seq, 0, items, false)
+	if err != nil {
+		return nil, err
+	}
+	rep.RecoveryMs = float64(now().Sub(start).Microseconds()) / 1000.0
+	c.mu.Lock()
+	c.lastReport = rep
+	c.mu.Unlock()
+	return rep, nil
 }
 
 // releaseMembersLocked lifts every member's hold off the overlay,
@@ -554,6 +606,7 @@ func (c *Controller) applyPlanLocked(cls *Class, res *core.Result, degraded bool
 		c.markDirtyLocked(r, hold)
 		s.held = hold
 		s.degraded = degraded
+		s.swaps++
 		if !c.replaying {
 			c.cfg.Counters.Inc(metrics.CounterStormSessionsReplanned)
 			if degraded {

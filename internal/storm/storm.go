@@ -99,6 +99,22 @@ type Config struct {
 	// FailPoints injects deterministic journal crash sites; nil
 	// disables.
 	FailPoints *journal.FailPoints
+	// Sink, when set, embeds the controller inside a host that owns the
+	// write-ahead log (the session manager): instead of appending to its
+	// own journal the controller hands each storm fan-out record —
+	// storm-begin, storm-class, storm-end — to the sink, which is
+	// expected to journal it and replay it back through ReplayRecord on
+	// recovery. Class, attach, detach and netchange records are NOT
+	// forwarded: in embedded mode they are derived state, reconstructed
+	// by the host replaying its own create/fault/delete commands.
+	// Mutually exclusive with StateDir.
+	Sink func(kind string, data json.RawMessage) error
+	// HaltAfterFanouts, when > 0, aborts a storm with ErrHalted after
+	// that many class fan-outs have been journaled — a deterministic
+	// crash site for mid-storm failover tests. The journal is left with
+	// a storm-begin and the completed class records but no storm-end,
+	// exactly the state a process death mid-fan-out leaves behind.
+	HaltAfterFanouts int
 }
 
 // ClassSpec is the equivalence-class fingerprint: everything the
@@ -186,6 +202,7 @@ type Session struct {
 	class    *Class
 	held     []overlay.Reservation
 	degraded bool
+	swaps    int // successful chain swaps fanned out to this member
 }
 
 // region is a Region plus the lookups the controller derives from it.
@@ -213,8 +230,13 @@ type Controller struct {
 	regions map[string]*region
 	classes map[string]*Class
 	order   []string // class keys in creation order (deterministic walks)
+	// memberIdx resolves a member session ID to its Session across all
+	// classes — the lookup the embedded (daemon) mode uses for detach
+	// and per-session state.
+	memberIdx map[string]*Session
 
 	stormSeq        int
+	fanouts         int // class fan-outs journaled in the current storm
 	active          bool
 	naiveChecks     int
 	naiveMismatches int
@@ -245,29 +267,20 @@ func Open(cfg Config, regions []Region) (*Controller, error) {
 	if cfg.CacheSize <= 0 {
 		cfg.CacheSize = 64
 	}
+	if cfg.StateDir != "" && cfg.Sink != nil {
+		return nil, fmt.Errorf("storm: StateDir and Sink are mutually exclusive")
+	}
 	c := &Controller{
-		cfg:     cfg,
-		cache:   graph.NewCache(cfg.CacheSize),
-		lane:    admission.NewLimiter(admission.LimiterConfig{Capacity: cfg.LaneCapacity, MaxQueue: 1 << 20, Metrics: cfg.Counters}),
-		regions: make(map[string]*region),
-		classes: make(map[string]*Class),
+		cfg:       cfg,
+		cache:     graph.NewCache(cfg.CacheSize),
+		lane:      admission.NewLimiter(admission.LimiterConfig{Capacity: cfg.LaneCapacity, MaxQueue: 1 << 20, Metrics: cfg.Counters}),
+		regions:   make(map[string]*region),
+		classes:   make(map[string]*Class),
+		memberIdx: make(map[string]*Session),
 	}
 	for _, r := range regions {
-		if r.Name == "" || r.Net == nil {
-			return nil, fmt.Errorf("storm: region needs a name and a network")
-		}
-		if _, dup := c.regions[r.Name]; dup {
-			return nil, fmt.Errorf("storm: duplicate region %q", r.Name)
-		}
-		hostOf := make(map[service.ID]string, len(r.Services))
-		for _, svc := range r.Services {
-			hostOf[svc.ID] = svc.Host
-		}
-		c.regions[r.Name] = &region{
-			Region:  r,
-			hostOf:  hostOf,
-			dirty:   make(map[overlay.LinkRef]uint64),
-			pending: make(map[overlay.LinkRef]bool),
+		if err := c.addRegionLocked(r); err != nil {
+			return nil, err
 		}
 	}
 	if cfg.StateDir != "" {
@@ -276,6 +289,71 @@ func Open(cfg Config, regions []Region) (*Controller, error) {
 		}
 	}
 	return c, nil
+}
+
+func (c *Controller) addRegionLocked(r Region) error {
+	if r.Name == "" || r.Net == nil {
+		return fmt.Errorf("storm: region needs a name and a network")
+	}
+	if _, dup := c.regions[r.Name]; dup {
+		return fmt.Errorf("storm: duplicate region %q", r.Name)
+	}
+	hostOf := make(map[service.ID]string, len(r.Services))
+	for _, svc := range r.Services {
+		hostOf[svc.ID] = svc.Host
+	}
+	c.regions[r.Name] = &region{
+		Region:  r,
+		hostOf:  hostOf,
+		dirty:   make(map[overlay.LinkRef]uint64),
+		pending: make(map[overlay.LinkRef]bool),
+	}
+	return nil
+}
+
+// EnsureRegion registers a region at runtime; a region with the same
+// name already registered is left untouched (the daemon derives regions
+// from session profiles, so the same region arrives once per session).
+// Regions are infrastructure, never journaled — in embedded mode the
+// host re-derives them during its own replay.
+func (c *Controller) EnsureRegion(r Region) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.regions[r.Name]; ok {
+		return nil
+	}
+	return c.addRegionLocked(r)
+}
+
+// HasRegion reports whether a region is registered.
+func (c *Controller) HasRegion(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.regions[name]
+	return ok
+}
+
+// Regions lists registered region names in sorted order.
+func (c *Controller) Regions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.regions))
+	for name := range c.regions {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegionNet returns a region's overlay network (nil when unknown) —
+// the ledger the zero-leak audits compare HeldKbps against.
+func (c *Controller) RegionNet(name string) *overlay.Network {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.regions[name]; ok {
+		return r.Net
+	}
+	return nil
 }
 
 // Close closes the journal. The controller must not be used afterwards.
@@ -328,9 +406,14 @@ func (c *Controller) addClassLocked(spec ClassSpec) (*Class, error) {
 		return nil, fmt.Errorf("storm: class %s: %w", key, err)
 	}
 	cls := &Class{
-		spec:   spec,
-		key:    key,
-		selcfg: core.Config{Profile: prof, SatisfactionFloor: spec.Floor},
+		spec: spec,
+		key:  key,
+		selcfg: core.Config{
+			Profile:           prof,
+			Budget:            spec.User.Budget,
+			ReceiverCaps:      spec.Device.RenderCaps(),
+			SatisfactionFloor: spec.Floor,
+		},
 	}
 	cls.in = graph.Input{
 		Content:      &cls.spec.Content,
@@ -338,7 +421,7 @@ func (c *Controller) addClassLocked(spec ClassSpec) (*Class, error) {
 		Services:     r.Services,
 		Net:          r.Net,
 		SenderHost:   r.SenderHost,
-		ReceiverHost: r.ReceiverHost,
+		ReceiverHost: receiverHost(&r.Region, &cls.spec),
 	}
 	gen := r.Net.Generation()
 	g, err := c.cache.Build(cls.in)
@@ -361,6 +444,37 @@ func (c *Controller) addClassLocked(spec ClassSpec) (*Class, error) {
 	return cls, nil
 }
 
+// receiverHost resolves the overlay host a class's receiver sits on: the
+// region-wide receiver when the region declares one, otherwise the
+// device ID — the daemon's convention, where each device profile is its
+// own leaf host on the region overlay.
+func receiverHost(r *Region, spec *ClassSpec) string {
+	if r.ReceiverHost != "" {
+		return r.ReceiverHost
+	}
+	return spec.Device.ID
+}
+
+// EnsureClass returns the class for the spec, registering and planning
+// it on first sight. The daemon calls this on every session create;
+// only the first member of a fingerprint pays for a Select.
+func (c *Controller) EnsureClass(spec ClassSpec) (*Class, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cls, ok := c.classes[spec.Key()]; ok {
+		return cls, nil
+	}
+	cls, err := c.addClassLocked(spec)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.journalLocked(kindClass, spec); err != nil {
+		return nil, err
+	}
+	c.refreshGaugesLocked()
+	return cls, nil
+}
+
 // Attach adds n member sessions to the class and reserves the class
 // chain for each (one atomic ReserveChain per member). A member whose
 // reservation is refused — the region filled up between plans — is
@@ -376,6 +490,7 @@ func (c *Controller) Attach(key string, n int) ([]*Session, error) {
 	if err := c.journalLocked(kindAttach, attachRecord{Key: key, Count: n}); err != nil {
 		return nil, err
 	}
+	c.refreshGaugesLocked()
 	return ss, nil
 }
 
@@ -387,24 +502,180 @@ func (c *Controller) attachLocked(key string, n int) ([]*Session, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("storm: attach count %d < 1", n)
 	}
-	r := c.regions[cls.spec.Region]
-	rs := c.chainReservations(cls)
 	out := make([]*Session, 0, n)
 	for i := 0; i < n; i++ {
-		s := &Session{ID: fmt.Sprintf("%s#%d", key, len(cls.members)), class: cls, degraded: cls.degraded}
-		if len(rs) > 0 {
-			hold := append([]overlay.Reservation(nil), rs...)
-			if err := r.Net.ReserveChain(hold); err == nil {
-				s.held = hold
-				c.markDirtyLocked(r, hold)
-			} else {
-				s.degraded = true
-			}
-		}
-		cls.members = append(cls.members, s)
-		out = append(out, s)
+		out = append(out, c.attachOneLocked(cls, fmt.Sprintf("%s#%d", key, len(cls.members))))
 	}
 	return out, nil
+}
+
+// attachOneLocked attaches a single member with the given ID and
+// reserves the class chain for it; a refused reservation degrades the
+// member instead of rejecting it.
+func (c *Controller) attachOneLocked(cls *Class, id string) *Session {
+	r := c.regions[cls.spec.Region]
+	rs := c.chainReservations(cls)
+	s := &Session{ID: id, class: cls, degraded: cls.degraded}
+	if len(rs) > 0 {
+		hold := append([]overlay.Reservation(nil), rs...)
+		if err := r.Net.ReserveChain(hold); err == nil {
+			s.held = hold
+			c.markDirtyLocked(r, hold)
+		} else {
+			s.degraded = true
+		}
+	}
+	cls.members = append(cls.members, s)
+	c.memberIdx[id] = s
+	return s
+}
+
+// AttachSession attaches one member with a caller-chosen ID — the
+// daemon's session ID, so the storm tier and the session manager agree
+// on identity. The attachment is journaled with the explicit ID.
+func (c *Controller) AttachSession(key, id string) (*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cls, ok := c.classes[key]
+	if !ok {
+		return nil, fmt.Errorf("storm: unknown class %s", key)
+	}
+	if id == "" {
+		return nil, fmt.Errorf("storm: attach needs a session ID")
+	}
+	if _, dup := c.memberIdx[id]; dup {
+		return nil, fmt.Errorf("storm: duplicate member %s", id)
+	}
+	s := c.attachOneLocked(cls, id)
+	if err := c.journalLocked(kindAttach, attachRecord{Key: key, Count: 1, ID: id}); err != nil {
+		return nil, err
+	}
+	c.refreshGaugesLocked()
+	if cc := c.cfg.Counters; cc != nil && !c.replaying {
+		cc.Observe(metrics.SampleStormMembersPerClass, float64(len(cls.members)))
+	}
+	return s, nil
+}
+
+// DetachSession releases a member's hold and removes it from its class.
+// The class itself stays registered — an empty class is cheap and keeps
+// its plan warm for the next attach.
+func (c *Controller) DetachSession(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.detachLocked(id); err != nil {
+		return err
+	}
+	if err := c.journalLocked(kindDetach, detachRecord{ID: id}); err != nil {
+		return err
+	}
+	c.refreshGaugesLocked()
+	return nil
+}
+
+func (c *Controller) detachLocked(id string) error {
+	s, ok := c.memberIdx[id]
+	if !ok {
+		return fmt.Errorf("storm: unknown member %s", id)
+	}
+	cls := s.class
+	r := c.regions[cls.spec.Region]
+	if len(s.held) > 0 {
+		r.Net.ReleaseChain(s.held)
+		c.markDirtyLocked(r, s.held)
+		s.held = nil
+	}
+	for i, m := range cls.members {
+		if m == s {
+			cls.members = append(cls.members[:i], cls.members[i+1:]...)
+			break
+		}
+	}
+	delete(c.memberIdx, id)
+	return nil
+}
+
+// MemberView is the per-session state the daemon surfaces for an
+// attached member: the class plan it rides plus its own hold.
+type MemberView struct {
+	ID           string
+	ClassKey     string
+	Region       string
+	Chain        string
+	Path         []graph.NodeID
+	Formats      []media.Format
+	Satisfaction float64
+	Cost         float64
+	Kbps         float64
+	Degraded     bool
+	Swaps        int
+	Held         []overlay.Reservation
+}
+
+// MemberState returns the view for one attached member.
+func (c *Controller) MemberState(id string) (MemberView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.memberIdx[id]
+	if !ok {
+		return MemberView{}, false
+	}
+	cls := s.class
+	v := MemberView{
+		ID:           id,
+		ClassKey:     cls.key,
+		Region:       cls.spec.Region,
+		Chain:        cls.Chain(),
+		Satisfaction: cls.Satisfaction(),
+		Kbps:         cls.kbps,
+		Degraded:     s.degraded,
+		Swaps:        s.swaps,
+		Held:         append([]overlay.Reservation(nil), s.held...),
+	}
+	if cls.current != nil && cls.current.Found {
+		v.Path = append([]graph.NodeID(nil), cls.current.Path...)
+		v.Formats = append([]media.Format(nil), cls.current.Formats...)
+		v.Cost = cls.current.Cost
+	}
+	return v, true
+}
+
+// NotePending marks a changed-link set pending+dirty without journaling
+// it — the embedded mode's variant of OnLinkChange, used when the host
+// already journals the fault that caused the change and re-derives the
+// link set during its own replay.
+func (c *Controller) NotePending(regionName string, links []overlay.LinkRef) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.regions[regionName]
+	if !ok {
+		return fmt.Errorf("storm: unknown region %q", regionName)
+	}
+	if len(links) == 0 {
+		return nil
+	}
+	gen := r.Net.Generation()
+	for _, l := range links {
+		r.pending[l] = true
+		r.dirty[l] = gen
+	}
+	return nil
+}
+
+// refreshGaugesLocked re-publishes the class-skew gauge: how many
+// classes currently have at least one attached member.
+func (c *Controller) refreshGaugesLocked() {
+	cc := c.cfg.Counters
+	if cc == nil || c.replaying {
+		return
+	}
+	attached := 0
+	for _, cls := range c.classes {
+		if len(cls.members) > 0 {
+			attached++
+		}
+	}
+	cc.SetGauge(metrics.GaugeStormClassesAttached, float64(attached))
 }
 
 // chainReservations renders the class's current chain as the per-link
@@ -436,7 +707,7 @@ func (c *Controller) chainHosts(cls *Class) []string {
 			hosts = append(hosts, h)
 		}
 	}
-	return append(hosts, r.ReceiverHost)
+	return append(hosts, receiverHost(&r.Region, &cls.spec))
 }
 
 // markDirtyLocked stamps the links of a reservation set with the
