@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race race-all race-obs race-cluster race-storm cluster-smoke storm-smoke storm-cluster-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
+.PHONY: all build test vet race race-all race-obs race-obs-cluster race-cluster race-storm cluster-smoke storm-smoke storm-cluster-smoke bench bench-select bench-pipeline pipeline-guard trace-overhead lint check ci
 
 all: check
 
@@ -32,6 +32,18 @@ race-all:
 # registry, the tracer, and the HTTP middleware that drives both.
 race-obs:
 	$(GO) test -race -count=1 ./internal/metrics/ ./internal/trace/ ./internal/httpapi/
+
+# race-obs-cluster races the cluster-wide observability path: metrics
+# federation and trace stitching on the router, cross-node header
+# propagation through WAL shipping, the storm flight recorder, and the
+# sim harness that drives the whole mid-storm-kill scenario under -race.
+# Folded into race-all (its packages are a subset of that matrix); kept
+# as its own lane so the cluster-observability surface can be raced in
+# isolation while iterating.
+race-obs-cluster:
+	$(GO) test -race -count=1 \
+		./internal/metrics/ ./internal/trace/ ./internal/httpapi/ \
+		./internal/cluster/ ./internal/storm/ ./internal/sim/
 
 # race-cluster races the replicated tier: WAL shipping, promotion,
 # routing, and the membership/lease machinery they depend on.
@@ -68,10 +80,11 @@ storm-smoke:
 storm-cluster-smoke:
 	$(GO) run ./cmd/adaptsim -storm-cluster -trials 2 -seed 7
 
-# trace-overhead runs the instrumentation-overhead guard: BenchmarkSelect
-# traced vs plain must stay within a 5% budget.
+# trace-overhead runs the instrumentation-overhead guards: BenchmarkSelect
+# traced vs plain, and the session hot path with full QoS SLO tracking vs
+# a nil counter sink. Both must stay within a 5% budget.
 trace-overhead:
-	TRACE_OVERHEAD_GUARD=1 $(GO) test -run TestTracingOverheadGuard -count=1 -v ./
+	TRACE_OVERHEAD_GUARD=1 $(GO) test -run 'TestTracingOverheadGuard|TestSLOOverheadGuard' -count=1 -v ./
 
 # bench-select runs the selection hot-path benchmarks with allocation
 # reporting, repeated for benchstat-comparable output. Compare against

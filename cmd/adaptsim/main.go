@@ -9,10 +9,14 @@
 //	adaptsim -services 40 -devices 5 -steps 10 -seed 7
 //	adaptsim -services 40 -batch 64                # parallel batch planning
 //	adaptsim -scenario docs/scenarios/churn.json   # declarative simulation
+//
+// Every mode accepts -metrics-out <file> to dump the final metrics
+// registry snapshot as JSON next to the human-readable stdout tables.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +40,30 @@ import (
 	"qoschain/internal/trace"
 	"qoschain/internal/workload"
 )
+
+// metricsOutPath is the -metrics-out destination: every mode dumps its
+// final metrics registry there as JSON on completion, as the
+// machine-readable companion of the stdout tables. Empty disables it.
+var metricsOutPath string
+
+// dumpMetrics writes the counters' registry snapshot as indented JSON
+// to the -metrics-out file. The stdout tables are unaffected.
+func dumpMetrics(c *metrics.Counters) {
+	if metricsOutPath == "" {
+		return
+	}
+	if c == nil {
+		c = metrics.NewCounters()
+	}
+	data, err := json.MarshalIndent(c.Registry().Snapshot(), "", "  ")
+	if err == nil {
+		err = os.WriteFile(metricsOutPath, append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adaptsim: writing -metrics-out:", err)
+		os.Exit(1)
+	}
+}
 
 // renderSpanStats prints the tracer's per-span aggregate — the trace
 // summary the failure harnesses end their reports with.
@@ -73,7 +101,9 @@ func main() {
 	stormClasses := flag.Int("storm-classes", 8, "with -storm: equivalence classes per region")
 	stormVerify := flag.Bool("storm-verify", true, "with -storm: run the naive per-session Select equivalence check")
 	stormCluster := flag.Bool("storm-cluster", false, "drive live /v1/sessions against a storm-attached replicated pair, kill the primary mid-storm, and verify the promoted follower resumes the open storm to the byte-identical fingerprint with zero leaked bandwidth")
+	metricsOut := flag.String("metrics-out", "", "dump the final metrics registry snapshot as JSON to this file (tables stay on stdout)")
 	flag.Parse()
+	metricsOutPath = *metricsOut
 
 	if *scenarioFile != "" {
 		runScenario(*scenarioFile, *markdown)
@@ -109,6 +139,7 @@ func main() {
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
+	counters := metrics.NewCounters()
 
 	fmt.Printf("adaptsim: %d services, %d devices, %d fluctuation steps (seed %d)\n\n",
 		*services, *devices, *steps, *seed)
@@ -132,7 +163,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "device %d: %v\n", d, err)
 			continue
 		}
-		p, err := pipeline.FromResult(sc.Graph, res, pipeline.Options{})
+		p, err := pipeline.FromResult(sc.Graph, res, pipeline.Options{Metrics: counters})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "device %d: %v\n", d, err)
 			continue
@@ -196,6 +227,9 @@ func main() {
 			core.PathString(sess.Result().Path), core.DisplaySat(sess.Result().Satisfaction), marker)
 	}
 	fmt.Printf("recompositions: %d\n", sess.Recompositions())
+	counters.Add("session.recompositions", int64(sess.Recompositions()))
+	counters.Observe(metrics.SampleQoSSatisfaction, sess.Result().Satisfaction)
+	dumpMetrics(counters)
 }
 
 // runChaos drives one failover session over the paper's Figure 6
@@ -311,6 +345,7 @@ func runChaos(seed int64, steps, frames int) {
 	fmt.Println()
 	counters.Render(os.Stdout)
 	renderSpanStats(tracer)
+	dumpMetrics(counters)
 	if st := sess.FailoverStatus(); st.Degraded {
 		fmt.Printf("\nsession ended DEGRADED: %s\n", st.LastError)
 	}
@@ -402,6 +437,15 @@ func runOverload(seed int64) {
 		}
 	}
 	fmt.Printf("admitted %d sessions before saturation\n", admitted)
+
+	// -metrics-out: fold the virtual-clock breakdown (delivered as a
+	// plain map in the report) and the capacity outcome into one registry.
+	out := metrics.NewCounters()
+	for k, v := range rep.Counters {
+		out.Add(k, v)
+	}
+	out.Add("overload.capacity_admitted", int64(admitted))
+	dumpMetrics(out)
 }
 
 // runBatch builds one random adaptation graph and plans many receiver
@@ -463,6 +507,16 @@ func runBatch(rng *rand.Rand, services, receivers int) {
 	fmt.Printf("\nplanned %d/%d receivers\n", planned, receivers)
 	fmt.Printf("sequential: %v   batch (%d workers): %v   speedup: %.2fx\n",
 		seqDur, runtime.GOMAXPROCS(0), batchDur, float64(seqDur)/float64(batchDur))
+
+	out := metrics.NewCounters()
+	out.Add("batch.receivers", int64(receivers))
+	out.Add("batch.planned", int64(planned))
+	for _, br := range results {
+		if br.Err == nil {
+			out.Observe(metrics.HistSelectRounds, float64(br.Result.Expanded))
+		}
+	}
+	dumpMetrics(out)
 }
 
 // runScenario executes a declarative sim scenario and prints its report.
@@ -488,6 +542,12 @@ func runScenario(path string, markdown bool) {
 			fmt.Fprintln(os.Stderr, "adaptsim:", err)
 			os.Exit(1)
 		}
+		out := metrics.NewCounters()
+		out.Add("scenario.steps", int64(len(rep.Steps)))
+		out.Add("scenario.sessions", int64(len(rep.Sessions)))
+		out.Add("scenario.rejections", int64(rep.TotalRejections()))
+		out.SetGauge("scenario.mean_satisfaction", rep.MeanSatisfaction())
+		dumpMetrics(out)
 		return
 	}
 	fmt.Printf("scenario %q: %d steps\n\n", rep.Name, len(rep.Steps))
@@ -512,6 +572,13 @@ func runScenario(path string, markdown bool) {
 	st.Render(os.Stdout)
 	fmt.Printf("\noverall mean satisfaction %.2f, rejections %d\n",
 		rep.MeanSatisfaction(), rep.TotalRejections())
+
+	out := metrics.NewCounters()
+	out.Add("scenario.steps", int64(len(rep.Steps)))
+	out.Add("scenario.sessions", int64(len(rep.Sessions)))
+	out.Add("scenario.rejections", int64(rep.TotalRejections()))
+	out.SetGauge("scenario.mean_satisfaction", rep.MeanSatisfaction())
+	dumpMetrics(out)
 }
 
 // runCluster runs the replicated-tier failover scenario under several
@@ -566,6 +633,7 @@ func runCluster(seed int64, trials int) {
 		fmt.Printf("replication lag (records behind at ship): n=%d mean=%.2f p50=%.2f p90=%.2f max=%.2f\n",
 			lag.Count, lag.Mean, lag.P50, lag.P90, lag.Max)
 	}
+	dumpMetrics(counters)
 	if failed {
 		fmt.Println("\ncluster failover: FAIL")
 		os.Exit(1)
@@ -615,6 +683,7 @@ func runCrash(seed int64) {
 	fmt.Println()
 	counters.Render(os.Stdout)
 	renderSpanStats(tracer)
+	dumpMetrics(counters)
 	if failed {
 		fmt.Println("\ncrash recovery: FAIL")
 		os.Exit(1)
@@ -638,7 +707,8 @@ func runStormCluster(seed int64, trials int) {
 		trials, seed, seed+int64(trials)-1)
 	counters := metrics.NewCounters()
 	tb := metrics.NewTable("seed", "classes", "sessions", "selects", "mismatches",
-		"shipped", "halted", "resumed", "identical", "leak kbps", "recovery ms")
+		"shipped", "halted", "resumed", "identical", "leak kbps", "recovery ms",
+		"trace nodes", "1 storm id", "fed series")
 	failed := false
 	for i := 0; i < trials; i++ {
 		dir, err := os.MkdirTemp("", "adaptsim-storm-cluster-*")
@@ -657,7 +727,8 @@ func runStormCluster(seed int64, trials int) {
 		tb.AddRow(rep.Seed, rep.Classes, rep.Sessions, rep.RefSelectCalls,
 			rep.RefMismatches, rep.ShippedRecords, rep.Halted, rep.ResumedClasses,
 			rep.FingerprintsIdentical, fmt.Sprintf("%.3f", rep.LeakKbps),
-			fmt.Sprintf("%.2f", rep.RecoveryMs))
+			fmt.Sprintf("%.2f", rep.RecoveryMs),
+			rep.TraceNodes, rep.FlightSingleID, rep.FederatedSeries)
 		if !rep.OK() {
 			failed = true
 			fmt.Fprintf(os.Stderr, "adaptsim: seed %d: %s\n", rep.Seed, rep.Err)
@@ -666,6 +737,7 @@ func runStormCluster(seed int64, trials int) {
 	tb.Render(os.Stdout)
 	fmt.Println()
 	counters.Render(os.Stdout)
+	dumpMetrics(counters)
 	if failed {
 		fmt.Println("\nstorm-safe live path: FAIL")
 		os.Exit(1)
@@ -717,6 +789,7 @@ func runStorm(seed int64, sessions, regions, classes int, verify bool) {
 		fmt.Printf("\nstorm queue depth: n=%d mean=%.2f p90=%.2f max=%.2f\n",
 			qd.Count, qd.Mean, qd.P90, qd.Max)
 	}
+	dumpMetrics(counters)
 	if !rep.OK() {
 		if rep.Err != "" {
 			fmt.Fprintln(os.Stderr, "adaptsim:", rep.Err)

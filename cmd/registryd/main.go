@@ -27,10 +27,12 @@ import (
 	"time"
 
 	"qoschain/internal/debugz"
+	"qoschain/internal/httpapi"
 	"qoschain/internal/media"
 	"qoschain/internal/metrics"
 	"qoschain/internal/registry"
 	"qoschain/internal/service"
+	"qoschain/internal/trace"
 )
 
 func main() {
@@ -44,14 +46,15 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "close connections idle for this long (0 disables)")
 	writeTimeout := flag.Duration("write-timeout", 10*time.Second, "per-response write deadline (0 disables)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "drain window before in-flight connections are force-closed")
-	debugAddr := flag.String("debug-addr", "", "private diagnostics listener (pprof with mutex/block profiling, /debug/vars, /metrics)")
+	debugAddr := flag.String("debug-addr", "", "private diagnostics listener (pprof with mutex/block profiling, /debug/vars, /metrics, /debug/traces)")
+	accessLog := flag.String("access-log", "", "append one line per wire request to this file (\"-\" for stderr)")
 	flag.Parse()
 
 	if *listen != "" {
 		serve(*listen, registry.ServeOptions{
 			IdleTimeout:  *idleTimeout,
 			WriteTimeout: *writeTimeout,
-		}, *shutdownGrace, *debugAddr)
+		}, *shutdownGrace, *debugAddr, *accessLog)
 		return
 	}
 
@@ -107,18 +110,39 @@ func main() {
 	}
 }
 
-func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration, debugAddr string) {
+func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration, debugAddr, accessLog string) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		fatal(err)
 	}
 	reg := registry.New()
-	srv := registry.ServeOpts(reg, ln, opts)
-	fmt.Printf("registryd: serving on %s\n", srv.Addr())
 
+	// Observability: per-op metrics and traces on every wire request —
+	// lease traffic (register/renew) and cluster membership
+	// (join/mrenew/leave/members) alike — served from the diagnostics
+	// listener, plus an optional access log.
 	mreg := metrics.NewRegistry()
 	mreg.Add("registry.sweeps", 0)
 	mreg.Add("registry.swept_leases", 0)
+	tracer := trace.NewTracer(256)
+	opts.Metrics = mreg
+	opts.Tracer = tracer
+	switch accessLog {
+	case "":
+	case "-":
+		opts.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		opts.AccessLog = f
+	}
+
+	srv := registry.ServeOpts(reg, ln, opts)
+	fmt.Printf("registryd: serving on %s\n", srv.Addr())
+
 	if debugAddr != "" {
 		debugz.EnableProfiling()
 		dln, err := net.Listen("tcp", debugAddr)
@@ -127,7 +151,15 @@ func serve(listenAddr string, opts registry.ServeOptions, grace time.Duration, d
 		}
 		fmt.Printf("registryd: diagnostics on http://%s/debug/pprof/\n", dln.Addr())
 		go func() {
-			dsrv := &http.Server{Handler: debugz.Handler(mreg, nil), ReadHeaderTimeout: 5 * time.Second}
+			// The same observability middleware the API daemons use wraps
+			// the diagnostics mux, so even debug traffic carries trace IDs
+			// and lands in the access log.
+			h := httpapi.WithObservability(debugz.Handler(mreg, tracer), httpapi.ObsConfig{
+				Registry:  mreg,
+				Tracer:    tracer,
+				AccessLog: opts.AccessLog,
+			})
+			dsrv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
 			if err := dsrv.Serve(dln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "registryd: debug listener:", err)
 			}

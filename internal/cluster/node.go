@@ -45,6 +45,7 @@ import (
 	"qoschain/internal/journal"
 	"qoschain/internal/metrics"
 	"qoschain/internal/session"
+	"qoschain/internal/storm"
 )
 
 // PromotePath and StatusPath are the cluster control routes a Node
@@ -536,15 +537,59 @@ func (n *Node) Status() *NodeStatus {
 }
 
 // Handler wraps an httpapi handler with the cluster control routes.
+// /debug/storms is served here rather than by the wrapped API so the
+// flight recorder covers the whole node: the primary's storms plus
+// every replica's mirrored timeline, each annotated with its source.
 func (n *Node) Handler(api http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+ShipPath, n.handleShip)
 	mux.HandleFunc("POST "+PromotePath, n.handlePromote)
 	mux.HandleFunc("GET "+StatusPath, n.handleStatus)
+	mux.HandleFunc("GET /debug/storms", n.handleStorms)
 	if api != nil {
 		mux.Handle("/", api)
 	}
 	return mux
+}
+
+// handleStorms serves the node-wide storm flight recorder: the
+// primary's flights stamped with this node's ID, plus each replica's
+// rebuilt timelines stamped "replica:<source>" (or "promoted:<source>"
+// once adopted). A storm that rode the shipped WAL therefore shows up
+// twice — once live on its primary, once replayed on the follower —
+// under the same storm sequence number.
+func (n *Node) handleStorms(w http.ResponseWriter, hr *http.Request) {
+	flights := []storm.Flight{}
+	if ctrl := n.primary.StormController(); ctrl != nil {
+		fs := ctrl.Flights()
+		for i := range fs {
+			fs[i].Source = n.cfg.ID
+		}
+		flights = append(flights, fs...)
+	}
+	n.mu.Lock()
+	for _, source := range n.sortedSourcesLocked() {
+		r := n.replicas[source]
+		ctrl := r.m.StormController()
+		if ctrl == nil {
+			continue
+		}
+		src := "replica:" + source
+		if r.promoted {
+			src = "promoted:" + source
+		}
+		fs := ctrl.Flights()
+		for i := range fs {
+			fs[i].Source = src
+		}
+		flights = append(flights, fs...)
+	}
+	n.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"node":     n.cfg.ID,
+		"retained": len(flights),
+		"storms":   flights,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

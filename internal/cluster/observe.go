@@ -1,0 +1,190 @@
+package cluster
+
+// observe.go is the router's cluster-wide observability surface:
+//
+//	GET /cluster/metrics        every live member's registry snapshot
+//	                            federated into one Prometheus exposition
+//	                            (per-node series labeled node="<id>",
+//	                            plus summed storm.*/qos.* aggregates and
+//	                            derived cluster gauges)
+//	GET /debug/traces/cluster   ?id=<trace> fanned out to every member's
+//	                            /debug/traces, node-local segments
+//	                            stitched into one ordered timeline
+//
+// Both endpoints scrape members over the same HTTP surface operators
+// use, so what the router aggregates is exactly what each node serves.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"qoschain/internal/metrics"
+	"qoschain/internal/registry"
+	"qoschain/internal/trace"
+)
+
+// handleClusterMetrics scrapes every live member's /metrics?format=json
+// and emits the federated exposition. The router's own registry, when
+// configured, joins under node="router".
+func (r *Router) handleClusterMetrics(w http.ResponseWriter, req *http.Request) {
+	var nodes []metrics.NodeSnapshot
+	if r.metricsReg != nil {
+		nodes = append(nodes, metrics.NodeSnapshot{Node: "router", Snap: r.metricsReg.Snapshot()})
+	}
+	for _, m := range r.Members() {
+		snap, err := r.scrapeMember(req, m)
+		if err != nil {
+			continue // a dying member drops out of the federated view
+		}
+		nodes = append(nodes, metrics.NodeSnapshot{Node: m.ID, Snap: snap})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	metrics.WriteFederated(w, nodes)
+}
+
+func (r *Router) scrapeMember(req *http.Request, m registry.Member) (metrics.RegistrySnapshot, error) {
+	u := "http://" + m.Addr + "/metrics?format=json"
+	sr, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u, nil)
+	if err != nil {
+		return metrics.RegistrySnapshot{}, err
+	}
+	resp, err := r.client.Do(sr)
+	if err != nil {
+		return metrics.RegistrySnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return metrics.RegistrySnapshot{}, fmt.Errorf("scrape %s: status %d", m.ID, resp.StatusCode)
+	}
+	var snap metrics.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return metrics.RegistrySnapshot{}, err
+	}
+	return snap, nil
+}
+
+// ClusterSpan is one span of a stitched distributed trace: a node-local
+// span re-based onto the cluster timeline (offset from the earliest
+// node segment's start).
+type ClusterSpan struct {
+	Node       string       `json:"node"`
+	Name       string       `json:"name"`
+	OffsetMs   float64      `json:"offset_ms"`
+	DurationMs float64      `json:"duration_ms"`
+	Attrs      []trace.Attr `json:"attrs,omitempty"`
+}
+
+// ClusterTrace is the stitched view of one trace ID across the cluster.
+type ClusterTrace struct {
+	ID    string        `json:"id"`
+	Nodes []string      `json:"nodes"`
+	Spans []ClusterSpan `json:"spans"`
+}
+
+// nodeSegment is one node's retained trace for the requested ID.
+type nodeSegment struct {
+	node   string
+	parent string
+	snap   trace.TraceSnapshot
+}
+
+// handleClusterTraces fans ?id= out to every live member's
+// /debug/traces, adds the router's own retained trace when present, and
+// stitches the node-local segments into one ordered timeline.
+func (r *Router) handleClusterTraces(w http.ResponseWriter, req *http.Request) {
+	id := req.URL.Query().Get("id")
+	if id == "" {
+		routerError(w, http.StatusBadRequest, fmt.Errorf("missing ?id= trace ID"))
+		return
+	}
+	var segs []nodeSegment
+	if snap, ok := r.tracer.Get(id); ok {
+		segs = append(segs, nodeSegment{node: "router", parent: snap.Parent, snap: snap})
+	}
+	for _, m := range r.Members() {
+		u := "http://" + m.Addr + "/debug/traces?id=" + id
+		tr, err := http.NewRequestWithContext(req.Context(), http.MethodGet, u, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := r.client.Do(tr)
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue // member never saw this trace (or dropped it)
+		}
+		var snap trace.TraceSnapshot
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil || snap.ID != id {
+			continue
+		}
+		segs = append(segs, nodeSegment{node: m.ID, parent: snap.Parent, snap: snap})
+	}
+	if len(segs) == 0 {
+		routerError(w, http.StatusNotFound, fmt.Errorf("trace %s not retained on any node", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, stitch(id, segs))
+}
+
+// stitch re-bases every node segment onto a shared cluster timeline:
+// the earliest segment start is the epoch, each span's cluster offset
+// is its node-local offset plus the node segment's start delta. Each
+// segment also contributes a root span named after the node-local
+// trace (annotated with its X-Span-Parent caller) so the timeline shows
+// who called whom even when a hop recorded no inner spans.
+func stitch(id string, segs []nodeSegment) ClusterTrace {
+	epoch := segs[0].snap.Start
+	for _, s := range segs[1:] {
+		if s.snap.Start.Before(epoch) {
+			epoch = s.snap.Start
+		}
+	}
+	out := ClusterTrace{ID: id}
+	for _, s := range segs {
+		base := float64(s.snap.Start.Sub(epoch)) / float64(time.Millisecond)
+		root := ClusterSpan{
+			Node:       s.node,
+			Name:       s.snap.Name,
+			OffsetMs:   base,
+			DurationMs: s.snap.DurationMs,
+		}
+		if s.parent != "" {
+			root.Attrs = []trace.Attr{trace.Str("parent", s.parent)}
+		}
+		out.Spans = append(out.Spans, root)
+		for _, sp := range s.snap.Spans {
+			out.Spans = append(out.Spans, ClusterSpan{
+				Node:       s.node,
+				Name:       sp.Name,
+				OffsetMs:   base + sp.OffsetMs,
+				DurationMs: sp.DurationMs,
+				Attrs:      sp.Attrs,
+			})
+		}
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		if out.Spans[i].OffsetMs != out.Spans[j].OffsetMs {
+			return out.Spans[i].OffsetMs < out.Spans[j].OffsetMs
+		}
+		if out.Spans[i].Node != out.Spans[j].Node {
+			return out.Spans[i].Node < out.Spans[j].Node
+		}
+		return out.Spans[i].Name < out.Spans[j].Name
+	})
+	seen := map[string]bool{}
+	for _, s := range segs {
+		if !seen[s.node] {
+			seen[s.node] = true
+			out.Nodes = append(out.Nodes, s.node)
+		}
+	}
+	sort.Strings(out.Nodes)
+	return out
+}

@@ -24,6 +24,7 @@ import (
 	"qoschain/internal/journal"
 	"qoschain/internal/metrics"
 	"qoschain/internal/registry"
+	"qoschain/internal/trace"
 )
 
 // ShipPath is the HTTP route a follower accepts journal batches on.
@@ -258,6 +259,9 @@ func (s *Shipper) post(ctx context.Context, req *shipRequest) (*shipResponse, er
 		return nil, err
 	}
 	hr.Header.Set("Content-Type", "application/json")
+	// A traced caller (heartbeat loop, harness) threads its trace across
+	// the ship hop so the follower's handler records under the same ID.
+	trace.Inject(ctx, hr.Header, "ship "+s.node.cfg.ID)
 	client := s.client
 	if client == nil {
 		client = http.DefaultClient

@@ -28,6 +28,7 @@ import (
 	"qoschain/internal/metrics"
 	"qoschain/internal/profile"
 	"qoschain/internal/registry"
+	"qoschain/internal/trace"
 )
 
 // RouterConfig assembles a Router.
@@ -39,6 +40,12 @@ type RouterConfig struct {
 	Client *http.Client
 	// Counters receives cluster.* metrics (nil is a no-op sink).
 	Counters *metrics.Counters
+	// Metrics, when set, contributes the router's own registry to the
+	// GET /cluster/metrics federation under node="router".
+	Metrics *metrics.Registry
+	// Tracer, when set, contributes the router's own retained traces to
+	// GET /debug/traces/cluster stitching.
+	Tracer *trace.Tracer
 }
 
 // Promotion records one failover the router drove.
@@ -60,9 +67,11 @@ type Promotion struct {
 // Router proxies the session API across the cluster and fails sessions
 // over when members die.
 type Router struct {
-	planner  Planner
-	client   *http.Client
-	counters *metrics.Counters
+	planner    Planner
+	client     *http.Client
+	counters   *metrics.Counters
+	metricsReg *metrics.Registry
+	tracer     *trace.Tracer
 
 	mu    sync.Mutex
 	live  map[string]registry.Member // current members, by ID
@@ -78,12 +87,14 @@ func NewRouter(cfg RouterConfig) *Router {
 		client = http.DefaultClient
 	}
 	return &Router{
-		planner:  cfg.Planner,
-		client:   client,
-		counters: cfg.Counters,
-		live:     map[string]registry.Member{},
-		known:    map[string]registry.Member{},
-		dead:     map[string]string{},
+		planner:    cfg.Planner,
+		client:     client,
+		counters:   cfg.Counters,
+		metricsReg: cfg.Metrics,
+		tracer:     cfg.Tracer,
+		live:       map[string]registry.Member{},
+		known:      map[string]registry.Member{},
+		dead:       map[string]string{},
 	}
 }
 
@@ -153,6 +164,7 @@ func (r *Router) promoteDead(ctx context.Context, cohort []registry.Member, dead
 		return p
 	}
 	req.Header.Set("Content-Type", "application/json")
+	trace.Inject(ctx, req.Header, "router promote")
 	resp, err := r.client.Do(req)
 	if err != nil {
 		p.Err = err.Error()
@@ -244,6 +256,10 @@ func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	switch {
 	case path == "/healthz":
 		r.handleHealth(w)
+	case path == "/cluster/metrics" && req.Method == http.MethodGet:
+		r.handleClusterMetrics(w, req)
+	case path == "/debug/traces/cluster" && req.Method == http.MethodGet:
+		r.handleClusterTraces(w, req)
 	case path == "/v1/compose" && req.Method == http.MethodPost:
 		r.handleCompose(w, req)
 	case path == "/v1/sessions" && req.Method == http.MethodPost:
@@ -328,6 +344,7 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 		if err != nil {
 			continue
 		}
+		trace.Inject(req.Context(), lr.Header, "router /v1/sessions")
 		resp, err := r.client.Do(lr)
 		if err != nil {
 			continue // a dying member drops out of the merged view
@@ -359,6 +376,21 @@ func (r *Router) proxy(w http.ResponseWriter, req *http.Request, m registry.Memb
 	}
 	if ct := req.Header.Get("Content-Type"); ct != "" {
 		out.Header.Set("Content-Type", ct)
+	}
+	// Propagate the caller's trace so the member adopts its ID instead
+	// of minting a new one — this must survive re-routing: when ownerOf
+	// chased the dead map and the request lands on a promoted follower,
+	// the retry still carries the original request's trace context.
+	trace.Inject(req.Context(), out.Header, "router "+req.URL.Path)
+	if out.Header.Get(trace.HeaderTraceID) == "" {
+		// Router running without its own observability layer: forward
+		// the caller's raw headers verbatim.
+		if id := req.Header.Get(trace.HeaderTraceID); id != "" {
+			out.Header.Set(trace.HeaderTraceID, id)
+			if p := req.Header.Get(trace.HeaderSpanParent); p != "" {
+				out.Header.Set(trace.HeaderSpanParent, p)
+			}
+		}
 	}
 	resp, err := r.client.Do(out)
 	if err != nil {

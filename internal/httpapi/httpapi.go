@@ -12,6 +12,7 @@
 //	POST /v1/graph           profile.Set JSON -> adaptation graph (DOT)
 //	POST /v1/sessions        profile.Set JSON -> live failover session
 //	GET  /v1/sessions[/{id}] session failover status (see sessions.go)
+//	GET  /debug/storms       storm flight recorder (when a controller is wired)
 //
 // /v1/compose query parameters: trace=1 (include the per-round trace),
 // prune=1 (prune the graph first), contact=<class> (per-contact
@@ -106,6 +107,15 @@ type StormReporter interface {
 	Status() storm.Status
 }
 
+// FlightReporter is the flight-recorder half of the storm surface: a
+// reporter that can also replay its recent storm timelines gains a
+// GET /debug/storms endpoint serving them as JSON. The controller
+// implements it; a bare Status() stub does not, and the endpoint is
+// simply absent.
+type FlightReporter interface {
+	Flights() []storm.Flight
+}
+
 // Options configures the API handler.
 type Options struct {
 	// Sessions, when set, backs /v1/sessions with an existing (possibly
@@ -150,6 +160,11 @@ func HandlerWithOptions(opts Options) http.Handler {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		handleHealth(w, r, sessions, opts.Storm)
 	})
+	if fr, ok := opts.Storm.(FlightReporter); ok {
+		mux.HandleFunc("/debug/storms", func(w http.ResponseWriter, r *http.Request) {
+			handleStorms(w, r, fr)
+		})
+	}
 	mux.HandleFunc("/v1/formats", handleFormats)
 	mux.HandleFunc("/v1/compose", func(w http.ResponseWriter, r *http.Request) {
 		handleCompose(w, r, opts.Metrics)
@@ -188,6 +203,23 @@ func handleHealth(w http.ResponseWriter, r *http.Request, sessions SessionBacken
 		resp["replication"] = &ReplicationStatus{Role: "memory"}
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleStorms serves the storm flight recorder: the retained storm
+// timelines, newest first, each with its begin/class/end events and
+// per-class latencies. A storm resumed after a primary kill appears as
+// ONE flight whose replayed prefix came off the WAL and whose live
+// suffix was planned post-promotion.
+func handleStorms(w http.ResponseWriter, r *http.Request, fr FlightReporter) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	flights := fr.Flights()
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"storms":   flights,
+		"retained": len(flights),
+	})
 }
 
 func handleFormats(w http.ResponseWriter, r *http.Request) {

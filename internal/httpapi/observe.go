@@ -123,8 +123,13 @@ func WithObservability(h http.Handler, cfg ObsConfig) http.Handler {
 		start := now()
 		var tr *trace.Trace
 		if cfg.Tracer != nil {
-			tr = cfg.Tracer.Start(r.Method + " " + r.URL.Path)
-			w.Header().Set("X-Trace-Id", tr.ID())
+			// Adopt an inbound trace ID so the hops of one request —
+			// router proxy, WAL ship, promote — record under the same ID
+			// on every node; StartWith mints a fresh ID otherwise.
+			tr = cfg.Tracer.StartWith(r.Method+" "+r.URL.Path,
+				r.Header.Get(trace.HeaderTraceID))
+			tr.SetParent(r.Header.Get(trace.HeaderSpanParent))
+			w.Header().Set(trace.HeaderTraceID, tr.ID())
 			r = r.WithContext(trace.NewContext(r.Context(), tr))
 		}
 		sw := &statusWriter{ResponseWriter: w}

@@ -1,0 +1,46 @@
+package metrics
+
+// BurnWindow is the windowed SLO burn-rate primitive behind the
+// qos.burn_rate gauge: a fixed-size ring of below-floor observations.
+// One session (or class member) observation goes in per evaluation; the
+// rate out is the fraction of the most recent window that ran below its
+// QoS floor. Not goroutine-safe — callers serialize (the storm
+// controller under its lock, the session manager under its own).
+type BurnWindow struct {
+	ring  []bool
+	n     int // observations in the ring (≤ len(ring))
+	idx   int // next slot
+	below int // below-floor observations currently in the ring
+}
+
+// NewBurnWindow returns a window over the last size observations
+// (default 64 when size <= 0).
+func NewBurnWindow(size int) *BurnWindow {
+	if size <= 0 {
+		size = 64
+	}
+	return &BurnWindow{ring: make([]bool, size)}
+}
+
+// Observe pushes one observation and returns the updated burn rate.
+func (b *BurnWindow) Observe(belowFloor bool) float64 {
+	if b == nil {
+		return 0
+	}
+	if b.n == len(b.ring) {
+		if b.ring[b.idx] {
+			b.below--
+		}
+	} else {
+		b.n++
+	}
+	b.ring[b.idx] = belowFloor
+	if belowFloor {
+		b.below++
+	}
+	b.idx++
+	if b.idx == len(b.ring) {
+		b.idx = 0
+	}
+	return float64(b.below) / float64(b.n)
+}

@@ -91,6 +91,31 @@ const (
 	SampleStormMembersPerClass = "storm.members_per_class"
 )
 
+// Well-known counter, gauge, and sample names recorded by the QoS SLO
+// tracker: the continuous per-session satisfaction telemetry behind the
+// paper's above-floor promise. Every write is symmetric between live
+// execution and journal replay, so a promoted replica's registry
+// reports the same SLO state its primary accumulated.
+const (
+	// CounterQoSBelowFloorSeconds accumulates one virtual second per
+	// below-floor observation of a session — the raw "time below floor"
+	// an SLO burn is computed from.
+	CounterQoSBelowFloorSeconds = "qos.below_floor_seconds"
+	// CounterQoSFloorBreaches counts healthy→below-floor transitions
+	// (degradation episodes, not time spent degraded).
+	CounterQoSFloorBreaches = "qos.floor_breaches"
+	// GaugeQoSDegradedSessions gauges how many sessions currently sit
+	// below their satisfaction floor.
+	GaugeQoSDegradedSessions = "qos.degraded_sessions"
+	// GaugeQoSBurnRate gauges the below-floor fraction of the last
+	// qosBurnWindow satisfaction observations — a windowed burn rate
+	// that reacts faster than the lifetime counters.
+	GaugeQoSBurnRate = "qos.burn_rate"
+	// SampleQoSSatisfaction observes every session satisfaction value
+	// recorded at a composition, re-plan, or storm fan-out.
+	SampleQoSSatisfaction = "qos.satisfaction"
+)
+
 // Well-known counter and sample names recorded by the admission layer
 // (internal/admission and the bandwidth-reserving session path).
 const (

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -69,15 +70,18 @@ func RegisterWellKnown(r *Registry) {
 		CounterStormEvents, CounterStormClasses,
 		CounterStormSessionsReplanned, CounterStormSelectCalls,
 		CounterStormDegraded,
+		CounterQoSBelowFloorSeconds, CounterQoSFloorBreaches,
 	} {
 		r.Add(name, 0)
 	}
 	for _, name := range []string{
 		GaugeStormClassesAttached,
+		GaugeQoSDegradedSessions, GaugeQoSBurnRate,
 	} {
 		r.SetGauge(name, 0)
 	}
 	for _, name := range []string{
+		SampleQoSSatisfaction,
 		SampleRecoverySteps, SampleRecoveryRetries, SampleReservedKbps,
 		SampleRecoveryReleasedKbps,
 		SampleReplicationLag, SampleClusterRecoveryMs,
@@ -180,9 +184,17 @@ func formatFloat(v float64) string {
 }
 
 // Handler serves the registry in Prometheus text format; mount it at
-// GET /metrics.
+// GET /metrics. With ?format=json it serves the structured
+// RegistrySnapshot instead — the machine-readable scrape payload the
+// cluster federation endpoint and the experiment harness consume.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			_ = enc.Encode(r.Snapshot())
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		r.WritePrometheus(w)
 	})

@@ -1,0 +1,178 @@
+package metrics
+
+// federate.go merges several nodes' registry snapshots into one
+// Prometheus exposition — the payload behind the router's
+// GET /cluster/metrics. Every scraped series reappears with a
+// node="<id>" label appended; on top of that the writer derives
+// cluster-level series:
+//
+//   - cluster.nodes_live        gauge: how many members were scraped
+//   - replication.max_lag       gauge: worst follower lag across nodes
+//   - storm.* / qos.* counters and gauges additionally emit one
+//     aggregated (summed) series without the node label, so a single
+//     query answers "how degraded is the cluster" without a PromQL sum
+//
+// Output is deterministic for a fixed input: series sort by
+// (name, labels) and families carry one # TYPE line each, matching
+// WritePrometheus.
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NodeSnapshot pairs one member's registry snapshot with its node ID.
+type NodeSnapshot struct {
+	Node string           `json:"node"`
+	Snap RegistrySnapshot `json:"snapshot"`
+}
+
+// aggregated reports whether a family participates in the summed
+// cluster aggregate (the mass re-composition and SLO series operators
+// alert on cluster-wide).
+func aggregated(name string) bool {
+	return strings.HasPrefix(name, "storm.") || strings.HasPrefix(name, "qos.")
+}
+
+// nodeLabel renders the label pair appended to every federated series.
+func nodeLabel(node string) string {
+	return `node="` + escapeLabel(node) + `"`
+}
+
+// WriteFederated renders the merged exposition of every node snapshot.
+func WriteFederated(w io.Writer, nodes []NodeSnapshot) {
+	type ipoint struct {
+		name, labels string
+		value        int64
+	}
+	type fpoint struct {
+		name, labels string
+		value        float64
+	}
+	sortI := func(ps []ipoint) {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].name != ps[j].name {
+				return ps[i].name < ps[j].name
+			}
+			return ps[i].labels < ps[j].labels
+		})
+	}
+	sortF := func(ps []fpoint) {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].name != ps[j].name {
+				return ps[i].name < ps[j].name
+			}
+			return ps[i].labels < ps[j].labels
+		})
+	}
+
+	var counters []ipoint
+	var gauges []fpoint
+	aggC := map[string]*ipoint{}
+	aggG := map[string]*fpoint{}
+	maxLag := 0.0
+	for _, n := range nodes {
+		nl := nodeLabel(n.Node)
+		for _, c := range n.Snap.Counters {
+			counters = append(counters, ipoint{c.Name, mergeLabels(c.Labels, nl), c.Value})
+			if aggregated(c.Name) {
+				key := seriesKey(c.Name, c.Labels)
+				p, ok := aggC[key]
+				if !ok {
+					p = &ipoint{name: c.Name, labels: c.Labels}
+					aggC[key] = p
+				}
+				p.value += c.Value
+			}
+		}
+		for _, g := range n.Snap.Gauges {
+			gauges = append(gauges, fpoint{g.Name, mergeLabels(g.Labels, nl), g.Value})
+			if aggregated(g.Name) {
+				key := seriesKey(g.Name, g.Labels)
+				p, ok := aggG[key]
+				if !ok {
+					p = &fpoint{name: g.Name, labels: g.Labels}
+					aggG[key] = p
+				}
+				p.value += g.Value
+			}
+		}
+		for _, h := range n.Snap.Hists {
+			if h.Name == SampleReplicationLag && h.Count > 0 && h.Max > maxLag {
+				maxLag = h.Max
+			}
+		}
+	}
+	for _, p := range aggC {
+		counters = append(counters, *p)
+	}
+	for _, p := range aggG {
+		gauges = append(gauges, *p)
+	}
+	gauges = append(gauges,
+		fpoint{name: "cluster.nodes_live", value: float64(len(nodes))},
+		fpoint{name: "replication.max_lag", value: maxLag},
+	)
+	sortI(counters)
+	sortF(gauges)
+
+	lastType := ""
+	typeLine := func(name, kind string) {
+		if name != lastType {
+			io.WriteString(w, "# TYPE "+promName(name)+" "+kind+"\n") //nolint:errcheck
+			lastType = name
+		}
+	}
+	for _, c := range counters {
+		typeLine(c.name, "counter")
+		io.WriteString(w, promSeries(c.name, c.labels)+" "+formatInt(c.value)+"\n") //nolint:errcheck
+	}
+	lastType = ""
+	for _, g := range gauges {
+		typeLine(g.name, "gauge")
+		io.WriteString(w, promSeries(g.name, g.labels)+" "+formatFloat(g.value)+"\n") //nolint:errcheck
+	}
+
+	// Histograms federate per node only (summing fixed-bucket series
+	// across nodes would misreport quantiles); cumulative buckets match
+	// WritePrometheus.
+	type hpoint struct {
+		labels string
+		HistPoint
+	}
+	var hists []hpoint
+	for _, n := range nodes {
+		nl := nodeLabel(n.Node)
+		for _, h := range n.Snap.Hists {
+			hists = append(hists, hpoint{labels: mergeLabels(h.Labels, nl), HistPoint: h})
+		}
+	}
+	sort.Slice(hists, func(i, j int) bool {
+		if hists[i].Name != hists[j].Name {
+			return hists[i].Name < hists[j].Name
+		}
+		return hists[i].labels < hists[j].labels
+	})
+	lastType = ""
+	for _, h := range hists {
+		typeLine(h.Name, "histogram")
+		base := promName(h.Name)
+		var cum int64
+		for i, b := range h.Bounds {
+			cum += h.Buckets[i]
+			le := mergeLabels(h.labels, `le="`+formatFloat(b)+`"`)
+			io.WriteString(w, base+"_bucket{"+le+"} "+formatInt(cum)+"\n") //nolint:errcheck
+		}
+		cum += h.Buckets[len(h.Bounds)]
+		le := mergeLabels(h.labels, `le="+Inf"`)
+		io.WriteString(w, base+"_bucket{"+le+"} "+formatInt(cum)+"\n")                //nolint:errcheck
+		io.WriteString(w, base+"_sum"+braced(h.labels)+" "+formatFloat(h.Sum)+"\n")   //nolint:errcheck
+		io.WriteString(w, base+"_count"+braced(h.labels)+" "+formatInt(h.Count)+"\n") //nolint:errcheck
+	}
+}
+
+func formatInt(v int64) string {
+	return strconv.FormatInt(v, 10)
+}

@@ -1,0 +1,58 @@
+package registry
+
+// observe.go instruments the wire server's dispatch path: one trace,
+// one labeled request count, one latency sample, and one access-log
+// line per request. The registry speaks newline-delimited JSON over
+// TCP, not HTTP, so it cannot reuse the httpapi middleware — this is
+// the TCP-shaped equivalent, sharing the same tracer and metrics
+// registry the daemon exposes on its diagnostics listener. All three
+// sinks are optional and nil-safe; the zero ServeOptions dispatches
+// exactly as before.
+
+import (
+	"fmt"
+	"time"
+
+	"qoschain/internal/metrics"
+	"qoschain/internal/trace"
+)
+
+// observe runs one dispatch under the server's observability.
+func (s *Server) observe(remote string, req request) response {
+	op := req.Op
+	if op == "" {
+		op = "unknown"
+	}
+	var tr *trace.Trace
+	var span *trace.Span
+	if s.opts.Tracer != nil {
+		tr = s.opts.Tracer.Start("registry." + op)
+		span = tr.StartSpan("dispatch", trace.Str("op", op), trace.Str("remote", remote))
+	}
+	start := time.Now()
+	resp := s.dispatch(req)
+	took := time.Since(start)
+	outcome := "ok"
+	if !resp.OK {
+		outcome = "error"
+	}
+	if reg := s.opts.Metrics; reg != nil {
+		reg.Inc("registry.requests", metrics.L("op", op), metrics.L("outcome", outcome))
+		reg.ObserveDuration("registry.latency_ms", took, metrics.L("op", op))
+	}
+	traceID := ""
+	if tr != nil {
+		span.End(trace.Str("outcome", outcome))
+		tr.Finish()
+		traceID = tr.ID()
+	}
+	if w := s.opts.AccessLog; w != nil {
+		line := fmt.Sprintf("%s remote=%s op=%s outcome=%s took=%.3fms trace=%s\n",
+			time.Now().UTC().Format(time.RFC3339Nano), remote, op, outcome,
+			float64(took)/float64(time.Millisecond), traceID)
+		s.logMu.Lock()
+		fmt.Fprint(w, line) //nolint:errcheck // diagnostics are best-effort
+		s.logMu.Unlock()
+	}
+	return resp
+}

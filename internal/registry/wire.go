@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"qoschain/internal/media"
+	"qoschain/internal/metrics"
 	"qoschain/internal/service"
+	"qoschain/internal/trace"
 )
 
 // This file implements a small newline-delimited-JSON wire protocol so a
@@ -58,17 +60,33 @@ type Server struct {
 	conns  map[net.Conn]bool
 	closed bool
 	wg     sync.WaitGroup
+
+	// logMu serializes access-log lines across connection goroutines.
+	logMu sync.Mutex
 }
 
 // ServeOptions bounds a Server's per-connection I/O — the TCP analogue
-// of http.Server's Read/WriteTimeout. The zero value disables both
-// (connections may idle forever), preserving the historical behavior.
+// of http.Server's Read/WriteTimeout — and wires its observability.
+// The zero value disables everything, preserving the historical
+// behavior.
 type ServeOptions struct {
 	// IdleTimeout closes a connection that sends no request for this
 	// long. 0 disables the bound.
 	IdleTimeout time.Duration
 	// WriteTimeout bounds writing one response. 0 disables the bound.
 	WriteTimeout time.Duration
+	// Metrics, when set, receives per-op request counters and latency
+	// samples: registry.requests{op=,outcome=} and
+	// registry.latency_ms{op=}. Lease traffic (register/renew/join/
+	// mrenew/leave) is the interesting load — it shows up per-op.
+	Metrics *metrics.Registry
+	// Tracer, when set, retains one trace per wire request, named
+	// "registry.<op>", so lease churn is inspectable on the daemon's
+	// /debug/traces listener.
+	Tracer *trace.Tracer
+	// AccessLog, when set, receives one line per request: remote
+	// address, op, outcome, latency, and trace ID.
+	AccessLog io.Writer
 }
 
 // Serve starts serving the registry on the given listener with no I/O
@@ -178,7 +196,7 @@ func (s *Server) handle(conn net.Conn) {
 		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
 			resp = response{Error: fmt.Sprintf("bad request: %v", err)}
 		} else {
-			resp = s.dispatch(req)
+			resp = s.observe(conn.RemoteAddr().String(), req)
 		}
 		if s.opts.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.opts.WriteTimeout))

@@ -207,6 +207,12 @@ type Manager struct {
 	storm    *storm.Controller
 	ordered  []walEvent
 	attachMu sync.Mutex
+
+	// QoS SLO tracking for the non-attached mode (see qos.go). qosMu is
+	// a leaf lock: taken after ms.mu/m.mu, never around them.
+	qosMu       sync.Mutex
+	qosBurn     *metrics.BurnWindow
+	qosDegraded int
 }
 
 // Managed is one manager-owned session. In the default mode it owns a
@@ -228,6 +234,11 @@ type Managed struct {
 	classKey string
 	region   string
 	step     int // virtual clock: one tick per reevaluate
+
+	// qosBelow tracks the session's last observed below-floor state for
+	// breach-transition counting (guarded by m.qosMu). Unexported and
+	// never marshaled: SLO telemetry stays out of Fingerprint.
+	qosBelow bool
 }
 
 // NewManager builds a manager and — with a state directory — recovers
@@ -241,6 +252,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		sessions:  make(map[string]*Managed),
 		histories: make(map[string]*sessionHistory),
 		recovery:  &RecoveryReport{},
+		qosBurn:   metrics.NewBurnWindow(0),
 	}
 	if cfg.Storm {
 		// The embedded controller journals its storm records through
@@ -386,6 +398,7 @@ func (m *Manager) replayCommand(ev walEvent, seq uint64) {
 				}
 			} else {
 				ms.sess.Close()
+				ms.qosDrop()
 			}
 		}
 		delete(m.sessions, ev.ID)
@@ -427,6 +440,7 @@ func (ms *Managed) replay(ev walEvent) error {
 		// as the live no-reason path never taken today).
 		ms.sess.NoteReevaluateReason(ev.Reason)
 		ms.sess.Reevaluate() //nolint:errcheck // deterministic session-level outcome, replayed as-is
+		ms.qosNoteLocked()
 		return nil
 	default:
 		return fmt.Errorf("unknown session op %q", ev.Op)
@@ -500,7 +514,11 @@ func (m *Manager) buildManagedCtx(ctx context.Context, id string, spec CreateSpe
 	if err != nil {
 		return nil, err
 	}
-	return &Managed{m: m, id: id, sess: sess, net: net, pool: pool, counters: counters}, nil
+	ms := &Managed{m: m, id: id, sess: sess, net: net, pool: pool, counters: counters}
+	// The creation compose is the session's first SLO observation —
+	// recorded here so live creates and replayed creates agree.
+	ms.qosNoteLocked()
+	return ms, nil
 }
 
 // journalCommand appends one command to the WAL and fsyncs (callers
@@ -650,6 +668,7 @@ func (m *Manager) Delete(id string) (bool, error) {
 	m.mu.Unlock()
 	ms.mu.Lock()
 	ms.sess.Close()
+	ms.qosDrop()
 	ms.mu.Unlock()
 	return true, err
 }
@@ -788,6 +807,7 @@ func (ms *Managed) ReevaluateReasonCtx(ctx context.Context, reason string) (chan
 	ms.sess.Tick()
 	ms.sess.NoteReevaluateReason(reason)
 	changed, evalErr = ms.sess.ReevaluateCtx(ctx)
+	ms.qosNoteLocked()
 	ms.m.mu.Lock()
 	defer ms.m.mu.Unlock()
 	ev := walEvent{Op: "reevaluate", ID: ms.id, Reason: reason}

@@ -1,0 +1,62 @@
+package session
+
+// qos.go is the manager's QoS SLO tracking for the default
+// (non-storm-attached) mode: per-session satisfaction telemetry fed
+// from every composition and re-evaluation. The hooks fire on BOTH the
+// live command path and journal replay — the registry is in-memory, so
+// a restarted or replica manager rebuilds the same qos.* series from
+// the WAL the primary journaled. Writes go only to ManagerConfig.
+// Counters (the daemon-wide sink), never to the per-session private
+// counters: those feed State.Counters and therefore Fingerprint, and
+// SLO telemetry must not perturb the byte-identity the crash and
+// failover harnesses compare.
+//
+// In storm-attached mode the embedded controller owns these series
+// instead (internal/storm/qos.go); a process runs exactly one of the
+// two writers.
+
+import "qoschain/internal/metrics"
+
+// qosNoteLocked records one observation of the session's SLO state.
+// Callers hold ms.mu (or own the session exclusively, as during build
+// and single-threaded replay). Attached sessions are the storm
+// controller's responsibility.
+func (ms *Managed) qosNoteLocked() {
+	if ms.attached {
+		return
+	}
+	sat := ms.sess.Result().Satisfaction
+	below := ms.sess.FailoverStatus().Degraded
+	m := ms.m
+	cc := m.cfg.Counters
+	m.qosMu.Lock()
+	cc.Observe(metrics.SampleQoSSatisfaction, sat)
+	if below {
+		cc.Inc(metrics.CounterQoSBelowFloorSeconds)
+		if !ms.qosBelow {
+			cc.Inc(metrics.CounterQoSFloorBreaches)
+			m.qosDegraded++
+		}
+	} else if ms.qosBelow {
+		m.qosDegraded--
+	}
+	ms.qosBelow = below
+	cc.SetGauge(metrics.GaugeQoSDegradedSessions, float64(m.qosDegraded))
+	cc.SetGauge(metrics.GaugeQoSBurnRate, m.qosBurn.Observe(below))
+	m.qosMu.Unlock()
+}
+
+// qosDrop retires a session's SLO contribution on delete.
+func (ms *Managed) qosDrop() {
+	if ms.attached {
+		return
+	}
+	m := ms.m
+	m.qosMu.Lock()
+	if ms.qosBelow {
+		ms.qosBelow = false
+		m.qosDegraded--
+		m.cfg.Counters.SetGauge(metrics.GaugeQoSDegradedSessions, float64(m.qosDegraded))
+	}
+	m.qosMu.Unlock()
+}

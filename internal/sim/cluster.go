@@ -42,6 +42,7 @@ import (
 	"qoschain/internal/httpapi"
 	"qoschain/internal/metrics"
 	"qoschain/internal/registry"
+	"qoschain/internal/trace"
 )
 
 // ClusterSpec configures one failover scenario.
@@ -70,9 +71,9 @@ type ClusterSpec struct {
 
 // ClusterReport is one scenario's outcome.
 type ClusterReport struct {
-	Seed     int64  `json:"seed"`
-	Nodes    int    `json:"nodes"`
-	Sessions int    `json:"sessions"`
+	Seed     int64 `json:"seed"`
+	Nodes    int   `json:"nodes"`
+	Sessions int   `json:"sessions"`
 	// Victim is the killed node, VictimHost its overlay host, Adopter
 	// the follower the router promoted.
 	Victim     string `json:"victim"`
@@ -115,16 +116,19 @@ func (r *ClusterReport) OK() bool {
 }
 
 // clusterNode is one running node: the in-process handle plus its HTTP
-// server.
+// server. The storm harness additionally gives each node its own
+// metrics registry and tracer (nil in the plain failover harness).
 type clusterNode struct {
 	node   *cluster.Node
 	srv    *http.Server
 	ln     net.Listener
 	member registry.Member
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 func (cn *clusterNode) close() {
-	cn.srv.Close() //nolint:errcheck
+	cn.srv.Close()  //nolint:errcheck
 	cn.node.Close() //nolint:errcheck
 }
 

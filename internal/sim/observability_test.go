@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestStormClusterObservability pins the cluster-observability contract
+// across a mid-storm primary kill: the WAL-ship trace stitches into one
+// ordered timeline spanning both nodes, the resumed storm's flight
+// recorder carries a single storm ID across the kill (replayed pre-kill
+// segment plus live post-promotion remainder in one flight), and the
+// router's /cluster/metrics federates both members' registries.
+func TestStormClusterObservability(t *testing.T) {
+	rep, err := RunStormCluster(StormClusterSpec{
+		StateRoot: t.TempDir(),
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatalf("RunStormCluster: %v", err)
+	}
+	if !rep.OK() {
+		data, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("storm-cluster contract violated:\n%s", data)
+	}
+	if rep.TraceNodes < 2 {
+		t.Errorf("stitched ship trace spans %d nodes, want >= 2", rep.TraceNodes)
+	}
+	if !rep.TraceOrdered {
+		t.Error("stitched trace timeline is not in non-decreasing offset order")
+	}
+	if !rep.FlightSingleID {
+		t.Error("resumed storm did not keep one storm ID across the kill")
+	}
+	if rep.FederatedSeries == 0 {
+		t.Error("/cluster/metrics federated no series")
+	}
+}

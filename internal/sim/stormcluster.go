@@ -40,6 +40,8 @@ import (
 	"qoschain/internal/profile"
 	"qoschain/internal/registry"
 	"qoschain/internal/session"
+	"qoschain/internal/storm"
+	"qoschain/internal/trace"
 )
 
 // StormClusterSpec configures one mid-storm failover scenario.
@@ -95,6 +97,22 @@ type StormClusterReport struct {
 	LeakKbps float64 `json:"leakKbps"`
 	// RecoveryMs is the promotion latency including the resumed storm.
 	RecoveryMs float64 `json:"recoveryMs"`
+	// Cluster-observability checks (the tentpole's acceptance gates).
+	// TraceNodes is how many distinct nodes contributed spans to the
+	// stitched WAL-ship trace fetched from /debug/traces/cluster.
+	TraceNodes int `json:"traceNodes"`
+	// TraceOrdered reports the stitched timeline came back in
+	// non-decreasing offset order.
+	TraceOrdered bool `json:"traceOrdered"`
+	// FlightSingleID reports the resumed storm kept ONE storm ID across
+	// the kill: the dead primary's recorder and the promoted follower's
+	// /debug/storms both carry the same storm sequence, and the
+	// follower's single flight spans the replayed prefix and the live
+	// post-promotion remainder.
+	FlightSingleID bool `json:"flightSingleId"`
+	// FederatedSeries counts series lines in the router's
+	// /cluster/metrics merge (per-node and aggregated).
+	FederatedSeries int `json:"federatedSeries"`
 	// Err describes a contract violation; empty means the scenario
 	// passed.
 	Err string `json:"err,omitempty"`
@@ -108,7 +126,9 @@ type StormClusterReport struct {
 func (r *StormClusterReport) OK() bool {
 	return r.Err == "" && r.Halted && r.FingerprintsIdentical &&
 		r.LeakKbps == 0 && r.RefMismatches == 0 &&
-		r.RefSelectCalls <= r.Classes && r.ResumedClasses > 0
+		r.RefSelectCalls <= r.Classes && r.ResumedClasses > 0 &&
+		r.TraceNodes >= 2 && r.TraceOrdered && r.FlightSingleID &&
+		r.FederatedSeries > 0
 }
 
 // stormClusterSet is the shared deployment: Figure 6 with every link
@@ -170,12 +190,21 @@ func backboneLink(m *session.Manager, set *profile.Set) (from, to string, err er
 }
 
 // startStormNode opens one storm-attached cluster node and serves its
-// API on a loopback socket.
+// API on a loopback socket, fully instrumented: a per-node metrics
+// registry (scraped by the router's /cluster/metrics federation), a
+// per-node tracer that adopts inbound X-Trace-Id headers (so one
+// request's hops stitch cluster-wide), and the node-level /debug/storms
+// flight recorder. The node's counters fan out to both the caller's
+// shared sink and the node's own registry.
 func startStormNode(id, dir string, halt, snapshotEvery int, counters *metrics.Counters) (*clusterNode, error) {
+	reg := metrics.NewRegistry()
+	metrics.RegisterWellKnown(reg)
+	tracer := trace.NewTracer(256)
 	n, err := cluster.NewNode(cluster.NodeConfig{
 		ID: id, StateDir: dir, Host: "node-" + id,
-		SnapshotEvery: snapshotEvery, Counters: counters,
-		Storm: true, StormHaltAfterFanouts: halt,
+		SnapshotEvery: snapshotEvery,
+		Counters:      metrics.Fanout(counters, metrics.CountersOn(reg)),
+		Storm:         true, StormHaltAfterFanouts: halt,
 	})
 	if err != nil {
 		return nil, err
@@ -185,13 +214,37 @@ func startStormNode(id, dir string, halt, snapshotEvery int, counters *metrics.C
 		n.Close() //nolint:errcheck
 		return nil, err
 	}
-	api := httpapi.HandlerWithOptions(httpapi.Options{Sessions: n})
-	srv := &http.Server{Handler: n.Handler(api)}
+	api := httpapi.HandlerWithOptions(httpapi.Options{
+		Sessions: n,
+		Metrics:  reg,
+		Storm:    n.Manager().StormController(),
+	})
+	h := httpapi.WithObservability(n.Handler(api), httpapi.ObsConfig{
+		Registry: reg,
+		Tracer:   tracer,
+	})
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
 	return &clusterNode{
 		node: n, srv: srv, ln: ln,
 		member: registry.Member{ID: id, Addr: ln.Addr().String(), Host: "node-" + id},
+		reg:    reg, tracer: tracer,
 	}, nil
+}
+
+// getJSON fetches a URL and decodes its JSON body into v, failing on
+// any non-200 status.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s: %s", url, resp.Status, body)
+	}
+	return json.Unmarshal(body, v)
 }
 
 // RunStormCluster executes one mid-storm failover scenario end to end.
@@ -313,6 +366,89 @@ func RunStormCluster(spec StormClusterSpec) (*StormClusterReport, error) {
 		return rep, fmt.Errorf("sim: kill-run create: %w", err)
 	}
 
+	// ---- Cluster observability, while both nodes live. ---------------
+	// A routing tier over the pair: it proxies session reads, stitches
+	// distributed traces (/debug/traces/cluster) and federates the
+	// members' registries (/cluster/metrics).
+	routerReg := metrics.NewRegistry()
+	metrics.RegisterWellKnown(routerReg)
+	router := cluster.NewRouter(cluster.RouterConfig{
+		Planner:  cluster.LocalPlanner{},
+		Counters: metrics.CountersOn(routerReg),
+		Metrics:  routerReg,
+		Tracer:   trace.NewTracer(64),
+	})
+	router.UpdateMembers(ctx, []registry.Member{n1.member, n2.member})
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	rsrv := &http.Server{Handler: router}
+	go rsrv.Serve(rln) //nolint:errcheck
+	defer rsrv.Close() //nolint:errcheck
+	rbase := "http://" + rln.Addr().String()
+
+	// One traced WAL ship: the shipper injects the trace ID on the wire
+	// and the follower's middleware adopts it, so the same ID is
+	// retained on both nodes.
+	shipTr := n1.tracer.Start("replication.ship")
+	if _, err := n1.node.Shipper().Ship(trace.NewContext(ctx, shipTr)); err != nil {
+		return rep, fmt.Errorf("sim: traced ship: %w", err)
+	}
+	shipTr.Finish()
+
+	// A proxied read through the router under the same trace ID — the
+	// proxy must forward the caller's trace headers to the owner.
+	getReq, _ := http.NewRequestWithContext(ctx, http.MethodGet, rbase+"/v1/sessions/"+firstID, nil)
+	getReq.Header.Set(trace.HeaderTraceID, shipTr.ID())
+	getResp, err := http.DefaultClient.Do(getReq)
+	if err != nil {
+		return rep, fmt.Errorf("sim: proxied read: %w", err)
+	}
+	io.Copy(io.Discard, getResp.Body) //nolint:errcheck
+	getResp.Body.Close()              //nolint:errcheck
+	if getResp.StatusCode != http.StatusOK {
+		rep.Err = fmt.Sprintf("router proxy lost session %s: %s", firstID, getResp.Status)
+		return rep, nil
+	}
+
+	// Stitch: the trace must span both nodes in timeline order.
+	var stitched cluster.ClusterTrace
+	if err := getJSON(rbase+"/debug/traces/cluster?id="+shipTr.ID(), &stitched); err != nil {
+		return rep, fmt.Errorf("sim: cluster trace: %w", err)
+	}
+	rep.TraceNodes = len(stitched.Nodes)
+	rep.TraceOrdered = len(stitched.Spans) > 0
+	for i := 1; i < len(stitched.Spans); i++ {
+		if stitched.Spans[i].OffsetMs < stitched.Spans[i-1].OffsetMs {
+			rep.TraceOrdered = false
+		}
+	}
+	if rep.TraceNodes < 2 || !rep.TraceOrdered {
+		rep.Err = fmt.Sprintf("stitched trace %s spans %d nodes (ordered %v); want >=2 nodes in order",
+			shipTr.ID(), rep.TraceNodes, rep.TraceOrdered)
+		return rep, nil
+	}
+
+	// Federation: every member's registry merged under a node label,
+	// plus the storm./qos. aggregates.
+	fedResp, err := http.Get(rbase + "/cluster/metrics")
+	if err != nil {
+		return rep, fmt.Errorf("sim: cluster metrics: %w", err)
+	}
+	fedBody, _ := io.ReadAll(fedResp.Body)
+	fedResp.Body.Close() //nolint:errcheck
+	for _, line := range strings.Split(string(fedBody), "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			rep.FederatedSeries++
+		}
+	}
+	fed := string(fedBody)
+	if !strings.Contains(fed, `node="n1"`) || !strings.Contains(fed, `node="n2"`) {
+		rep.Err = "federated exposition is missing a member's node label"
+		return rep, nil
+	}
+
 	// The backbone event, through the live fault endpoint of ONE
 	// session. The primary fans out the first class, journals it, and
 	// dies: the request surfaces the halt as an error.
@@ -364,6 +500,45 @@ func RunStormCluster(spec StormClusterSpec) (*StormClusterReport, error) {
 		return rep, nil
 	}
 	rep.ResumedClasses = last.AffectedClasses
+
+	// Flight recorder: ONE storm ID across the kill. The dead primary's
+	// in-process recorder holds the live pre-kill segment; the promoted
+	// follower's /debug/storms must show exactly one flight under the
+	// same storm sequence — resumed, closed, and spanning both the
+	// replayed (pre-kill, off the shipped WAL) and the live
+	// (post-promotion) events.
+	killSeq := -1
+	if fs := n1.node.Manager().StormController().Flights(); len(fs) > 0 {
+		killSeq = fs[0].Storm
+	}
+	var storms struct {
+		Storms []storm.Flight `json:"storms"`
+	}
+	if err := getJSON("http://"+n2.ln.Addr().String()+"/debug/storms", &storms); err != nil {
+		return rep, fmt.Errorf("sim: follower /debug/storms: %w", err)
+	}
+	matches := 0
+	for _, f := range storms.Storms {
+		if f.Source != "promoted:n1" || f.Storm != killSeq {
+			continue
+		}
+		matches++
+		replayed, live := false, false
+		for _, ev := range f.Events {
+			if ev.Replayed {
+				replayed = true
+			} else {
+				live = true
+			}
+		}
+		rep.FlightSingleID = f.Resumed && !f.Open && replayed && live
+	}
+	if matches != 1 || !rep.FlightSingleID {
+		rep.FlightSingleID = false
+		rep.Err = fmt.Sprintf("flight recorder did not keep one storm ID across the kill (storm %d, %d matching flights)",
+			killSeq, matches)
+		return rep, nil
+	}
 
 	// The promoted controller must land on the reference state exactly.
 	gotFP, err := n2.node.StormFingerprint("n1")

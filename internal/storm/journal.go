@@ -250,6 +250,10 @@ func (c *Controller) ResumeOpenStorm() (*Report, error) {
 		total += len(links)
 	}
 	c.mu.Unlock()
+	// The replayed begin already opened this storm's flight; mark it
+	// resumed so the pre-kill and post-promotion segments read as one
+	// storm ID with a failover in the middle.
+	c.flights.resume(open.Storm)
 	stormRep, err := c.execute(open.Storm, total, items, true)
 	if err != nil {
 		return nil, fmt.Errorf("storm: resume storm %d: %w", open.Storm, err)
@@ -327,13 +331,16 @@ func (c *Controller) replayKindLocked(kind string, data json.RawMessage) error {
 		c.openStorm = &rec
 		c.replayDone = make(map[string]bool)
 		// The live storm absorbed these links out of pending.
+		total := 0
 		for name, links := range rec.Links {
+			total += len(links)
 			if r, ok := c.regions[name]; ok {
 				for _, l := range links {
 					delete(r.pending, l)
 				}
 			}
 		}
+		c.flights.begin(rec.Storm, total, len(rec.Classes), true)
 		return nil
 	case kindStormClass:
 		var rec classRecord
@@ -352,11 +359,17 @@ func (c *Controller) replayKindLocked(kind string, data json.RawMessage) error {
 			}
 		}
 		c.applyPlanLocked(cls, res, rec.Degraded)
+		c.flights.class(rec.Storm, rec.Key, rec.Outcome, rec.Satisfaction, 0, true)
 		if c.replayDone != nil {
 			c.replayDone[rec.Key] = true
 		}
 		return nil
 	case kindStormEnd:
+		var rec endRecord
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return err
+		}
+		c.flights.end(rec.Storm, true)
 		c.openStorm = nil
 		c.replayDone = nil
 		return nil

@@ -122,6 +122,7 @@ func (c *Controller) Storm() (*Report, error) {
 		return nil, err
 	}
 	c.mu.Unlock()
+	c.flights.begin(seq, totalLinks, len(items), false)
 
 	rep, err := c.execute(seq, totalLinks, items, false)
 	if err != nil {
@@ -219,6 +220,7 @@ func (c *Controller) execute(seq, totalLinks int, items []planItem, resumed bool
 	if err != nil {
 		return nil, err
 	}
+	c.flights.end(seq, false)
 	if !c.replaying {
 		c.cfg.Counters.Inc(metrics.CounterStormEvents)
 		c.cfg.Counters.Add(metrics.CounterStormClasses, int64(rep.AffectedClasses))
@@ -380,6 +382,7 @@ func (c *Controller) partition(items []planItem) [][]planItem {
 // swap, and journal the fan-out.
 func (c *Controller) planOne(seq int, it planItem) (*ClassOutcome, error) {
 	cls := it.cls
+	planStart := now()
 	if !c.replaying {
 		c.cfg.Counters.Observe(metrics.SampleStormQueueDepth, float64(c.lane.Stats().QueueLen))
 	}
@@ -439,6 +442,7 @@ func (c *Controller) planOne(seq int, it planItem) (*ClassOutcome, error) {
 	if err := c.journalLocked(kindStormClass, rec); err != nil {
 		return nil, err
 	}
+	c.flights.class(seq, cls.key, out.Outcome, out.Satisfaction, ms(now().Sub(planStart)), false)
 	c.fanouts++
 	if c.cfg.HaltAfterFanouts > 0 && c.fanouts >= c.cfg.HaltAfterFanouts && !c.replaying {
 		// The fan-out above is journaled; dying here leaves begin + the
@@ -475,6 +479,7 @@ func (c *Controller) ReplanClass(key string) (*Report, error) {
 		return nil, err
 	}
 	c.mu.Unlock()
+	c.flights.begin(seq, 0, 1, false)
 
 	rep, err := c.execute(seq, 0, items, false)
 	if err != nil {
@@ -551,6 +556,13 @@ func (c *Controller) verifyClass(g *graph.Graph, cls *Class, res *core.Result) {
 // and journal replay, which is what keeps a replayed fan-out
 // byte-identical to the live one.
 func (c *Controller) applyPlanLocked(cls *Class, res *core.Result, degraded bool) *ClassOutcome {
+	// SLO accounting fires on every application — live or replayed — so
+	// a replica's qos.* series matches the primary's (see qos.go).
+	prev := make([]bool, len(cls.members))
+	for i, s := range cls.members {
+		prev[i] = s.degraded
+	}
+	defer c.qosApplyLocked(cls, prev)
 	out := &ClassOutcome{Key: cls.key, Members: len(cls.members)}
 	if res == nil || !res.Found {
 		// Graceful degradation floor: nothing composes, members keep

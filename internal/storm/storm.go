@@ -235,6 +235,13 @@ type Controller struct {
 	// and per-session state.
 	memberIdx map[string]*Session
 
+	// flights is the storm flight recorder (see flight.go). Diagnostic
+	// only: excluded from Fingerprint and rebuilt from the same WAL
+	// records the state machine replays.
+	flights flightRecorder
+	// qos is the SLO burn-rate window (see qos.go); guarded by mu.
+	qos qosState
+
 	stormSeq        int
 	fanouts         int // class fan-outs journaled in the current storm
 	active          bool
@@ -527,6 +534,7 @@ func (c *Controller) attachOneLocked(cls *Class, id string) *Session {
 	}
 	cls.members = append(cls.members, s)
 	c.memberIdx[id] = s
+	c.qosMemberLocked(s, cls.Satisfaction())
 	return s
 }
 
@@ -592,6 +600,7 @@ func (c *Controller) detachLocked(id string) error {
 		}
 	}
 	delete(c.memberIdx, id)
+	c.qosPublishLocked()
 	return nil
 }
 
@@ -898,14 +907,18 @@ type Status struct {
 	LaneInFlight     int     `json:"laneInFlight"`
 	LaneQueued       int     `json:"laneQueued"`
 	LastStorm        *Report `json:"lastStorm,omitempty"`
+	// LastFlight summarizes the newest flight-recorder timeline.
+	LastFlight *FlightSummary `json:"lastFlight,omitempty"`
 }
 
 // Status snapshots the controller for /healthz.
 func (c *Controller) Status() Status {
 	lane := c.lane.Stats()
+	flight := c.flightSummary()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Status{
+		LastFlight:   flight,
 		Regions:      len(c.regions),
 		Classes:      len(c.classes),
 		Storms:       c.stormSeq,

@@ -1,0 +1,37 @@
+package trace
+
+// propagate.go defines the cross-node trace propagation contract: the
+// two headers a hop forwards, and the helper that stamps them onto an
+// outbound request. The receiving side is httpapi.WithObservability,
+// which adopts an inbound X-Trace-Id via Tracer.StartWith so every
+// node-local trace of one request shares the ID, and records
+// X-Span-Parent so a stitched timeline shows who called whom.
+
+import (
+	"context"
+	"net/http"
+)
+
+// HeaderTraceID carries the request's trace ID across process
+// boundaries (and is also set on every HTTP response).
+const HeaderTraceID = "X-Trace-Id"
+
+// HeaderSpanParent names the upstream hop that forwarded the request —
+// "router /v1/sessions", "ship n1", "promote router" — purely
+// descriptive, for ordering and attribution in stitched timelines.
+const HeaderSpanParent = "X-Span-Parent"
+
+// Inject stamps the context's trace onto outbound request headers.
+// parent names the forwarding hop; empty omits the header. Without a
+// trace in the context nothing is written, so uninstrumented callers
+// keep their historical wire format.
+func Inject(ctx context.Context, h http.Header, parent string) {
+	tr := FromContext(ctx)
+	if tr == nil {
+		return
+	}
+	h.Set(HeaderTraceID, tr.ID())
+	if parent != "" {
+		h.Set(HeaderSpanParent, parent)
+	}
+}

@@ -63,15 +63,43 @@ func NewTracer(keep int) *Tracer {
 // Start begins a new trace with a fresh random ID. A nil tracer
 // returns a nil trace, which is itself a valid no-op.
 func (t *Tracer) Start(name string) *Trace {
+	return t.StartWith(name, "")
+}
+
+// StartWith is Start with a caller-supplied trace ID — the cross-node
+// propagation entry point: a node receiving X-Trace-Id adopts the
+// upstream ID so every hop of one request records under the same ID
+// and the hops stitch into one distributed trace. An empty or
+// implausible id (too long, non-header-safe) falls back to minting a
+// fresh one.
+func (t *Tracer) StartWith(name, id string) *Trace {
 	if t == nil {
 		return nil
 	}
+	if !validID(id) {
+		id = newID()
+	}
 	return &Trace{
-		id:     newID(),
+		id:     id,
 		name:   name,
 		start:  time.Now(),
 		tracer: t,
 	}
+}
+
+// validID accepts inbound trace IDs: non-empty, bounded, printable
+// ASCII without spaces — loose enough for foreign formats, tight
+// enough that a hostile header cannot smuggle log/JSON garbage.
+func validID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' || id[i] == '"' {
+			return false
+		}
+	}
+	return true
 }
 
 func newID() string {
@@ -133,9 +161,22 @@ type Trace struct {
 	tracer *Tracer
 
 	mu       sync.Mutex
+	parent   string
 	spans    []*Span
 	end      time.Time
 	finished bool
+}
+
+// SetParent records which upstream hop handed this trace over (the
+// X-Span-Parent header value) so a stitched cluster timeline can show
+// the caller of each node-local segment. Nil-safe.
+func (tr *Trace) SetParent(p string) {
+	if tr == nil || p == "" {
+		return
+	}
+	tr.mu.Lock()
+	tr.parent = p
+	tr.mu.Unlock()
 }
 
 // ID returns the trace's hex ID ("" for a nil trace).
@@ -251,6 +292,7 @@ type SpanSnapshot struct {
 type TraceSnapshot struct {
 	ID         string         `json:"id"`
 	Name       string         `json:"name"`
+	Parent     string         `json:"parent,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMs float64        `json:"duration_ms"`
 	Spans      []SpanSnapshot `json:"spans"`
@@ -264,6 +306,7 @@ func (tr *Trace) snapshot() TraceSnapshot {
 	snap := TraceSnapshot{
 		ID:         tr.id,
 		Name:       tr.name,
+		Parent:     tr.parent,
 		Start:      tr.start,
 		DurationMs: ms(tr.end.Sub(tr.start)),
 		Spans:      make([]SpanSnapshot, 0, len(tr.spans)),

@@ -10,9 +10,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"testing"
 
 	"qoschain/internal/core"
+	"qoschain/internal/media"
+	"qoschain/internal/metrics"
+	"qoschain/internal/paperexample"
+	"qoschain/internal/profile"
+	"qoschain/internal/service"
+	"qoschain/internal/session"
 	"qoschain/internal/trace"
 	"qoschain/internal/workload"
 )
@@ -88,6 +95,103 @@ func TestTracingOverheadGuard(t *testing.T) {
 	msg := fmt.Sprintf("plain %d ns/op, traced %d ns/op, overhead %.2f%%", p, tr, overhead)
 	if overhead > 5 {
 		t.Fatalf("tracing overhead above 5%% budget: %s", msg)
+	}
+	t.Log(msg)
+}
+
+// sloBenchSet mirrors the simulator's Figure 6 deployment (Table 1
+// network, services, content and device) without importing internal/sim
+// — sim pulls in the cluster stack, which imports this package's HTTP
+// layer, so the set is rebuilt here from paperexample directly.
+func sloBenchSet() profile.Set {
+	net := paperexample.Table1Network().Snapshot()
+	sort.Slice(net.Links, func(i, j int) bool {
+		if net.Links[i].From != net.Links[j].From {
+			return net.Links[i].From < net.Links[j].From
+		}
+		return net.Links[i].To < net.Links[j].To
+	})
+	byHost := map[string][]*service.Service{}
+	hosts := []string{}
+	for _, svc := range paperexample.Table1Services(true) {
+		if len(byHost[svc.Host]) == 0 {
+			hosts = append(hosts, svc.Host)
+		}
+		byHost[svc.Host] = append(byHost[svc.Host], svc)
+	}
+	sort.Strings(hosts)
+	var inter []profile.Intermediary
+	for _, h := range hosts {
+		inter = append(inter, profile.Intermediary{
+			Host: h, CPUMips: 1000, MemoryMB: 256, Services: byHost[h],
+		})
+	}
+	return profile.Set{
+		User: profile.User{
+			Name: "slo-bench-user",
+			Preferences: map[media.Param]profile.FuncSpec{
+				media.ParamFrameRate: profile.LinearSpec(0, 30),
+			},
+		},
+		Content:        *paperexample.Table1Content(),
+		Device:         *paperexample.Table1Device(),
+		Network:        net,
+		Intermediaries: inter,
+	}
+}
+
+// TestSLOOverheadGuard is the session-hot-path companion to
+// TestTracingOverheadGuard: it drives repeated re-evaluations of a
+// Figure 6 session through an in-memory manager, once with a nil
+// counter sink and once with the full SLO tracking pipeline (counters
+// mirrored onto a well-known-registered registry, which arms the
+// qos.below_floor_seconds / qos.floor_breaches / satisfaction-histogram
+// bookkeeping on every re-evaluation), and fails if SLO tracking costs
+// more than 5% wall time. Opt-in via TRACE_OVERHEAD_GUARD=1 like its
+// sibling; CI runs both in the trace-overhead step.
+func TestSLOOverheadGuard(t *testing.T) {
+	if os.Getenv("TRACE_OVERHEAD_GUARD") == "" {
+		t.Skip("set TRACE_OVERHEAD_GUARD=1 to run the overhead guard")
+	}
+	set := sloBenchSet()
+	newBench := func(counters *metrics.Counters) func(b *testing.B) {
+		return func(b *testing.B) {
+			m, err := session.NewManager(session.ManagerConfig{Counters: counters})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ms, err := m.Create(session.CreateSpec{Set: set, Floor: 0.3, Seed: 11})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, logErr := ms.ReevaluateReason(session.ReevalManual); logErr != nil {
+					b.Fatal(logErr)
+				}
+			}
+		}
+	}
+	plainBench := newBench(nil)
+	reg := metrics.NewRegistry()
+	metrics.RegisterWellKnown(reg)
+	trackedBench := newBench(metrics.CountersOn(reg))
+	// Same protocol as the tracing guard: interleave and compare the
+	// per-variant minimums so scheduler noise cancels out.
+	const runs = 5
+	var p, tr int64
+	for i := 0; i < runs; i++ {
+		if ns := testing.Benchmark(plainBench).NsPerOp(); p == 0 || ns < p {
+			p = ns
+		}
+		if ns := testing.Benchmark(trackedBench).NsPerOp(); tr == 0 || ns < tr {
+			tr = ns
+		}
+	}
+	overhead := float64(tr-p) / float64(p) * 100
+	msg := fmt.Sprintf("plain %d ns/op, slo-tracked %d ns/op, overhead %.2f%%", p, tr, overhead)
+	if overhead > 5 {
+		t.Fatalf("SLO tracking overhead above 5%% budget: %s", msg)
 	}
 	t.Log(msg)
 }
